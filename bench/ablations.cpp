@@ -1,0 +1,276 @@
+// Ablation studies for the design choices DESIGN.md calls out and the
+// paper's §6.2 extension list:
+//
+//   A1  server deadline check on/off          (low-slack scenario)
+//   A2  client fetch deadline-suppression     (low-slack scenario)
+//   A3  checkpoint discipline: 60 s / 600 s / never
+//   A4  systematic runtime-estimate error     (est_error 0.25x..4x)
+//   A5  EDF vs least-laxity-first ordering    (multiprocessor, tight deadlines)
+//   A6  memory-constrained host               (RAM admits only half the CPUs)
+//   A7  work-buffer sizing vs RPC load        (min_queue sweep, JF_HYSTERESIS)
+//   A8  file-transfer delay before jobs become runnable
+//
+// Each table prints the figures of merit that the ablated mechanism is
+// supposed to move.
+
+#include <iostream>
+
+#include "core/bce.hpp"
+
+namespace {
+
+using namespace bce;
+
+Metrics run(const Scenario& sc, const PolicyConfig& pol) {
+  EmulationOptions opt;
+  opt.policy = pol;
+  return emulate(sc, opt).metrics;
+}
+
+void a1_a2_deadline_mechanisms() {
+  std::cout << "\nA1/A2: deadline mechanisms in the low-slack scenario "
+               "(scenario 1, slack 300 s)\n";
+  Table t({"server_check", "fetch_suppression", "wasted", "idle",
+           "share_violation"});
+  for (const bool server : {false, true}) {
+    for (const bool suppress : {false, true}) {
+      PolicyConfig pol;
+      pol.sched = JobSchedPolicy::kGlobal;
+      pol.fetch = FetchPolicy::kOrig;
+      pol.server_deadline_check = server;
+      pol.fetch_deadline_suppression = suppress;
+      const Metrics m = run(paper_scenario1(1300.0), pol);
+      t.add_row({server ? "on" : "off", suppress ? "on" : "off",
+                 fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
+                 fmt(m.share_violation())});
+    }
+  }
+  t.print(std::cout);
+}
+
+void a3_checkpointing() {
+  std::cout << "\nA3: checkpoint discipline (scenario 1, slack 500 s; "
+               "preemption rolls back to the last checkpoint)\n";
+  Table t({"checkpoint period", "wasted", "idle", "jobs completed"});
+  for (const double cp : {60.0, 600.0, kNever}) {
+    Scenario sc = paper_scenario1(1500.0);
+    for (auto& p : sc.projects) {
+      for (auto& jc : p.job_classes) jc.checkpoint_period = cp;
+    }
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.fetch = FetchPolicy::kOrig;
+    const Metrics m = run(sc, pol);
+    t.add_row({std::isfinite(cp) ? fmt(cp, 0) : "never",
+               fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
+               std::to_string(m.n_jobs_completed)});
+  }
+  t.print(std::cout);
+}
+
+void a4_estimate_error() {
+  std::cout << "\nA4: systematic runtime-estimate error (scenario 1, slack "
+               "800 s; actual = estimate x err)\n";
+  Table t({"est_error", "wasted", "idle", "rpcs/job"});
+  for (const double err : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    Scenario sc = paper_scenario1(1800.0);
+    for (auto& p : sc.projects) {
+      for (auto& jc : p.job_classes) jc.est_error = err;
+    }
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.fetch = FetchPolicy::kOrig;
+    const Metrics m = run(sc, pol);
+    t.add_row({fmt(err, 2), fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
+               fmt(m.rpcs_per_job(), 2)});
+  }
+  t.print(std::cout);
+}
+
+void a5_edf_vs_llf() {
+  std::cout << "\nA5: EDF vs least-laxity ordering of endangered jobs "
+               "(4 CPUs, mixed-size tight-deadline jobs)\n";
+  // Mixed job sizes with deadlines tight enough that ordering matters.
+  Scenario sc;
+  sc.name = "a5";
+  sc.host = HostInfo::cpu_only(4, 1e9);
+  sc.duration = 5.0 * kSecondsPerDay;
+  sc.prefs.min_queue = 2.0 * kSecondsPerHour;
+  sc.prefs.max_queue = 6.0 * kSecondsPerHour;
+  for (int i = 0; i < 3; ++i) {
+    ProjectConfig p;
+    p.name = "p" + std::to_string(i);
+    p.resource_share = 100.0;
+    JobClass jc;
+    jc.name = "tight";
+    jc.flops_est = (1800.0 + 1800.0 * i) * 1e9;
+    jc.flops_cv = 0.2;
+    jc.latency_bound = jc.flops_est / 1e9 * (3.5 + 0.5 * i);
+    jc.usage = ResourceUsage::cpu(1.0);
+    p.job_classes.push_back(jc);
+    sc.projects.push_back(p);
+  }
+  Table t({"ordering", "wasted", "jobs missed", "jobs completed"});
+  for (const auto ord : {EndangeredOrder::kEdf, EndangeredOrder::kLeastLaxity}) {
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.endangered_order = ord;
+    const Metrics m = run(sc, pol);
+    t.add_row({ord == EndangeredOrder::kEdf ? "EDF" : "least-laxity",
+               fmt(m.wasted_fraction()), std::to_string(m.n_jobs_missed),
+               std::to_string(m.n_jobs_completed)});
+  }
+  t.print(std::cout);
+}
+
+void a6_memory_limit() {
+  std::cout << "\nA6: memory-constrained host (4 CPUs; each job needs 1.5 GB; "
+               "RAM budget sweep)\n";
+  Table t({"host RAM (GB)", "idle", "wasted", "jobs completed"});
+  for (const double gb : {8.0, 4.0, 2.0}) {
+    Scenario sc = paper_scenario2();
+    sc.host.ram_bytes = gb * 1e9;
+    for (auto& p : sc.projects) {
+      for (auto& jc : p.job_classes) jc.ram_bytes = 1.5e9;
+    }
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    const Metrics m = run(sc, pol);
+    t.add_row({fmt(gb, 0), fmt(m.idle_fraction()), fmt(m.wasted_fraction()),
+               std::to_string(m.n_jobs_completed)});
+  }
+  t.print(std::cout);
+}
+
+void a7_buffer_sizing() {
+  std::cout << "\nA7: work-buffer sizing vs scheduler-RPC load "
+               "(scenario 4, JF_HYSTERESIS; max_queue = 3 x min_queue)\n";
+  Table t({"min_queue (h)", "rpcs/job", "monotony", "idle"});
+  for (const double hours : {0.5, 2.0, 8.0, 24.0}) {
+    Scenario sc = paper_scenario4();
+    sc.prefs.min_queue = hours * 3600.0;
+    sc.prefs.max_queue = 3.0 * sc.prefs.min_queue;
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.fetch = FetchPolicy::kHysteresis;
+    const Metrics m = run(sc, pol);
+    t.add_row({fmt(hours, 1), fmt(m.rpcs_per_job(), 3), fmt(m.monotony),
+               fmt(m.idle_fraction())});
+  }
+  t.print(std::cout);
+}
+
+void a9_transfer_ordering() {
+  std::cout << "\nA9: download-ordering policy on a slow link "
+               "(scenario 1, slack 800 s, 0.2 MB/s, 0.1 GB inputs)\n";
+  Table t({"ordering", "wasted", "idle", "jobs completed"});
+  for (const auto ord : {TransferOrder::kFairShare, TransferOrder::kFifo,
+                         TransferOrder::kEdf}) {
+    Scenario sc = paper_scenario1(1800.0);
+    sc.host.download_bandwidth_bps = 2e5;
+    for (auto& p : sc.projects) {
+      for (auto& jc : p.job_classes) jc.input_bytes = 1e8;  // ~500 s alone
+    }
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.fetch = FetchPolicy::kOrig;
+    pol.transfer_order = ord;
+    const Metrics m = run(sc, pol);
+    const char* name = ord == TransferOrder::kFairShare ? "fair-share"
+                       : ord == TransferOrder::kFifo    ? "FIFO"
+                                                        : "EDF";
+    t.add_row({name, fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
+               std::to_string(m.n_jobs_completed)});
+  }
+  t.print(std::cout);
+}
+
+void a10_duration_correction() {
+  // DCF matters when the client sizes *batches* from wrong estimates:
+  // under JF_HYSTERESIS an underestimate makes every fill-to-max fetch
+  // bring far more (doomed, low-slack) work than intended; once the client
+  // learns the true ratio, its shortfall computation self-corrects.
+  std::cout << "\nA10: duration-correction factor under systematic "
+               "underestimates (JF_HYSTERESIS batches, slack 50% of true "
+               "runtime)\n";
+  Table t({"est_error", "DCF", "wasted", "jobs fetched", "jobs missed"});
+  for (const double err : {1.0, 2.0, 4.0}) {
+    for (const bool dcf : {false, true}) {
+      Scenario sc = paper_scenario1(1.5 * 1000.0 * err);
+      sc.prefs.min_queue = 2000.0;
+      sc.prefs.max_queue = 8000.0;
+      for (auto& p : sc.projects) {
+        for (auto& jc : p.job_classes) jc.est_error = err;
+      }
+      PolicyConfig pol;
+      pol.sched = JobSchedPolicy::kGlobal;
+      pol.fetch = FetchPolicy::kHysteresis;
+      pol.use_duration_correction = dcf;
+      const Metrics m = run(sc, pol);
+      t.add_row({fmt(err, 1), dcf ? "on" : "off", fmt(m.wasted_fraction()),
+                 std::to_string(m.n_jobs_fetched),
+                 std::to_string(m.n_jobs_missed)});
+    }
+  }
+  t.print(std::cout);
+}
+
+void a11_leave_in_memory() {
+  std::cout << "\nA11: leave-apps-in-memory with rare checkpoints and an "
+               "intermittent host\n";
+  Table t({"leave_in_memory", "checkpoint", "jobs completed", "idle",
+           "wasted"});
+  for (const bool keep : {false, true}) {
+    for (const double cp : {600.0, kNever}) {
+      Scenario sc = paper_scenario1(4000.0);
+      sc.availability.host_on = OnOffSpec::markov(3600.0, 900.0);
+      sc.prefs.leave_apps_in_memory = keep;
+      for (auto& p : sc.projects) {
+        for (auto& jc : p.job_classes) jc.checkpoint_period = cp;
+      }
+      PolicyConfig pol;
+      pol.sched = JobSchedPolicy::kGlobal;
+      pol.fetch = FetchPolicy::kOrig;
+      const Metrics m = run(sc, pol);
+      t.add_row({keep ? "yes" : "no", std::isfinite(cp) ? fmt(cp, 0) : "never",
+                 std::to_string(m.n_jobs_completed), fmt(m.idle_fraction()),
+                 fmt(m.wasted_fraction())});
+    }
+  }
+  t.print(std::cout);
+}
+
+void a8_transfer_delay() {
+  std::cout << "\nA8: input-file transfer delay before jobs become runnable "
+               "(scenario 1, slack 500 s)\n";
+  Table t({"transfer delay (s)", "wasted", "idle"});
+  for (const double d : {0.0, 120.0, 600.0}) {
+    Scenario sc = paper_scenario1(1500.0);
+    for (auto& p : sc.projects) {
+      for (auto& jc : p.job_classes) jc.transfer_delay = d;
+    }
+    PolicyConfig pol;
+    pol.sched = JobSchedPolicy::kGlobal;
+    pol.fetch = FetchPolicy::kOrig;
+    const Metrics m = run(sc, pol);
+    t.add_row({fmt(d, 0), fmt(m.wasted_fraction()), fmt(m.idle_fraction())});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation studies ===\n";
+  a1_a2_deadline_mechanisms();
+  a3_checkpointing();
+  a4_estimate_error();
+  a5_edf_vs_llf();
+  a6_memory_limit();
+  a7_buffer_sizing();
+  a8_transfer_delay();
+  a9_transfer_ordering();
+  a10_duration_correction();
+  a11_leave_in_memory();
+  return 0;
+}

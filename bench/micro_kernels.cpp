@@ -1,0 +1,98 @@
+// Micro-benchmarks for the emulator's hot kernels: event queue, RR-sim,
+// a scheduler pass, and end-to-end emulation throughput (simulated seconds
+// per wall second).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bce.hpp"
+
+namespace {
+
+using namespace bce;
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % 100000), EventKind::kUser);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+/// Build a queue of n jobs across n_proj projects for RR-sim benchmarking.
+std::vector<Result> make_jobs(int n, int n_proj) {
+  std::vector<Result> jobs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& r = jobs[static_cast<std::size_t>(i)];
+    r.id = i;
+    r.project = i % n_proj;
+    r.flops_est = r.flops_total = 1e12 + 1e10 * i;
+    r.received = static_cast<double>(i);
+    r.deadline = 86400.0 * (1 + i % 5);
+    r.usage = ResourceUsage::cpu(1.0);
+  }
+  return jobs;
+}
+
+void BM_RrSim(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int n_proj = 4;
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(host, prefs, avail);
+  std::vector<double> shares(n_proj, 1.0 / n_proj);
+  auto jobs = make_jobs(n, n_proj);
+  std::vector<Result*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rr.run(0.0, ptrs, shares));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RrSim)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SchedulerPass(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int n_proj = 4;
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PolicyConfig policy;
+  JobScheduler sched(host, prefs, policy);
+  Accounting acct(host, std::vector<double>(n_proj, 0.25), kSecondsPerDay);
+  Logger log;
+  auto jobs = make_jobs(n, n_proj);
+  std::vector<Result*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched.schedule(0.0, ptrs, acct, true, true, log));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SchedulerPass)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EmulateOneDay(benchmark::State& state) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 1.0 * kSecondsPerDay;
+  EmulationOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emulate(sc, opt));
+  }
+  // Report simulated seconds per wall second.
+  state.counters["sim_days/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateOneDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

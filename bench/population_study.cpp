@@ -1,0 +1,89 @@
+// Population study (paper §6.2 future work): Monte-Carlo sampling over the
+// scenario population, comparing the full modern policy stack
+// (JS_GLOBAL + JF_HYSTERESIS) against the baseline (JS_WRR + JF_ORIG)
+// across the whole population rather than on hand-picked scenarios.
+//
+// Usage: population_study [n_scenarios] [duration_days]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bce.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bce;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 30;
+  const double days = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+  Xoshiro256 rng(0xb01ccull);
+  PopulationParams pp;
+  pp.duration = days * kSecondsPerDay;
+
+  std::vector<RunSpec> specs;
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < n; ++i) {
+    scenarios.push_back(sample_scenario(rng, pp));
+    for (const bool modern : {false, true}) {
+      RunSpec spec;
+      spec.scenario = scenarios.back();
+      spec.options.policy.sched =
+          modern ? JobSchedPolicy::kGlobal : JobSchedPolicy::kWrr;
+      spec.options.policy.fetch =
+          modern ? FetchPolicy::kHysteresis : FetchPolicy::kOrig;
+      // The modern stack also suppresses fetch from overcommitted projects
+      // (hysteresis alone batch-fetches doomed low-slack work).
+      spec.options.policy.fetch_deadline_suppression = modern;
+      spec.label = std::to_string(i);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::cout << "Population study: " << n << " sampled scenarios, " << days
+            << " days each, baseline (JS_WRR+JF_ORIG) vs modern "
+               "(JS_GLOBAL+JF_HYSTERESIS)\n\n";
+  const auto results = run_batch(specs);
+
+  struct Agg {
+    RunningStats idle, wasted, viol, mono, rpcs, score;
+    void add(const Metrics& m) {
+      idle.add(m.idle_fraction());
+      wasted.add(m.wasted_fraction());
+      viol.add(m.share_violation());
+      mono.add(m.monotony);
+      rpcs.add(m.rpcs_per_job());
+      score.add(m.weighted_score());
+    }
+  } base, modern;
+
+  Histogram delta(-0.5, 0.5, 20);
+  int wins = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& b = results[static_cast<std::size_t>(2 * i)].result.metrics;
+    const auto& m = results[static_cast<std::size_t>(2 * i + 1)].result.metrics;
+    base.add(b);
+    modern.add(m);
+    delta.add(m.weighted_score() - b.weighted_score());
+    if (m.weighted_score() < b.weighted_score()) ++wins;
+  }
+
+  Table t({"metric", "baseline mean", "modern mean", "baseline max",
+           "modern max"});
+  auto row = [&](const char* name, const RunningStats& a,
+                 const RunningStats& b) {
+    t.add_row({name, fmt(a.mean()), fmt(b.mean()), fmt(a.max()), fmt(b.max())});
+  };
+  row("idle", base.idle, modern.idle);
+  row("wasted", base.wasted, modern.wasted);
+  row("share_violation", base.viol, modern.viol);
+  row("monotony", base.mono, modern.mono);
+  row("rpcs/job", base.rpcs, modern.rpcs);
+  row("weighted score", base.score, modern.score);
+  t.print(std::cout);
+
+  std::cout << "\nmodern wins on " << wins << "/" << n
+            << " scenarios; distribution of score delta (modern - baseline, "
+               "negative = modern better):\n"
+            << delta.to_ascii(40);
+  return 0;
+}

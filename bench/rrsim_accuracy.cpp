@@ -1,0 +1,71 @@
+// RR-sim prediction accuracy — validates the §3.2 continuous
+// approximation: "the simulation is approximate: instead of modeling
+// individual timeslices, it uses a continuous approximation."
+//
+// For several scenarios, compare RR-sim's *first* completion projection
+// for each job (taken at the scheduling pass after the job arrived)
+// against the job's actual completion time in the emulation, and report
+// the relative-error distribution. Small errors justify using RR-sim's
+// outputs (deadline flags, SAT, SHORTFALL) to drive scheduling and fetch.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/bce.hpp"
+
+int main() {
+  using namespace bce;
+
+  struct Case {
+    const char* name;
+    Scenario sc;
+  };
+  std::vector<Case> cases;
+  {
+    Scenario s1 = paper_scenario1(1800.0);
+    s1.duration = 5.0 * kSecondsPerDay;
+    cases.push_back({"scenario1 (2 proj, cpu)", s1});
+    Scenario s2 = paper_scenario2();
+    s2.duration = 5.0 * kSecondsPerDay;
+    cases.push_back({"scenario2 (cpu+gpu)", s2});
+    Scenario s4 = paper_scenario4();
+    s4.duration = 3.0 * kSecondsPerDay;
+    cases.push_back({"scenario4 (20 proj)", s4});
+  }
+
+  std::cout << "RR-sim first-projection accuracy vs actual completion\n"
+            << "(relative error = (actual - predicted) / turnaround)\n\n";
+
+  Table t({"scenario", "jobs", "mean err", "|err| p50-ish (stddev)",
+           "max |err|", "within 25%"});
+  for (auto& c : cases) {
+    EmulationOptions opt;
+    opt.policy.sched = JobSchedPolicy::kGlobal;
+    const EmulationResult res = emulate(c.sc, opt);
+
+    RunningStats err;
+    RunningStats abs_err;
+    int within = 0;
+    int n = 0;
+    for (const auto& j : res.jobs) {
+      if (!j.is_complete() || j.first_projected_finish >= kNever) continue;
+      const double turnaround = j.completed_at - j.received;
+      if (turnaround <= 0.0) continue;
+      const double e =
+          (j.completed_at - j.first_projected_finish) / turnaround;
+      err.add(e);
+      abs_err.add(std::abs(e));
+      if (std::abs(e) <= 0.25) ++within;
+      ++n;
+    }
+    t.add_row({c.name, std::to_string(n), fmt(err.mean()),
+               fmt(abs_err.mean()) + " (" + fmt(abs_err.stddev()) + ")",
+               fmt(abs_err.max(), 2),
+               fmt(n > 0 ? 100.0 * within / n : 0.0, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: predictions cluster near the truth; the\n"
+               "approximation errs when later arrivals change the mix, which\n"
+               "is exactly why the client re-runs RR-sim on every pass.\n";
+  return 0;
+}

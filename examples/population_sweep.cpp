@@ -1,0 +1,60 @@
+// Population sweep: Monte-Carlo sampling over the scenario population
+// (paper §6.2 future work) — draw N random scenarios, emulate each under
+// two policy pairs in parallel, and summarize which policy wins how often.
+//
+// Usage: population_sweep [n_scenarios]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bce.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bce;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 20;
+  Xoshiro256 rng(20110516);  // IPDPS 2011 workshop date as the root seed
+
+  PopulationParams pp;
+  pp.duration = 3.0 * kSecondsPerDay;  // keep the sweep quick
+
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    const Scenario sc = sample_scenario(rng, pp);
+    for (const bool modern : {false, true}) {
+      RunSpec spec;
+      spec.scenario = sc;
+      spec.options.policy.sched =
+          modern ? JobSchedPolicy::kGlobal : JobSchedPolicy::kWrr;
+      spec.options.policy.fetch =
+          modern ? FetchPolicy::kHysteresis : FetchPolicy::kOrig;
+      spec.label = (modern ? "modern/" : "baseline/") + std::to_string(i);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::cout << "Emulating " << n << " sampled scenarios x 2 policy pairs...\n";
+  const auto results = run_batch(specs);
+
+  RunningStats base_score;
+  RunningStats modern_score;
+  int modern_wins = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& b = results[static_cast<std::size_t>(2 * i)].result.metrics;
+    const auto& m = results[static_cast<std::size_t>(2 * i + 1)].result.metrics;
+    base_score.add(b.weighted_score());
+    modern_score.add(m.weighted_score());
+    if (m.weighted_score() < b.weighted_score()) ++modern_wins;
+  }
+
+  std::cout << "\nweighted score (0 = good):\n"
+            << "  JS_WRR    + JF_ORIG        mean " << fmt(base_score.mean())
+            << " (min " << fmt(base_score.min()) << ", max "
+            << fmt(base_score.max()) << ")\n"
+            << "  JS_GLOBAL + JF_HYSTERESIS  mean " << fmt(modern_score.mean())
+            << " (min " << fmt(modern_score.min()) << ", max "
+            << fmt(modern_score.max()) << ")\n"
+            << "modern policies win on " << modern_wins << "/" << n
+            << " scenarios\n";
+  return 0;
+}

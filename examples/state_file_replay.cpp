@@ -1,0 +1,92 @@
+// State-file replay: the workflow §4.3 describes for alpha testers — take a
+// scenario description captured from a real machine, reproduce the client's
+// behavior under the emulator, and inspect the message log and timeline.
+//
+// Usage: state_file_replay <scenario-file> [--policy wrr|local|global]
+//                          [--fetch orig|hyst] [--log] [--csv <path>]
+//
+// With no file argument, a built-in demo scenario is written to
+// ./demo_scenario.txt and replayed, so the example is runnable standalone.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/bce.hpp"
+
+namespace {
+
+void write_demo(const std::string& path) {
+  const bce::Scenario demo = bce::paper_scenario2();
+  std::ofstream f(path);
+  f << bce::serialize_scenario(demo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bce;
+
+  std::string path;
+  EmulationOptions opt;
+  bool show_log = false;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      opt.policy.sched = v == "wrr"     ? JobSchedPolicy::kWrr
+                         : v == "local" ? JobSchedPolicy::kLocal
+                                        : JobSchedPolicy::kGlobal;
+    } else if (arg == "--fetch" && i + 1 < argc) {
+      opt.policy.fetch = std::string(argv[++i]) == "orig"
+                             ? FetchPolicy::kOrig
+                             : FetchPolicy::kHysteresis;
+    } else if (arg == "--log") {
+      show_log = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      path = arg;
+    }
+  }
+
+  if (path.empty()) {
+    path = "demo_scenario.txt";
+    write_demo(path);
+    std::cout << "(no scenario file given; wrote and replaying " << path
+              << ")\n\n";
+  }
+
+  Scenario sc;
+  try {
+    sc = load_scenario_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  Logger log;
+  if (show_log) {
+    log.enable_all();
+    log.set_stream(&std::cout);
+  }
+  opt.logger = &log;
+  opt.record_timeline = true;
+
+  const EmulationResult res = emulate(sc, opt);
+
+  std::cout << "=== replay of '" << sc.name << "' ("
+            << opt.policy.sched_name() << " + " << opt.policy.fetch_name()
+            << ") ===\n"
+            << res.metrics.summary() << "\n\n"
+            << res.timeline.to_ascii(sc.duration, 96);
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    res.timeline.write_csv(csv);
+    std::cout << "\ntimeline CSV written to " << csv_path << "\n";
+  }
+  return 0;
+}

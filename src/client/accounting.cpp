@@ -1,0 +1,106 @@
+#include "client/accounting.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bce {
+
+Accounting::Accounting(const HostInfo& host, std::vector<double> share_fractions,
+                       double rec_half_life,
+                       std::vector<PerProc<bool>> capability)
+    : host_(host),
+      shares_(std::move(share_fractions)),
+      capability_(std::move(capability)) {
+  if (capability_.size() != shares_.size()) {
+    capability_.assign(shares_.size(), PerProc<bool>{});
+    for (auto& c : capability_) {
+      for (const auto t : kAllProcTypes) c[t] = host_.count[t] > 0;
+    }
+  }
+  st_debts_.resize(shares_.size());
+  lt_debts_.resize(shares_.size());
+  recs_.resize(shares_.size(), DecayingAverage(rec_half_life));
+  for (const auto t : kAllProcTypes) {
+    debt_cap_[t] = kSecondsPerDay * host_.count[t];
+  }
+}
+
+void Accounting::charge(SimTime now, Duration dt,
+                        const std::vector<PerProc<double>>& inst_seconds_used,
+                        const std::vector<PerProc<bool>>& runnable) {
+  assert(inst_seconds_used.size() == shares_.size());
+  assert(runnable.size() == shares_.size());
+  const std::size_t n = shares_.size();
+
+  // One debt family, two eligibility rules: short-term uses "has runnable
+  // jobs of this type now", long-term uses "capable of this type".
+  auto update_debts = [&](std::vector<PerProc<double>>& debts,
+                          auto&& eligible) {
+    for (const auto t : kAllProcTypes) {
+      if (host_.count[t] == 0) continue;
+
+      double eligible_share = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (eligible(p, t)) eligible_share += shares_[p];
+      }
+
+      double mean = 0.0;
+      std::size_t n_eligible = 0;
+      for (std::size_t p = 0; p < n; ++p) {
+        double delta = -inst_seconds_used[p][t];
+        if (eligible(p, t) && eligible_share > 0.0) {
+          delta += dt * (shares_[p] / eligible_share) * host_.count[t];
+          ++n_eligible;
+        }
+        debts[p][t] += delta;
+        if (eligible(p, t)) mean += debts[p][t];
+      }
+
+      // Keep eligible projects' debts centered on zero (as BOINC does) and
+      // cap magnitudes so a project that structurally cannot consume its
+      // share doesn't bank unbounded credit.
+      if (n_eligible > 0) {
+        mean /= static_cast<double>(n_eligible);
+        for (std::size_t p = 0; p < n; ++p) {
+          if (eligible(p, t)) debts[p][t] -= mean;
+          debts[p][t] = clamp(debts[p][t], -debt_cap_[t], debt_cap_[t]);
+        }
+      }
+    }
+  };
+
+  update_debts(st_debts_,
+               [&](std::size_t p, ProcType t) { return runnable[p][t]; });
+  update_debts(lt_debts_,
+               [&](std::size_t p, ProcType t) { return capability_[p][t]; });
+
+  // ---- global REC -------------------------------------------------------
+  for (std::size_t p = 0; p < n; ++p) {
+    double flops = 0.0;
+    for (const auto t : kAllProcTypes) {
+      flops += inst_seconds_used[p][t] * host_.flops_per_instance[t];
+    }
+    recs_[p].add(now, flops);
+  }
+}
+
+double Accounting::prio_fetch_local(ProjectId p) const {
+  const double total = host_.total_peak_flops();
+  if (total <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto t : kAllProcTypes) {
+    sum += long_term_debt(p, t) * host_.flops_per_instance[t];
+  }
+  return sum / total;
+}
+
+double Accounting::prio_global(ProjectId p) const {
+  double total_rec = 0.0;
+  for (const auto& r : recs_) total_rec += r.value();
+  const double rec_frac =
+      total_rec > 0.0 ? recs_[static_cast<std::size_t>(p)].value() / total_rec
+                      : 0.0;
+  return share_fraction(p) - rec_frac;
+}
+
+}  // namespace bce

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file accounting.hpp
+/// Resource-share accounting (§3.1). Two mechanisms, both maintained so any
+/// scheduling/fetch policy can be paired with either:
+///
+///  * **Local accounting** — per (project, processor type) debts, in two
+///    flavours as in the 2011 BOINC client:
+///      - *short-term* debt: accrues only to projects that currently have
+///        runnable jobs of the type; drives `PRIO_sched(P,T)`. A project
+///        with nothing to run neither banks nor owes scheduling priority.
+///      - *long-term* debt: accrues to every project *capable* of the type
+///        (it has job classes of that type), whether or not work is queued
+///        — an underserved project must eventually win the next fetch.
+///        `PRIO_fetch(P)` is the peak-FLOPS-weighted sum of long-term debts.
+///
+///  * **Global accounting** — `REC(P)`: exponentially-decaying average of
+///    the peak FLOPS used by P across *all* processor types, with half-life
+///    A. Priority is how far P's recent usage falls short of its share:
+///    `PRIO(P) = share_frac(P) − REC(P)/ΣREC` (see DESIGN.md §2 for why
+///    this stands in for the paper's garbled formula).
+
+#include <vector>
+
+#include "host/host_info.hpp"
+#include "host/proc_type.hpp"
+#include "sim/decaying_average.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+class Accounting {
+ public:
+  /// \p capability[p][t]: whether project p has job classes of type t
+  /// (long-term debt accrues by capability). If empty, every project is
+  /// assumed capable of every type the host has.
+  Accounting(const HostInfo& host, std::vector<double> share_fractions,
+             double rec_half_life,
+             std::vector<PerProc<bool>> capability = {});
+
+  /// Charge resource usage for the elapsed interval ending at \p now.
+  /// \p inst_seconds_used[p][t]: instance-seconds of type t project p's
+  /// jobs consumed during the interval. \p runnable[p][t]: whether project
+  /// p had runnable jobs of type t during the interval (short-term debt
+  /// accrues only to such projects).
+  void charge(SimTime now, Duration dt,
+              const std::vector<PerProc<double>>& inst_seconds_used,
+              const std::vector<PerProc<bool>>& runnable);
+
+  // --- local accounting ------------------------------------------------
+  [[nodiscard]] double debt(ProjectId p, ProcType t) const {
+    return st_debts_[static_cast<std::size_t>(p)][t];
+  }
+  [[nodiscard]] double long_term_debt(ProjectId p, ProcType t) const {
+    return lt_debts_[static_cast<std::size_t>(p)][t];
+  }
+  [[nodiscard]] double prio_sched_local(ProjectId p, ProcType t) const {
+    return debt(p, t);
+  }
+  [[nodiscard]] double prio_fetch_local(ProjectId p) const;
+
+  // --- global accounting -----------------------------------------------
+  [[nodiscard]] double rec(ProjectId p) const {
+    return recs_[static_cast<std::size_t>(p)].value();
+  }
+  /// share_frac(P) − rec_frac(P); positive = project is owed resources.
+  [[nodiscard]] double prio_global(ProjectId p) const;
+
+  [[nodiscard]] std::size_t num_projects() const { return shares_.size(); }
+  [[nodiscard]] double share_fraction(ProjectId p) const {
+    return shares_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  HostInfo host_;
+  std::vector<double> shares_;  ///< fractional shares, sum to 1
+  std::vector<PerProc<bool>> capability_;
+  std::vector<PerProc<double>> st_debts_;  ///< short-term (scheduling)
+  std::vector<PerProc<double>> lt_debts_;  ///< long-term (fetch)
+  std::vector<DecayingAverage> recs_;
+  /// Debt magnitude cap, per type: one day of that type's full capacity.
+  /// Prevents unbounded growth when a project structurally cannot use its
+  /// share (e.g. CPU-only project on a mostly-GPU host).
+  PerProc<double> debt_cap_;
+};
+
+}  // namespace bce

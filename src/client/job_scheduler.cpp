@@ -1,0 +1,234 @@
+#include "client/job_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bce {
+
+namespace {
+
+/// Laxity: time to deadline minus estimated remaining full-speed runtime.
+double laxity(SimTime now, const Result& r, const HostInfo& host) {
+  const double rate = r.usage.flops_rate(host);
+  const double rem = rate > 0.0 ? r.est_flops_remaining() / rate : 0.0;
+  return (r.deadline - now) - rem;
+}
+
+/// Priority-charge quantum for local (debt) accounting, seconds. One
+/// scheduling period's worth of anticipated debt per selected job.
+constexpr double kDebtQuantum = 3600.0;
+
+}  // namespace
+
+JobScheduler::JobScheduler(const HostInfo& host, const Preferences& prefs,
+                           const PolicyConfig& policy)
+    : host_(host), prefs_(prefs), policy_(policy) {}
+
+double JobScheduler::prio_of(const Accounting& acct, ProjectId p, ProcType t,
+                             const std::vector<double>& global_adj,
+                             const std::vector<PerProc<double>>& local_adj)
+    const {
+  const auto pi = static_cast<std::size_t>(p);
+  if (policy_.sched == JobSchedPolicy::kGlobal) {
+    return acct.prio_global(p) + global_adj[pi];
+  }
+  return acct.prio_sched_local(p, t) + local_adj[pi][t];
+}
+
+ScheduleOutcome JobScheduler::schedule(SimTime now,
+                                       const std::vector<Result*>& jobs,
+                                       const Accounting& acct,
+                                       bool cpu_allowed, bool gpu_allowed,
+                                       Logger& log) const {
+  ScheduleOutcome out;
+
+  // Candidate set: incomplete, input files present, processor kind allowed.
+  std::vector<Result*> cand;
+  cand.reserve(jobs.size());
+  for (Result* r : jobs) {
+    if (!r->runnable(now)) continue;
+    const bool gpu_job = r->usage.uses_gpu();
+    if (gpu_job && !gpu_allowed) continue;
+    if (!cpu_allowed) continue;  // no computing at all while host is off
+    cand.push_back(r);
+  }
+  if (cand.empty()) return out;
+
+  const bool use_deadlines = policy_.sched != JobSchedPolicy::kWrr;
+
+  // Temporary priority adjustments accumulated while building the list
+  // (BOINC's "anticipated debt"): charging a project for each job selected
+  // makes a single pass interleave projects.
+  std::vector<double> global_adj(acct.num_projects(), 0.0);
+  std::vector<PerProc<double>> local_adj(acct.num_projects());
+  const double total_flops = host_.total_peak_flops();
+
+  auto charge = [&](const Result& r) {
+    const auto p = static_cast<std::size_t>(r.project);
+    if (policy_.sched == JobSchedPolicy::kGlobal) {
+      if (total_flops > 0.0) {
+        global_adj[p] -= r.usage.flops_rate(host_) / total_flops;
+      }
+    } else {
+      for (const auto t : kAllProcTypes) {
+        const double u = r.usage.usage_of(t);
+        if (u > 0.0) local_adj[p][t] -= u * kDebtQuantum;
+      }
+    }
+  };
+
+  // Tier assignment. Lower tier = earlier in list.
+  //   0: running & uncheckpointed this episode (would lose work)
+  //   1: endangered GPU   2: other GPU   3: endangered CPU   4: other CPU
+  auto tier = [&](const Result& r) -> int {
+    // With apps left in memory, preemption loses nothing, so uncheckpointed
+    // running jobs need no protection.
+    if (!prefs_.leave_apps_in_memory && r.running && !r.episode_checkpointed &&
+        r.flops_done > r.checkpointed_flops + kFpEpsilon) {
+      return 0;
+    }
+    const bool gpu = r.usage.uses_gpu();
+    // Pure EDF: every job sorts by deadline, shares play no role.
+    const bool dl = policy_.sched == JobSchedPolicy::kEdfOnly ||
+                    (use_deadlines && r.deadline_endangered);
+    if (gpu) return dl ? 1 : 2;
+    return dl ? 3 : 4;
+  };
+
+  // Deadline-order key for endangered tiers.
+  auto deadline_key = [&](const Result& r) {
+    return policy_.endangered_order == EndangeredOrder::kLeastLaxity
+               ? laxity(now, r, host_)
+               : r.deadline;
+  };
+
+  // Bucket candidates by tier.
+  std::array<std::vector<Result*>, 5> buckets;
+  for (Result* r : cand) buckets[static_cast<std::size_t>(tier(*r))].push_back(r);
+
+  // Tiers 0/1/3: deadline order. Tiers 2/4: repeated best-priority pick with
+  // priority charging.
+  for (int ti = 0; ti < 5; ++ti) {
+    auto& b = buckets[static_cast<std::size_t>(ti)];
+    if (b.empty()) continue;
+    if (ti == 0 || ti == 1 || ti == 3) {
+      // Deadline order; among equal deadlines prefer the job already
+      // running (switching between equal-deadline jobs only burns
+      // checkpoint rollbacks), then FIFO.
+      std::stable_sort(b.begin(), b.end(), [&](Result* a, Result* c) {
+        const double ka = deadline_key(*a);
+        const double kc = deadline_key(*c);
+        if (ka != kc) return ka < kc;
+        if (a->running != c->running) return a->running;
+        if (a->received != c->received) return a->received < c->received;
+        return a->id < c->id;
+      });
+      for (Result* r : b) {
+        out.ordered.push_back(r);
+        charge(*r);
+      }
+    } else {
+      std::vector<Result*> pool = b;
+      while (!pool.empty()) {
+        std::size_t best = 0;
+        double best_prio = -1e300;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          const Result& r = *pool[i];
+          const double pr =
+              prio_of(acct, r.project, r.usage.primary_type(), global_adj,
+                      local_adj);
+          // Tie-break: FIFO by arrival, then id, for determinism.
+          if (pr > best_prio + 1e-12 ||
+              (std::abs(pr - best_prio) <= 1e-12 &&
+               (pool[i]->received < pool[best]->received ||
+                (pool[i]->received == pool[best]->received &&
+                 pool[i]->id < pool[best]->id)))) {
+            best_prio = pr;
+            best = i;
+          }
+        }
+        Result* r = pool[best];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+        out.ordered.push_back(r);
+        charge(*r);
+      }
+    }
+  }
+
+  // ---- allocation scan ---------------------------------------------------
+  double cpu_pool = host_.count[ProcType::kCpu];
+  double ram_pool = host_.ram_bytes * prefs_.ram_limit_fraction;
+  PerProc<std::vector<double>> gpu_free;
+  for (const auto t : kAllProcTypes) {
+    if (is_gpu(t)) {
+      gpu_free[t].assign(static_cast<std::size_t>(host_.count[t]), 1.0);
+    }
+  }
+
+  auto alloc_gpu = [&](ProcType t, double need) -> bool {
+    auto& free = gpu_free[t];
+    // Whole instances first, then the fractional remainder first-fit.
+    double whole = std::floor(need + 1e-9);
+    double frac = need - whole;
+    if (frac < 1e-9) frac = 0.0;
+    std::vector<std::size_t> taken;
+    for (std::size_t i = 0; i < free.size() && whole > 0.5; ++i) {
+      if (free[i] >= 1.0 - 1e-9) {
+        taken.push_back(i);
+        whole -= 1.0;
+      }
+    }
+    if (whole > 0.5) return false;
+    std::size_t frac_slot = free.size();
+    if (frac > 0.0) {
+      for (std::size_t i = 0; i < free.size(); ++i) {
+        const bool used_whole =
+            std::find(taken.begin(), taken.end(), i) != taken.end();
+        if (!used_whole && free[i] + 1e-9 >= frac) {
+          frac_slot = i;
+          break;
+        }
+      }
+      if (frac_slot == free.size()) return false;
+    }
+    for (const auto i : taken) free[i] = 0.0;
+    if (frac > 0.0) free[frac_slot] -= frac;
+    return true;
+  };
+
+  for (Result* r : out.ordered) {
+    const bool gpu_job = r->usage.uses_gpu();
+    // CPU admission mirrors BOINC's enforce_run_list: a job may start as
+    // long as committed CPUs are strictly below the count (so a GPU job's
+    // 0.05-CPU sliver can't strand a whole core), bounded to at most one
+    // CPU of overcommitment; GPU jobs always get their CPU sliver.
+    if (gpu_job) {
+      if (r->usage.avg_ncpus > cpu_pool + 1.0 + 1e-9) continue;
+    } else {
+      if (cpu_pool <= 1e-9) continue;
+      if (r->usage.avg_ncpus > cpu_pool + 1.0 + 1e-9) continue;
+    }
+    if (r->ram_bytes > ram_pool + 1e-9) {
+      log.logf(now, LogCategory::kCpuSched, "job %d skipped: RAM limit", r->id);
+      continue;
+    }
+    if (gpu_job && !alloc_gpu(r->usage.coproc, r->usage.coproc_usage)) {
+      log.logf(now, LogCategory::kCpuSched, "job %d skipped: no free %s",
+               r->id, proc_name(r->usage.coproc));
+      continue;
+    }
+    cpu_pool -= r->usage.avg_ncpus;
+    ram_pool -= r->ram_bytes;
+    out.to_run.push_back(r);
+  }
+
+  if (log.enabled(LogCategory::kCpuSched)) {
+    log.logf(now, LogCategory::kCpuSched,
+             "schedule: %zu candidates, %zu chosen (cpu left %.2f)",
+             cand.size(), out.to_run.size(), cpu_pool);
+  }
+  return out;
+}
+
+}  // namespace bce

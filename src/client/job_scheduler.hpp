@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file job_scheduler.hpp
+/// Client job scheduling (§3.3). Given the runnable jobs (with
+/// deadline-endangered flags freshly computed by RR-sim), decide which to
+/// run:
+///
+///  1. Build an ordered job list. Precedence tiers:
+///       (0) running jobs that have not checkpointed since they started
+///           (preempting them loses the episode's work),
+///       (1) deadline-endangered GPU jobs (EDF or least-laxity order),
+///       (2) other GPU jobs, by PRIO_sched,
+///       (3) deadline-endangered CPU jobs,
+///       (4) other CPU jobs, by PRIO_sched.
+///     Under JS-WRR the endangered tiers collapse into the PRIO tiers
+///     (deadlines are not used).
+///  2. Within PRIO tiers, jobs are picked one at a time and the picking
+///     project's priority is charged for the expected usage, so one pass
+///     interleaves projects rather than emitting all of the top project's
+///     jobs first (this is BOINC's "anticipated debt" / project-priority
+///     adjustment).
+///  3. Scan the list, allocating CPUs (fluid pool), GPU instances
+///     (per-instance first-fit for fractional usage), and RAM; skip jobs
+///     that don't fit ("jobs are skipped if total memory usage would exceed
+///     the limit, or if GPUs cannot be allocated").
+///
+/// GPU jobs may overcommit the CPU pool by up to one CPU, mirroring the
+/// BOINC client: a GPU must never sit idle because its feeder thread can't
+/// get a CPU sliver.
+
+#include <vector>
+
+#include "client/accounting.hpp"
+#include "client/policy.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "model/job.hpp"
+#include "sim/logger.hpp"
+
+namespace bce {
+
+struct ScheduleOutcome {
+  /// Jobs to run, in list order. Everything else should be preempted.
+  std::vector<Result*> to_run;
+
+  /// Ordered job list before the allocation scan (diagnostics/tests).
+  std::vector<Result*> ordered;
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(const HostInfo& host, const Preferences& prefs,
+               const PolicyConfig& policy);
+
+  /// \p jobs: all incomplete jobs. \p cpu_allowed / \p gpu_allowed reflect
+  /// host availability; when false, jobs of that kind are not scheduled.
+  ScheduleOutcome schedule(SimTime now, const std::vector<Result*>& jobs,
+                           const Accounting& acct, bool cpu_allowed,
+                           bool gpu_allowed, Logger& log) const;
+
+ private:
+  [[nodiscard]] double prio_of(const Accounting& acct, ProjectId p,
+                               ProcType t,
+                               const std::vector<double>& global_adj,
+                               const std::vector<PerProc<double>>& local_adj)
+      const;
+
+  HostInfo host_;
+  Preferences prefs_;
+  PolicyConfig policy_;
+};
+
+}  // namespace bce

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file policy.hpp
+/// Policy selections (§3, §4.3: "a set of flags selecting the job
+/// scheduling, job fetch, and server deadline-check policies").
+
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// Client job-scheduling policy variants (§3.3, plus one §6.2 "other
+/// policy alternatives" entry).
+enum class JobSchedPolicy {
+  kWrr,      ///< JS-WRR: weighted round robin only; deadlines ignored
+  kLocal,    ///< JS-LOCAL: deadline-aware, local per-(project,type) debt
+  kGlobal,   ///< JS-GLOBAL (a.k.a. JS-REC): deadline-aware, global REC
+  kEdfOnly,  ///< JS-EDF: pure earliest-deadline-first; shares ignored
+};
+
+/// Client job-fetch policy variants (§3.4, plus a §6.2 alternative).
+enum class FetchPolicy {
+  kOrig,        ///< JF_ORIG: fetch whenever SHORTFALL(T) > 0, share-scaled
+  kHysteresis,  ///< JF_HYSTERESIS: fetch when SAT(T) < min_queue, full shortfall
+  kRoundRobin,  ///< JF_RR: hysteresis trigger, least-recently-asked project
+};
+
+/// Ordering among deadline-endangered jobs. EDF is the paper's default;
+/// least-laxity-first is the §6.2 "heuristics that perform better than EDF
+/// on multiprocessors" extension.
+enum class EndangeredOrder {
+  kEdf,          ///< earliest deadline first
+  kLeastLaxity,  ///< smallest (deadline - now - est remaining runtime) first
+};
+
+/// Ordering of input-file downloads when the host's bandwidth is modeled
+/// (the "additional scheduling policy: the order in which files are
+/// uploaded and downloaded" of §6.2).
+enum class TransferOrder {
+  kFairShare,  ///< all pending downloads share the link equally
+  kFifo,       ///< one at a time, in arrival order
+  kEdf,        ///< one at a time, earliest job deadline first
+};
+
+struct PolicyConfig {
+  JobSchedPolicy sched = JobSchedPolicy::kGlobal;
+  FetchPolicy fetch = FetchPolicy::kHysteresis;
+  EndangeredOrder endangered_order = EndangeredOrder::kEdf;
+  TransferOrder transfer_order = TransferOrder::kFairShare;
+
+  /// Half-life A of the REC decaying average (§3.1, Figure 6).
+  double rec_half_life = 10.0 * kSecondsPerDay;
+
+  /// Server-side deadline check (§4.3).
+  bool server_deadline_check = false;
+
+  /// Client-side fetch suppression: don't request more work of a type from
+  /// a project that currently has deadline-endangered jobs of that type
+  /// (a later-BOINC refinement; off by default to match the paper's runs,
+  /// ablated in bench/ablations).
+  bool fetch_deadline_suppression = false;
+
+  /// Duration-correction factor: the client learns each project's
+  /// systematic estimate error from completed jobs and scales a-priori
+  /// estimates accordingly (BOINC's DCF; "model inaccurate job runtime
+  /// estimates", §6.2). On by default as in BOINC; ablated in
+  /// bench/ablations.
+  bool use_duration_correction = true;
+
+  [[nodiscard]] const char* sched_name() const {
+    switch (sched) {
+      case JobSchedPolicy::kWrr: return "JS_WRR";
+      case JobSchedPolicy::kLocal: return "JS_LOCAL";
+      case JobSchedPolicy::kGlobal: return "JS_GLOBAL";
+      case JobSchedPolicy::kEdfOnly: return "JS_EDF";
+    }
+    return "?";
+  }
+  [[nodiscard]] const char* fetch_name() const {
+    switch (fetch) {
+      case FetchPolicy::kOrig: return "JF_ORIG";
+      case FetchPolicy::kHysteresis: return "JF_HYSTERESIS";
+      case FetchPolicy::kRoundRobin: return "JF_RR";
+    }
+    return "?";
+  }
+};
+
+}  // namespace bce

@@ -1,0 +1,314 @@
+#include "client/rr_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bce {
+
+namespace {
+
+/// Per-job simulation state.
+struct SimJob {
+  Result* job = nullptr;
+  double remaining = 0.0;  ///< estimated FLOPs remaining
+  double granted = 0.0;    ///< instance-units of the primary type granted
+  double needed = 0.0;     ///< instance-units of the primary type needed
+  double rate = 0.0;       ///< FLOPs/sec at current grant
+};
+
+}  // namespace
+
+RrSim::RrSim(const HostInfo& host, const Preferences& prefs,
+             PerProc<double> avail_frac)
+    : host_(host), prefs_(prefs), avail_frac_(avail_frac) {}
+
+RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
+                       const std::vector<double>& share_frac,
+                       Logger* log) const {
+  RrSimOutput out;
+
+  // Pending jobs per (project, type), FIFO by arrival.
+  const std::size_t n_proj = share_frac.size();
+  std::vector<SimJob> sj;
+  sj.reserve(jobs.size());
+  for (Result* r : jobs) {
+    if (r->is_complete()) continue;
+    SimJob s;
+    s.job = r;
+    s.remaining = std::max(r->est_flops_remaining(), 1.0);
+    s.needed = std::max(r->usage.usage_of(r->usage.primary_type()), 1e-6);
+    sj.push_back(s);
+    r->deadline_endangered = false;
+    r->rr_projected_finish = kNever;
+  }
+  // FIFO order within project: stable sort by arrival time.
+  std::stable_sort(sj.begin(), sj.end(), [](const SimJob& a, const SimJob& b) {
+    return a.job->received < b.job->received;
+  });
+
+  // Saturation bookkeeping.
+  PerProc<bool> sat_open{};  // still saturated so far?
+  for (const auto t : kAllProcTypes) {
+    sat_open[t] = host_.count[t] > 0;
+    out.saturated[t] = 0.0;
+  }
+
+  SimTime t_cur = now;
+  const SimTime t_window_end = now + prefs_.max_queue;
+  const SimTime t_min_window_end = now + prefs_.min_queue;
+
+  // Scratch buffers reused across iterations.
+  std::vector<double> quota(n_proj, 0.0);
+
+  int iter_guard = 0;
+  constexpr int kMaxIter = 200000;
+
+  for (;;) {
+    if (++iter_guard > kMaxIter) break;  // pathological scenario guard
+
+    // ---- allocation pass (water-filling per type) ----------------------
+    PerProc<double> busy{};
+    bool any_active = false;
+    for (auto& s : sj) {
+      s.granted = 0.0;
+      s.rate = 0.0;
+    }
+    for (const auto t : kAllProcTypes) {
+      const double cap = host_.count[t];
+      if (cap <= 0.0) continue;
+
+      // Eligible projects and their total share.
+      double eligible_share = 0.0;
+      std::fill(quota.begin(), quota.end(), -1.0);
+      for (const auto& s : sj) {
+        if (s.remaining <= 0.0) continue;
+        if (s.job->usage.primary_type() != t) continue;
+        const auto p = static_cast<std::size_t>(s.job->project);
+        if (quota[p] < 0.0) {
+          quota[p] = 0.0;
+          eligible_share += share_frac[p];
+        }
+      }
+      if (eligible_share <= 0.0) continue;
+      for (std::size_t p = 0; p < n_proj; ++p) {
+        if (quota[p] >= 0.0) quota[p] = share_frac[p] / eligible_share * cap;
+      }
+
+      // First pass: fill each project's jobs FIFO up to its quota.
+      double used = 0.0;
+      for (auto& s : sj) {
+        if (s.remaining <= 0.0 || s.job->usage.primary_type() != t) continue;
+        const auto p = static_cast<std::size_t>(s.job->project);
+        const double g = std::min(s.needed, quota[p]);
+        s.granted = g;
+        quota[p] -= g;
+        used += g;
+      }
+
+      // Redistribution passes: hand leftover capacity to projects whose
+      // jobs are still under-granted, proportionally to share.
+      for (int round = 0; round < 8; ++round) {
+        double leftover = cap - used;
+        if (leftover <= 1e-9) break;
+        double unmet_share = 0.0;
+        std::fill(quota.begin(), quota.end(), -1.0);
+        for (const auto& s : sj) {
+          if (s.remaining <= 0.0 || s.job->usage.primary_type() != t) continue;
+          if (s.granted + 1e-12 >= s.needed) continue;
+          const auto p = static_cast<std::size_t>(s.job->project);
+          if (quota[p] < 0.0) {
+            quota[p] = 0.0;
+            unmet_share += share_frac[p];
+          }
+        }
+        if (unmet_share <= 0.0) break;
+        for (std::size_t p = 0; p < n_proj; ++p) {
+          if (quota[p] >= 0.0) {
+            quota[p] = share_frac[p] / unmet_share * leftover;
+          }
+        }
+        bool progressed = false;
+        for (auto& s : sj) {
+          if (s.remaining <= 0.0 || s.job->usage.primary_type() != t) continue;
+          const auto p = static_cast<std::size_t>(s.job->project);
+          if (quota[p] <= 0.0) continue;
+          const double g = std::min(s.needed - s.granted, quota[p]);
+          if (g > 1e-12) {
+            s.granted += g;
+            quota[p] -= g;
+            used += g;
+            progressed = true;
+          }
+        }
+        if (!progressed) break;
+      }
+      busy[t] = used;
+    }
+
+    // Rates and next completion.
+    double dt_next = std::numeric_limits<double>::infinity();
+    for (auto& s : sj) {
+      if (s.remaining <= 0.0 || s.granted <= 0.0) continue;
+      const ProcType t = s.job->usage.primary_type();
+      s.rate = s.job->usage.flops_rate(host_) * (s.granted / s.needed) *
+               clamp(avail_frac_[t], 0.0, 1.0);
+      if (s.rate > 0.0) {
+        any_active = true;
+        dt_next = std::min(dt_next, s.remaining / s.rate);
+      }
+    }
+
+    // ---- bookkeeping: saturation & idle shortfall -----------------------
+    {
+      RrSimOutput::ProfilePoint pp;
+      pp.t = t_cur;
+      pp.busy = busy;
+      if (!out.profile.empty() && out.profile.back().t >= t_cur) {
+        out.profile.back() = pp;  // coalesce same-instant allocations
+      } else if (out.profile.size() < 4096) {
+        out.profile.push_back(pp);
+      }
+    }
+    for (const auto t : kAllProcTypes) {
+      const double cap = host_.count[t];
+      if (cap <= 0.0) continue;
+      const bool saturated_now = busy[t] + 1e-9 >= cap;
+      if (t_cur == now) {
+        out.idle_instances_now[t] = std::max(0.0, cap - busy[t]);
+      }
+      if (sat_open[t] && !saturated_now) {
+        out.saturated[t] = t_cur - now;
+        sat_open[t] = false;
+      }
+    }
+
+    if (!any_active) {
+      // Queue drained: the rest of the window is fully idle.
+      for (const auto t : kAllProcTypes) {
+        const double cap = host_.count[t];
+        if (cap <= 0.0) continue;
+        if (sat_open[t]) {
+          out.saturated[t] = t_cur - now;
+          sat_open[t] = false;
+        }
+        if (t_cur < t_window_end) {
+          out.shortfall[t] += (t_window_end - t_cur) * cap;
+        }
+        if (t_cur < t_min_window_end) {
+          out.shortfall_min[t] += (t_min_window_end - t_cur) * cap;
+        }
+      }
+      break;
+    }
+
+    const SimTime t_next = t_cur + dt_next;
+
+    // Idle/busy integration over [t_cur, t_next] ∩ buffer windows.
+    const double overlap = std::max(0.0, std::min(t_next, t_window_end) - t_cur);
+    const double overlap_min =
+        std::max(0.0, std::min(t_next, t_min_window_end) - t_cur);
+    if (overlap > 0.0) {
+      for (const auto t : kAllProcTypes) {
+        const double cap = host_.count[t];
+        if (cap <= 0.0) continue;
+        const double idle = std::max(0.0, cap - busy[t]);
+        out.shortfall[t] += idle * overlap;
+        out.shortfall_min[t] += idle * overlap_min;
+        out.busy_inst_seconds[t] += busy[t] * overlap;
+      }
+    }
+
+    // Advance all active jobs; complete those that hit zero.
+    for (auto& s : sj) {
+      if (s.rate <= 0.0 || s.remaining <= 0.0) continue;
+      s.remaining -= s.rate * dt_next;
+      if (s.remaining <= 1e-6) {
+        s.remaining = 0.0;
+        s.job->rr_projected_finish = t_next;
+        if (t_next > s.job->deadline) {
+          s.job->deadline_endangered = true;
+          ++out.n_endangered;
+        }
+      }
+    }
+    t_cur = t_next;
+  }
+
+  // Deadline-miss attribution: if k jobs of a (project, type) are projected
+  // to miss, promote that project's k *earliest-deadline* jobs instead of
+  // the specific ones flagged. The WRR simulation runs a project's jobs
+  // FIFO, so the flags land on later-queued jobs even when rescuing the
+  // earlier-deadline ones is what actually helps — this mirrors BOINC's
+  // scheduler, which promotes a project's earliest-deadline results when
+  // rr_sim reports deadline misses for it.
+  {
+    struct Key {
+      ProjectId p;
+      ProcType t;
+      bool operator==(const Key&) const = default;
+    };
+    for (const auto& s0 : sj) {
+      const Key key{s0.job->project, s0.job->usage.primary_type()};
+      // Process each (project, type) group once: skip if an earlier element
+      // has the same key.
+      bool first = true;
+      for (const auto& s1 : sj) {
+        if (&s1 == &s0) break;
+        if (Key{s1.job->project, s1.job->usage.primary_type()} == key) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+
+      std::vector<Result*> group;
+      int flagged = 0;
+      for (const auto& s1 : sj) {
+        if (Key{s1.job->project, s1.job->usage.primary_type()} == key) {
+          group.push_back(s1.job);
+          if (s1.job->deadline_endangered) ++flagged;
+        }
+      }
+      if (flagged == 0) continue;
+      std::stable_sort(group.begin(), group.end(),
+                       [](const Result* a, const Result* b) {
+                         if (a->deadline != b->deadline)
+                           return a->deadline < b->deadline;
+                         if (a->received != b->received)
+                           return a->received < b->received;
+                         return a->id < b->id;
+                       });
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        group[i]->deadline_endangered = static_cast<int>(i) < flagged;
+      }
+    }
+  }
+
+  // Types that stayed saturated through queue drain: SAT already closed in
+  // the drain branch; anything still open means permanently saturated.
+  for (const auto t : kAllProcTypes) {
+    if (host_.count[t] > 0 && sat_open[t]) {
+      out.saturated[t] = t_cur - now;
+    }
+  }
+  out.span = t_cur - now;
+
+  if (log != nullptr) {
+    for (const auto t : kAllProcTypes) {
+      if (host_.count[t] == 0) continue;
+      log->logf(now, LogCategory::kRrSim,
+                "%s: SAT=%.0fs SHORTFALL=%.0f inst-sec idle_now=%.1f",
+                proc_name(t), out.saturated[t], out.shortfall[t],
+                out.idle_instances_now[t]);
+    }
+    if (out.n_endangered > 0) {
+      log->logf(now, LogCategory::kRrSim, "%d job(s) deadline-endangered",
+                out.n_endangered);
+    }
+  }
+  return out;
+}
+
+}  // namespace bce

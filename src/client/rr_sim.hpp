@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file rr_sim.hpp
+/// Round-robin simulation (§3.2): a continuous approximation of weighted
+/// round robin over the client's current job queue. "Instead of modeling
+/// individual timeslices, it uses a continuous approximation."
+///
+/// Outputs (Figure 2):
+///  * per-job deadline predictions — jobs whose projected completion is
+///    after their deadline are flagged *deadline-endangered*;
+///  * SAT(T): how long each processor type stays saturated (all instances
+///    busy) from now;
+///  * SHORTFALL(T): idle instance-seconds of each type within the maximum
+///    queue interval [now, now + max_queue] (§3.4).
+///
+/// Model notes:
+///  * Each processor type's instances form a fluid capacity pool of
+///    `count[T]` instance-units. Eligible projects (those with unfinished
+///    jobs of the type) receive quota proportional to resource share;
+///    quotas fill each project's jobs FIFO; leftover capacity is
+///    redistributed to projects with unmet demand (water-filling).
+///  * A job progresses at `flops_rate * granted/needed`, de-rated by the
+///    expected availability of its processor type — matching how the real
+///    client folds its measured "on fraction" into the simulation.
+///  * GPU jobs are allocated on their GPU type only; the small CPU sliver
+///    of a GPU app is ignored inside RR-sim (as in BOINC's rr_sim).
+
+#include <vector>
+
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "model/job.hpp"
+#include "sim/logger.hpp"
+
+namespace bce {
+
+struct RrSimOutput {
+  /// Idle instance-seconds within [now, now + max_queue], per type — the
+  /// amount JF_HYSTERESIS requests when it fetches (fill to the top).
+  PerProc<double> shortfall{};
+
+  /// Idle instance-seconds within [now, now + min_queue], per type — the
+  /// deficit JF_ORIG tops up continuously (the original BOINC fetch
+  /// computed its shortfall over the min work buffer).
+  PerProc<double> shortfall_min{};
+
+  /// SAT(T): duration from `now` during which all instances of T are busy.
+  PerProc<Duration> saturated{};
+
+  /// Instances of each type idle at the start of the simulation (feeds the
+  /// `req_instances` field of work requests).
+  PerProc<double> idle_instances_now{};
+
+  /// Busy instance-seconds within the window (diagnostics).
+  PerProc<double> busy_inst_seconds{};
+
+  /// Number of jobs flagged deadline-endangered.
+  int n_endangered = 0;
+
+  /// Simulated time span until the queue drained (diagnostics).
+  Duration span = 0.0;
+
+  /// Piecewise-constant busy-instance profile: busy units per type on
+  /// [profile[i].t, profile[i+1].t) (last segment extends to `span`).
+  /// This is the prediction Figure 2 visualizes: "how long each processor
+  /// instance will be busy given the current workload".
+  struct ProfilePoint {
+    SimTime t = 0.0;
+    PerProc<double> busy{};
+  };
+  std::vector<ProfilePoint> profile;
+};
+
+class RrSim {
+ public:
+  /// \p avail_frac: expected availability of each processor type (long-run
+  /// on-fraction); rates inside the simulation are multiplied by it.
+  RrSim(const HostInfo& host, const Preferences& prefs,
+        PerProc<double> avail_frac);
+
+  /// Run the simulation over \p jobs (incomplete jobs, queued or running).
+  /// Writes `deadline_endangered` and `rr_projected_finish` into each job.
+  /// \p share_frac: per-project fractional resource shares.
+  RrSimOutput run(SimTime now, const std::vector<Result*>& jobs,
+                  const std::vector<double>& share_frac,
+                  Logger* log = nullptr) const;
+
+ private:
+  HostInfo host_;
+  Preferences prefs_;
+  PerProc<double> avail_frac_;
+};
+
+}  // namespace bce

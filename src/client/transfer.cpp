@@ -1,0 +1,110 @@
+#include "client/transfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bce {
+
+bool TransferManager::add(JobId id, double bytes, SimTime deadline,
+                          SimTime now) {
+  // The caller must have advanced the manager to `now` already (the
+  // emulator advances all state before dispatching events), otherwise the
+  // new transfer would retroactively absorb bandwidth.
+  assert(now + 1e-6 >= last_update_);
+  last_update_ = std::max(last_update_, now);
+  if (!modeled() || bytes <= 0.0) {
+    return true;
+  }
+  Xfer x;
+  x.id = id;
+  x.bytes_left = bytes;
+  x.deadline = deadline;
+  x.seq = next_seq_++;
+  xfers_.push_back(x);
+  return false;
+}
+
+std::size_t TransferManager::active_index() const {
+  if (xfers_.empty()) return xfers_.size();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xfers_.size(); ++i) {
+    const bool earlier =
+        order_ == TransferOrder::kEdf
+            ? (xfers_[i].deadline < xfers_[best].deadline ||
+               (xfers_[i].deadline == xfers_[best].deadline &&
+                xfers_[i].seq < xfers_[best].seq))
+            : xfers_[i].seq < xfers_[best].seq;
+    if (earlier) best = i;
+  }
+  return best;
+}
+
+void TransferManager::advance_to(SimTime now, bool network_on) {
+  double dt = now - last_update_;
+  last_update_ = std::max(last_update_, now);
+  if (dt <= 0.0 || xfers_.empty() || !network_on || !modeled()) return;
+
+  // Within [last_update, now] the active set only shrinks (completions);
+  // iterate segment by segment.
+  while (dt > 0.0 && !xfers_.empty()) {
+    if (order_ == TransferOrder::kFairShare) {
+      const double rate = bandwidth_ / static_cast<double>(xfers_.size());
+      // Time until the first of the current set completes.
+      double dt_first = std::numeric_limits<double>::infinity();
+      for (const auto& x : xfers_) {
+        dt_first = std::min(dt_first, x.bytes_left / rate);
+      }
+      const double step = std::min(dt, dt_first);
+      for (auto& x : xfers_) x.bytes_left -= rate * step;
+      dt -= step;
+    } else {
+      auto& x = xfers_[active_index()];
+      const double step = std::min(dt, x.bytes_left / bandwidth_);
+      x.bytes_left -= bandwidth_ * step;
+      dt -= step;
+    }
+    // Collect completions (bytes exhausted within tolerance).
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      // Deterministic completion order: by seq among the finished.
+      std::size_t done = xfers_.size();
+      for (std::size_t i = 0; i < xfers_.size(); ++i) {
+        if (xfers_[i].bytes_left <= 1e-6 &&
+            (done == xfers_.size() || xfers_[i].seq < xfers_[done].seq)) {
+          done = i;
+        }
+      }
+      if (done < xfers_.size()) {
+        completed_.push_back(xfers_[done].id);
+        xfers_.erase(xfers_.begin() + static_cast<std::ptrdiff_t>(done));
+        removed = true;
+      }
+    }
+  }
+}
+
+SimTime TransferManager::next_completion(bool network_on) const {
+  if (xfers_.empty() || !network_on || !modeled()) return kNever;
+  if (order_ == TransferOrder::kFairShare) {
+    // All share the link; the smallest remaining transfer finishes first,
+    // but the set may shrink before then — conservatively report the time
+    // assuming the current sharing persists (the emulator re-queries after
+    // every event, so this self-corrects).
+    const double rate = bandwidth_ / static_cast<double>(xfers_.size());
+    double dt = std::numeric_limits<double>::infinity();
+    for (const auto& x : xfers_) dt = std::min(dt, x.bytes_left / rate);
+    return last_update_ + dt;
+  }
+  const auto& x = xfers_[active_index()];
+  return last_update_ + x.bytes_left / bandwidth_;
+}
+
+std::vector<JobId> TransferManager::take_completed() {
+  std::vector<JobId> out;
+  out.swap(completed_);
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Input-file transfer modelling (§6.2: "Jobs are assumed to be runnable
+/// immediately after dispatch. For data-intensive applications ... this is
+/// not a realistic assumption. It would be important to model an
+/// additional scheduling policy: the order in which files are uploaded and
+/// downloaded.")
+///
+/// The TransferManager simulates a host download link of fixed bandwidth.
+/// Each arriving job with a non-zero input size enqueues a download; the
+/// job becomes runnable when its download completes. Three ordering
+/// policies (TransferOrder): fair-share (processor sharing of the link),
+/// FIFO, and EDF by job deadline. Transfers pause while the network is
+/// unavailable. Result uploads are assumed negligible, as in BOINC's
+/// common case of small output files.
+
+#include <vector>
+
+#include "client/policy.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+class TransferManager {
+ public:
+  /// \p bandwidth_bps: download bandwidth in bytes/second; <= 0 means the
+  /// link is not modeled and every add() completes instantly.
+  TransferManager(double bandwidth_bps, TransferOrder order)
+      : bandwidth_(bandwidth_bps), order_(order) {}
+
+  /// Enqueue a download of \p bytes for job \p id at time \p now.
+  /// Returns true if the transfer completed immediately (no link model or
+  /// zero bytes).
+  bool add(JobId id, double bytes, SimTime deadline, SimTime now);
+
+  /// Progress active transfers through [last update, now]. \p network_on
+  /// must reflect the network state over that whole interval (the emulator
+  /// guarantees availability is constant between events). Completed jobs
+  /// are moved to the completed list.
+  void advance_to(SimTime now, bool network_on);
+
+  /// Absolute time the next transfer finishes if the network stays up;
+  /// kNever when nothing is pending or the network is down.
+  [[nodiscard]] SimTime next_completion(bool network_on) const;
+
+  /// Jobs whose downloads finished since the last call (in completion
+  /// order). Clears the internal list.
+  std::vector<JobId> take_completed();
+
+  [[nodiscard]] std::size_t pending() const { return xfers_.size(); }
+  [[nodiscard]] bool modeled() const { return bandwidth_ > 0.0; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+
+ private:
+  struct Xfer {
+    JobId id = kNoJob;
+    double bytes_left = 0.0;
+    SimTime deadline = 0.0;
+    std::uint64_t seq = 0;  // arrival order
+  };
+
+  /// Index of the single active transfer under FIFO/EDF; npos-like value
+  /// when none.
+  [[nodiscard]] std::size_t active_index() const;
+
+  double bandwidth_;
+  TransferOrder order_;
+  std::vector<Xfer> xfers_;
+  std::vector<JobId> completed_;
+  SimTime last_update_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bce

@@ -1,0 +1,156 @@
+#include "client/work_fetch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bce {
+
+WorkFetch::WorkFetch(const HostInfo& host, const Preferences& prefs,
+                     const PolicyConfig& policy)
+    : host_(host), prefs_(prefs), policy_(policy) {}
+
+double WorkFetch::prio_fetch(const Accounting& acct, ProjectId p) const {
+  return policy_.sched == JobSchedPolicy::kGlobal ? acct.prio_global(p)
+                                                  : acct.prio_fetch_local(p);
+}
+
+WorkFetch::Decision WorkFetch::choose(
+    SimTime now, const RrSimOutput& rr, const Accounting& acct,
+    const std::vector<const ProjectConfig*>& projects,
+    const std::vector<ProjectFetchState>& states,
+    const std::vector<PerProc<bool>>& endangered, Logger& log) const {
+  Decision d;
+
+  // GPU types first: an idle GPU wastes far more capacity than an idle CPU.
+  constexpr std::array<ProcType, kNumProcTypes> order = {
+      ProcType::kNvidia, ProcType::kAti, ProcType::kCpu};
+
+  for (const auto t : order) {
+    if (host_.count[t] == 0) continue;
+
+    const bool triggered = policy_.fetch == FetchPolicy::kOrig
+                               ? rr.shortfall_min[t] > 1.0
+                               : rr.saturated[t] < prefs_.min_queue;
+    if (!triggered) continue;
+
+    // Candidate projects: capable of type t, not backed off, RPC spacing
+    // ok. Selection: highest PRIO_fetch, or least-recently-asked for JF_RR.
+    ProjectId best = kNoProject;
+    double best_prio = -1e300;
+    for (std::size_t p = 0; p < projects.size(); ++p) {
+      if (!projects[p]->has_jobs_for(t)) continue;
+      if (projects[p]->suspended) continue;
+      if (projects[p]->no_gpu && is_gpu(t)) continue;
+      const auto& st = states[p];
+      if (now < st.next_allowed_rpc) continue;
+      if (now < st.type_backoff_until[t]) continue;
+      if (policy_.fetch_deadline_suppression && endangered[p][t]) {
+        continue;  // already overcommitted on this type
+      }
+      const double prio = policy_.fetch == FetchPolicy::kRoundRobin
+                              ? -st.last_work_rpc
+                              : prio_fetch(acct, static_cast<ProjectId>(p));
+      if (best == kNoProject || prio > best_prio) {
+        best = static_cast<ProjectId>(p);
+        best_prio = prio;
+      }
+    }
+    if (best == kNoProject) continue;
+
+    // Share of the chosen project among projects *capable* of type t
+    // (static capability, as in the paper's description of JF_ORIG).
+    double cap_share = 0.0;
+    for (std::size_t p = 0; p < projects.size(); ++p) {
+      if (projects[p]->has_jobs_for(t)) {
+        cap_share += acct.share_fraction(static_cast<ProjectId>(p));
+      }
+    }
+    const double x =
+        cap_share > 0.0 ? acct.share_fraction(best) / cap_share : 1.0;
+
+    d.project = best;
+    // Fill the request for every type this project can serve whose own
+    // trigger condition holds (one RPC can request several types).
+    for (const auto u : order) {
+      if (host_.count[u] == 0) continue;
+      if (!projects[static_cast<std::size_t>(best)]->has_jobs_for(u)) continue;
+      if (projects[static_cast<std::size_t>(best)]->no_gpu && is_gpu(u)) {
+        continue;
+      }
+      if (now < states[static_cast<std::size_t>(best)].type_backoff_until[u])
+        continue;
+      if (policy_.fetch_deadline_suppression &&
+          endangered[static_cast<std::size_t>(best)][u]) {
+        continue;
+      }
+      const bool u_triggered = policy_.fetch == FetchPolicy::kOrig
+                                   ? rr.shortfall_min[u] > 1.0
+                                   : rr.saturated[u] < prefs_.min_queue;
+      if (!u_triggered) continue;
+      // JF_ORIG tops up its share of the min-buffer deficit; JF_HYSTERESIS
+      // asks the single chosen project for the entire fill-to-max amount.
+      d.request.req_seconds[u] = policy_.fetch == FetchPolicy::kOrig
+                                     ? x * rr.shortfall_min[u]
+                                     : rr.shortfall[u];
+      d.request.req_instances[u] = rr.idle_instances_now[u];
+      d.request.est_delay[u] = rr.saturated[u];
+    }
+    if (d.request.wants_work()) {
+      log.logf(now, LogCategory::kWorkFetch,
+               "fetch from project %d (%s): trigger %s, %.0f cpu-sec, "
+               "%.0f nvidia-sec, %.0f ati-sec",
+               best, policy_.fetch_name(), proc_name(t),
+               d.request.req_seconds[ProcType::kCpu],
+               d.request.req_seconds[ProcType::kNvidia],
+               d.request.req_seconds[ProcType::kAti]);
+      return d;
+    }
+    d.project = kNoProject;
+  }
+  return d;
+}
+
+void WorkFetch::on_rpc_sent(SimTime now, ProjectFetchState& state,
+                            bool work_request) const {
+  state.next_allowed_rpc =
+      std::max(state.next_allowed_rpc, now + prefs_.min_rpc_interval);
+  if (work_request) state.last_work_rpc = now;
+}
+
+void WorkFetch::on_reply(SimTime now, const WorkRequest& req,
+                         const RpcReply& reply, ProjectFetchState& state,
+                         Logger& log) const {
+  if (reply.project_down) {
+    state.project_backoff_len =
+        state.project_backoff_len <= 0.0
+            ? kBackoffMin
+            : std::min(kBackoffMax, state.project_backoff_len * 2.0);
+    state.next_allowed_rpc =
+        std::max(state.next_allowed_rpc, now + state.project_backoff_len);
+    log.logf(now, LogCategory::kWorkFetch,
+             "project down; backing off %.0fs", state.project_backoff_len);
+    return;
+  }
+  state.project_backoff_len = 0.0;
+
+  PerProc<bool> got{};
+  for (const auto& job : reply.jobs) got[job.usage.primary_type()] = true;
+
+  for (const auto t : kAllProcTypes) {
+    if (got[t]) {
+      state.type_backoff_len[t] = 0.0;
+      state.type_backoff_until[t] = 0.0;
+    } else if (req.wants_type(t) && reply.no_jobs_for[t]) {
+      state.type_backoff_len[t] =
+          state.type_backoff_len[t] <= 0.0
+              ? kBackoffMin
+              : std::min(kBackoffMax, state.type_backoff_len[t] * 2.0);
+      state.type_backoff_until[t] = now + state.type_backoff_len[t];
+      log.logf(now, LogCategory::kWorkFetch,
+               "no %s jobs; backing off %.0fs", proc_name(t),
+               state.type_backoff_len[t]);
+    }
+  }
+}
+
+}  // namespace bce

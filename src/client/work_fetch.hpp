@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file work_fetch.hpp
+/// Client job-fetch policy (§3.4): decides when to issue a scheduler RPC
+/// requesting jobs, which project to contact, and how much to ask for.
+///
+///  * **JF_ORIG**: for a processor type T with SHORTFALL(T) > 0, pick the
+///    project P with jobs of type T maximizing PRIO_fetch(P) and request
+///    X·SHORTFALL(T) instance-seconds, X = P's fractional share among
+///    projects with jobs of type T. No hysteresis: the client tops the
+///    queue back up toward max_queue every time it dips below.
+///
+///  * **JF_HYSTERESIS**: only when SAT(T) < min_queue, pick the top-
+///    priority project and ask it for the *entire* SHORTFALL(T). The queue
+///    therefore oscillates between min_queue and max_queue, batching many
+///    jobs per RPC.
+///
+/// Per-(project,type) exponential backoff is applied when a project replies
+/// with no jobs of a type; a project-level backoff when its server is down.
+/// A project that currently has deadline-endangered jobs of a type is not
+/// asked for more work of that type (BOINC's "deadline miss pending" fetch
+/// suppression): piling more work onto an overcommitted project only
+/// manufactures waste.
+
+#include <vector>
+
+#include "client/accounting.hpp"
+#include "client/policy.hpp"
+#include "client/rr_sim.hpp"
+#include "host/preferences.hpp"
+#include "model/project.hpp"
+#include "server/request.hpp"
+#include "sim/logger.hpp"
+
+namespace bce {
+
+/// Client-side fetch bookkeeping for one attached project.
+struct ProjectFetchState {
+  /// Earliest time another scheduler RPC to this project is allowed
+  /// (min_rpc_interval spacing + project-level backoff after "down").
+  SimTime next_allowed_rpc = 0.0;
+  Duration project_backoff_len = 0.0;
+
+  /// Last time a *work-request* RPC went to this project; drives the
+  /// JF_RR (least-recently-asked) selection. Negative = never.
+  SimTime last_work_rpc = -1.0;
+
+  /// Per-type backoff after "no jobs of this type" replies.
+  PerProc<SimTime> type_backoff_until{};
+  PerProc<Duration> type_backoff_len{};
+};
+
+class WorkFetch {
+ public:
+  static constexpr Duration kBackoffMin = 600.0;            // 10 min
+  static constexpr Duration kBackoffMax = 4.0 * 3600.0;     // 4 h
+
+  WorkFetch(const HostInfo& host, const Preferences& prefs,
+            const PolicyConfig& policy);
+
+  struct Decision {
+    ProjectId project = kNoProject;
+    WorkRequest request;
+    [[nodiscard]] bool fetch() const { return project != kNoProject; }
+  };
+
+  /// Decide whether to fetch, from whom, and how much. \p projects is
+  /// indexed by project id; \p states likewise. \p endangered[p][t]: project
+  /// p currently has deadline-endangered jobs of type t (from RR-sim).
+  Decision choose(SimTime now, const RrSimOutput& rr, const Accounting& acct,
+                  const std::vector<const ProjectConfig*>& projects,
+                  const std::vector<ProjectFetchState>& states,
+                  const std::vector<PerProc<bool>>& endangered,
+                  Logger& log) const;
+
+  /// Update backoff state from an RPC reply. \p req is the request the
+  /// reply answers.
+  void on_reply(SimTime now, const WorkRequest& req, const RpcReply& reply,
+                ProjectFetchState& state, Logger& log) const;
+
+  /// Record that an RPC was sent, enforcing min spacing; work requests
+  /// additionally stamp last_work_rpc (for JF_RR selection).
+  void on_rpc_sent(SimTime now, ProjectFetchState& state,
+                   bool work_request = false) const;
+
+ private:
+  [[nodiscard]] double prio_fetch(const Accounting& acct, ProjectId p) const;
+
+  HostInfo host_;
+  Preferences prefs_;
+  PolicyConfig policy_;
+};
+
+}  // namespace bce

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file bce.hpp
+/// Umbrella header: the full public API of the BCE library.
+///
+/// Quick start:
+/// \code
+///   #include "core/bce.hpp"
+///   bce::Scenario sc = bce::paper_scenario1(1500.0);
+///   bce::EmulationOptions opt;
+///   opt.policy.sched = bce::JobSchedPolicy::kGlobal;
+///   bce::EmulationResult res = bce::emulate(sc, opt);
+///   std::cout << res.metrics.summary() << "\n";
+/// \endcode
+
+#include "client/accounting.hpp"
+#include "client/job_scheduler.hpp"
+#include "client/policy.hpp"
+#include "client/rr_sim.hpp"
+#include "client/work_fetch.hpp"
+#include "client/transfer.hpp"
+#include "core/controller.hpp"
+#include "core/emulator.hpp"
+#include "core/maxmin.hpp"
+#include "core/metrics.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/population.hpp"
+#include "core/report.hpp"
+#include "core/scenario_io.hpp"
+#include "core/share_split.hpp"
+#include "core/svg_plot.hpp"
+#include "core/timeline.hpp"
+#include "host/availability.hpp"
+#include "host/availability_presets.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "host/proc_type.hpp"
+#include "model/job.hpp"
+#include "model/project.hpp"
+#include "model/resource_usage.hpp"
+#include "model/scenario.hpp"
+#include "server/project_server.hpp"
+#include "server/request.hpp"
+#include "sim/decaying_average.hpp"
+#include "sim/distribution.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/logger.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"

@@ -1,0 +1,92 @@
+#include "core/controller.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bce {
+
+std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
+                                 unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min<unsigned>(n_threads,
+                                 static_cast<unsigned>(specs.size() ? specs.size() : 1));
+
+  std::vector<RunResult> results(specs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size() || failed.load()) break;
+      try {
+        results[i].label = specs[i].label;
+        results[i].result = emulate(specs[i].scenario, specs[i].options);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true);
+        break;
+      }
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<RunResult> run_sweep(const std::vector<double>& params,
+                                 const std::function<RunSpec(double)>& make,
+                                 unsigned n_threads) {
+  std::vector<RunSpec> specs;
+  specs.reserve(params.size());
+  for (const double p : params) specs.push_back(make(p));
+  return run_batch(specs, n_threads);
+}
+
+ReplicateSummary run_replicates(const Scenario& scenario,
+                                const EmulationOptions& options, int n_seeds,
+                                unsigned n_threads) {
+  std::vector<RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_seeds));
+  for (int s = 1; s <= n_seeds; ++s) {
+    RunSpec spec;
+    spec.label = "seed" + std::to_string(s);
+    spec.scenario = scenario;
+    spec.scenario.seed = static_cast<std::uint64_t>(s);
+    spec.options = options;
+    specs.push_back(std::move(spec));
+  }
+  auto results = run_batch(specs, n_threads);
+
+  ReplicateSummary out;
+  for (auto& r : results) {
+    const Metrics& m = r.result.metrics;
+    out.idle.add(m.idle_fraction());
+    out.wasted.add(m.wasted_fraction());
+    out.share_violation.add(m.share_violation());
+    out.monotony.add(m.monotony);
+    out.rpcs_per_job.add(m.rpcs_per_job());
+    out.score.add(m.weighted_score());
+    out.runs.push_back(std::move(r.result));
+  }
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file controller.hpp
+/// Multi-run controller (§4.3: "a controller script that does multiple BCE
+/// runs and generates graphs summarizing the figures of merit"). Runs a
+/// batch of independent emulations across a thread pool — emulations share
+/// no mutable state, so sweeps scale with cores — and returns results in
+/// input order regardless of thread count.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/emulator.hpp"
+
+namespace bce {
+
+struct RunSpec {
+  std::string label;
+  Scenario scenario;
+  EmulationOptions options;
+};
+
+struct RunResult {
+  std::string label;
+  EmulationResult result;
+};
+
+/// Run all specs, fanning out over \p n_threads (0 = hardware concurrency).
+/// Exceptions from individual runs propagate after all threads join.
+std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
+                                 unsigned n_threads = 0);
+
+/// Convenience: sweep a scalar parameter. \p make produces the RunSpec for
+/// each parameter value.
+std::vector<RunResult> run_sweep(
+    const std::vector<double>& params,
+    const std::function<RunSpec(double)>& make, unsigned n_threads = 0);
+
+/// Summary statistics of the figures of merit over seed replicates.
+struct ReplicateSummary {
+  RunningStats idle;
+  RunningStats wasted;
+  RunningStats share_violation;
+  RunningStats monotony;
+  RunningStats rpcs_per_job;
+  RunningStats score;
+  std::vector<EmulationResult> runs;  ///< individual results, in seed order
+};
+
+/// Run the same (scenario, options) with seeds 1..n_seeds in parallel and
+/// aggregate the figures of merit — the standard way to put error bars on
+/// an experiment point.
+ReplicateSummary run_replicates(const Scenario& scenario,
+                                const EmulationOptions& options, int n_seeds,
+                                unsigned n_threads = 0);
+
+}  // namespace bce

@@ -1,0 +1,567 @@
+#include "core/emulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bce {
+
+namespace {
+/// Tolerance for "this job is done" at completion events: one part in 1e9
+/// of the job, or one FLOP, whichever is larger.
+double completion_slack(const Result& r) {
+  return std::max(1.0, r.flops_total * 1e-9);
+}
+}  // namespace
+
+EmulationResult emulate(const Scenario& scenario,
+                        const EmulationOptions& options) {
+  Emulator em(scenario, options);
+  return em.run();
+}
+
+Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
+    : sc_(scenario),
+      opt_(options),
+      rng_(scenario.seed),
+      avail_(scenario.availability, rng_, 0.0),
+      acct_(scenario.host, {}, options.policy.rec_half_life),
+      rrsim_(scenario.host, scenario.prefs, {}),
+      sched_(scenario.host, scenario.prefs, options.policy),
+      fetch_(scenario.host, scenario.prefs, options.policy),
+      log_(options.logger != nullptr ? options.logger : &null_log_),
+      transfers_(scenario.host.download_bandwidth_bps,
+                 options.policy.transfer_order),
+      metrics_(scenario.host, {}),
+      timeline_(scenario.host) {
+  std::string err;
+  if (!sc_.validate(&err)) {
+    // Invariant violations are programming errors in scenario
+    // construction; fail loudly.
+    throw std::invalid_argument("invalid scenario: " + err);
+  }
+
+  share_frac_.resize(sc_.projects.size());
+  dcf_.assign(sc_.projects.size(), 1.0);
+  std::vector<PerProc<bool>> capability(sc_.projects.size());
+  for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
+    share_frac_[p] = sc_.share_fraction(p);
+    const auto& pc = sc_.projects[p];
+    for (const auto t : kAllProcTypes) {
+      capability[p][t] = sc_.host.count[t] > 0 && pc.has_jobs_for(t) &&
+                         !pc.suspended && !(pc.no_gpu && is_gpu(t));
+    }
+  }
+  acct_ = Accounting(sc_.host, share_frac_, opt_.policy.rec_half_life,
+                     std::move(capability));
+  metrics_ = MetricsCollector(sc_.host, share_frac_);
+  rrsim_ = RrSim(sc_.host, sc_.prefs, expected_avail());
+
+  ServerPolicy sp;
+  sp.deadline_check = opt_.policy.server_deadline_check;
+  const double host_avail = sc_.availability.host_on.expected_on_fraction();
+  servers_.reserve(sc_.projects.size());
+  for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
+    servers_.emplace_back(static_cast<ProjectId>(p), sc_.projects[p], sc_.host,
+                          sp, host_avail,
+                          rng_.fork("server." + sc_.projects[p].name), 0.0);
+  }
+  fetch_states_.resize(sc_.projects.size());
+  project_events_.resize(sc_.projects.size(), kNoEvent);
+
+  for (const auto t : kAllProcTypes) {
+    slot_used_[t].assign(static_cast<std::size_t>(sc_.host.count[t]), false);
+  }
+  used_inst_secs_.resize(sc_.projects.size());
+  runnable_flags_.resize(sc_.projects.size());
+  used_flops_.resize(sc_.projects.size());
+}
+
+PerProc<double> Emulator::expected_avail() const {
+  PerProc<double> a;
+  const double host_on = sc_.availability.host_on.expected_on_fraction();
+  const double gpu_ok =
+      host_on * sc_.availability.gpu_allowed.expected_on_fraction();
+  a[ProcType::kCpu] = host_on;
+  a[ProcType::kNvidia] = gpu_ok;
+  a[ProcType::kAti] = gpu_ok;
+  return a;
+}
+
+double Emulator::task_rate(const Result& r) const {
+  return r.usage.flops_rate(sc_.host);
+}
+
+void Emulator::assign_slot(Result& r) {
+  auto& used = slot_used_[r.usage.primary_type()];
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (!used[i]) {
+      used[i] = true;
+      r.slot = static_cast<int>(i);
+      return;
+    }
+  }
+  r.slot = -1;  // over-committed; not drawn in the timeline
+}
+
+void Emulator::release_slot(Result& r) {
+  if (r.slot >= 0) {
+    slot_used_[r.usage.primary_type()][static_cast<std::size_t>(r.slot)] =
+        false;
+  }
+  r.slot = -1;
+}
+
+void Emulator::preempt(Result& r, bool count) {
+  if (!r.running) return;
+  r.running = false;
+  release_slot(r);
+  if (!sc_.prefs.leave_apps_in_memory &&
+      r.flops_done > r.checkpointed_flops) {
+    // Roll back to the last checkpoint; the lost FLOPs stay in flops_spent.
+    r.flops_done = r.checkpointed_flops;
+    r.run_since_checkpoint = 0.0;
+  }
+  r.episode_checkpointed = true;
+  if (count) ++metrics_.counters().n_preemptions;
+  log_->logf(now_, LogCategory::kTask, "job %d preempted (project %d)", r.id,
+             r.project);
+}
+
+void Emulator::advance_to(SimTime t) {
+  const Duration dt = t - now_;
+  if (dt <= 0.0) return;
+
+  // Progress active downloads; availability is constant over the interval.
+  transfers_.advance_to(t, avail_.network_available());
+
+  // Per-project usage and runnable flags over the interval (the running
+  // set and availability are constant within it).
+  for (auto& u : used_inst_secs_) u = PerProc<double>{};
+  for (auto& f : runnable_flags_) f = PerProc<bool>{};
+  std::fill(used_flops_.begin(), used_flops_.end(), 0.0);
+
+  for (const Result* r : active_) {
+    if (!r->is_complete() && r->runnable(now_)) {
+      runnable_flags_[static_cast<std::size_t>(r->project)]
+                     [r->usage.primary_type()] = true;
+    }
+  }
+
+  for (Result* r : active_) {
+    if (!r->running) continue;
+    const auto p = static_cast<std::size_t>(r->project);
+    const double rate = task_rate(*r);
+    const double progress = rate * dt;
+    r->flops_done += progress;
+    r->flops_spent += progress;
+    used_flops_[p] += progress;
+    for (const auto ty : kAllProcTypes) {
+      const double u = r->usage.usage_of(ty);
+      if (u > 0.0) used_inst_secs_[p][ty] += u * dt;
+    }
+
+    // Checkpoint boundaries crossed during the interval.
+    if (std::isfinite(r->checkpoint_period)) {
+      const double run_total = r->run_since_checkpoint + dt;
+      const double k = std::floor(run_total / r->checkpoint_period);
+      if (k > 0.0) {
+        const double since = run_total - k * r->checkpoint_period;
+        r->checkpointed_flops = r->flops_done - rate * since;
+        r->run_since_checkpoint = since;
+        r->episode_checkpointed = true;
+      } else {
+        r->run_since_checkpoint = run_total;
+      }
+    } else {
+      r->run_since_checkpoint += dt;
+    }
+
+    if (opt_.record_timeline && r->slot >= 0) {
+      timeline_.record(r->usage.primary_type(), r->slot, now_, t, r->project,
+                       r->id);
+    }
+  }
+
+  // Monotony input: the single project with running jobs during the
+  // interval, or kNoProject when zero or several projects ran.
+  ProjectId exclusive = kNoProject;
+  {
+    bool multiple = false;
+    for (const Result* r : active_) {
+      if (!r->running) continue;
+      if (exclusive == kNoProject) {
+        exclusive = r->project;
+      } else if (exclusive != r->project) {
+        multiple = true;
+        break;
+      }
+    }
+    if (multiple) exclusive = kNoProject;
+  }
+
+  // Available capacity during the interval.
+  double cap_rate = 0.0;
+  if (avail_.cpu_computing_allowed()) {
+    cap_rate += sc_.host.peak_flops(ProcType::kCpu);
+    if (avail_.gpu_computing_allowed()) {
+      cap_rate += sc_.host.peak_flops(ProcType::kNvidia) +
+                  sc_.host.peak_flops(ProcType::kAti);
+    }
+  }
+
+  metrics_.note_interval(dt, cap_rate, used_flops_, exclusive);
+  acct_.charge(t, dt, used_inst_secs_, runnable_flags_);
+  now_ = t;
+}
+
+void Emulator::handle_completions() {
+  for (Result* r : active_) {
+    if (!r->running) continue;
+    if (r->flops_remaining() <= completion_slack(*r)) {
+      r->flops_done = r->flops_total;
+      r->completed_at = now_;
+      r->running = false;
+      release_slot(*r);
+      r->run_since_checkpoint = 0.0;
+      // Learn the project's systematic estimate error (DCF): jump up
+      // immediately on underestimates, decay down slowly, as in BOINC.
+      if (opt_.policy.use_duration_correction && r->flops_est > 0.0) {
+        auto& dcf = dcf_[static_cast<std::size_t>(r->project)];
+        const double ratio = r->flops_total / r->flops_est;
+        dcf = ratio > dcf ? ratio : 0.9 * dcf + 0.1 * ratio;
+        dcf = clamp(dcf, 0.01, 100.0);
+      }
+      ++metrics_.counters().n_jobs_completed;
+      if (r->missed_deadline()) ++metrics_.counters().n_jobs_missed;
+      // Upload output files before the job can be reported.
+      if (transfers_.modeled() && r->output_bytes > 0.0) {
+        transfers_.add(r->id, r->output_bytes, r->deadline, now_);
+      } else {
+        r->uploaded = true;
+      }
+      log_->logf(now_, LogCategory::kTask,
+                 "job %d completed (project %d)%s", r->id, r->project,
+                 r->missed_deadline() ? " MISSED DEADLINE" : "");
+    }
+  }
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [](Result* r) { return r->is_complete(); }),
+                active_.end());
+  schedule_transfer_event();  // uploads may have been enqueued
+}
+
+void Emulator::schedule_task_event() {
+  if (task_event_ != kNoEvent) {
+    queue_.cancel(task_event_);
+    task_event_ = kNoEvent;
+  }
+  double dt_min = kNever;
+  for (const Result* r : active_) {
+    if (!r->running) continue;
+    const double rate = task_rate(*r);
+    if (rate <= 0.0) continue;
+    dt_min = std::min(dt_min, r->flops_remaining() / rate);
+  }
+  if (std::isfinite(dt_min)) {
+    task_event_ =
+        queue_.schedule(now_ + dt_min, EventKind::kTaskCompletion);
+  }
+}
+
+void Emulator::schedule_transfer_event() {
+  if (transfer_event_ != kNoEvent) {
+    queue_.cancel(transfer_event_);
+    transfer_event_ = kNoEvent;
+  }
+  const SimTime t = transfers_.next_completion(avail_.network_available());
+  if (std::isfinite(t) && t <= sc_.duration) {
+    transfer_event_ = queue_.schedule(std::max(t, now_), EventKind::kTransfer);
+  }
+}
+
+void Emulator::handle_finished_transfers() {
+  for (const JobId id : transfers_.take_completed()) {
+    // Job ids are allocated sequentially as jobs are created, so the id
+    // indexes jobs_ directly.
+    assert(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+    Result& r = *jobs_[static_cast<std::size_t>(id)];
+    if (r.is_complete()) {
+      // This was the result upload: the job is now reportable.
+      r.uploaded = true;
+      log_->logf(now_, LogCategory::kTask, "job %d output files uploaded",
+                 id);
+    } else {
+      r.runnable_at = std::min(r.runnable_at, now_);
+      log_->logf(now_, LogCategory::kTask, "job %d input files downloaded",
+                 id);
+    }
+  }
+}
+
+void Emulator::schedule_avail_event() {
+  if (avail_event_ != kNoEvent) {
+    queue_.cancel(avail_event_);
+    avail_event_ = kNoEvent;
+  }
+  const SimTime t = avail_.next_transition();
+  if (std::isfinite(t) && t <= sc_.duration) {
+    avail_event_ = queue_.schedule(t, EventKind::kHostTransition);
+  }
+}
+
+void Emulator::schedule_project_event(std::size_t p) {
+  if (project_events_[p] != kNoEvent) {
+    queue_.cancel(project_events_[p]);
+    project_events_[p] = kNoEvent;
+  }
+  const SimTime t = servers_[p].next_transition();
+  if (std::isfinite(t) && t <= sc_.duration) {
+    project_events_[p] = queue_.schedule(t, EventKind::kProjectTransition,
+                                         static_cast<std::int64_t>(p));
+  }
+}
+
+void Emulator::reschedule() {
+  ++metrics_.counters().n_sched_passes;
+  last_rr_ = rrsim_.run(now_, active_, share_frac_, log_);
+  for (Result* r : active_) {
+    if (r->first_projected_finish == kNever &&
+        r->rr_projected_finish < kNever) {
+      r->first_projected_finish = r->rr_projected_finish;
+    }
+  }
+
+  const bool cpu_ok = avail_.cpu_computing_allowed();
+  const bool gpu_ok = avail_.gpu_computing_allowed();
+  ScheduleOutcome outcome =
+      sched_.schedule(now_, active_, acct_, cpu_ok, gpu_ok, *log_);
+
+  // Preempt running jobs not selected.
+  for (Result* r : active_) {
+    if (!r->running) continue;
+    const bool keep = std::find(outcome.to_run.begin(), outcome.to_run.end(),
+                                r) != outcome.to_run.end();
+    if (!keep) preempt(*r, /*count=*/true);
+  }
+  // Start newly selected jobs.
+  for (Result* r : outcome.to_run) {
+    if (r->running) continue;
+    r->running = true;
+    r->run_since_checkpoint = 0.0;
+    r->episode_checkpointed = false;
+    if (r->first_started == kNever) r->first_started = now_;
+    assign_slot(*r);
+    log_->logf(now_, LogCategory::kTask, "job %d started (project %d)",
+               r->id, r->project);
+  }
+  schedule_task_event();
+}
+
+void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
+                      bool is_work_request) {
+  auto& st = fetch_states_[static_cast<std::size_t>(p)];
+  fetch_.on_rpc_sent(now_, st, is_work_request);
+  ++metrics_.counters().n_rpcs;
+  if (is_work_request) ++metrics_.counters().n_work_request_rpcs;
+
+  // Report completed, uploaded, unreported jobs of this project
+  // (piggybacked on every RPC, as in BOINC).
+  int reported = 0;
+  for (const auto& jp : jobs_) {
+    if (jp->project == p && jp->is_complete() && jp->uploaded &&
+        !jp->reported) {
+      jp->reported = true;
+      ++reported;
+    }
+  }
+
+  RpcReply reply = servers_[static_cast<std::size_t>(p)].handle_rpc(
+      now_, req, reported, next_job_id_, *log_);
+  schedule_project_event(static_cast<std::size_t>(p));
+
+  if (is_work_request) {
+    fetch_.on_reply(now_, req, reply, st, *log_);
+  } else if (reply.project_down) {
+    fetch_.on_reply(now_, req, reply, st, *log_);
+  }
+
+  log_->logf(now_, LogCategory::kRpc,
+             "RPC to project %d: reported %d, received %zu job(s)%s", p,
+             reported, reply.jobs.size(),
+             reply.project_down ? " (server down)" : "");
+
+  if (!reply.jobs.empty()) {
+    metrics_.counters().n_jobs_fetched +=
+        static_cast<std::int64_t>(reply.jobs.size());
+    for (auto& job : reply.jobs) {
+      jobs_.push_back(std::make_unique<Result>(job));
+      Result* r = jobs_.back().get();
+      if (opt_.policy.use_duration_correction) {
+        r->est_correction = dcf_[static_cast<std::size_t>(p)];
+      }
+      active_.push_back(r);
+      // Modeled download link: the job becomes runnable when its input
+      // files arrive (on top of any fixed transfer_delay).
+      if (transfers_.modeled() && r->input_bytes > 0.0) {
+        if (!transfers_.add(r->id, r->input_bytes, r->deadline, now_)) {
+          r->runnable_at = kNever;  // released by handle_finished_transfers
+        }
+      }
+    }
+    schedule_transfer_event();
+    // New jobs start at the next scheduling point (<= one poll period
+    // away), matching the real client's schedule-enforcement cadence —
+    // a freshly fetched job does not run the instant the RPC returns.
+  }
+}
+
+void Emulator::work_fetch_pass() {
+  if (!avail_.network_available()) return;
+
+  // Report-deadline RPCs: completed jobs must be reported within
+  // max_report_delay even if no work is needed.
+  for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
+    bool due = false;
+    for (const auto& jp : jobs_) {
+      if (jp->project == static_cast<ProjectId>(p) && jp->is_complete() &&
+          jp->uploaded && !jp->reported &&
+          jp->completed_at + sc_.prefs.max_report_delay <= now_) {
+        due = true;
+        break;
+      }
+    }
+    if (due && now_ >= fetch_states_[p].next_allowed_rpc) {
+      do_rpc(static_cast<ProjectId>(p), WorkRequest{}, /*is_work_request=*/false);
+    }
+  }
+
+  // At most one work-request RPC per pass (per client poll), as in BOINC.
+  std::vector<const ProjectConfig*> cfgs;
+  cfgs.reserve(sc_.projects.size());
+  for (const auto& pc : sc_.projects) cfgs.push_back(&pc);
+  std::vector<PerProc<bool>> endangered(sc_.projects.size());
+  for (const Result* r : active_) {
+    if (r->deadline_endangered) {
+      endangered[static_cast<std::size_t>(r->project)]
+                [r->usage.primary_type()] = true;
+    }
+  }
+  WorkFetch::Decision d = fetch_.choose(now_, last_rr_, acct_, cfgs,
+                                        fetch_states_, endangered, *log_);
+  if (d.fetch()) {
+    if (opt_.policy.use_duration_correction) {
+      d.request.duration_correction =
+          dcf_[static_cast<std::size_t>(d.project)];
+    }
+    do_rpc(d.project, d.request, /*is_work_request=*/true);
+  }
+}
+
+EmulationResult Emulator::run() {
+  queue_.schedule(0.0, EventKind::kPoll);
+  schedule_avail_event();
+  for (std::size_t p = 0; p < servers_.size(); ++p) schedule_project_event(p);
+
+  while (true) {
+    const SimTime t = std::min(queue_.next_time(), sc_.duration);
+    advance_to(t);
+    if (now_ >= sc_.duration - kFpEpsilon) break;
+
+    bool need_sched = false;
+    bool need_fetch = false;
+    while (!queue_.empty() && queue_.next_time() <= now_ + kFpEpsilon) {
+      const Event ev = queue_.pop();
+      switch (ev.kind) {
+        case EventKind::kPoll:
+          need_sched = need_fetch = true;
+          queue_.schedule(now_ + sc_.prefs.poll_period, EventKind::kPoll);
+          break;
+        case EventKind::kTaskCompletion:
+          task_event_ = kNoEvent;
+          handle_completions();
+          need_sched = need_fetch = true;
+          break;
+        case EventKind::kHostTransition: {
+          avail_event_ = kNoEvent;
+          avail_.advance_to(now_);
+          log_->logf(now_, LogCategory::kAvail,
+                     "availability: cpu=%d gpu=%d net=%d",
+                     avail_.cpu_computing_allowed() ? 1 : 0,
+                     avail_.gpu_computing_allowed() ? 1 : 0,
+                     avail_.network_available() ? 1 : 0);
+          schedule_avail_event();
+          schedule_transfer_event();  // link state changed
+          need_sched = true;
+          need_fetch = avail_.network_available();
+          break;
+        }
+        case EventKind::kProjectTransition: {
+          const auto p = static_cast<std::size_t>(ev.payload);
+          project_events_[p] = kNoEvent;
+          servers_[p].advance_to(now_);
+          schedule_project_event(p);
+          break;
+        }
+        case EventKind::kRpcDeferral:
+          need_fetch = true;
+          break;
+        case EventKind::kTransfer:
+          transfer_event_ = kNoEvent;
+          handle_finished_transfers();
+          schedule_transfer_event();
+          need_sched = true;
+          break;
+        case EventKind::kTaskCheckpoint:  // checkpoints are computed
+        case EventKind::kUser:            // arithmetically, not evented
+          break;
+      }
+    }
+
+    if (need_sched) reschedule();
+    if (need_fetch) work_fetch_pass();
+  }
+
+  // Finalize: stop running tasks (without counting preemptions) and build
+  // the result.
+  handle_completions();
+  for (Result* r : active_) {
+    if (r->running) preempt(*r, /*count=*/false);
+  }
+
+  EmulationResult res;
+  std::vector<const Result*> all;
+  all.reserve(jobs_.size());
+  for (const auto& jp : jobs_) all.push_back(jp.get());
+  res.metrics = metrics_.finalize(all, now_);
+  res.timeline = std::move(timeline_);
+  res.jobs.reserve(jobs_.size());
+  for (const auto& jp : jobs_) res.jobs.push_back(*jp);
+
+  res.project_stats.resize(sc_.projects.size());
+  for (const auto& jp : jobs_) {
+    ProjectStats& ps = res.project_stats[static_cast<std::size_t>(jp->project)];
+    ++ps.jobs_fetched;
+    ps.flops_used += jp->flops_spent;
+    if (jp->is_complete()) {
+      ++ps.jobs_completed;
+      if (jp->missed_deadline()) ++ps.jobs_missed;
+      ps.turnaround.add(jp->completed_at - jp->received);
+    }
+    if (jp->first_started < kNever) {
+      ps.queue_wait.add(jp->first_started - jp->received);
+    }
+  }
+  res.final_rec.resize(sc_.projects.size());
+  res.final_debt.resize(sc_.projects.size());
+  for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
+    res.final_rec[p] = acct_.rec(static_cast<ProjectId>(p));
+    for (const auto t : kAllProcTypes) {
+      res.final_debt[p][t] = acct_.debt(static_cast<ProjectId>(p), t);
+    }
+  }
+  return res;
+}
+
+}  // namespace bce

@@ -1,0 +1,186 @@
+#include "core/maxmin.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace bce {
+
+namespace {
+
+/// Dense max-flow (Edmonds-Karp) on the bipartite consumers -> buckets
+/// feasibility graph. Node layout: 0 = source, 1..n = consumers,
+/// n+1..n+m = buckets, n+m+1 = sink.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t n_nodes)
+      : n_(n_nodes), cap_(n_nodes * n_nodes, 0.0) {}
+
+  void set_cap(std::size_t u, std::size_t v, double c) { cap_[u * n_ + v] = c; }
+  [[nodiscard]] double cap(std::size_t u, std::size_t v) const {
+    return cap_[u * n_ + v];
+  }
+
+  double solve(std::size_t s, std::size_t t) {
+    double total = 0.0;
+    std::vector<std::size_t> parent(n_);
+    for (;;) {
+      std::fill(parent.begin(), parent.end(), n_);
+      parent[s] = s;
+      std::queue<std::size_t> q;
+      q.push(s);
+      while (!q.empty() && parent[t] == n_) {
+        const std::size_t u = q.front();
+        q.pop();
+        for (std::size_t v = 0; v < n_; ++v) {
+          if (parent[v] == n_ && cap_[u * n_ + v] > 1e-12) {
+            parent[v] = u;
+            q.push(v);
+          }
+        }
+      }
+      if (parent[t] == n_) break;
+      double bottleneck = 1e300;
+      for (std::size_t v = t; v != s; v = parent[v]) {
+        bottleneck = std::min(bottleneck, cap_[parent[v] * n_ + v]);
+      }
+      for (std::size_t v = t; v != s; v = parent[v]) {
+        cap_[parent[v] * n_ + v] -= bottleneck;
+        cap_[v * n_ + parent[v]] += bottleneck;
+      }
+      total += bottleneck;
+    }
+    return total;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> cap_;
+};
+
+}  // namespace
+
+MaxMinSolution maxmin_allocate(const MaxMinProblem& problem) {
+  const std::size_t n = problem.consumers.size();
+  const std::size_t m = problem.capacity.size();
+  MaxMinSolution out;
+  out.alloc.assign(n, std::vector<double>(m, 0.0));
+  out.total.assign(n, 0.0);
+  if (n == 0 || m == 0) return out;
+
+  double total_cap = 0.0;
+  for (const double c : problem.capacity) total_cap += c;
+  if (total_cap <= 0.0) return out;
+
+  const std::size_t src = 0;
+  const std::size_t snk = n + m + 1;
+  const std::size_t n_nodes = snk + 1;
+
+  auto make_flow = [&](const std::vector<double>& demand) {
+    MaxFlow mf(n_nodes);
+    for (std::size_t c = 0; c < n; ++c) {
+      mf.set_cap(src, 1 + c, demand[c]);
+      assert(problem.consumers[c].can_use.size() == m);
+      for (std::size_t r = 0; r < m; ++r) {
+        if (problem.consumers[c].can_use[r] && problem.capacity[r] > 0.0) {
+          mf.set_cap(1 + c, 1 + n + r, 1e300);
+        }
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      mf.set_cap(1 + n + r, snk, problem.capacity[r]);
+    }
+    return mf;
+  };
+
+  auto feasible = [&](const std::vector<double>& demand) {
+    double sum = 0.0;
+    for (const double d : demand) sum += d;
+    MaxFlow mf = make_flow(demand);
+    return mf.solve(src, snk) >= sum - 1e-6 * std::max(1.0, sum);
+  };
+
+  std::vector<bool> frozen(n, false);
+  std::vector<double> fixed(n, 0.0);
+  double level = 0.0;
+
+  for (std::size_t c = 0; c < n; ++c) {
+    bool usable = false;
+    for (std::size_t r = 0; r < m; ++r) {
+      usable |= problem.consumers[c].can_use[r] && problem.capacity[r] > 0.0;
+    }
+    if (!usable || problem.consumers[c].share <= 0.0) frozen[c] = true;
+  }
+
+  auto demand_at = [&](double lvl) {
+    std::vector<double> d(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      d[c] = frozen[c] ? fixed[c] : problem.consumers[c].share * lvl;
+    }
+    return d;
+  };
+
+  for (std::size_t round = 0; round < n + 1; ++round) {
+    bool any_active = false;
+    double min_share = 1e300;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!frozen[c]) {
+        any_active = true;
+        min_share = std::min(min_share, problem.consumers[c].share);
+      }
+    }
+    if (!any_active) break;
+
+    double lo = level;
+    double hi = level + total_cap / min_share + 1.0;
+    for (int it = 0; it < 80; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (feasible(demand_at(mid))) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    level = lo;
+
+    const double probe = std::max(1e-6 * total_cap, 1e-9);
+    bool froze_any = false;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (frozen[c]) continue;
+      auto d = demand_at(level);
+      d[c] += probe;
+      if (!feasible(d)) {
+        frozen[c] = true;
+        fixed[c] = problem.consumers[c].share * level;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!frozen[c]) {
+          frozen[c] = true;
+          fixed[c] = problem.consumers[c].share * level;
+        }
+      }
+      break;
+    }
+  }
+
+  // Composition: extract per-bucket flows from the residual graph.
+  MaxFlow mf = make_flow(fixed);
+  mf.solve(src, snk);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!problem.consumers[c].can_use[r] || problem.capacity[r] <= 0.0) {
+        continue;
+      }
+      const double flow = mf.cap(1 + n + r, 1 + c);  // reverse edge = flow
+      out.alloc[c][r] = std::max(0.0, flow);
+      out.total[c] += out.alloc[c][r];
+    }
+  }
+  out.level = level;
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file maxmin.hpp
+/// Generic max-min-fair allocation of divisible resources to weighted
+/// consumers with capability constraints: raise every consumer's total in
+/// proportion to its share until a constraint binds (progressive filling),
+/// freeze the blocked consumers, continue with the rest. Feasibility at
+/// each level is decided with a small max-flow.
+///
+/// Used by core/share_split (processor types on one host, Figure 1) and by
+/// fleet/allocator (host x type buckets across a volunteer's machines —
+/// the cross-host share-enforcement extension of §6.2).
+
+#include <cstddef>
+#include <vector>
+
+namespace bce {
+
+struct MaxMinProblem {
+  /// Capacity of each resource bucket (e.g. FLOPS).
+  std::vector<double> capacity;
+
+  struct Consumer {
+    double share = 1.0;
+    /// can_use[r]: whether this consumer can draw from bucket r. Must have
+    /// the same size as `capacity`.
+    std::vector<bool> can_use;
+  };
+  std::vector<Consumer> consumers;
+};
+
+struct MaxMinSolution {
+  /// alloc[c][r]: amount of bucket r allocated to consumer c.
+  std::vector<std::vector<double>> alloc;
+
+  /// Total per consumer.
+  std::vector<double> total;
+
+  /// Final fill level: every consumer reaches total/share >= level unless
+  /// blocked (all its usable buckets exhausted).
+  double level = 0.0;
+};
+
+MaxMinSolution maxmin_allocate(const MaxMinProblem& problem);
+
+}  // namespace bce

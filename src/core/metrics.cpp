@@ -1,0 +1,108 @@
+#include "core/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bce {
+
+double Metrics::weighted_score(const MetricWeights& w) const {
+  const double total = w.idle + w.wasted + w.share_violation + w.monotony +
+                       w.rpcs_per_job;
+  if (total <= 0.0) return 0.0;
+  return (w.idle * idle_fraction() + w.wasted * wasted_fraction() +
+          w.share_violation * share_violation() + w.monotony * monotony +
+          w.rpcs_per_job * rpcs_per_job_norm()) /
+         total;
+}
+
+std::string Metrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "idle=%.3f wasted=%.3f share_viol=%.3f monotony=%.3f "
+                "rpcs/job=%.2f (jobs=%lld missed=%lld rpcs=%lld)",
+                idle_fraction(), wasted_fraction(), share_violation(),
+                monotony, rpcs_per_job(),
+                static_cast<long long>(n_jobs_completed),
+                static_cast<long long>(n_jobs_missed),
+                static_cast<long long>(n_rpcs));
+  return buf;
+}
+
+MetricsCollector::MetricsCollector(const HostInfo& host,
+                                   std::vector<double> share_fractions)
+    : host_(host), shares_(std::move(share_fractions)) {
+  used_per_project_.assign(shares_.size(), 0.0);
+}
+
+void MetricsCollector::note_interval(
+    Duration dt, double capacity_flops_rate,
+    const std::vector<double>& used_flops_per_project, ProjectId exclusive) {
+  if (dt <= 0.0) return;
+  m_.available_flops += capacity_flops_rate * dt;
+  assert(used_flops_per_project.size() == used_per_project_.size());
+  for (std::size_t p = 0; p < used_flops_per_project.size(); ++p) {
+    m_.used_flops += used_flops_per_project[p];
+    used_per_project_[p] += used_flops_per_project[p];
+  }
+
+  // Exclusive-streak tracking for the monotony metric. Only meaningful
+  // with >= 2 attached projects.
+  if (shares_.size() < 2) return;
+  if (exclusive == streak_project_ && exclusive != kNoProject) {
+    streak_len_ += dt;
+  } else {
+    close_streak();
+    streak_project_ = exclusive;
+    streak_len_ = exclusive != kNoProject ? dt : 0.0;
+  }
+}
+
+void MetricsCollector::close_streak() {
+  if (streak_project_ != kNoProject && streak_len_ > 0.0) {
+    streak_len_sum_ += streak_len_;
+    streak_len_sq_sum_ += streak_len_ * streak_len_;
+  }
+  streak_project_ = kNoProject;
+  streak_len_ = 0.0;
+}
+
+Metrics MetricsCollector::finalize(const std::vector<const Result*>& all_jobs,
+                                   SimTime now) {
+  close_streak();
+
+  // Monotony: length-weighted mean exclusive-streak duration, squashed.
+  if (streak_len_sum_ > 0.0) {
+    m_.mean_exclusive_streak = streak_len_sq_sum_ / streak_len_sum_;
+    m_.monotony =
+        m_.mean_exclusive_streak / (m_.mean_exclusive_streak + kMonotonyRef);
+  }
+
+  // Waste: every FLOP ever spent on a job that missed (or can no longer
+  // make) its deadline, including progress lost to preemption.
+  for (const Result* r : all_jobs) {
+    const bool missed_completed = r->is_complete() && r->missed_deadline();
+    const bool abandoned = !r->is_complete() && now > r->deadline;
+    if (missed_completed || abandoned) {
+      m_.wasted_flops += r->flops_spent;
+      if (abandoned) ++m_.n_jobs_abandoned;
+    }
+  }
+
+  // Resource-share violation: RMS over projects of (usage − share).
+  double total_used = 0.0;
+  for (const double u : used_per_project_) total_used += u;
+  m_.usage_fraction.assign(shares_.size(), 0.0);
+  if (total_used > 0.0) {
+    double sq = 0.0;
+    for (std::size_t p = 0; p < shares_.size(); ++p) {
+      m_.usage_fraction[p] = used_per_project_[p] / total_used;
+      const double d = m_.usage_fraction[p] - shares_[p];
+      sq += d * d;
+    }
+    m_.share_violation_rms = std::sqrt(sq / static_cast<double>(shares_.size()));
+  }
+  return m_;
+}
+
+}  // namespace bce

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Figures of merit (§4.2). Each is scaled to [0,1] where 0 is good:
+///
+///  * **idle fraction** — fraction of *available* processing capacity
+///    (peak-FLOPS-weighted over all processor types, counting only periods
+///    when computing was allowed) that went unused;
+///  * **wasted fraction** — fraction of available capacity spent on jobs
+///    that did not complete by their deadline (including progress later
+///    lost to preemption);
+///  * **resource share violation** — RMS over projects of
+///    (fraction of processing actually received − fractional share);
+///  * **monotony** — squashed length-weighted mean duration of maximal
+///    intervals during which only one project's jobs ran (see DESIGN.md);
+///  * **RPCs per job** — scheduler RPCs divided by jobs completed, reported
+///    raw and squashed as r/(1+r) for the normalized vector.
+///
+/// The metrics conflict; the overall evaluation is a subjectively-weighted
+/// combination (§4.2), exposed via MetricWeights.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/host_info.hpp"
+#include "model/job.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+struct MetricWeights {
+  double idle = 1.0;
+  double wasted = 1.0;
+  double share_violation = 1.0;
+  double monotony = 1.0;
+  double rpcs_per_job = 1.0;
+};
+
+struct Metrics {
+  // --- raw accumulators -------------------------------------------------
+  double available_flops = 0.0;  ///< ∫ allowed capacity dt
+  double used_flops = 0.0;       ///< ∫ running-job rates dt
+  double wasted_flops = 0.0;     ///< FLOPs spent on deadline-missing jobs
+  double share_violation_rms = 0.0;
+  double monotony = 0.0;          ///< already normalized to [0,1)
+  double mean_exclusive_streak = 0.0;  ///< seconds (diagnostics)
+
+  std::int64_t n_rpcs = 0;            ///< all scheduler RPCs
+  std::int64_t n_work_request_rpcs = 0;
+  std::int64_t n_jobs_fetched = 0;
+  std::int64_t n_jobs_completed = 0;
+  std::int64_t n_jobs_missed = 0;     ///< completed after deadline
+  std::int64_t n_jobs_abandoned = 0;  ///< unfinished with deadline passed
+  std::int64_t n_preemptions = 0;
+  std::int64_t n_sched_passes = 0;
+
+  /// Per-project peak-FLOPS usage fractions (sums to 1 when any work ran).
+  std::vector<double> usage_fraction;
+
+  // --- normalized figures of merit [0,1], 0 = good ----------------------
+  [[nodiscard]] double idle_fraction() const {
+    if (available_flops <= 0.0) return 0.0;
+    return clamp(1.0 - used_flops / available_flops, 0.0, 1.0);
+  }
+  [[nodiscard]] double wasted_fraction() const {
+    if (available_flops <= 0.0) return 0.0;
+    return clamp(wasted_flops / available_flops, 0.0, 1.0);
+  }
+  [[nodiscard]] double share_violation() const { return share_violation_rms; }
+  [[nodiscard]] double rpcs_per_job() const {
+    return n_jobs_completed > 0
+               ? static_cast<double>(n_rpcs) /
+                     static_cast<double>(n_jobs_completed)
+               : static_cast<double>(n_rpcs);
+  }
+  [[nodiscard]] double rpcs_per_job_norm() const {
+    const double r = rpcs_per_job();
+    return r / (1.0 + r);
+  }
+
+  /// Subjectively-weighted overall score, [0,1], 0 = good.
+  [[nodiscard]] double weighted_score(const MetricWeights& w = {}) const;
+
+  /// Compact one-line summary for logs and quick comparisons.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Streaming collector fed by the emulator main loop.
+class MetricsCollector {
+ public:
+  MetricsCollector(const HostInfo& host, std::vector<double> share_fractions);
+
+  /// Account one interval of length \p dt during which the running-set was
+  /// constant. \p capacity_flops_rate: allowed peak FLOPS during the
+  /// interval. \p used_flops_per_project: FLOPs each project's jobs
+  /// performed over the interval. \p exclusive: the single project with
+  /// running jobs, or kNoProject when zero or several projects ran.
+  void note_interval(Duration dt, double capacity_flops_rate,
+                     const std::vector<double>& used_flops_per_project,
+                     ProjectId exclusive);
+
+  /// Direct access to the event counters.
+  Metrics& counters() { return m_; }
+
+  /// Finish: computes waste from final job states, share violation and
+  /// monotony. \p now is the end of the emulation (deadline comparisons
+  /// for unfinished jobs).
+  Metrics finalize(const std::vector<const Result*>& all_jobs, SimTime now);
+
+ private:
+  void close_streak();
+
+  HostInfo host_;
+  std::vector<double> shares_;
+  std::vector<double> used_per_project_;
+  Metrics m_;
+
+  ProjectId streak_project_ = kNoProject;
+  Duration streak_len_ = 0.0;
+  double streak_len_sum_ = 0.0;
+  double streak_len_sq_sum_ = 0.0;
+
+  /// Reference streak length for the monotony squash (L / (L + L0)).
+  static constexpr double kMonotonyRef = 3600.0;
+};
+
+}  // namespace bce

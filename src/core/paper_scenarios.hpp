@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file paper_scenarios.hpp
+/// The four evaluation scenarios of §5:
+///
+///  * Scenario 1 — CPU only, two projects. Project 1's job runtime is
+///    1000 s with a configurable latency bound (swept 1000→2000 s in
+///    Figure 3); project 2 has normal jobs.
+///  * Scenario 2 — 4 CPUs and 1 GPU, GPU 10× faster than one CPU. Two
+///    projects: one with CPU jobs, one with both CPU and GPU jobs
+///    (Figure 4).
+///  * Scenario 3 — CPU only, two projects, one with very long
+///    (million-second) low-slack jobs (Figure 6). Run longer than 10 days
+///    so several long jobs complete.
+///  * Scenario 4 — CPU and GPU, twenty projects with varying job types
+///    (Figure 5).
+///
+/// Simulation period is 10 days unless otherwise specified (§5); scenario 3
+/// uses 100 days because one of its jobs alone takes ~11.6 days.
+
+#include "model/scenario.hpp"
+
+namespace bce {
+
+/// Scenario 1 with project 1's latency bound = \p latency_bound_s
+/// (job runtime 1000 s, so slack = latency_bound_s − 1000).
+Scenario paper_scenario1(double latency_bound_s = 2000.0);
+
+Scenario paper_scenario2();
+
+Scenario paper_scenario3();
+
+Scenario paper_scenario4();
+
+}  // namespace bce

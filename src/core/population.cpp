@@ -1,0 +1,101 @@
+#include "core/population.hpp"
+
+#include <string>
+
+#include "sim/distribution.hpp"
+
+namespace bce {
+
+Scenario sample_scenario(Xoshiro256& rng, const PopulationParams& pp) {
+  Scenario sc;
+  sc.name = "sampled";
+  sc.duration = pp.duration;
+  sc.seed = rng();
+
+  // Host hardware.
+  const int ncpus =
+      pp.min_cpus +
+      static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(pp.max_cpus - pp.min_cpus + 1)));
+  const double cpu_flops =
+      sample_log_uniform(rng, pp.cpu_flops_lo, pp.cpu_flops_hi);
+  sc.host = HostInfo::cpu_only(ncpus, cpu_flops);
+  bool has_gpu = false;
+  ProcType gpu_type = ProcType::kNvidia;
+  if (sample_bernoulli(rng, pp.gpu_probability)) {
+    has_gpu = true;
+    gpu_type = sample_bernoulli(rng, 0.8) ? ProcType::kNvidia : ProcType::kAti;
+    const int ngpus =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(pp.max_gpus)));
+    sc.host.count[gpu_type] = ngpus;
+    sc.host.flops_per_instance[gpu_type] =
+        cpu_flops * sample_log_uniform(rng, pp.gpu_speedup_lo, pp.gpu_speedup_hi);
+  }
+  sc.host.ram_bytes = sample_log_uniform(rng, 2e9, 32e9);
+
+  // Preferences.
+  sc.prefs.min_queue = sample_log_uniform(rng, 600.0, 0.5 * kSecondsPerDay);
+  sc.prefs.max_queue =
+      sc.prefs.min_queue * sample_log_uniform(rng, 1.5, 6.0);
+
+  // Availability.
+  if (sample_bernoulli(rng, pp.intermittent_probability)) {
+    const double mean_on = sample_log_uniform(rng, pp.mean_on_lo, pp.mean_on_hi);
+    const double mean_off = mean_on * sample_log_uniform(rng, 0.05, 1.0);
+    sc.availability.host_on = OnOffSpec::markov(mean_on, mean_off);
+  }
+  if (has_gpu && sample_bernoulli(rng, 0.3)) {
+    // "no GPU while the computer is in use" — a daily window.
+    sc.availability.gpu_allowed =
+        OnOffSpec::daily_window(18.0 * kSecondsPerHour, 8.0 * kSecondsPerHour);
+  }
+
+  // Projects.
+  const int n_proj =
+      pp.min_projects +
+      static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(pp.max_projects - pp.min_projects + 1)));
+  for (int i = 0; i < n_proj; ++i) {
+    ProjectConfig p;
+    p.name = "proj" + std::to_string(i);
+    p.resource_share = sample_log_uniform(rng, 10.0, 1000.0);
+
+    const bool gpu_project = has_gpu && sample_bernoulli(rng, 0.5);
+    const bool cpu_project = !gpu_project || sample_bernoulli(rng, 0.6);
+
+    if (cpu_project) {
+      JobClass c;
+      c.name = "cpu";
+      const double runtime =
+          sample_log_uniform(rng, pp.job_seconds_lo, pp.job_seconds_hi);
+      c.flops_est = runtime * cpu_flops;
+      c.flops_cv = rng.uniform(0.0, 0.3);
+      c.latency_bound =
+          runtime *
+          sample_log_uniform(rng, pp.latency_factor_lo, pp.latency_factor_hi);
+      c.usage = ResourceUsage::cpu(1.0);
+      p.job_classes.push_back(c);
+    }
+    if (gpu_project) {
+      JobClass g;
+      g.name = "gpu";
+      const double runtime =
+          sample_log_uniform(rng, pp.job_seconds_lo, pp.job_seconds_hi);
+      g.flops_est = runtime * sc.host.flops_per_instance[gpu_type];
+      g.flops_cv = rng.uniform(0.0, 0.3);
+      g.latency_bound =
+          runtime *
+          sample_log_uniform(rng, pp.latency_factor_lo, pp.latency_factor_hi);
+      g.usage = ResourceUsage::gpu(gpu_type, 1.0, 0.05);
+      p.job_classes.push_back(g);
+    }
+    if (sample_bernoulli(rng, 0.15)) {
+      // Sporadically unavailable project server.
+      p.up = OnOffSpec::markov(5.0 * kSecondsPerDay, 0.2 * kSecondsPerDay);
+    }
+    sc.projects.push_back(p);
+  }
+  return sc;
+}
+
+}  // namespace bce

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file population.hpp
+/// Monte-Carlo scenario population sampling — the first item on the
+/// paper's future-work list (§6.2): "characterize the actual population of
+/// scenarios, and develop a system, perhaps based on Monte-Carlo sampling,
+/// to study policies over the entire population."
+///
+/// Draws scenarios whose marginals roughly follow the population the paper
+/// sketches in §4.1: host speeds and job sizes span orders of magnitude
+/// (log-uniform), availability varies from always-on to sporadic, project
+/// counts from 1 to many.
+
+#include "model/scenario.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+
+struct PopulationParams {
+  int min_cpus = 1;
+  int max_cpus = 8;
+  double cpu_flops_lo = 5e8;
+  double cpu_flops_hi = 5e9;
+
+  double gpu_probability = 0.5;
+  int max_gpus = 2;
+  double gpu_speedup_lo = 5.0;    ///< GPU FLOPS as multiple of one CPU
+  double gpu_speedup_hi = 50.0;
+
+  int min_projects = 1;
+  int max_projects = 10;
+
+  double job_seconds_lo = 300.0;      ///< job runtime at full speed
+  double job_seconds_hi = 100000.0;
+  double latency_factor_lo = 1.5;     ///< latency bound / runtime
+  double latency_factor_hi = 50.0;
+
+  double intermittent_probability = 0.5;  ///< host not always-on
+  double mean_on_lo = 2.0 * kSecondsPerHour;
+  double mean_on_hi = 2.0 * kSecondsPerDay;
+
+  Duration duration = 10.0 * kSecondsPerDay;
+};
+
+/// Draw one scenario. Deterministic given the RNG state.
+Scenario sample_scenario(Xoshiro256& rng, const PopulationParams& params = {});
+
+}  // namespace bce

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file report.hpp
+/// Result-table helpers: the experiment harnesses in bench/ print the same
+/// rows/series the paper's figures report, in aligned text and CSV.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bce {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering (no quoting; callers keep cells comma-free).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with \p prec significant-looking decimals.
+std::string fmt(double x, int prec = 3);
+
+}  // namespace bce

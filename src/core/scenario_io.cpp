@@ -1,0 +1,415 @@
+#include "core/scenario_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace bce {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return {};
+  const auto b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+double to_num(const std::string& s, int line, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ScenarioParseError(line, std::string("bad number for ") + what +
+                                       ": '" + s + "'");
+  }
+}
+
+ProcType to_gpu_type(const std::string& s, int line) {
+  if (s == "nvidia") return ProcType::kNvidia;
+  if (s == "ati") return ProcType::kAti;
+  throw ScenarioParseError(line, "unknown GPU type '" + s + "'");
+}
+
+OnOffSpec parse_onoff(const std::vector<std::string>& toks, std::size_t i,
+                      int line) {
+  if (i >= toks.size()) throw ScenarioParseError(line, "missing availability kind");
+  if (toks[i] == "always") return OnOffSpec::always_on();
+  if (toks[i] == "markov") {
+    if (i + 2 >= toks.size()) {
+      throw ScenarioParseError(line, "markov needs ON and OFF means");
+    }
+    OnOffSpec s = OnOffSpec::markov(to_num(toks[i + 1], line, "mean_on"),
+                                    to_num(toks[i + 2], line, "mean_off"));
+    // Optional period distribution: "... weibull K" or "... lognormal S".
+    if (i + 3 < toks.size()) {
+      if (i + 4 >= toks.size()) {
+        throw ScenarioParseError(line, "distribution needs a shape parameter");
+      }
+      if (toks[i + 3] == "weibull") {
+        s.dist = PeriodDist::kWeibull;
+      } else if (toks[i + 3] == "lognormal") {
+        s.dist = PeriodDist::kLognormal;
+      } else {
+        throw ScenarioParseError(line, "unknown period distribution '" +
+                                           toks[i + 3] + "'");
+      }
+      s.shape = to_num(toks[i + 4], line, "distribution shape");
+    }
+    return s;
+  }
+  if (toks[i] == "trace") {
+    // trace 3600:on 1800:off 7200:on ...
+    if (i + 1 >= toks.size()) {
+      throw ScenarioParseError(line, "trace needs at least one segment");
+    }
+    std::vector<OnOffSpec::TraceSegment> segs;
+    for (std::size_t k = i + 1; k < toks.size(); ++k) {
+      const auto colon = toks[k].find(':');
+      if (colon == std::string::npos) {
+        throw ScenarioParseError(line, "trace segment must be DURATION:on|off");
+      }
+      OnOffSpec::TraceSegment seg;
+      seg.duration = to_num(toks[k].substr(0, colon), line, "trace duration");
+      const std::string state = toks[k].substr(colon + 1);
+      if (state == "on") {
+        seg.on = true;
+      } else if (state == "off") {
+        seg.on = false;
+      } else {
+        throw ScenarioParseError(line, "trace state must be on or off");
+      }
+      segs.push_back(seg);
+    }
+    return OnOffSpec::from_trace(std::move(segs));
+  }
+  if (toks[i] == "window") {
+    if (i + 2 >= toks.size()) {
+      throw ScenarioParseError(line, "window needs start and end seconds");
+    }
+    return OnOffSpec::daily_window(to_num(toks[i + 1], line, "window start"),
+                                   to_num(toks[i + 2], line, "window end"));
+  }
+  if (toks[i] == "weekly") {
+    // weekly START END 1111100   (7 day flags, day 0 = first emulated day)
+    if (i + 3 >= toks.size()) {
+      throw ScenarioParseError(line, "weekly needs START END DAYFLAGS");
+    }
+    const std::string& flags = toks[i + 3];
+    if (flags.size() != 7) {
+      throw ScenarioParseError(line, "weekly day flags must be 7 chars of 0/1");
+    }
+    std::array<bool, 7> days{};
+    for (std::size_t d = 0; d < 7; ++d) {
+      if (flags[d] != '0' && flags[d] != '1') {
+        throw ScenarioParseError(line, "weekly day flags must be 7 chars of 0/1");
+      }
+      days[d] = flags[d] == '1';
+    }
+    return OnOffSpec::weekly(to_num(toks[i + 1], line, "weekly start"),
+                             to_num(toks[i + 2], line, "weekly end"), days);
+  }
+  throw ScenarioParseError(line, "unknown availability kind '" + toks[i] + "'");
+}
+
+std::string onoff_str(const OnOffSpec& s) {
+  std::ostringstream os;
+  switch (s.kind) {
+    case OnOffSpec::Kind::kAlwaysOn:
+      os << "always";
+      break;
+    case OnOffSpec::Kind::kMarkov:
+      os << "markov " << s.mean_on << ' ' << s.mean_off;
+      if (s.dist == PeriodDist::kWeibull) os << " weibull " << s.shape;
+      if (s.dist == PeriodDist::kLognormal) os << " lognormal " << s.shape;
+      break;
+    case OnOffSpec::Kind::kTrace:
+      os << "trace";
+      for (const auto& seg : s.trace) {
+        os << ' ' << seg.duration << ':' << (seg.on ? "on" : "off");
+      }
+      break;
+    case OnOffSpec::Kind::kDailyWindow:
+      os << "window " << s.window_start << ' ' << s.window_end;
+      break;
+    case OnOffSpec::Kind::kWeekly: {
+      os << "weekly " << s.window_start << ' ' << s.window_end << ' ';
+      for (const bool d : s.active_days) os << (d ? '1' : '0');
+      break;
+    }
+  }
+  return os.str();
+}
+
+/// Parse a `job:` line after the "job:" prefix.
+JobClass parse_job(const std::string& rest, int line) {
+  JobClass jc;
+  const auto toks = split_ws(rest);
+  if (toks.empty()) throw ScenarioParseError(line, "empty job spec");
+
+  bool have_flops = false;
+  bool have_latency = false;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& tok = toks[i];
+    if (i == 0 && tok == "cpu") {
+      jc.usage = ResourceUsage::cpu(1.0);
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw ScenarioParseError(line, "expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "gpu") {
+      // gpu=nvidia:0.5
+      const auto colon = val.find(':');
+      const std::string type = colon == std::string::npos ? val : val.substr(0, colon);
+      const double usage =
+          colon == std::string::npos
+              ? 1.0
+              : to_num(val.substr(colon + 1), line, "gpu usage");
+      jc.usage = ResourceUsage::gpu(to_gpu_type(type, line), usage,
+                                    jc.usage.avg_ncpus != 1.0
+                                        ? jc.usage.avg_ncpus
+                                        : 0.05);
+    } else if (key == "flops") {
+      jc.flops_est = to_num(val, line, "flops");
+      have_flops = true;
+    } else if (key == "latency") {
+      jc.latency_bound = to_num(val, line, "latency");
+      have_latency = true;
+    } else if (key == "ncpus") {
+      jc.usage.avg_ncpus = to_num(val, line, "ncpus");
+    } else if (key == "cpu_frac") {
+      jc.usage.avg_ncpus = to_num(val, line, "cpu_frac");
+    } else if (key == "cv") {
+      jc.flops_cv = to_num(val, line, "cv");
+    } else if (key == "est_error") {
+      jc.est_error = to_num(val, line, "est_error");
+    } else if (key == "checkpoint") {
+      jc.checkpoint_period =
+          val == "never" ? kNever : to_num(val, line, "checkpoint");
+    } else if (key == "ram") {
+      jc.ram_bytes = to_num(val, line, "ram");
+    } else if (key == "transfer") {
+      jc.transfer_delay = to_num(val, line, "transfer");
+    } else if (key == "input_bytes") {
+      jc.input_bytes = to_num(val, line, "input_bytes");
+    } else if (key == "output_bytes") {
+      jc.output_bytes = to_num(val, line, "output_bytes");
+    } else if (key == "avail") {
+      // avail=markov:ON:OFF
+      std::vector<std::string> parts;
+      std::istringstream is(val);
+      std::string part;
+      while (std::getline(is, part, ':')) parts.push_back(part);
+      jc.avail = parse_onoff(parts, 0, line);
+    } else if (key == "name") {
+      jc.name = val;
+    } else {
+      throw ScenarioParseError(line, "unknown job attribute '" + key + "'");
+    }
+  }
+  if (!have_flops) throw ScenarioParseError(line, "job is missing flops=");
+  if (!have_latency) throw ScenarioParseError(line, "job is missing latency=");
+  return jc;
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario sc;
+  sc.projects.clear();
+  ProjectConfig* cur = nullptr;
+
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    std::string s = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (s.empty()) continue;
+
+    const auto colon = s.find(':');
+    if (colon == std::string::npos) {
+      throw ScenarioParseError(lineno, "expected 'key: value'");
+    }
+    const std::string key = trim(s.substr(0, colon));
+    const std::string val = trim(s.substr(colon + 1));
+    const auto toks = split_ws(val);
+
+    if (key == "name") {
+      sc.name = val;
+    } else if (key == "duration_days") {
+      sc.duration = to_num(val, lineno, "duration_days") * kSecondsPerDay;
+    } else if (key == "duration") {
+      sc.duration = to_num(val, lineno, "duration");
+    } else if (key == "seed") {
+      sc.seed = static_cast<std::uint64_t>(to_num(val, lineno, "seed"));
+    } else if (key == "cpus") {
+      // "4 @ 1e9"
+      if (toks.size() != 3 || toks[1] != "@") {
+        throw ScenarioParseError(lineno, "cpus: expects 'COUNT @ FLOPS'");
+      }
+      sc.host.count[ProcType::kCpu] =
+          static_cast<int>(to_num(toks[0], lineno, "cpu count"));
+      sc.host.flops_per_instance[ProcType::kCpu] =
+          to_num(toks[2], lineno, "cpu flops");
+    } else if (key == "gpu") {
+      if (toks.size() != 4 || toks[2] != "@") {
+        throw ScenarioParseError(lineno, "gpu: expects 'TYPE COUNT @ FLOPS'");
+      }
+      const ProcType t = to_gpu_type(toks[0], lineno);
+      sc.host.count[t] = static_cast<int>(to_num(toks[1], lineno, "gpu count"));
+      sc.host.flops_per_instance[t] = to_num(toks[3], lineno, "gpu flops");
+    } else if (key == "ram") {
+      sc.host.ram_bytes = to_num(val, lineno, "ram");
+    } else if (key == "bandwidth") {
+      sc.host.download_bandwidth_bps = to_num(val, lineno, "bandwidth");
+    } else if (key == "min_queue") {
+      sc.prefs.min_queue = to_num(val, lineno, "min_queue");
+    } else if (key == "max_queue") {
+      sc.prefs.max_queue = to_num(val, lineno, "max_queue");
+    } else if (key == "ram_limit") {
+      sc.prefs.ram_limit_fraction = to_num(val, lineno, "ram_limit");
+    } else if (key == "poll_period") {
+      sc.prefs.poll_period = to_num(val, lineno, "poll_period");
+    } else if (key == "leave_in_memory") {
+      sc.prefs.leave_apps_in_memory =
+          to_num(val, lineno, "leave_in_memory") != 0.0;
+    } else if (key == "avail_host") {
+      sc.availability.host_on = parse_onoff(toks, 0, lineno);
+    } else if (key == "avail_gpu") {
+      sc.availability.gpu_allowed = parse_onoff(toks, 0, lineno);
+    } else if (key == "avail_net") {
+      sc.availability.network = parse_onoff(toks, 0, lineno);
+    } else if (key == "project") {
+      sc.projects.emplace_back();
+      cur = &sc.projects.back();
+      cur->name = val;
+      cur->job_classes.clear();
+    } else if (key == "share") {
+      if (cur == nullptr) throw ScenarioParseError(lineno, "share: outside project");
+      cur->resource_share = to_num(val, lineno, "share");
+    } else if (key == "up") {
+      if (cur == nullptr) throw ScenarioParseError(lineno, "up: outside project");
+      cur->up = parse_onoff(toks, 0, lineno);
+    } else if (key == "max_in_progress") {
+      if (cur == nullptr) {
+        throw ScenarioParseError(lineno, "max_in_progress: outside project");
+      }
+      cur->max_jobs_in_progress =
+          static_cast<int>(to_num(val, lineno, "max_in_progress"));
+    } else if (key == "no_gpu") {
+      if (cur == nullptr) throw ScenarioParseError(lineno, "no_gpu: outside project");
+      cur->no_gpu = to_num(val, lineno, "no_gpu") != 0.0;
+    } else if (key == "suspended") {
+      if (cur == nullptr) {
+        throw ScenarioParseError(lineno, "suspended: outside project");
+      }
+      cur->suspended = to_num(val, lineno, "suspended") != 0.0;
+    } else if (key == "job") {
+      if (cur == nullptr) throw ScenarioParseError(lineno, "job: outside project");
+      cur->job_classes.push_back(parse_job(val, lineno));
+    } else {
+      throw ScenarioParseError(lineno, "unknown key '" + key + "'");
+    }
+  }
+
+  std::string err;
+  if (!sc.validate(&err)) {
+    throw std::invalid_argument("scenario fails validation: " + err);
+  }
+  return sc;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_scenario(buf.str());
+}
+
+std::string serialize_scenario(const Scenario& sc) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "name: " << sc.name << '\n';
+  os << "duration: " << sc.duration << '\n';
+  os << "seed: " << sc.seed << '\n';
+  os << "cpus: " << sc.host.count[ProcType::kCpu] << " @ "
+     << sc.host.flops_per_instance[ProcType::kCpu] << '\n';
+  for (const auto t : kAllProcTypes) {
+    if (is_gpu(t) && sc.host.count[t] > 0) {
+      os << "gpu: " << proc_name(t) << ' ' << sc.host.count[t] << " @ "
+         << sc.host.flops_per_instance[t] << '\n';
+    }
+  }
+  os << "ram: " << sc.host.ram_bytes << '\n';
+  if (sc.host.download_bandwidth_bps > 0.0) {
+    os << "bandwidth: " << sc.host.download_bandwidth_bps << '\n';
+  }
+  os << "min_queue: " << sc.prefs.min_queue << '\n';
+  os << "max_queue: " << sc.prefs.max_queue << '\n';
+  os << "ram_limit: " << sc.prefs.ram_limit_fraction << '\n';
+  os << "poll_period: " << sc.prefs.poll_period << '\n';
+  if (sc.prefs.leave_apps_in_memory) os << "leave_in_memory: 1\n";
+  os << "avail_host: " << onoff_str(sc.availability.host_on) << '\n';
+  os << "avail_gpu: " << onoff_str(sc.availability.gpu_allowed) << '\n';
+  os << "avail_net: " << onoff_str(sc.availability.network) << '\n';
+
+  for (const auto& p : sc.projects) {
+    os << '\n' << "project: " << p.name << '\n';
+    os << "share: " << p.resource_share << '\n';
+    if (p.up.kind != OnOffSpec::Kind::kAlwaysOn) {
+      os << "up: " << onoff_str(p.up) << '\n';
+    }
+    if (p.max_jobs_in_progress > 0) {
+      os << "max_in_progress: " << p.max_jobs_in_progress << '\n';
+    }
+    if (p.no_gpu) os << "no_gpu: 1\n";
+    if (p.suspended) os << "suspended: 1\n";
+    for (const auto& jc : p.job_classes) {
+      os << "job:";
+      if (jc.usage.uses_gpu()) {
+        os << " gpu=" << proc_name(jc.usage.coproc) << ':'
+           << jc.usage.coproc_usage << " cpu_frac=" << jc.usage.avg_ncpus;
+      } else {
+        os << " cpu ncpus=" << jc.usage.avg_ncpus;
+      }
+      os << " name=" << jc.name;
+      os << " flops=" << jc.flops_est << " latency=" << jc.latency_bound;
+      if (jc.flops_cv != 0.0) os << " cv=" << jc.flops_cv;
+      if (jc.est_error != 1.0) os << " est_error=" << jc.est_error;
+      if (std::isinf(jc.checkpoint_period)) {
+        os << " checkpoint=never";
+      } else if (jc.checkpoint_period != 300.0) {
+        os << " checkpoint=" << jc.checkpoint_period;
+      }
+      if (jc.ram_bytes != 1e8) os << " ram=" << jc.ram_bytes;
+      if (jc.transfer_delay != 0.0) os << " transfer=" << jc.transfer_delay;
+      if (jc.input_bytes != 0.0) os << " input_bytes=" << jc.input_bytes;
+      if (jc.output_bytes != 0.0) os << " output_bytes=" << jc.output_bytes;
+      if (jc.avail.kind == OnOffSpec::Kind::kMarkov) {
+        os << " avail=markov:" << jc.avail.mean_on << ':' << jc.avail.mean_off;
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bce

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file scenario_io.hpp
+/// Text scenario files. The paper's BCE lets volunteers paste their BOINC
+/// client state files into a web form (§4.3); our equivalent is a simple,
+/// diffable text format that fully describes a scenario. Round-trips:
+/// parse(serialize(sc)) reproduces sc.
+///
+/// Format (one `key: value` per line; '#' starts a comment):
+///
+///   name: my_host
+///   duration_days: 10
+///   seed: 42
+///   cpus: 4 @ 1e9            # count @ FLOPS-per-instance
+///   gpu: nvidia 1 @ 1e10     # type count @ FLOPS-per-instance
+///   ram: 8e9
+///   min_queue: 8640          # seconds
+///   max_queue: 43200
+///   ram_limit: 0.9
+///   avail_host: markov 36000 3600   # always | markov ON OFF | window S E
+///   avail_gpu: always
+///   avail_net: always
+///
+///   project: einstein
+///   share: 100
+///   up: markov 800000 4000          # optional server downtime
+///   job: cpu flops=2e12 latency=86400 ncpus=1 checkpoint=300
+///   job: gpu=nvidia:1.0 flops=2e13 latency=86400 cpu_frac=0.05
+///
+/// Job attributes: flops, latency, ncpus, cpu_frac, cv, est_error,
+/// checkpoint (seconds or `never`), ram, transfer,
+/// avail=markov:ON:OFF (sporadic class availability).
+
+#include <stdexcept>
+#include <string>
+
+#include "model/scenario.hpp"
+
+namespace bce {
+
+/// Error with the 1-based line number where parsing failed.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  ScenarioParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a scenario from text. Throws ScenarioParseError on malformed
+/// input and std::invalid_argument if the result fails validation.
+Scenario parse_scenario(const std::string& text);
+
+/// Load from a file path (throws std::runtime_error if unreadable).
+Scenario load_scenario_file(const std::string& path);
+
+/// Serialize to the text format above.
+std::string serialize_scenario(const Scenario& sc);
+
+}  // namespace bce

@@ -1,0 +1,38 @@
+#include "core/share_split.hpp"
+
+#include "core/maxmin.hpp"
+
+namespace bce {
+
+ShareSplitResult ideal_share_split(const ShareSplitInput& input) {
+  MaxMinProblem prob;
+  prob.capacity.resize(kNumProcTypes);
+  for (const auto t : kAllProcTypes) {
+    prob.capacity[proc_index(t)] = input.capacity[t];
+  }
+  for (const auto& p : input.projects) {
+    MaxMinProblem::Consumer c;
+    c.share = p.share;
+    c.can_use.resize(kNumProcTypes);
+    for (const auto t : kAllProcTypes) {
+      c.can_use[proc_index(t)] = p.can_use[t];
+    }
+    prob.consumers.push_back(std::move(c));
+  }
+
+  const MaxMinSolution sol = maxmin_allocate(prob);
+
+  ShareSplitResult out;
+  out.alloc.assign(input.projects.size(), PerProc<double>{});
+  out.total = sol.total;
+  out.total.resize(input.projects.size(), 0.0);
+  for (std::size_t p = 0; p < sol.alloc.size(); ++p) {
+    for (const auto t : kAllProcTypes) {
+      out.alloc[p][t] = sol.alloc[p][proc_index(t)];
+    }
+  }
+  out.level = sol.level;
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file share_split.hpp
+/// Ideal resource-share allocation across processor types (§2.1, Figure 1):
+/// "resource share is intended to apply to a host's aggregate processing
+/// resources, not to the processor types separately."
+///
+/// Given per-type capacities (FLOPS), and for each project a share and the
+/// set of types it can use, compute the max-min-fair allocation of FLOPS:
+/// raise every project's allocation in proportion to its share until a
+/// capability constraint binds (progressive filling), freeze the saturated
+/// projects, and continue with the rest. Feasibility at each level is
+/// decided with a small max-flow (source → projects → types → sink).
+///
+/// For Figure 1's example (10 GFLOPS CPU + 20 GFLOPS GPU; A can use both,
+/// B only the GPU; equal shares) this yields A = B = 15 GFLOPS with A
+/// taking 100% of the CPU and 25% of the GPU.
+///
+/// This is the reference against which the share-violation metric can be
+/// interpreted: it is the best any scheduler could do.
+
+#include <vector>
+
+#include "host/proc_type.hpp"
+
+namespace bce {
+
+struct ShareSplitInput {
+  /// Capacity of each processor type, FLOPS.
+  PerProc<double> capacity{};
+
+  struct Project {
+    double share = 1.0;
+    PerProc<bool> can_use{};
+  };
+  std::vector<Project> projects;
+};
+
+struct ShareSplitResult {
+  /// alloc[p][t]: FLOPS of type t allocated to project p.
+  std::vector<PerProc<double>> alloc;
+
+  /// Total FLOPS per project.
+  std::vector<double> total;
+
+  /// Max-min fill level reached by the least-served project
+  /// (total[p] / share[p] >= level for all p, up to numerics).
+  double level = 0.0;
+};
+
+ShareSplitResult ideal_share_split(const ShareSplitInput& input);
+
+}  // namespace bce

@@ -1,0 +1,175 @@
+#include "core/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/types.hpp"
+
+namespace bce {
+
+std::vector<double> nice_ticks(double lo, double hi, int target_count) {
+  if (!(hi > lo)) hi = lo + 1.0;
+  const double raw_step = (hi - lo) / std::max(target_count, 2);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (const double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * mult >= raw_step) {
+      step = mag * mult;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double first = std::ceil(lo / step - 1e-9) * step;
+  for (double t = first; t <= hi + 1e-9 * step; t += step) {
+    // Snap tiny float residue to zero.
+    ticks.push_back(std::abs(t) < step * 1e-6 ? 0.0 : t);
+  }
+  return ticks;
+}
+
+namespace {
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+                          "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"};
+constexpr int kPaletteSize = 8;
+
+std::string fmt_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 10000.0 || (v != 0.0 && std::abs(v) < 0.01)) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", std::round(v * 1000.0) / 1000.0);
+  }
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SvgPlot::render(int width, int height) const {
+  // Data ranges.
+  double x_lo = 1e300;
+  double x_hi = -1e300;
+  double y_lo = y_fixed_ ? y_lo_ : 0.0;  // merit figures live in [0, ...)
+  double y_hi = y_fixed_ ? y_hi_ : -1e300;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!y_fixed_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (x_lo > x_hi) {
+    x_lo = 0.0;
+    x_hi = 1.0;
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;  // single-x data
+  if (y_lo >= y_hi) y_hi = y_lo + 1.0;
+  if (!y_fixed_) y_hi *= 1.05;  // headroom
+
+  const double ml = 64.0;
+  const double mr = 16.0;
+  const double mt = 36.0;
+  const double mb = 52.0;
+  const double pw = width - ml - mr;
+  const double ph = height - mt - mb;
+
+  auto px = [&](double x) {
+    return ml + (x - x_lo) / (x_hi - x_lo) * pw;
+  };
+  auto py = [&](double y) {
+    return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+     << "' height='" << height << "' viewBox='0 0 " << width << ' ' << height
+     << "'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << "<text x='" << width / 2 << "' y='22' text-anchor='middle' "
+        "font-family='sans-serif' font-size='15' font-weight='bold'>"
+     << escape(title_) << "</text>\n";
+
+  // Grid + ticks.
+  os << "<g font-family='sans-serif' font-size='11' fill='#333'>\n";
+  for (const double t : nice_ticks(x_lo, x_hi)) {
+    const double X = px(t);
+    os << "<line x1='" << X << "' y1='" << mt << "' x2='" << X << "' y2='"
+       << mt + ph << "' stroke='#ddd'/>\n"
+       << "<text x='" << X << "' y='" << mt + ph + 16
+       << "' text-anchor='middle'>" << fmt_num(t) << "</text>\n";
+  }
+  for (const double t : nice_ticks(y_lo, y_hi)) {
+    const double Y = py(t);
+    os << "<line x1='" << ml << "' y1='" << Y << "' x2='" << ml + pw
+       << "' y2='" << Y << "' stroke='#ddd'/>\n"
+       << "<text x='" << ml - 6 << "' y='" << Y + 4
+       << "' text-anchor='end'>" << fmt_num(t) << "</text>\n";
+  }
+  os << "</g>\n";
+
+  // Axes.
+  os << "<rect x='" << ml << "' y='" << mt << "' width='" << pw
+     << "' height='" << ph << "' fill='none' stroke='#444'/>\n"
+     << "<text x='" << ml + pw / 2 << "' y='" << height - 12
+     << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+     << escape(x_label_) << "</text>\n"
+     << "<text x='14' y='" << mt + ph / 2
+     << "' text-anchor='middle' font-family='sans-serif' font-size='12' "
+        "transform='rotate(-90 14 "
+     << mt + ph / 2 << ")'>" << escape(y_label_) << "</text>\n";
+
+  // Series.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const char* color = kPalette[i % kPaletteSize];
+    const auto& s = series_[i];
+    if (!s.points.empty()) {
+      os << "<polyline fill='none' stroke='" << color
+         << "' stroke-width='2' points='";
+      for (const auto& [x, y] : s.points) {
+        os << px(x) << ',' << py(clamp(y, y_lo, y_hi)) << ' ';
+      }
+      os << "'/>\n";
+      for (const auto& [x, y] : s.points) {
+        os << "<circle cx='" << px(x) << "' cy='" << py(clamp(y, y_lo, y_hi))
+           << "' r='3' fill='" << color << "'/>\n";
+      }
+    }
+    // Legend entry.
+    const double ly = mt + 14 + 16.0 * static_cast<double>(i);
+    os << "<line x1='" << ml + 10 << "' y1='" << ly << "' x2='" << ml + 34
+       << "' y2='" << ly << "' stroke='" << color << "' stroke-width='2'/>\n"
+       << "<text x='" << ml + 40 << "' y='" << ly + 4
+       << "' font-family='sans-serif' font-size='12'>" << escape(s.label)
+       << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgPlot::save(const std::string& path, int width, int height) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render(width, height);
+  return static_cast<bool>(f);
+}
+
+}  // namespace bce

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file svg_plot.hpp
+/// Minimal dependency-free SVG line charts. The paper's controller
+/// "generates graphs summarizing the figures of merit" (§4.3); the
+/// experiment harnesses use this to emit each figure as a standalone .svg
+/// alongside the printed table.
+///
+/// Deliberately small: line series with markers, auto-scaled axes with
+/// 1-2-5 ticks, a legend, and axis titles. Not a plotting library.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bce {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y)
+};
+
+/// Compute "nice" tick positions covering [lo, hi] with roughly
+/// `target_count` steps of size 1/2/5 x 10^k. Exposed for tests.
+std::vector<double> nice_ticks(double lo, double hi, int target_count = 6);
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void add_series(PlotSeries series) { series_.push_back(std::move(series)); }
+
+  /// Force the y-axis range (otherwise auto-scaled to the data; the y
+  /// range always includes 0 for the [0,1] figures of merit).
+  void set_y_range(double lo, double hi) {
+    y_lo_ = lo;
+    y_hi_ = hi;
+    y_fixed_ = true;
+  }
+
+  [[nodiscard]] std::string render(int width = 640, int height = 420) const;
+
+  /// Render to a file; parent directory must exist. Returns false (and
+  /// stays silent) if the file can't be written — plots are a side
+  /// artifact, never worth failing an experiment over.
+  bool save(const std::string& path, int width = 640, int height = 420) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<PlotSeries> series_;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+  bool y_fixed_ = false;
+};
+
+}  // namespace bce

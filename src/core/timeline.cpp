@@ -1,0 +1,64 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace bce {
+
+void Timeline::record(ProcType type, int slot, SimTime t0, SimTime t1,
+                      ProjectId p, JobId j) {
+  if (t1 <= t0) return;
+  if (!spans_.empty()) {
+    auto& last = spans_.back();
+    if (last.type == type && last.slot == slot && last.job == j &&
+        last.project == p && std::abs(last.t1 - t0) < 1e-6) {
+      last.t1 = t1;
+      return;
+    }
+  }
+  spans_.push_back(TimelineSpan{type, slot, t0, t1, p, j});
+}
+
+std::string Timeline::to_ascii(SimTime t_end, int width) const {
+  if (t_end <= 0.0 || width <= 0) return {};
+  std::string out;
+  const double bucket = t_end / width;
+
+  for (const auto t : kAllProcTypes) {
+    for (int slot = 0; slot < host_.count[t]; ++slot) {
+      std::string row(static_cast<std::size_t>(width), '.');
+      for (const auto& s : spans_) {
+        if (s.type != t || s.slot != slot) continue;
+        const int b0 = std::max(0, static_cast<int>(s.t0 / bucket));
+        const int b1 =
+            std::min(width - 1, static_cast<int>((s.t1 - 1e-9) / bucket));
+        const char c =
+            s.project == kNoProject
+                ? ' '
+                : static_cast<char>('A' + (s.project % 26));
+        for (int b = b0; b <= b1; ++b) row[static_cast<std::size_t>(b)] = c;
+      }
+      char head[32];
+      std::snprintf(head, sizeof head, "%-6s %2d |", proc_name(t), slot);
+      out += head;
+      out += row;
+      out += "|\n";
+    }
+  }
+  char foot[64];
+  std::snprintf(foot, sizeof foot, "%10s0%*.1f (days)\n", "", width - 1,
+                t_end / kSecondsPerDay);
+  out += foot;
+  return out;
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "type,slot,t0,t1,project,job\n";
+  for (const auto& s : spans_) {
+    os << proc_name(s.type) << ',' << s.slot << ',' << s.t0 << ',' << s.t1
+       << ',' << s.project << ',' << s.job << '\n';
+  }
+}
+
+}  // namespace bce

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Processor-usage timeline recorder and visualization. BCE "generates a
+/// time-line visualization of processor usage" (§4.3); ours renders an
+/// ASCII chart (one row per processor instance, one letter per project)
+/// and exports CSV for external plotting. Also serves Figure 2: the RR-sim
+/// busy prediction can be rendered through the same facility.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "host/host_info.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+struct TimelineSpan {
+  ProcType type = ProcType::kCpu;
+  int slot = 0;  ///< instance index within the type
+  SimTime t0 = 0.0;
+  SimTime t1 = 0.0;
+  ProjectId project = kNoProject;  ///< kNoProject = unavailable period
+  JobId job = kNoJob;
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+  explicit Timeline(const HostInfo& host) : host_(host) {}
+
+  /// Record usage of one instance over [t0, t1]. Contiguous records for the
+  /// same (type, slot, job) are merged.
+  void record(ProcType type, int slot, SimTime t0, SimTime t1, ProjectId p,
+              JobId j);
+
+  [[nodiscard]] const std::vector<TimelineSpan>& spans() const { return spans_; }
+
+  /// ASCII chart over [0, t_end]: one row per instance; letters A.. for
+  /// projects, '.' for idle.
+  [[nodiscard]] std::string to_ascii(SimTime t_end, int width = 96) const;
+
+  /// CSV: type,slot,t0,t1,project,job
+  void write_csv(std::ostream& os) const;
+
+  void clear() { spans_.clear(); }
+
+ private:
+  HostInfo host_;
+  std::vector<TimelineSpan> spans_;
+};
+
+}  // namespace bce

@@ -1,0 +1,196 @@
+#include "fleet/fleet.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/controller.hpp"
+#include "core/maxmin.hpp"
+
+namespace bce {
+
+namespace {
+
+/// Can this host run this job class at all?
+bool runnable_on(const HostInfo& host, const JobClass& jc) {
+  const auto& u = jc.usage;
+  if (u.avg_ncpus > host.count[ProcType::kCpu]) return false;
+  if (u.uses_gpu()) {
+    if (host.count[u.coproc] == 0) return false;
+    if (u.coproc_usage > host.count[u.coproc]) return false;
+  }
+  return true;
+}
+
+/// Effective capacity of one (host, type) bucket: peak FLOPS de-rated by
+/// the host's expected availability.
+double bucket_capacity(const FleetHostSpec& hs, ProcType t) {
+  double cap = hs.host.peak_flops(t);
+  cap *= hs.availability.host_on.expected_on_fraction();
+  if (is_gpu(t)) cap *= hs.availability.gpu_allowed.expected_on_fraction();
+  return cap;
+}
+
+}  // namespace
+
+Scenario fleet_host_scenario(const FleetConfig& config, std::size_t h,
+                             const std::vector<double>& shares) {
+  assert(h < config.hosts.size());
+  assert(shares.size() == config.projects.size());
+  const FleetHostSpec& hs = config.hosts[h];
+
+  Scenario sc;
+  sc.name = hs.name;
+  sc.host = hs.host;
+  sc.prefs = hs.prefs;
+  sc.availability = hs.availability;
+  sc.duration = config.duration;
+  sc.seed = hs.seed;
+
+  for (std::size_t p = 0; p < config.projects.size(); ++p) {
+    if (shares[p] <= 0.0) continue;
+    ProjectConfig pc = config.projects[p];
+    pc.resource_share = shares[p];
+    // Keep only job classes this host can run.
+    std::vector<JobClass> usable;
+    for (const auto& jc : pc.job_classes) {
+      if (runnable_on(hs.host, jc)) usable.push_back(jc);
+    }
+    if (usable.empty()) continue;
+    pc.job_classes = std::move(usable);
+    sc.projects.push_back(std::move(pc));
+  }
+  return sc;
+}
+
+std::vector<std::vector<double>> cross_host_shares(const FleetConfig& config) {
+  const std::size_t nh = config.hosts.size();
+  const std::size_t np = config.projects.size();
+
+  // Buckets: (host, type) pairs with non-zero capacity.
+  struct Bucket {
+    std::size_t host;
+    ProcType type;
+  };
+  std::vector<Bucket> buckets;
+  MaxMinProblem prob;
+  for (std::size_t h = 0; h < nh; ++h) {
+    for (const auto t : kAllProcTypes) {
+      const double cap = bucket_capacity(config.hosts[h], t);
+      if (cap > 0.0) {
+        buckets.push_back(Bucket{h, t});
+        prob.capacity.push_back(cap);
+      }
+    }
+  }
+
+  for (const auto& proj : config.projects) {
+    MaxMinProblem::Consumer c;
+    c.share = proj.resource_share;
+    c.can_use.resize(buckets.size(), false);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const auto& hs = config.hosts[buckets[b].host];
+      for (const auto& jc : proj.job_classes) {
+        if (!runnable_on(hs.host, jc)) continue;
+        if (jc.usage.primary_type() == buckets[b].type) {
+          c.can_use[b] = true;
+          break;
+        }
+      }
+    }
+    prob.consumers.push_back(std::move(c));
+  }
+
+  const MaxMinSolution sol = maxmin_allocate(prob);
+
+  // Per-host share for project p = its allocated fraction of the host's
+  // capacity (summed over the host's buckets).
+  std::vector<std::vector<double>> shares(nh, std::vector<double>(np, 0.0));
+  for (std::size_t p = 0; p < np; ++p) {
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      shares[buckets[b].host][p] += sol.alloc[p][b];
+    }
+  }
+  // Normalize each host's shares so the numbers stay human-readable
+  // (only ratios matter); drop negligible slivers.
+  for (std::size_t h = 0; h < nh; ++h) {
+    double total = 0.0;
+    for (const double s : shares[h]) total += s;
+    if (total <= 0.0) continue;
+    for (double& s : shares[h]) {
+      s = s / total * 100.0;
+      if (s < 1e-3) s = 0.0;
+    }
+  }
+  return shares;
+}
+
+FleetResult run_fleet(const FleetConfig& config, const PolicyConfig& policy,
+                      FleetEnforcement mode, unsigned n_threads) {
+  const std::size_t nh = config.hosts.size();
+  const std::size_t np = config.projects.size();
+
+  std::vector<std::vector<double>> shares;
+  if (mode == FleetEnforcement::kCrossHost) {
+    shares = cross_host_shares(config);
+  } else {
+    std::vector<double> global(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      global[p] = config.projects[p].resource_share;
+    }
+    shares.assign(nh, global);
+  }
+
+  // Build per-host scenarios; remember the fleet index of each attached
+  // project so results can be folded back.
+  std::vector<RunSpec> specs;
+  std::vector<std::vector<std::size_t>> attach_map(nh);
+  for (std::size_t h = 0; h < nh; ++h) {
+    const Scenario sc = fleet_host_scenario(config, h, shares[h]);
+    for (const auto& pc : sc.projects) {
+      for (std::size_t p = 0; p < np; ++p) {
+        if (config.projects[p].name == pc.name) {
+          attach_map[h].push_back(p);
+          break;
+        }
+      }
+    }
+    RunSpec spec;
+    spec.label = config.hosts[h].name;
+    spec.scenario = sc;
+    spec.options.policy = policy;
+    specs.push_back(std::move(spec));
+  }
+
+  auto batch = run_batch(specs, n_threads);
+
+  FleetResult out;
+  out.assigned_shares = shares;
+  out.usage_fraction.assign(np, 0.0);
+  std::vector<double> used_per_project(np, 0.0);
+  for (std::size_t h = 0; h < nh; ++h) {
+    EmulationResult& r = batch[h].result;
+    out.total_used_flops += r.metrics.used_flops;
+    out.total_available_flops += r.metrics.available_flops;
+    for (std::size_t i = 0; i < attach_map[h].size(); ++i) {
+      used_per_project[attach_map[h][i]] +=
+          r.metrics.usage_fraction[i] * r.metrics.used_flops;
+    }
+    out.per_host.push_back(std::move(r));
+  }
+
+  double global_total = 0.0;
+  for (const auto& p : config.projects) global_total += p.resource_share;
+  if (out.total_used_flops > 0.0 && global_total > 0.0) {
+    double sq = 0.0;
+    for (std::size_t p = 0; p < np; ++p) {
+      out.usage_fraction[p] = used_per_project[p] / out.total_used_flops;
+      const double d = out.usage_fraction[p] -
+                       config.projects[p].resource_share / global_total;
+      sq += d * d;
+    }
+    out.share_violation = std::sqrt(sq / static_cast<double>(np));
+  }
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file fleet.hpp
+/// Cross-host resource-share enforcement — the §6.2 extension: "increase
+/// system throughput by enforcing resource share across a volunteer's
+/// hosts, rather than for each host separately. For example, if a
+/// particular host is well-suited to a particular project, it could run
+/// only that project, and the difference could be made up on other hosts."
+///
+/// A fleet is a set of hosts plus one fleet-level project list with global
+/// shares. Two enforcement modes:
+///
+///  * **Per-host** (BOINC's behaviour): every host applies the global
+///    shares locally.
+///  * **Cross-host**: a max-min-fair allocation over (host x processor
+///    type) capacity buckets (core/maxmin) assigns each project a share of
+///    each host, concentrating projects on the hosts best suited to them;
+///    each host then runs with those derived local shares.
+///
+/// Each host's emulation is independent, so the fleet runs on the
+/// controller's thread pool.
+
+#include <string>
+#include <vector>
+
+#include "core/emulator.hpp"
+#include "model/scenario.hpp"
+
+namespace bce {
+
+struct FleetHostSpec {
+  std::string name = "host";
+  HostInfo host;
+  Preferences prefs;
+  HostAvailabilitySpec availability;
+  std::uint64_t seed = 1;
+};
+
+struct FleetConfig {
+  std::vector<FleetHostSpec> hosts;
+
+  /// Fleet-level projects; `resource_share` here is the *global* share.
+  /// Job classes a given host cannot run (e.g. GPU classes on a CPU-only
+  /// box) are filtered out per host; a project with no runnable classes on
+  /// a host is simply not attached there.
+  std::vector<ProjectConfig> projects;
+
+  Duration duration = 10.0 * kSecondsPerDay;
+};
+
+enum class FleetEnforcement {
+  kPerHost,    ///< every host uses the global shares (BOINC today)
+  kCrossHost,  ///< shares derived from a fleet-wide max-min allocation
+};
+
+struct FleetResult {
+  /// Per-host emulation results, in fleet host order.
+  std::vector<EmulationResult> per_host;
+
+  /// Shares each host actually ran with: assigned_shares[h][p] indexed by
+  /// *fleet* project index; 0 when the project is not attached to host h.
+  std::vector<std::vector<double>> assigned_shares;
+
+  /// Fleet-wide per-project usage fractions (peak-FLOPS-weighted).
+  std::vector<double> usage_fraction;
+
+  /// RMS over projects of (fleet usage fraction − global share fraction).
+  double share_violation = 0.0;
+
+  double total_used_flops = 0.0;
+  double total_available_flops = 0.0;
+
+  [[nodiscard]] double idle_fraction() const {
+    if (total_available_flops <= 0.0) return 0.0;
+    return clamp(1.0 - total_used_flops / total_available_flops, 0.0, 1.0);
+  }
+};
+
+/// Build the per-host scenario for host \p h of \p config with the given
+/// per-project shares (fleet project indexing; non-positive share or no
+/// runnable job class = not attached). Exposed for tests.
+Scenario fleet_host_scenario(const FleetConfig& config, std::size_t h,
+                             const std::vector<double>& shares);
+
+/// Compute the cross-host share assignment (fleet project indexing):
+/// result[h][p] is the share of host h's capacity assigned to project p.
+/// Exposed for tests.
+std::vector<std::vector<double>> cross_host_shares(const FleetConfig& config);
+
+/// Run the whole fleet under the given enforcement mode.
+FleetResult run_fleet(const FleetConfig& config, const PolicyConfig& policy,
+                      FleetEnforcement mode, unsigned n_threads = 0);
+
+}  // namespace bce

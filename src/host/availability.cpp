@@ -1,0 +1,211 @@
+#include "host/availability.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/distribution.hpp"
+
+namespace bce {
+
+double OnOffSpec::expected_on_fraction() const {
+  switch (kind) {
+    case Kind::kAlwaysOn:
+      return 1.0;
+    case Kind::kMarkov: {
+      const double total = mean_on + mean_off;
+      return total > 0.0 ? mean_on / total : 1.0;
+    }
+    case Kind::kDailyWindow: {
+      double len = window_end - window_start;
+      if (len < 0) len += kSecondsPerDay;  // wraps midnight
+      return len / kSecondsPerDay;
+    }
+    case Kind::kWeekly: {
+      int n_active = 0;
+      for (const bool d : active_days) n_active += d ? 1 : 0;
+      const double len = std::max(0.0, window_end - window_start);
+      return n_active * len / (7.0 * kSecondsPerDay);
+    }
+    case Kind::kTrace: {
+      double on_time = 0.0;
+      double total = 0.0;
+      for (const auto& seg : trace) {
+        total += seg.duration;
+        if (seg.on) on_time += seg.duration;
+      }
+      return total > 0.0 ? on_time / total : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+namespace {
+/// Weekly-schedule state at absolute time t (window must not wrap).
+bool weekly_on(const OnOffSpec& spec, SimTime t) {
+  const auto day =
+      static_cast<std::size_t>(std::fmod(std::floor(t / kSecondsPerDay), 7.0));
+  if (!spec.active_days[day]) return false;
+  const double tod = std::fmod(t, kSecondsPerDay);
+  return tod >= spec.window_start && tod < spec.window_end;
+}
+}  // namespace
+
+OnOffProcess::OnOffProcess(const OnOffSpec& spec, Xoshiro256 rng, SimTime now)
+    : spec_(spec), rng_(rng) {
+  switch (spec_.kind) {
+    case OnOffSpec::Kind::kAlwaysOn:
+      on_ = true;
+      next_flip_ = kNever;
+      break;
+    case OnOffSpec::Kind::kMarkov:
+      on_ = spec_.start_on;
+      if (spec_.mean_off <= 0.0) {
+        // Degenerate: never goes off.
+        on_ = true;
+        next_flip_ = kNever;
+      } else {
+        schedule_next(now);
+      }
+      break;
+    case OnOffSpec::Kind::kDailyWindow: {
+      const double tod = std::fmod(now, kSecondsPerDay);
+      const double s = spec_.window_start;
+      const double e = spec_.window_end;
+      if (s <= e) {
+        on_ = tod >= s && tod < e;
+      } else {
+        on_ = tod >= s || tod < e;
+      }
+      schedule_next(now);
+      break;
+    }
+    case OnOffSpec::Kind::kWeekly: {
+      on_ = weekly_on(spec_, now);
+      schedule_next(now);
+      break;
+    }
+    case OnOffSpec::Kind::kTrace: {
+      if (spec_.trace.empty()) {
+        on_ = true;
+        next_flip_ = kNever;
+      } else {
+        on_ = spec_.trace[0].on;
+        trace_pos_ = 0;
+        schedule_next(now);
+      }
+      break;
+    }
+  }
+}
+
+double OnOffProcess::sample_period(double mean) {
+  const double m = std::max(mean, 1.0);
+  switch (spec_.dist) {
+    case PeriodDist::kExponential:
+      return sample_exponential(rng_, m);
+    case PeriodDist::kWeibull:
+      return std::max(1.0, sample_weibull(rng_, m, std::max(spec_.shape, 0.05)));
+    case PeriodDist::kLognormal:
+      return std::max(1.0, sample_lognormal(rng_, m, std::max(spec_.shape, 0.0)));
+  }
+  return sample_exponential(rng_, m);
+}
+
+void OnOffProcess::schedule_next(SimTime from) {
+  switch (spec_.kind) {
+    case OnOffSpec::Kind::kAlwaysOn:
+      next_flip_ = kNever;
+      break;
+    case OnOffSpec::Kind::kMarkov: {
+      const double mean = on_ ? spec_.mean_on : spec_.mean_off;
+      next_flip_ = from + sample_period(mean);
+      break;
+    }
+    case OnOffSpec::Kind::kDailyWindow: {
+      // Next boundary strictly after `from`.
+      const double day_base = std::floor(from / kSecondsPerDay) * kSecondsPerDay;
+      const double boundary = on_ ? spec_.window_end : spec_.window_start;
+      double t = day_base + boundary;
+      while (t <= from + kFpEpsilon) t += kSecondsPerDay;
+      next_flip_ = t;
+      break;
+    }
+    case OnOffSpec::Kind::kWeekly: {
+      // Scan window boundaries over the next 8 days for the first state
+      // change strictly after `from`.
+      const double day_base =
+          std::floor(from / kSecondsPerDay) * kSecondsPerDay;
+      next_flip_ = kNever;
+      bool all_off = true;
+      for (const bool d : spec_.active_days) all_off = all_off && !d;
+      if (all_off || spec_.window_end <= spec_.window_start) {
+        on_ = false;
+        break;  // permanently off: never flips
+      }
+      for (int d = 0; d <= 8 && next_flip_ == kNever; ++d) {
+        for (const double boundary : {spec_.window_start, spec_.window_end}) {
+          const double t = day_base + d * kSecondsPerDay + boundary;
+          if (t > from + kFpEpsilon && weekly_on(spec_, t) != on_) {
+            next_flip_ = t;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case OnOffSpec::Kind::kTrace: {
+      // The current segment is trace[trace_pos_]; its end is the next
+      // flip, except that consecutive same-state segments merge (no flip)
+      // and zero-length segments are skipped.
+      next_flip_ = from;
+      for (std::size_t hops = 0; hops <= 2 * spec_.trace.size(); ++hops) {
+        const auto& seg = spec_.trace[trace_pos_];
+        next_flip_ += std::max(seg.duration, 0.0);
+        trace_pos_ = (trace_pos_ + 1) % spec_.trace.size();
+        if (spec_.trace[trace_pos_].on != on_ && next_flip_ > from) {
+          return;
+        }
+      }
+      next_flip_ = kNever;  // trace never changes state
+      break;
+    }
+  }
+}
+
+void OnOffProcess::advance_to(SimTime now) {
+  while (next_flip_ <= now) {
+    const SimTime flip_at = next_flip_;
+    on_ = !on_;
+    schedule_next(flip_at);
+    assert(next_flip_ > flip_at);
+  }
+}
+
+HostAvailability::HostAvailability(const HostAvailabilitySpec& spec,
+                                   Xoshiro256& parent_rng, SimTime now)
+    : host_on_(spec.host_on, parent_rng.fork("avail.host_on"), now),
+      gpu_allowed_(spec.gpu_allowed, parent_rng.fork("avail.gpu"), now),
+      network_(spec.network, parent_rng.fork("avail.net"), now) {}
+
+SimTime HostAvailability::next_transition() const {
+  return std::min({host_on_.next_transition(), gpu_allowed_.next_transition(),
+                   network_.next_transition()});
+}
+
+void HostAvailability::advance_to(SimTime now) {
+  host_on_.advance_to(now);
+  gpu_allowed_.advance_to(now);
+  network_.advance_to(now);
+}
+
+const OnOffProcess& HostAvailability::channel(AvailChannel c) const {
+  switch (c) {
+    case AvailChannel::kHostOn: return host_on_;
+    case AvailChannel::kGpuAllowed: return gpu_allowed_;
+    case AvailChannel::kNetwork: return network_;
+  }
+  return host_on_;
+}
+
+}  // namespace bce

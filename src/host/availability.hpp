@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file availability.hpp
+/// Host availability modelling (§2.2, §4.3): "host availability is modeled
+/// as a random process in which available and unavailable periods have
+/// exponentially distributed lengths". We support three channels —
+/// host powered on, GPU computing allowed, network connected — each driven
+/// by an independent on/off process. Besides the paper's Markov model we
+/// provide always-on and deterministic daily-window processes (time-of-day
+/// preferences, §2.2).
+
+#include <array>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// Period-length distribution for the random on/off model. The paper's
+/// model is exponential (§4.3b); Javadi et al. [5] found Weibull and
+/// lognormal often fit real hosts better, so those are provided too.
+enum class PeriodDist : std::uint8_t { kExponential, kWeibull, kLognormal };
+
+/// Declarative description of an on/off process; lives in scenario files.
+struct OnOffSpec {
+  enum class Kind { kAlwaysOn, kMarkov, kDailyWindow, kWeekly, kTrace };
+
+  Kind kind = Kind::kAlwaysOn;
+
+  // kMarkov: mean lengths of available / unavailable periods (seconds),
+  // drawn from `dist` (shape: Weibull k, or lognormal sigma; ignored for
+  // exponential).
+  double mean_on = kSecondsPerDay;
+  double mean_off = 0.0;
+  bool start_on = true;
+  PeriodDist dist = PeriodDist::kExponential;
+  double shape = 1.0;
+
+  // kTrace: a recorded availability trace, replayed cyclically. Each
+  // segment lasts `duration` seconds in state `on`; the process starts at
+  // the head of the trace.
+  struct TraceSegment {
+    double duration = 0.0;
+    bool on = true;
+  };
+  std::vector<TraceSegment> trace;
+
+  // kDailyWindow: ON during [window_start, window_end) seconds-of-day;
+  // if window_start > window_end the window wraps midnight.
+  // kWeekly: the same window, but only on days where active_days is set
+  // (day 0 = the emulation's first day; windows must not wrap midnight).
+  double window_start = 0.0;
+  double window_end = kSecondsPerDay;
+  std::array<bool, 7> active_days{true, true, true, true, true, true, true};
+
+  static OnOffSpec always_on() { return {}; }
+  static OnOffSpec markov(double on_mean, double off_mean, bool begin_on = true) {
+    OnOffSpec s;
+    s.kind = Kind::kMarkov;
+    s.mean_on = on_mean;
+    s.mean_off = off_mean;
+    s.start_on = begin_on;
+    return s;
+  }
+  static OnOffSpec daily_window(double start_sec, double end_sec) {
+    OnOffSpec s;
+    s.kind = Kind::kDailyWindow;
+    s.window_start = start_sec;
+    s.window_end = end_sec;
+    return s;
+  }
+  static OnOffSpec from_trace(std::vector<TraceSegment> segments) {
+    OnOffSpec s;
+    s.kind = Kind::kTrace;
+    s.trace = std::move(segments);
+    return s;
+  }
+  /// Weekly schedule: ON during [start, end) seconds-of-day on the days
+  /// where \p days is set (e.g. weekdays only). The window must not wrap
+  /// midnight.
+  static OnOffSpec weekly(double start_sec, double end_sec,
+                          std::array<bool, 7> days) {
+    OnOffSpec s;
+    s.kind = Kind::kWeekly;
+    s.window_start = start_sec;
+    s.window_end = end_sec;
+    s.active_days = days;
+    return s;
+  }
+
+  /// Long-run fraction of time the process is ON (exact for all kinds).
+  [[nodiscard]] double expected_on_fraction() const;
+};
+
+/// Stateful realization of an OnOffSpec. Deterministic given the RNG stream
+/// passed at construction. The owner advances it through simulated time and
+/// asks for the next transition so it can schedule an event.
+class OnOffProcess {
+ public:
+  OnOffProcess() : OnOffProcess(OnOffSpec::always_on(), Xoshiro256(0), 0.0) {}
+
+  /// \p rng is consumed by value: the process owns an independent stream.
+  OnOffProcess(const OnOffSpec& spec, Xoshiro256 rng, SimTime now);
+
+  [[nodiscard]] bool on() const { return on_; }
+
+  /// Absolute time of the next state flip; kNever if the state is permanent.
+  [[nodiscard]] SimTime next_transition() const { return next_flip_; }
+
+  /// Process all flips with time <= now. Safe to call with now between
+  /// transitions (no-op).
+  void advance_to(SimTime now);
+
+  [[nodiscard]] const OnOffSpec& spec() const { return spec_; }
+
+ private:
+  void schedule_next(SimTime from);
+  [[nodiscard]] double sample_period(double mean);
+
+  OnOffSpec spec_;
+  Xoshiro256 rng_;
+  bool on_ = true;
+  SimTime next_flip_ = kNever;
+  std::size_t trace_pos_ = 0;  ///< next segment index (kTrace)
+};
+
+/// The three availability channels of a host. Channel indices are used as
+/// event payloads.
+enum class AvailChannel : std::uint8_t { kHostOn = 0, kGpuAllowed = 1, kNetwork = 2 };
+inline constexpr std::size_t kNumAvailChannels = 3;
+
+struct HostAvailabilitySpec {
+  OnOffSpec host_on = OnOffSpec::always_on();
+  OnOffSpec gpu_allowed = OnOffSpec::always_on();
+  OnOffSpec network = OnOffSpec::always_on();
+};
+
+/// Runtime aggregate of the three channels with the BOINC semantics:
+/// CPU computing requires the host to be on; GPU computing additionally
+/// requires the GPU channel; network access requires host + network.
+class HostAvailability {
+ public:
+  HostAvailability() = default;
+  HostAvailability(const HostAvailabilitySpec& spec, Xoshiro256& parent_rng,
+                   SimTime now);
+
+  [[nodiscard]] bool cpu_computing_allowed() const { return host_on_.on(); }
+  [[nodiscard]] bool gpu_computing_allowed() const {
+    return host_on_.on() && gpu_allowed_.on();
+  }
+  [[nodiscard]] bool network_available() const {
+    return host_on_.on() && network_.on();
+  }
+
+  /// Earliest next transition across channels.
+  [[nodiscard]] SimTime next_transition() const;
+
+  void advance_to(SimTime now);
+
+  [[nodiscard]] const OnOffProcess& channel(AvailChannel c) const;
+
+ private:
+  OnOffProcess host_on_;
+  OnOffProcess gpu_allowed_;
+  OnOffProcess network_;
+};
+
+}  // namespace bce

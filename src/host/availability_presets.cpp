@@ -1,0 +1,45 @@
+#include "host/availability_presets.hpp"
+
+namespace bce {
+
+HostAvailabilitySpec avail_dedicated() { return {}; }
+
+HostAvailabilitySpec avail_office_workstation(double work_start,
+                                              double work_end) {
+  HostAvailabilitySpec s;
+  // Powered during working hours on weekdays only (day 0 = "Monday").
+  s.host_on = OnOffSpec::weekly(work_start, work_end,
+                                {true, true, true, true, true, false, false});
+  // GPU available only outside working hours (the machine computes with
+  // the CPU all day, but the GPU is reserved while the user is active).
+  s.gpu_allowed = OnOffSpec::daily_window(work_end - kSecondsPerHour,
+                                          work_start + kSecondsPerHour);
+  return s;
+}
+
+HostAvailabilitySpec avail_evening_pc() {
+  HostAvailabilitySpec s;
+  s.host_on =
+      OnOffSpec::daily_window(17.0 * kSecondsPerHour, 24.0 * kSecondsPerHour);
+  return s;
+}
+
+HostAvailabilitySpec avail_laptop(Duration mean_on, Duration mean_off) {
+  HostAvailabilitySpec s;
+  OnOffSpec host = OnOffSpec::markov(mean_on, mean_off);
+  host.dist = PeriodDist::kWeibull;
+  host.shape = 0.6;  // heavy-tailed periods, per the SETI@home fits
+  s.host_on = host;
+  s.network = OnOffSpec::markov(6.0 * kSecondsPerHour, kSecondsPerHour);
+  return s;
+}
+
+HostAvailabilitySpec avail_gamer_rig() {
+  HostAvailabilitySpec s;
+  // GPU yielded to games from 19:00 to 23:00.
+  s.gpu_allowed = OnOffSpec::daily_window(23.0 * kSecondsPerHour,
+                                          19.0 * kSecondsPerHour);
+  return s;
+}
+
+}  // namespace bce

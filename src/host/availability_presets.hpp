@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file availability_presets.hpp
+/// Ready-made host availability patterns matching the archetypes the paper
+/// describes ("some are available all the time, others are available
+/// periodically or randomly", §4.1). These are building blocks for
+/// scenarios and the population sampler; each returns a full three-channel
+/// HostAvailabilitySpec.
+
+#include "host/availability.hpp"
+
+namespace bce {
+
+/// A dedicated machine: always on, always connected.
+HostAvailabilitySpec avail_dedicated();
+
+/// An office workstation: powered during working hours (weekday rhythm is
+/// approximated by a daily window), GPU free only outside them (the user
+/// works on it during the day), always connected while on.
+HostAvailabilitySpec avail_office_workstation(
+    double work_start = 8.0 * kSecondsPerHour,
+    double work_end = 18.0 * kSecondsPerHour);
+
+/// A home PC used in the evening: on from ~17:00 to midnight.
+HostAvailabilitySpec avail_evening_pc();
+
+/// A laptop: random on/off periods (Weibull-distributed, per Javadi et
+/// al.'s SETI@home fits) and an intermittent network connection.
+HostAvailabilitySpec avail_laptop(Duration mean_on = 2.0 * kSecondsPerHour,
+                                  Duration mean_off = 4.0 * kSecondsPerHour);
+
+/// A gamer's rig: host always on, GPU yielded to games every evening.
+HostAvailabilitySpec avail_gamer_rig();
+
+}  // namespace bce

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file host_info.hpp
+/// Static hardware description of the emulated host (§2.2): processor
+/// counts and per-instance peak FLOPS per type, RAM. The BOINC client
+/// probes these on a real host; scenarios specify them directly.
+
+#include "host/proc_type.hpp"
+
+namespace bce {
+
+struct HostInfo {
+  /// Number of instances of each processor type. CPUs >= 1 for a usable
+  /// host; GPU counts may be zero.
+  PerProc<int> count{};
+
+  /// Peak FLOPS of a single instance of each type.
+  PerProc<double> flops_per_instance{};
+
+  /// Main memory, bytes. Jobs' working sets are charged against
+  /// Preferences::ram_limit_fraction of this.
+  double ram_bytes = 4e9;
+
+  /// Download bandwidth, bytes/second; <= 0 disables the transfer model
+  /// (jobs are runnable immediately after dispatch, the paper's base
+  /// assumption). When positive, jobs with input_bytes > 0 must finish
+  /// downloading before they can run (§6.2 extension).
+  double download_bandwidth_bps = 0.0;
+
+  /// Aggregate peak FLOPS of one type.
+  [[nodiscard]] double peak_flops(ProcType t) const {
+    return count[t] * flops_per_instance[t];
+  }
+
+  /// Aggregate peak FLOPS across all processor types — the capacity measure
+  /// the paper's figures of merit are expressed in (§4.2).
+  [[nodiscard]] double total_peak_flops() const {
+    double sum = 0.0;
+    for (const auto t : kAllProcTypes) sum += peak_flops(t);
+    return sum;
+  }
+
+  [[nodiscard]] bool has_gpu() const {
+    return count[ProcType::kNvidia] > 0 || count[ProcType::kAti] > 0;
+  }
+
+  /// Convenience factories for the common scenario shapes.
+  static HostInfo cpu_only(int ncpus, double cpu_flops) {
+    HostInfo h;
+    h.count[ProcType::kCpu] = ncpus;
+    h.flops_per_instance[ProcType::kCpu] = cpu_flops;
+    return h;
+  }
+
+  static HostInfo cpu_gpu(int ncpus, double cpu_flops, int ngpus,
+                          double gpu_flops, ProcType gpu = ProcType::kNvidia) {
+    HostInfo h = cpu_only(ncpus, cpu_flops);
+    h.count[gpu] = ngpus;
+    h.flops_per_instance[gpu] = gpu_flops;
+    return h;
+  }
+};
+
+}  // namespace bce

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file preferences.hpp
+/// User-specified preferences governing the client (§2.2, §3.4). We model
+/// the subset that affects scheduling: work-buffer sizes, the RAM budget,
+/// and whether GPU computing is suspended while the host is "in use"
+/// (subsumed into the GPU availability channel).
+
+#include "sim/types.hpp"
+
+namespace bce {
+
+struct Preferences {
+  /// min_queue (a.k.a. work_buf_min_days in BOINC, here in seconds): the
+  /// client tries to keep every processor busy for at least this long;
+  /// reflects expected disconnected periods (§3.4).
+  Duration min_queue = 0.1 * kSecondsPerDay;
+
+  /// max_queue (seconds): don't fetch more work for a type once it is
+  /// saturated this far ahead. Must be >= min_queue.
+  Duration max_queue = 0.5 * kSecondsPerDay;
+
+  /// Fraction of HostInfo::ram_bytes that running jobs may occupy in total.
+  double ram_limit_fraction = 0.9;
+
+  /// Minimum spacing between scheduler RPCs to the same project, seconds.
+  /// Protects project servers from rapid-fire requests.
+  Duration min_rpc_interval = 60.0;
+
+  /// A completed job is reported no later than this after completion, even
+  /// if no work request is pending (BOINC reports within ~1 day or at the
+  /// report deadline; the exact bound only matters for RPC counting).
+  Duration max_report_delay = 0.25 * kSecondsPerDay;
+
+  /// How often the client re-evaluates scheduling and work fetch when no
+  /// event forces it earlier. The real client polls every ~60 s; BCE uses
+  /// the same cadence.
+  Duration poll_period = 60.0;
+
+  /// Keep preempted applications in memory: suspension then loses no
+  /// progress (no rollback to the last checkpoint). BOINC's
+  /// leave_applications_in_memory preference; off by default, as in BOINC.
+  bool leave_apps_in_memory = false;
+
+  [[nodiscard]] bool valid() const {
+    return min_queue >= 0 && max_queue >= min_queue &&
+           ram_limit_fraction > 0 && ram_limit_fraction <= 1.0 &&
+           min_rpc_interval >= 0 && poll_period > 0;
+  }
+};
+
+}  // namespace bce

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file proc_type.hpp
+/// Processor types. BOINC (2011-era, as in the paper) distinguishes CPU,
+/// NVIDIA GPU, and ATI GPU; a host may have multiple instances of each and
+/// both GPU vendors at once (§2.1).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bce {
+
+enum class ProcType : std::uint8_t { kCpu = 0, kNvidia = 1, kAti = 2 };
+
+inline constexpr std::size_t kNumProcTypes = 3;
+
+inline constexpr std::array<ProcType, kNumProcTypes> kAllProcTypes = {
+    ProcType::kCpu, ProcType::kNvidia, ProcType::kAti};
+
+constexpr std::size_t proc_index(ProcType t) {
+  return static_cast<std::size_t>(t);
+}
+
+constexpr bool is_gpu(ProcType t) { return t != ProcType::kCpu; }
+
+constexpr const char* proc_name(ProcType t) {
+  switch (t) {
+    case ProcType::kCpu: return "cpu";
+    case ProcType::kNvidia: return "nvidia";
+    case ProcType::kAti: return "ati";
+  }
+  return "?";
+}
+
+/// Fixed-size map keyed by processor type; used for per-type counters,
+/// debts, shortfalls, etc. Zero-initialized.
+template <typename T>
+struct PerProc {
+  std::array<T, kNumProcTypes> v{};
+
+  constexpr T& operator[](ProcType t) { return v[proc_index(t)]; }
+  constexpr const T& operator[](ProcType t) const { return v[proc_index(t)]; }
+
+  constexpr T& at(std::size_t i) { return v[i]; }
+  constexpr const T& at(std::size_t i) const { return v[i]; }
+
+  void fill(const T& x) { v.fill(x); }
+};
+
+}  // namespace bce

@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file job.hpp
+/// Job templates (JobClass — what a project's server hands out) and job
+/// instances (Result — what the client queues and runs). Terminology
+/// follows BOINC: a "result" is one instance of a workunit dispatched to a
+/// host.
+
+#include <string>
+
+#include "host/availability.hpp"
+#include "host/host_info.hpp"
+#include "model/resource_usage.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// A class of jobs a project can supply (§2.3). Actual job sizes are drawn
+/// per-instance; the estimate the server/client work with can be biased to
+/// model inaccurate a-priori runtime estimates (§4.1, §6.2).
+struct JobClass {
+  std::string name = "job";
+
+  /// Server's a-priori estimate of the FLOPs in one job.
+  double flops_est = 1e12;
+
+  /// Actual FLOPs ~ TruncNormal(mean = flops_est * est_error, cv).
+  /// cv = 0 makes jobs deterministic ("run times are normally
+  /// distributed", §4.3a).
+  double flops_cv = 0.0;
+
+  /// Systematic estimate error: 1.0 = estimates are unbiased;
+  /// 2.0 = jobs actually take twice the estimate, etc.
+  double est_error = 1.0;
+
+  /// Latency bound: deadline = dispatch time + latency_bound (§2.3).
+  Duration latency_bound = 10.0 * kSecondsPerDay;
+
+  ResourceUsage usage;
+
+  /// Seconds of run time between checkpoints; kNever = the app never
+  /// checkpoints (extension, §6.2). Preempting an app loses progress since
+  /// its last checkpoint.
+  Duration checkpoint_period = 300.0;
+
+  /// Working-set size while running.
+  double ram_bytes = 1e8;
+
+  /// Input-file download time before the job becomes runnable
+  /// (file-transfer extension, §6.2; 0 = runnable on arrival, the paper's
+  /// base assumption). Applied as a fixed latency per job.
+  Duration transfer_delay = 0.0;
+
+  /// Input-file size, bytes. Only meaningful when the host models its
+  /// download link (HostInfo::download_bandwidth_bps > 0): the job then
+  /// becomes runnable when the TransferManager finishes its download.
+  double input_bytes = 0.0;
+
+  /// Output-file size, bytes. With a modeled link, a completed job can
+  /// only be reported once its results finish uploading (uploads share the
+  /// same link as downloads in this model).
+  double output_bytes = 0.0;
+
+  /// Sporadic availability of this job class at the server (§6.2 "sporadic
+  /// availability of particular types of jobs").
+  OnOffSpec avail = OnOffSpec::always_on();
+
+  /// Estimated runtime of one job of this class on \p host, if it ran
+  /// alone at full speed.
+  [[nodiscard]] Duration est_runtime(const HostInfo& host) const {
+    return flops_est / usage.flops_rate(host);
+  }
+
+  /// Slack time: latency bound minus full-speed runtime. Negative slack
+  /// means the job can never meet its deadline on this host.
+  [[nodiscard]] Duration slack(const HostInfo& host) const {
+    return latency_bound - est_runtime(host);
+  }
+};
+
+/// A job instance held by the client. Progress is measured in FLOPs done;
+/// preemption rolls progress back to the last checkpoint.
+struct Result {
+  JobId id = kNoJob;
+  ProjectId project = kNoProject;
+  int job_class = 0;  ///< index into the project's job_classes
+
+  double flops_total = 0.0;  ///< actual FLOPs (drawn at dispatch)
+  double flops_est = 0.0;    ///< estimate known to client & server
+
+  SimTime received = 0.0;       ///< dispatch time
+  SimTime runnable_at = 0.0;    ///< received + transfer_delay
+  SimTime deadline = 0.0;       ///< received + latency bound
+
+  ResourceUsage usage;
+  double ram_bytes = 0.0;
+  Duration checkpoint_period = 300.0;
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+
+  /// True once output files are uploaded (always true when the link is not
+  /// modeled or the job has no output); reporting requires it.
+  bool uploaded = false;
+
+  // --- execution state -----------------------------------------------
+  double flops_done = 0.0;
+  double checkpointed_flops = 0.0;
+  SimTime completed_at = kNever;
+  bool reported = false;
+  bool running = false;
+  /// Run time accumulated since the last checkpoint.
+  Duration run_since_checkpoint = 0.0;
+  /// False while a running task has not yet reached a checkpoint since it
+  /// last (re)started; such tasks get top scheduling precedence ("running
+  /// jobs that have not checkpointed yet", §3.3) because preempting them
+  /// loses all progress of the episode.
+  bool episode_checkpointed = true;
+  /// Visualization slot (instance index of the primary processor type)
+  /// assigned while running; -1 when not running.
+  int slot = -1;
+  /// Total FLOPs ever spent on this job including progress later lost to
+  /// preemption; feeds the wasted-fraction metric.
+  double flops_spent = 0.0;
+
+  /// First time the job ever ran (kNever if it never started); queue-wait
+  /// statistics derive from this.
+  SimTime first_started = kNever;
+
+  // --- round-robin-simulation scratch (§3.2) --------------------------
+  bool deadline_endangered = false;
+  SimTime rr_projected_finish = kNever;
+  /// RR-sim's *first* completion projection after the job arrived; kept
+  /// for prediction-accuracy studies (bench/rrsim_accuracy).
+  SimTime first_projected_finish = kNever;
+
+  [[nodiscard]] bool is_complete() const {
+    return flops_done >= flops_total - kFpEpsilon;
+  }
+  [[nodiscard]] bool missed_deadline() const {
+    return completed_at > deadline;
+  }
+  [[nodiscard]] bool runnable(SimTime now) const {
+    return !is_complete() && now + kFpEpsilon >= runnable_at;
+  }
+
+  /// Client-side duration-correction factor in force when the job was
+  /// dispatched: the running average of (actual / estimated) size the
+  /// client maintains per project (BOINC's DCF). Scales the a-priori
+  /// estimate below.
+  double est_correction = 1.0;
+
+  /// FLOPs still to do, as the *client* estimates them: before any progress
+  /// the client only has the (possibly wrong) server estimate, corrected by
+  /// the project's DCF; once the job reports fraction-done the estimate
+  /// becomes accurate, mirroring how BOINC refines runtime estimates from
+  /// the running app.
+  [[nodiscard]] double est_flops_remaining() const {
+    if (flops_done <= 0.0) return flops_est * est_correction;
+    return flops_total - flops_done;
+  }
+
+  /// True FLOPs remaining (simulation-side knowledge).
+  [[nodiscard]] double flops_remaining() const {
+    const double rem = flops_total - flops_done;
+    return rem > 0.0 ? rem : 0.0;
+  }
+};
+
+}  // namespace bce

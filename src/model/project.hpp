@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file project.hpp
+/// Static description of an attached project (§2.1): resource share, the
+/// job classes its server supplies, and its availability process (projects
+/// are "sporadically down for maintenance, or have no jobs", §4.1).
+
+#include <string>
+#include <vector>
+
+#include "host/availability.hpp"
+#include "host/proc_type.hpp"
+#include "model/job.hpp"
+
+namespace bce {
+
+struct ProjectConfig {
+  std::string name = "project";
+
+  /// Volunteer-specified resource share (arbitrary positive units; only
+  /// ratios matter, §2.1).
+  double resource_share = 100.0;
+
+  /// Job classes the server can dispatch. A project with both CPU and GPU
+  /// classes supplies whichever the client requests.
+  std::vector<JobClass> job_classes;
+
+  /// Server up/down process (always on by default).
+  OnOffSpec up = OnOffSpec::always_on();
+
+  /// Server-side cap on jobs dispatched but not yet reported back by this
+  /// host (BOINC's max_wus_in_progress; low-latency projects set this to
+  /// 1-2). 0 = unlimited.
+  int max_jobs_in_progress = 0;
+
+  /// Volunteer-set per-project controls (§2.2 preferences): don't give
+  /// this project the GPU / don't run it at all. A suspended project is
+  /// never fetched from and accrues no debt.
+  bool no_gpu = false;
+  bool suspended = false;
+
+  /// True if some job class can use processor type \p t (ignoring sporadic
+  /// class availability — this is the static capability the client learns
+  /// from the project description).
+  [[nodiscard]] bool has_jobs_for(ProcType t) const {
+    for (const auto& jc : job_classes) {
+      if (jc.usage.primary_type() == t) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool valid() const {
+    return resource_share > 0.0 && !job_classes.empty();
+  }
+};
+
+}  // namespace bce

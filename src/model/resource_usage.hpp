@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file resource_usage.hpp
+/// Per-job resource usage (§2.3): a job uses a (possibly fractional) number
+/// of CPUs, and optionally a fractional number of instances of one GPU
+/// type. BOINC app versions use at most one coprocessor type; we keep that
+/// restriction.
+
+#include "host/host_info.hpp"
+#include "host/proc_type.hpp"
+
+namespace bce {
+
+struct ResourceUsage {
+  /// CPUs used (number of CPU-intensive threads; may be fractional, e.g.
+  /// the polling thread of a GPU app).
+  double avg_ncpus = 1.0;
+
+  /// Coprocessor type; kCpu means "no coprocessor" (a pure CPU job).
+  ProcType coproc = ProcType::kCpu;
+
+  /// Instances of `coproc` used. Fractional means the job occupies at most
+  /// that fraction of one GPU's cores/memory (§2.3).
+  double coproc_usage = 0.0;
+
+  [[nodiscard]] bool uses_gpu() const {
+    return is_gpu(coproc) && coproc_usage > 0.0;
+  }
+
+  /// The processor type used for priority classification: a GPU job ranks
+  /// by its GPU type, a CPU job by CPU (§3.3 "GPU jobs have precedence").
+  [[nodiscard]] ProcType primary_type() const {
+    return uses_gpu() ? coproc : ProcType::kCpu;
+  }
+
+  /// Instance-units of type \p t this job occupies while running.
+  [[nodiscard]] double usage_of(ProcType t) const {
+    if (t == ProcType::kCpu) return avg_ncpus;
+    if (uses_gpu() && t == coproc) return coproc_usage;
+    return 0.0;
+  }
+
+  /// Peak FLOPS this job consumes while running on \p host — the rate at
+  /// which it burns through its FLOPs total, and the rate it is charged at
+  /// for resource-share accounting ("peak FLOPS" accounting, §3.1).
+  [[nodiscard]] double flops_rate(const HostInfo& host) const {
+    double rate = avg_ncpus * host.flops_per_instance[ProcType::kCpu];
+    if (uses_gpu()) rate += coproc_usage * host.flops_per_instance[coproc];
+    return rate;
+  }
+
+  static ResourceUsage cpu(double ncpus = 1.0) {
+    ResourceUsage u;
+    u.avg_ncpus = ncpus;
+    return u;
+  }
+
+  static ResourceUsage gpu(ProcType type, double gpu_instances = 1.0,
+                           double cpu_fraction = 0.05) {
+    ResourceUsage u;
+    u.avg_ncpus = cpu_fraction;
+    u.coproc = type;
+    u.coproc_usage = gpu_instances;
+    return u;
+  }
+};
+
+}  // namespace bce

@@ -1,0 +1,100 @@
+#include "model/scenario.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace bce {
+
+namespace {
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+}  // namespace
+
+bool Scenario::validate(std::string* err) const {
+  if (host.count[ProcType::kCpu] < 1) {
+    return fail(err, "host must have at least one CPU");
+  }
+  for (const auto t : kAllProcTypes) {
+    if (host.count[t] < 0) return fail(err, "negative processor count");
+    if (host.count[t] > 0 && host.flops_per_instance[t] <= 0.0) {
+      return fail(err, std::string("processor type ") + proc_name(t) +
+                           " present but has non-positive FLOPS");
+    }
+  }
+  if (host.ram_bytes <= 0.0) return fail(err, "host RAM must be positive");
+  if (host.download_bandwidth_bps < 0.0) {
+    return fail(err, "download bandwidth must be non-negative");
+  }
+  if (!prefs.valid()) return fail(err, "invalid preferences");
+  if (duration <= 0.0 || !std::isfinite(duration)) {
+    return fail(err, "duration must be positive and finite");
+  }
+  if (projects.empty()) return fail(err, "scenario has no projects");
+
+  for (std::size_t i = 0; i < projects.size(); ++i) {
+    const auto& p = projects[i];
+    std::ostringstream tag;
+    tag << "project " << i << " (" << p.name << "): ";
+    if (p.resource_share <= 0.0) {
+      return fail(err, tag.str() + "resource share must be positive");
+    }
+    if (p.job_classes.empty()) {
+      return fail(err, tag.str() + "no job classes");
+    }
+    for (const auto& jc : p.job_classes) {
+      if (jc.flops_est <= 0.0) {
+        return fail(err, tag.str() + "job class with non-positive FLOPs");
+      }
+      if (jc.latency_bound <= 0.0) {
+        return fail(err, tag.str() + "job class with non-positive latency bound");
+      }
+      if (jc.est_error <= 0.0) {
+        return fail(err, tag.str() + "job class with non-positive est_error");
+      }
+      if (jc.flops_cv < 0.0) {
+        return fail(err, tag.str() + "job class with negative flops_cv");
+      }
+      const auto& u = jc.usage;
+      if (u.avg_ncpus < 0.0 || u.coproc_usage < 0.0) {
+        return fail(err, tag.str() + "negative resource usage");
+      }
+      if (u.avg_ncpus == 0.0 && !u.uses_gpu()) {
+        return fail(err, tag.str() + "job class uses no processors");
+      }
+      if (u.uses_gpu() && host.count[u.coproc] == 0) {
+        return fail(err, tag.str() + std::string("job class needs ") +
+                             proc_name(u.coproc) +
+                             " but the host has none");
+      }
+      if (u.avg_ncpus > host.count[ProcType::kCpu]) {
+        return fail(err, tag.str() + "job class needs more CPUs than the host has");
+      }
+      if (u.uses_gpu() && u.coproc_usage > host.count[u.coproc]) {
+        return fail(err, tag.str() + "job class needs more GPU instances than the host has");
+      }
+      if (jc.ram_bytes < 0.0 || jc.ram_bytes > host.ram_bytes) {
+        return fail(err, tag.str() + "job class RAM out of range");
+      }
+      if (jc.checkpoint_period <= 0.0) {
+        return fail(err, tag.str() + "checkpoint period must be positive (use +inf for 'never')");
+      }
+      if (jc.transfer_delay < 0.0) {
+        return fail(err, tag.str() + "negative transfer delay");
+      }
+      if (jc.input_bytes < 0.0) {
+        return fail(err, tag.str() + "negative input size");
+      }
+      if (jc.output_bytes < 0.0) {
+        return fail(err, tag.str() + "negative output size");
+      }
+    }
+    if (p.max_jobs_in_progress < 0) {
+      return fail(err, tag.str() + "negative max_jobs_in_progress");
+    }
+  }
+  return true;
+}
+
+}  // namespace bce

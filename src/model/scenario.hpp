@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file scenario.hpp
+/// A *scenario* is the unit of input to the emulator (§4.1): one volunteer
+/// host — hardware, preferences, availability — plus its attached projects,
+/// an emulation horizon, and a root seed. The paper's four evaluation
+/// scenarios (§5) are provided as factories in core/paper_scenarios.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/availability.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "model/project.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+struct Scenario {
+  std::string name = "scenario";
+
+  HostInfo host;
+  Preferences prefs;
+  HostAvailabilitySpec availability;
+  std::vector<ProjectConfig> projects;
+
+  /// Emulation horizon; the paper uses 10 days unless stated otherwise.
+  Duration duration = 10.0 * kSecondsPerDay;
+
+  /// Root seed; every run is deterministic given (scenario, policy, seed).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] double total_share() const {
+    double s = 0.0;
+    for (const auto& p : projects) s += p.resource_share;
+    return s;
+  }
+
+  /// Project p's fractional resource share among all attached projects.
+  [[nodiscard]] double share_fraction(std::size_t p) const {
+    const double total = total_share();
+    return total > 0.0 ? projects[p].resource_share / total : 0.0;
+  }
+
+  /// Validate invariants; on failure returns false and, if \p err is
+  /// non-null, stores a description.
+  bool validate(std::string* err = nullptr) const;
+};
+
+}  // namespace bce

@@ -1,0 +1,153 @@
+#include "server/project_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/distribution.hpp"
+
+namespace bce {
+
+ProjectServer::ProjectServer(ProjectId id, const ProjectConfig& cfg,
+                             const HostInfo& host, const ServerPolicy& policy,
+                             double host_avail_fraction, Xoshiro256 rng,
+                             SimTime now)
+    : id_(id),
+      cfg_(cfg),
+      host_(host),
+      policy_(policy),
+      host_avail_fraction_(clamp(host_avail_fraction, 0.01, 1.0)),
+      rng_(rng.fork("server.jobs")),
+      up_(cfg.up, rng.fork("server.up"), now) {
+  class_avail_.reserve(cfg_.job_classes.size());
+  for (std::size_t i = 0; i < cfg_.job_classes.size(); ++i) {
+    class_avail_.emplace_back(cfg_.job_classes[i].avail,
+                              rng.fork("server.class" + std::to_string(i)),
+                              now);
+  }
+}
+
+void ProjectServer::advance_to(SimTime now) {
+  up_.advance_to(now);
+  for (auto& ca : class_avail_) ca.advance_to(now);
+}
+
+SimTime ProjectServer::next_transition() const {
+  SimTime t = up_.next_transition();
+  for (const auto& ca : class_avail_) t = std::min(t, ca.next_transition());
+  return t;
+}
+
+bool ProjectServer::deadline_feasible(double runtime, double latency,
+                                      double effective_delay) const {
+  if (!policy_.deadline_check) return true;
+  // The job must fit within its latency bound when run at full speed,
+  // de-rated by the host's long-run availability, after waiting out the
+  // client's current queue plus the jobs already placed in this reply.
+  // This is the simplified form of BOINC's server-side deadline check
+  // (the scheduler's `estimated_delay` + runtime test).
+  return effective_delay + runtime / host_avail_fraction_ <= latency;
+}
+
+Result ProjectServer::make_job(SimTime now, int class_idx, JobId id) {
+  const JobClass& jc = cfg_.job_classes[static_cast<std::size_t>(class_idx)];
+  Result r;
+  r.id = id;
+  r.project = id_;
+  r.job_class = class_idx;
+  r.flops_est = jc.flops_est;
+  r.flops_total =
+      sample_truncated_normal(rng_, jc.flops_est * jc.est_error, jc.flops_cv,
+                              jc.flops_est * jc.est_error * 0.01);
+  r.received = now;
+  r.runnable_at = now + jc.transfer_delay;
+  r.deadline = now + jc.latency_bound;
+  r.usage = jc.usage;
+  r.ram_bytes = jc.ram_bytes;
+  r.checkpoint_period = jc.checkpoint_period;
+  r.input_bytes = jc.input_bytes;
+  r.output_bytes = jc.output_bytes;
+  return r;
+}
+
+RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
+                                   int n_reported, JobId& next_job_id,
+                                   Logger& log) {
+  advance_to(now);
+  in_progress_ = std::max(0, in_progress_ - n_reported);
+  RpcReply reply;
+  if (!up_.on()) {
+    reply.project_down = true;
+    log.logf(now, LogCategory::kServer, "%s: server down, RPC rejected",
+             cfg_.name.c_str());
+    return reply;
+  }
+
+  for (const auto t : kAllProcTypes) {
+    if (!req.wants_type(t)) continue;
+
+    // Job classes of this type that are currently available.
+    std::vector<int> classes;
+    for (std::size_t i = 0; i < cfg_.job_classes.size(); ++i) {
+      const auto& jc = cfg_.job_classes[i];
+      if (jc.usage.primary_type() != t) continue;
+      if (!class_avail_[i].on()) continue;
+      classes.push_back(static_cast<int>(i));
+    }
+    if (classes.empty()) {
+      if (cfg_.has_jobs_for(t)) {
+        // The project *could* supply this type but can't right now.
+        reply.no_jobs_for[t] = true;
+      }
+      continue;
+    }
+
+    double sent_seconds = 0.0;
+    double sent_jobs_of_type = 0.0;
+    const double n_inst = std::max(1.0, static_cast<double>(host_.count[t]));
+    std::size_t rotor = next_class_hint_ % classes.size();
+    std::size_t consecutive_rejects = 0;
+    while ((sent_seconds < req.req_seconds[t] ||
+            sent_jobs_of_type < req.req_instances[t]) &&
+           static_cast<int>(reply.jobs.size()) < policy_.max_jobs_per_rpc &&
+           (cfg_.max_jobs_in_progress == 0 ||
+            in_progress_ + static_cast<int>(reply.jobs.size()) <
+                cfg_.max_jobs_in_progress) &&
+           consecutive_rejects < classes.size()) {
+      const int ci = classes[rotor];
+      rotor = (rotor + 1) % classes.size();
+      const JobClass& jc = cfg_.job_classes[static_cast<std::size_t>(ci)];
+      // The host's duration-correction factor scales this job's expected
+      // runtime on that host (BOINC sends DCF with the request).
+      const double corrected_runtime =
+          jc.est_runtime(host_) * std::max(req.duration_correction, 0.01);
+      // Deadline check: the client waits out its current queue plus the
+      // jobs already in this reply before this one could start.
+      const double effective_delay = req.est_delay[t] + sent_seconds / n_inst;
+      if (!deadline_feasible(corrected_runtime, jc.latency_bound,
+                             effective_delay)) {
+        ++consecutive_rejects;
+        continue;
+      }
+      consecutive_rejects = 0;
+      Result job = make_job(now, ci, next_job_id++);
+      // A job covers corrected_runtime seconds on usage_of(t) instances.
+      sent_seconds += corrected_runtime * std::max(jc.usage.usage_of(t), 1e-6);
+      sent_jobs_of_type += 1.0;
+      reply.jobs.push_back(std::move(job));
+      ++jobs_dispatched_;
+    }
+    next_class_hint_ = rotor;
+    if (sent_jobs_of_type == 0.0 && req.wants_type(t)) {
+      // Deadline-infeasible or the in-progress cap is full: back off.
+      reply.no_jobs_for[t] = true;
+    }
+    log.logf(now, LogCategory::kServer,
+             "%s: sent %.0f %s jobs (%.0f inst-sec requested, %.0f sent)",
+             cfg_.name.c_str(), sent_jobs_of_type, proc_name(t),
+             req.req_seconds[t], sent_seconds);
+  }
+  in_progress_ += static_cast<int>(reply.jobs.size());
+  return reply;
+}
+
+}  // namespace bce

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file project_server.hpp
+/// Simplified per-project scheduler simulation (§4.3c: "BOINC schedulers
+/// are simulated with a simplified model"). The server:
+///  * may be down (Markov up/down process, §4.1);
+///  * may sporadically lack jobs of particular classes (§6.2 extension);
+///  * fills each requested processor type with jobs until the requested
+///    instance-seconds are covered, drawing actual job sizes from a
+///    truncated normal around the (possibly biased) estimate;
+///  * optionally applies a deadline check: don't send a job whose
+///    full-speed runtime, de-rated by the host's expected availability,
+///    exceeds its latency bound (the "server deadline-check policies"
+///    knob of §4.3).
+
+#include <cstdint>
+
+#include "host/host_info.hpp"
+#include "model/project.hpp"
+#include "server/request.hpp"
+#include "sim/logger.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+
+struct ServerPolicy {
+  /// Refuse jobs that cannot meet their deadline on this host even at full
+  /// speed times the host's expected availability.
+  bool deadline_check = false;
+
+  /// Hard cap on jobs per RPC (guards against degenerate scenarios with
+  /// second-long jobs and day-long buffers).
+  int max_jobs_per_rpc = 500;
+};
+
+class ProjectServer {
+ public:
+  /// \p rng is an independent stream for this server's job-size draws and
+  /// availability processes. \p host_avail_fraction is the client-reported
+  /// expected availability used by the deadline check.
+  ProjectServer(ProjectId id, const ProjectConfig& cfg, const HostInfo& host,
+                const ServerPolicy& policy, double host_avail_fraction,
+                Xoshiro256 rng, SimTime now);
+
+  /// Advance up/down and per-class availability processes to \p now.
+  void advance_to(SimTime now);
+
+  /// Earliest next availability transition (for event scheduling).
+  [[nodiscard]] SimTime next_transition() const;
+
+  [[nodiscard]] bool up() const { return up_.on(); }
+
+  /// Handle one scheduler RPC at time \p now. \p n_reported is the number
+  /// of completed jobs the client reports in this RPC (frees in-progress
+  /// slots when the project caps them). \p next_job_id is a shared
+  /// allocator so job ids are unique across projects.
+  RpcReply handle_rpc(SimTime now, const WorkRequest& req, int n_reported,
+                      JobId& next_job_id, Logger& log);
+
+  /// Jobs dispatched to this host and not yet reported back.
+  [[nodiscard]] int jobs_in_progress() const { return in_progress_; }
+
+  [[nodiscard]] ProjectId id() const { return id_; }
+  [[nodiscard]] const ProjectConfig& config() const { return cfg_; }
+
+  /// Total jobs ever dispatched (stats).
+  [[nodiscard]] std::int64_t jobs_dispatched() const { return jobs_dispatched_; }
+
+ private:
+  /// Make one job instance from class \p class_idx at time \p now.
+  Result make_job(SimTime now, int class_idx, JobId id);
+
+  /// Deadline-check feasibility of a job with DCF-corrected \p runtime and
+  /// \p latency bound, given the client's current queue delay for its
+  /// processor type plus the delay added by jobs already placed in this
+  /// reply.
+  [[nodiscard]] bool deadline_feasible(double runtime, double latency,
+                                       double effective_delay) const;
+
+  ProjectId id_;
+  ProjectConfig cfg_;
+  const HostInfo host_;
+  ServerPolicy policy_;
+  double host_avail_fraction_;
+  Xoshiro256 rng_;
+  OnOffProcess up_;
+  std::vector<OnOffProcess> class_avail_;
+  std::int64_t jobs_dispatched_ = 0;
+  int in_progress_ = 0;
+  /// Rotates among matching classes so a project with several classes of
+  /// the same type interleaves them.
+  std::size_t next_class_hint_ = 0;
+};
+
+}  // namespace bce

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file request.hpp
+/// Scheduler-RPC request/reply messages (§3.4): for each processor type
+/// the client asks for enough jobs to occupy `req_instances` idle instances
+/// and `req_seconds` instance-seconds of queue depth.
+
+#include <vector>
+
+#include "host/proc_type.hpp"
+#include "model/job.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+struct WorkRequest {
+  /// Instance-seconds of work requested per processor type.
+  PerProc<double> req_seconds{};
+
+  /// Currently idle instances per type (the server tries to send at least
+  /// one job per idle instance).
+  PerProc<double> req_instances{};
+
+  /// Client's estimated busy time per type (SAT(T) from RR-sim): how long
+  /// until an instance frees up. The real BOINC request carries this as
+  /// `estimated_delay`; the server's deadline check adds it to a job's
+  /// expected turnaround.
+  PerProc<double> est_delay{};
+
+  /// The client's learned duration-correction factor for this project
+  /// (actual/estimated job size). The real BOINC request carries the
+  /// host's DCF so the scheduler sizes batches by corrected estimates —
+  /// without it, a 4x underestimate makes every fill-to-max request bring
+  /// 4x the intended work.
+  double duration_correction = 1.0;
+
+  [[nodiscard]] bool wants_work() const {
+    for (const auto t : kAllProcTypes) {
+      if (req_seconds[t] > 0.0 || req_instances[t] > 0.0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool wants_type(ProcType t) const {
+    return req_seconds[t] > 0.0 || req_instances[t] > 0.0;
+  }
+};
+
+struct RpcReply {
+  /// Jobs dispatched in this reply.
+  std::vector<Result> jobs;
+
+  /// The project's server was down; the client should back off entirely.
+  bool project_down = false;
+
+  /// Type was requested but the project currently has no jobs of it; the
+  /// client applies a per-(project,type) backoff.
+  PerProc<bool> no_jobs_for{};
+};
+
+}  // namespace bce

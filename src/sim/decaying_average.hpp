@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file decaying_average.hpp
+/// Exponentially-decaying accumulator with a configurable half-life.
+/// This is the primitive behind BOINC's REC ("recent estimated credit"):
+/// work is added as it happens and the total decays with half-life A, so the
+/// value approximates "recent average usage" with memory ~A seconds
+/// (paper §3.1 "global accounting" and §5.4 / Figure 6).
+
+#include <cmath>
+
+#include "sim/types.hpp"
+
+namespace bce {
+
+class DecayingAverage {
+ public:
+  /// \p half_life seconds; +inf means "never decays" (a plain running sum).
+  explicit DecayingAverage(double half_life = kSecondsPerDay * 10.0)
+      : half_life_(half_life) {}
+
+  /// Decay the accumulator from its last-update time to \p now, then add
+  /// \p amount (e.g. FLOPs performed during the elapsed interval).
+  /// Calls must have non-decreasing \p now.
+  void add(SimTime now, double amount) {
+    decay_to(now);
+    value_ += amount;
+  }
+
+  /// Decay to \p now without adding anything.
+  void decay_to(SimTime now) {
+    if (now <= last_update_) {
+      // Allow equal timestamps (multiple updates at one instant).
+      last_update_ = last_update_ > now ? last_update_ : now;
+      return;
+    }
+    if (std::isfinite(half_life_) && half_life_ > 0.0) {
+      const double dt = now - last_update_;
+      value_ *= std::exp2(-dt / half_life_);
+    }
+    last_update_ = now;
+  }
+
+  /// Current (decayed) value as of the last update.
+  [[nodiscard]] double value() const { return value_; }
+
+  /// Value decayed to \p now, without mutating state.
+  [[nodiscard]] double value_at(SimTime now) const {
+    if (now <= last_update_ || !std::isfinite(half_life_) || half_life_ <= 0.0)
+      return value_;
+    return value_ * std::exp2(-(now - last_update_) / half_life_);
+  }
+
+  [[nodiscard]] double half_life() const { return half_life_; }
+  void set_half_life(double hl) { half_life_ = hl; }
+
+  void reset(SimTime now = 0.0) {
+    value_ = 0.0;
+    last_update_ = now;
+  }
+
+ private:
+  double half_life_;
+  double value_ = 0.0;
+  SimTime last_update_ = 0.0;
+};
+
+}  // namespace bce

@@ -1,0 +1,67 @@
+#include "sim/distribution.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bce {
+
+double sample_exponential(Xoshiro256& rng, double mean) {
+  assert(mean > 0.0);
+  // 1 - u in (0, 1] avoids log(0).
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+double sample_standard_normal(Xoshiro256& rng) {
+  // Marsaglia polar method; uses a fixed number of stream draws per
+  // accepted pair, discarding the second variate for simplicity (the
+  // determinism contract matters more than a factor of two here).
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Xoshiro256& rng, double mean, double sd) {
+  return mean + sd * sample_standard_normal(rng);
+}
+
+double sample_truncated_normal(Xoshiro256& rng, double mean, double cv,
+                               double floor) {
+  if (cv <= 0.0) return mean > floor ? mean : floor;
+  const double sd = cv * mean;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = sample_normal(rng, mean, sd);
+    if (x > floor) return x;
+  }
+  return floor;
+}
+
+double sample_log_uniform(Xoshiro256& rng, double lo, double hi) {
+  assert(lo > 0.0 && hi >= lo);
+  return lo * std::exp(rng.uniform01() * std::log(hi / lo));
+}
+
+double sample_weibull(Xoshiro256& rng, double mean, double shape) {
+  assert(mean > 0.0 && shape > 0.0);
+  // E[X] = scale * Gamma(1 + 1/k)  =>  scale = mean / Gamma(1 + 1/k).
+  const double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  const double u = 1.0 - rng.uniform01();  // (0, 1]
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double sample_lognormal(Xoshiro256& rng, double mean, double sigma) {
+  assert(mean > 0.0 && sigma >= 0.0);
+  // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  return std::exp(mu + sigma * sample_standard_normal(rng));
+}
+
+bool sample_bernoulli(Xoshiro256& rng, double p) {
+  return rng.uniform01() < p;
+}
+
+}  // namespace bce

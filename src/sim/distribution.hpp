@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file distribution.hpp
+/// Hand-rolled sampling routines so that every platform/stdlib produces
+/// bit-identical streams (std::normal_distribution et al. are
+/// implementation-defined). These are the distributions the paper's
+/// simulation layer uses: exponential on/off period lengths (§4.3 b),
+/// normally distributed job run times (§4.3 a), plus helpers used by the
+/// Monte-Carlo scenario sampler.
+
+#include "sim/rng.hpp"
+
+namespace bce {
+
+/// Exponential with mean \p mean (> 0). Inverse-CDF sampling.
+double sample_exponential(Xoshiro256& rng, double mean);
+
+/// Standard normal via Marsaglia polar method (deterministic given stream).
+double sample_standard_normal(Xoshiro256& rng);
+
+/// Normal(mean, sd).
+double sample_normal(Xoshiro256& rng, double mean, double sd);
+
+/// Normal(mean, cv*mean) truncated below at \p floor (resampled, with a
+/// hard fallback to the floor after 64 rejections so pathological
+/// parameters cannot hang the simulation). Used for actual job FLOPs:
+/// "run times are normally distributed" but must remain positive.
+double sample_truncated_normal(Xoshiro256& rng, double mean, double cv,
+                               double floor);
+
+/// Log-uniform over [lo, hi], 0 < lo <= hi. Used by the population sampler
+/// for quantities spanning orders of magnitude (job sizes, host speeds).
+double sample_log_uniform(Xoshiro256& rng, double lo, double hi);
+
+/// Weibull with the given MEAN and shape k (> 0). Javadi et al. [5] found
+/// host availability periods are often better fit by Weibull than by the
+/// exponential (k = 1 recovers the exponential).
+double sample_weibull(Xoshiro256& rng, double mean, double shape);
+
+/// Lognormal with the given MEAN and log-space sigma (>= 0).
+double sample_lognormal(Xoshiro256& rng, double mean, double sigma);
+
+/// Bernoulli(p).
+bool sample_bernoulli(Xoshiro256& rng, double p);
+
+}  // namespace bce

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace bce {
+
+EventHandle EventQueue::schedule(SimTime at, EventKind kind,
+                                 std::int64_t payload) {
+  Event ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.payload = payload;
+  ev.handle = next_handle_++;
+  heap_.push(Entry{ev, next_seq_++});
+  ++live_;
+  return ev.handle;
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (h == kNoEvent || h >= next_handle_) return false;
+  const bool inserted = cancelled_.insert(h).second;
+  if (inserted && live_ > 0) {
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().ev.handle);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kNever : heap_.top().ev.at;
+}
+
+Event EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  Event ev = heap_.top().ev;
+  heap_.pop();
+  --live_;
+  return ev;
+}
+
+}  // namespace bce

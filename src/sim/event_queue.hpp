@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// A small discrete-event-simulation kernel: a time-ordered queue of
+/// cancellable events. The emulator's main loop (core/emulator.cpp) pulls
+/// the next event, advances the clock, and dispatches.
+///
+/// Design notes:
+///  * Events are identified by a monotonically increasing handle; cancelling
+///    marks a tombstone which is skipped on pop (lazy deletion keeps the
+///    queue a plain binary heap — O(log n) schedule/pop, O(1) cancel).
+///  * Ties in time break by schedule order, which makes runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+using EventHandle = std::uint64_t;
+
+inline constexpr EventHandle kNoEvent = 0;
+
+/// Categories let the dispatcher switch without RTTI and make logs readable.
+enum class EventKind : std::uint8_t {
+  kPoll,              ///< periodic client poll (scheduling + work fetch)
+  kTaskCompletion,    ///< a running task is predicted to finish
+  kTaskCheckpoint,    ///< a running task writes a checkpoint
+  kHostTransition,    ///< host power / GPU-allowed / network availability flips
+  kProjectTransition, ///< a project's server goes up or down
+  kRpcDeferral,       ///< a deferred scheduler RPC becomes allowed
+  kTransfer,          ///< an input-file download finishes
+  kUser,              ///< free-form event for tests and extensions
+};
+
+/// A pending event. `payload` meaning depends on `kind` (e.g. job id,
+/// project id, availability channel index).
+struct Event {
+  SimTime at = 0.0;
+  EventKind kind = EventKind::kUser;
+  std::int64_t payload = 0;
+  EventHandle handle = kNoEvent;
+};
+
+/// Time-ordered event queue with cancellation.
+class EventQueue {
+ public:
+  /// Schedule \p kind at absolute time \p at. Returns a handle usable with
+  /// cancel(). Scheduling in the past is clamped to the current front; the
+  /// caller is expected to schedule at >= now.
+  EventHandle schedule(SimTime at, EventKind kind, std::int64_t payload = 0);
+
+  /// Cancel a previously scheduled event. Idempotent; cancelling an already
+  /// fired or unknown handle is a no-op. Returns true if the event was live.
+  bool cancel(EventHandle h);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the next live event, or kNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop the next live event. Precondition: !empty().
+  Event pop();
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Total events ever scheduled (for stats/benchmarks).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return next_handle_ - 1; }
+
+ private:
+  struct Entry {
+    Event ev;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    bool operator>(const Entry& other) const {
+      if (ev.at != other.ev.at) return ev.at > other.ev.at;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<EventHandle> cancelled_;
+  std::size_t live_ = 0;
+  EventHandle next_handle_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bce

@@ -1,0 +1,40 @@
+#include "sim/logger.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace bce {
+
+const char* log_category_name(LogCategory c) {
+  switch (c) {
+    case LogCategory::kTask: return "task";
+    case LogCategory::kCpuSched: return "cpu_sched";
+    case LogCategory::kRrSim: return "rr_sim";
+    case LogCategory::kWorkFetch: return "work_fetch";
+    case LogCategory::kRpc: return "rpc";
+    case LogCategory::kAvail: return "avail";
+    case LogCategory::kServer: return "server";
+    case LogCategory::kCount_: break;
+  }
+  return "?";
+}
+
+void Logger::logf(SimTime now, LogCategory c, const char* fmt, ...) {
+  if (!enabled(c)) return;
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (stream_ != nullptr) {
+    char head[64];
+    std::snprintf(head, sizeof head, "[%10.1f] [%s] ", now,
+                  log_category_name(c));
+    (*stream_) << head << buf << '\n';
+  }
+  if (retain_) {
+    entries_.push_back(Entry{now, c, std::string(buf)});
+  }
+}
+
+}  // namespace bce

@@ -1,0 +1,79 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bce {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[128];
+  const double bin_w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + bin_w * static_cast<double>(i);
+    std::snprintf(line, sizeof line, "[%8.3g,%8.3g) %6zu ", b_lo, b_lo + bin_w,
+                  counts_[i]);
+    out += line;
+    const auto bar =
+        (counts_[i] * width + peak - 1) / peak;  // ceil, so nonzero shows
+    out.append(counts_[i] ? bar : 0, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bce

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental simulation-wide type aliases and constants.
+
+#include <cstdint>
+#include <limits>
+
+namespace bce {
+
+/// Simulated time, in seconds since the start of the emulation.
+/// BOINC itself represents time as double-precision seconds; we follow suit.
+using SimTime = double;
+
+/// Simulated duration, in seconds.
+using Duration = double;
+
+inline constexpr SimTime kSecondsPerMinute = 60.0;
+inline constexpr SimTime kSecondsPerHour = 3600.0;
+inline constexpr SimTime kSecondsPerDay = 86400.0;
+
+/// A time far beyond any emulation horizon; used as "never".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// Identifier types. Plain integers with distinct aliases for readability;
+/// -1 means "none".
+using ProjectId = int;
+using JobId = int;
+
+inline constexpr ProjectId kNoProject = -1;
+inline constexpr JobId kNoJob = -1;
+
+/// Floating-point comparison slop used throughout the emulator when
+/// comparing accumulated times/FLOPs.
+inline constexpr double kFpEpsilon = 1e-9;
+
+/// Clamp \p x into [lo, hi].
+constexpr double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace bce

@@ -1,0 +1,182 @@
+// Unit tests for resource-share accounting (client/accounting): short-term
+// and long-term debts, REC decay, and the priority functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "client/accounting.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+namespace {
+
+PerProc<double> used(double cpu, double nv = 0.0) {
+  PerProc<double> u{};
+  u[ProcType::kCpu] = cpu;
+  u[ProcType::kNvidia] = nv;
+  return u;
+}
+
+PerProc<bool> runnable_cpu(bool yes) {
+  PerProc<bool> r{};
+  r[ProcType::kCpu] = yes;
+  return r;
+}
+
+TEST(Accounting, DebtAccruesToUnderservedProject) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  // Project 0 used the whole CPU for 100 s; both had runnable jobs.
+  a.charge(100.0, 100.0, {used(100.0), used(0.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_LT(a.debt(0, ProcType::kCpu), 0.0);
+  EXPECT_GT(a.debt(1, ProcType::kCpu), 0.0);
+  // Zero-sum across eligible projects.
+  EXPECT_NEAR(a.debt(0, ProcType::kCpu) + a.debt(1, ProcType::kCpu), 0.0,
+              1e-9);
+}
+
+TEST(Accounting, BalancedUsageKeepsDebtsZero) {
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  for (int i = 0; i < 10; ++i) {
+    a.charge(i * 10.0, 10.0, {used(10.0), used(10.0)},
+             {runnable_cpu(true), runnable_cpu(true)});
+  }
+  EXPECT_NEAR(a.debt(0, ProcType::kCpu), 0.0, 1e-9);
+  EXPECT_NEAR(a.debt(1, ProcType::kCpu), 0.0, 1e-9);
+}
+
+TEST(Accounting, UnequalSharesAccrueProportionally) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.75, 0.25}, kSecondsPerDay);
+  // Nobody uses anything; both have runnable jobs: debts stay centered but
+  // relative accrual is 3:1 before normalization, so after normalization
+  // p0 gains (0.75-0.5)*dt etc.
+  a.charge(100.0, 100.0, {used(0.0), used(0.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_GT(a.debt(0, ProcType::kCpu), a.debt(1, ProcType::kCpu));
+}
+
+TEST(Accounting, ShortTermDebtFrozenWithoutRunnableJobs) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  // Project 1 has no runnable jobs: its short-term debt must not grow.
+  a.charge(100.0, 100.0, {used(100.0), used(0.0)},
+           {runnable_cpu(true), runnable_cpu(false)});
+  EXPECT_NEAR(a.debt(1, ProcType::kCpu), 0.0, 1e-9);
+}
+
+TEST(Accounting, LongTermDebtGrowsByCapabilityEvenWithEmptyQueue) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  std::vector<PerProc<bool>> cap(2);
+  cap[0][ProcType::kCpu] = cap[1][ProcType::kCpu] = true;
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay, cap);
+  a.charge(100.0, 100.0, {used(100.0), used(0.0)},
+           {runnable_cpu(true), runnable_cpu(false)});
+  EXPECT_GT(a.long_term_debt(1, ProcType::kCpu), 0.0);
+  EXPECT_GT(a.prio_fetch_local(1), a.prio_fetch_local(0));
+}
+
+TEST(Accounting, DebtIsCapped) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  // Project 0 hogs the CPU for many days.
+  for (int i = 0; i < 100; ++i) {
+    a.charge(i * kSecondsPerDay, kSecondsPerDay, {used(kSecondsPerDay), used(0.0)},
+             {runnable_cpu(true), runnable_cpu(true)});
+  }
+  EXPECT_LE(std::abs(a.debt(0, ProcType::kCpu)), kSecondsPerDay + 1.0);
+  EXPECT_LE(std::abs(a.debt(1, ProcType::kCpu)), kSecondsPerDay + 1.0);
+}
+
+TEST(Accounting, RecAccumulatesPeakFlops) {
+  const HostInfo h = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  Accounting a(h, {0.5, 0.5}, kNever);
+  // P0: 100 CPU-inst-sec; P1: 10 GPU-inst-sec (same FLOPs).
+  a.charge(100.0, 100.0, {used(100.0), used(0.0, 10.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_DOUBLE_EQ(a.rec(0), 100.0 * 1e9);
+  EXPECT_DOUBLE_EQ(a.rec(1), 10.0 * 10e9);
+}
+
+TEST(Accounting, RecDecaysWithHalfLife) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {1.0}, 1000.0);
+  a.charge(0.0, 1.0, {used(1.0)}, {runnable_cpu(true)});
+  const double before = a.rec(0);
+  a.charge(1000.0, 1.0, {used(0.0)}, {runnable_cpu(true)});
+  EXPECT_NEAR(a.rec(0), before / 2.0, before * 1e-6);
+}
+
+TEST(Accounting, PrioGlobalFavorsUnderservedProject) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  a.charge(100.0, 100.0, {used(100.0), used(0.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_LT(a.prio_global(0), a.prio_global(1));
+  // P1 got nothing: rec_frac 0 -> prio = share.
+  EXPECT_NEAR(a.prio_global(1), 0.5, 1e-12);
+  EXPECT_NEAR(a.prio_global(0), -0.5, 1e-12);
+}
+
+TEST(Accounting, PrioGlobalZeroUsageEqualsShares) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting a(h, {0.7, 0.3}, kSecondsPerDay);
+  EXPECT_DOUBLE_EQ(a.prio_global(0), 0.7);
+  EXPECT_DOUBLE_EQ(a.prio_global(1), 0.3);
+}
+
+TEST(Accounting, PrioGlobalBalancedUsageIsZero) {
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay);
+  a.charge(10.0, 10.0, {used(10.0), used(10.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_NEAR(a.prio_global(0), 0.0, 1e-12);
+  EXPECT_NEAR(a.prio_global(1), 0.0, 1e-12);
+}
+
+TEST(Accounting, FetchPrioWeightsGpuDebtByFlops) {
+  const HostInfo h = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  std::vector<PerProc<bool>> cap(2);
+  for (auto& c : cap) {
+    c[ProcType::kCpu] = true;
+    c[ProcType::kNvidia] = true;
+  }
+  Accounting a(h, {0.5, 0.5}, kSecondsPerDay, cap);
+  // P0 uses the GPU exclusively; GPU debt dominates the fetch priority
+  // because the GPU is 10x the FLOPS of a CPU.
+  a.charge(100.0, 100.0, {used(0.0, 100.0), used(0.0, 0.0)},
+           {runnable_cpu(true), runnable_cpu(true)});
+  EXPECT_GT(a.prio_fetch_local(1), a.prio_fetch_local(0));
+}
+
+/// Property sweep: after any usage pattern, eligible short-term debts stay
+/// (approximately) zero-sum.
+class DebtZeroSum : public ::testing::TestWithParam<int> {};
+
+TEST_P(DebtZeroSum, EligibleDebtsSumToZero) {
+  const HostInfo h = HostInfo::cpu_only(4, 1e9);
+  const int n = 3;
+  Accounting a(h, {0.5, 0.3, 0.2}, kSecondsPerDay);
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int step = 0; step < 50; ++step) {
+    std::vector<PerProc<double>> use(n);
+    std::vector<PerProc<bool>> run(n);
+    for (int p = 0; p < n; ++p) {
+      run[p][ProcType::kCpu] = true;  // all eligible
+      use[p][ProcType::kCpu] = rng.uniform(0.0, 40.0);
+    }
+    a.charge(step * 10.0, 10.0, use, run);
+  }
+  double sum = 0.0;
+  for (int p = 0; p < n; ++p) sum += a.debt(p, ProcType::kCpu);
+  // Sum is re-centered on every charge; capping can leave a small residue.
+  EXPECT_NEAR(sum, 0.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DebtZeroSum, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace bce

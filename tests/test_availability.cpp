@@ -1,0 +1,290 @@
+// Unit tests for host availability processes (host/availability): the
+// always-on, Markov on/off, and daily-window models, and the three-channel
+// host aggregate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "host/availability.hpp"
+
+namespace bce {
+namespace {
+
+TEST(OnOffSpec, ExpectedFractionAlwaysOn) {
+  EXPECT_DOUBLE_EQ(OnOffSpec::always_on().expected_on_fraction(), 1.0);
+}
+
+TEST(OnOffSpec, ExpectedFractionMarkov) {
+  EXPECT_DOUBLE_EQ(OnOffSpec::markov(3.0, 1.0).expected_on_fraction(), 0.75);
+}
+
+TEST(OnOffSpec, ExpectedFractionWindow) {
+  EXPECT_NEAR(OnOffSpec::daily_window(0, kSecondsPerDay / 4)
+                  .expected_on_fraction(),
+              0.25, 1e-12);
+}
+
+TEST(OnOffSpec, ExpectedFractionWrappedWindow) {
+  // ON from 18:00 to 06:00 = half the day, wrapping midnight.
+  EXPECT_NEAR(OnOffSpec::daily_window(18 * kSecondsPerHour,
+                                      6 * kSecondsPerHour)
+                  .expected_on_fraction(),
+              0.5, 1e-12);
+}
+
+TEST(OnOffProcess, AlwaysOnNeverFlips) {
+  OnOffProcess p(OnOffSpec::always_on(), Xoshiro256(1), 0.0);
+  EXPECT_TRUE(p.on());
+  EXPECT_EQ(p.next_transition(), kNever);
+  p.advance_to(1e9);
+  EXPECT_TRUE(p.on());
+}
+
+TEST(OnOffProcess, MarkovFlipsAlternate) {
+  OnOffProcess p(OnOffSpec::markov(1000.0, 500.0), Xoshiro256(2), 0.0);
+  bool state = p.on();
+  for (int i = 0; i < 100; ++i) {
+    const SimTime t = p.next_transition();
+    ASSERT_LT(t, kNever);
+    p.advance_to(t);
+    EXPECT_NE(p.on(), state);
+    state = p.on();
+  }
+}
+
+TEST(OnOffProcess, MarkovLongRunFractionMatches) {
+  OnOffProcess p(OnOffSpec::markov(3000.0, 1000.0), Xoshiro256(3), 0.0);
+  double on_time = 0.0;
+  SimTime t = 0.0;
+  const SimTime horizon = 3000.0 * 2000;  // many periods
+  while (t < horizon) {
+    const SimTime next = std::min(p.next_transition(), horizon);
+    if (p.on()) on_time += next - t;
+    t = next;
+    p.advance_to(t);
+  }
+  EXPECT_NEAR(on_time / horizon, 0.75, 0.02);
+}
+
+TEST(OnOffProcess, MarkovPeriodsAreExponential) {
+  // Mean of the ON period lengths should match the spec.
+  OnOffProcess p(OnOffSpec::markov(2000.0, 100.0), Xoshiro256(4), 0.0);
+  double total_on = 0.0;
+  int n_on = 0;
+  SimTime t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const SimTime next = p.next_transition();
+    if (p.on()) {
+      total_on += next - t;
+      ++n_on;
+    }
+    t = next;
+    p.advance_to(t);
+  }
+  EXPECT_NEAR(total_on / n_on, 2000.0, 100.0);
+}
+
+TEST(OnOffProcess, MarkovZeroOffMeanIsAlwaysOn) {
+  OnOffProcess p(OnOffSpec::markov(1000.0, 0.0), Xoshiro256(5), 0.0);
+  EXPECT_TRUE(p.on());
+  EXPECT_EQ(p.next_transition(), kNever);
+}
+
+TEST(OnOffProcess, DailyWindowStateAtConstruction) {
+  const OnOffSpec spec = OnOffSpec::daily_window(3600.0, 7200.0);
+  EXPECT_FALSE(OnOffProcess(spec, Xoshiro256(6), 0.0).on());
+  EXPECT_TRUE(OnOffProcess(spec, Xoshiro256(6), 5000.0).on());
+  EXPECT_FALSE(OnOffProcess(spec, Xoshiro256(6), 8000.0).on());
+}
+
+TEST(OnOffProcess, DailyWindowTransitionsAtBoundaries) {
+  OnOffProcess p(OnOffSpec::daily_window(3600.0, 7200.0), Xoshiro256(7), 0.0);
+  EXPECT_FALSE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 3600.0);
+  p.advance_to(3600.0);
+  EXPECT_TRUE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 7200.0);
+  p.advance_to(7200.0);
+  EXPECT_FALSE(p.on());
+  // Next ON is tomorrow's window start.
+  EXPECT_DOUBLE_EQ(p.next_transition(), kSecondsPerDay + 3600.0);
+}
+
+TEST(OnOffProcess, WrappedWindowStateAndBoundaries) {
+  const OnOffSpec spec =
+      OnOffSpec::daily_window(18 * kSecondsPerHour, 6 * kSecondsPerHour);
+  OnOffProcess p(spec, Xoshiro256(8), 0.0);  // midnight: inside the window
+  EXPECT_TRUE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 6 * kSecondsPerHour);
+  p.advance_to(6 * kSecondsPerHour);
+  EXPECT_FALSE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 18 * kSecondsPerHour);
+}
+
+TEST(OnOffProcess, AdvanceToIsIdempotentBetweenFlips) {
+  OnOffProcess p(OnOffSpec::markov(1000.0, 500.0), Xoshiro256(9), 0.0);
+  const SimTime next = p.next_transition();
+  const bool s = p.on();
+  p.advance_to(next - 1.0);
+  p.advance_to(next - 0.5);
+  EXPECT_EQ(p.on(), s);
+  EXPECT_DOUBLE_EQ(p.next_transition(), next);
+}
+
+TEST(OnOffProcess, DeterministicGivenStream) {
+  OnOffProcess a(OnOffSpec::markov(100.0, 50.0), Xoshiro256(42), 0.0);
+  OnOffProcess b(OnOffSpec::markov(100.0, 50.0), Xoshiro256(42), 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_transition(), b.next_transition());
+    a.advance_to(a.next_transition());
+    b.advance_to(b.next_transition());
+    EXPECT_EQ(a.on(), b.on());
+  }
+}
+
+TEST(OnOffProcess, TraceReplaysSegments) {
+  const OnOffSpec spec = OnOffSpec::from_trace(
+      {{100.0, true}, {50.0, false}, {30.0, true}});
+  OnOffProcess p(spec, Xoshiro256(10), 0.0);
+  EXPECT_TRUE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 100.0);
+  p.advance_to(100.0);
+  EXPECT_FALSE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 150.0);
+  p.advance_to(150.0);
+  EXPECT_TRUE(p.on());
+  // Trailing ON segment (30) merges with the cycled head ON segment (100).
+  EXPECT_DOUBLE_EQ(p.next_transition(), 280.0);
+}
+
+TEST(OnOffProcess, TraceExpectedFraction) {
+  const OnOffSpec spec = OnOffSpec::from_trace(
+      {{300.0, true}, {100.0, false}});
+  EXPECT_DOUBLE_EQ(spec.expected_on_fraction(), 0.75);
+}
+
+TEST(OnOffProcess, TraceAllOnNeverFlips) {
+  const OnOffSpec spec = OnOffSpec::from_trace({{10.0, true}, {20.0, true}});
+  OnOffProcess p(spec, Xoshiro256(11), 0.0);
+  EXPECT_TRUE(p.on());
+  EXPECT_EQ(p.next_transition(), kNever);
+}
+
+TEST(OnOffProcess, WeibullPeriodsMatchMean) {
+  OnOffSpec spec = OnOffSpec::markov(2000.0, 100.0);
+  spec.dist = PeriodDist::kWeibull;
+  spec.shape = 2.0;
+  OnOffProcess p(spec, Xoshiro256(12), 0.0);
+  double total_on = 0.0;
+  int n_on = 0;
+  SimTime t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const SimTime next = p.next_transition();
+    if (p.on()) {
+      total_on += next - t;
+      ++n_on;
+    }
+    t = next;
+    p.advance_to(t);
+  }
+  EXPECT_NEAR(total_on / n_on, 2000.0, 100.0);
+}
+
+TEST(OnOffProcess, LognormalPeriodsMatchMean) {
+  OnOffSpec spec = OnOffSpec::markov(2000.0, 100.0);
+  spec.dist = PeriodDist::kLognormal;
+  spec.shape = 0.8;
+  OnOffProcess p(spec, Xoshiro256(13), 0.0);
+  double total_on = 0.0;
+  int n_on = 0;
+  SimTime t = 0.0;
+  for (int i = 0; i < 6000; ++i) {
+    const SimTime next = p.next_transition();
+    if (p.on()) {
+      total_on += next - t;
+      ++n_on;
+    }
+    t = next;
+    p.advance_to(t);
+  }
+  EXPECT_NEAR(total_on / n_on, 2000.0, 150.0);
+}
+
+TEST(OnOffProcess, WeeklyScheduleHonorsDays) {
+  // Active on days 0-4 ("weekdays"), 9:00-17:00.
+  const OnOffSpec spec = OnOffSpec::weekly(
+      9 * kSecondsPerHour, 17 * kSecondsPerHour,
+      {true, true, true, true, true, false, false});
+  EXPECT_NEAR(spec.expected_on_fraction(), 5.0 * 8.0 / (7.0 * 24.0), 1e-9);
+
+  OnOffProcess p(spec, Xoshiro256(1), 0.0);  // day 0, midnight
+  EXPECT_FALSE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(), 9 * kSecondsPerHour);
+  p.advance_to(9 * kSecondsPerHour);
+  EXPECT_TRUE(p.on());
+  p.advance_to(17 * kSecondsPerHour);
+  EXPECT_FALSE(p.on());
+  // Day 4 (Friday) 17:00 -> next ON is day 7 (the following "Monday").
+  p.advance_to(4 * kSecondsPerDay + 17 * kSecondsPerHour);
+  EXPECT_FALSE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(),
+                   7 * kSecondsPerDay + 9 * kSecondsPerHour);
+}
+
+TEST(OnOffProcess, WeeklyAllDaysOffIsPermanentlyOff) {
+  const OnOffSpec spec = OnOffSpec::weekly(
+      0.0, kSecondsPerDay, {false, false, false, false, false, false, false});
+  OnOffProcess p(spec, Xoshiro256(2), 0.0);
+  EXPECT_FALSE(p.on());
+  EXPECT_EQ(p.next_transition(), kNever);
+  EXPECT_DOUBLE_EQ(spec.expected_on_fraction(), 0.0);
+}
+
+TEST(OnOffProcess, WeeklyStateAtConstructionMidWindow) {
+  const OnOffSpec spec = OnOffSpec::weekly(
+      9 * kSecondsPerHour, 17 * kSecondsPerHour,
+      {true, false, true, false, true, false, true});
+  // Day 2 at noon: active day, inside window.
+  OnOffProcess p(spec, Xoshiro256(3),
+                 2 * kSecondsPerDay + 12 * kSecondsPerHour);
+  EXPECT_TRUE(p.on());
+  EXPECT_DOUBLE_EQ(p.next_transition(),
+                   2 * kSecondsPerDay + 17 * kSecondsPerHour);
+  // Day 1 at noon: inactive day.
+  OnOffProcess q(spec, Xoshiro256(3),
+                 1 * kSecondsPerDay + 12 * kSecondsPerHour);
+  EXPECT_FALSE(q.on());
+  EXPECT_DOUBLE_EQ(q.next_transition(),
+                   2 * kSecondsPerDay + 9 * kSecondsPerHour);
+}
+
+TEST(HostAvailability, ChannelSemantics) {
+  HostAvailabilitySpec spec;
+  spec.host_on = OnOffSpec::daily_window(0.0, 3600.0);     // on first hour
+  spec.gpu_allowed = OnOffSpec::daily_window(1800.0, 3600.0);
+  Xoshiro256 rng(1);
+  HostAvailability av(spec, rng, 0.0);
+  EXPECT_TRUE(av.cpu_computing_allowed());
+  EXPECT_FALSE(av.gpu_computing_allowed());  // gpu channel off until 1800
+  EXPECT_TRUE(av.network_available());
+  av.advance_to(1800.0);
+  EXPECT_TRUE(av.gpu_computing_allowed());
+  av.advance_to(3600.0);
+  // Host off: nothing is allowed even though network channel is "on".
+  EXPECT_FALSE(av.cpu_computing_allowed());
+  EXPECT_FALSE(av.gpu_computing_allowed());
+  EXPECT_FALSE(av.network_available());
+}
+
+TEST(HostAvailability, NextTransitionIsMinAcrossChannels) {
+  HostAvailabilitySpec spec;
+  spec.host_on = OnOffSpec::daily_window(0.0, 7200.0);
+  spec.gpu_allowed = OnOffSpec::daily_window(0.0, 3600.0);
+  Xoshiro256 rng(1);
+  HostAvailability av(spec, rng, 0.0);
+  EXPECT_DOUBLE_EQ(av.next_transition(), 3600.0);
+}
+
+}  // namespace
+}  // namespace bce

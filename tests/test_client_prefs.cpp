@@ -1,0 +1,200 @@
+// Tests for the client-preference features: duration correction (DCF),
+// leave-apps-in-memory, and per-project no-GPU / suspended controls.
+
+#include <gtest/gtest.h>
+
+#include "core/emulator.hpp"
+#include "core/scenario_io.hpp"
+
+namespace bce {
+namespace {
+
+Scenario base_scenario(double days = 0.5) {
+  Scenario sc;
+  sc.name = "prefs_test";
+  sc.host = HostInfo::cpu_gpu(2, 1e9, 1, 10e9);
+  sc.duration = days * kSecondsPerDay;
+  sc.prefs.min_queue = 1800.0;
+  sc.prefs.max_queue = 7200.0;
+  for (int i = 0; i < 2; ++i) {
+    ProjectConfig p;
+    p.name = "p" + std::to_string(i);
+    p.resource_share = 100.0;
+    JobClass cj;
+    cj.name = "cpu";
+    cj.flops_est = 1800e9;
+    cj.flops_cv = 0.1;
+    cj.latency_bound = kSecondsPerDay;
+    cj.usage = ResourceUsage::cpu(1.0);
+    p.job_classes.push_back(cj);
+    JobClass gj;
+    gj.name = "gpu";
+    gj.flops_est = 18000e9;
+    gj.flops_cv = 0.1;
+    gj.latency_bound = kSecondsPerDay;
+    gj.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05);
+    p.job_classes.push_back(gj);
+    sc.projects.push_back(p);
+  }
+  return sc;
+}
+
+// --- DCF -----------------------------------------------------------------
+
+TEST(DurationCorrection, LearnsSystematicUnderestimates) {
+  Scenario sc = base_scenario(1.0);
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.est_error = 3.0;  // jobs 3x estimate
+  }
+  EmulationOptions opt;
+  const EmulationResult res = emulate(sc, opt);
+  // Later-dispatched jobs carry a learned correction close to the truth.
+  const Result& last = res.jobs.back();
+  EXPECT_GT(last.est_correction, 2.0);
+  EXPECT_LT(last.est_correction, 4.0);
+}
+
+TEST(DurationCorrection, DisabledKeepsCorrectionAtOne) {
+  Scenario sc = base_scenario(0.5);
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.est_error = 3.0;
+  }
+  EmulationOptions opt;
+  opt.policy.use_duration_correction = false;
+  const EmulationResult res = emulate(sc, opt);
+  for (const auto& j : res.jobs) {
+    EXPECT_DOUBLE_EQ(j.est_correction, 1.0);
+  }
+}
+
+TEST(DurationCorrection, AccurateEstimatesStayNearOne) {
+  Scenario sc = base_scenario(0.5);
+  const EmulationResult res = emulate(sc, {});
+  const Result& last = res.jobs.back();
+  EXPECT_NEAR(last.est_correction, 1.0, 0.35);  // cv=0.1 jitter only
+}
+
+TEST(DurationCorrection, ReducesFetchOvercommitment) {
+  // With 3x underestimates and low slack, DCF should reduce the number of
+  // doomed jobs the client accumulates.
+  Scenario sc = base_scenario(2.0);
+  for (auto& p : sc.projects) {
+    p.job_classes.resize(1);  // CPU class only
+    p.job_classes[0].est_error = 3.0;
+    p.job_classes[0].latency_bound = 3.0 * 1800.0 * 1.4;  // ~40% slack
+  }
+  EmulationOptions with;
+  with.policy.use_duration_correction = true;
+  EmulationOptions without;
+  without.policy.use_duration_correction = false;
+  const Metrics mw = emulate(sc, with).metrics;
+  const Metrics mo = emulate(sc, without).metrics;
+  EXPECT_LE(mw.wasted_fraction(), mo.wasted_fraction() + 0.02);
+}
+
+// --- leave apps in memory --------------------------------------------------
+
+TEST(LeaveInMemory, NoRollbackOnPreemption) {
+  Scenario sc = base_scenario(0.5);
+  sc.availability.host_on = OnOffSpec::markov(3600.0, 900.0);
+  for (auto& p : sc.projects) {
+    p.job_classes.resize(1);
+    p.job_classes[0].checkpoint_period = kNever;  // worst case
+  }
+  Scenario keep = sc;
+  keep.prefs.leave_apps_in_memory = true;
+
+  const EmulationResult lose = emulate(sc);
+  const EmulationResult hold = emulate(keep);
+
+  // Without checkpoints, rolling back loses everything on each outage;
+  // leave-in-memory must complete strictly more work.
+  EXPECT_GT(hold.metrics.n_jobs_completed, lose.metrics.n_jobs_completed);
+  // And no job in the leave-in-memory run ever spent more than it kept
+  // (modulo completion snapping).
+  for (const auto& j : hold.jobs) {
+    EXPECT_NEAR(j.flops_spent, j.flops_done,
+                1e-6 * std::max(1.0, j.flops_done));
+  }
+}
+
+// --- per-project controls ---------------------------------------------------
+
+TEST(ProjectControls, NoGpuProjectNeverRunsGpuJobs) {
+  Scenario sc = base_scenario(0.5);
+  sc.projects[0].no_gpu = true;
+  const EmulationResult res = emulate(sc);
+  for (const auto& j : res.jobs) {
+    if (j.project == 0) EXPECT_FALSE(j.usage.uses_gpu());
+  }
+  // The GPU still gets used (by project 1).
+  bool p1_gpu = false;
+  for (const auto& j : res.jobs) {
+    p1_gpu |= j.project == 1 && j.usage.uses_gpu();
+  }
+  EXPECT_TRUE(p1_gpu);
+}
+
+TEST(ProjectControls, SuspendedProjectGetsNothing) {
+  Scenario sc = base_scenario(0.5);
+  sc.projects[1].suspended = true;
+  const EmulationResult res = emulate(sc);
+  for (const auto& j : res.jobs) EXPECT_EQ(j.project, 0);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(res.metrics.usage_fraction[1], 0.0);
+}
+
+// --- result uploads ---------------------------------------------------------
+
+TEST(Uploads, ReportWaitsForOutputUpload) {
+  Scenario sc = base_scenario(0.5);
+  sc.host.download_bandwidth_bps = 1e5;
+  for (auto& p : sc.projects) {
+    p.job_classes.resize(1);  // CPU only, keep it simple
+    p.job_classes[0].output_bytes = 3e7;  // 300 s upload per result
+  }
+  const EmulationResult res = emulate(sc);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+  for (const auto& j : res.jobs) {
+    if (j.reported) {
+      EXPECT_TRUE(j.uploaded);
+    }
+  }
+  // At least one completed job was reported despite the slow uplink.
+  bool any_reported = false;
+  for (const auto& j : res.jobs) any_reported |= j.reported;
+  EXPECT_TRUE(any_reported);
+}
+
+TEST(Uploads, InstantWithoutModeledLink) {
+  Scenario sc = base_scenario(0.3);
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.output_bytes = 1e9;  // irrelevant
+  }
+  const EmulationResult res = emulate(sc);
+  for (const auto& j : res.jobs) {
+    if (j.is_complete()) EXPECT_TRUE(j.uploaded);
+  }
+}
+
+TEST(Uploads, OutputBytesRoundTrip) {
+  Scenario sc = base_scenario(0.3);
+  sc.projects[0].job_classes[0].output_bytes = 42.0;
+  const Scenario b = parse_scenario(serialize_scenario(sc));
+  EXPECT_DOUBLE_EQ(b.projects[0].job_classes[0].output_bytes, 42.0);
+}
+
+TEST(ProjectControls, RoundTripThroughScenarioFile) {
+  Scenario sc = base_scenario(0.5);
+  sc.projects[0].no_gpu = true;
+  sc.projects[1].suspended = true;
+  sc.prefs.leave_apps_in_memory = true;
+  const Scenario b = parse_scenario(serialize_scenario(sc));
+  EXPECT_TRUE(b.projects[0].no_gpu);
+  EXPECT_FALSE(b.projects[0].suspended);
+  EXPECT_TRUE(b.projects[1].suspended);
+  EXPECT_TRUE(b.prefs.leave_apps_in_memory);
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,208 @@
+// Unit tests for sim/distribution: correctness of moments, support bounds,
+// and determinism of every sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/distribution.hpp"
+
+namespace bce {
+namespace {
+
+constexpr int kN = 50000;
+
+TEST(Exponential, MeanMatches) {
+  Xoshiro256 rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += sample_exponential(rng, 100.0);
+  EXPECT_NEAR(sum / kN, 100.0, 2.0);
+}
+
+TEST(Exponential, AlwaysPositive) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(sample_exponential(rng, 5.0), 0.0);
+  }
+}
+
+TEST(Exponential, VarianceMatchesMeanSquared) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const double mean = 42.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_exponential(rng, mean);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double m = sum / kN;
+  const double var = sum2 / kN - m * m;
+  EXPECT_NEAR(var, mean * mean, 0.1 * mean * mean);
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Xoshiro256 rng(4);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_standard_normal(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Normal, ShiftAndScale) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += sample_normal(rng, 10.0, 3.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(TruncatedNormal, RespectsFloor) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(sample_truncated_normal(rng, 10.0, 1.0, 0.5), 0.5);
+  }
+}
+
+TEST(TruncatedNormal, ZeroCvReturnsMean) {
+  Xoshiro256 rng(7);
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, 10.0, 0.0, 1.0), 10.0);
+}
+
+TEST(TruncatedNormal, ZeroCvBelowFloorClamps) {
+  Xoshiro256 rng(8);
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, 1.0, 0.0, 5.0), 5.0);
+}
+
+TEST(TruncatedNormal, SmallCvMeanUnbiased) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += sample_truncated_normal(rng, 1000.0, 0.1, 1.0);
+  }
+  EXPECT_NEAR(sum / kN, 1000.0, 2.0);
+}
+
+TEST(TruncatedNormal, PathologicalParamsTerminate) {
+  Xoshiro256 rng(10);
+  // Mean far below the floor with tiny sd: rejection can't succeed; the
+  // fallback must return the floor rather than spin forever.
+  const double x = sample_truncated_normal(rng, 1.0, 1e-6, 100.0);
+  EXPECT_DOUBLE_EQ(x, 100.0);
+}
+
+TEST(LogUniform, WithinBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = sample_log_uniform(rng, 10.0, 1000.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0 * (1 + 1e-12));
+  }
+}
+
+TEST(LogUniform, MedianIsGeometricMean) {
+  Xoshiro256 rng(12);
+  int below = 0;
+  const double geo = std::sqrt(10.0 * 1000.0);
+  for (int i = 0; i < kN; ++i) {
+    if (sample_log_uniform(rng, 10.0, 1000.0) < geo) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kN, 0.5, 0.01);
+}
+
+TEST(LogUniform, DegenerateRange) {
+  Xoshiro256 rng(13);
+  EXPECT_DOUBLE_EQ(sample_log_uniform(rng, 7.0, 7.0), 7.0);
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Xoshiro256 rng(14);
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (sample_bernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Bernoulli, Extremes) {
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sample_bernoulli(rng, 0.0));
+    EXPECT_TRUE(sample_bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Weibull, MeanMatchesAcrossShapes) {
+  for (const double k : {0.5, 1.0, 2.0, 4.0}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(k * 100));
+    double sum = 0.0;
+    for (int i = 0; i < kN; ++i) sum += sample_weibull(rng, 500.0, k);
+    EXPECT_NEAR(sum / kN, 500.0, 25.0) << "shape " << k;
+  }
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  // k = 1 Weibull == exponential: compare variances (exp: var = mean^2).
+  Xoshiro256 rng(55);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_weibull(rng, 100.0, 1.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double m = sum / kN;
+  EXPECT_NEAR(sum2 / kN - m * m, 100.0 * 100.0, 1500.0);
+}
+
+TEST(Weibull, AlwaysPositive) {
+  Xoshiro256 rng(56);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(sample_weibull(rng, 10.0, 0.7), 0.0);
+  }
+}
+
+TEST(Lognormal, MeanMatches) {
+  Xoshiro256 rng(57);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += sample_lognormal(rng, 200.0, 0.5);
+  EXPECT_NEAR(sum / kN, 200.0, 5.0);
+}
+
+TEST(Lognormal, ZeroSigmaIsConstant) {
+  Xoshiro256 rng(58);
+  EXPECT_NEAR(sample_lognormal(rng, 42.0, 0.0), 42.0, 1e-9);
+}
+
+TEST(AllSamplers, DeterministicGivenStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sample_exponential(a, 10.0), sample_exponential(b, 10.0));
+    EXPECT_DOUBLE_EQ(sample_standard_normal(a), sample_standard_normal(b));
+    EXPECT_DOUBLE_EQ(sample_log_uniform(a, 1.0, 2.0),
+                     sample_log_uniform(b, 1.0, 2.0));
+    EXPECT_EQ(sample_bernoulli(a, 0.5), sample_bernoulli(b, 0.5));
+  }
+}
+
+/// Property sweep: exponential mean correct across scales.
+class ExponentialMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanSweep, MeanWithinFivePercent) {
+  const double mean = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(mean * 1000));
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += sample_exponential(rng, mean);
+  EXPECT_NEAR(sum / kN, mean, 0.05 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExponentialMeanSweep,
+                         ::testing::Values(0.01, 1.0, 3600.0, 86400.0, 1e7));
+
+}  // namespace
+}  // namespace bce

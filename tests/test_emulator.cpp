@@ -1,0 +1,304 @@
+// Integration tests for the emulator (core/emulator): end-to-end behaviour
+// of the full client/server/availability loop on small scenarios.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+
+namespace bce {
+namespace {
+
+Scenario two_project_scenario(double days = 0.5) {
+  Scenario sc;
+  sc.name = "itest";
+  sc.host = HostInfo::cpu_only(2, 1e9);
+  sc.duration = days * kSecondsPerDay;
+  sc.seed = 1;
+  sc.prefs.min_queue = 1800.0;
+  sc.prefs.max_queue = 7200.0;
+  for (int i = 0; i < 2; ++i) {
+    ProjectConfig p;
+    p.name = "p" + std::to_string(i);
+    p.resource_share = 100.0;
+    JobClass jc;
+    jc.flops_est = 1800e9;  // 30 min jobs
+    jc.flops_cv = 0.1;
+    jc.latency_bound = 1.0 * kSecondsPerDay;
+    jc.usage = ResourceUsage::cpu(1.0);
+    p.job_classes.push_back(jc);
+    sc.projects.push_back(p);
+  }
+  return sc;
+}
+
+TEST(Emulator, CompletesJobsAndStaysBusy) {
+  const EmulationResult res = emulate(two_project_scenario());
+  EXPECT_GT(res.metrics.n_jobs_completed, 10);
+  EXPECT_LT(res.metrics.idle_fraction(), 0.05);
+  EXPECT_DOUBLE_EQ(res.metrics.wasted_fraction(), 0.0);
+}
+
+TEST(Emulator, DeterministicGivenSeed) {
+  const EmulationResult a = emulate(two_project_scenario());
+  const EmulationResult b = emulate(two_project_scenario());
+  EXPECT_EQ(a.metrics.n_jobs_completed, b.metrics.n_jobs_completed);
+  EXPECT_EQ(a.metrics.n_rpcs, b.metrics.n_rpcs);
+  EXPECT_DOUBLE_EQ(a.metrics.used_flops, b.metrics.used_flops);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].flops_total, b.jobs[i].flops_total);
+    EXPECT_DOUBLE_EQ(a.jobs[i].completed_at, b.jobs[i].completed_at);
+  }
+}
+
+TEST(Emulator, DifferentSeedsDiffer) {
+  Scenario sc = two_project_scenario();
+  const EmulationResult a = emulate(sc);
+  sc.seed = 2;
+  const EmulationResult b = emulate(sc);
+  // Runtimes are drawn with cv > 0, so the trajectories must diverge.
+  EXPECT_NE(a.metrics.used_flops, b.metrics.used_flops);
+}
+
+TEST(Emulator, UsageNeverExceedsCapacity) {
+  const EmulationResult res = emulate(two_project_scenario());
+  // Allow the documented <= 1-CPU overcommit headroom.
+  EXPECT_LE(res.metrics.used_flops,
+            res.metrics.available_flops * 1.5 + 1e-6);
+}
+
+TEST(Emulator, SharesRespectedLongRun) {
+  Scenario sc = two_project_scenario(2.0);
+  sc.projects[0].resource_share = 300.0;
+  sc.projects[1].resource_share = 100.0;
+  const EmulationResult res = emulate(sc);
+  EXPECT_NEAR(res.metrics.usage_fraction[0], 0.75, 0.08);
+  EXPECT_NEAR(res.metrics.usage_fraction[1], 0.25, 0.08);
+}
+
+TEST(Emulator, SingleProjectUsesWholeHost) {
+  Scenario sc = two_project_scenario();
+  sc.projects.pop_back();
+  const EmulationResult res = emulate(sc);
+  EXPECT_LT(res.metrics.idle_fraction(), 0.05);
+  EXPECT_DOUBLE_EQ(res.metrics.usage_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(res.metrics.monotony, 0.0);  // undefined for 1 project
+}
+
+TEST(Emulator, InvalidScenarioThrows) {
+  Scenario sc = two_project_scenario();
+  sc.projects.clear();
+  EXPECT_THROW(emulate(sc), std::invalid_argument);
+}
+
+TEST(Emulator, HostUnavailabilityReducesAvailableCapacity) {
+  Scenario always = two_project_scenario(3.0);
+  Scenario flaky = always;
+  flaky.availability.host_on = OnOffSpec::markov(3600.0, 3600.0);
+  const EmulationResult a = emulate(always);
+  const EmulationResult b = emulate(flaky);
+  // Half the wall-clock is unavailable: available capacity drops ~50%.
+  EXPECT_NEAR(b.metrics.available_flops / a.metrics.available_flops, 0.5,
+              0.12);
+  // The host still keeps busy while it is on.
+  EXPECT_LT(b.metrics.idle_fraction(), 0.15);
+}
+
+TEST(Emulator, GpuHostRunsGpuJobs) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 0.5 * kSecondsPerDay;
+  EmulationOptions opt;
+  opt.record_timeline = true;
+  const EmulationResult res = emulate(sc, opt);
+  bool gpu_span = false;
+  for (const auto& s : res.timeline.spans()) {
+    if (s.type == ProcType::kNvidia) gpu_span = true;
+  }
+  EXPECT_TRUE(gpu_span);
+  EXPECT_LT(res.metrics.idle_fraction(), 0.1);
+}
+
+TEST(Emulator, TimelineOnlyWhenRequested) {
+  Scenario sc = two_project_scenario(0.1);
+  EXPECT_TRUE(emulate(sc).timeline.spans().empty());
+  EmulationOptions opt;
+  opt.record_timeline = true;
+  EXPECT_FALSE(emulate(sc, opt).timeline.spans().empty());
+}
+
+TEST(Emulator, MessageLogCapturesDecisions) {
+  Scenario sc = two_project_scenario(0.05);
+  Logger log;
+  log.enable_all();
+  log.set_retain(true);
+  EmulationOptions opt;
+  opt.logger = &log;
+  emulate(sc, opt);
+  bool saw_task = false;
+  bool saw_fetch = false;
+  bool saw_rpc = false;
+  for (const auto& e : log.entries()) {
+    saw_task |= e.category == LogCategory::kTask;
+    saw_fetch |= e.category == LogCategory::kWorkFetch;
+    saw_rpc |= e.category == LogCategory::kRpc;
+  }
+  EXPECT_TRUE(saw_task);
+  EXPECT_TRUE(saw_fetch);
+  EXPECT_TRUE(saw_rpc);
+}
+
+TEST(Emulator, CompletedJobsAreReportedWithinDelay) {
+  Scenario sc = two_project_scenario(1.0);
+  const EmulationResult res = emulate(sc);
+  for (const auto& j : res.jobs) {
+    if (j.is_complete() &&
+        j.completed_at + sc.prefs.max_report_delay + sc.prefs.poll_period <
+            sc.duration) {
+      EXPECT_TRUE(j.reported) << "job " << j.id << " completed at "
+                              << j.completed_at << " but never reported";
+    }
+  }
+}
+
+TEST(Emulator, DownProjectGetsNoRpcsWhileDown) {
+  Scenario sc = two_project_scenario(0.5);
+  // Project 1's server is permanently down.
+  sc.projects[1].up = OnOffSpec::markov(1.0, 1e12, /*begin_on=*/false);
+  const EmulationResult res = emulate(sc);
+  // All completed jobs came from project 0.
+  for (const auto& j : res.jobs) EXPECT_EQ(j.project, 0);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+}
+
+TEST(Emulator, TransferDelayPostponesFirstStart) {
+  Scenario sc = two_project_scenario(0.2);
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.transfer_delay = 900.0;
+  }
+  const EmulationResult res = emulate(sc);
+  // No job can complete before transfer + runtime.
+  for (const auto& j : res.jobs) {
+    if (j.is_complete()) {
+      EXPECT_GE(j.completed_at, j.received + 900.0);
+    }
+  }
+}
+
+TEST(Emulator, NonCheckpointingAppsLoseMoreWork) {
+  Scenario with_cp = two_project_scenario(1.0);
+  Scenario without = with_cp;
+  // Force frequent availability interruptions so preemption losses show.
+  with_cp.availability.host_on = OnOffSpec::markov(3600.0, 600.0);
+  without.availability.host_on = OnOffSpec::markov(3600.0, 600.0);
+  for (auto& p : without.projects) {
+    for (auto& jc : p.job_classes) jc.checkpoint_period = kNever;
+  }
+  const EmulationResult a = emulate(with_cp);
+  const EmulationResult b = emulate(without);
+  // Same capacity, but the non-checkpointing client completes less work.
+  EXPECT_LT(b.metrics.n_jobs_completed, a.metrics.n_jobs_completed);
+}
+
+TEST(Emulator, ModeledDownloadsDelayJobs) {
+  Scenario sc = two_project_scenario(0.3);
+  sc.host.download_bandwidth_bps = 1e6;  // 1 MB/s
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 6e8;  // 600 s download
+  }
+  const EmulationResult res = emulate(sc);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+  for (const auto& j : res.jobs) {
+    if (j.is_complete()) {
+      // runtime 1800 s + >= 600 s of download (more when sharing the link).
+      EXPECT_GE(j.completed_at - j.received, 600.0 + 1000.0);
+    }
+  }
+}
+
+TEST(Emulator, TransferOrderingPolicyChangesBehaviour) {
+  Scenario sc = two_project_scenario(0.3);
+  sc.host.download_bandwidth_bps = 2e5;  // slow link: ordering matters
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 3e8;
+  }
+  EmulationOptions fair;
+  fair.policy.transfer_order = TransferOrder::kFairShare;
+  EmulationOptions fifo;
+  fifo.policy.transfer_order = TransferOrder::kFifo;
+  const EmulationResult a = emulate(sc, fair);
+  const EmulationResult b = emulate(sc, fifo);
+  // Both make progress; the schedules differ.
+  EXPECT_GT(a.metrics.n_jobs_completed, 0);
+  EXPECT_GT(b.metrics.n_jobs_completed, 0);
+  EXPECT_NE(a.metrics.used_flops, b.metrics.used_flops);
+}
+
+TEST(Emulator, MaxInProgressThrottlesQueueDepth) {
+  Scenario sc = two_project_scenario(0.5);
+  sc.projects[0].max_jobs_in_progress = 1;
+  const EmulationResult res = emulate(sc);
+  // At no point can project 0 hold two unfinished unreported jobs; the
+  // easiest observable: jobs of project 0 never overlap in execution.
+  std::vector<std::pair<double, double>> runs;
+  for (const auto& j : res.jobs) {
+    if (j.project == 0 && j.is_complete()) {
+      runs.emplace_back(j.received, j.completed_at);
+    }
+  }
+  ASSERT_GE(runs.size(), 2u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_GE(runs[i].first + 1e-6, runs[i - 1].second)
+        << "jobs " << i - 1 << " and " << i << " overlap";
+  }
+}
+
+TEST(Emulator, FinalAccountingStateExposed) {
+  const EmulationResult res = emulate(two_project_scenario(0.2));
+  ASSERT_EQ(res.final_rec.size(), 2u);
+  ASSERT_EQ(res.final_debt.size(), 2u);
+  EXPECT_GT(res.final_rec[0] + res.final_rec[1], 0.0);
+}
+
+TEST(Emulator, PreemptionRollsBackToCheckpoint) {
+  // One CPU, one long-running low-priority job that gets preempted by an
+  // endangered job; its flops_spent must exceed flops_done afterwards.
+  Scenario sc;
+  sc.host = HostInfo::cpu_only(1, 1e9);
+  sc.duration = 4.0 * 3600.0;
+  sc.prefs.min_queue = 600.0;
+  sc.prefs.max_queue = 1200.0;
+  ProjectConfig big;
+  big.name = "big";
+  big.resource_share = 100.0;
+  JobClass bj;
+  bj.flops_est = 3.0 * 3600.0 * 1e9;
+  bj.latency_bound = 10.0 * kSecondsPerDay;
+  bj.usage = ResourceUsage::cpu(1.0);
+  bj.checkpoint_period = 1800.0;  // coarse checkpoints: losses visible
+  big.job_classes.push_back(bj);
+  ProjectConfig urgent;
+  urgent.name = "urgent";
+  urgent.resource_share = 100.0;
+  JobClass uj;
+  uj.flops_est = 600.0 * 1e9;
+  uj.latency_bound = 900.0;  // tight: immediately endangered
+  uj.usage = ResourceUsage::cpu(1.0);
+  urgent.job_classes.push_back(uj);
+  sc.projects = {big, urgent};
+
+  const EmulationResult res = emulate(sc);
+  EXPECT_GT(res.metrics.n_preemptions, 0);
+  double spent = 0.0;
+  double done = 0.0;
+  for (const auto& j : res.jobs) {
+    spent += j.flops_spent;
+    done += j.flops_done;
+  }
+  EXPECT_GT(spent, done);  // some progress was lost to rollbacks
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,205 @@
+// Behavioural integration tests: cross-module effects observable only in
+// full emulations — backoff dynamics, report forcing, timeline/metrics
+// consistency, server deadline checks, and buffer-size effects.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+
+namespace bce {
+namespace {
+
+Scenario simple(double days, int ncpus = 2) {
+  Scenario sc;
+  sc.name = "behave";
+  sc.host = HostInfo::cpu_only(ncpus, 1e9);
+  sc.duration = days * kSecondsPerDay;
+  sc.prefs.min_queue = 1800.0;
+  sc.prefs.max_queue = 7200.0;
+  ProjectConfig p;
+  p.name = "p0";
+  p.resource_share = 100.0;
+  JobClass jc;
+  jc.name = "cpu";
+  jc.flops_est = 1800e9;
+  jc.flops_cv = 0.1;
+  jc.latency_bound = kSecondsPerDay;
+  jc.usage = ResourceUsage::cpu(1.0);
+  p.job_classes.push_back(jc);
+  sc.projects.push_back(p);
+  return sc;
+}
+
+TEST(Behaviour, TimelineBusySecondsMatchUsedFlops) {
+  Scenario sc = simple(0.5);
+  EmulationOptions opt;
+  opt.record_timeline = true;
+  const EmulationResult res = emulate(sc, opt);
+
+  double busy_secs = 0.0;
+  for (const auto& s : res.timeline.spans()) {
+    if (s.type == ProcType::kCpu && s.project != kNoProject) {
+      busy_secs += s.t1 - s.t0;
+    }
+  }
+  // Every CPU job uses exactly one CPU at 1 GFLOPS, so timeline seconds
+  // times 1e9 must equal used FLOPs (timeline draws the slot regardless of
+  // fractional usage, which is 1.0 here).
+  EXPECT_NEAR(busy_secs * 1e9, res.metrics.used_flops,
+              0.01 * res.metrics.used_flops);
+}
+
+TEST(Behaviour, TimelineSpansNeverOverlapPerSlot) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 0.5 * kSecondsPerDay;
+  EmulationOptions opt;
+  opt.record_timeline = true;
+  const EmulationResult res = emulate(sc, opt);
+  std::map<std::pair<int, int>, SimTime> last_end;
+  for (const auto& s : res.timeline.spans()) {
+    const auto key = std::make_pair(static_cast<int>(s.type), s.slot);
+    const auto it = last_end.find(key);
+    if (it != last_end.end()) {
+      EXPECT_GE(s.t0, it->second - 1e-6)
+          << proc_name(s.type) << " slot " << s.slot;
+    }
+    last_end[key] = std::max(last_end[key], s.t1);
+  }
+}
+
+TEST(Behaviour, SporadicJobClassCausesBackoffNotSpam) {
+  // The project's only job class is unavailable half the time; the client
+  // must back off rather than hammer the server every poll.
+  Scenario sc = simple(1.0);
+  sc.projects[0].job_classes[0].avail =
+      OnOffSpec::markov(2.0 * 3600.0, 2.0 * 3600.0);
+  const EmulationResult res = emulate(sc);
+  // One day = 1440 polls; without backoff, every empty-queue poll would
+  // RPC. With exponential backoff the total stays far below that.
+  EXPECT_LT(res.metrics.n_rpcs, 300);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+}
+
+TEST(Behaviour, DownProjectBackoffCapsRpcRate) {
+  Scenario sc = simple(1.0);
+  sc.projects[0].up = OnOffSpec::markov(1.0, 1e12, false);  // always down
+  const EmulationResult res = emulate(sc);
+  EXPECT_EQ(res.metrics.n_jobs_completed, 0);
+  // Backoff doubles 600 s -> 4 h; a day of retries is a few dozen RPCs.
+  EXPECT_LT(res.metrics.n_rpcs, 40);
+  EXPECT_GT(res.metrics.n_rpcs, 3);
+}
+
+TEST(Behaviour, ReportOnlyRpcsWhenNoWorkNeeded) {
+  // Huge queue buffers mean no further work requests for a while, but
+  // completed jobs must still be reported within max_report_delay.
+  Scenario sc = simple(0.5);
+  sc.prefs.max_report_delay = 3600.0;
+  const EmulationResult res = emulate(sc);
+  // There are RPCs beyond work requests: the report-only ones.
+  EXPECT_GT(res.metrics.n_rpcs, res.metrics.n_work_request_rpcs);
+  for (const auto& j : res.jobs) {
+    if (j.is_complete() &&
+        j.completed_at + sc.prefs.max_report_delay + 2 * sc.prefs.poll_period <
+            sc.duration) {
+      EXPECT_TRUE(j.reported);
+    }
+  }
+}
+
+TEST(Behaviour, ServerDeadlineCheckPreventsWaste) {
+  Scenario sc = paper_scenario1(1100.0);  // slack 100: nearly hopeless
+  sc.duration = 2.0 * kSecondsPerDay;
+  EmulationOptions off;
+  off.policy.sched = JobSchedPolicy::kWrr;
+  off.policy.fetch = FetchPolicy::kOrig;
+  EmulationOptions on = off;
+  on.policy.server_deadline_check = true;
+  const Metrics m_off = emulate(sc, off).metrics;
+  const Metrics m_on = emulate(sc, on).metrics;
+  EXPECT_GT(m_off.wasted_fraction(), 0.3);
+  EXPECT_LT(m_on.wasted_fraction(), 0.05);
+  // The refused project starves instead: violation appears.
+  EXPECT_GT(m_on.share_violation(), m_off.share_violation());
+}
+
+TEST(Behaviour, BiggerBuffersMeanFewerWorkRpcs) {
+  Scenario small = simple(2.0);
+  small.prefs.min_queue = 900.0;
+  small.prefs.max_queue = 1800.0;
+  Scenario big = simple(2.0);
+  big.prefs.min_queue = 4.0 * 3600.0;
+  big.prefs.max_queue = 16.0 * 3600.0;
+  EmulationOptions opt;
+  opt.policy.fetch = FetchPolicy::kHysteresis;
+  const Metrics ms = emulate(small, opt).metrics;
+  const Metrics mb = emulate(big, opt).metrics;
+  EXPECT_GT(ms.n_work_request_rpcs, 2 * mb.n_work_request_rpcs);
+  // Throughput unaffected: a single always-on project keeps the host busy.
+  EXPECT_LT(ms.idle_fraction(), 0.02);
+  EXPECT_LT(mb.idle_fraction(), 0.02);
+}
+
+TEST(Behaviour, PollPeriodBoundsSchedulingLatency) {
+  Scenario sc = simple(0.25);
+  sc.prefs.poll_period = 600.0;  // sluggish client
+  const EmulationResult res = emulate(sc);
+  // Jobs still complete; the *first* job to run starts within one poll of
+  // the initial batch's arrival (later batch-mates wait for a free CPU).
+  ASSERT_GT(res.metrics.n_jobs_completed, 0);
+  double earliest_start = kNever;
+  for (const auto& j : res.jobs) {
+    if (j.received == 0.0 && j.first_started < kNever) {
+      earliest_start = std::min(earliest_start, j.first_started);
+    }
+  }
+  ASSERT_LT(earliest_start, kNever);
+  EXPECT_GT(earliest_start, 0.0);  // not instant: waits for a poll
+  EXPECT_LE(earliest_start, sc.prefs.poll_period + 1e-6);
+}
+
+TEST(Behaviour, GpuUnavailabilityIdlesOnlyGpu) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 1.0 * kSecondsPerDay;
+  sc.availability.gpu_allowed = OnOffSpec::markov(1.0, 1e12, false);  // never
+  const EmulationResult res = emulate(sc);
+  // No GPU job ever ran.
+  for (const auto& j : res.jobs) {
+    if (j.usage.uses_gpu()) {
+      EXPECT_EQ(j.flops_spent, 0.0);
+    }
+  }
+  // CPUs still fully used: available capacity counts only the CPU.
+  EXPECT_LT(res.metrics.idle_fraction(), 0.05);
+}
+
+TEST(Behaviour, MemoryPressureSerializesBigJobs) {
+  Scenario sc = simple(0.5, 4);
+  sc.host.ram_bytes = 4e9;
+  sc.prefs.ram_limit_fraction = 0.5;  // 2 GB budget
+  sc.projects[0].job_classes[0].ram_bytes = 1.2e9;  // only one fits
+  const EmulationResult res = emulate(sc);
+  // Effective parallelism 1 of 4 CPUs: idle ~0.75.
+  EXPECT_GT(res.metrics.idle_fraction(), 0.6);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+}
+
+TEST(Behaviour, EstimatedDelayReportedToServer) {
+  // With the deadline check on and moderate slack, batch depth adapts to
+  // the reported queue: jobs keep meeting deadlines even under WRR.
+  Scenario sc = paper_scenario1(2500.0);
+  sc.duration = 2.0 * kSecondsPerDay;
+  EmulationOptions opt;
+  opt.policy.sched = JobSchedPolicy::kWrr;
+  opt.policy.fetch = FetchPolicy::kHysteresis;
+  opt.policy.server_deadline_check = true;
+  const Metrics m = emulate(sc, opt).metrics;
+  EXPECT_LT(m.wasted_fraction(), 0.1);
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,198 @@
+// Whole-system property tests: invariants that must hold for ANY
+// (scenario, policy, seed) combination. These sweep the full policy matrix
+// over randomized scenarios and check conservation laws and cross-module
+// consistency that no unit test can see.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/emulator.hpp"
+#include "core/population.hpp"
+
+namespace bce {
+namespace {
+
+struct Combo {
+  JobSchedPolicy sched;
+  FetchPolicy fetch;
+  int seed;
+};
+
+class EmulatorInvariants : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EmulatorInvariants, HoldOnSampledScenario) {
+  const Combo combo = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(combo.seed) * 7919ull);
+  PopulationParams pp;
+  pp.duration = 0.5 * kSecondsPerDay;
+  pp.max_projects = 6;
+  Scenario sc = sample_scenario(rng, pp);
+
+  EmulationOptions opt;
+  opt.policy.sched = combo.sched;
+  opt.policy.fetch = combo.fetch;
+  const EmulationResult res = emulate(sc, opt);
+  const Metrics& m = res.metrics;
+
+  // --- conservation -----------------------------------------------------
+  // Used FLOPs equal the sum of per-job spent FLOPs.
+  double spent = 0.0;
+  for (const auto& j : res.jobs) spent += j.flops_spent;
+  EXPECT_NEAR(m.used_flops, spent, 1e-6 * std::max(1.0, spent));
+
+  // Per-project stats add up to the global counters.
+  std::int64_t fetched = 0;
+  std::int64_t completed = 0;
+  std::int64_t missed = 0;
+  double ps_flops = 0.0;
+  for (const auto& ps : res.project_stats) {
+    fetched += ps.jobs_fetched;
+    completed += ps.jobs_completed;
+    missed += ps.jobs_missed;
+    ps_flops += ps.flops_used;
+    EXPECT_EQ(ps.turnaround.count(),
+              static_cast<std::size_t>(ps.jobs_completed));
+    EXPECT_LE(ps.jobs_missed, ps.jobs_completed);
+  }
+  EXPECT_EQ(fetched, m.n_jobs_fetched);
+  EXPECT_EQ(completed, m.n_jobs_completed);
+  EXPECT_EQ(missed, m.n_jobs_missed);
+  EXPECT_NEAR(ps_flops, spent, 1e-6 * std::max(1.0, spent));
+
+  // --- per-job sanity -----------------------------------------------------
+  for (const auto& j : res.jobs) {
+    EXPECT_GE(j.flops_spent,
+              j.flops_done - 1e-9 * std::max(1.0, j.flops_done));
+    EXPECT_GE(j.flops_done, 0.0);
+    EXPECT_LE(j.flops_done, j.flops_total * (1.0 + 1e-9));
+    if (j.is_complete()) {
+      EXPECT_GE(j.completed_at, j.received);
+      EXPECT_LE(j.completed_at, sc.duration + 1e-6);
+      if (j.first_started < kNever) {
+        EXPECT_LE(j.first_started, j.completed_at);
+        EXPECT_GE(j.first_started, j.received - 1e-6);
+      }
+    }
+    if (j.reported) EXPECT_TRUE(j.is_complete());
+  }
+
+  // --- metric ranges --------------------------------------------------
+  for (const double v :
+       {m.idle_fraction(), m.wasted_fraction(), m.share_violation(),
+        m.monotony, m.rpcs_per_job_norm(), m.weighted_score()}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GE(m.n_rpcs, m.n_work_request_rpcs);
+  EXPECT_GE(m.available_flops, 0.0);
+
+  // Usage fractions sum to ~1 when anything ran.
+  if (m.used_flops > 0.0) {
+    double sum = 0.0;
+    for (const double u : m.usage_fraction) sum += u;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+
+  // Overcommit is bounded: at most one extra CPU's worth of the period.
+  const double overcommit_allowance =
+      sc.duration * sc.host.flops_per_instance[ProcType::kCpu];
+  EXPECT_LE(m.used_flops, m.available_flops + overcommit_allowance + 1e-6);
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> out;
+  for (const auto s :
+       {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal, JobSchedPolicy::kGlobal}) {
+    for (const auto f : {FetchPolicy::kOrig, FetchPolicy::kHysteresis}) {
+      for (int seed = 1; seed <= 3; ++seed) out.push_back({s, f, seed});
+    }
+  }
+  return out;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string s;
+  switch (info.param.sched) {
+    case JobSchedPolicy::kWrr: s = "wrr"; break;
+    case JobSchedPolicy::kLocal: s = "local"; break;
+    case JobSchedPolicy::kGlobal: s = "global"; break;
+  }
+  s += info.param.fetch == FetchPolicy::kOrig ? "_orig" : "_hyst";
+  s += "_s" + std::to_string(info.param.seed);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyMatrix, EmulatorInvariants,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+// Extra-knob invariants: the same checks with every extension enabled at
+// once (transfers, downtime, in-progress caps, estimate error, traces).
+TEST(EmulatorInvariants, HoldWithAllExtensionsEnabled) {
+  Scenario sc;
+  sc.name = "kitchen_sink";
+  sc.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  sc.host.download_bandwidth_bps = 5e5;
+  sc.duration = 1.0 * kSecondsPerDay;
+  sc.prefs.min_queue = 1800.0;
+  sc.prefs.max_queue = 7200.0;
+  sc.availability.host_on =
+      OnOffSpec::from_trace({{4.0 * 3600.0, true}, {1800.0, false}});
+  OnOffSpec gpu_avail = OnOffSpec::markov(7200.0, 1800.0);
+  gpu_avail.dist = PeriodDist::kWeibull;
+  gpu_avail.shape = 1.5;
+  sc.availability.gpu_allowed = gpu_avail;
+
+  ProjectConfig p1;
+  p1.name = "flaky";
+  p1.resource_share = 100.0;
+  p1.up = OnOffSpec::markov(10.0 * 3600.0, 3600.0);
+  p1.max_jobs_in_progress = 4;
+  JobClass j1;
+  j1.flops_est = 1200e9;
+  j1.flops_cv = 0.2;
+  j1.est_error = 1.5;
+  j1.latency_bound = 0.5 * kSecondsPerDay;
+  j1.usage = ResourceUsage::cpu(1.0);
+  j1.input_bytes = 2e7;
+  p1.job_classes.push_back(j1);
+
+  ProjectConfig p2;
+  p2.name = "gpu";
+  p2.resource_share = 50.0;
+  JobClass j2;
+  j2.flops_est = 9000e9;
+  j2.flops_cv = 0.1;
+  j2.latency_bound = 1.0 * kSecondsPerDay;
+  j2.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05);
+  j2.input_bytes = 1e8;
+  j2.checkpoint_period = kNever;
+  p2.job_classes.push_back(j2);
+
+  sc.projects = {p1, p2};
+  std::string err;
+  ASSERT_TRUE(sc.validate(&err)) << err;
+
+  EmulationOptions opt;
+  opt.policy.fetch_deadline_suppression = true;
+  opt.policy.transfer_order = TransferOrder::kEdf;
+  const EmulationResult res = emulate(sc, opt);
+
+  double spent = 0.0;
+  for (const auto& j : res.jobs) {
+    spent += j.flops_spent;
+    EXPECT_GE(j.flops_spent,
+              j.flops_done - 1e-9 * std::max(1.0, j.flops_done));
+    if (j.reported) EXPECT_TRUE(j.is_complete());
+  }
+  EXPECT_NEAR(res.metrics.used_flops, spent, 1e-6 * std::max(1.0, spent));
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+
+  // Determinism still holds with everything on.
+  const EmulationResult res2 = emulate(sc, opt);
+  EXPECT_DOUBLE_EQ(res.metrics.used_flops, res2.metrics.used_flops);
+  EXPECT_EQ(res.metrics.n_rpcs, res2.metrics.n_rpcs);
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,147 @@
+// Unit tests for the discrete-event queue: ordering, FIFO tie-breaking,
+// cancellation semantics, and stress behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.schedule(30.0, EventKind::kUser, 3);
+  q.schedule(10.0, EventKind::kUser, 1);
+  q.schedule(20.0, EventKind::kUser, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, EventKind::kUser, i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, NextTimeTracksFront) {
+  EventQueue q;
+  q.schedule(42.0, EventKind::kPoll);
+  EXPECT_DOUBLE_EQ(q.next_time(), 42.0);
+  q.schedule(7.0, EventKind::kPoll);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  const EventHandle h = q.schedule(10.0, EventKind::kUser, 1);
+  q.schedule(20.0, EventKind::kUser, 2);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().payload, 2);
+}
+
+TEST(EventQueue, CancelFrontUpdatesNextTime) {
+  EventQueue q;
+  const EventHandle h = q.schedule(10.0, EventKind::kUser);
+  q.schedule(20.0, EventKind::kUser);
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.next_time(), 20.0);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventHandle h = q.schedule(10.0, EventKind::kUser);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownHandleIsNoop) {
+  EventQueue q;
+  q.schedule(10.0, EventKind::kUser);
+  EXPECT_FALSE(q.cancel(kNoEvent));
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAfterPopIsNoop) {
+  EventQueue q;
+  const EventHandle h = q.schedule(10.0, EventKind::kUser);
+  q.pop();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, HandlesAreUnique) {
+  EventQueue q;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 100; ++i) hs.push_back(q.schedule(1.0, EventKind::kUser));
+  std::sort(hs.begin(), hs.end());
+  EXPECT_EQ(std::adjacent_find(hs.begin(), hs.end()), hs.end());
+}
+
+TEST(EventQueue, EventCarriesKindAndPayload) {
+  EventQueue q;
+  q.schedule(1.0, EventKind::kTaskCompletion, 1234);
+  const Event ev = q.pop();
+  EXPECT_EQ(ev.kind, EventKind::kTaskCompletion);
+  EXPECT_EQ(ev.payload, 1234);
+  EXPECT_DOUBLE_EQ(ev.at, 1.0);
+}
+
+TEST(EventQueue, ScheduledCountIsTotalEverScheduled) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, EventKind::kUser);
+  q.pop();
+  q.pop();
+  EXPECT_EQ(q.scheduled_count(), 5u);
+}
+
+TEST(EventQueue, StressRandomInterleaving) {
+  EventQueue q;
+  Xoshiro256 rng(321);
+  std::vector<EventHandle> live;
+  double last_popped = -1.0;
+  int pops = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const auto r = rng.below(10);
+    if (r < 6) {
+      // Schedule strictly ahead of the last popped time so order stays
+      // verifiable.
+      live.push_back(q.schedule(last_popped + 1.0 + rng.uniform(0.0, 100.0),
+                                EventKind::kUser));
+    } else if (r < 8 && !live.empty()) {
+      const auto idx = rng.below(live.size());
+      q.cancel(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (!q.empty()) {
+      const Event ev = q.pop();
+      EXPECT_GE(ev.at, last_popped);
+      last_popped = ev.at;
+      ++pops;
+      live.erase(std::remove(live.begin(), live.end(), ev.handle), live.end());
+    }
+  }
+  EXPECT_GT(pops, 1000);
+  // Drain: everything left pops in order.
+  while (!q.empty()) {
+    const Event ev = q.pop();
+    EXPECT_GE(ev.at, last_popped);
+    last_popped = ev.at;
+  }
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,235 @@
+// Tests for cross-host share enforcement (fleet/fleet) and the generic
+// max-min allocator (core/maxmin).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/maxmin.hpp"
+#include "fleet/fleet.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+namespace {
+
+TEST(MaxMin, EmptyProblem) {
+  EXPECT_TRUE(maxmin_allocate({}).total.empty());
+}
+
+TEST(MaxMin, SingleConsumerSingleBucket) {
+  MaxMinProblem p;
+  p.capacity = {10.0};
+  p.consumers.push_back({2.0, {true}});
+  const auto s = maxmin_allocate(p);
+  EXPECT_NEAR(s.total[0], 10.0, 1e-3);
+  EXPECT_NEAR(s.level, 5.0, 1e-3);
+}
+
+TEST(MaxMin, DisjointCapabilities) {
+  MaxMinProblem p;
+  p.capacity = {6.0, 4.0};
+  p.consumers.push_back({1.0, {true, false}});
+  p.consumers.push_back({1.0, {false, true}});
+  const auto s = maxmin_allocate(p);
+  EXPECT_NEAR(s.total[0], 6.0, 1e-3);
+  EXPECT_NEAR(s.total[1], 4.0, 1e-3);
+}
+
+TEST(MaxMin, FlexibleConsumerYieldsToConstrained) {
+  // Bucket A (10) usable by both; bucket B (10) only by consumer 1.
+  // Fair outcome: consumer 0 gets all of A, consumer 1 all of B.
+  MaxMinProblem p;
+  p.capacity = {10.0, 10.0};
+  p.consumers.push_back({1.0, {true, false}});
+  p.consumers.push_back({1.0, {true, true}});
+  const auto s = maxmin_allocate(p);
+  EXPECT_NEAR(s.total[0], 10.0, 1e-2);
+  EXPECT_NEAR(s.total[1], 10.0, 1e-2);
+  EXPECT_NEAR(s.alloc[0][0], 10.0, 1e-2);
+  EXPECT_NEAR(s.alloc[1][1], 10.0, 1e-2);
+}
+
+TEST(MaxMin, SharesScaleAllocations) {
+  MaxMinProblem p;
+  p.capacity = {12.0};
+  p.consumers.push_back({2.0, {true}});
+  p.consumers.push_back({1.0, {true}});
+  const auto s = maxmin_allocate(p);
+  EXPECT_NEAR(s.total[0], 8.0, 1e-3);
+  EXPECT_NEAR(s.total[1], 4.0, 1e-3);
+}
+
+/// Generic property sweep over random allocation problems: feasibility and
+/// the max-min blocking condition must hold for any instance.
+class MaxMinProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinProperties, FeasibleAndBlocked) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 13ull);
+  MaxMinProblem prob;
+  const std::size_t m = 1 + rng.below(6);
+  const std::size_t n = 1 + rng.below(8);
+  for (std::size_t r = 0; r < m; ++r) {
+    prob.capacity.push_back(rng.uniform(0.5, 20.0));
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    MaxMinProblem::Consumer consumer;
+    consumer.share = rng.uniform(0.5, 4.0);
+    consumer.can_use.resize(m);
+    bool any = false;
+    for (std::size_t r = 0; r < m; ++r) {
+      consumer.can_use[r] = rng.uniform01() < 0.5;
+      any = any || consumer.can_use[r];
+    }
+    if (!any) consumer.can_use[rng.below(m)] = true;
+    prob.consumers.push_back(std::move(consumer));
+  }
+
+  const MaxMinSolution sol = maxmin_allocate(prob);
+
+  // Capacity respected per bucket; no allocation through missing edges.
+  std::vector<double> used(m, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      EXPECT_GE(sol.alloc[c][r], -1e-6);
+      if (!prob.consumers[c].can_use[r]) {
+        EXPECT_NEAR(sol.alloc[c][r], 0.0, 1e-9);
+      }
+      used[r] += sol.alloc[c][r];
+      total += sol.alloc[c][r];
+    }
+    EXPECT_NEAR(total, sol.total[c], 1e-6);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    EXPECT_LE(used[r], prob.capacity[r] + 1e-4);
+  }
+
+  // Blocking: a consumer below the final level must have all its usable
+  // buckets exhausted.
+  for (std::size_t c = 0; c < n; ++c) {
+    const double ratio = sol.total[c] / prob.consumers[c].share;
+    if (ratio < sol.level - 1e-3 * (1.0 + sol.level)) {
+      for (std::size_t r = 0; r < m; ++r) {
+        if (prob.consumers[c].can_use[r]) {
+          EXPECT_GE(used[r],
+                    prob.capacity[r] - 1e-3 * (1.0 + prob.capacity[r]))
+              << "consumer " << c << " blocked but bucket " << r
+              << " has spare capacity";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperties, ::testing::Range(1, 26));
+
+// ---------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------
+
+FleetConfig demo_fleet() {
+  FleetConfig fc;
+  fc.duration = 1.0 * kSecondsPerDay;
+
+  FleetHostSpec cpu_box;
+  cpu_box.name = "cpu_box";
+  cpu_box.host = HostInfo::cpu_only(4, 1e9);
+  cpu_box.seed = 1;
+  FleetHostSpec gpu_box;
+  gpu_box.name = "gpu_box";
+  gpu_box.host = HostInfo::cpu_gpu(2, 1e9, 1, 10e9);
+  gpu_box.seed = 2;
+  fc.hosts = {cpu_box, gpu_box};
+
+  ProjectConfig cpu_proj;
+  cpu_proj.name = "cpu_proj";
+  cpu_proj.resource_share = 100.0;
+  JobClass cj;
+  cj.flops_est = 1800e9;
+  cj.latency_bound = kSecondsPerDay;
+  cj.usage = ResourceUsage::cpu(1.0);
+  cpu_proj.job_classes.push_back(cj);
+
+  ProjectConfig gpu_proj;
+  gpu_proj.name = "gpu_proj";
+  gpu_proj.resource_share = 100.0;
+  JobClass gj;
+  gj.flops_est = 18000e9;
+  gj.latency_bound = kSecondsPerDay;
+  gj.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05);
+  gpu_proj.job_classes.push_back(gj);
+  JobClass gj_cpu = cj;
+  gpu_proj.job_classes.push_back(gj_cpu);  // GPU project also has CPU jobs
+
+  fc.projects = {cpu_proj, gpu_proj};
+  return fc;
+}
+
+TEST(Fleet, HostScenarioFiltersUnusableClasses) {
+  const FleetConfig fc = demo_fleet();
+  const Scenario cpu_sc = fleet_host_scenario(fc, 0, {100.0, 100.0});
+  // Both projects attach to the CPU box, but the GPU class is dropped.
+  ASSERT_EQ(cpu_sc.projects.size(), 2u);
+  for (const auto& p : cpu_sc.projects) {
+    for (const auto& jc : p.job_classes) {
+      EXPECT_FALSE(jc.usage.uses_gpu());
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(cpu_sc.validate(&err)) << err;
+}
+
+TEST(Fleet, HostScenarioDropsZeroShareProjects) {
+  const FleetConfig fc = demo_fleet();
+  const Scenario sc = fleet_host_scenario(fc, 0, {100.0, 0.0});
+  ASSERT_EQ(sc.projects.size(), 1u);
+  EXPECT_EQ(sc.projects[0].name, "cpu_proj");
+}
+
+TEST(Fleet, CrossHostSharesConcentrateProjects) {
+  const FleetConfig fc = demo_fleet();
+  const auto shares = cross_host_shares(fc);
+  ASSERT_EQ(shares.size(), 2u);
+  // Capacities: cpu_box 4 GF (cpu_proj or gpu_proj), gpu_box 2 GF CPU +
+  // 10 GF GPU (gpu only usable by gpu_proj). Equal global shares want 8/8.
+  // Max-min: gpu_proj gets the 10 GF GPU (capped at level); cpu_proj gets
+  // the CPU capacity. The CPU box should belong mostly to cpu_proj.
+  EXPECT_GT(shares[0][0], shares[0][1]);
+  // And the GPU box's capacity should belong mostly to gpu_proj.
+  EXPECT_GT(shares[1][1], shares[1][0]);
+}
+
+TEST(Fleet, RunPerHostProducesPerHostResults) {
+  const FleetConfig fc = demo_fleet();
+  PolicyConfig pol;
+  const FleetResult r = run_fleet(fc, pol, FleetEnforcement::kPerHost, 2);
+  ASSERT_EQ(r.per_host.size(), 2u);
+  EXPECT_GT(r.total_used_flops, 0.0);
+  EXPECT_GT(r.total_available_flops, 0.0);
+  ASSERT_EQ(r.usage_fraction.size(), 2u);
+  EXPECT_NEAR(r.usage_fraction[0] + r.usage_fraction[1], 1.0, 1e-6);
+}
+
+TEST(Fleet, CrossHostReducesViolation) {
+  const FleetConfig fc = demo_fleet();
+  PolicyConfig pol;
+  const FleetResult per = run_fleet(fc, pol, FleetEnforcement::kPerHost, 2);
+  const FleetResult cross = run_fleet(fc, pol, FleetEnforcement::kCrossHost, 2);
+  // Cross-host enforcement should do at least as well on fleet-level
+  // shares (§6.2's motivation).
+  EXPECT_LE(cross.share_violation, per.share_violation + 0.02);
+  // And it should not idle the fleet.
+  EXPECT_LT(cross.idle_fraction(), 0.15);
+}
+
+TEST(Fleet, DeterministicAcrossThreadCounts) {
+  const FleetConfig fc = demo_fleet();
+  PolicyConfig pol;
+  const FleetResult a = run_fleet(fc, pol, FleetEnforcement::kCrossHost, 1);
+  const FleetResult b = run_fleet(fc, pol, FleetEnforcement::kCrossHost, 4);
+  EXPECT_DOUBLE_EQ(a.total_used_flops, b.total_used_flops);
+  EXPECT_DOUBLE_EQ(a.share_violation, b.share_violation);
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,303 @@
+// Unit tests for the client job scheduler (client/job_scheduler): the
+// ordered job list's precedence tiers, EDF ordering, project interleaving,
+// and the allocation scan (CPU admission, GPU packing, RAM limit).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "client/job_scheduler.hpp"
+
+namespace bce {
+namespace {
+
+struct Fixture {
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PolicyConfig policy;
+  Logger log;
+  std::vector<Result> jobs;
+  JobId next_id = 0;
+
+  Fixture() { jobs.reserve(64); }  // add() hands out stable references
+
+  Result& add(ProjectId p, double seconds, double deadline,
+              ResourceUsage usage = ResourceUsage::cpu(1.0)) {
+    Result r;
+    r.id = next_id++;
+    r.project = p;
+    r.usage = usage;
+    r.flops_est = r.flops_total = seconds * usage.flops_rate(host);
+    r.received = static_cast<double>(r.id);
+    r.deadline = deadline;
+    r.ram_bytes = 1e8;
+    jobs.push_back(r);
+    return jobs.back();
+  }
+
+  ScheduleOutcome schedule(const std::vector<double>& shares,
+                           bool cpu_ok = true, bool gpu_ok = true) {
+    JobScheduler sched(host, prefs, policy);
+    Accounting acct(host, shares, kSecondsPerDay);
+    std::vector<Result*> ptrs;
+    for (auto& j : jobs) ptrs.push_back(&j);
+    return sched.schedule(0.0, ptrs, acct, cpu_ok, gpu_ok, log);
+  }
+};
+
+std::vector<JobId> ids(const std::vector<Result*>& v) {
+  std::vector<JobId> out;
+  for (const Result* r : v) out.push_back(r->id);
+  return out;
+}
+
+TEST(JobScheduler, FillsAllCpus) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) f.add(0, 1000.0, 1e9);
+  const auto out = f.schedule({1.0});
+  EXPECT_EQ(out.to_run.size(), 4u);
+}
+
+TEST(JobScheduler, NothingRunsWhenCpuDisallowed) {
+  Fixture f;
+  f.add(0, 1000.0, 1e9);
+  const auto out = f.schedule({1.0}, /*cpu_ok=*/false);
+  EXPECT_TRUE(out.to_run.empty());
+}
+
+TEST(JobScheduler, GpuJobsSkippedWhenGpuDisallowed) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  f.add(0, 1000.0, 1e9);
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 1.0));
+  const auto out = f.schedule({1.0}, true, /*gpu_ok=*/false);
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_FALSE(out.to_run[0]->usage.uses_gpu());
+}
+
+TEST(JobScheduler, EndangeredJobsPrecedeOthers) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  Result& normal = f.add(0, 1000.0, 1e9);
+  Result& urgent = f.add(1, 1000.0, 2000.0);
+  urgent.deadline_endangered = true;
+  const auto out = f.schedule({0.5, 0.5});
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, urgent.id);
+  (void)normal;
+}
+
+TEST(JobScheduler, EndangeredOrderedByDeadline) {
+  Fixture f;
+  Result& late = f.add(0, 1000.0, 9000.0);
+  Result& early = f.add(0, 1000.0, 3000.0);
+  late.deadline_endangered = true;
+  early.deadline_endangered = true;
+  const auto out = f.schedule({1.0});
+  const auto order = ids(out.ordered);
+  EXPECT_LT(std::find(order.begin(), order.end(), early.id),
+            std::find(order.begin(), order.end(), late.id));
+}
+
+TEST(JobScheduler, EqualDeadlinePrefersRunningJob) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  Result& a = f.add(0, 1000.0, 2000.0);
+  Result& b = f.add(0, 1000.0, 2000.0);
+  a.deadline_endangered = b.deadline_endangered = true;
+  b.running = true;
+  b.flops_done = 100e9;
+  b.checkpointed_flops = 100e9;
+  b.episode_checkpointed = true;
+  const auto out = f.schedule({1.0});
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, b.id);
+  (void)a;
+}
+
+TEST(JobScheduler, UncheckpointedRunningJobKept) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  Result& running = f.add(0, 1000.0, 1e9);
+  running.running = true;
+  running.flops_done = 50e9;        // progress since start...
+  running.checkpointed_flops = 0.0; // ...none of it checkpointed
+  running.episode_checkpointed = false;
+  Result& urgent = f.add(1, 100.0, 150.0);
+  urgent.deadline_endangered = true;
+  const auto out = f.schedule({0.5, 0.5});
+  // The uncheckpointed running job outranks even the endangered one.
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, running.id);
+}
+
+TEST(JobScheduler, WrrIgnoresDeadlines) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  f.policy.sched = JobSchedPolicy::kWrr;
+  Result& normal = f.add(0, 1000.0, 1e9);
+  Result& urgent = f.add(1, 1000.0, 1500.0);
+  urgent.deadline_endangered = true;
+  const auto out = f.schedule({1.0, 0.0001});
+  // Under WRR the endangered flag confers nothing; project 0 has
+  // (equal debt, FIFO tie on received) -> its job leads.
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, normal.id);
+}
+
+TEST(JobScheduler, GpuJobsPrecedeCpuJobs) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  Result& cpu = f.add(0, 1000.0, 1e9);
+  Result& gpu = f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 1.0));
+  const auto out = f.schedule({1.0});
+  const auto order = ids(out.ordered);
+  EXPECT_LT(std::find(order.begin(), order.end(), gpu.id),
+            std::find(order.begin(), order.end(), cpu.id));
+  (void)cpu;
+}
+
+TEST(JobScheduler, PriorityChargingInterleavesProjects) {
+  Fixture f;
+  // Two equal-share projects, plenty of jobs each: the ordered list should
+  // alternate projects rather than emitting all of project 0 first.
+  for (int i = 0; i < 4; ++i) f.add(0, 1000.0, 1e9);
+  for (int i = 0; i < 4; ++i) f.add(1, 1000.0, 1e9);
+  f.policy.sched = JobSchedPolicy::kGlobal;
+  const auto out = f.schedule({0.5, 0.5});
+  ASSERT_GE(out.ordered.size(), 4u);
+  // Among the first four, both projects appear.
+  int p0 = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (out.ordered[i]->project == 0) ++p0;
+  }
+  EXPECT_EQ(p0, 2);
+}
+
+TEST(JobScheduler, LocalDebtOrdersProjects) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  f.policy.sched = JobSchedPolicy::kLocal;
+  Result& a = f.add(0, 1000.0, 1e9);
+  Result& b = f.add(1, 1000.0, 1e9);
+  // Project 1 is owed CPU time (positive debt): its job must lead.
+  JobScheduler sched(f.host, f.prefs, f.policy);
+  Accounting acct(f.host, {0.5, 0.5}, kSecondsPerDay);
+  PerProc<double> use0{};
+  use0[ProcType::kCpu] = 500.0;
+  PerProc<bool> run{};
+  run[ProcType::kCpu] = true;
+  acct.charge(500.0, 500.0, {use0, PerProc<double>{}}, {run, run});
+  std::vector<Result*> ptrs = {&a, &b};
+  const auto out = sched.schedule(500.0, ptrs, acct, true, true, f.log);
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, b.id);
+}
+
+TEST(JobScheduler, LeaveInMemoryDisablesEpisodeProtection) {
+  Fixture f;
+  f.host = HostInfo::cpu_only(1, 1e9);
+  f.prefs.leave_apps_in_memory = true;
+  Result& running = f.add(0, 1000.0, 1e9);
+  running.running = true;
+  running.flops_done = 50e9;
+  running.checkpointed_flops = 0.0;
+  running.episode_checkpointed = false;
+  Result& urgent = f.add(1, 100.0, 150.0);
+  urgent.deadline_endangered = true;
+  const auto out = f.schedule({0.5, 0.5});
+  // Nothing is lost by preemption, so the endangered job wins.
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_EQ(out.to_run[0]->id, urgent.id);
+  (void)running;
+}
+
+TEST(JobScheduler, RamLimitSkipsJobs) {
+  Fixture f;
+  f.host.ram_bytes = 4e9;
+  f.prefs.ram_limit_fraction = 0.5;  // 2 GB budget
+  for (int i = 0; i < 4; ++i) {
+    Result& r = f.add(0, 1000.0, 1e9);
+    r.ram_bytes = 1.5e9;
+  }
+  const auto out = f.schedule({1.0});
+  EXPECT_EQ(out.to_run.size(), 1u);  // only one 1.5 GB job fits in 2 GB
+}
+
+TEST(JobScheduler, GpuSliverDoesNotStrandACpu) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05));
+  for (int i = 0; i < 4; ++i) f.add(0, 1000.0, 1e9);
+  const auto out = f.schedule({1.0});
+  // GPU job + all four CPU jobs run (0.05 CPU overcommit allowed).
+  EXPECT_EQ(out.to_run.size(), 5u);
+}
+
+TEST(JobScheduler, FractionalGpuPacking) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 2, 10e9);
+  for (int i = 0; i < 5; ++i) {
+    f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 0.5, 0.05));
+  }
+  const auto out = f.schedule({1.0});
+  // 2 GPUs x 2 half-jobs each = 4 run; the fifth doesn't fit.
+  EXPECT_EQ(out.to_run.size(), 4u);
+}
+
+TEST(JobScheduler, WholeGpuJobBlocksFractions) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05));
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 0.5, 0.05));
+  const auto out = f.schedule({1.0});
+  EXPECT_EQ(out.to_run.size(), 1u);
+}
+
+TEST(JobScheduler, MultiGpuJobNeedsWholeInstances) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 2, 10e9);
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 2.0, 0.1));
+  f.add(0, 1000.0, 1e9, ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.1));
+  const auto out = f.schedule({1.0});
+  // The 2-GPU job takes both instances; the single-GPU job is skipped.
+  ASSERT_EQ(out.to_run.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.to_run[0]->usage.coproc_usage, 2.0);
+}
+
+TEST(JobScheduler, NotYetRunnableJobsExcluded) {
+  Fixture f;
+  Result& r = f.add(0, 1000.0, 1e9);
+  r.runnable_at = 500.0;  // transfer still in progress at t=0
+  const auto out = f.schedule({1.0});
+  EXPECT_TRUE(out.to_run.empty());
+}
+
+TEST(JobScheduler, MultiCpuJobAdmitted) {
+  Fixture f;
+  f.add(0, 1000.0, 1e9, ResourceUsage::cpu(3.0));
+  f.add(0, 1000.0, 1e9, ResourceUsage::cpu(1.0));
+  f.add(0, 1000.0, 1e9, ResourceUsage::cpu(1.0));
+  const auto out = f.schedule({1.0});
+  // 3-CPU job + one 1-CPU job fill the 4 CPUs; the second 1-CPU job would
+  // need pool <= 0, so it is skipped.
+  EXPECT_EQ(out.to_run.size(), 2u);
+}
+
+TEST(JobScheduler, LeastLaxityOrdering) {
+  Fixture f;
+  f.policy.endangered_order = EndangeredOrder::kLeastLaxity;
+  // early deadline but tiny remaining work => large laxity;
+  // later deadline but huge remaining work => smaller laxity.
+  Result& relaxed = f.add(0, 10.0, 3000.0);
+  Result& pressed = f.add(0, 3900.0, 4000.0);
+  relaxed.deadline_endangered = true;
+  pressed.deadline_endangered = true;
+  const auto out = f.schedule({1.0});
+  const auto order = ids(out.ordered);
+  EXPECT_LT(std::find(order.begin(), order.end(), pressed.id),
+            std::find(order.begin(), order.end(), relaxed.id));
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,82 @@
+// Unit tests for the categorized message log (sim/logger).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logger.hpp"
+
+namespace bce {
+namespace {
+
+TEST(Logger, DisabledByDefault) {
+  Logger log;
+  log.set_retain(true);
+  log.logf(1.0, LogCategory::kTask, "hello");
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(Logger, EnabledCategoryRetains) {
+  Logger log;
+  log.set_retain(true);
+  log.enable(LogCategory::kTask);
+  log.logf(1.0, LogCategory::kTask, "job %d started", 7);
+  log.logf(2.0, LogCategory::kRpc, "not retained");
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries()[0].text, "job 7 started");
+  EXPECT_DOUBLE_EQ(log.entries()[0].at, 1.0);
+  EXPECT_EQ(log.entries()[0].category, LogCategory::kTask);
+}
+
+TEST(Logger, EnableAllAndDisable) {
+  Logger log;
+  log.set_retain(true);
+  log.enable_all();
+  log.enable(LogCategory::kRpc, false);
+  log.logf(0.0, LogCategory::kRpc, "suppressed");
+  log.logf(0.0, LogCategory::kServer, "kept");
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries()[0].text, "kept");
+}
+
+TEST(Logger, StreamOutputFormat) {
+  Logger log;
+  log.enable(LogCategory::kWorkFetch);
+  std::ostringstream os;
+  log.set_stream(&os);
+  log.logf(3600.0, LogCategory::kWorkFetch, "fetching");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("3600.0"), std::string::npos);
+  EXPECT_NE(s.find("[work_fetch]"), std::string::npos);
+  EXPECT_NE(s.find("fetching"), std::string::npos);
+}
+
+TEST(Logger, ClearEmptiesRetained) {
+  Logger log;
+  log.set_retain(true);
+  log.enable_all();
+  log.logf(0.0, LogCategory::kAvail, "x");
+  log.clear();
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(Logger, CategoryNames) {
+  EXPECT_STREQ(log_category_name(LogCategory::kTask), "task");
+  EXPECT_STREQ(log_category_name(LogCategory::kCpuSched), "cpu_sched");
+  EXPECT_STREQ(log_category_name(LogCategory::kRrSim), "rr_sim");
+  EXPECT_STREQ(log_category_name(LogCategory::kWorkFetch), "work_fetch");
+  EXPECT_STREQ(log_category_name(LogCategory::kRpc), "rpc");
+  EXPECT_STREQ(log_category_name(LogCategory::kAvail), "avail");
+  EXPECT_STREQ(log_category_name(LogCategory::kServer), "server");
+}
+
+TEST(Logger, UnconfiguredLoggerIsCheap) {
+  Logger log;  // no stream, no retain, nothing enabled
+  for (int i = 0; i < 1000; ++i) {
+    log.logf(0.0, LogCategory::kTask, "noop %d", i);
+  }
+  EXPECT_TRUE(log.entries().empty());
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,158 @@
+// Unit tests for the figures of merit (core/metrics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+
+namespace bce {
+namespace {
+
+const HostInfo kHost = HostInfo::cpu_only(2, 1e9);
+
+TEST(Metrics, IdleFraction) {
+  Metrics m;
+  m.available_flops = 100.0;
+  m.used_flops = 75.0;
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), 0.25);
+}
+
+TEST(Metrics, IdleFractionClamped) {
+  Metrics m;
+  m.available_flops = 100.0;
+  m.used_flops = 150.0;  // overcommit can push usage past "available"
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), 0.0);
+}
+
+TEST(Metrics, NoCapacityMeansZeroIdle) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.wasted_fraction(), 0.0);
+}
+
+TEST(Metrics, RpcsPerJobAndNorm) {
+  Metrics m;
+  m.n_rpcs = 30;
+  m.n_jobs_completed = 10;
+  EXPECT_DOUBLE_EQ(m.rpcs_per_job(), 3.0);
+  EXPECT_DOUBLE_EQ(m.rpcs_per_job_norm(), 0.75);
+}
+
+TEST(Metrics, WeightedScoreEqualWeights) {
+  Metrics m;
+  m.available_flops = 100.0;
+  m.used_flops = 50.0;   // idle 0.5
+  m.wasted_flops = 25.0; // wasted 0.25
+  m.share_violation_rms = 0.1;
+  m.monotony = 0.2;
+  m.n_rpcs = 10;
+  m.n_jobs_completed = 10;  // rpcs/job 1 -> norm 0.5
+  EXPECT_NEAR(m.weighted_score(), (0.5 + 0.25 + 0.1 + 0.2 + 0.5) / 5.0, 1e-12);
+}
+
+TEST(Metrics, WeightedScoreRespectsWeights) {
+  Metrics m;
+  m.available_flops = 100.0;
+  m.used_flops = 0.0;  // idle = 1
+  MetricWeights w;
+  w.idle = 1.0;
+  w.wasted = w.share_violation = w.monotony = w.rpcs_per_job = 0.0;
+  EXPECT_DOUBLE_EQ(m.weighted_score(w), 1.0);
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  Metrics m;
+  m.n_jobs_completed = 42;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("jobs=42"), std::string::npos);
+  EXPECT_NE(s.find("idle="), std::string::npos);
+}
+
+TEST(MetricsCollector, UsageAndShareViolation) {
+  MetricsCollector c(kHost, {0.5, 0.5});
+  // Project 0 does all the work.
+  c.note_interval(100.0, 2e9, {2e9 * 100.0, 0.0}, 0);
+  const Metrics m = c.finalize({}, 100.0);
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), 0.0);
+  ASSERT_EQ(m.usage_fraction.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.usage_fraction[0], 1.0);
+  // RMS of (1-0.5, 0-0.5) = 0.5.
+  EXPECT_NEAR(m.share_violation(), 0.5, 1e-12);
+}
+
+TEST(MetricsCollector, BalancedUsageZeroViolation) {
+  MetricsCollector c(kHost, {0.5, 0.5});
+  c.note_interval(100.0, 2e9, {1e9 * 100.0, 1e9 * 100.0}, kNoProject);
+  const Metrics m = c.finalize({}, 100.0);
+  EXPECT_NEAR(m.share_violation(), 0.0, 1e-12);
+}
+
+TEST(MetricsCollector, MonotonyZeroWhenInterleaved) {
+  MetricsCollector c(kHost, {0.5, 0.5});
+  for (int i = 0; i < 100; ++i) {
+    c.note_interval(10.0, 2e9, {1.0, 1.0}, kNoProject);  // both running
+  }
+  const Metrics m = c.finalize({}, 1000.0);
+  EXPECT_DOUBLE_EQ(m.monotony, 0.0);
+}
+
+TEST(MetricsCollector, MonotonyHighForLongExclusiveStreaks) {
+  MetricsCollector c(kHost, {0.5, 0.5});
+  // One project exclusively for 10 hours, then the other.
+  c.note_interval(36000.0, 2e9, {1.0, 0.0}, 0);
+  c.note_interval(36000.0, 2e9, {0.0, 1.0}, 1);
+  const Metrics m = c.finalize({}, 72000.0);
+  EXPECT_NEAR(m.mean_exclusive_streak, 36000.0, 1.0);
+  EXPECT_NEAR(m.monotony, 36000.0 / (36000.0 + 3600.0), 1e-6);
+}
+
+TEST(MetricsCollector, AdjacentIntervalsSameProjectMerge) {
+  MetricsCollector c(kHost, {0.5, 0.5});
+  for (int i = 0; i < 10; ++i) c.note_interval(600.0, 2e9, {1.0, 0.0}, 0);
+  const Metrics m = c.finalize({}, 6000.0);
+  EXPECT_NEAR(m.mean_exclusive_streak, 6000.0, 1.0);
+}
+
+TEST(MetricsCollector, MonotonyNotDefinedForSingleProject) {
+  MetricsCollector c(kHost, {1.0});
+  c.note_interval(36000.0, 2e9, {1.0}, 0);
+  const Metrics m = c.finalize({}, 36000.0);
+  EXPECT_DOUBLE_EQ(m.monotony, 0.0);
+}
+
+TEST(MetricsCollector, WasteAttribution) {
+  MetricsCollector c(kHost, {1.0});
+  Result missed;
+  missed.flops_total = missed.flops_done = 100.0;
+  missed.flops_spent = 120.0;  // includes rollback losses
+  missed.deadline = 50.0;
+  missed.completed_at = 60.0;  // completed late
+
+  Result ontime;
+  ontime.flops_total = ontime.flops_done = 100.0;
+  ontime.flops_spent = 100.0;
+  ontime.deadline = 50.0;
+  ontime.completed_at = 40.0;
+
+  Result abandoned;  // unfinished, deadline already passed
+  abandoned.flops_total = 100.0;
+  abandoned.flops_done = 30.0;
+  abandoned.flops_spent = 30.0;
+  abandoned.deadline = 80.0;
+
+  Result pending;  // unfinished but deadline still ahead
+  pending.flops_total = 100.0;
+  pending.flops_done = 30.0;
+  pending.flops_spent = 30.0;
+  pending.deadline = 500.0;
+
+  c.note_interval(100.0, 2e9, {250.0}, 0);
+  const Metrics m =
+      c.finalize({&missed, &ontime, &abandoned, &pending}, 100.0);
+  EXPECT_DOUBLE_EQ(m.wasted_flops, 120.0 + 30.0);
+  EXPECT_EQ(m.n_jobs_abandoned, 1);
+}
+
+}  // namespace
+}  // namespace bce

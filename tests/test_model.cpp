@@ -1,0 +1,243 @@
+// Unit tests for the host/model layer: HostInfo, Preferences,
+// ResourceUsage, JobClass, Result, and scenario validation.
+
+#include <gtest/gtest.h>
+
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "model/job.hpp"
+#include "model/project.hpp"
+#include "model/scenario.hpp"
+
+namespace bce {
+namespace {
+
+TEST(HostInfo, PeakFlops) {
+  const HostInfo h = HostInfo::cpu_gpu(4, 1e9, 2, 10e9);
+  EXPECT_DOUBLE_EQ(h.peak_flops(ProcType::kCpu), 4e9);
+  EXPECT_DOUBLE_EQ(h.peak_flops(ProcType::kNvidia), 20e9);
+  EXPECT_DOUBLE_EQ(h.peak_flops(ProcType::kAti), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_peak_flops(), 24e9);
+  EXPECT_TRUE(h.has_gpu());
+  EXPECT_FALSE(HostInfo::cpu_only(1, 1e9).has_gpu());
+}
+
+TEST(Preferences, DefaultIsValid) {
+  EXPECT_TRUE(Preferences{}.valid());
+}
+
+TEST(Preferences, MaxBelowMinInvalid) {
+  Preferences p;
+  p.min_queue = 1000.0;
+  p.max_queue = 500.0;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Preferences, BadRamFractionInvalid) {
+  Preferences p;
+  p.ram_limit_fraction = 0.0;
+  EXPECT_FALSE(p.valid());
+  p.ram_limit_fraction = 1.5;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(ResourceUsage, CpuJob) {
+  const ResourceUsage u = ResourceUsage::cpu(2.0);
+  EXPECT_FALSE(u.uses_gpu());
+  EXPECT_EQ(u.primary_type(), ProcType::kCpu);
+  EXPECT_DOUBLE_EQ(u.usage_of(ProcType::kCpu), 2.0);
+  EXPECT_DOUBLE_EQ(u.usage_of(ProcType::kNvidia), 0.0);
+}
+
+TEST(ResourceUsage, GpuJob) {
+  const ResourceUsage u = ResourceUsage::gpu(ProcType::kAti, 0.5, 0.1);
+  EXPECT_TRUE(u.uses_gpu());
+  EXPECT_EQ(u.primary_type(), ProcType::kAti);
+  EXPECT_DOUBLE_EQ(u.usage_of(ProcType::kAti), 0.5);
+  EXPECT_DOUBLE_EQ(u.usage_of(ProcType::kCpu), 0.1);
+  EXPECT_DOUBLE_EQ(u.usage_of(ProcType::kNvidia), 0.0);
+}
+
+TEST(ResourceUsage, FlopsRateCombinesCpuAndGpu) {
+  const HostInfo h = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  EXPECT_DOUBLE_EQ(ResourceUsage::cpu(1.0).flops_rate(h), 1e9);
+  EXPECT_DOUBLE_EQ(ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.1).flops_rate(h),
+                   10e9 + 0.1e9);
+}
+
+TEST(JobClass, EstRuntimeAndSlack) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  JobClass jc;
+  jc.flops_est = 2000e9;
+  jc.latency_bound = 3000.0;
+  jc.usage = ResourceUsage::cpu(1.0);
+  EXPECT_DOUBLE_EQ(jc.est_runtime(h), 2000.0);
+  EXPECT_DOUBLE_EQ(jc.slack(h), 1000.0);
+}
+
+TEST(Result, CompletionAndDeadline) {
+  Result r;
+  r.flops_total = 100.0;
+  r.deadline = 50.0;
+  EXPECT_FALSE(r.is_complete());
+  r.flops_done = 100.0;
+  EXPECT_TRUE(r.is_complete());
+  r.completed_at = 49.0;
+  EXPECT_FALSE(r.missed_deadline());
+  r.completed_at = 51.0;
+  EXPECT_TRUE(r.missed_deadline());
+}
+
+TEST(Result, EstRemainingUsesEstimateUntilStarted) {
+  Result r;
+  r.flops_est = 500.0;   // server underestimate
+  r.flops_total = 1000.0;
+  EXPECT_DOUBLE_EQ(r.est_flops_remaining(), 500.0);
+  r.flops_done = 100.0;  // once running, fraction-done corrects the estimate
+  EXPECT_DOUBLE_EQ(r.est_flops_remaining(), 900.0);
+}
+
+TEST(Result, RunnableRespectsTransferDelay) {
+  Result r;
+  r.flops_total = 100.0;
+  r.runnable_at = 50.0;
+  EXPECT_FALSE(r.runnable(49.0));
+  EXPECT_TRUE(r.runnable(50.0));
+}
+
+TEST(ProjectConfig, HasJobsFor) {
+  ProjectConfig p;
+  JobClass c;
+  c.usage = ResourceUsage::cpu(1.0);
+  p.job_classes.push_back(c);
+  JobClass g;
+  g.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0);
+  p.job_classes.push_back(g);
+  EXPECT_TRUE(p.has_jobs_for(ProcType::kCpu));
+  EXPECT_TRUE(p.has_jobs_for(ProcType::kNvidia));
+  EXPECT_FALSE(p.has_jobs_for(ProcType::kAti));
+}
+
+// ---------------------------------------------------------------------
+// Scenario validation: one minimal valid scenario, then a parameterized
+// sweep over single-field corruptions, each of which must be rejected.
+// ---------------------------------------------------------------------
+
+Scenario minimal_scenario() {
+  Scenario sc;
+  sc.host = HostInfo::cpu_only(2, 1e9);
+  ProjectConfig p;
+  p.name = "p";
+  JobClass jc;
+  jc.flops_est = 1e12;
+  jc.latency_bound = 86400.0;
+  jc.usage = ResourceUsage::cpu(1.0);
+  p.job_classes.push_back(jc);
+  sc.projects.push_back(p);
+  return sc;
+}
+
+TEST(ScenarioValidate, MinimalIsValid) {
+  std::string err;
+  EXPECT_TRUE(minimal_scenario().validate(&err)) << err;
+}
+
+using Corruption = void (*)(Scenario&);
+
+struct NamedCorruption {
+  const char* name;
+  Corruption fn;
+};
+
+class ScenarioCorruption : public ::testing::TestWithParam<NamedCorruption> {};
+
+TEST_P(ScenarioCorruption, IsRejectedWithMessage) {
+  Scenario sc = minimal_scenario();
+  GetParam().fn(sc);
+  std::string err;
+  EXPECT_FALSE(sc.validate(&err));
+  EXPECT_FALSE(err.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, ScenarioCorruption,
+    ::testing::Values(
+        NamedCorruption{"no_cpus",
+                        [](Scenario& s) { s.host.count[ProcType::kCpu] = 0; }},
+        NamedCorruption{"zero_cpu_flops",
+                        [](Scenario& s) {
+                          s.host.flops_per_instance[ProcType::kCpu] = 0.0;
+                        }},
+        NamedCorruption{"negative_ram",
+                        [](Scenario& s) { s.host.ram_bytes = -1.0; }},
+        NamedCorruption{"bad_prefs",
+                        [](Scenario& s) { s.prefs.max_queue = -1.0; }},
+        NamedCorruption{"zero_duration",
+                        [](Scenario& s) { s.duration = 0.0; }},
+        NamedCorruption{"no_projects",
+                        [](Scenario& s) { s.projects.clear(); }},
+        NamedCorruption{"zero_share",
+                        [](Scenario& s) {
+                          s.projects[0].resource_share = 0.0;
+                        }},
+        NamedCorruption{"no_job_classes",
+                        [](Scenario& s) { s.projects[0].job_classes.clear(); }},
+        NamedCorruption{"zero_flops",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].flops_est = 0.0;
+                        }},
+        NamedCorruption{"zero_latency",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].latency_bound = 0.0;
+                        }},
+        NamedCorruption{"zero_est_error",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].est_error = 0.0;
+                        }},
+        NamedCorruption{"negative_cv",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].flops_cv = -0.1;
+                        }},
+        NamedCorruption{"gpu_job_without_gpu",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].usage =
+                              ResourceUsage::gpu(ProcType::kNvidia, 1.0);
+                        }},
+        NamedCorruption{"too_many_cpus_needed",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].usage =
+                              ResourceUsage::cpu(64.0);
+                        }},
+        NamedCorruption{"no_processors_used",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].usage =
+                              ResourceUsage::cpu(0.0);
+                        }},
+        NamedCorruption{"ram_exceeds_host",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].ram_bytes = 1e18;
+                        }},
+        NamedCorruption{"zero_checkpoint",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].checkpoint_period = 0.0;
+                        }},
+        NamedCorruption{"negative_transfer",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].transfer_delay = -5.0;
+                        }}),
+    [](const ::testing::TestParamInfo<NamedCorruption>& info) {
+      return info.param.name;
+    });
+
+TEST(Scenario, ShareFractions) {
+  Scenario sc = minimal_scenario();
+  sc.projects.push_back(sc.projects[0]);
+  sc.projects[0].resource_share = 300.0;
+  sc.projects[1].resource_share = 100.0;
+  EXPECT_DOUBLE_EQ(sc.total_share(), 400.0);
+  EXPECT_DOUBLE_EQ(sc.share_fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(sc.share_fraction(1), 0.25);
+}
+
+}  // namespace
+}  // namespace bce

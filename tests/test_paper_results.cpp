@@ -1,0 +1,218 @@
+// Regression tests for the paper's headline results (§5, Figures 3-6),
+// run on shortened horizons so ctest stays fast. These pin the *shape* of
+// each result: who wins and roughly by how much.
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/report.hpp"
+
+namespace bce {
+namespace {
+
+Metrics run(Scenario sc, PolicyConfig pol, double days) {
+  sc.duration = days * kSecondsPerDay;
+  EmulationOptions opt;
+  opt.policy = pol;
+  return emulate(sc, opt).metrics;
+}
+
+TEST(PaperScenarios, AllValidate) {
+  std::string err;
+  EXPECT_TRUE(paper_scenario1(1000.0).validate(&err)) << err;
+  EXPECT_TRUE(paper_scenario1(2000.0).validate(&err)) << err;
+  EXPECT_TRUE(paper_scenario2().validate(&err)) << err;
+  EXPECT_TRUE(paper_scenario3().validate(&err)) << err;
+  EXPECT_TRUE(paper_scenario4().validate(&err)) << err;
+}
+
+TEST(PaperScenarios, Scenario4HasTwentyVariedProjects) {
+  const Scenario sc = paper_scenario4();
+  EXPECT_EQ(sc.projects.size(), 20u);
+  bool cpu_only = false;
+  bool gpu_only = false;
+  bool both = false;
+  for (const auto& p : sc.projects) {
+    const bool c = p.has_jobs_for(ProcType::kCpu);
+    const bool g = p.has_jobs_for(ProcType::kNvidia);
+    cpu_only |= c && !g;
+    gpu_only |= g && !c;
+    both |= c && g;
+  }
+  EXPECT_TRUE(cpu_only);
+  EXPECT_TRUE(gpu_only);
+  EXPECT_TRUE(both);
+}
+
+// --- Figure 3: EDF reduces waste ---------------------------------------
+
+TEST(Figure3, ZeroSlackWastesHalfUnderWrr) {
+  PolicyConfig wrr;
+  wrr.sched = JobSchedPolicy::kWrr;
+  wrr.fetch = FetchPolicy::kOrig;
+  const Metrics m = run(paper_scenario1(1000.0), wrr, 3.0);
+  EXPECT_NEAR(m.wasted_fraction(), 0.5, 0.12);
+}
+
+TEST(Figure3, DeadlineAwareBeatsWrrAtModerateSlack) {
+  PolicyConfig wrr;
+  wrr.sched = JobSchedPolicy::kWrr;
+  wrr.fetch = FetchPolicy::kOrig;
+  PolicyConfig edf;
+  edf.sched = JobSchedPolicy::kGlobal;
+  edf.fetch = FetchPolicy::kOrig;
+  const Metrics mw = run(paper_scenario1(1400.0), wrr, 3.0);
+  const Metrics me = run(paper_scenario1(1400.0), edf, 3.0);
+  EXPECT_GT(mw.wasted_fraction(), 0.35);
+  EXPECT_LT(me.wasted_fraction(), 0.2);
+}
+
+TEST(Figure3, WasteDecreasesWithSlackUnderEdf) {
+  PolicyConfig edf;
+  edf.sched = JobSchedPolicy::kGlobal;
+  edf.fetch = FetchPolicy::kOrig;
+  const double w0 = run(paper_scenario1(1000.0), edf, 2.0).wasted_fraction();
+  const double w1 = run(paper_scenario1(1900.0), edf, 2.0).wasted_fraction();
+  EXPECT_GT(w0, w1 + 0.1);
+}
+
+// --- Figure 4: global accounting reduces share violation ----------------
+
+TEST(Figure4, GlobalAccountingReducesViolation) {
+  PolicyConfig local;
+  local.sched = JobSchedPolicy::kLocal;
+  PolicyConfig global;
+  global.sched = JobSchedPolicy::kGlobal;
+  const Metrics ml = run(paper_scenario2(), local, 4.0);
+  const Metrics mg = run(paper_scenario2(), global, 4.0);
+  EXPECT_GT(ml.share_violation(), mg.share_violation() + 0.05);
+}
+
+TEST(Figure4, LocalSplitsCpuEvenly) {
+  PolicyConfig local;
+  local.sched = JobSchedPolicy::kLocal;
+  const Metrics m = run(paper_scenario2(), local, 4.0);
+  // Even CPU split: P1 gets 2 of 14 GFLOPS ~ 0.143.
+  EXPECT_NEAR(m.usage_fraction[0], 2.0 / 14.0, 0.05);
+}
+
+TEST(Figure4, GlobalGivesCpuToCpuOnlyProject) {
+  PolicyConfig global;
+  global.sched = JobSchedPolicy::kGlobal;
+  const Metrics m = run(paper_scenario2(), global, 4.0);
+  // Constrained optimum: P1 gets the whole CPU pool, 4/14 ~ 0.286.
+  EXPECT_NEAR(m.usage_fraction[0], 4.0 / 14.0, 0.06);
+}
+
+// --- Figure 5: hysteresis reduces RPCs ----------------------------------
+
+TEST(Figure5, HysteresisCutsRpcsPerJob) {
+  PolicyConfig orig;
+  orig.sched = JobSchedPolicy::kGlobal;
+  orig.fetch = FetchPolicy::kOrig;
+  PolicyConfig hyst = orig;
+  hyst.fetch = FetchPolicy::kHysteresis;
+  const Metrics mo = run(paper_scenario4(), orig, 2.0);
+  const Metrics mh = run(paper_scenario4(), hyst, 2.0);
+  EXPECT_LT(mh.rpcs_per_job(), 0.5 * mo.rpcs_per_job());
+}
+
+TEST(Figure5, HysteresisIncreasesMonotony) {
+  PolicyConfig orig;
+  orig.sched = JobSchedPolicy::kGlobal;
+  orig.fetch = FetchPolicy::kOrig;
+  PolicyConfig hyst = orig;
+  hyst.fetch = FetchPolicy::kHysteresis;
+  const Metrics mo = run(paper_scenario4(), orig, 2.0);
+  const Metrics mh = run(paper_scenario4(), hyst, 2.0);
+  EXPECT_GT(mh.monotony, mo.monotony);
+}
+
+// --- Figure 6: REC half-life --------------------------------------------
+
+TEST(Figure6, ShortHalfLifeViolatesShares) {
+  PolicyConfig pol;
+  pol.sched = JobSchedPolicy::kGlobal;
+  pol.rec_half_life = 1e4;
+  Scenario sc = paper_scenario3();
+  const Metrics m = run(sc, pol, 60.0);
+  EXPECT_GT(m.share_violation(), 0.3);
+  EXPECT_GT(m.usage_fraction[0], 0.8);  // the long-job project hogs the CPU
+}
+
+TEST(Figure6, LongHalfLifeRestoresShares) {
+  PolicyConfig shortA;
+  shortA.sched = JobSchedPolicy::kGlobal;
+  shortA.rec_half_life = 1e4;
+  PolicyConfig longA = shortA;
+  longA.rec_half_life = 5e6;
+  const Metrics ms = run(paper_scenario3(), shortA, 60.0);
+  const Metrics ml = run(paper_scenario3(), longA, 60.0);
+  EXPECT_LT(ml.share_violation(), ms.share_violation() - 0.15);
+}
+
+// --- Controller ----------------------------------------------------------
+
+TEST(Controller, BatchPreservesOrderAndLabels) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    RunSpec s;
+    s.label = "run" + std::to_string(i);
+    s.scenario = paper_scenario1(1000.0 + 200.0 * i);
+    s.scenario.duration = 0.05 * kSecondsPerDay;
+    specs.push_back(std::move(s));
+  }
+  const auto results = run_batch(specs, 2);
+  ASSERT_EQ(results.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].label,
+              "run" + std::to_string(i));
+  }
+}
+
+TEST(Controller, ParallelMatchesSerial) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    RunSpec s;
+    s.label = std::to_string(i);
+    s.scenario = paper_scenario1(1500.0);
+    s.scenario.seed = static_cast<std::uint64_t>(i + 1);
+    s.scenario.duration = 0.05 * kSecondsPerDay;
+    specs.push_back(std::move(s));
+  }
+  const auto serial = run_batch(specs, 1);
+  const auto parallel = run_batch(specs, 3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].result.metrics.used_flops,
+                     parallel[i].result.metrics.used_flops);
+    EXPECT_EQ(serial[i].result.metrics.n_rpcs,
+              parallel[i].result.metrics.n_rpcs);
+  }
+}
+
+TEST(Controller, ExceptionPropagates) {
+  std::vector<RunSpec> specs(1);
+  specs[0].scenario = Scenario{};  // invalid: no projects
+  EXPECT_THROW(run_batch(specs), std::invalid_argument);
+}
+
+TEST(Controller, SweepMapsParameters) {
+  const auto results = run_sweep(
+      {1000.0, 2000.0},
+      [](double lat) {
+        RunSpec s;
+        s.label = fmt(lat, 0);
+        s.scenario = paper_scenario1(lat);
+        s.scenario.duration = 0.05 * kSecondsPerDay;
+        return s;
+      },
+      2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "1000");
+  EXPECT_EQ(results[1].label, "2000");
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,87 @@
+// Tests for the Monte-Carlo scenario population sampler (core/population).
+
+#include <gtest/gtest.h>
+
+#include "core/emulator.hpp"
+#include "core/population.hpp"
+
+namespace bce {
+namespace {
+
+TEST(Population, SampledScenariosValidate) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Scenario sc = sample_scenario(rng);
+    std::string err;
+    EXPECT_TRUE(sc.validate(&err)) << "sample " << i << ": " << err;
+  }
+}
+
+TEST(Population, DeterministicGivenRngState) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  const Scenario sa = sample_scenario(a);
+  const Scenario sb = sample_scenario(b);
+  EXPECT_EQ(sa.projects.size(), sb.projects.size());
+  EXPECT_EQ(sa.host.count[ProcType::kCpu], sb.host.count[ProcType::kCpu]);
+  EXPECT_DOUBLE_EQ(sa.host.flops_per_instance[ProcType::kCpu],
+                   sb.host.flops_per_instance[ProcType::kCpu]);
+  EXPECT_EQ(sa.seed, sb.seed);
+}
+
+TEST(Population, SamplesVary) {
+  Xoshiro256 rng(7);
+  const Scenario a = sample_scenario(rng);
+  const Scenario b = sample_scenario(rng);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+class PopulationRanges : public ::testing::TestWithParam<int> {};
+
+TEST_P(PopulationRanges, RespectsParameterRanges) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  PopulationParams pp;
+  const Scenario sc = sample_scenario(rng, pp);
+
+  EXPECT_GE(sc.host.count[ProcType::kCpu], pp.min_cpus);
+  EXPECT_LE(sc.host.count[ProcType::kCpu], pp.max_cpus);
+  EXPECT_GE(sc.host.flops_per_instance[ProcType::kCpu], pp.cpu_flops_lo);
+  EXPECT_LE(sc.host.flops_per_instance[ProcType::kCpu], pp.cpu_flops_hi);
+  EXPECT_GE(static_cast<int>(sc.projects.size()), pp.min_projects);
+  EXPECT_LE(static_cast<int>(sc.projects.size()), pp.max_projects);
+  EXPECT_GE(sc.prefs.max_queue, sc.prefs.min_queue);
+  EXPECT_DOUBLE_EQ(sc.duration, pp.duration);
+
+  for (const auto t : {ProcType::kNvidia, ProcType::kAti}) {
+    if (sc.host.count[t] > 0) {
+      EXPECT_LE(sc.host.count[t], pp.max_gpus);
+      const double speedup = sc.host.flops_per_instance[t] /
+                             sc.host.flops_per_instance[ProcType::kCpu];
+      EXPECT_GE(speedup, pp.gpu_speedup_lo * 0.999);
+      EXPECT_LE(speedup, pp.gpu_speedup_hi * 1.001);
+    }
+  }
+  for (const auto& p : sc.projects) {
+    for (const auto& jc : p.job_classes) {
+      const double runtime = jc.est_runtime(sc.host);
+      EXPECT_GE(runtime, pp.job_seconds_lo * 0.999);
+      EXPECT_LE(runtime, pp.job_seconds_hi * 1.001);
+      EXPECT_GE(jc.latency_bound / runtime, pp.latency_factor_lo * 0.999);
+      EXPECT_LE(jc.latency_bound / runtime, pp.latency_factor_hi * 1.001);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulationRanges, ::testing::Range(1, 16));
+
+TEST(Population, SampledScenarioEmulates) {
+  Xoshiro256 rng(123);
+  PopulationParams pp;
+  pp.duration = 0.1 * kSecondsPerDay;
+  const Scenario sc = sample_scenario(rng, pp);
+  const EmulationResult res = emulate(sc);
+  EXPECT_GE(res.metrics.available_flops, 0.0);
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,88 @@
+// Tests for availability presets (host/availability_presets) and the
+// replicate-averaging helper (core/controller).
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/paper_scenarios.hpp"
+#include "host/availability_presets.hpp"
+
+namespace bce {
+namespace {
+
+TEST(AvailabilityPresets, DedicatedIsAlwaysOn) {
+  const HostAvailabilitySpec s = avail_dedicated();
+  EXPECT_DOUBLE_EQ(s.host_on.expected_on_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(s.gpu_allowed.expected_on_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(s.network.expected_on_fraction(), 1.0);
+}
+
+TEST(AvailabilityPresets, OfficeWorkstationWindows) {
+  const HostAvailabilitySpec s = avail_office_workstation();
+  // On 8:00-18:00 on 5 of 7 days.
+  EXPECT_NEAR(s.host_on.expected_on_fraction(), 5.0 * 10.0 / (7.0 * 24.0),
+              1e-9);
+  // GPU window wraps overnight and must not coincide with working hours.
+  Xoshiro256 rng(1);
+  HostAvailability av(s, rng, 12.0 * kSecondsPerHour);  // noon
+  EXPECT_TRUE(av.cpu_computing_allowed());
+  EXPECT_FALSE(av.gpu_computing_allowed());
+}
+
+TEST(AvailabilityPresets, EveningPcFraction) {
+  const HostAvailabilitySpec s = avail_evening_pc();
+  EXPECT_NEAR(s.host_on.expected_on_fraction(), 7.0 / 24.0, 1e-9);
+}
+
+TEST(AvailabilityPresets, LaptopIsIntermittent) {
+  const HostAvailabilitySpec s = avail_laptop();
+  EXPECT_LT(s.host_on.expected_on_fraction(), 0.5);
+  EXPECT_EQ(s.host_on.dist, PeriodDist::kWeibull);
+  EXPECT_LT(s.network.expected_on_fraction(), 1.0);
+}
+
+TEST(AvailabilityPresets, GamerRigYieldsGpuInTheEvening) {
+  const HostAvailabilitySpec s = avail_gamer_rig();
+  EXPECT_DOUBLE_EQ(s.host_on.expected_on_fraction(), 1.0);
+  Xoshiro256 rng(1);
+  HostAvailability av(s, rng, 20.0 * kSecondsPerHour);  // 20:00: gaming
+  EXPECT_TRUE(av.cpu_computing_allowed());
+  EXPECT_FALSE(av.gpu_computing_allowed());
+  av.advance_to(23.5 * kSecondsPerHour);
+  EXPECT_TRUE(av.gpu_computing_allowed());
+}
+
+TEST(AvailabilityPresets, PresetScenarioEmulates) {
+  Scenario sc = paper_scenario1(1500.0);
+  sc.duration = 0.5 * kSecondsPerDay;
+  sc.availability = avail_laptop();
+  const EmulationResult res = emulate(sc);
+  // An intermittent host has less available capacity than wall clock.
+  EXPECT_LT(res.metrics.available_flops, sc.duration * 1e9);
+}
+
+TEST(Replicates, AggregatesAcrossSeeds) {
+  Scenario sc = paper_scenario1(1500.0);
+  sc.duration = 0.1 * kSecondsPerDay;
+  const ReplicateSummary sum = run_replicates(sc, {}, 4, 2);
+  EXPECT_EQ(sum.runs.size(), 4u);
+  EXPECT_EQ(sum.wasted.count(), 4u);
+  EXPECT_GE(sum.wasted.min(), 0.0);
+  EXPECT_LE(sum.wasted.max(), 1.0);
+  // Different seeds -> runtimes differ (cv > 0) -> stats have spread.
+  EXPECT_GT(sum.score.max(), sum.score.min());
+}
+
+TEST(Replicates, SeedsAreOneToN) {
+  Scenario sc = paper_scenario1(1500.0);
+  sc.duration = 0.05 * kSecondsPerDay;
+  sc.seed = 999;  // must be overridden per replicate
+  const ReplicateSummary sum = run_replicates(sc, {}, 2, 1);
+  Scenario s1 = sc;
+  s1.seed = 1;
+  const EmulationResult direct = emulate(s1);
+  EXPECT_DOUBLE_EQ(sum.runs[0].metrics.used_flops, direct.metrics.used_flops);
+}
+
+}  // namespace
+}  // namespace bce

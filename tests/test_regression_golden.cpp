@@ -1,0 +1,142 @@
+// Golden-metrics regression suite: pinned (scenario, policy, seed)
+// configurations with bands around the currently-measured figures of
+// merit. These guard the *reproduced paper results* against silent
+// behavioural drift: a refactor that flips who wins an experiment fails
+// here even if every unit test still passes.
+//
+// Bands are deliberately loose (these are shape guards, not bit-exactness
+// — determinism per se is covered by Emulator.DeterministicGivenSeed).
+
+#include <gtest/gtest.h>
+
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+
+namespace bce {
+namespace {
+
+struct Golden {
+  const char* name;
+  Scenario (*make)();
+  JobSchedPolicy sched;
+  FetchPolicy fetch;
+  double rec_half_life;
+  double days;
+  // Expected bands [lo, hi].
+  double wasted_lo, wasted_hi;
+  double viol_lo, viol_hi;
+  double rpj_lo, rpj_hi;
+  std::int64_t jobs_lo, jobs_hi;
+};
+
+Scenario s1() { return paper_scenario1(1500.0); }
+Scenario s2() { return paper_scenario2(); }
+Scenario s3() { return paper_scenario3(); }
+Scenario s4() { return paper_scenario4(); }
+
+// Measured values (see git history of this file for the baseline run):
+//  s1_global: wasted 0.080 viol 0.000 rpj 1.01 jobs 171
+//  s1_wrr:    wasted 0.422 viol 0.001 rpj 1.01 jobs 171
+//  s2_local:  wasted 0.000 viol 0.354 rpj 0.056 jobs 644
+//  s2_global: wasted 0.001 viol 0.240 rpj 0.046 jobs 646
+//  s3_shortA: viol 0.481 jobs 9        s3_longA: viol 0.079 jobs 147
+//  s4_orig:   rpj 1.05 jobs 631        s4_hyst:  rpj 0.045 jobs 666
+const Golden kGolden[] = {
+    {"s1_global", &s1, JobSchedPolicy::kGlobal, FetchPolicy::kOrig, 0, 3.0,
+     0.0, 0.20, 0.0, 0.05, 0.8, 1.3, 130, 210},
+    {"s1_wrr", &s1, JobSchedPolicy::kWrr, FetchPolicy::kOrig, 0, 3.0,
+     0.30, 0.55, 0.0, 0.05, 0.8, 1.3, 130, 210},
+    {"s2_local", &s2, JobSchedPolicy::kLocal, FetchPolicy::kHysteresis, 0, 3.0,
+     0.0, 0.05, 0.28, 0.42, 0.0, 0.2, 500, 800},
+    {"s2_global", &s2, JobSchedPolicy::kGlobal, FetchPolicy::kHysteresis, 0,
+     3.0, 0.0, 0.05, 0.18, 0.30, 0.0, 0.2, 500, 800},
+    {"s3_shortA", &s3, JobSchedPolicy::kGlobal, FetchPolicy::kHysteresis, 1e4,
+     40.0, 0.0, 0.05, 0.40, 0.50, 0.0, 3.0, 4, 30},
+    {"s3_longA", &s3, JobSchedPolicy::kGlobal, FetchPolicy::kHysteresis, 5e6,
+     40.0, 0.0, 0.05, 0.0, 0.20, 0.0, 3.0, 80, 250},
+    {"s4_orig", &s4, JobSchedPolicy::kGlobal, FetchPolicy::kOrig, 0, 2.0,
+     0.0, 0.05, 0.0, 0.10, 0.7, 1.4, 450, 850},
+    {"s4_hyst", &s4, JobSchedPolicy::kGlobal, FetchPolicy::kHysteresis, 0, 2.0,
+     0.0, 0.05, 0.0, 0.15, 0.0, 0.15, 450, 850},
+};
+
+class GoldenRegression : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRegression, MetricsWithinBands) {
+  const Golden& g = GetParam();
+  Scenario sc = g.make();
+  sc.duration = g.days * kSecondsPerDay;
+  EmulationOptions opt;
+  opt.policy.sched = g.sched;
+  opt.policy.fetch = g.fetch;
+  if (g.rec_half_life > 0) opt.policy.rec_half_life = g.rec_half_life;
+
+  const Metrics m = emulate(sc, opt).metrics;
+  EXPECT_GE(m.wasted_fraction(), g.wasted_lo) << m.summary();
+  EXPECT_LE(m.wasted_fraction(), g.wasted_hi) << m.summary();
+  EXPECT_GE(m.share_violation(), g.viol_lo) << m.summary();
+  EXPECT_LE(m.share_violation(), g.viol_hi) << m.summary();
+  EXPECT_GE(m.rpcs_per_job(), g.rpj_lo) << m.summary();
+  EXPECT_LE(m.rpcs_per_job(), g.rpj_hi) << m.summary();
+  EXPECT_GE(m.n_jobs_completed, g.jobs_lo) << m.summary();
+  EXPECT_LE(m.n_jobs_completed, g.jobs_hi) << m.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigs, GoldenRegression,
+                         ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// The cross-policy *orderings* that constitute the paper's conclusions,
+// asserted directly.
+TEST(GoldenRegression, PaperConclusionsHold) {
+  // 1. EDF scheduling reduces wasted processing (Fig 3).
+  {
+    Scenario sc = paper_scenario1(1500.0);
+    sc.duration = 3.0 * kSecondsPerDay;
+    EmulationOptions wrr;
+    wrr.policy.sched = JobSchedPolicy::kWrr;
+    wrr.policy.fetch = FetchPolicy::kOrig;
+    EmulationOptions edf = wrr;
+    edf.policy.sched = JobSchedPolicy::kGlobal;
+    EXPECT_LT(emulate(sc, edf).metrics.wasted_fraction() * 2.0,
+              emulate(sc, wrr).metrics.wasted_fraction());
+  }
+  // 2. Global accounting reduces share violation (Fig 4).
+  {
+    Scenario sc = paper_scenario2();
+    sc.duration = 3.0 * kSecondsPerDay;
+    EmulationOptions local;
+    local.policy.sched = JobSchedPolicy::kLocal;
+    EmulationOptions global;
+    global.policy.sched = JobSchedPolicy::kGlobal;
+    EXPECT_LT(emulate(sc, global).metrics.share_violation(),
+              emulate(sc, local).metrics.share_violation());
+  }
+  // 3. Hysteresis reduces RPCs per job (Fig 5).
+  {
+    Scenario sc = paper_scenario4();
+    sc.duration = 2.0 * kSecondsPerDay;
+    EmulationOptions orig;
+    orig.policy.fetch = FetchPolicy::kOrig;
+    EmulationOptions hyst;
+    hyst.policy.fetch = FetchPolicy::kHysteresis;
+    EXPECT_LT(emulate(sc, hyst).metrics.rpcs_per_job() * 5.0,
+              emulate(sc, orig).metrics.rpcs_per_job());
+  }
+  // 4. Longer REC half-life reduces violation with long jobs (Fig 6).
+  {
+    Scenario sc = paper_scenario3();
+    sc.duration = 40.0 * kSecondsPerDay;
+    EmulationOptions shortA;
+    shortA.policy.rec_half_life = 1e4;
+    EmulationOptions longA;
+    longA.policy.rec_half_life = 5e6;
+    EXPECT_LT(emulate(sc, longA).metrics.share_violation() * 2.0,
+              emulate(sc, shortA).metrics.share_violation());
+  }
+}
+
+}  // namespace
+}  // namespace bce

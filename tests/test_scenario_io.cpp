@@ -1,0 +1,261 @@
+// Unit tests for the scenario text format (core/scenario_io): parsing,
+// serialization round-trips, and error reporting with line numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_scenarios.hpp"
+#include "core/scenario_io.hpp"
+
+namespace bce {
+namespace {
+
+const char* kBasic = R"(
+# a comment
+name: testbox
+duration_days: 2
+seed: 7
+cpus: 4 @ 1e9
+gpu: nvidia 1 @ 1e10
+ram: 8e9
+min_queue: 3600
+max_queue: 7200
+avail_host: markov 36000 3600
+avail_gpu: window 0 43200
+avail_net: always
+
+project: einstein
+share: 200
+job: cpu flops=2e12 latency=86400 ncpus=1 checkpoint=300
+
+project: gpugrid
+share: 100
+up: markov 800000 4000
+job: gpu=nvidia:1.0 flops=2e13 latency=43200 cpu_frac=0.05 cv=0.1
+)";
+
+TEST(ScenarioIo, ParsesBasicScenario) {
+  const Scenario sc = parse_scenario(kBasic);
+  EXPECT_EQ(sc.name, "testbox");
+  EXPECT_DOUBLE_EQ(sc.duration, 2.0 * kSecondsPerDay);
+  EXPECT_EQ(sc.seed, 7u);
+  EXPECT_EQ(sc.host.count[ProcType::kCpu], 4);
+  EXPECT_DOUBLE_EQ(sc.host.flops_per_instance[ProcType::kNvidia], 1e10);
+  EXPECT_DOUBLE_EQ(sc.prefs.min_queue, 3600.0);
+  EXPECT_EQ(sc.availability.host_on.kind, OnOffSpec::Kind::kMarkov);
+  EXPECT_DOUBLE_EQ(sc.availability.host_on.mean_off, 3600.0);
+  EXPECT_EQ(sc.availability.gpu_allowed.kind, OnOffSpec::Kind::kDailyWindow);
+
+  ASSERT_EQ(sc.projects.size(), 2u);
+  EXPECT_EQ(sc.projects[0].name, "einstein");
+  EXPECT_DOUBLE_EQ(sc.projects[0].resource_share, 200.0);
+  ASSERT_EQ(sc.projects[0].job_classes.size(), 1u);
+  EXPECT_DOUBLE_EQ(sc.projects[0].job_classes[0].flops_est, 2e12);
+  EXPECT_FALSE(sc.projects[0].job_classes[0].usage.uses_gpu());
+
+  EXPECT_EQ(sc.projects[1].up.kind, OnOffSpec::Kind::kMarkov);
+  const JobClass& g = sc.projects[1].job_classes[0];
+  EXPECT_TRUE(g.usage.uses_gpu());
+  EXPECT_EQ(g.usage.coproc, ProcType::kNvidia);
+  EXPECT_DOUBLE_EQ(g.usage.avg_ncpus, 0.05);
+  EXPECT_DOUBLE_EQ(g.flops_cv, 0.1);
+}
+
+TEST(ScenarioIo, CheckpointNever) {
+  const Scenario sc = parse_scenario(
+      "cpus: 1 @ 1e9\nproject: p\njob: cpu flops=1e12 latency=1e5 "
+      "checkpoint=never\n");
+  EXPECT_TRUE(std::isinf(sc.projects[0].job_classes[0].checkpoint_period));
+}
+
+TEST(ScenarioIo, RoundTripBasic) {
+  const Scenario a = parse_scenario(kBasic);
+  const Scenario b = parse_scenario(serialize_scenario(a));
+  EXPECT_EQ(b.name, a.name);
+  EXPECT_DOUBLE_EQ(b.duration, a.duration);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.projects.size(), a.projects.size());
+  for (std::size_t p = 0; p < a.projects.size(); ++p) {
+    EXPECT_EQ(b.projects[p].name, a.projects[p].name);
+    EXPECT_DOUBLE_EQ(b.projects[p].resource_share,
+                     a.projects[p].resource_share);
+    ASSERT_EQ(b.projects[p].job_classes.size(),
+              a.projects[p].job_classes.size());
+    for (std::size_t j = 0; j < a.projects[p].job_classes.size(); ++j) {
+      const auto& ja = a.projects[p].job_classes[j];
+      const auto& jb = b.projects[p].job_classes[j];
+      EXPECT_DOUBLE_EQ(jb.flops_est, ja.flops_est);
+      EXPECT_DOUBLE_EQ(jb.latency_bound, ja.latency_bound);
+      EXPECT_DOUBLE_EQ(jb.flops_cv, ja.flops_cv);
+      EXPECT_DOUBLE_EQ(jb.usage.avg_ncpus, ja.usage.avg_ncpus);
+      EXPECT_EQ(jb.usage.coproc, ja.usage.coproc);
+    }
+  }
+}
+
+class PaperScenarioRoundTrip
+    : public ::testing::TestWithParam<Scenario (*)()> {};
+
+TEST_P(PaperScenarioRoundTrip, SurvivesSerializeParse) {
+  const Scenario a = GetParam()();
+  const Scenario b = parse_scenario(serialize_scenario(a));
+  EXPECT_EQ(b.name, a.name);
+  EXPECT_DOUBLE_EQ(b.duration, a.duration);
+  ASSERT_EQ(b.projects.size(), a.projects.size());
+  for (std::size_t p = 0; p < a.projects.size(); ++p) {
+    ASSERT_EQ(b.projects[p].job_classes.size(),
+              a.projects[p].job_classes.size());
+    for (std::size_t j = 0; j < a.projects[p].job_classes.size(); ++j) {
+      EXPECT_DOUBLE_EQ(b.projects[p].job_classes[j].flops_est,
+                       a.projects[p].job_classes[j].flops_est);
+      EXPECT_DOUBLE_EQ(b.projects[p].job_classes[j].latency_bound,
+                       a.projects[p].job_classes[j].latency_bound);
+    }
+  }
+}
+
+namespace {
+Scenario scenario2_wrapper() { return paper_scenario2(); }
+Scenario scenario3_wrapper() { return paper_scenario3(); }
+Scenario scenario4_wrapper() { return paper_scenario4(); }
+Scenario scenario1_wrapper() { return paper_scenario1(1500.0); }
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(PaperScenarios, PaperScenarioRoundTrip,
+                         ::testing::Values(&scenario1_wrapper,
+                                           &scenario2_wrapper,
+                                           &scenario3_wrapper,
+                                           &scenario4_wrapper));
+
+struct BadInput {
+  const char* name;
+  const char* text;
+  int line;
+};
+
+class ScenarioIoErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ScenarioIoErrors, ReportsLineNumber) {
+  try {
+    parse_scenario(GetParam().text);
+    FAIL() << "expected ScenarioParseError";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_EQ(e.line(), GetParam().line) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ScenarioIoErrors,
+    ::testing::Values(
+        BadInput{"missing_colon", "cpus 4\n", 1},
+        BadInput{"unknown_key", "cpus: 1 @ 1e9\nfrobnicate: 3\n", 2},
+        BadInput{"bad_number", "cpus: x @ 1e9\n", 1},
+        BadInput{"bad_cpus_shape", "cpus: 4 1e9\n", 1},
+        BadInput{"bad_gpu_type", "cpus: 1 @ 1e9\ngpu: amd 1 @ 1e10\n", 2},
+        BadInput{"share_outside_project", "cpus: 1 @ 1e9\nshare: 5\n", 2},
+        BadInput{"job_outside_project",
+                 "cpus: 1 @ 1e9\njob: cpu flops=1 latency=1\n", 2},
+        BadInput{"job_missing_flops",
+                 "cpus: 1 @ 1e9\nproject: p\njob: cpu latency=10\n", 3},
+        BadInput{"job_missing_latency",
+                 "cpus: 1 @ 1e9\nproject: p\njob: cpu flops=1e12\n", 3},
+        BadInput{"job_bad_attr",
+                 "cpus: 1 @ 1e9\nproject: p\njob: cpu flops=1e12 latency=10 "
+                 "zork=1\n",
+                 3},
+        BadInput{"bad_avail_kind", "avail_host: sometimes\n", 1},
+        BadInput{"markov_missing_args", "avail_host: markov 100\n", 1}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(ScenarioIo, ParsesExtensionFields) {
+  const Scenario sc = parse_scenario(
+      "cpus: 2 @ 1e9\n"
+      "bandwidth: 1e6\n"
+      "avail_host: markov 10000 2000 weibull 1.5\n"
+      "avail_net: trace 3600:on 600:off\n"
+      "project: p\n"
+      "max_in_progress: 3\n"
+      "job: cpu flops=1e12 latency=1e5 input_bytes=5e7\n");
+  EXPECT_DOUBLE_EQ(sc.host.download_bandwidth_bps, 1e6);
+  EXPECT_EQ(sc.availability.host_on.dist, PeriodDist::kWeibull);
+  EXPECT_DOUBLE_EQ(sc.availability.host_on.shape, 1.5);
+  EXPECT_EQ(sc.availability.network.kind, OnOffSpec::Kind::kTrace);
+  ASSERT_EQ(sc.availability.network.trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(sc.availability.network.trace[1].duration, 600.0);
+  EXPECT_FALSE(sc.availability.network.trace[1].on);
+  EXPECT_EQ(sc.projects[0].max_jobs_in_progress, 3);
+  EXPECT_DOUBLE_EQ(sc.projects[0].job_classes[0].input_bytes, 5e7);
+}
+
+TEST(ScenarioIo, WeeklyAvailabilityRoundTrip) {
+  const Scenario a = parse_scenario(
+      "cpus: 1 @ 1e9\n"
+      "avail_host: weekly 32400 61200 1111100\n"
+      "project: p\n"
+      "job: cpu flops=1e12 latency=1e5\n");
+  EXPECT_EQ(a.availability.host_on.kind, OnOffSpec::Kind::kWeekly);
+  EXPECT_DOUBLE_EQ(a.availability.host_on.window_start, 32400.0);
+  EXPECT_TRUE(a.availability.host_on.active_days[0]);
+  EXPECT_FALSE(a.availability.host_on.active_days[5]);
+  const Scenario b = parse_scenario(serialize_scenario(a));
+  EXPECT_EQ(b.availability.host_on.kind, OnOffSpec::Kind::kWeekly);
+  EXPECT_EQ(b.availability.host_on.active_days, a.availability.host_on.active_days);
+}
+
+TEST(ScenarioIo, WeeklyBadDayFlagsRejected) {
+  EXPECT_THROW(parse_scenario("avail_host: weekly 0 100 11111\n"),
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario("avail_host: weekly 0 100 11111x1\n"),
+               ScenarioParseError);
+}
+
+TEST(ScenarioIo, ExtensionFieldsRoundTrip) {
+  Scenario a = parse_scenario(
+      "cpus: 2 @ 1e9\n"
+      "bandwidth: 2e6\n"
+      "avail_host: markov 10000 2000 lognormal 0.7\n"
+      "avail_gpu: trace 100:on 50:off 30:on\n"
+      "project: p\n"
+      "max_in_progress: 5\n"
+      "job: cpu flops=1e12 latency=1e5 input_bytes=1e8 transfer=60\n");
+  const Scenario b = parse_scenario(serialize_scenario(a));
+  EXPECT_DOUBLE_EQ(b.host.download_bandwidth_bps, 2e6);
+  EXPECT_EQ(b.availability.host_on.dist, PeriodDist::kLognormal);
+  EXPECT_DOUBLE_EQ(b.availability.host_on.shape, 0.7);
+  ASSERT_EQ(b.availability.gpu_allowed.trace.size(), 3u);
+  EXPECT_EQ(b.projects[0].max_jobs_in_progress, 5);
+  EXPECT_DOUBLE_EQ(b.projects[0].job_classes[0].input_bytes, 1e8);
+  EXPECT_DOUBLE_EQ(b.projects[0].job_classes[0].transfer_delay, 60.0);
+}
+
+TEST(ScenarioIo, InvalidButWellFormedFailsValidation) {
+  // Well-formed text describing an invalid scenario (no projects).
+  EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\n"), std::invalid_argument);
+}
+
+TEST(ScenarioIo, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_file("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+#ifdef BCE_SOURCE_DIR
+TEST(ScenarioIo, ShippedScenarioFilesLoadAndValidate) {
+  for (const char* name :
+       {"scenario1.txt", "scenario2.txt", "scenario3.txt", "scenario4.txt",
+        "sampled_host.txt"}) {
+    const std::string path =
+        std::string(BCE_SOURCE_DIR) + "/scenarios/" + name;
+    Scenario sc;
+    ASSERT_NO_THROW(sc = load_scenario_file(path)) << path;
+    std::string err;
+    EXPECT_TRUE(sc.validate(&err)) << path << ": " << err;
+    EXPECT_FALSE(sc.projects.empty()) << path;
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace bce

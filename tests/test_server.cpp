@@ -1,0 +1,312 @@
+// Unit tests for the simulated project server (server/project_server):
+// request filling, estimate error, deadline checks, downtime, and sporadic
+// per-class job availability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server/project_server.hpp"
+
+namespace bce {
+namespace {
+
+struct Fixture {
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  ProjectConfig cfg;
+  ServerPolicy policy;
+  Logger log;
+  JobId next_id = 0;
+
+  Fixture() {
+    cfg.name = "p";
+    JobClass jc;
+    jc.name = "cpu";
+    jc.flops_est = 1000e9;  // 1000 s
+    jc.latency_bound = 86400.0;
+    jc.usage = ResourceUsage::cpu(1.0);
+    cfg.job_classes.push_back(jc);
+  }
+
+  ProjectServer make(std::uint64_t seed = 1, double avail = 1.0) {
+    return ProjectServer(0, cfg, host, policy, avail, Xoshiro256(seed), 0.0);
+  }
+
+  static WorkRequest cpu_request(double secs, double instances = 0.0,
+                                 double delay = 0.0) {
+    WorkRequest req;
+    req.req_seconds[ProcType::kCpu] = secs;
+    req.req_instances[ProcType::kCpu] = instances;
+    req.est_delay[ProcType::kCpu] = delay;
+    return req;
+  }
+};
+
+TEST(ProjectServer, FillsRequestedSeconds) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r = srv.handle_rpc(0.0, Fixture::cpu_request(3500.0), 0,
+                                    f.next_id, f.log);
+  // Each job covers ~1000 inst-sec; four are needed to reach 3500.
+  EXPECT_EQ(r.jobs.size(), 4u);
+  EXPECT_FALSE(r.project_down);
+}
+
+TEST(ProjectServer, SendsAtLeastOnePerIdleInstance) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r = srv.handle_rpc(0.0, Fixture::cpu_request(0.0, 3.0), 0,
+                                    f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 3u);
+}
+
+TEST(ProjectServer, EmptyRequestYieldsNothing) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r = srv.handle_rpc(0.0, WorkRequest{}, 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+}
+
+TEST(ProjectServer, JobFieldsSetCorrectly) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(500.0, Fixture::cpu_request(100.0), 0, f.next_id, f.log);
+  ASSERT_FALSE(r.jobs.empty());
+  const Result& j = r.jobs[0];
+  EXPECT_EQ(j.project, 0);
+  EXPECT_DOUBLE_EQ(j.received, 500.0);
+  EXPECT_DOUBLE_EQ(j.deadline, 500.0 + 86400.0);
+  EXPECT_DOUBLE_EQ(j.flops_est, 1000e9);
+  EXPECT_GT(j.flops_total, 0.0);
+  EXPECT_DOUBLE_EQ(j.runnable_at, 500.0);
+  EXPECT_FALSE(j.usage.uses_gpu());
+}
+
+TEST(ProjectServer, JobIdsUniqueAndSequential) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(5000.0), 0, f.next_id, f.log);
+  for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+    EXPECT_EQ(r.jobs[i].id, static_cast<JobId>(i));
+  }
+  EXPECT_EQ(f.next_id, static_cast<JobId>(r.jobs.size()));
+}
+
+TEST(ProjectServer, EstimateErrorBiasesActualSize) {
+  Fixture f;
+  f.cfg.job_classes[0].est_error = 2.0;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(100.0), 0, f.next_id, f.log);
+  ASSERT_FALSE(r.jobs.empty());
+  EXPECT_DOUBLE_EQ(r.jobs[0].flops_est, 1000e9);
+  EXPECT_DOUBLE_EQ(r.jobs[0].flops_total, 2000e9);  // cv=0: deterministic
+}
+
+TEST(ProjectServer, RuntimeVarianceDrawsDiffer) {
+  Fixture f;
+  f.cfg.job_classes[0].flops_cv = 0.2;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(3000.0), 0, f.next_id, f.log);
+  ASSERT_GE(r.jobs.size(), 2u);
+  EXPECT_NE(r.jobs[0].flops_total, r.jobs[1].flops_total);
+  for (const auto& j : r.jobs) EXPECT_GT(j.flops_total, 0.0);
+}
+
+TEST(ProjectServer, MaxJobsPerRpcCaps) {
+  Fixture f;
+  f.policy.max_jobs_per_rpc = 5;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(1e9), 0, f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 5u);
+}
+
+TEST(ProjectServer, DownServerRejects) {
+  Fixture f;
+  f.cfg.up = OnOffSpec::markov(1000.0, 1000.0, /*begin_on=*/false);
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(100.0), 0, f.next_id, f.log);
+  EXPECT_TRUE(r.project_down);
+  EXPECT_TRUE(r.jobs.empty());
+}
+
+TEST(ProjectServer, WrongTypeRequestedSignalsNothing) {
+  Fixture f;  // CPU-only project
+  ProjectServer srv = f.make();
+  WorkRequest req;
+  req.req_seconds[ProcType::kNvidia] = 1000.0;
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  // The project never had nvidia jobs, so no "no jobs right now" backoff
+  // signal either.
+  EXPECT_FALSE(r.no_jobs_for[ProcType::kNvidia]);
+}
+
+TEST(ProjectServer, SporadicClassUnavailabilitySignalsBackoff) {
+  Fixture f;
+  f.cfg.job_classes[0].avail = OnOffSpec::markov(1000.0, 1000.0, false);
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(100.0), 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+  EXPECT_FALSE(r.project_down);
+}
+
+TEST(ProjectServer, DeadlineCheckRefusesInfeasibleClass) {
+  Fixture f;
+  f.policy.deadline_check = true;
+  f.cfg.job_classes[0].latency_bound = 500.0;  // runtime 1000 > latency
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(2000.0), 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+}
+
+TEST(ProjectServer, DeadlineCheckAccountsForClientQueue) {
+  Fixture f;
+  f.policy.deadline_check = true;
+  f.cfg.job_classes[0].latency_bound = 1500.0;
+  ProjectServer srv = f.make();
+  // With no queue: feasible (1000 <= 1500).
+  RpcReply r = srv.handle_rpc(0.0, Fixture::cpu_request(500.0, 0.0, 0.0), 0,
+                              f.next_id, f.log);
+  EXPECT_FALSE(r.jobs.empty());
+  // With a 1000 s reported queue delay: 1000+1000 > 1500 -> refused.
+  r = srv.handle_rpc(100.0, Fixture::cpu_request(500.0, 0.0, 1000.0), 0,
+                     f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+}
+
+TEST(ProjectServer, DeadlineCheckLimitsBatchDepth) {
+  Fixture f;
+  f.policy.deadline_check = true;
+  f.cfg.job_classes[0].latency_bound = 1500.0;
+  f.host = HostInfo::cpu_only(1, 1e9);  // single instance: depth matters
+  ProjectServer srv = f.make();
+  // Request far more than one job's worth: the second job would start
+  // after the first (delay 1000), 1000+1000 > 1500 -> only one sent.
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(10000.0), 0, f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 1u);
+}
+
+TEST(ProjectServer, DeadlineCheckDeratesByHostAvailability) {
+  Fixture f;
+  f.policy.deadline_check = true;
+  f.cfg.job_classes[0].latency_bound = 1500.0;
+  // Host available 50% of the time: effective runtime 2000 > 1500.
+  ProjectServer srv = f.make(1, /*avail=*/0.5);
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(500.0), 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+}
+
+TEST(ProjectServer, RotatesAmongClassesOfSameType) {
+  Fixture f;
+  JobClass second = f.cfg.job_classes[0];
+  second.name = "cpu2";
+  second.flops_est = 500e9;
+  f.cfg.job_classes.push_back(second);
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(2500.0), 0, f.next_id, f.log);
+  ASSERT_GE(r.jobs.size(), 2u);
+  EXPECT_NE(r.jobs[0].job_class, r.jobs[1].job_class);
+}
+
+TEST(ProjectServer, DeterministicGivenSeed) {
+  Fixture f;
+  f.cfg.job_classes[0].flops_cv = 0.3;
+  ProjectServer a = f.make(7);
+  JobId ida = 0;
+  Fixture g;
+  g.cfg.job_classes[0].flops_cv = 0.3;
+  ProjectServer b = g.make(7);
+  JobId idb = 0;
+  const RpcReply ra = a.handle_rpc(0.0, Fixture::cpu_request(5000.0), 0, ida, f.log);
+  const RpcReply rb = b.handle_rpc(0.0, Fixture::cpu_request(5000.0), 0, idb, g.log);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.jobs[i].flops_total, rb.jobs[i].flops_total);
+  }
+}
+
+TEST(ProjectServer, MaxInProgressCapsDispatch) {
+  Fixture f;
+  f.cfg.max_jobs_in_progress = 2;
+  ProjectServer srv = f.make();
+  RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(10000.0), 0, f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(srv.jobs_in_progress(), 2);
+  // Further requests get nothing (and a backoff signal) until reports.
+  r = srv.handle_rpc(100.0, Fixture::cpu_request(10000.0), 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+  // Reporting one frees one slot.
+  r = srv.handle_rpc(200.0, Fixture::cpu_request(10000.0), 1, f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(srv.jobs_in_progress(), 2);
+}
+
+TEST(ProjectServer, DurationCorrectionShrinksBatches) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(4000.0);
+  const RpcReply r1 = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_EQ(r1.jobs.size(), 4u);  // 4 x 1000 s by the raw estimate
+  req.duration_correction = 4.0;  // client learned jobs run 4x longer
+  const RpcReply r2 = srv.handle_rpc(100.0, req, 0, f.next_id, f.log);
+  EXPECT_EQ(r2.jobs.size(), 1u);  // one corrected job covers the request
+}
+
+TEST(ProjectServer, DurationCorrectionTightensDeadlineCheck) {
+  Fixture f;
+  f.policy.deadline_check = true;
+  f.cfg.job_classes[0].latency_bound = 1500.0;
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(500.0);
+  req.duration_correction = 2.0;  // corrected runtime 2000 > 1500
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+}
+
+TEST(ProjectServer, InputBytesCopiedToJobs) {
+  Fixture f;
+  f.cfg.job_classes[0].input_bytes = 5e7;
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(100.0), 0, f.next_id, f.log);
+  ASSERT_FALSE(r.jobs.empty());
+  EXPECT_DOUBLE_EQ(r.jobs[0].input_bytes, 5e7);
+}
+
+TEST(ProjectServer, GpuJobsForGpuRequest) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  JobClass g;
+  g.name = "gpu";
+  g.flops_est = 10000e9;  // 1000 s on the GPU
+  g.latency_bound = 86400.0;
+  g.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0, 0.05);
+  f.cfg.job_classes.push_back(g);
+  ProjectServer srv = f.make();
+  WorkRequest req;
+  req.req_seconds[ProcType::kNvidia] = 1500.0;
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  for (const auto& j : r.jobs) {
+    EXPECT_TRUE(j.usage.uses_gpu());
+  }
+}
+
+}  // namespace
+}  // namespace bce

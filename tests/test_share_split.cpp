@@ -1,0 +1,178 @@
+// Unit and property tests for the ideal share-split solver
+// (core/share_split) — the Figure 1 reference allocation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/share_split.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+namespace {
+
+ShareSplitInput::Project proj(double share, bool cpu, bool nv,
+                              bool ati = false) {
+  ShareSplitInput::Project p;
+  p.share = share;
+  p.can_use[ProcType::kCpu] = cpu;
+  p.can_use[ProcType::kNvidia] = nv;
+  p.can_use[ProcType::kAti] = ati;
+  return p;
+}
+
+TEST(ShareSplit, PaperFigure1Example) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 10.0;
+  in.capacity[ProcType::kNvidia] = 20.0;
+  in.projects = {proj(1.0, true, true), proj(1.0, false, true)};
+  const ShareSplitResult r = ideal_share_split(in);
+  EXPECT_NEAR(r.total[0], 15.0, 1e-3);
+  EXPECT_NEAR(r.total[1], 15.0, 1e-3);
+  EXPECT_NEAR(r.alloc[0][ProcType::kCpu], 10.0, 1e-3);
+  EXPECT_NEAR(r.alloc[0][ProcType::kNvidia], 5.0, 1e-3);
+  EXPECT_NEAR(r.alloc[1][ProcType::kNvidia], 15.0, 1e-3);
+}
+
+TEST(ShareSplit, SingleProjectGetsEverythingUsable) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 4.0;
+  in.capacity[ProcType::kNvidia] = 10.0;
+  in.projects = {proj(1.0, true, false)};
+  const ShareSplitResult r = ideal_share_split(in);
+  EXPECT_NEAR(r.total[0], 4.0, 1e-3);
+  EXPECT_NEAR(r.alloc[0][ProcType::kNvidia], 0.0, 1e-9);
+}
+
+TEST(ShareSplit, EqualSharesFullCapability) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 12.0;
+  in.projects = {proj(1.0, true, false), proj(1.0, true, false),
+                 proj(1.0, true, false)};
+  const ShareSplitResult r = ideal_share_split(in);
+  for (int p = 0; p < 3; ++p) EXPECT_NEAR(r.total[p], 4.0, 1e-3);
+}
+
+TEST(ShareSplit, UnequalShares) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 10.0;
+  in.projects = {proj(3.0, true, false), proj(1.0, true, false)};
+  const ShareSplitResult r = ideal_share_split(in);
+  EXPECT_NEAR(r.total[0], 7.5, 1e-3);
+  EXPECT_NEAR(r.total[1], 2.5, 1e-3);
+}
+
+TEST(ShareSplit, CapabilityConstrainedProjectCapped) {
+  // Scenario 2's structure: P1 CPU-only, P2 anything; equal shares.
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 4.0;
+  in.capacity[ProcType::kNvidia] = 10.0;
+  in.projects = {proj(1.0, true, false), proj(1.0, true, true)};
+  const ShareSplitResult r = ideal_share_split(in);
+  // P1 can at most get the whole CPU.
+  EXPECT_NEAR(r.total[0], 4.0, 1e-3);
+  EXPECT_NEAR(r.total[1], 10.0, 1e-3);
+}
+
+TEST(ShareSplit, ProjectWithNoUsableTypeGetsNothing) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 4.0;
+  in.projects = {proj(1.0, true, false), proj(1.0, false, true)};
+  const ShareSplitResult r = ideal_share_split(in);
+  EXPECT_NEAR(r.total[0], 4.0, 1e-3);
+  EXPECT_DOUBLE_EQ(r.total[1], 0.0);
+}
+
+TEST(ShareSplit, EmptyInputs) {
+  EXPECT_TRUE(ideal_share_split({}).total.empty());
+  ShareSplitInput in;  // projects but zero capacity
+  in.projects = {proj(1.0, true, true)};
+  const ShareSplitResult r = ideal_share_split(in);
+  EXPECT_DOUBLE_EQ(r.total[0], 0.0);
+}
+
+TEST(ShareSplit, ThreeTypesThreeProjects) {
+  ShareSplitInput in;
+  in.capacity[ProcType::kCpu] = 6.0;
+  in.capacity[ProcType::kNvidia] = 6.0;
+  in.capacity[ProcType::kAti] = 6.0;
+  in.projects = {proj(1.0, true, false, false), proj(1.0, false, true, false),
+                 proj(1.0, false, false, true)};
+  const ShareSplitResult r = ideal_share_split(in);
+  for (int p = 0; p < 3; ++p) EXPECT_NEAR(r.total[p], 6.0, 1e-3);
+}
+
+// Property sweep: random instances must satisfy feasibility and max-min
+// optimality conditions.
+class ShareSplitProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShareSplitProperties, AllocationsFeasibleAndFair) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  ShareSplitInput in;
+  for (const auto t : kAllProcTypes) {
+    in.capacity[t] = rng.uniform01() < 0.8 ? rng.uniform(1.0, 50.0) : 0.0;
+  }
+  const int n = 1 + static_cast<int>(rng.below(6));
+  for (int p = 0; p < n; ++p) {
+    ShareSplitInput::Project pr;
+    pr.share = rng.uniform(0.5, 5.0);
+    bool any = false;
+    for (const auto t : kAllProcTypes) {
+      pr.can_use[t] = rng.uniform01() < 0.6;
+      any |= pr.can_use[t];
+    }
+    if (!any) pr.can_use[ProcType::kCpu] = true;
+    in.projects.push_back(pr);
+  }
+  const ShareSplitResult r = ideal_share_split(in);
+
+  // Per-type capacity respected; no allocation to unusable types.
+  for (const auto t : kAllProcTypes) {
+    double sum = 0.0;
+    for (int p = 0; p < n; ++p) {
+      EXPECT_GE(r.alloc[static_cast<std::size_t>(p)][t], -1e-6);
+      if (!in.projects[static_cast<std::size_t>(p)].can_use[t]) {
+        EXPECT_NEAR(r.alloc[static_cast<std::size_t>(p)][t], 0.0, 1e-9);
+      }
+      sum += r.alloc[static_cast<std::size_t>(p)][t];
+    }
+    EXPECT_LE(sum, in.capacity[t] + 1e-4);
+  }
+
+  // Totals consistent with per-type allocations.
+  double grand = 0.0;
+  double cap_total = 0.0;
+  for (const auto t : kAllProcTypes) cap_total += in.capacity[t];
+  for (int p = 0; p < n; ++p) {
+    double s = 0.0;
+    for (const auto t : kAllProcTypes) {
+      s += r.alloc[static_cast<std::size_t>(p)][t];
+    }
+    EXPECT_NEAR(s, r.total[static_cast<std::size_t>(p)], 1e-6);
+    grand += s;
+  }
+  EXPECT_LE(grand, cap_total + 1e-3);
+
+  // Max-min fairness: a project below the final fill level must be
+  // *blocked* — every type it can use is fully allocated (its allocation
+  // cannot be raised without taking from someone else).
+  for (const auto t : kAllProcTypes) {
+    double sum = 0.0;
+    for (int p = 0; p < n; ++p) sum += r.alloc[static_cast<std::size_t>(p)][t];
+    for (int p = 0; p < n; ++p) {
+      const auto& pr = in.projects[static_cast<std::size_t>(p)];
+      const double ratio = r.total[static_cast<std::size_t>(p)] / pr.share;
+      if (ratio < r.level - 1e-3 * (1.0 + r.level) && pr.can_use[t] &&
+          in.capacity[t] > 0.0) {
+        EXPECT_GE(sum, in.capacity[t] - 1e-3 * (1.0 + in.capacity[t]))
+            << "project " << p << " is below level but type " << proc_name(t)
+            << " has spare capacity";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShareSplitProperties, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,162 @@
+// Unit tests for sim/stats (RunningStats, Histogram) and
+// sim/decaying_average (the REC primitive).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/decaying_average.hpp"
+#include "sim/stats.hpp"
+
+namespace bce {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.37) * 10.0;
+    (i < 40 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BinsCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(5.5);   // bin 5
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, AsciiContainsBars) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 8; ++i) h.add(0.1);
+  h.add(0.9);
+  const std::string a = h.to_ascii(20);
+  EXPECT_NE(a.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(a.begin(), a.end(), '\n'), 4);
+}
+
+TEST(DecayingAverage, HalvesAfterHalfLife) {
+  DecayingAverage d(100.0);
+  d.add(0.0, 8.0);
+  d.decay_to(100.0);
+  EXPECT_NEAR(d.value(), 4.0, 1e-12);
+  d.decay_to(300.0);
+  EXPECT_NEAR(d.value(), 1.0, 1e-12);
+}
+
+TEST(DecayingAverage, AddAccumulates) {
+  DecayingAverage d(kNever);
+  d.add(0.0, 1.0);
+  d.add(10.0, 2.0);
+  d.add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.value(), 6.0);  // infinite half-life: plain sum
+}
+
+TEST(DecayingAverage, ValueAtDoesNotMutate) {
+  DecayingAverage d(100.0);
+  d.add(0.0, 8.0);
+  EXPECT_NEAR(d.value_at(100.0), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.value(), 8.0);  // unchanged
+}
+
+TEST(DecayingAverage, NonMonotonicTimeIsSafe) {
+  DecayingAverage d(100.0);
+  d.add(50.0, 4.0);
+  d.decay_to(40.0);  // time going backwards: no decay, no crash
+  EXPECT_DOUBLE_EQ(d.value(), 4.0);
+}
+
+TEST(DecayingAverage, AddAndDecayCompose) {
+  DecayingAverage d(100.0);
+  d.add(0.0, 4.0);
+  d.add(100.0, 4.0);  // old 4 decayed to 2, plus 4 = 6
+  EXPECT_NEAR(d.value(), 6.0, 1e-12);
+}
+
+TEST(DecayingAverage, Reset) {
+  DecayingAverage d(100.0);
+  d.add(0.0, 5.0);
+  d.reset(200.0);
+  EXPECT_DOUBLE_EQ(d.value(), 0.0);
+  d.add(250.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.value(), 2.0);
+}
+
+/// Property: decay is multiplicative across arbitrary splits of the
+/// interval.
+class DecaySplit : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecaySplit, SplitEqualsWhole) {
+  const double split = GetParam();
+  DecayingAverage a(1000.0);
+  DecayingAverage b(1000.0);
+  a.add(0.0, 7.0);
+  b.add(0.0, 7.0);
+  a.decay_to(5000.0);
+  b.decay_to(split);
+  b.decay_to(5000.0);
+  EXPECT_NEAR(a.value(), b.value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, DecaySplit,
+                         ::testing::Values(1.0, 499.5, 2500.0, 4999.0));
+
+}  // namespace
+}  // namespace bce

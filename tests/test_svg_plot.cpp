@@ -1,0 +1,102 @@
+// Tests for the SVG chart writer (core/svg_plot).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/svg_plot.hpp"
+
+namespace bce {
+namespace {
+
+TEST(NiceTicks, CoversRangeWithRoundSteps) {
+  const auto t = nice_ticks(0.0, 1.0, 6);
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_NEAR(t.back(), 1.0, 1e-9);
+  const double step = t[1] - t[0];
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    EXPECT_NEAR(t[i] - t[i - 1], step, 1e-9);
+  }
+}
+
+TEST(NiceTicks, StepsAre125) {
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.0, 1.0}, {0.0, 37.0}, {0.0, 0.003}, {100.0, 2000.0}}) {
+    const auto t = nice_ticks(lo, hi);
+    ASSERT_GE(t.size(), 2u) << lo << ".." << hi;
+    const double step = t[1] - t[0];
+    const double mant = step / std::pow(10.0, std::floor(std::log10(step)));
+    const bool ok = std::abs(mant - 1.0) < 1e-6 ||
+                    std::abs(mant - 2.0) < 1e-6 ||
+                    std::abs(mant - 5.0) < 1e-6;
+    EXPECT_TRUE(ok) << "step " << step << " for " << lo << ".." << hi;
+  }
+}
+
+TEST(NiceTicks, DegenerateRange) {
+  const auto t = nice_ticks(5.0, 5.0);
+  EXPECT_GE(t.size(), 2u);
+}
+
+TEST(SvgPlot, RenderContainsStructure) {
+  SvgPlot plot("My Title", "slack (s)", "wasted fraction");
+  plot.add_series({"JS_WRR", {{0.0, 0.5}, {500.0, 0.4}, {1000.0, 0.2}}});
+  plot.add_series({"JS_GLOBAL", {{0.0, 0.4}, {500.0, 0.1}, {1000.0, 0.05}}});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("My Title"), std::string::npos);
+  EXPECT_NE(svg.find("slack (s)"), std::string::npos);
+  EXPECT_NE(svg.find("wasted fraction"), std::string::npos);
+  EXPECT_NE(svg.find("JS_WRR"), std::string::npos);
+  EXPECT_NE(svg.find("JS_GLOBAL"), std::string::npos);
+  // Two polylines + markers.
+  std::size_t n = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(SvgPlot, EscapesMarkup) {
+  SvgPlot plot("a < b & c", "x", "y");
+  plot.add_series({"s<1>", {{0.0, 0.0}, {1.0, 1.0}}});
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.find("a < b &"), std::string::npos);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+}
+
+TEST(SvgPlot, EmptyPlotStillRenders) {
+  SvgPlot plot("empty", "x", "y");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlot, SaveWritesFile) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series({"s", {{0.0, 1.0}, {1.0, 2.0}}});
+  const std::string path = ::testing::TempDir() + "/bce_plot_test.svg";
+  EXPECT_TRUE(plot.save(path));
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+}
+
+TEST(SvgPlot, SaveToBadPathFailsQuietly) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_FALSE(plot.save("/nonexistent_dir_xyz/plot.svg"));
+}
+
+TEST(SvgPlot, FixedYRangeClampsPoints) {
+  SvgPlot plot("t", "x", "y");
+  plot.set_y_range(0.0, 1.0);
+  plot.add_series({"s", {{0.0, 5.0}}});  // out of range: clamped, no NaNs
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bce

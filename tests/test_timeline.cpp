@@ -1,0 +1,105 @@
+// Unit tests for the timeline recorder and its renderings (core/timeline),
+// plus the report table helpers (core/report).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/timeline.hpp"
+
+namespace bce {
+namespace {
+
+TEST(Timeline, RecordsSpans) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 0.0, 10.0, 0, 5);
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.spans()[0].t1, 10.0);
+}
+
+TEST(Timeline, MergesContiguousSameJob) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 0.0, 10.0, 0, 5);
+  t.record(ProcType::kCpu, 0, 10.0, 20.0, 0, 5);
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.spans()[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(t.spans()[0].t1, 20.0);
+}
+
+TEST(Timeline, DifferentJobsNotMerged) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 0.0, 10.0, 0, 5);
+  t.record(ProcType::kCpu, 0, 10.0, 20.0, 0, 6);
+  EXPECT_EQ(t.spans().size(), 2u);
+}
+
+TEST(Timeline, ZeroLengthSpanIgnored) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 5.0, 5.0, 0, 1);
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Timeline, AsciiHasOneRowPerInstance) {
+  Timeline t(HostInfo::cpu_gpu(2, 1e9, 1, 1e10));
+  t.record(ProcType::kCpu, 0, 0.0, 50.0, 0, 1);
+  const std::string a = t.to_ascii(100.0, 40);
+  // 2 CPU rows + 1 GPU row + footer line.
+  EXPECT_EQ(std::count(a.begin(), a.end(), '\n'), 4);
+  EXPECT_NE(a.find("cpu"), std::string::npos);
+  EXPECT_NE(a.find("nvidia"), std::string::npos);
+}
+
+TEST(Timeline, AsciiLettersMatchProjects) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 0.0, 50.0, 0, 1);   // project 0 -> 'A'
+  t.record(ProcType::kCpu, 0, 50.0, 100.0, 2, 2); // project 2 -> 'C'
+  const std::string a = t.to_ascii(100.0, 10);
+  EXPECT_NE(a.find('A'), std::string::npos);
+  EXPECT_NE(a.find('C'), std::string::npos);
+  EXPECT_EQ(a.find('B'), std::string::npos);
+}
+
+TEST(Timeline, CsvFormat) {
+  Timeline t(HostInfo::cpu_only(1, 1e9));
+  t.record(ProcType::kCpu, 0, 0.0, 10.0, 1, 7);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "type,slot,t0,t1,project,job\ncpu,0,0,10,1,7\n");
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowAccess) {
+  Table t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+}
+
+TEST(Fmt, FormatsWithPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(0.5), "0.500");
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,131 @@
+// Unit tests for the input-file transfer scheduler (client/transfer).
+
+#include <gtest/gtest.h>
+
+#include "client/transfer.hpp"
+
+namespace bce {
+namespace {
+
+TEST(Transfer, UnmodeledLinkCompletesInstantly) {
+  TransferManager tm(0.0, TransferOrder::kFairShare);
+  EXPECT_TRUE(tm.add(1, 1e9, 100.0, 0.0));
+  EXPECT_EQ(tm.pending(), 0u);
+  EXPECT_FALSE(tm.modeled());
+}
+
+TEST(Transfer, ZeroBytesCompletesInstantly) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  EXPECT_TRUE(tm.add(1, 0.0, 100.0, 0.0));
+  EXPECT_EQ(tm.pending(), 0u);
+}
+
+TEST(Transfer, SingleTransferTiming) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  EXPECT_FALSE(tm.add(1, 5e6, 1e9, 0.0));  // 5 s at 1 MB/s
+  EXPECT_DOUBLE_EQ(tm.next_completion(true), 5.0);
+  tm.advance_to(5.0, true);
+  const auto done = tm.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1);
+  EXPECT_EQ(tm.pending(), 0u);
+}
+
+TEST(Transfer, FairShareSplitsBandwidth) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  tm.add(1, 4e6, 1e9, 0.0);
+  tm.add(2, 4e6, 1e9, 0.0);
+  // Each gets 0.5 MB/s: both finish at 8 s.
+  EXPECT_DOUBLE_EQ(tm.next_completion(true), 8.0);
+  tm.advance_to(8.0, true);
+  EXPECT_EQ(tm.take_completed().size(), 2u);
+}
+
+TEST(Transfer, FairShareSpeedsUpAfterFirstCompletion) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  tm.add(1, 2e6, 1e9, 0.0);
+  tm.add(2, 6e6, 1e9, 0.0);
+  // Shared until job 1 finishes at 4 s (2e6 at 0.5 MB/s); job 2 then has
+  // 4e6 left at full speed: total 8 s.
+  tm.advance_to(4.0, true);
+  EXPECT_EQ(tm.take_completed().size(), 1u);
+  EXPECT_DOUBLE_EQ(tm.next_completion(true), 8.0);
+  tm.advance_to(8.0, true);
+  EXPECT_EQ(tm.take_completed().size(), 1u);
+}
+
+TEST(Transfer, FifoServesArrivalOrder) {
+  TransferManager tm(1e6, TransferOrder::kFifo);
+  tm.add(1, 3e6, 1e9, 0.0);
+  tm.add(2, 1e6, 10.0, 0.0);  // tighter deadline, but FIFO ignores it
+  tm.advance_to(3.0, true);
+  auto done = tm.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1);
+  tm.advance_to(4.0, true);
+  done = tm.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 2);
+}
+
+TEST(Transfer, EdfServesEarliestDeadlineFirst) {
+  TransferManager tm(1e6, TransferOrder::kEdf);
+  tm.add(1, 3e6, 1000.0, 0.0);
+  tm.add(2, 1e6, 10.0, 0.0);  // later arrival, earlier deadline
+  tm.advance_to(1.0, true);
+  auto done = tm.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 2);
+  EXPECT_DOUBLE_EQ(tm.next_completion(true), 4.0);
+}
+
+TEST(Transfer, NetworkOutagePausesProgress) {
+  TransferManager tm(1e6, TransferOrder::kFifo);
+  tm.add(1, 4e6, 1e9, 0.0);
+  tm.advance_to(2.0, true);            // 2e6 done
+  tm.advance_to(10.0, false);          // outage: nothing happens
+  EXPECT_EQ(tm.take_completed().size(), 0u);
+  EXPECT_EQ(tm.pending(), 1u);
+  EXPECT_EQ(tm.next_completion(false), kNever);
+  // Back online: 2e6 left -> finishes 2 s later.
+  EXPECT_DOUBLE_EQ(tm.next_completion(true), 12.0);
+  tm.advance_to(12.0, true);
+  EXPECT_EQ(tm.take_completed().size(), 1u);
+}
+
+TEST(Transfer, NextCompletionNeverWhenEmpty) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  EXPECT_EQ(tm.next_completion(true), kNever);
+}
+
+TEST(Transfer, ManyTransfersAllComplete) {
+  TransferManager tm(1e6, TransferOrder::kFairShare);
+  double total_bytes = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double bytes = 1e5 * (i + 1);
+    total_bytes += bytes;
+    tm.add(i, bytes, 1e9, 0.0);
+  }
+  const double t_all = total_bytes / 1e6;  // work-conserving link
+  tm.advance_to(t_all + 1e-6, true);
+  EXPECT_EQ(tm.take_completed().size(), 10u);
+  EXPECT_EQ(tm.pending(), 0u);
+}
+
+TEST(Transfer, CompletionOrderIsDeterministic) {
+  for (const auto order :
+       {TransferOrder::kFairShare, TransferOrder::kFifo, TransferOrder::kEdf}) {
+    TransferManager a(1e6, order);
+    TransferManager b(1e6, order);
+    for (int i = 0; i < 5; ++i) {
+      a.add(i, 1e6 * (5 - i), 100.0 * i + 10.0, 0.0);
+      b.add(i, 1e6 * (5 - i), 100.0 * i + 10.0, 0.0);
+    }
+    a.advance_to(100.0, true);
+    b.advance_to(100.0, true);
+    EXPECT_EQ(a.take_completed(), b.take_completed());
+  }
+}
+
+}  // namespace
+}  // namespace bce

@@ -1,0 +1,295 @@
+// Unit tests for the work-fetch policies (client/work_fetch): triggers,
+// request sizing, project selection, and backoff handling.
+
+#include <gtest/gtest.h>
+
+#include "client/work_fetch.hpp"
+
+namespace bce {
+namespace {
+
+struct Fixture {
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PolicyConfig policy;
+  Logger log;
+  std::vector<ProjectConfig> projects;
+  std::vector<ProjectFetchState> states;
+  std::vector<PerProc<bool>> endangered;
+  RrSimOutput rr;
+
+  Fixture() {
+    prefs.min_queue = 1000.0;
+    prefs.max_queue = 3000.0;
+    policy.sched = JobSchedPolicy::kGlobal;
+  }
+
+  void add_project(const std::string& name, double share, bool cpu = true,
+                   bool gpu = false) {
+    ProjectConfig p;
+    p.name = name;
+    p.resource_share = share;
+    if (cpu) {
+      JobClass c;
+      c.usage = ResourceUsage::cpu(1.0);
+      c.flops_est = 1e12;
+      p.job_classes.push_back(c);
+    }
+    if (gpu) {
+      JobClass g;
+      g.usage = ResourceUsage::gpu(ProcType::kNvidia, 1.0);
+      g.flops_est = 1e13;
+      p.job_classes.push_back(g);
+    }
+    projects.push_back(p);
+    states.emplace_back();
+    endangered.emplace_back();
+  }
+
+  WorkFetch::Decision choose(SimTime now, const Accounting& acct) {
+    WorkFetch wf(host, prefs, policy);
+    std::vector<const ProjectConfig*> cfgs;
+    for (const auto& p : projects) cfgs.push_back(&p);
+    return wf.choose(now, rr, acct, cfgs, states, endangered, log);
+  }
+
+  Accounting make_acct() {
+    std::vector<double> shares;
+    double total = 0.0;
+    for (const auto& p : projects) total += p.resource_share;
+    for (const auto& p : projects) shares.push_back(p.resource_share / total);
+    return Accounting(host, shares, kSecondsPerDay);
+  }
+};
+
+TEST(WorkFetch, HysteresisTriggersBelowMinQueue) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 500.0;  // < min_queue
+  f.rr.shortfall[ProcType::kCpu] = 8000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(0.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_EQ(d.project, 0);
+  // Hysteresis requests the whole fill-to-max shortfall.
+  EXPECT_DOUBLE_EQ(d.request.req_seconds[ProcType::kCpu], 8000.0);
+}
+
+TEST(WorkFetch, HysteresisSilentAboveMinQueue) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 1500.0;  // >= min_queue
+  f.rr.shortfall[ProcType::kCpu] = 5000.0;  // would be requested, but no trigger
+  const auto acct = f.make_acct();
+  EXPECT_FALSE(f.choose(0.0, acct).fetch());
+}
+
+TEST(WorkFetch, OrigTriggersOnMinWindowShortfall) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kOrig;
+  f.add_project("a", 100.0);
+  f.add_project("b", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 5000.0;  // deep queue...
+  f.rr.shortfall_min[ProcType::kCpu] = 200.0;  // ...but a min-window deficit
+  f.rr.shortfall[ProcType::kCpu] = 2000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(0.0, acct);
+  ASSERT_TRUE(d.fetch());
+  // JF_ORIG asks for the project's share of the *min-window* deficit.
+  EXPECT_DOUBLE_EQ(d.request.req_seconds[ProcType::kCpu], 0.5 * 200.0);
+}
+
+TEST(WorkFetch, OrigSilentWithoutMinShortfall) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kOrig;
+  f.add_project("a", 100.0);
+  f.rr.shortfall_min[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 2500.0;  // max-window deficit is ignored
+  const auto acct = f.make_acct();
+  EXPECT_FALSE(f.choose(0.0, acct).fetch());
+}
+
+TEST(WorkFetch, PicksHighestPriorityProject) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.add_project("b", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  Accounting acct = f.make_acct();
+  // Project 0 consumed a lot recently -> project 1 has higher priority.
+  std::vector<PerProc<double>> use(2);
+  use[0][ProcType::kCpu] = 1000.0;
+  std::vector<PerProc<bool>> run(2);
+  run[0][ProcType::kCpu] = run[1][ProcType::kCpu] = true;
+  acct.charge(1000.0, 1000.0, use, run);
+  const auto d = f.choose(1000.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_EQ(d.project, 1);
+}
+
+TEST(WorkFetch, SkipsBackedOffProject) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.add_project("b", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  f.states[0].type_backoff_until[ProcType::kCpu] = 5000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(100.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_EQ(d.project, 1);
+}
+
+TEST(WorkFetch, RespectsMinRpcInterval) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  f.states[0].next_allowed_rpc = 500.0;
+  const auto acct = f.make_acct();
+  EXPECT_FALSE(f.choose(100.0, acct).fetch());
+  EXPECT_TRUE(f.choose(500.0, acct).fetch());
+}
+
+TEST(WorkFetch, SuppressionSkipsEndangeredProject) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.policy.fetch_deadline_suppression = true;
+  f.add_project("a", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  f.endangered[0][ProcType::kCpu] = true;
+  const auto acct = f.make_acct();
+  EXPECT_FALSE(f.choose(0.0, acct).fetch());
+  f.policy.fetch_deadline_suppression = false;
+  EXPECT_TRUE(f.choose(0.0, acct).fetch());
+}
+
+TEST(WorkFetch, GpuOnlyProjectNotAskedForCpu) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("gpu_only", 100.0, /*cpu=*/false, /*gpu=*/true);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  f.rr.saturated[ProcType::kNvidia] = 0.0;
+  f.rr.shortfall[ProcType::kNvidia] = 2000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(0.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_DOUBLE_EQ(d.request.req_seconds[ProcType::kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(d.request.req_seconds[ProcType::kNvidia], 2000.0);
+}
+
+TEST(WorkFetch, RequestCarriesEstimatedDelay) {
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("a", 100.0);
+  f.rr.saturated[ProcType::kCpu] = 700.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(0.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_DOUBLE_EQ(d.request.est_delay[ProcType::kCpu], 700.0);
+}
+
+TEST(WorkFetch, BackoffDoublesOnRepeatedEmptyReplies) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 100.0;
+  RpcReply empty;
+  empty.no_jobs_for[ProcType::kCpu] = true;
+
+  wf.on_reply(0.0, req, empty, f.states[0], f.log);
+  const double first = f.states[0].type_backoff_len[ProcType::kCpu];
+  EXPECT_DOUBLE_EQ(first, WorkFetch::kBackoffMin);
+  wf.on_reply(first, req, empty, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_len[ProcType::kCpu], 2.0 * first);
+}
+
+TEST(WorkFetch, BackoffCappedAtMax) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 100.0;
+  RpcReply empty;
+  empty.no_jobs_for[ProcType::kCpu] = true;
+  for (int i = 0; i < 20; ++i) wf.on_reply(i * 1.0, req, empty, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_len[ProcType::kCpu],
+                   WorkFetch::kBackoffMax);
+}
+
+TEST(WorkFetch, BackoffClearedByReceivingJobs) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 100.0;
+  RpcReply empty;
+  empty.no_jobs_for[ProcType::kCpu] = true;
+  wf.on_reply(0.0, req, empty, f.states[0], f.log);
+  EXPECT_GT(f.states[0].type_backoff_until[ProcType::kCpu], 0.0);
+
+  RpcReply withjob;
+  Result r;
+  r.usage = ResourceUsage::cpu(1.0);
+  withjob.jobs.push_back(r);
+  wf.on_reply(10.0, req, withjob, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_until[ProcType::kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_len[ProcType::kCpu], 0.0);
+}
+
+TEST(WorkFetch, ProjectDownBackoffGrowsAndResets) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  WorkRequest req;
+  RpcReply down;
+  down.project_down = true;
+  wf.on_reply(0.0, req, down, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, WorkFetch::kBackoffMin);
+  EXPECT_GE(f.states[0].next_allowed_rpc, WorkFetch::kBackoffMin);
+  wf.on_reply(600.0, req, down, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, 2 * WorkFetch::kBackoffMin);
+
+  RpcReply up;  // any non-down reply resets the project-level backoff
+  wf.on_reply(1200.0, req, up, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, 0.0);
+}
+
+TEST(WorkFetch, OnRpcSentEnforcesSpacing) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  wf.on_rpc_sent(100.0, f.states[0]);
+  EXPECT_DOUBLE_EQ(f.states[0].next_allowed_rpc,
+                   100.0 + f.prefs.min_rpc_interval);
+}
+
+TEST(WorkFetch, GpuShortfallPreferredOverCpu) {
+  Fixture f;
+  f.host = HostInfo::cpu_gpu(4, 1e9, 1, 10e9);
+  f.policy.fetch = FetchPolicy::kHysteresis;
+  f.add_project("both", 100.0, true, true);
+  f.rr.saturated[ProcType::kCpu] = 0.0;
+  f.rr.shortfall[ProcType::kCpu] = 4000.0;
+  f.rr.saturated[ProcType::kNvidia] = 0.0;
+  f.rr.shortfall[ProcType::kNvidia] = 1000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(0.0, acct);
+  ASSERT_TRUE(d.fetch());
+  // One RPC covers both triggered types for the chosen project.
+  EXPECT_GT(d.request.req_seconds[ProcType::kNvidia], 0.0);
+  EXPECT_GT(d.request.req_seconds[ProcType::kCpu], 0.0);
+}
+
+}  // namespace
+}  // namespace bce

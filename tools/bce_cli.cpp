@@ -1,0 +1,327 @@
+// bce — command-line front end to the BOINC Client Emulator.
+//
+// This is the library's equivalent of the paper's controller script and
+// web form (§4.3): volunteers/developers feed a scenario file in, get the
+// figures of merit, timeline, and message log out, or sweep policies.
+//
+//   bce run <scenario> [options]       emulate one scenario
+//   bce compare <scenario> [options]   all 6 policy combinations, one table
+//   bce sweep <scenario> --param min_queue --values 600,3600,14400
+//   bce sample [n] [days]              Monte-Carlo population comparison
+//   bce print <scenario>               parse, validate and echo a scenario
+//
+// Common options:
+//   --policy wrr|local|global     job scheduling policy   (default global)
+//   --fetch orig|hyst             job fetch policy        (default hyst)
+//   --half-life SECONDS           REC half-life           (default 10 days)
+//   --server-deadline-check       enable the server-side deadline check
+//   --fetch-suppression           don't fetch from overcommitted projects
+//   --days N                      override scenario duration
+//   --seed N                      override scenario seed
+//   --timeline                    print the ASCII processor timeline
+//   --log CAT[,CAT...]            message log (task,cpu_sched,rr_sim,
+//                                 work_fetch,rpc,avail,server or 'all')
+//   --threads N                   sweep parallelism
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+
+namespace {
+
+using namespace bce;
+
+struct CliOptions {
+  PolicyConfig policy;
+  double days = -1.0;
+  std::uint64_t seed = 0;
+  bool timeline = false;
+  std::vector<std::string> log_cats;
+  unsigned threads = 0;
+  std::string sweep_param;
+  std::vector<double> sweep_values;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: bce <run|compare|sweep|sample|print> [scenario-file] [options]\n"
+      "  run      emulate one scenario and report the figures of merit\n"
+      "  compare  run all scheduling x fetch policy combinations\n"
+      "  sweep    sweep a preference (--param min_queue|max_queue|half_life\n"
+      "           --values v1,v2,...)\n"
+      "  sample   [n] [days]: Monte-Carlo population policy comparison\n"
+      "  print    parse, validate and echo a scenario file\n"
+      "options: --policy wrr|local|global  --fetch orig|hyst\n"
+      "         --half-life S  --server-deadline-check  --fetch-suppression\n"
+      "         --days N  --seed N  --timeline  --log CATS  --threads N\n";
+  std::exit(2);
+}
+
+std::vector<double> parse_values(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) out.push_back(std::stod(tok));
+  return out;
+}
+
+CliOptions parse_options(int argc, char** argv, int first,
+                         std::string* scenario_path) {
+  CliOptions o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--policy") {
+      const std::string v = need_value();
+      if (v == "wrr") {
+        o.policy.sched = JobSchedPolicy::kWrr;
+      } else if (v == "local") {
+        o.policy.sched = JobSchedPolicy::kLocal;
+      } else if (v == "global") {
+        o.policy.sched = JobSchedPolicy::kGlobal;
+      } else {
+        usage("unknown --policy");
+      }
+    } else if (a == "--fetch") {
+      const std::string v = need_value();
+      if (v == "orig") {
+        o.policy.fetch = FetchPolicy::kOrig;
+      } else if (v == "hyst") {
+        o.policy.fetch = FetchPolicy::kHysteresis;
+      } else {
+        usage("unknown --fetch");
+      }
+    } else if (a == "--half-life") {
+      o.policy.rec_half_life = std::stod(need_value());
+    } else if (a == "--server-deadline-check") {
+      o.policy.server_deadline_check = true;
+    } else if (a == "--fetch-suppression") {
+      o.policy.fetch_deadline_suppression = true;
+    } else if (a == "--days") {
+      o.days = std::stod(need_value());
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(need_value().c_str(), nullptr, 10);
+    } else if (a == "--timeline") {
+      o.timeline = true;
+    } else if (a == "--log") {
+      std::istringstream is(need_value());
+      std::string cat;
+      while (std::getline(is, cat, ',')) o.log_cats.push_back(cat);
+    } else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(std::stoul(need_value()));
+    } else if (a == "--param") {
+      o.sweep_param = need_value();
+    } else if (a == "--values") {
+      o.sweep_values = parse_values(need_value());
+    } else if (!a.empty() && a[0] == '-') {
+      usage(("unknown option " + a).c_str());
+    } else if (scenario_path != nullptr && scenario_path->empty()) {
+      *scenario_path = a;
+    } else {
+      usage(("unexpected argument " + a).c_str());
+    }
+  }
+  return o;
+}
+
+Scenario load(const std::string& path, const CliOptions& o) {
+  Scenario sc = load_scenario_file(path);
+  if (o.days > 0.0) sc.duration = o.days * kSecondsPerDay;
+  if (o.seed != 0) sc.seed = o.seed;
+  return sc;
+}
+
+void configure_log(Logger& log, const CliOptions& o) {
+  for (const auto& cat : o.log_cats) {
+    if (cat == "all") {
+      log.enable_all();
+    } else if (cat == "task") {
+      log.enable(LogCategory::kTask);
+    } else if (cat == "cpu_sched") {
+      log.enable(LogCategory::kCpuSched);
+    } else if (cat == "rr_sim") {
+      log.enable(LogCategory::kRrSim);
+    } else if (cat == "work_fetch") {
+      log.enable(LogCategory::kWorkFetch);
+    } else if (cat == "rpc") {
+      log.enable(LogCategory::kRpc);
+    } else if (cat == "avail") {
+      log.enable(LogCategory::kAvail);
+    } else if (cat == "server") {
+      log.enable(LogCategory::kServer);
+    } else {
+      usage(("unknown log category " + cat).c_str());
+    }
+  }
+  log.set_stream(&std::cout);
+}
+
+void print_metrics_row(Table& t, const std::string& label, const Metrics& m) {
+  t.add_row({label, fmt(m.idle_fraction()), fmt(m.wasted_fraction()),
+             fmt(m.share_violation()), fmt(m.monotony),
+             fmt(m.rpcs_per_job(), 2), fmt(m.weighted_score())});
+}
+
+int cmd_run(const std::string& path, const CliOptions& o) {
+  const Scenario sc = load(path, o);
+  Logger log;
+  configure_log(log, o);
+  EmulationOptions opt;
+  opt.policy = o.policy;
+  opt.logger = &log;
+  opt.record_timeline = o.timeline;
+  const EmulationResult res = emulate(sc, opt);
+
+  std::cout << "scenario '" << sc.name << "', "
+            << sc.duration / kSecondsPerDay << " days, "
+            << opt.policy.sched_name() << " + " << opt.policy.fetch_name()
+            << "\n"
+            << res.metrics.summary() << "\n\nusage vs share:\n";
+  for (std::size_t p = 0; p < sc.projects.size(); ++p) {
+    std::cout << "  " << sc.projects[p].name << ": share "
+              << fmt(sc.share_fraction(p)) << ", got "
+              << fmt(res.metrics.usage_fraction[p]) << "\n";
+  }
+  if (o.timeline) {
+    std::cout << "\n" << res.timeline.to_ascii(sc.duration, 96);
+  }
+  return 0;
+}
+
+int cmd_compare(const std::string& path, const CliOptions& o) {
+  const Scenario sc = load(path, o);
+  std::vector<RunSpec> specs;
+  for (const auto sched :
+       {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal, JobSchedPolicy::kGlobal}) {
+    for (const auto fetch : {FetchPolicy::kOrig, FetchPolicy::kHysteresis}) {
+      RunSpec spec;
+      spec.scenario = sc;
+      spec.options.policy = o.policy;
+      spec.options.policy.sched = sched;
+      spec.options.policy.fetch = fetch;
+      spec.label = std::string(spec.options.policy.sched_name()) + "+" +
+                   spec.options.policy.fetch_name();
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = run_batch(specs, o.threads);
+  Table t({"policy", "idle", "wasted", "share_viol", "monotony", "rpcs/job",
+           "score"});
+  for (const auto& r : results) {
+    print_metrics_row(t, r.label, r.result.metrics);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const std::string& path, const CliOptions& o) {
+  if (o.sweep_param.empty() || o.sweep_values.empty()) {
+    usage("sweep needs --param and --values");
+  }
+  const Scenario base = load(path, o);
+  std::vector<RunSpec> specs;
+  for (const double v : o.sweep_values) {
+    RunSpec spec;
+    spec.scenario = base;
+    spec.options.policy = o.policy;
+    if (o.sweep_param == "min_queue") {
+      spec.scenario.prefs.min_queue = v;
+      spec.scenario.prefs.max_queue =
+          std::max(spec.scenario.prefs.max_queue, v);
+    } else if (o.sweep_param == "max_queue") {
+      spec.scenario.prefs.max_queue = v;
+      spec.scenario.prefs.min_queue =
+          std::min(spec.scenario.prefs.min_queue, v);
+    } else if (o.sweep_param == "half_life") {
+      spec.options.policy.rec_half_life = v;
+    } else {
+      usage("unknown --param (use min_queue, max_queue or half_life)");
+    }
+    spec.label = o.sweep_param + "=" + fmt(v, 0);
+    specs.push_back(std::move(spec));
+  }
+  const auto results = run_batch(specs, o.threads);
+  Table t({"run", "idle", "wasted", "share_viol", "monotony", "rpcs/job",
+           "score"});
+  for (const auto& r : results) {
+    print_metrics_row(t, r.label, r.result.metrics);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sample(int argc, char** argv) {
+  const int n = argc > 2 ? std::atoi(argv[2]) : 20;
+  const double days = argc > 3 ? std::atof(argv[3]) : 2.0;
+  Xoshiro256 rng(1);
+  PopulationParams pp;
+  pp.duration = days * kSecondsPerDay;
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    const Scenario sc = sample_scenario(rng, pp);
+    for (const bool modern : {false, true}) {
+      RunSpec spec;
+      spec.scenario = sc;
+      spec.options.policy.sched =
+          modern ? JobSchedPolicy::kGlobal : JobSchedPolicy::kWrr;
+      spec.options.policy.fetch =
+          modern ? FetchPolicy::kHysteresis : FetchPolicy::kOrig;
+      spec.options.policy.fetch_deadline_suppression = modern;
+      spec.label = std::to_string(i);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = run_batch(specs);
+  int wins = 0;
+  RunningStats delta;
+  for (int i = 0; i < n; ++i) {
+    const double b =
+        results[static_cast<std::size_t>(2 * i)].result.metrics.weighted_score();
+    const double m = results[static_cast<std::size_t>(2 * i + 1)]
+                         .result.metrics.weighted_score();
+    if (m < b) ++wins;
+    delta.add(m - b);
+  }
+  std::cout << "sampled " << n << " scenarios (" << days
+            << " days each): modern policies win " << wins << "/" << n
+            << ", mean score delta " << fmt(delta.mean()) << " (negative = "
+            << "modern better)\n";
+  return 0;
+}
+
+int cmd_print(const std::string& path) {
+  const Scenario sc = load_scenario_file(path);
+  std::cout << serialize_scenario(sc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "sample") return cmd_sample(argc, argv);
+
+    std::string path;
+    const CliOptions o = parse_options(argc, argv, 2, &path);
+    if (path.empty()) usage("missing scenario file");
+    if (cmd == "run") return cmd_run(path, o);
+    if (cmd == "compare") return cmd_compare(path, o);
+    if (cmd == "sweep") return cmd_sweep(path, o);
+    if (cmd == "print") return cmd_print(path);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
