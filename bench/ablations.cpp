@@ -27,6 +27,18 @@ Metrics run(const Scenario& sc, const PolicyConfig& pol) {
   return emulate(sc, opt).metrics;
 }
 
+/// Baseline policy for the ablations, resolved through
+/// bce::policy_registry() by name — the single place this driver selects
+/// policies, so swapping the baseline (or pointing it at a policy
+/// registered outside the library) is a one-line change.
+PolicyConfig base_policy(const std::string& sched = "JS_GLOBAL",
+                         const std::string& fetch = "JF_ORIG") {
+  PolicyConfig pol;
+  pol.sched_by_name = sched;
+  pol.fetch_by_name = fetch;
+  return pol;
+}
+
 void a1_a2_deadline_mechanisms() {
   std::cout << "\nA1/A2: deadline mechanisms in the low-slack scenario "
                "(scenario 1, slack 300 s)\n";
@@ -34,9 +46,7 @@ void a1_a2_deadline_mechanisms() {
            "share_violation"});
   for (const bool server : {false, true}) {
     for (const bool suppress : {false, true}) {
-      PolicyConfig pol;
-      pol.sched = JobSchedPolicy::kGlobal;
-      pol.fetch = FetchPolicy::kOrig;
+      PolicyConfig pol = base_policy();
       pol.server_deadline_check = server;
       pol.fetch_deadline_suppression = suppress;
       const Metrics m = run(paper_scenario1(1300.0), pol);
@@ -57,9 +67,7 @@ void a3_checkpointing() {
     for (auto& p : sc.projects) {
       for (auto& jc : p.job_classes) jc.checkpoint_period = cp;
     }
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = FetchPolicy::kOrig;
+    PolicyConfig pol = base_policy();
     const Metrics m = run(sc, pol);
     t.add_row({std::isfinite(cp) ? fmt(cp, 0) : "never",
                fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
@@ -77,9 +85,7 @@ void a4_estimate_error() {
     for (auto& p : sc.projects) {
       for (auto& jc : p.job_classes) jc.est_error = err;
     }
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = FetchPolicy::kOrig;
+    PolicyConfig pol = base_policy();
     const Metrics m = run(sc, pol);
     t.add_row({fmt(err, 2), fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
                fmt(m.rpcs_per_job(), 2)});
@@ -112,8 +118,7 @@ void a5_edf_vs_llf() {
   }
   Table t({"ordering", "wasted", "jobs missed", "jobs completed"});
   for (const auto ord : {EndangeredOrder::kEdf, EndangeredOrder::kLeastLaxity}) {
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
+    PolicyConfig pol = base_policy("JS_GLOBAL", "JF_HYSTERESIS");
     pol.endangered_order = ord;
     const Metrics m = run(sc, pol);
     t.add_row({ord == EndangeredOrder::kEdf ? "EDF" : "least-laxity",
@@ -133,8 +138,7 @@ void a6_memory_limit() {
     for (auto& p : sc.projects) {
       for (auto& jc : p.job_classes) jc.ram_bytes = 1.5e9;
     }
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
+    PolicyConfig pol = base_policy("JS_GLOBAL", "JF_HYSTERESIS");
     const Metrics m = run(sc, pol);
     t.add_row({fmt(gb, 0), fmt(m.idle_fraction()), fmt(m.wasted_fraction()),
                std::to_string(m.n_jobs_completed)});
@@ -150,9 +154,7 @@ void a7_buffer_sizing() {
     Scenario sc = paper_scenario4();
     sc.prefs.min_queue = hours * 3600.0;
     sc.prefs.max_queue = 3.0 * sc.prefs.min_queue;
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = FetchPolicy::kHysteresis;
+    PolicyConfig pol = base_policy("JS_GLOBAL", "JF_HYSTERESIS");
     const Metrics m = run(sc, pol);
     t.add_row({fmt(hours, 1), fmt(m.rpcs_per_job(), 3), fmt(m.monotony),
                fmt(m.idle_fraction())});
@@ -171,9 +173,7 @@ void a9_transfer_ordering() {
     for (auto& p : sc.projects) {
       for (auto& jc : p.job_classes) jc.input_bytes = 1e8;  // ~500 s alone
     }
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = FetchPolicy::kOrig;
+    PolicyConfig pol = base_policy();
     pol.transfer_order = ord;
     const Metrics m = run(sc, pol);
     const char* name = ord == TransferOrder::kFairShare ? "fair-share"
@@ -202,9 +202,7 @@ void a10_duration_correction() {
       for (auto& p : sc.projects) {
         for (auto& jc : p.job_classes) jc.est_error = err;
       }
-      PolicyConfig pol;
-      pol.sched = JobSchedPolicy::kGlobal;
-      pol.fetch = FetchPolicy::kHysteresis;
+      PolicyConfig pol = base_policy("JS_GLOBAL", "JF_HYSTERESIS");
       pol.use_duration_correction = dcf;
       const Metrics m = run(sc, pol);
       t.add_row({fmt(err, 1), dcf ? "on" : "off", fmt(m.wasted_fraction()),
@@ -228,9 +226,7 @@ void a11_leave_in_memory() {
       for (auto& p : sc.projects) {
         for (auto& jc : p.job_classes) jc.checkpoint_period = cp;
       }
-      PolicyConfig pol;
-      pol.sched = JobSchedPolicy::kGlobal;
-      pol.fetch = FetchPolicy::kOrig;
+      PolicyConfig pol = base_policy();
       const Metrics m = run(sc, pol);
       t.add_row({keep ? "yes" : "no", std::isfinite(cp) ? fmt(cp, 0) : "never",
                  std::to_string(m.n_jobs_completed), fmt(m.idle_fraction()),
@@ -249,9 +245,7 @@ void a8_transfer_delay() {
     for (auto& p : sc.projects) {
       for (auto& jc : p.job_classes) jc.transfer_delay = d;
     }
-    PolicyConfig pol;
-    pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = FetchPolicy::kOrig;
+    PolicyConfig pol = base_policy();
     const Metrics m = run(sc, pol);
     t.add_row({fmt(d, 0), fmt(m.wasted_fraction()), fmt(m.idle_fraction())});
   }

@@ -59,6 +59,40 @@ void BM_RrSim(benchmark::State& state) {
 }
 BENCHMARK(BM_RrSim)->Arg(16)->Arg(64)->Arg(256);
 
+// Cache behavior of RrSim::run_cached. "hit": every pass replays the same
+// (state_version, now) key, so after the first miss each iteration is a
+// memo lookup — this is the fetch-after-reschedule path in ClientRuntime.
+// "miss": the version is bumped every pass (as a job arrival/completion
+// would), so each iteration pays the full simulation. The hit/miss ratio
+// is the per-pass cost the versioned cache avoids.
+void BM_RrSimCached(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool perturb = state.range(1) != 0;
+  const int n_proj = 4;
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(host, prefs, avail);
+  std::vector<double> shares(n_proj, 1.0 / n_proj);
+  auto jobs = make_jobs(n, n_proj);
+  std::vector<Result*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+
+  std::uint64_t version = 1;
+  for (auto _ : state) {
+    if (perturb) ++version;
+    benchmark::DoNotOptimize(rr.run_cached(version, 0.0, ptrs, shares));
+  }
+  const auto& stats = rr.cache_stats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RrSimCached)
+    ->ArgsProduct({{16, 64, 256}, {0, 1}})
+    ->ArgNames({"jobs", "perturb"});
+
 void BM_SchedulerPass(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int n_proj = 4;

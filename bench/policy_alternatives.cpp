@@ -11,6 +11,10 @@
 //      least-recently-asked project) on scenario 4 — JF_RR trades the
 //      share-tracking of priority selection for perfect project rotation
 //      (lower monotony at the same RPC cost).
+//
+// Both studies enumerate bce::policy_registry() rather than hardcoding the
+// variants, so a policy registered by user code before main() (or in a
+// fork of this driver) shows up in the tables automatically.
 
 #include <iostream>
 
@@ -40,13 +44,12 @@ void p1_scheduling_alternatives() {
   for (auto& c : cases) {
     std::cout << c.name << ":\n";
     Table t({"policy", "wasted", "share_violation", "monotony", "score"});
-    for (const auto sched : {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal,
-                             JobSchedPolicy::kGlobal, JobSchedPolicy::kEdfOnly}) {
+    for (const auto& entry : policy_registry().job_order_entries()) {
       PolicyConfig pol;
-      pol.sched = sched;
+      pol.sched_by_name = entry.name;
       pol.fetch = FetchPolicy::kOrig;
       const Metrics m = run(c.sc, pol);
-      t.add_row({pol.sched_name(), fmt(m.wasted_fraction()),
+      t.add_row({entry.name, fmt(m.wasted_fraction()),
                  fmt(m.share_violation()), fmt(m.monotony),
                  fmt(m.weighted_score())});
     }
@@ -64,13 +67,12 @@ void p2_fetch_alternatives() {
   Scenario sc = paper_scenario4();
   sc.duration = 5.0 * kSecondsPerDay;
   Table t({"policy", "rpcs/job", "monotony", "share_violation", "idle"});
-  for (const auto fetch : {FetchPolicy::kOrig, FetchPolicy::kHysteresis,
-                           FetchPolicy::kRoundRobin}) {
+  for (const auto& entry : policy_registry().fetch_entries()) {
     PolicyConfig pol;
     pol.sched = JobSchedPolicy::kGlobal;
-    pol.fetch = fetch;
+    pol.fetch_by_name = entry.name;
     const Metrics m = run(sc, pol);
-    t.add_row({pol.fetch_name(), fmt(m.rpcs_per_job(), 2), fmt(m.monotony),
+    t.add_row({entry.name, fmt(m.rpcs_per_job(), 2), fmt(m.monotony),
                fmt(m.share_violation()), fmt(m.idle_fraction())});
   }
   t.print(std::cout);

@@ -1,0 +1,144 @@
+#include "client/client_runtime.hpp"
+
+#include <cmath>
+
+namespace bce {
+
+namespace {
+
+/// Long-run expected availability per processor type (the client's
+/// measured "on fraction", folded into RR-sim rates).
+PerProc<double> expected_avail(const Scenario& sc) {
+  PerProc<double> a;
+  const double host_on = sc.availability.host_on.expected_on_fraction();
+  const double gpu_ok =
+      host_on * sc.availability.gpu_allowed.expected_on_fraction();
+  a[ProcType::kCpu] = host_on;
+  a[ProcType::kNvidia] = gpu_ok;
+  a[ProcType::kAti] = gpu_ok;
+  return a;
+}
+
+}  // namespace
+
+ClientRuntime::ClientRuntime(const Scenario& scenario,
+                             const PolicyConfig& policy, Logger* log)
+    : sc_(&scenario),
+      policy_(policy),
+      log_(log != nullptr ? log : &null_log_),
+      acct_(scenario.host, {}, policy.rec_half_life),
+      rrsim_(scenario.host, scenario.prefs, {}),
+      sched_(scenario.host, scenario.prefs, policy),
+      fetch_(scenario.host, scenario.prefs, policy),
+      transfers_(scenario.host.download_bandwidth_bps,
+                 policy.transfer_order) {
+  const std::size_t n = scenario.projects.size();
+  share_frac_.resize(n);
+  dcf_.assign(n, 1.0);
+  project_cfgs_.reserve(n);
+  std::vector<PerProc<bool>> capability(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    share_frac_[p] = scenario.share_fraction(p);
+    const auto& pc = scenario.projects[p];
+    project_cfgs_.push_back(&pc);
+    for (const auto t : kAllProcTypes) {
+      capability[p][t] = scenario.host.count[t] > 0 && pc.has_jobs_for(t) &&
+                         !pc.suspended && !(pc.no_gpu && is_gpu(t));
+    }
+  }
+  acct_ = Accounting(scenario.host, share_frac_, policy.rec_half_life,
+                     std::move(capability));
+  rrsim_ = RrSim(scenario.host, scenario.prefs, expected_avail(scenario));
+  fetch_states_.resize(n);
+  endangered_.resize(n);
+}
+
+const RrSimOutput& ClientRuntime::rr_pass(SimTime now,
+                                          const std::vector<Result*>& active) {
+  const RrSimOutput& rr =
+      rrsim_.run_cached(state_version_, now, active, share_frac_, log_);
+  last_rr_ = &rr;
+  for (Result* r : active) {
+    if (r->first_projected_finish == kNever &&
+        r->rr_projected_finish < kNever) {
+      r->first_projected_finish = r->rr_projected_finish;
+    }
+  }
+  return rr;
+}
+
+ScheduleOutcome ClientRuntime::schedule_jobs(SimTime now,
+                                             const std::vector<Result*>& active,
+                                             bool cpu_allowed,
+                                             bool gpu_allowed) {
+  rr_pass(now, active);
+  return sched_.schedule(now, active, acct_, cpu_allowed, gpu_allowed, *log_);
+}
+
+WorkFetch::Decision ClientRuntime::choose_fetch(
+    SimTime now, const std::vector<Result*>& active) {
+  const RrSimOutput& rr = rr_pass(now, active);
+
+  for (auto& e : endangered_) e = PerProc<bool>{};
+  for (const Result* r : active) {
+    if (r->deadline_endangered) {
+      endangered_[static_cast<std::size_t>(r->project)]
+                 [r->usage.primary_type()] = true;
+    }
+  }
+
+  WorkFetch::Decision d = fetch_.choose(now, rr, acct_, project_cfgs_,
+                                        fetch_states_, endangered_, *log_);
+  if (d.fetch() && policy_.use_duration_correction) {
+    d.request.duration_correction = dcf_[static_cast<std::size_t>(d.project)];
+  }
+  return d;
+}
+
+void ClientRuntime::on_job_arrival(Result& r) {
+  if (policy_.use_duration_correction) {
+    r.est_correction = dcf_[static_cast<std::size_t>(r.project)];
+  }
+  bump();
+}
+
+void ClientRuntime::on_job_completed(const Result& r) {
+  // Learn the project's systematic estimate error (DCF): jump up
+  // immediately on underestimates, decay down slowly, as in BOINC.
+  if (policy_.use_duration_correction && r.flops_est > 0.0) {
+    auto& dcf = dcf_[static_cast<std::size_t>(r.project)];
+    const double ratio = r.flops_total / r.flops_est;
+    dcf = ratio > dcf ? ratio : 0.9 * dcf + 0.1 * ratio;
+    dcf = clamp(dcf, 0.01, 100.0);
+  }
+  bump();
+}
+
+void ClientRuntime::on_progress() { bump(); }
+
+void ClientRuntime::on_jobs_runnable() { bump(); }
+
+void ClientRuntime::on_availability_change() { bump(); }
+
+void ClientRuntime::on_rpc_sent(SimTime now, ProjectId p, bool work_request) {
+  fetch_.on_rpc_sent(now, fetch_states_[static_cast<std::size_t>(p)],
+                     work_request);
+}
+
+void ClientRuntime::on_rpc_reply(SimTime now, const WorkRequest& req,
+                                 const RpcReply& reply, ProjectId p) {
+  fetch_.on_reply(now, req, reply, fetch_states_[static_cast<std::size_t>(p)],
+                  *log_);
+}
+
+SimTime ClientRuntime::next_allowed_rpc(ProjectId p) const {
+  return fetch_states_[static_cast<std::size_t>(p)].next_allowed_rpc;
+}
+
+void ClientRuntime::charge(SimTime t, Duration dt,
+                           const std::vector<PerProc<double>>& used_inst_secs,
+                           const std::vector<PerProc<bool>>& runnable) {
+  acct_.charge(t, dt, used_inst_secs, runnable);
+}
+
+}  // namespace bce

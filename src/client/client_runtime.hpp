@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file client_runtime.hpp
+/// The client scheduling stack, bundled: accounting, RR-sim, the job
+/// scheduler, work fetch, transfers, and the duration-correction factors.
+/// This is the part of the emulator that "runs exactly as the client would
+/// run it" (§4.3); the Emulator that owns a ClientRuntime is reduced to a
+/// pure event engine (clock, event queue, availability, project servers,
+/// metrics) that notifies the runtime of state changes and applies its
+/// decisions.
+///
+/// ## State versioning and RR-sim caching
+///
+/// The runtime keeps a monotonic `state_version()` counter and bumps it
+/// whenever an input of RR-sim changes: a job arrives, completes, or makes
+/// progress; a download finishes (runnable_at changes); availability
+/// transitions. RrSim::run_cached is keyed on (state_version, now), so the
+/// work-fetch pass that immediately follows a reschedule at the same
+/// instant reuses the reschedule's RR-sim output instead of re-simulating.
+///
+/// Deliberately *not* bumped: preemptions and starts applied while acting
+/// on a scheduling decision (including checkpoint rollbacks, which do
+/// change flops_done). The fetch pass must see the queue exactly as the
+/// reschedule's RR-sim saw it — the real client reuses the reschedule's
+/// simulation results for work fetch — so mutations made *by* the
+/// scheduling pass must not invalidate the cache mid-step. Bumping there
+/// would make fetch re-simulate against rolled-back progress and change
+/// fetch decisions (see docs/policies.md).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "client/accounting.hpp"
+#include "client/job_scheduler.hpp"
+#include "client/policy.hpp"
+#include "client/rr_sim.hpp"
+#include "client/scheduling_policy.hpp"
+#include "client/transfer.hpp"
+#include "client/work_fetch.hpp"
+#include "model/scenario.hpp"
+#include "server/request.hpp"
+#include "sim/logger.hpp"
+
+namespace bce {
+
+class ClientRuntime {
+ public:
+  /// \p log may be nullptr (silent). \p scenario must outlive the runtime
+  /// and already be validated.
+  ClientRuntime(const Scenario& scenario, const PolicyConfig& policy,
+                Logger* log);
+
+  // ---- scheduling passes ----------------------------------------------
+
+  /// Run (or reuse) RR-sim over \p active at \p now; records each job's
+  /// first projected finish. The returned reference is valid until the
+  /// next rr_pass with a different (state_version, now).
+  const RrSimOutput& rr_pass(SimTime now, const std::vector<Result*>& active);
+
+  /// Full scheduling pass: RR-sim (cached) then the job-scheduler run
+  /// list. The caller applies the outcome (preempt/start) and must NOT
+  /// bump the state version while doing so.
+  ScheduleOutcome schedule_jobs(SimTime now,
+                                const std::vector<Result*>& active,
+                                bool cpu_allowed, bool gpu_allowed);
+
+  /// Work-fetch decision: reuses the latest RR-sim output (a cache hit
+  /// when nothing changed since the reschedule at the same instant),
+  /// derives the per-(project,type) endangered matrix from \p active, and
+  /// stamps the learned duration correction onto the request.
+  WorkFetch::Decision choose_fetch(SimTime now,
+                                   const std::vector<Result*>& active);
+
+  // ---- state-change notifications (each bumps state_version) ----------
+
+  /// A job just arrived from a scheduler RPC: stamp its estimate
+  /// correction with the project's learned DCF.
+  void on_job_arrival(Result& r);
+
+  /// A running job just completed: fold its actual/estimated runtime ratio
+  /// into the project's DCF (jump up on underestimates, decay down, as in
+  /// BOINC).
+  void on_job_completed(const Result& r);
+
+  /// Running jobs progressed (flops_done advanced) over an interval.
+  void on_progress();
+
+  /// A job's runnable_at changed (input files finished downloading).
+  void on_jobs_runnable();
+
+  /// Host/GPU/network availability transitioned.
+  void on_availability_change();
+
+  // ---- RPC bookkeeping -------------------------------------------------
+
+  void on_rpc_sent(SimTime now, ProjectId p, bool work_request);
+  void on_rpc_reply(SimTime now, const WorkRequest& req,
+                    const RpcReply& reply, ProjectId p);
+  [[nodiscard]] SimTime next_allowed_rpc(ProjectId p) const;
+
+  // ---- accounting ------------------------------------------------------
+
+  /// Charge usage over an interval (Accounting::charge pass-through).
+  void charge(SimTime t, Duration dt,
+              const std::vector<PerProc<double>>& used_inst_secs,
+              const std::vector<PerProc<bool>>& runnable);
+
+  // ---- accessors -------------------------------------------------------
+
+  [[nodiscard]] const Accounting& accounting() const { return acct_; }
+  [[nodiscard]] TransferManager& transfers() { return transfers_; }
+  [[nodiscard]] const TransferManager& transfers() const { return transfers_; }
+  [[nodiscard]] double dcf(ProjectId p) const {
+    return dcf_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const std::vector<double>& share_fractions() const {
+    return share_frac_;
+  }
+  [[nodiscard]] std::uint64_t state_version() const { return state_version_; }
+  [[nodiscard]] const RrSim::CacheStats& rr_cache_stats() const {
+    return rrsim_.cache_stats();
+  }
+  [[nodiscard]] const RrSimOutput& last_rr() const { return *last_rr_; }
+  [[nodiscard]] const JobOrderPolicy& job_order_policy() const {
+    return sched_.order_policy();
+  }
+  [[nodiscard]] const WorkFetchPolicy& fetch_policy() const {
+    return fetch_.fetch_policy();
+  }
+  [[nodiscard]] const ProjectFetchState& fetch_state(ProjectId p) const {
+    return fetch_states_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  void bump() { ++state_version_; }
+
+  const Scenario* sc_;
+  PolicyConfig policy_;
+  Logger null_log_;
+  Logger* log_;
+
+  std::vector<double> share_frac_;
+  std::vector<double> dcf_;
+  std::vector<const ProjectConfig*> project_cfgs_;
+  Accounting acct_;
+  RrSim rrsim_;
+  JobScheduler sched_;
+  WorkFetch fetch_;
+  std::vector<ProjectFetchState> fetch_states_;
+  TransferManager transfers_;
+
+  std::uint64_t state_version_ = 0;
+  const RrSimOutput* last_rr_ = nullptr;
+
+  // Scratch for choose_fetch (avoids per-pass allocation).
+  std::vector<PerProc<bool>> endangered_;
+};
+
+}  // namespace bce

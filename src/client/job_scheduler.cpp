@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "client/policy_registry.hpp"
+
 namespace bce {
 
 namespace {
@@ -15,26 +17,14 @@ double laxity(SimTime now, const Result& r, const HostInfo& host) {
   return (r.deadline - now) - rem;
 }
 
-/// Priority-charge quantum for local (debt) accounting, seconds. One
-/// scheduling period's worth of anticipated debt per selected job.
-constexpr double kDebtQuantum = 3600.0;
-
 }  // namespace
 
 JobScheduler::JobScheduler(const HostInfo& host, const Preferences& prefs,
                            const PolicyConfig& policy)
-    : host_(host), prefs_(prefs), policy_(policy) {}
-
-double JobScheduler::prio_of(const Accounting& acct, ProjectId p, ProcType t,
-                             const std::vector<double>& global_adj,
-                             const std::vector<PerProc<double>>& local_adj)
-    const {
-  const auto pi = static_cast<std::size_t>(p);
-  if (policy_.sched == JobSchedPolicy::kGlobal) {
-    return acct.prio_global(p) + global_adj[pi];
-  }
-  return acct.prio_sched_local(p, t) + local_adj[pi][t];
-}
+    : host_(host),
+      prefs_(prefs),
+      policy_(policy),
+      order_(make_job_order_policy(policy)) {}
 
 ScheduleOutcome JobScheduler::schedule(SimTime now,
                                        const std::vector<Result*>& jobs,
@@ -55,28 +45,14 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
   }
   if (cand.empty()) return out;
 
-  const bool use_deadlines = policy_.sched != JobSchedPolicy::kWrr;
-
-  // Temporary priority adjustments accumulated while building the list
+  // Pass-local priority adjustments accumulated while building the list
   // (BOINC's "anticipated debt"): charging a project for each job selected
   // makes a single pass interleave projects.
-  std::vector<double> global_adj(acct.num_projects(), 0.0);
-  std::vector<PerProc<double>> local_adj(acct.num_projects());
-  const double total_flops = host_.total_peak_flops();
-
-  auto charge = [&](const Result& r) {
-    const auto p = static_cast<std::size_t>(r.project);
-    if (policy_.sched == JobSchedPolicy::kGlobal) {
-      if (total_flops > 0.0) {
-        global_adj[p] -= r.usage.flops_rate(host_) / total_flops;
-      }
-    } else {
-      for (const auto t : kAllProcTypes) {
-        const double u = r.usage.usage_of(t);
-        if (u > 0.0) local_adj[p][t] -= u * kDebtQuantum;
-      }
-    }
-  };
+  JobOrderContext ctx;
+  ctx.host = &host_;
+  ctx.acct = &acct;
+  ctx.global_adj.assign(acct.num_projects(), 0.0);
+  ctx.local_adj.assign(acct.num_projects(), {});
 
   // Tier assignment. Lower tier = earlier in list.
   //   0: running & uncheckpointed this episode (would lose work)
@@ -89,9 +65,8 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
       return 0;
     }
     const bool gpu = r.usage.uses_gpu();
-    // Pure EDF: every job sorts by deadline, shares play no role.
-    const bool dl = policy_.sched == JobSchedPolicy::kEdfOnly ||
-                    (use_deadlines && r.deadline_endangered);
+    const bool dl = order_->deadline_order_for_all() ||
+                    (order_->deadline_aware() && r.deadline_endangered);
     if (gpu) return dl ? 1 : 2;
     return dl ? 3 : 4;
   };
@@ -126,7 +101,7 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
       });
       for (Result* r : b) {
         out.ordered.push_back(r);
-        charge(*r);
+        order_->charge(ctx, *r);
       }
     } else {
       std::vector<Result*> pool = b;
@@ -135,9 +110,7 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
         double best_prio = -1e300;
         for (std::size_t i = 0; i < pool.size(); ++i) {
           const Result& r = *pool[i];
-          const double pr =
-              prio_of(acct, r.project, r.usage.primary_type(), global_adj,
-                      local_adj);
+          const double pr = order_->priority(ctx, r);
           // Tie-break: FIFO by arrival, then id, for determinism.
           if (pr > best_prio + 1e-12 ||
               (std::abs(pr - best_prio) <= 1e-12 &&
@@ -151,7 +124,7 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
         Result* r = pool[best];
         pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
         out.ordered.push_back(r);
-        charge(*r);
+        order_->charge(ctx, *r);
       }
     }
   }

@@ -28,10 +28,12 @@
 /// BOINC client: a GPU must never sit idle because its feeder thread can't
 /// get a CPU sliver.
 
+#include <memory>
 #include <vector>
 
 #include "client/accounting.hpp"
 #include "client/policy.hpp"
+#include "client/scheduling_policy.hpp"
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/job.hpp"
@@ -47,6 +49,11 @@ struct ScheduleOutcome {
   std::vector<Result*> ordered;
 };
 
+/// The scheduling *mechanism*: tier construction, priority-charged picking,
+/// and the allocation scan. The policy-variant behavior (deadline
+/// awareness, priority source, anticipated-debt charging) lives in the
+/// JobOrderPolicy strategy, resolved from \p policy through
+/// bce::policy_registry().
 class JobScheduler {
  public:
   JobScheduler(const HostInfo& host, const Preferences& prefs,
@@ -58,16 +65,14 @@ class JobScheduler {
                            const Accounting& acct, bool cpu_allowed,
                            bool gpu_allowed, Logger& log) const;
 
- private:
-  [[nodiscard]] double prio_of(const Accounting& acct, ProjectId p,
-                               ProcType t,
-                               const std::vector<double>& global_adj,
-                               const std::vector<PerProc<double>>& local_adj)
-      const;
+  /// The active job-order strategy (shared with WorkFetch's selection).
+  [[nodiscard]] const JobOrderPolicy& order_policy() const { return *order_; }
 
+ private:
   HostInfo host_;
   Preferences prefs_;
   PolicyConfig policy_;
+  std::shared_ptr<const JobOrderPolicy> order_;
 };
 
 }  // namespace bce

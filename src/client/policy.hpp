@@ -4,6 +4,8 @@
 /// Policy selections (§3, §4.3: "a set of flags selecting the job
 /// scheduling, job fetch, and server deadline-check policies").
 
+#include <string>
+
 #include "sim/types.hpp"
 
 namespace bce {
@@ -44,6 +46,13 @@ enum class TransferOrder {
 struct PolicyConfig {
   JobSchedPolicy sched = JobSchedPolicy::kGlobal;
   FetchPolicy fetch = FetchPolicy::kHysteresis;
+
+  /// Registry-based selection: when non-empty, these name
+  /// bce::policy_registry() entries (canonical name or alias) and override
+  /// the enums above, letting policies registered outside this library be
+  /// selected without engine changes.
+  std::string sched_by_name;
+  std::string fetch_by_name;
   EndangeredOrder endangered_order = EndangeredOrder::kEdf;
   TransferOrder transfer_order = TransferOrder::kFairShare;
 
@@ -82,6 +91,14 @@ struct PolicyConfig {
       case FetchPolicy::kRoundRobin: return "JF_RR";
     }
     return "?";
+  }
+
+  /// Names honouring the by-name overrides (what will actually run).
+  [[nodiscard]] std::string selected_sched_name() const {
+    return sched_by_name.empty() ? sched_name() : sched_by_name;
+  }
+  [[nodiscard]] std::string selected_fetch_name() const {
+    return fetch_by_name.empty() ? fetch_name() : fetch_by_name;
   }
 };
 

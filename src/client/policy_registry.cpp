@@ -1,0 +1,341 @@
+#include "client/policy_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bce {
+
+namespace {
+
+/// Priority-charge quantum for local (debt) accounting, seconds. One
+/// scheduling period's worth of anticipated debt per selected job.
+constexpr double kDebtQuantum = 3600.0;
+
+// ---- built-in job-order policies (§3.3, §6.2) ---------------------------
+
+/// Shared base for the local-accounting family: per-(project,type) debt
+/// supplies both scheduling and fetch priorities.
+class LocalDebtOrder : public JobOrderPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "JS_LOCAL"; }
+
+  [[nodiscard]] double priority(const JobOrderContext& ctx,
+                                const Result& r) const override {
+    const auto p = static_cast<std::size_t>(r.project);
+    const ProcType t = r.usage.primary_type();
+    return ctx.acct->prio_sched_local(r.project, t) + ctx.local_adj[p][t];
+  }
+
+  void charge(JobOrderContext& ctx, const Result& r) const override {
+    const auto p = static_cast<std::size_t>(r.project);
+    for (const auto t : kAllProcTypes) {
+      const double u = r.usage.usage_of(t);
+      if (u > 0.0) ctx.local_adj[p][t] -= u * kDebtQuantum;
+    }
+  }
+
+  [[nodiscard]] double fetch_priority(const Accounting& acct,
+                                      ProjectId p) const override {
+    return acct.prio_fetch_local(p);
+  }
+};
+
+/// JS_WRR: weighted round robin only; deadline flags are ignored.
+class WrrOrder final : public LocalDebtOrder {
+ public:
+  [[nodiscard]] const char* name() const override { return "JS_WRR"; }
+  [[nodiscard]] bool deadline_aware() const override { return false; }
+};
+
+/// JS_EDF (§6.2): every job sorts by deadline; shares play no role.
+class EdfOnlyOrder final : public LocalDebtOrder {
+ public:
+  [[nodiscard]] const char* name() const override { return "JS_EDF"; }
+  [[nodiscard]] bool deadline_order_for_all() const override { return true; }
+};
+
+/// JS_GLOBAL (a.k.a. JS-REC): deadline-aware, global REC accounting.
+class GlobalRecOrder final : public JobOrderPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "JS_GLOBAL"; }
+
+  [[nodiscard]] double priority(const JobOrderContext& ctx,
+                                const Result& r) const override {
+    const auto p = static_cast<std::size_t>(r.project);
+    return ctx.acct->prio_global(r.project) + ctx.global_adj[p];
+  }
+
+  void charge(JobOrderContext& ctx, const Result& r) const override {
+    const double total_flops = ctx.host->total_peak_flops();
+    if (total_flops > 0.0) {
+      ctx.global_adj[static_cast<std::size_t>(r.project)] -=
+          r.usage.flops_rate(*ctx.host) / total_flops;
+    }
+  }
+
+  [[nodiscard]] double fetch_priority(const Accounting& acct,
+                                      ProjectId p) const override {
+    return acct.prio_global(p);
+  }
+};
+
+// ---- built-in work-fetch policies (§3.4, §6.2) --------------------------
+
+/// JF_ORIG: fetch whenever SHORTFALL_min(T) > 0, share-scaled top-ups from
+/// the highest-PRIO_fetch project.
+class OrigFetch final : public WorkFetchPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "JF_ORIG"; }
+
+  [[nodiscard]] bool triggered(const FetchContext& ctx,
+                               ProcType t) const override {
+    return ctx.rr->shortfall_min[t] > 1.0;
+  }
+
+  [[nodiscard]] double project_score(
+      const FetchContext& ctx, ProjectId p,
+      const ProjectFetchState& /*st*/) const override {
+    return ctx.order->fetch_priority(*ctx.acct, p);
+  }
+
+  [[nodiscard]] double request_seconds(const FetchContext& ctx, ProcType t,
+                                       double share_x) const override {
+    return share_x * ctx.rr->shortfall_min[t];
+  }
+};
+
+/// JF_HYSTERESIS: fetch when SAT(T) < min_queue; ask the single best
+/// project for the entire fill-to-max shortfall.
+class HysteresisFetch : public WorkFetchPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "JF_HYSTERESIS"; }
+
+  [[nodiscard]] bool triggered(const FetchContext& ctx,
+                               ProcType t) const override {
+    return ctx.rr->saturated[t] < ctx.prefs->min_queue;
+  }
+
+  [[nodiscard]] double project_score(
+      const FetchContext& ctx, ProjectId p,
+      const ProjectFetchState& /*st*/) const override {
+    return ctx.order->fetch_priority(*ctx.acct, p);
+  }
+
+  [[nodiscard]] double request_seconds(const FetchContext& ctx, ProcType t,
+                                       double /*share_x*/) const override {
+    return ctx.rr->shortfall[t];
+  }
+};
+
+/// JF_RR (§6.2): hysteresis trigger, least-recently-asked project.
+class RoundRobinFetch final : public HysteresisFetch {
+ public:
+  [[nodiscard]] const char* name() const override { return "JF_RR"; }
+
+  [[nodiscard]] double project_score(
+      const FetchContext& /*ctx*/, ProjectId /*p*/,
+      const ProjectFetchState& st) const override {
+    return -st.last_work_rpc;
+  }
+};
+
+}  // namespace
+
+void PolicyRegistry::register_job_order(std::string name,
+                                        std::string description,
+                                        JobOrderFactory factory,
+                                        std::vector<std::string> aliases) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rec : job_orders_) {
+    if (rec.info.name == name) {
+      rec.info.description = std::move(description);
+      rec.info.aliases = std::move(aliases);
+      rec.factory = std::move(factory);
+      return;
+    }
+  }
+  job_orders_.push_back({{std::move(name), std::move(description),
+                          std::move(aliases)},
+                         std::move(factory)});
+}
+
+void PolicyRegistry::register_fetch(std::string name, std::string description,
+                                    FetchFactory factory,
+                                    std::vector<std::string> aliases) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rec : fetches_) {
+    if (rec.info.name == name) {
+      rec.info.description = std::move(description);
+      rec.info.aliases = std::move(aliases);
+      rec.factory = std::move(factory);
+      return;
+    }
+  }
+  fetches_.push_back({{std::move(name), std::move(description),
+                       std::move(aliases)},
+                      std::move(factory)});
+}
+
+const PolicyRegistry::JobOrderRecord* PolicyRegistry::find_job_order(
+    const std::string& name) const {
+  for (const auto& rec : job_orders_) {
+    if (rec.info.name == name) return &rec;
+    for (const auto& a : rec.info.aliases) {
+      if (a == name) return &rec;
+    }
+  }
+  return nullptr;
+}
+
+const PolicyRegistry::FetchRecord* PolicyRegistry::find_fetch(
+    const std::string& name) const {
+  for (const auto& rec : fetches_) {
+    if (rec.info.name == name) return &rec;
+    for (const auto& a : rec.info.aliases) {
+      if (a == name) return &rec;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+[[noreturn]] void throw_unknown(const char* kind, const std::string& name,
+                                const std::vector<std::string>& known) {
+  std::string msg = std::string("unknown ") + kind + " policy '" + name +
+                    "'; known policies:";
+  for (const auto& k : known) msg += " " + k;
+  throw std::invalid_argument(msg);
+}
+}  // namespace
+
+std::shared_ptr<const JobOrderPolicy> PolicyRegistry::make_job_order(
+    const std::string& name, const PolicyConfig& cfg) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* rec = find_job_order(name)) return rec->factory(cfg);
+  std::vector<std::string> known;
+  for (const auto& rec : job_orders_) known.push_back(rec.info.name);
+  throw_unknown("job-order", name, known);
+}
+
+std::shared_ptr<const WorkFetchPolicy> PolicyRegistry::make_fetch(
+    const std::string& name, const PolicyConfig& cfg) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* rec = find_fetch(name)) return rec->factory(cfg);
+  std::vector<std::string> known;
+  for (const auto& rec : fetches_) known.push_back(rec.info.name);
+  throw_unknown("work-fetch", name, known);
+}
+
+bool PolicyRegistry::has_job_order(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return find_job_order(name) != nullptr;
+}
+
+bool PolicyRegistry::has_fetch(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return find_fetch(name) != nullptr;
+}
+
+std::vector<PolicyRegistryEntry> PolicyRegistry::job_order_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PolicyRegistryEntry> out;
+  out.reserve(job_orders_.size());
+  for (const auto& rec : job_orders_) out.push_back(rec.info);
+  return out;
+}
+
+std::vector<PolicyRegistryEntry> PolicyRegistry::fetch_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PolicyRegistryEntry> out;
+  out.reserve(fetches_.size());
+  for (const auto& rec : fetches_) out.push_back(rec.info);
+  return out;
+}
+
+PolicyRegistry& policy_registry() {
+  static PolicyRegistry* reg = [] {
+    auto* r = new PolicyRegistry;
+    // Strategies are stateless: construct each once and share.
+    r->register_job_order(
+        "JS_WRR", "weighted round robin only; deadlines ignored",
+        [p = std::make_shared<const WrrOrder>()](const PolicyConfig&) {
+          return p;
+        },
+        {"wrr"});
+    r->register_job_order(
+        "JS_LOCAL", "deadline-aware, local per-(project,type) debt",
+        [p = std::make_shared<const LocalDebtOrder>()](const PolicyConfig&) {
+          return p;
+        },
+        {"local"});
+    r->register_job_order(
+        "JS_GLOBAL", "deadline-aware, global REC accounting",
+        [p = std::make_shared<const GlobalRecOrder>()](const PolicyConfig&) {
+          return p;
+        },
+        {"global", "JS_REC"});
+    r->register_job_order(
+        "JS_EDF", "pure earliest-deadline-first; shares ignored",
+        [p = std::make_shared<const EdfOnlyOrder>()](const PolicyConfig&) {
+          return p;
+        },
+        {"edf"});
+    r->register_fetch(
+        "JF_ORIG", "fetch whenever SHORTFALL(T) > 0, share-scaled",
+        [p = std::make_shared<const OrigFetch>()](const PolicyConfig&) {
+          return p;
+        },
+        {"orig"});
+    r->register_fetch(
+        "JF_HYSTERESIS", "fetch when SAT(T) < min_queue, full shortfall",
+        [p = std::make_shared<const HysteresisFetch>()](const PolicyConfig&) {
+          return p;
+        },
+        {"hyst"});
+    r->register_fetch(
+        "JF_RR", "hysteresis trigger, least-recently-asked project",
+        [p = std::make_shared<const RoundRobinFetch>()](const PolicyConfig&) {
+          return p;
+        },
+        {"rr"});
+    return r;
+  }();
+  return *reg;
+}
+
+const char* job_sched_policy_name(JobSchedPolicy p) {
+  switch (p) {
+    case JobSchedPolicy::kWrr: return "JS_WRR";
+    case JobSchedPolicy::kLocal: return "JS_LOCAL";
+    case JobSchedPolicy::kGlobal: return "JS_GLOBAL";
+    case JobSchedPolicy::kEdfOnly: return "JS_EDF";
+  }
+  return "?";
+}
+
+const char* fetch_policy_name(FetchPolicy p) {
+  switch (p) {
+    case FetchPolicy::kOrig: return "JF_ORIG";
+    case FetchPolicy::kHysteresis: return "JF_HYSTERESIS";
+    case FetchPolicy::kRoundRobin: return "JF_RR";
+  }
+  return "?";
+}
+
+std::shared_ptr<const JobOrderPolicy> make_job_order_policy(
+    const PolicyConfig& cfg) {
+  const std::string name = cfg.sched_by_name.empty()
+                               ? job_sched_policy_name(cfg.sched)
+                               : cfg.sched_by_name;
+  return policy_registry().make_job_order(name, cfg);
+}
+
+std::shared_ptr<const WorkFetchPolicy> make_fetch_policy(
+    const PolicyConfig& cfg) {
+  const std::string name = cfg.fetch_by_name.empty()
+                               ? fetch_policy_name(cfg.fetch)
+                               : cfg.fetch_by_name;
+  return policy_registry().make_fetch(name, cfg);
+}
+
+}  // namespace bce

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file policy_registry.hpp
+/// Named registry of scheduling-policy strategies. New policies register by
+/// name and become selectable end-to-end (CLI --sched/--fetch, bench
+/// drivers, PolicyConfig::sched_by_name) without touching the emulation
+/// engine. The built-in paper policies (JS_WRR, JS_LOCAL, JS_GLOBAL,
+/// JS_EDF; JF_ORIG, JF_HYSTERESIS, JF_RR) are pre-registered, each with a
+/// short lowercase alias (wrr, local, global, edf; orig, hyst, rr).
+///
+/// Example — adding a policy without engine edits:
+/// \code
+///   class JsFifo : public bce::JobOrderPolicy { ... };
+///   bce::policy_registry().register_job_order(
+///       "JS_FIFO", "first-come first-served, shares ignored",
+///       [](const bce::PolicyConfig&) { return std::make_shared<JsFifo>(); },
+///       {"fifo"});
+///   bce::PolicyConfig pc;
+///   pc.sched_by_name = "fifo";           // resolved at emulate() time
+///   bce::emulate(scenario, {.policy = pc});
+/// \endcode
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/scheduling_policy.hpp"
+
+namespace bce {
+
+/// One registered policy, as reported by --list-policies.
+struct PolicyRegistryEntry {
+  std::string name;                  ///< canonical name, e.g. "JS_GLOBAL"
+  std::string description;           ///< one-line summary
+  std::vector<std::string> aliases;  ///< alternate lookup names
+};
+
+/// Thread-safe name -> factory map for both strategy kinds. Lookup is
+/// case-sensitive on canonical names and aliases.
+class PolicyRegistry {
+ public:
+  using JobOrderFactory =
+      std::function<std::shared_ptr<const JobOrderPolicy>(const PolicyConfig&)>;
+  using FetchFactory =
+      std::function<std::shared_ptr<const WorkFetchPolicy>(const PolicyConfig&)>;
+
+  /// Register a job-order (scheduling) policy. Re-registering an existing
+  /// name replaces it (latest wins), so tests can shadow built-ins.
+  void register_job_order(std::string name, std::string description,
+                          JobOrderFactory factory,
+                          std::vector<std::string> aliases = {});
+
+  /// Register a work-fetch policy.
+  void register_fetch(std::string name, std::string description,
+                      FetchFactory factory,
+                      std::vector<std::string> aliases = {});
+
+  /// Construct a policy by canonical name or alias. Throws
+  /// std::invalid_argument listing the known names when \p name is unknown.
+  [[nodiscard]] std::shared_ptr<const JobOrderPolicy> make_job_order(
+      const std::string& name, const PolicyConfig& cfg) const;
+  [[nodiscard]] std::shared_ptr<const WorkFetchPolicy> make_fetch(
+      const std::string& name, const PolicyConfig& cfg) const;
+
+  [[nodiscard]] bool has_job_order(const std::string& name) const;
+  [[nodiscard]] bool has_fetch(const std::string& name) const;
+
+  /// Registered entries in registration order (stable listing for CLI
+  /// output and registry-driven sweeps).
+  [[nodiscard]] std::vector<PolicyRegistryEntry> job_order_entries() const;
+  [[nodiscard]] std::vector<PolicyRegistryEntry> fetch_entries() const;
+
+ private:
+  struct JobOrderRecord {
+    PolicyRegistryEntry info;
+    JobOrderFactory factory;
+  };
+  struct FetchRecord {
+    PolicyRegistryEntry info;
+    FetchFactory factory;
+  };
+
+  [[nodiscard]] const JobOrderRecord* find_job_order(
+      const std::string& name) const;
+  [[nodiscard]] const FetchRecord* find_fetch(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::vector<JobOrderRecord> job_orders_;
+  std::vector<FetchRecord> fetches_;
+};
+
+/// The process-wide registry, pre-loaded with the built-in paper policies.
+PolicyRegistry& policy_registry();
+
+/// Canonical registry names for the enum values (the paper's names).
+const char* job_sched_policy_name(JobSchedPolicy p);
+const char* fetch_policy_name(FetchPolicy p);
+
+/// Resolve \p cfg's scheduling-policy selection to a strategy object:
+/// PolicyConfig::sched_by_name when set, the JobSchedPolicy enum otherwise.
+std::shared_ptr<const JobOrderPolicy> make_job_order_policy(
+    const PolicyConfig& cfg);
+
+/// Same for the fetch selection (fetch_by_name / FetchPolicy).
+std::shared_ptr<const WorkFetchPolicy> make_fetch_policy(
+    const PolicyConfig& cfg);
+
+}  // namespace bce

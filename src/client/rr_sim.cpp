@@ -311,4 +311,20 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
   return out;
 }
 
+const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
+                                     const std::vector<Result*>& jobs,
+                                     const std::vector<double>& share_frac,
+                                     Logger* log) {
+  if (cache_valid_ && cached_version_ == state_version && cached_now_ == now) {
+    ++stats_.hits;
+    return cached_out_;
+  }
+  ++stats_.misses;
+  cached_out_ = run(now, jobs, share_frac, log);
+  cached_version_ = state_version;
+  cached_now_ = now;
+  cache_valid_ = true;
+  return cached_out_;
+}
+
 }  // namespace bce

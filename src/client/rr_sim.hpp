@@ -25,6 +25,7 @@
 ///  * GPU jobs are allocated on their GPU type only; the small CPU sliver
 ///    of a GPU app is ignored inside RR-sim (as in BOINC's rr_sim).
 
+#include <cstdint>
 #include <vector>
 
 #include "host/host_info.hpp"
@@ -85,10 +86,39 @@ class RrSim {
                   const std::vector<double>& share_frac,
                   Logger* log = nullptr) const;
 
+  /// Cache hit/miss counters for run_cached (observability: the emulator's
+  /// per-step "avoided recompute" count is hits).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Memoizing variant: if \p state_version and \p now match the previous
+  /// run_cached call, return the cached output (and skip re-simulating —
+  /// including the per-job flag writes, which by construction would be
+  /// byte-identical). \p state_version must change whenever anything RR-sim
+  /// reads changes: the job set, job progress, deadlines, shares, or
+  /// availability. Callers bump it via ClientRuntime::bump_state_version().
+  const RrSimOutput& run_cached(std::uint64_t state_version, SimTime now,
+                                const std::vector<Result*>& jobs,
+                                const std::vector<double>& share_frac,
+                                Logger* log = nullptr);
+
+  [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
+
  private:
   HostInfo host_;
   Preferences prefs_;
   PerProc<double> avail_frac_;
+
+  // run_cached memo: one entry, keyed on (state_version, now). One entry
+  // suffices because the client alternates reschedule/fetch passes over the
+  // same instant; a deeper cache would never hit.
+  bool cache_valid_ = false;
+  std::uint64_t cached_version_ = 0;
+  SimTime cached_now_ = 0.0;
+  RrSimOutput cached_out_;
+  CacheStats stats_;
 };
 
 }  // namespace bce

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file scheduling_policy.hpp
+/// Strategy interfaces for the client's pluggable scheduling policies.
+///
+/// The paper compares policy *variants* (JS_WRR / JS_LOCAL / JS_GLOBAL,
+/// JF_ORIG / JF_HYSTERESIS, plus the §6.2 alternatives) inside one faithful
+/// client; its §6.2 explicitly calls for studying new ones. To keep the
+/// engine closed to modification but open to new policies, each variant is
+/// an object implementing one of the two interfaces below, constructed by
+/// name through bce::policy_registry():
+///
+///  * JobOrderPolicy — how the job scheduler ranks runnable jobs: whether
+///    deadline-endangered jobs are promoted, which accounting flavour
+///    (local debt vs global REC) supplies project priorities, and how a
+///    pass charges "anticipated debt" as it picks jobs. Also supplies the
+///    project priority work fetch uses when it selects by priority.
+///
+///  * WorkFetchPolicy — when a processor type triggers a work fetch, how
+///    the project to ask is scored, and how many instance-seconds are
+///    requested.
+///
+/// The mechanism (tier construction, the allocation scan, RPC bookkeeping,
+/// backoff) stays in JobScheduler / WorkFetch; strategies are stateless and
+/// shared, so they must be thread-compatible (const methods only).
+
+#include "client/accounting.hpp"
+#include "client/policy.hpp"
+#include "client/rr_sim.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "model/job.hpp"
+
+#include <vector>
+
+namespace bce {
+
+/// Scratch for one job-ordering pass: the "anticipated debt" adjustments
+/// accumulated as jobs are picked, so a single pass interleaves projects
+/// instead of emitting all of the top project's jobs first.
+struct JobOrderContext {
+  const HostInfo* host = nullptr;
+  const Accounting* acct = nullptr;
+  std::vector<double> global_adj;          ///< per project (REC flavour)
+  std::vector<PerProc<double>> local_adj;  ///< per project/type (debt flavour)
+};
+
+class JobOrderPolicy {
+ public:
+  virtual ~JobOrderPolicy() = default;
+
+  /// Canonical registry name, e.g. "JS_GLOBAL".
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Are deadline-endangered jobs promoted into the EDF-ordered tiers?
+  /// (JS_WRR returns false: deadlines are ignored entirely.)
+  [[nodiscard]] virtual bool deadline_aware() const { return true; }
+
+  /// Does *every* job sort by deadline (pure EDF), with share priorities
+  /// playing no role in the ordering?
+  [[nodiscard]] virtual bool deadline_order_for_all() const { return false; }
+
+  /// Priority of picking job \p r next (higher = earlier in the run list),
+  /// with the pass's anticipated-debt adjustments applied.
+  [[nodiscard]] virtual double priority(const JobOrderContext& ctx,
+                                        const Result& r) const = 0;
+
+  /// Charge \p r's project for being picked (anticipated debt), mutating
+  /// the pass-local adjustments in \p ctx.
+  virtual void charge(JobOrderContext& ctx, const Result& r) const = 0;
+
+  /// Project priority used by work fetch when paired with a
+  /// priority-selecting WorkFetchPolicy (PRIO_fetch in the paper).
+  [[nodiscard]] virtual double fetch_priority(const Accounting& acct,
+                                              ProjectId p) const = 0;
+};
+
+/// Client-side fetch bookkeeping for one attached project.
+struct ProjectFetchState {
+  /// Earliest time another scheduler RPC to this project is allowed
+  /// (min_rpc_interval spacing + project-level backoff after "down").
+  SimTime next_allowed_rpc = 0.0;
+  Duration project_backoff_len = 0.0;
+
+  /// Last time a *work-request* RPC went to this project; drives the
+  /// JF_RR (least-recently-asked) selection. Negative = never.
+  SimTime last_work_rpc = -1.0;
+
+  /// Per-type backoff after "no jobs of this type" replies.
+  PerProc<SimTime> type_backoff_until{};
+  PerProc<Duration> type_backoff_len{};
+};
+
+/// Immutable per-decision inputs handed to WorkFetchPolicy hooks.
+struct FetchContext {
+  SimTime now = 0.0;
+  const RrSimOutput* rr = nullptr;
+  const Preferences* prefs = nullptr;
+  const Accounting* acct = nullptr;
+  /// The active job-order policy; supplies share-accounting priorities for
+  /// fetch policies that select by PRIO_fetch.
+  const JobOrderPolicy* order = nullptr;
+};
+
+class WorkFetchPolicy {
+ public:
+  virtual ~WorkFetchPolicy() = default;
+
+  /// Canonical registry name, e.g. "JF_HYSTERESIS".
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Should processor type \p t trigger a work fetch at all?
+  [[nodiscard]] virtual bool triggered(const FetchContext& ctx,
+                                       ProcType t) const = 0;
+
+  /// Score for selecting among candidate projects (higher wins; the
+  /// earliest-indexed project wins exact ties, as the mechanism scans in
+  /// project-id order with a strict comparison).
+  [[nodiscard]] virtual double project_score(
+      const FetchContext& ctx, ProjectId p,
+      const ProjectFetchState& st) const = 0;
+
+  /// Instance-seconds of type \p t to request from the chosen project.
+  /// \p share_x is the chosen project's fractional share among projects
+  /// capable of \p t (JF_ORIG scales its request by it).
+  [[nodiscard]] virtual double request_seconds(const FetchContext& ctx,
+                                               ProcType t,
+                                               double share_x) const = 0;
+};
+
+}  // namespace bce

@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "client/policy_registry.hpp"
+
 namespace bce {
 
 WorkFetch::WorkFetch(const HostInfo& host, const Preferences& prefs,
                      const PolicyConfig& policy)
-    : host_(host), prefs_(prefs), policy_(policy) {}
-
-double WorkFetch::prio_fetch(const Accounting& acct, ProjectId p) const {
-  return policy_.sched == JobSchedPolicy::kGlobal ? acct.prio_global(p)
-                                                  : acct.prio_fetch_local(p);
-}
+    : host_(host),
+      prefs_(prefs),
+      policy_(policy),
+      order_(make_job_order_policy(policy)),
+      fetch_(make_fetch_policy(policy)) {}
 
 WorkFetch::Decision WorkFetch::choose(
     SimTime now, const RrSimOutput& rr, const Accounting& acct,
@@ -21,20 +22,24 @@ WorkFetch::Decision WorkFetch::choose(
     const std::vector<PerProc<bool>>& endangered, Logger& log) const {
   Decision d;
 
+  FetchContext ctx;
+  ctx.now = now;
+  ctx.rr = &rr;
+  ctx.prefs = &prefs_;
+  ctx.acct = &acct;
+  ctx.order = order_.get();
+
   // GPU types first: an idle GPU wastes far more capacity than an idle CPU.
   constexpr std::array<ProcType, kNumProcTypes> order = {
       ProcType::kNvidia, ProcType::kAti, ProcType::kCpu};
 
   for (const auto t : order) {
     if (host_.count[t] == 0) continue;
-
-    const bool triggered = policy_.fetch == FetchPolicy::kOrig
-                               ? rr.shortfall_min[t] > 1.0
-                               : rr.saturated[t] < prefs_.min_queue;
-    if (!triggered) continue;
+    if (!fetch_->triggered(ctx, t)) continue;
 
     // Candidate projects: capable of type t, not backed off, RPC spacing
-    // ok. Selection: highest PRIO_fetch, or least-recently-asked for JF_RR.
+    // ok. Selection: highest policy score (PRIO_fetch for the priority-
+    // selecting policies, least-recently-asked for JF_RR).
     ProjectId best = kNoProject;
     double best_prio = -1e300;
     for (std::size_t p = 0; p < projects.size(); ++p) {
@@ -47,9 +52,8 @@ WorkFetch::Decision WorkFetch::choose(
       if (policy_.fetch_deadline_suppression && endangered[p][t]) {
         continue;  // already overcommitted on this type
       }
-      const double prio = policy_.fetch == FetchPolicy::kRoundRobin
-                              ? -st.last_work_rpc
-                              : prio_fetch(acct, static_cast<ProjectId>(p));
+      const double prio =
+          fetch_->project_score(ctx, static_cast<ProjectId>(p), st);
       if (best == kNoProject || prio > best_prio) {
         best = static_cast<ProjectId>(p);
         best_prio = prio;
@@ -83,15 +87,11 @@ WorkFetch::Decision WorkFetch::choose(
           endangered[static_cast<std::size_t>(best)][u]) {
         continue;
       }
-      const bool u_triggered = policy_.fetch == FetchPolicy::kOrig
-                                   ? rr.shortfall_min[u] > 1.0
-                                   : rr.saturated[u] < prefs_.min_queue;
-      if (!u_triggered) continue;
-      // JF_ORIG tops up its share of the min-buffer deficit; JF_HYSTERESIS
-      // asks the single chosen project for the entire fill-to-max amount.
-      d.request.req_seconds[u] = policy_.fetch == FetchPolicy::kOrig
-                                     ? x * rr.shortfall_min[u]
-                                     : rr.shortfall[u];
+      if (!fetch_->triggered(ctx, u)) continue;
+      // The policy sizes the request: JF_ORIG tops up its share of the
+      // min-buffer deficit; JF_HYSTERESIS asks the single chosen project
+      // for the entire fill-to-max amount.
+      d.request.req_seconds[u] = fetch_->request_seconds(ctx, u, x);
       d.request.req_instances[u] = rr.idle_instances_now[u];
       d.request.est_delay[u] = rr.saturated[u];
     }
@@ -99,7 +99,7 @@ WorkFetch::Decision WorkFetch::choose(
       log.logf(now, LogCategory::kWorkFetch,
                "fetch from project %d (%s): trigger %s, %.0f cpu-sec, "
                "%.0f nvidia-sec, %.0f ati-sec",
-               best, policy_.fetch_name(), proc_name(t),
+               best, fetch_->name(), proc_name(t),
                d.request.req_seconds[ProcType::kCpu],
                d.request.req_seconds[ProcType::kNvidia],
                d.request.req_seconds[ProcType::kAti]);

@@ -22,11 +22,13 @@
 /// suppression): piling more work onto an overcommitted project only
 /// manufactures waste.
 
+#include <memory>
 #include <vector>
 
 #include "client/accounting.hpp"
 #include "client/policy.hpp"
 #include "client/rr_sim.hpp"
+#include "client/scheduling_policy.hpp"
 #include "host/preferences.hpp"
 #include "model/project.hpp"
 #include "server/request.hpp"
@@ -34,22 +36,12 @@
 
 namespace bce {
 
-/// Client-side fetch bookkeeping for one attached project.
-struct ProjectFetchState {
-  /// Earliest time another scheduler RPC to this project is allowed
-  /// (min_rpc_interval spacing + project-level backoff after "down").
-  SimTime next_allowed_rpc = 0.0;
-  Duration project_backoff_len = 0.0;
-
-  /// Last time a *work-request* RPC went to this project; drives the
-  /// JF_RR (least-recently-asked) selection. Negative = never.
-  SimTime last_work_rpc = -1.0;
-
-  /// Per-type backoff after "no jobs of this type" replies.
-  PerProc<SimTime> type_backoff_until{};
-  PerProc<Duration> type_backoff_len{};
-};
-
+/// The fetch *mechanism*: candidate filtering (availability, RPC spacing,
+/// backoffs), share computation, request assembly, and backoff bookkeeping.
+/// The policy-variant behavior (trigger condition, project selection,
+/// request sizing) lives in the WorkFetchPolicy strategy, resolved from
+/// \p policy through bce::policy_registry(). ProjectFetchState lives in
+/// scheduling_policy.hpp so custom policies can score on it.
 class WorkFetch {
  public:
   static constexpr Duration kBackoffMin = 600.0;            // 10 min
@@ -83,12 +75,15 @@ class WorkFetch {
   void on_rpc_sent(SimTime now, ProjectFetchState& state,
                    bool work_request = false) const;
 
- private:
-  [[nodiscard]] double prio_fetch(const Accounting& acct, ProjectId p) const;
+  /// The active fetch strategy (name() feeds logs and CLI output).
+  [[nodiscard]] const WorkFetchPolicy& fetch_policy() const { return *fetch_; }
 
+ private:
   HostInfo host_;
   Preferences prefs_;
   PolicyConfig policy_;
+  std::shared_ptr<const JobOrderPolicy> order_;
+  std::shared_ptr<const WorkFetchPolicy> fetch_;
 };
 
 }  // namespace bce

@@ -14,9 +14,12 @@
 /// \endcode
 
 #include "client/accounting.hpp"
+#include "client/client_runtime.hpp"
 #include "client/job_scheduler.hpp"
 #include "client/policy.hpp"
+#include "client/policy_registry.hpp"
 #include "client/rr_sim.hpp"
+#include "client/scheduling_policy.hpp"
 #include "client/work_fetch.hpp"
 #include "client/transfer.hpp"
 #include "core/controller.hpp"

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "client/policy_registry.hpp"
+
 namespace bce {
 
 std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
@@ -58,6 +60,26 @@ std::vector<RunResult> run_sweep(const std::vector<double>& params,
   specs.reserve(params.size());
   for (const double p : params) specs.push_back(make(p));
   return run_batch(specs, n_threads);
+}
+
+std::vector<RunSpec> policy_matrix_specs(const Scenario& scenario,
+                                         const EmulationOptions& base) {
+  std::vector<RunSpec> specs;
+  const auto orders = policy_registry().job_order_entries();
+  const auto fetches = policy_registry().fetch_entries();
+  specs.reserve(orders.size() * fetches.size());
+  for (const auto& s : orders) {
+    for (const auto& f : fetches) {
+      RunSpec spec;
+      spec.scenario = scenario;
+      spec.options = base;
+      spec.options.policy.sched_by_name = s.name;
+      spec.options.policy.fetch_by_name = f.name;
+      spec.label = s.name + "+" + f.name;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
 }
 
 ReplicateSummary run_replicates(const Scenario& scenario,

@@ -37,6 +37,13 @@ std::vector<RunResult> run_sweep(
     const std::vector<double>& params,
     const std::function<RunSpec(double)>& make, unsigned n_threads = 0);
 
+/// One RunSpec per (job-order, fetch) pair registered in
+/// bce::policy_registry(), labeled "SCHED+FETCH" and selected by name, on
+/// top of \p base options. Policies registered by user code are swept
+/// automatically — registry-driven drivers never enumerate enums.
+std::vector<RunSpec> policy_matrix_specs(const Scenario& scenario,
+                                         const EmulationOptions& base = {});
+
 /// Summary statistics of the figures of merit over seed replicates.
 struct ReplicateSummary {
   RunningStats idle;

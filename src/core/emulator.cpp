@@ -21,43 +21,25 @@ EmulationResult emulate(const Scenario& scenario,
   return em.run();
 }
 
-Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
-    : sc_(scenario),
-      opt_(options),
-      rng_(scenario.seed),
-      avail_(scenario.availability, rng_, 0.0),
-      acct_(scenario.host, {}, options.policy.rec_half_life),
-      rrsim_(scenario.host, scenario.prefs, {}),
-      sched_(scenario.host, scenario.prefs, options.policy),
-      fetch_(scenario.host, scenario.prefs, options.policy),
-      log_(options.logger != nullptr ? options.logger : &null_log_),
-      transfers_(scenario.host.download_bandwidth_bps,
-                 options.policy.transfer_order),
-      metrics_(scenario.host, {}),
-      timeline_(scenario.host) {
+const Scenario& Emulator::validated(const Scenario& sc) {
   std::string err;
-  if (!sc_.validate(&err)) {
+  if (!sc.validate(&err)) {
     // Invariant violations are programming errors in scenario
     // construction; fail loudly.
     throw std::invalid_argument("invalid scenario: " + err);
   }
+  return sc;
+}
 
-  share_frac_.resize(sc_.projects.size());
-  dcf_.assign(sc_.projects.size(), 1.0);
-  std::vector<PerProc<bool>> capability(sc_.projects.size());
-  for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
-    share_frac_[p] = sc_.share_fraction(p);
-    const auto& pc = sc_.projects[p];
-    for (const auto t : kAllProcTypes) {
-      capability[p][t] = sc_.host.count[t] > 0 && pc.has_jobs_for(t) &&
-                         !pc.suspended && !(pc.no_gpu && is_gpu(t));
-    }
-  }
-  acct_ = Accounting(sc_.host, share_frac_, opt_.policy.rec_half_life,
-                     std::move(capability));
-  metrics_ = MetricsCollector(sc_.host, share_frac_);
-  rrsim_ = RrSim(sc_.host, sc_.prefs, expected_avail());
-
+Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
+    : sc_(validated(scenario)),
+      opt_(options),
+      rng_(scenario.seed),
+      avail_(scenario.availability, rng_, 0.0),
+      log_(options.logger != nullptr ? options.logger : &null_log_),
+      client_(sc_, options.policy, log_),
+      metrics_(sc_.host, client_.share_fractions()),
+      timeline_(sc_.host) {
   ServerPolicy sp;
   sp.deadline_check = opt_.policy.server_deadline_check;
   const double host_avail = sc_.availability.host_on.expected_on_fraction();
@@ -67,7 +49,6 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
                           sp, host_avail,
                           rng_.fork("server." + sc_.projects[p].name), 0.0);
   }
-  fetch_states_.resize(sc_.projects.size());
   project_events_.resize(sc_.projects.size(), kNoEvent);
 
   for (const auto t : kAllProcTypes) {
@@ -76,17 +57,6 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
   used_inst_secs_.resize(sc_.projects.size());
   runnable_flags_.resize(sc_.projects.size());
   used_flops_.resize(sc_.projects.size());
-}
-
-PerProc<double> Emulator::expected_avail() const {
-  PerProc<double> a;
-  const double host_on = sc_.availability.host_on.expected_on_fraction();
-  const double gpu_ok =
-      host_on * sc_.availability.gpu_allowed.expected_on_fraction();
-  a[ProcType::kCpu] = host_on;
-  a[ProcType::kNvidia] = gpu_ok;
-  a[ProcType::kAti] = gpu_ok;
-  return a;
 }
 
 double Emulator::task_rate(const Result& r) const {
@@ -120,6 +90,9 @@ void Emulator::preempt(Result& r, bool count) {
   if (!sc_.prefs.leave_apps_in_memory &&
       r.flops_done > r.checkpointed_flops) {
     // Roll back to the last checkpoint; the lost FLOPs stay in flops_spent.
+    // Applied while acting on a scheduling decision, so deliberately no
+    // state-version bump: the same-instant fetch pass must reuse the
+    // reschedule's RR-sim view (see client_runtime.hpp).
     r.flops_done = r.checkpointed_flops;
     r.run_since_checkpoint = 0.0;
   }
@@ -134,7 +107,7 @@ void Emulator::advance_to(SimTime t) {
   if (dt <= 0.0) return;
 
   // Progress active downloads; availability is constant over the interval.
-  transfers_.advance_to(t, avail_.network_available());
+  client_.transfers().advance_to(t, avail_.network_available());
 
   // Per-project usage and runnable flags over the interval (the running
   // set and availability are constant within it).
@@ -149,8 +122,10 @@ void Emulator::advance_to(SimTime t) {
     }
   }
 
+  bool any_running = false;
   for (Result* r : active_) {
     if (!r->running) continue;
+    any_running = true;
     const auto p = static_cast<std::size_t>(r->project);
     const double rate = task_rate(*r);
     const double progress = rate * dt;
@@ -183,6 +158,7 @@ void Emulator::advance_to(SimTime t) {
                        r->id);
     }
   }
+  if (any_running) client_.on_progress();
 
   // Monotony input: the single project with running jobs during the
   // interval, or kNoProject when zero or several projects ran.
@@ -212,7 +188,7 @@ void Emulator::advance_to(SimTime t) {
   }
 
   metrics_.note_interval(dt, cap_rate, used_flops_, exclusive);
-  acct_.charge(t, dt, used_inst_secs_, runnable_flags_);
+  client_.charge(t, dt, used_inst_secs_, runnable_flags_);
   now_ = t;
 }
 
@@ -225,19 +201,12 @@ void Emulator::handle_completions() {
       r->running = false;
       release_slot(*r);
       r->run_since_checkpoint = 0.0;
-      // Learn the project's systematic estimate error (DCF): jump up
-      // immediately on underestimates, decay down slowly, as in BOINC.
-      if (opt_.policy.use_duration_correction && r->flops_est > 0.0) {
-        auto& dcf = dcf_[static_cast<std::size_t>(r->project)];
-        const double ratio = r->flops_total / r->flops_est;
-        dcf = ratio > dcf ? ratio : 0.9 * dcf + 0.1 * ratio;
-        dcf = clamp(dcf, 0.01, 100.0);
-      }
+      client_.on_job_completed(*r);
       ++metrics_.counters().n_jobs_completed;
       if (r->missed_deadline()) ++metrics_.counters().n_jobs_missed;
       // Upload output files before the job can be reported.
-      if (transfers_.modeled() && r->output_bytes > 0.0) {
-        transfers_.add(r->id, r->output_bytes, r->deadline, now_);
+      if (client_.transfers().modeled() && r->output_bytes > 0.0) {
+        client_.transfers().add(r->id, r->output_bytes, r->deadline, now_);
       } else {
         r->uploaded = true;
       }
@@ -275,14 +244,17 @@ void Emulator::schedule_transfer_event() {
     queue_.cancel(transfer_event_);
     transfer_event_ = kNoEvent;
   }
-  const SimTime t = transfers_.next_completion(avail_.network_available());
+  const SimTime t =
+      client_.transfers().next_completion(avail_.network_available());
   if (std::isfinite(t) && t <= sc_.duration) {
     transfer_event_ = queue_.schedule(std::max(t, now_), EventKind::kTransfer);
   }
 }
 
 void Emulator::handle_finished_transfers() {
-  for (const JobId id : transfers_.take_completed()) {
+  const auto completed = client_.transfers().take_completed();
+  if (completed.empty()) return;
+  for (const JobId id : completed) {
     // Job ids are allocated sequentially as jobs are created, so the id
     // indexes jobs_ directly.
     assert(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
@@ -298,6 +270,7 @@ void Emulator::handle_finished_transfers() {
                  id);
     }
   }
+  client_.on_jobs_runnable();
 }
 
 void Emulator::schedule_avail_event() {
@@ -325,18 +298,10 @@ void Emulator::schedule_project_event(std::size_t p) {
 
 void Emulator::reschedule() {
   ++metrics_.counters().n_sched_passes;
-  last_rr_ = rrsim_.run(now_, active_, share_frac_, log_);
-  for (Result* r : active_) {
-    if (r->first_projected_finish == kNever &&
-        r->rr_projected_finish < kNever) {
-      r->first_projected_finish = r->rr_projected_finish;
-    }
-  }
-
   const bool cpu_ok = avail_.cpu_computing_allowed();
   const bool gpu_ok = avail_.gpu_computing_allowed();
   ScheduleOutcome outcome =
-      sched_.schedule(now_, active_, acct_, cpu_ok, gpu_ok, *log_);
+      client_.schedule_jobs(now_, active_, cpu_ok, gpu_ok);
 
   // Preempt running jobs not selected.
   for (Result* r : active_) {
@@ -361,8 +326,7 @@ void Emulator::reschedule() {
 
 void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
                       bool is_work_request) {
-  auto& st = fetch_states_[static_cast<std::size_t>(p)];
-  fetch_.on_rpc_sent(now_, st, is_work_request);
+  client_.on_rpc_sent(now_, p, is_work_request);
   ++metrics_.counters().n_rpcs;
   if (is_work_request) ++metrics_.counters().n_work_request_rpcs;
 
@@ -381,10 +345,8 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
       now_, req, reported, next_job_id_, *log_);
   schedule_project_event(static_cast<std::size_t>(p));
 
-  if (is_work_request) {
-    fetch_.on_reply(now_, req, reply, st, *log_);
-  } else if (reply.project_down) {
-    fetch_.on_reply(now_, req, reply, st, *log_);
+  if (is_work_request || reply.project_down) {
+    client_.on_rpc_reply(now_, req, reply, p);
   }
 
   log_->logf(now_, LogCategory::kRpc,
@@ -398,14 +360,13 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
     for (auto& job : reply.jobs) {
       jobs_.push_back(std::make_unique<Result>(job));
       Result* r = jobs_.back().get();
-      if (opt_.policy.use_duration_correction) {
-        r->est_correction = dcf_[static_cast<std::size_t>(p)];
-      }
+      client_.on_job_arrival(*r);
       active_.push_back(r);
       // Modeled download link: the job becomes runnable when its input
       // files arrive (on top of any fixed transfer_delay).
-      if (transfers_.modeled() && r->input_bytes > 0.0) {
-        if (!transfers_.add(r->id, r->input_bytes, r->deadline, now_)) {
+      if (client_.transfers().modeled() && r->input_bytes > 0.0) {
+        if (!client_.transfers().add(r->id, r->input_bytes, r->deadline,
+                                     now_)) {
           r->runnable_at = kNever;  // released by handle_finished_transfers
         }
       }
@@ -432,29 +393,14 @@ void Emulator::work_fetch_pass() {
         break;
       }
     }
-    if (due && now_ >= fetch_states_[p].next_allowed_rpc) {
+    if (due && now_ >= client_.next_allowed_rpc(static_cast<ProjectId>(p))) {
       do_rpc(static_cast<ProjectId>(p), WorkRequest{}, /*is_work_request=*/false);
     }
   }
 
   // At most one work-request RPC per pass (per client poll), as in BOINC.
-  std::vector<const ProjectConfig*> cfgs;
-  cfgs.reserve(sc_.projects.size());
-  for (const auto& pc : sc_.projects) cfgs.push_back(&pc);
-  std::vector<PerProc<bool>> endangered(sc_.projects.size());
-  for (const Result* r : active_) {
-    if (r->deadline_endangered) {
-      endangered[static_cast<std::size_t>(r->project)]
-                [r->usage.primary_type()] = true;
-    }
-  }
-  WorkFetch::Decision d = fetch_.choose(now_, last_rr_, acct_, cfgs,
-                                        fetch_states_, endangered, *log_);
+  WorkFetch::Decision d = client_.choose_fetch(now_, active_);
   if (d.fetch()) {
-    if (opt_.policy.use_duration_correction) {
-      d.request.duration_correction =
-          dcf_[static_cast<std::size_t>(d.project)];
-    }
     do_rpc(d.project, d.request, /*is_work_request=*/true);
   }
 }
@@ -486,6 +432,7 @@ EmulationResult Emulator::run() {
         case EventKind::kHostTransition: {
           avail_event_ = kNoEvent;
           avail_.advance_to(now_);
+          client_.on_availability_change();
           log_->logf(now_, LogCategory::kAvail,
                      "availability: cpu=%d gpu=%d net=%d",
                      avail_.cpu_computing_allowed() ? 1 : 0,
@@ -553,14 +500,16 @@ EmulationResult Emulator::run() {
       ps.queue_wait.add(jp->first_started - jp->received);
     }
   }
+  const Accounting& acct = client_.accounting();
   res.final_rec.resize(sc_.projects.size());
   res.final_debt.resize(sc_.projects.size());
   for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
-    res.final_rec[p] = acct_.rec(static_cast<ProjectId>(p));
+    res.final_rec[p] = acct.rec(static_cast<ProjectId>(p));
     for (const auto t : kAllProcTypes) {
-      res.final_debt[p][t] = acct_.debt(static_cast<ProjectId>(p), t);
+      res.final_debt[p][t] = acct.debt(static_cast<ProjectId>(p), t);
     }
   }
+  res.rr_cache = client_.rr_cache_stats();
   return res;
 }
 

@@ -9,18 +9,19 @@
 ///
 /// "BCE uses a mix of emulation and simulation": the scheduling machinery
 /// (RR-sim, accounting, the job scheduler, work fetch) runs exactly as the
-/// client would run it; job execution, host availability, and the project
-/// schedulers are simulated.
+/// client would run it — that stack lives in ClientRuntime — while the
+/// Emulator itself is the simulation side: the clock, the event queue,
+/// host availability, the project servers, job execution, and metrics. It
+/// notifies the runtime of state changes (arrivals, completions, progress,
+/// availability) and applies the runtime's scheduling decisions; policy
+/// variants never appear here (they are strategy objects resolved through
+/// bce::policy_registry()).
 
 #include <memory>
 #include <vector>
 
-#include "client/accounting.hpp"
-#include "client/job_scheduler.hpp"
+#include "client/client_runtime.hpp"
 #include "client/policy.hpp"
-#include "client/rr_sim.hpp"
-#include "client/transfer.hpp"
-#include "client/work_fetch.hpp"
 #include "core/metrics.hpp"
 #include "core/timeline.hpp"
 #include "model/scenario.hpp"
@@ -69,6 +70,11 @@ struct EmulationResult {
   /// Final accounting state per project.
   std::vector<double> final_rec;
   std::vector<PerProc<double>> final_debt;
+
+  /// RR-sim memoization counters for the run (hits = re-simulations the
+  /// versioned cache avoided, typically one per scheduling step since the
+  /// fetch pass reuses the reschedule's output).
+  RrSim::CacheStats rr_cache;
 };
 
 /// Run one emulation. Deterministic given (scenario, options.policy,
@@ -82,6 +88,10 @@ class Emulator {
  public:
   Emulator(const Scenario& scenario, const EmulationOptions& options);
   EmulationResult run();
+
+  /// The client scheduling stack (tests inspect cache stats, DCF, policy
+  /// objects).
+  [[nodiscard]] const ClientRuntime& client() const { return client_; }
 
  private:
   // Main-loop helpers --------------------------------------------------
@@ -97,28 +107,26 @@ class Emulator {
   void handle_finished_transfers();
 
   [[nodiscard]] double task_rate(const Result& r) const;
-  [[nodiscard]] PerProc<double> expected_avail() const;
   void assign_slot(Result& r);
   void release_slot(Result& r);
   void preempt(Result& r, bool count);
 
+  /// Throws std::invalid_argument when \p sc is malformed; used to vet the
+  /// scenario before any subsystem is built from it.
+  static const Scenario& validated(const Scenario& sc);
+
   // Immutable inputs ----------------------------------------------------
   Scenario sc_;
   EmulationOptions opt_;
-  std::vector<double> share_frac_;
 
   // Simulation state ----------------------------------------------------
   Xoshiro256 rng_;
   HostAvailability avail_;
-  std::vector<ProjectServer> servers_;
-  std::vector<ProjectFetchState> fetch_states_;
-  Accounting acct_;
-  RrSim rrsim_;
-  JobScheduler sched_;
-  WorkFetch fetch_;
-  EventQueue queue_;
   Logger null_log_;
   Logger* log_;
+  ClientRuntime client_;
+  std::vector<ProjectServer> servers_;
+  EventQueue queue_;
 
   std::vector<std::unique_ptr<Result>> jobs_;  ///< stable addresses
   std::vector<Result*> active_;                ///< incomplete jobs
@@ -128,11 +136,6 @@ class Emulator {
   EventHandle avail_event_ = kNoEvent;
   EventHandle transfer_event_ = kNoEvent;
   std::vector<EventHandle> project_events_;
-  RrSimOutput last_rr_;
-  TransferManager transfers_;
-  /// Per-project duration-correction factor (BOINC DCF): the learned ratio
-  /// of actual to estimated job size, applied to new arrivals' estimates.
-  std::vector<double> dcf_;
 
   MetricsCollector metrics_;
   Timeline timeline_;

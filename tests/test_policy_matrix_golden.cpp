@@ -1,0 +1,133 @@
+// Golden-equivalence suite for the pluggable-policy refactor: the figures
+// of merit of every (JobSchedPolicy x FetchPolicy) combination on paper
+// scenarios 1-4 are pinned to the exact values the enum-dispatched
+// implementation produced (captured from commit 54a61d1's tree, before the
+// strategy/registry/ClientRuntime refactor landed).
+//
+// Unlike test_regression_golden (loose shape bands), these are *exact*
+// comparisons: the refactor must be a pure restructuring, bit-identical in
+// behavior. Doubles are compared with EXPECT_DOUBLE_EQ (4 ulps) to stay
+// robust against harmless FP-contraction differences across compilers
+// while still catching any real behavioral drift.
+
+#include <gtest/gtest.h>
+
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+
+namespace bce {
+namespace {
+
+struct MatrixGolden {
+  const char* scenario;
+  int sched;  // static_cast<int>(JobSchedPolicy)
+  int fetch;  // static_cast<int>(FetchPolicy)
+  double idle, wasted, share_violation, monotony, rpcs_per_job;
+  std::int64_t jobs_fetched, jobs_completed, jobs_missed;
+};
+
+// Captured with tools/capture_golden from the pre-refactor tree.
+const MatrixGolden kMatrix[] = {
+    {"s1", 0, 0, 0.0003472222222222765, 0.41625642344832148, 0.0015451097703927108, 0.26334052624086463, 1.017391304347826, 117, 115, 71},
+    {"s1", 0, 1, 0.0003472222222222765, 0.43933139669072285, 0.014158793063714259, 0.51857002398242458, 0.37168141592920356, 118, 113, 76},
+    {"s1", 0, 2, 0.0003472222222222765, 0.41188785067257661, 0.050332930594177004, 0.43022222623738743, 0.37962962962962965, 113, 108, 71},
+    {"s1", 1, 0, 0.0003472222222222765, 0.20252238329002931, 0.0022672464088125122, 0.36537281238107921, 1.017391304347826, 117, 115, 34},
+    {"s1", 1, 1, 0.0003472222222222765, 0.36726307720932638, 0.0070736668809174841, 0.60842996419510464, 0.35652173913043478, 116, 115, 65},
+    {"s1", 1, 2, 0.0003472222222222765, 0.3337844585068116, 0.047848184418558454, 0.5637976729193892, 0.37614678899082571, 114, 109, 59},
+    {"s1", 2, 0, 0.0003472222222222765, 0.094786957814778319, 0.001301232860473317, 0.37066990813168282, 1.008695652173913, 116, 115, 16},
+    {"s1", 2, 1, 0.0003472222222222765, 0.36726307720932638, 0.0070736668809174841, 0.60842996419510464, 0.35652173913043478, 116, 115, 65},
+    {"s1", 2, 2, 0.0003472222222222765, 0.3337844585068116, 0.047848184418558454, 0.5637976729193892, 0.37614678899082571, 114, 109, 59},
+    {"s1", 3, 0, 0.0003472222222222765, 0, 0.0007068177769892493, 0.44466073087712471, 1.0086206896551724, 117, 116, 0},
+    {"s1", 3, 1, 0.0003472222222222765, 0.36726307720932638, 0.0070736668809174841, 0.60842996419510464, 0.35652173913043478, 116, 115, 65},
+    {"s1", 3, 2, 0.0003472222222222765, 0.3337844585068116, 0.047848184418558454, 0.5637976729193892, 0.37614678899082571, 114, 109, 59},
+    {"s2", 0, 0, 0, 0, 0.35653875962763859, 0.26650645440124626, 0.99531615925058547, 443, 427, 0},
+    {"s2", 0, 1, 0, 0, 0.35805503673881756, 0.75753547962790091, 0.056074766355140186, 476, 428, 0},
+    {"s2", 0, 2, 0, 0, 0.27923334886693307, 0.80457325179473549, 0.049065420560747662, 472, 428, 0},
+    {"s2", 1, 0, 0, 0, 0.35653875962763859, 0.26650645440124626, 0.99531615925058547, 443, 427, 0},
+    {"s2", 1, 1, 0, 0, 0.35805503673881756, 0.75753547962790091, 0.056074766355140186, 476, 428, 0},
+    {"s2", 1, 2, 0, 0, 0.27923334886693307, 0.80457325179473549, 0.049065420560747662, 472, 428, 0},
+    {"s2", 2, 0, 0, 0, 0.22295955932044417, 0.076923076923076927, 0.99766899766899764, 444, 429, 0},
+    {"s2", 2, 1, 0, 0, 0.25198980468455456, 0.8314606741573034, 0.046728971962616821, 469, 428, 0},
+    {"s2", 2, 2, 0, 0, 0.27406646979786131, 0.82377512150269272, 0.049180327868852458, 474, 427, 0},
+    {"s2", 3, 0, 0, 0, 0.3595136293946799, 0.71022727272727271, 0.99767441860465111, 445, 430, 0},
+    {"s2", 3, 1, 0, 0, 0.35704143845254033, 0.86046511627906974, 0.055813953488372092, 459, 430, 0},
+    {"s2", 3, 2, 0, 0, 0.27793132830407286, 0.83992094861660083, 0.048837209302325581, 459, 430, 0},
+    {"s3", 0, 0, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 0, 1, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 0, 2, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 1, 0, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 1, 1, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 1, 2, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 2, 0, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 2, 1, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 2, 2, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 3, 0, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 3, 1, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s3", 3, 2, 0.00011574074074072183, 0, 0.5, 0.99310265547764109, 1, 1, 0, 0},
+    {"s4", 0, 0, 0, 0, 0.024992720051642235, 0.016393442622950821, 1.0851063829787233, 745, 705, 0},
+    {"s4", 0, 1, 0, 0, 0.056661522241062835, 0.016393442622950821, 0.052473763118440778, 724, 667, 0},
+    {"s4", 0, 2, 0, 0, 0.06532301059258093, 0.016393442622950821, 0.042553191489361701, 873, 799, 0},
+    {"s4", 1, 0, 0, 0, 0.024992720051642235, 0.016393442622950821, 1.0851063829787233, 745, 705, 0},
+    {"s4", 1, 1, 0, 0, 0.056661522241062835, 0.016393442622950821, 0.052473763118440778, 724, 667, 0},
+    {"s4", 1, 2, 0, 0, 0.06532301059258093, 0.016393442622950821, 0.042553191489361701, 873, 799, 0},
+    {"s4", 2, 0, 0, 0, 0.0090249537932356877, 0.032258064516129031, 1.0507131537242471, 678, 631, 0},
+    {"s4", 2, 1, 0, 0, 0.052329717854761822, 0.40671809869649822, 0.045045045045045043, 784, 666, 0},
+    {"s4", 2, 2, 0, 0, 0.063889199914230033, 0.016393442622950821, 0.040243902439024391, 872, 820, 0},
+    {"s4", 3, 0, 0, 0, 0.025788573507666085, 0.49686610217132066, 1.0931849791376913, 791, 719, 0},
+    {"s4", 3, 1, 0, 0, 0.067519805683064801, 0.89395870109091358, 0.033557046979865772, 813, 745, 0},
+    {"s4", 3, 2, 0, 0, 0.062834435490452964, 0.016393442622950821, 0.035236938031591739, 876, 823, 0},
+};
+
+Scenario make_scenario(const std::string& name) {
+  if (name == "s1") {
+    Scenario sc = paper_scenario1(1500.0);
+    sc.duration = 2.0 * kSecondsPerDay;
+    return sc;
+  }
+  if (name == "s2") {
+    Scenario sc = paper_scenario2();
+    sc.duration = 2.0 * kSecondsPerDay;
+    return sc;
+  }
+  if (name == "s3") {
+    Scenario sc = paper_scenario3();
+    sc.duration = 6.0 * kSecondsPerDay;
+    return sc;
+  }
+  Scenario sc = paper_scenario4();
+  sc.duration = 2.0 * kSecondsPerDay;
+  return sc;
+}
+
+class PolicyMatrixGolden : public ::testing::TestWithParam<MatrixGolden> {};
+
+TEST_P(PolicyMatrixGolden, ExactFiguresOfMerit) {
+  const MatrixGolden& g = GetParam();
+  const Scenario sc = make_scenario(g.scenario);
+  EmulationOptions opt;
+  opt.policy.sched = static_cast<JobSchedPolicy>(g.sched);
+  opt.policy.fetch = static_cast<FetchPolicy>(g.fetch);
+  const Metrics m = emulate(sc, opt).metrics;
+
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), g.idle);
+  EXPECT_DOUBLE_EQ(m.wasted_fraction(), g.wasted);
+  EXPECT_DOUBLE_EQ(m.share_violation(), g.share_violation);
+  EXPECT_DOUBLE_EQ(m.monotony, g.monotony);
+  EXPECT_DOUBLE_EQ(m.rpcs_per_job(), g.rpcs_per_job);
+  EXPECT_EQ(m.n_jobs_fetched, g.jobs_fetched);
+  EXPECT_EQ(m.n_jobs_completed, g.jobs_completed);
+  EXPECT_EQ(m.n_jobs_missed, g.jobs_missed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, PolicyMatrixGolden, ::testing::ValuesIn(kMatrix),
+    [](const ::testing::TestParamInfo<MatrixGolden>& info) {
+      PolicyConfig pc;
+      pc.sched = static_cast<JobSchedPolicy>(info.param.sched);
+      pc.fetch = static_cast<FetchPolicy>(info.param.fetch);
+      return std::string(info.param.scenario) + "_" + pc.sched_name() + "_" +
+             pc.fetch_name();
+    });
+
+}  // namespace
+}  // namespace bce

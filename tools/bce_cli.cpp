@@ -5,14 +5,19 @@
 // figures of merit, timeline, and message log out, or sweep policies.
 //
 //   bce run <scenario> [options]       emulate one scenario
-//   bce compare <scenario> [options]   all 6 policy combinations, one table
+//   bce compare <scenario> [options]   every registered policy pair, one table
 //   bce sweep <scenario> --param min_queue --values 600,3600,14400
 //   bce sample [n] [days]              Monte-Carlo population comparison
 //   bce print <scenario>               parse, validate and echo a scenario
+//   bce list-policies                  registered policies (also --list-policies)
 //
 // Common options:
-//   --policy wrr|local|global     job scheduling policy   (default global)
-//   --fetch orig|hyst             job fetch policy        (default hyst)
+//   --sched NAME                  job scheduling policy by registry name or
+//                                 alias (JS_WRR/wrr, JS_LOCAL/local,
+//                                 JS_GLOBAL/global, JS_EDF/edf, ...)
+//   --fetch NAME                  job fetch policy likewise (JF_ORIG/orig,
+//                                 JF_HYSTERESIS/hyst, JF_RR/rr, ...)
+//   --policy wrr|local|global     legacy spelling of --sched
 //   --half-life SECONDS           REC half-life           (default 10 days)
 //   --server-deadline-check       enable the server-side deadline check
 //   --fetch-suppression           don't fetch from overcommitted projects
@@ -50,17 +55,41 @@ struct CliOptions {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
-      "usage: bce <run|compare|sweep|sample|print> [scenario-file] [options]\n"
-      "  run      emulate one scenario and report the figures of merit\n"
-      "  compare  run all scheduling x fetch policy combinations\n"
-      "  sweep    sweep a preference (--param min_queue|max_queue|half_life\n"
-      "           --values v1,v2,...)\n"
-      "  sample   [n] [days]: Monte-Carlo population policy comparison\n"
-      "  print    parse, validate and echo a scenario file\n"
-      "options: --policy wrr|local|global  --fetch orig|hyst\n"
+      "usage: bce <run|compare|sweep|sample|print|list-policies>\n"
+      "           [scenario-file] [options]\n"
+      "  run            emulate one scenario and report the figures of merit\n"
+      "  compare        run every registered scheduling x fetch policy pair\n"
+      "  sweep          sweep a preference (--param min_queue|max_queue|\n"
+      "                 half_life --values v1,v2,...)\n"
+      "  sample         [n] [days]: Monte-Carlo population policy comparison\n"
+      "  print          parse, validate and echo a scenario file\n"
+      "  list-policies  list the registered policies and their aliases\n"
+      "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
+      "         see list-policies)  --policy wrr|local|global (legacy)\n"
       "         --half-life S  --server-deadline-check  --fetch-suppression\n"
       "         --days N  --seed N  --timeline  --log CATS  --threads N\n";
   std::exit(2);
+}
+
+int cmd_list_policies() {
+  auto print = [](const char* kind,
+                  const std::vector<PolicyRegistryEntry>& entries) {
+    std::cout << kind << ":\n";
+    for (const auto& e : entries) {
+      std::cout << "  " << e.name;
+      if (!e.aliases.empty()) {
+        std::cout << " (";
+        for (std::size_t i = 0; i < e.aliases.size(); ++i) {
+          std::cout << (i ? ", " : "") << e.aliases[i];
+        }
+        std::cout << ")";
+      }
+      std::cout << " — " << e.description << "\n";
+    }
+  };
+  print("job scheduling policies", policy_registry().job_order_entries());
+  print("job fetch policies", policy_registry().fetch_entries());
+  return 0;
 }
 
 std::vector<double> parse_values(const std::string& csv) {
@@ -81,6 +110,8 @@ CliOptions parse_options(int argc, char** argv, int first,
       return argv[++i];
     };
     if (a == "--policy") {
+      // Legacy spelling, kept for compatibility; --sched accepts any
+      // registered name or alias.
       const std::string v = need_value();
       if (v == "wrr") {
         o.policy.sched = JobSchedPolicy::kWrr;
@@ -91,15 +122,20 @@ CliOptions parse_options(int argc, char** argv, int first,
       } else {
         usage("unknown --policy");
       }
+    } else if (a == "--sched") {
+      const std::string v = need_value();
+      if (!policy_registry().has_job_order(v)) {
+        usage(("unknown --sched '" + v + "' (see bce list-policies)").c_str());
+      }
+      o.policy.sched_by_name = v;
     } else if (a == "--fetch") {
       const std::string v = need_value();
-      if (v == "orig") {
-        o.policy.fetch = FetchPolicy::kOrig;
-      } else if (v == "hyst") {
-        o.policy.fetch = FetchPolicy::kHysteresis;
-      } else {
-        usage("unknown --fetch");
+      if (!policy_registry().has_fetch(v)) {
+        usage(("unknown --fetch '" + v + "' (see bce list-policies)").c_str());
       }
+      o.policy.fetch_by_name = v;
+    } else if (a == "--list-policies") {
+      std::exit(cmd_list_policies());
     } else if (a == "--half-life") {
       o.policy.rec_half_life = std::stod(need_value());
     } else if (a == "--server-deadline-check") {
@@ -183,8 +219,8 @@ int cmd_run(const std::string& path, const CliOptions& o) {
 
   std::cout << "scenario '" << sc.name << "', "
             << sc.duration / kSecondsPerDay << " days, "
-            << opt.policy.sched_name() << " + " << opt.policy.fetch_name()
-            << "\n"
+            << opt.policy.selected_sched_name() << " + "
+            << opt.policy.selected_fetch_name() << "\n"
             << res.metrics.summary() << "\n\nusage vs share:\n";
   for (std::size_t p = 0; p < sc.projects.size(); ++p) {
     std::cout << "  " << sc.projects[p].name << ": share "
@@ -199,20 +235,14 @@ int cmd_run(const std::string& path, const CliOptions& o) {
 
 int cmd_compare(const std::string& path, const CliOptions& o) {
   const Scenario sc = load(path, o);
-  std::vector<RunSpec> specs;
-  for (const auto sched :
-       {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal, JobSchedPolicy::kGlobal}) {
-    for (const auto fetch : {FetchPolicy::kOrig, FetchPolicy::kHysteresis}) {
-      RunSpec spec;
-      spec.scenario = sc;
-      spec.options.policy = o.policy;
-      spec.options.policy.sched = sched;
-      spec.options.policy.fetch = fetch;
-      spec.label = std::string(spec.options.policy.sched_name()) + "+" +
-                   spec.options.policy.fetch_name();
-      specs.push_back(std::move(spec));
-    }
-  }
+  // Registry-driven: every registered (scheduling, fetch) pair, including
+  // policies user code registered before calling into the CLI's library
+  // entry points.
+  EmulationOptions base;
+  base.policy = o.policy;
+  base.policy.sched_by_name.clear();
+  base.policy.fetch_by_name.clear();
+  const std::vector<RunSpec> specs = policy_matrix_specs(sc, base);
   const auto results = run_batch(specs, o.threads);
   Table t({"policy", "idle", "wasted", "share_viol", "monotony", "rpcs/job",
            "score"});
@@ -311,6 +341,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "sample") return cmd_sample(argc, argv);
+    if (cmd == "list-policies") return cmd_list_policies();
 
     std::string path;
     const CliOptions o = parse_options(argc, argv, 2, &path);

@@ -1,0 +1,52 @@
+// One-off: print exact figures of merit for scenarios 1-4 across the full
+// (sched x fetch) policy matrix, formatted as initializers for the
+// golden-equivalence test. Not built by default.
+
+#include <cstdio>
+
+#include "core/bce.hpp"
+
+using namespace bce;
+
+int main() {
+  struct S {
+    const char* name;
+    Scenario sc;
+    double days;
+  };
+  std::vector<S> scenarios;
+  scenarios.push_back({"s1", paper_scenario1(1500.0), 2.0});
+  scenarios.push_back({"s2", paper_scenario2(), 2.0});
+  scenarios.push_back({"s3", paper_scenario3(), 6.0});
+  scenarios.push_back({"s4", paper_scenario4(), 2.0});
+
+  const JobSchedPolicy scheds[] = {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal,
+                                   JobSchedPolicy::kGlobal,
+                                   JobSchedPolicy::kEdfOnly};
+  const FetchPolicy fetches[] = {FetchPolicy::kOrig, FetchPolicy::kHysteresis,
+                                 FetchPolicy::kRoundRobin};
+
+  for (const auto& s : scenarios) {
+    for (const auto sched : scheds) {
+      for (const auto fetch : fetches) {
+        Scenario sc = s.sc;
+        sc.duration = s.days * kSecondsPerDay;
+        EmulationOptions opt;
+        opt.policy.sched = sched;
+        opt.policy.fetch = fetch;
+        const EmulationResult res = emulate(sc, opt);
+        const Metrics& m = res.metrics;
+        std::printf(
+            "    {\"%s\", %d, %d, %.17g, %.17g, %.17g, %.17g, %.17g, %lld, "
+            "%lld, %lld},\n",
+            s.name, static_cast<int>(sched), static_cast<int>(fetch),
+            m.idle_fraction(), m.wasted_fraction(), m.share_violation(),
+            m.monotony, m.rpcs_per_job(),
+            static_cast<long long>(m.n_jobs_fetched),
+            static_cast<long long>(m.n_jobs_completed),
+            static_cast<long long>(m.n_jobs_missed));
+      }
+    }
+  }
+  return 0;
+}
