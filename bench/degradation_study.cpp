@@ -1,0 +1,163 @@
+// Degradation study: how gracefully does each scheduling policy lose
+// performance as the environment gets hostile? (docs/faults.md)
+//
+//   D1  fault presets (off/light/heavy) across the full policy matrix
+//   D2  job compute-error rate sweep        (throughput + wasted capacity)
+//   D3  host crash MTBF x checkpoint period (recovery interplay)
+//   D4  scheduler-RPC loss sweep            (retry traffic, orphaned jobs)
+//   D5  transfer error rate, resumable vs restart-from-zero downloads
+//
+// All runs share a seed, so every row of a table sees the same availability
+// and job-size draws; only the fault channels differ.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/bce.hpp"
+
+namespace {
+
+using namespace bce;
+
+Metrics run(const Scenario& sc, const PolicyConfig& pol) {
+  EmulationOptions opt;
+  opt.policy = pol;
+  return emulate(sc, opt).metrics;
+}
+
+PolicyConfig base_policy(const std::string& sched = "JS_GLOBAL",
+                         const std::string& fetch = "JF_HYSTERESIS") {
+  PolicyConfig pol;
+  pol.sched_by_name = sched;
+  pol.fetch_by_name = fetch;
+  return pol;
+}
+
+void fault_row(Table& t, const std::string& label, const Metrics& m) {
+  t.add_row({label, fmt(m.weighted_score()), fmt(m.wasted_fraction()),
+             fmt(m.failure_wasted_fraction()), fmt(m.retries_per_job(), 2),
+             fmt(m.mean_recovery_time(), 0),
+             std::to_string(m.n_jobs_completed)});
+}
+
+void d1_policy_matrix() {
+  std::cout << "\nD1: fault presets across the policy registry (scenario 2, "
+               "10 days)\n";
+  struct Level {
+    const char* name;
+    FaultPlan plan;
+  };
+  const Level levels[] = {{"off", FaultPlan{}},
+                          {"light", FaultPlan::light()},
+                          {"heavy", FaultPlan::heavy()}};
+  for (const Level& lv : levels) {
+    Scenario sc = paper_scenario2();
+    sc.faults = lv.plan;
+    // Registry-driven: every registered (scheduling, fetch) pair, so a
+    // policy registered by user code is swept automatically.
+    const std::vector<RunSpec> specs = policy_matrix_specs(sc, {});
+    const auto results = run_batch(specs);
+    std::cout << "faults=" << lv.name << ":\n";
+    Table t({"policy", "score", "wasted", "fail_wasted", "retries/job",
+             "recovery(s)", "completed"});
+    for (const auto& r : results) {
+      fault_row(t, r.label, r.result.metrics);
+    }
+    t.print(std::cout);
+  }
+}
+
+void d2_job_errors() {
+  std::cout << "\nD2: job compute-error rate (scenario 2; errors waste the "
+               "FLOPs spent and free the server slot on report)\n";
+  Table t({"error rate", "score", "wasted", "fail_wasted", "retries/job",
+           "recovery(s)", "completed"});
+  for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    Scenario sc = paper_scenario2();
+    sc.faults.job_error_rate = rate;
+    fault_row(t, fmt(rate, 2), run(sc, base_policy()));
+  }
+  t.print(std::cout);
+}
+
+void d3_crashes_vs_checkpoints() {
+  std::cout << "\nD3: host crash MTBF x checkpoint period (scenario 1, slack "
+               "1500 s; crashes roll running work back to the last "
+               "checkpoint)\n";
+  Table t({"MTBF", "checkpoint", "crashes", "wasted", "recovery(s)",
+           "completed"});
+  for (const double mtbf : {kSecondsPerDay, kSecondsPerDay / 4.0}) {
+    for (const double cp : {60.0, 600.0, kNever}) {
+      Scenario sc = paper_scenario1(1500.0);
+      sc.faults.crash_mtbf = mtbf;
+      sc.faults.crash_reboot_delay = 300.0;
+      for (auto& p : sc.projects) {
+        for (auto& jc : p.job_classes) jc.checkpoint_period = cp;
+      }
+      const Metrics m = run(sc, base_policy());
+      t.add_row({fmt(mtbf / 3600.0, 0) + "h",
+                 std::isfinite(cp) ? fmt(cp, 0) : "never",
+                 std::to_string(m.n_host_crashes), fmt(m.wasted_fraction()),
+                 fmt(m.mean_recovery_time(), 0),
+                 std::to_string(m.n_jobs_completed)});
+    }
+  }
+  t.print(std::cout);
+}
+
+void d4_rpc_loss() {
+  std::cout << "\nD4: scheduler-RPC loss (scenario 4; lost replies orphan "
+               "assigned jobs until the server reclaims them)\n";
+  Table t({"loss rate", "rpcs", "lost", "orphaned", "retries/job", "idle",
+           "completed"});
+  for (const double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    Scenario sc = paper_scenario4();
+    sc.faults.rpc_loss_rate = rate;
+    sc.faults.rpc_timeout = 3600.0;
+    const Metrics m = run(sc, base_policy());
+    t.add_row({fmt(rate, 2), std::to_string(m.n_rpcs),
+               std::to_string(m.n_rpcs_lost),
+               std::to_string(m.n_jobs_orphaned),
+               fmt(m.retries_per_job(), 2), fmt(m.idle_fraction()),
+               std::to_string(m.n_jobs_completed)});
+  }
+  t.print(std::cout);
+}
+
+void d5_transfer_errors() {
+  std::cout << "\nD5: download error rate, resumable vs restart-from-zero "
+               "(scenario 1, slack 1800 s, 0.2 MB/s link, 0.1 GB inputs)\n";
+  Table t({"error rate", "resumable", "xfer retries", "wasted", "idle",
+           "completed"});
+  for (const double rate : {0.0, 0.1, 0.25}) {
+    for (const bool resumable : {true, false}) {
+      if (rate == 0.0 && !resumable) continue;  // identical to resumable row
+      Scenario sc = paper_scenario1(1800.0);
+      sc.host.download_bandwidth_bps = 2e5;
+      for (auto& p : sc.projects) {
+        p.transfers_resumable = resumable;
+        for (auto& jc : p.job_classes) jc.input_bytes = 1e8;
+      }
+      sc.faults.transfer_error_rate = rate;
+      sc.faults.transfer_retry_min = 30.0;
+      const Metrics m = run(sc, base_policy());
+      t.add_row({fmt(rate, 2), resumable ? "yes" : "no",
+                 std::to_string(m.n_transfer_retries),
+                 fmt(m.wasted_fraction()), fmt(m.idle_fraction()),
+                 std::to_string(m.n_jobs_completed)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Degradation study (fault injection) ===\n";
+  d1_policy_matrix();
+  d2_job_errors();
+  d3_crashes_vs_checkpoints();
+  d4_rpc_loss();
+  d5_transfer_errors();
+  return 0;
+}

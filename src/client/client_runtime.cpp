@@ -30,8 +30,14 @@ ClientRuntime::ClientRuntime(const Scenario& scenario,
       rrsim_(scenario.host, scenario.prefs, {}),
       sched_(scenario.host, scenario.prefs, policy),
       fetch_(scenario.host, scenario.prefs, policy),
-      transfers_(scenario.host.download_bandwidth_bps,
-                 policy.transfer_order) {
+      transfers_(scenario.host.download_bandwidth_bps, policy.transfer_order,
+                 scenario.faults.transfer_error_rate,
+                 scenario.faults.transfer_retry_min,
+                 scenario.faults.transfer_retry_max,
+                 // Independent stream: labels are unique program-wide, so a
+                 // fresh root seeded like the emulator's yields a stream no
+                 // other consumer shares (and zero draws at rate 0).
+                 Xoshiro256(scenario.seed).fork("fault.transfer")) {
   const std::size_t n = scenario.projects.size();
   share_frac_.resize(n);
   dcf_.assign(n, 1.0);
@@ -114,6 +120,11 @@ void ClientRuntime::on_job_completed(const Result& r) {
   bump();
 }
 
+void ClientRuntime::on_job_failed(const Result& r) {
+  (void)r;
+  bump();
+}
+
 void ClientRuntime::on_progress() { bump(); }
 
 void ClientRuntime::on_jobs_runnable() { bump(); }
@@ -129,6 +140,11 @@ void ClientRuntime::on_rpc_reply(SimTime now, const WorkRequest& req,
                                  const RpcReply& reply, ProjectId p) {
   fetch_.on_reply(now, req, reply, fetch_states_[static_cast<std::size_t>(p)],
                   *log_);
+}
+
+SimTime ClientRuntime::on_rpc_lost(SimTime now, ProjectId p) {
+  return fetch_.on_reply_lost(now, fetch_states_[static_cast<std::size_t>(p)],
+                              *log_);
 }
 
 SimTime ClientRuntime::next_allowed_rpc(ProjectId p) const {

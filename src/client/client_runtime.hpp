@@ -83,6 +83,11 @@ class ClientRuntime {
   /// BOINC).
   void on_job_completed(const Result& r);
 
+  /// A job terminated abnormally (compute error or abort, FaultPlan
+  /// channel 1): it leaves the queue, so RR-sim inputs changed. The DCF
+  /// learns nothing from a failed job (its runtime is censored).
+  void on_job_failed(const Result& r);
+
   /// Running jobs progressed (flops_done advanced) over an interval.
   void on_progress();
 
@@ -97,6 +102,10 @@ class ClientRuntime {
   void on_rpc_sent(SimTime now, ProjectId p, bool work_request);
   void on_rpc_reply(SimTime now, const WorkRequest& req,
                     const RpcReply& reply, ProjectId p);
+  /// The reply to an RPC was lost in flight (FaultPlan channel 3): grow
+  /// the retry backoff and return the earliest retry time so the emulator
+  /// can schedule a deferral event.
+  SimTime on_rpc_lost(SimTime now, ProjectId p);
   [[nodiscard]] SimTime next_allowed_rpc(ProjectId p) const;
 
   // ---- accounting ------------------------------------------------------

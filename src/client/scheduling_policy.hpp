@@ -89,6 +89,13 @@ struct ProjectFetchState {
   /// Per-type backoff after "no jobs of this type" replies.
   PerProc<SimTime> type_backoff_until{};
   PerProc<Duration> type_backoff_len{};
+
+  /// Retry backoff after a scheduler reply was lost in flight
+  /// (FaultPlan::rpc_loss). Distinct from project_backoff_len: a lost
+  /// reply signals a flaky network, not a down server, so it starts
+  /// shorter (WorkFetch::kRetryBackoffMin) and resets on any reply that
+  /// does arrive.
+  Duration rpc_retry_backoff_len = 0.0;
 };
 
 /// Immutable per-decision inputs handed to WorkFetchPolicy hooks.

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace bce {
 
-bool TransferManager::add(JobId id, double bytes, SimTime deadline,
-                          SimTime now) {
+bool TransferManager::add(JobId id, double bytes, SimTime deadline, SimTime now,
+                          bool resumable) {
   // The caller must have advanced the manager to `now` already (the
   // emulator advances all state before dispatching events), otherwise the
   // new transfer would retroactively absorb bandwidth.
@@ -19,16 +20,35 @@ bool TransferManager::add(JobId id, double bytes, SimTime deadline,
   Xfer x;
   x.id = id;
   x.bytes_left = bytes;
+  x.bytes_total = bytes;
   x.deadline = deadline;
   x.seq = next_seq_++;
+  x.resumable = resumable;
+  arm(x);
   xfers_.push_back(x);
   return false;
 }
 
-std::size_t TransferManager::active_index() const {
-  if (xfers_.empty()) return xfers_.size();
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < xfers_.size(); ++i) {
+void TransferManager::arm(Xfer& x) {
+  x.fail_after_bytes = std::numeric_limits<double>::infinity();
+  if (error_rate_ <= 0.0) return;
+  if (rng_.uniform01() < error_rate_) {
+    // The attempt errors partway through the bytes it was going to move;
+    // clamp strictly inside (0,1) so it neither fails instantly nor
+    // coincides with its own completion.
+    x.fail_after_bytes =
+        clamp(rng_.uniform01(), 1e-6, 1.0 - 1e-6) * x.bytes_left;
+  }
+}
+
+std::size_t TransferManager::active_index(SimTime t) const {
+  std::size_t best = xfers_.size();
+  for (std::size_t i = 0; i < xfers_.size(); ++i) {
+    if (!active(xfers_[i], t)) continue;
+    if (best == xfers_.size()) {
+      best = i;
+      continue;
+    }
     const bool earlier =
         order_ == TransferOrder::kEdf
             ? (xfers_[i].deadline < xfers_[best].deadline ||
@@ -45,26 +65,58 @@ void TransferManager::advance_to(SimTime now, bool network_on) {
   last_update_ = std::max(last_update_, now);
   if (dt <= 0.0 || xfers_.empty() || !network_on || !modeled()) return;
 
-  // Within [last_update, now] the active set only shrinks (completions);
-  // iterate segment by segment.
+  // Within [last_update, now] the active set changes only at completions,
+  // failures and retry expiries; iterate segment by segment.
   while (dt > 0.0 && !xfers_.empty()) {
+    const SimTime t = now - dt;
+
+    // Time until the next waiting transfer re-activates (its backoff
+    // expiry changes the bandwidth sharing mid-interval).
+    double dt_activate = std::numeric_limits<double>::infinity();
+    std::size_t n_active = 0;
+    for (const auto& x : xfers_) {
+      if (active(x, t)) {
+        ++n_active;
+      } else {
+        dt_activate = std::min(dt_activate, x.retry_at - t);
+      }
+    }
+    if (n_active == 0) {
+      // Everyone is backing off; jump to the first retry (or to now).
+      if (dt_activate >= dt) return;
+      dt -= dt_activate;
+      continue;
+    }
+
     if (order_ == TransferOrder::kFairShare) {
-      const double rate = bandwidth_ / static_cast<double>(xfers_.size());
-      // Time until the first of the current set completes.
+      const double rate = bandwidth_ / static_cast<double>(n_active);
+      // Time until the first of the current set completes or errors.
       double dt_first = std::numeric_limits<double>::infinity();
       for (const auto& x : xfers_) {
-        dt_first = std::min(dt_first, x.bytes_left / rate);
+        if (!active(x, t)) continue;
+        dt_first =
+            std::min(dt_first, std::min(x.bytes_left, x.fail_after_bytes) / rate);
       }
-      const double step = std::min(dt, dt_first);
-      for (auto& x : xfers_) x.bytes_left -= rate * step;
+      const double step = std::min(dt, std::min(dt_first, dt_activate));
+      for (auto& x : xfers_) {
+        if (!active(x, t)) continue;
+        x.bytes_left -= rate * step;
+        x.fail_after_bytes -= rate * step;
+      }
       dt -= step;
     } else {
-      auto& x = xfers_[active_index()];
-      const double step = std::min(dt, x.bytes_left / bandwidth_);
+      auto& x = xfers_[active_index(t)];
+      const double dt_x = std::min(x.bytes_left, x.fail_after_bytes) / bandwidth_;
+      const double step = std::min(dt, std::min(dt_x, dt_activate));
       x.bytes_left -= bandwidth_ * step;
+      x.fail_after_bytes -= bandwidth_ * step;
       dt -= step;
     }
-    // Collect completions (bytes exhausted within tolerance).
+    const SimTime boundary = now - dt;
+
+    // Collect completions (bytes exhausted within tolerance). A transfer
+    // whose failure point coincides with its completion completes: the
+    // last byte arrived.
     bool removed = true;
     while (removed) {
       removed = false;
@@ -82,23 +134,71 @@ void TransferManager::advance_to(SimTime now, bool network_on) {
         removed = true;
       }
     }
+
+    // Process mid-flight failures, in seq order (deterministic RNG use).
+    bool failed = true;
+    while (failed) {
+      failed = false;
+      std::size_t worst = xfers_.size();
+      for (std::size_t i = 0; i < xfers_.size(); ++i) {
+        if (xfers_[i].fail_after_bytes <= 1e-6 && xfers_[i].bytes_left > 1e-6 &&
+            (worst == xfers_.size() || xfers_[i].seq < xfers_[worst].seq)) {
+          worst = i;
+        }
+      }
+      if (worst < xfers_.size()) {
+        Xfer& x = xfers_[worst];
+        ++retries_;
+        x.backoff_len = x.backoff_len <= 0.0
+                            ? retry_min_
+                            : std::min(retry_max_, x.backoff_len * 2.0);
+        x.retry_at = boundary + x.backoff_len;
+        if (!x.resumable) x.bytes_left = x.bytes_total;
+        arm(x);
+        failed = true;
+      }
+    }
   }
 }
 
 SimTime TransferManager::next_completion(bool network_on) const {
   if (xfers_.empty() || !network_on || !modeled()) return kNever;
-  if (order_ == TransferOrder::kFairShare) {
-    // All share the link; the smallest remaining transfer finishes first,
-    // but the set may shrink before then — conservatively report the time
-    // assuming the current sharing persists (the emulator re-queries after
-    // every event, so this self-corrects).
-    const double rate = bandwidth_ / static_cast<double>(xfers_.size());
-    double dt = std::numeric_limits<double>::infinity();
-    for (const auto& x : xfers_) dt = std::min(dt, x.bytes_left / rate);
-    return last_update_ + dt;
+  SimTime best = kNever;
+  std::size_t n_active = 0;
+  for (const auto& x : xfers_) {
+    if (active(x, last_update_)) {
+      ++n_active;
+    } else {
+      best = std::min(best, x.retry_at);  // wake to restart the attempt
+    }
   }
-  const auto& x = xfers_[active_index()];
-  return last_update_ + x.bytes_left / bandwidth_;
+  if (n_active == 0) return best;
+  double dt = std::numeric_limits<double>::infinity();
+  if (order_ == TransferOrder::kFairShare) {
+    // All active transfers share the link; the smallest remaining one
+    // finishes (or errors) first, but the set may change before then —
+    // conservatively report the time assuming the current sharing
+    // persists (the emulator re-queries after every event, so this
+    // self-corrects).
+    const double rate = bandwidth_ / static_cast<double>(n_active);
+    for (const auto& x : xfers_) {
+      if (!active(x, last_update_)) continue;
+      dt = std::min(dt, std::min(x.bytes_left, x.fail_after_bytes) / rate);
+    }
+  } else {
+    const auto& x = xfers_[active_index(last_update_)];
+    dt = std::min(x.bytes_left, x.fail_after_bytes) / bandwidth_;
+  }
+  // After many failed resumable attempts the next fail point can be so
+  // close that last_update_ + dt rounds back to last_update_; returning a
+  // non-advancing time would spin the emulator's event loop forever at
+  // the same timestamp. Bump to the next representable instant so the
+  // event fires with dt > 0 and the failure actually gets processed.
+  SimTime when = last_update_ + dt;
+  if (std::isfinite(when) && when <= last_update_) {
+    when = std::nextafter(last_update_, std::numeric_limits<double>::infinity());
+  }
+  return std::min(best, when);
 }
 
 std::vector<JobId> TransferManager::take_completed() {

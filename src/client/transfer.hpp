@@ -14,10 +14,21 @@
 /// FIFO, and EDF by job deadline. Transfers pause while the network is
 /// unavailable. Result uploads are assumed negligible, as in BOINC's
 /// common case of small output files.
+///
+/// Fault injection (FaultPlan::transfer_error_rate): each download
+/// *attempt* may error mid-flight at a uniformly random point in the bytes
+/// it would have moved. A failed attempt backs off exponentially
+/// (retry_min doubling up to retry_max) and then retries, resuming from
+/// the bytes already fetched or restarting from zero depending on the
+/// project (ProjectConfig::transfers_resumable). A transfer waiting out
+/// its backoff consumes no link bandwidth. Failure points draw from the
+/// manager's own RNG stream ("fault.transfer"); a zero error rate draws
+/// nothing, preserving fault-free runs bit-for-bit.
 
 #include <vector>
 
 #include "client/policy.hpp"
+#include "sim/rng.hpp"
 #include "sim/types.hpp"
 
 namespace bce {
@@ -25,23 +36,37 @@ namespace bce {
 class TransferManager {
  public:
   /// \p bandwidth_bps: download bandwidth in bytes/second; <= 0 means the
-  /// link is not modeled and every add() completes instantly.
-  TransferManager(double bandwidth_bps, TransferOrder order)
-      : bandwidth_(bandwidth_bps), order_(order) {}
+  /// link is not modeled and every add() completes instantly. The fault
+  /// parameters default to "no faults"; \p rng is the "fault.transfer"
+  /// stream and is only drawn from when \p error_rate > 0.
+  TransferManager(double bandwidth_bps, TransferOrder order,
+                  double error_rate = 0.0, double retry_min = 60.0,
+                  double retry_max = 3600.0, Xoshiro256 rng = Xoshiro256(0))
+      : bandwidth_(bandwidth_bps),
+        order_(order),
+        error_rate_(error_rate),
+        retry_min_(retry_min),
+        retry_max_(retry_max),
+        rng_(rng) {}
 
   /// Enqueue a download of \p bytes for job \p id at time \p now.
   /// Returns true if the transfer completed immediately (no link model or
-  /// zero bytes).
-  bool add(JobId id, double bytes, SimTime deadline, SimTime now);
+  /// zero bytes). \p resumable: whether an errored attempt keeps the bytes
+  /// already fetched.
+  bool add(JobId id, double bytes, SimTime deadline, SimTime now,
+           bool resumable = true);
 
   /// Progress active transfers through [last update, now]. \p network_on
   /// must reflect the network state over that whole interval (the emulator
   /// guarantees availability is constant between events). Completed jobs
-  /// are moved to the completed list.
+  /// are moved to the completed list; errored attempts are re-armed behind
+  /// their retry backoff.
   void advance_to(SimTime now, bool network_on);
 
-  /// Absolute time the next transfer finishes if the network stays up;
-  /// kNever when nothing is pending or the network is down.
+  /// Absolute time of the next transfer *event* if the network stays up:
+  /// a completion, a mid-flight failure, or a retry-backoff expiry.
+  /// kNever when nothing is pending or the network is down. May be
+  /// conservative (early); the emulator re-queries after every event.
   [[nodiscard]] SimTime next_completion(bool network_on) const;
 
   /// Jobs whose downloads finished since the last call (in completion
@@ -52,24 +77,47 @@ class TransferManager {
   [[nodiscard]] bool modeled() const { return bandwidth_ > 0.0; }
   [[nodiscard]] double bandwidth() const { return bandwidth_; }
 
+  /// Total errored download attempts so far (feeds retries-per-job).
+  [[nodiscard]] std::int64_t retries() const { return retries_; }
+
  private:
   struct Xfer {
     JobId id = kNoJob;
     double bytes_left = 0.0;
+    double bytes_total = 0.0;
     SimTime deadline = 0.0;
     std::uint64_t seq = 0;  // arrival order
+    /// Bytes this attempt moves before erroring; +inf = healthy attempt.
+    double fail_after_bytes = 0.0;
+    /// Absolute time the next attempt may start; 0 while active.
+    SimTime retry_at = 0.0;
+    Duration backoff_len = 0.0;
+    bool resumable = true;
   };
 
-  /// Index of the single active transfer under FIFO/EDF; npos-like value
-  /// when none.
-  [[nodiscard]] std::size_t active_index() const;
+  /// Draw the fail point for the upcoming attempt of \p x. No draw when
+  /// the error rate is zero.
+  void arm(Xfer& x);
+
+  [[nodiscard]] bool active(const Xfer& x, SimTime t) const {
+    return x.retry_at <= t + kFpEpsilon;
+  }
+
+  /// Index of the single transfer served under FIFO/EDF among those active
+  /// at time \p t; xfers_.size() when none.
+  [[nodiscard]] std::size_t active_index(SimTime t) const;
 
   double bandwidth_;
   TransferOrder order_;
+  double error_rate_;
+  Duration retry_min_;
+  Duration retry_max_;
+  Xoshiro256 rng_;
   std::vector<Xfer> xfers_;
   std::vector<JobId> completed_;
   SimTime last_update_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::int64_t retries_ = 0;
 };
 
 }  // namespace bce

@@ -117,9 +117,24 @@ void WorkFetch::on_rpc_sent(SimTime now, ProjectFetchState& state,
   if (work_request) state.last_work_rpc = now;
 }
 
+SimTime WorkFetch::on_reply_lost(SimTime now, ProjectFetchState& state,
+                                 Logger& log) const {
+  state.rpc_retry_backoff_len =
+      state.rpc_retry_backoff_len <= 0.0
+          ? kRetryBackoffMin
+          : std::min(kBackoffMax, state.rpc_retry_backoff_len * 2.0);
+  state.next_allowed_rpc =
+      std::max(state.next_allowed_rpc, now + state.rpc_retry_backoff_len);
+  log.logf(now, LogCategory::kWorkFetch, "reply lost; retrying in %.0fs",
+           state.rpc_retry_backoff_len);
+  return state.next_allowed_rpc;
+}
+
 void WorkFetch::on_reply(SimTime now, const WorkRequest& req,
                          const RpcReply& reply, ProjectFetchState& state,
                          Logger& log) const {
+  // Any reply that arrives at all proves the network path works again.
+  state.rpc_retry_backoff_len = 0.0;
   if (reply.project_down) {
     state.project_backoff_len =
         state.project_backoff_len <= 0.0

@@ -46,6 +46,9 @@ class WorkFetch {
  public:
   static constexpr Duration kBackoffMin = 600.0;            // 10 min
   static constexpr Duration kBackoffMax = 4.0 * 3600.0;     // 4 h
+  /// First retry delay after a scheduler reply is lost in flight; doubles
+  /// per consecutive loss up to kBackoffMax.
+  static constexpr Duration kRetryBackoffMin = 60.0;        // 1 min
 
   WorkFetch(const HostInfo& host, const Preferences& prefs,
             const PolicyConfig& policy);
@@ -74,6 +77,13 @@ class WorkFetch {
   /// additionally stamp last_work_rpc (for JF_RR selection).
   void on_rpc_sent(SimTime now, ProjectFetchState& state,
                    bool work_request = false) const;
+
+  /// The reply to an RPC was lost in flight (FaultPlan::rpc_loss): grow
+  /// the retry backoff (doubling from kRetryBackoffMin, capped at
+  /// kBackoffMax) and defer the next RPC accordingly. Returns the earliest
+  /// retry time so the caller can schedule a deferral event.
+  SimTime on_reply_lost(SimTime now, ProjectFetchState& state,
+                        Logger& log) const;
 
   /// The active fetch strategy (name() feeds logs and CLI output).
   [[nodiscard]] const WorkFetchPolicy& fetch_policy() const { return *fetch_; }

@@ -49,6 +49,9 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
                           sp, host_avail,
                           rng_.fork("server." + sc_.projects[p].name), 0.0);
   }
+  // Forked last so pre-existing streams keep their derivation order (an
+  // all-zero FaultPlan then changes nothing: the injector never draws).
+  faults_ = FaultInjector(sc_.faults, rng_);
   project_events_.resize(sc_.projects.size(), kNoEvent);
 
   for (const auto t : kAllProcTypes) {
@@ -107,7 +110,8 @@ void Emulator::advance_to(SimTime t) {
   if (dt <= 0.0) return;
 
   // Progress active downloads; availability is constant over the interval.
-  client_.transfers().advance_to(t, avail_.network_available());
+  client_.transfers().advance_to(t,
+                                 avail_.network_available() && !crash_down());
 
   // Per-project usage and runnable flags over the interval (the running
   // set and availability are constant within it).
@@ -195,6 +199,31 @@ void Emulator::advance_to(SimTime t) {
 void Emulator::handle_completions() {
   for (Result* r : active_) {
     if (!r->running) continue;
+    // Injected failure boundary reached? A failure decided at dispatch
+    // fires strictly before the job's natural completion (fail_fraction
+    // < 1), so check it first.
+    if (std::isfinite(r->fail_at_flops) &&
+        r->flops_done >= r->fail_at_flops - completion_slack(*r)) {
+      r->failed = true;
+      r->aborted = r->will_abort;
+      r->failed_at = now_;
+      r->running = false;
+      release_slot(*r);
+      r->run_since_checkpoint = 0.0;
+      // Error reports are tiny; the job is reportable immediately and the
+      // server frees its in-progress slot on report.
+      r->uploaded = true;
+      client_.on_job_failed(*r);
+      if (r->aborted) {
+        ++metrics_.counters().n_job_aborts;
+      } else {
+        ++metrics_.counters().n_job_failures;
+      }
+      log_->logf(now_, LogCategory::kFault, "job %d %s (project %d, %.0f%%)",
+                 r->id, r->aborted ? "aborted" : "compute error", r->project,
+                 100.0 * r->flops_done / r->flops_total);
+      continue;
+    }
     if (r->flops_remaining() <= completion_slack(*r)) {
       r->flops_done = r->flops_total;
       r->completed_at = now_;
@@ -206,7 +235,10 @@ void Emulator::handle_completions() {
       if (r->missed_deadline()) ++metrics_.counters().n_jobs_missed;
       // Upload output files before the job can be reported.
       if (client_.transfers().modeled() && r->output_bytes > 0.0) {
-        client_.transfers().add(r->id, r->output_bytes, r->deadline, now_);
+        client_.transfers().add(
+            r->id, r->output_bytes, r->deadline, now_,
+            sc_.projects[static_cast<std::size_t>(r->project)]
+                .transfers_resumable);
       } else {
         r->uploaded = true;
       }
@@ -216,7 +248,7 @@ void Emulator::handle_completions() {
     }
   }
   active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [](Result* r) { return r->is_complete(); }),
+                               [](Result* r) { return r->terminal(); }),
                 active_.end());
   schedule_transfer_event();  // uploads may have been enqueued
 }
@@ -231,7 +263,11 @@ void Emulator::schedule_task_event() {
     if (!r->running) continue;
     const double rate = task_rate(*r);
     if (rate <= 0.0) continue;
-    dt_min = std::min(dt_min, r->flops_remaining() / rate);
+    // The next boundary is the natural completion or, for a doomed job,
+    // its injected failure point — whichever comes first.
+    const double target =
+        std::min(r->flops_remaining(), r->fail_at_flops - r->flops_done);
+    dt_min = std::min(dt_min, std::max(0.0, target) / rate);
   }
   if (std::isfinite(dt_min)) {
     task_event_ =
@@ -244,8 +280,8 @@ void Emulator::schedule_transfer_event() {
     queue_.cancel(transfer_event_);
     transfer_event_ = kNoEvent;
   }
-  const SimTime t =
-      client_.transfers().next_completion(avail_.network_available());
+  const SimTime t = client_.transfers().next_completion(
+      avail_.network_available() && !crash_down());
   if (std::isfinite(t) && t <= sc_.duration) {
     transfer_event_ = queue_.schedule(std::max(t, now_), EventKind::kTransfer);
   }
@@ -296,10 +332,55 @@ void Emulator::schedule_project_event(std::size_t p) {
   }
 }
 
+void Emulator::schedule_crash_event(SimTime from) {
+  if (crash_event_ != kNoEvent) {
+    queue_.cancel(crash_event_);
+    crash_event_ = kNoEvent;
+  }
+  const SimTime t = faults_.next_crash(from);
+  if (std::isfinite(t) && t <= sc_.duration) {
+    crash_event_ = queue_.schedule(t, EventKind::kHostCrash);
+  }
+}
+
+void Emulator::handle_crash() {
+  ++metrics_.counters().n_host_crashes;
+  log_->logf(now_, LogCategory::kFault,
+             "host crash: all running tasks roll back to last checkpoint, "
+             "rebooting for %.0fs",
+             sc_.faults.crash_reboot_delay);
+  // A crash loses everything since the last checkpoint regardless of
+  // leave_apps_in_memory (memory contents are gone). Not a scheduling
+  // preemption: no preemption count, and the runtime is told afterwards.
+  for (Result* r : active_) {
+    if (!r->running) continue;
+    r->running = false;
+    release_slot(*r);
+    r->flops_done = r->checkpointed_flops;
+    r->run_since_checkpoint = 0.0;
+    r->episode_checkpointed = true;
+  }
+  client_.on_availability_change();
+  crash_down_until_ = now_ + sc_.faults.crash_reboot_delay;
+  pending_crash_ = now_;
+  if (crash_down_until_ <= sc_.duration) {
+    queue_.schedule(crash_down_until_, EventKind::kHostRecover);
+  }
+  schedule_task_event();      // nothing is running now
+  schedule_transfer_event();  // link down until reboot completes
+}
+
+void Emulator::handle_crash_recover() {
+  log_->logf(now_, LogCategory::kFault, "host rebooted, client restarting");
+  client_.on_availability_change();
+  schedule_crash_event(now_);  // arm the next crash
+  schedule_transfer_event();   // link back up
+}
+
 void Emulator::reschedule() {
   ++metrics_.counters().n_sched_passes;
-  const bool cpu_ok = avail_.cpu_computing_allowed();
-  const bool gpu_ok = avail_.gpu_computing_allowed();
+  const bool cpu_ok = avail_.cpu_computing_allowed() && !crash_down();
+  const bool gpu_ok = avail_.gpu_computing_allowed() && !crash_down();
   ScheduleOutcome outcome =
       client_.schedule_jobs(now_, active_, cpu_ok, gpu_ok);
 
@@ -320,6 +401,12 @@ void Emulator::reschedule() {
     assign_slot(*r);
     log_->logf(now_, LogCategory::kTask, "job %d started (project %d)",
                r->id, r->project);
+    // First job running again after a crash closes the recovery sample.
+    if (pending_crash_ < kNever) {
+      metrics_.counters().recovery_time_sum += now_ - pending_crash_;
+      ++metrics_.counters().n_crash_recoveries;
+      pending_crash_ = kNever;
+    }
   }
   schedule_task_event();
 }
@@ -330,20 +417,48 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
   ++metrics_.counters().n_rpcs;
   if (is_work_request) ++metrics_.counters().n_work_request_rpcs;
 
-  // Report completed, uploaded, unreported jobs of this project
-  // (piggybacked on every RPC, as in BOINC).
-  int reported = 0;
+  // Report finished (completed-and-uploaded, or failed) unreported jobs
+  // of this project (piggybacked on every RPC, as in BOINC). Marking is
+  // deferred until the reply arrives: if it is lost in flight the client
+  // does not know the server processed the reports and re-sends them
+  // later (the server's max(0,·) clamp absorbs the duplicates).
+  std::vector<Result*> to_report;
   for (const auto& jp : jobs_) {
-    if (jp->project == p && jp->is_complete() && jp->uploaded &&
-        !jp->reported) {
-      jp->reported = true;
-      ++reported;
+    if (jp->project == p && jp->terminal() && jp->uploaded && !jp->reported) {
+      to_report.push_back(jp.get());
     }
   }
+  const int reported = static_cast<int>(to_report.size());
 
+  const JobId id0 = next_job_id_;
   RpcReply reply = servers_[static_cast<std::size_t>(p)].handle_rpc(
       now_, req, reported, next_job_id_, *log_);
   schedule_project_event(static_cast<std::size_t>(p));
+
+  if (faults_.rpc_reply_lost()) {
+    // The reply is dropped in flight: the client sees nothing; the jobs
+    // the server just assigned sit orphaned in its in-progress count
+    // until the timeout reclaims them. Their ids are recycled (the
+    // client-side jobs_ array never learns of them). The client retries
+    // under its own exponential backoff, separate from "project down".
+    const auto n_lost = static_cast<int>(reply.jobs.size());
+    servers_[static_cast<std::size_t>(p)].on_reply_lost(
+        now_, n_lost, sc_.faults.rpc_timeout);
+    schedule_project_event(static_cast<std::size_t>(p));  // reclaim wake-up
+    next_job_id_ = id0;
+    ++metrics_.counters().n_rpcs_lost;
+    metrics_.counters().n_jobs_orphaned += n_lost;
+    const SimTime retry = client_.on_rpc_lost(now_, p);
+    if (retry < sc_.duration) {
+      queue_.schedule(retry, EventKind::kRpcDeferral);
+    }
+    log_->logf(now_, LogCategory::kFault,
+               "RPC reply from project %d lost in flight (%d job(s) "
+               "orphaned)",
+               p, n_lost);
+    return;
+  }
+  for (Result* r : to_report) r->reported = true;
 
   if (is_work_request || reply.project_down) {
     client_.on_rpc_reply(now_, req, reply, p);
@@ -364,9 +479,26 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
       active_.push_back(r);
       // Modeled download link: the job becomes runnable when its input
       // files arrive (on top of any fixed transfer_delay).
+      // Fate decided at dispatch: a doomed job carries its failure point
+      // (no RNG draws when the effective rates are zero).
+      const JobClass& jc =
+          sc_.projects[static_cast<std::size_t>(p)]
+              .job_classes[static_cast<std::size_t>(r->job_class)];
+      const double err_rate =
+          jc.error_rate >= 0.0 ? jc.error_rate : sc_.faults.job_error_rate;
+      const double abort_rate =
+          jc.abort_rate >= 0.0 ? jc.abort_rate : sc_.faults.job_abort_rate;
+      const FaultInjector::JobFate fate =
+          faults_.job_fate(err_rate, abort_rate);
+      if (fate.fails) {
+        r->fail_at_flops = fate.fail_fraction * r->flops_total;
+        r->will_abort = fate.abort;
+      }
       if (client_.transfers().modeled() && r->input_bytes > 0.0) {
-        if (!client_.transfers().add(r->id, r->input_bytes, r->deadline,
-                                     now_)) {
+        if (!client_.transfers().add(
+                r->id, r->input_bytes, r->deadline, now_,
+                sc_.projects[static_cast<std::size_t>(p)]
+                    .transfers_resumable)) {
           r->runnable_at = kNever;  // released by handle_finished_transfers
         }
       }
@@ -379,16 +511,16 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
 }
 
 void Emulator::work_fetch_pass() {
-  if (!avail_.network_available()) return;
+  if (!avail_.network_available() || crash_down()) return;
 
-  // Report-deadline RPCs: completed jobs must be reported within
+  // Report-deadline RPCs: finished jobs must be reported within
   // max_report_delay even if no work is needed.
   for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
     bool due = false;
     for (const auto& jp : jobs_) {
-      if (jp->project == static_cast<ProjectId>(p) && jp->is_complete() &&
+      if (jp->project == static_cast<ProjectId>(p) && jp->terminal() &&
           jp->uploaded && !jp->reported &&
-          jp->completed_at + sc_.prefs.max_report_delay <= now_) {
+          jp->terminal_at() + sc_.prefs.max_report_delay <= now_) {
         due = true;
         break;
       }
@@ -409,6 +541,7 @@ EmulationResult Emulator::run() {
   queue_.schedule(0.0, EventKind::kPoll);
   schedule_avail_event();
   for (std::size_t p = 0; p < servers_.size(); ++p) schedule_project_event(p);
+  schedule_crash_event(0.0);  // no-op when the crash channel is off
 
   while (true) {
     const SimTime t = std::min(queue_.next_time(), sc_.duration);
@@ -456,9 +589,26 @@ EmulationResult Emulator::run() {
           break;
         case EventKind::kTransfer:
           transfer_event_ = kNoEvent;
+          // The drain loop pops events up to now_ + kFpEpsilon without
+          // running advance_to, so a transfer boundary within that window
+          // (e.g. a fail point one ULP ahead after many short retries)
+          // would never be crossed and the event would re-arm itself at
+          // the same instant forever. Advance the link to the event's own
+          // time so the boundary is actually processed.
+          client_.transfers().advance_to(
+              ev.at, avail_.network_available() && !crash_down());
           handle_finished_transfers();
           schedule_transfer_event();
           need_sched = true;
+          break;
+        case EventKind::kHostCrash:
+          crash_event_ = kNoEvent;
+          handle_crash();
+          need_sched = need_fetch = true;
+          break;
+        case EventKind::kHostRecover:
+          handle_crash_recover();
+          need_sched = need_fetch = true;
           break;
         case EventKind::kTaskCheckpoint:  // checkpoints are computed
         case EventKind::kUser:            // arithmetically, not evented
@@ -477,6 +627,8 @@ EmulationResult Emulator::run() {
     if (r->running) preempt(*r, /*count=*/false);
   }
 
+  metrics_.counters().n_transfer_retries = client_.transfers().retries();
+
   EmulationResult res;
   std::vector<const Result*> all;
   all.reserve(jobs_.size());
@@ -491,7 +643,9 @@ EmulationResult Emulator::run() {
     ProjectStats& ps = res.project_stats[static_cast<std::size_t>(jp->project)];
     ++ps.jobs_fetched;
     ps.flops_used += jp->flops_spent;
-    if (jp->is_complete()) {
+    if (jp->failed) {
+      ++ps.jobs_failed;
+    } else if (jp->is_complete()) {
       ++ps.jobs_completed;
       if (jp->missed_deadline()) ++ps.jobs_missed;
       ps.turnaround.add(jp->completed_at - jp->received);

@@ -27,6 +27,7 @@
 #include "model/scenario.hpp"
 #include "server/project_server.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/logger.hpp"
 #include "sim/stats.hpp"
 
@@ -48,6 +49,7 @@ struct ProjectStats {
   std::int64_t jobs_fetched = 0;
   std::int64_t jobs_completed = 0;
   std::int64_t jobs_missed = 0;
+  std::int64_t jobs_failed = 0;  ///< errored or aborted (fault injection)
   double flops_used = 0.0;
 
   /// Turnaround: completed_at − received, over completed jobs.
@@ -106,6 +108,16 @@ class Emulator {
   void schedule_transfer_event();
   void handle_finished_transfers();
 
+  // Fault handling (sim/fault.hpp) --------------------------------------
+  void schedule_crash_event(SimTime from);
+  void handle_crash();
+  void handle_crash_recover();
+  /// True while the host is rebooting after an injected crash (distinct
+  /// from the availability channels).
+  [[nodiscard]] bool crash_down() const {
+    return now_ + kFpEpsilon < crash_down_until_;
+  }
+
   [[nodiscard]] double task_rate(const Result& r) const;
   void assign_slot(Result& r);
   void release_slot(Result& r);
@@ -122,6 +134,9 @@ class Emulator {
   // Simulation state ----------------------------------------------------
   Xoshiro256 rng_;
   HostAvailability avail_;
+  /// Constructed (in the ctor body, after all pre-existing forks) from
+  /// sc_.faults; inert when every channel is off.
+  FaultInjector faults_;
   Logger null_log_;
   Logger* log_;
   ClientRuntime client_;
@@ -135,7 +150,14 @@ class Emulator {
   EventHandle task_event_ = kNoEvent;
   EventHandle avail_event_ = kNoEvent;
   EventHandle transfer_event_ = kNoEvent;
+  EventHandle crash_event_ = kNoEvent;
   std::vector<EventHandle> project_events_;
+
+  /// End of the current crash reboot; crash_down() while now_ < this.
+  SimTime crash_down_until_ = 0.0;
+  /// Time of the last crash whose recovery has not yet been observed
+  /// (first job start after it closes the mean-recovery-time sample).
+  SimTime pending_crash_ = kNever;
 
   MetricsCollector metrics_;
   Timeline timeline_;

@@ -26,7 +26,22 @@ std::string Metrics::summary() const {
                 static_cast<long long>(n_jobs_completed),
                 static_cast<long long>(n_jobs_missed),
                 static_cast<long long>(n_rpcs));
-  return buf;
+  std::string out = buf;
+  if (faults_fired()) {
+    std::snprintf(buf, sizeof buf,
+                  " faults: fail_wasted=%.3f retries/job=%.2f "
+                  "recovery=%.0fs (failures=%lld aborts=%lld crashes=%lld "
+                  "rpcs_lost=%lld xfer_retries=%lld)",
+                  failure_wasted_fraction(), retries_per_job(),
+                  mean_recovery_time(),
+                  static_cast<long long>(n_job_failures),
+                  static_cast<long long>(n_job_aborts),
+                  static_cast<long long>(n_host_crashes),
+                  static_cast<long long>(n_rpcs_lost),
+                  static_cast<long long>(n_transfer_retries));
+    out += buf;
+  }
+  return out;
 }
 
 MetricsCollector::MetricsCollector(const HostInfo& host,
@@ -79,8 +94,15 @@ Metrics MetricsCollector::finalize(const std::vector<const Result*>& all_jobs,
   }
 
   // Waste: every FLOP ever spent on a job that missed (or can no longer
-  // make) its deadline, including progress lost to preemption.
+  // make) its deadline, including progress lost to preemption. Failed
+  // jobs are pure waste regardless of deadline, tallied separately so the
+  // failure-driven share of the waste is visible.
   for (const Result* r : all_jobs) {
+    if (r->failed) {
+      m_.wasted_flops += r->flops_spent;
+      m_.failure_wasted_flops += r->flops_spent;
+      continue;
+    }
     const bool missed_completed = r->is_complete() && r->missed_deadline();
     const bool abandoned = !r->is_complete() && now > r->deadline;
     if (missed_completed || abandoned) {

@@ -55,6 +55,18 @@ struct Metrics {
   std::int64_t n_preemptions = 0;
   std::int64_t n_sched_passes = 0;
 
+  // --- fault-injection accounting (sim/fault.hpp; all zero in a
+  // fault-free run) ------------------------------------------------------
+  double failure_wasted_flops = 0.0;  ///< FLOPs spent on failed jobs
+  double recovery_time_sum = 0.0;     ///< crash → first job running again
+  std::int64_t n_job_failures = 0;    ///< compute errors
+  std::int64_t n_job_aborts = 0;      ///< aborts
+  std::int64_t n_host_crashes = 0;
+  std::int64_t n_crash_recoveries = 0;  ///< crashes after which work resumed
+  std::int64_t n_rpcs_lost = 0;         ///< scheduler replies dropped
+  std::int64_t n_jobs_orphaned = 0;     ///< jobs stranded by lost replies
+  std::int64_t n_transfer_retries = 0;  ///< errored download attempts
+
   /// Per-project peak-FLOPS usage fractions (sums to 1 when any work ran).
   std::vector<double> usage_fraction;
 
@@ -77,6 +89,34 @@ struct Metrics {
   [[nodiscard]] double rpcs_per_job_norm() const {
     const double r = rpcs_per_job();
     return r / (1.0 + r);
+  }
+
+  // --- degradation figures (fault studies; 0 when no faults fired) ------
+  /// Fraction of available capacity burned by jobs that terminated
+  /// abnormally (subset of wasted_fraction).
+  [[nodiscard]] double failure_wasted_fraction() const {
+    if (available_flops <= 0.0) return 0.0;
+    return clamp(failure_wasted_flops / available_flops, 0.0, 1.0);
+  }
+  /// Fault-driven retries (lost-RPC retries + errored download attempts)
+  /// per completed job.
+  [[nodiscard]] double retries_per_job() const {
+    const auto retries =
+        static_cast<double>(n_rpcs_lost + n_transfer_retries);
+    return n_jobs_completed > 0
+               ? retries / static_cast<double>(n_jobs_completed)
+               : retries;
+  }
+  /// Mean time from a host crash to the client running a job again.
+  [[nodiscard]] double mean_recovery_time() const {
+    return n_crash_recoveries > 0
+               ? recovery_time_sum / static_cast<double>(n_crash_recoveries)
+               : 0.0;
+  }
+  /// Any fault-channel activity in this run?
+  [[nodiscard]] bool faults_fired() const {
+    return n_job_failures > 0 || n_job_aborts > 0 || n_host_crashes > 0 ||
+           n_rpcs_lost > 0 || n_transfer_retries > 0;
   }
 
   /// Subjectively-weighted overall score, [0,1], 0 = good.

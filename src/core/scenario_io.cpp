@@ -218,6 +218,10 @@ JobClass parse_job(const std::string& rest, int line) {
       jc.avail = parse_onoff(parts, 0, line);
     } else if (key == "name") {
       jc.name = val;
+    } else if (key == "error") {
+      jc.error_rate = to_num(val, line, "error");
+    } else if (key == "abort") {
+      jc.abort_rate = to_num(val, line, "abort");
     } else {
       throw ScenarioParseError(line, "unknown job attribute '" + key + "'");
     }
@@ -290,6 +294,37 @@ Scenario parse_scenario(const std::string& text) {
     } else if (key == "leave_in_memory") {
       sc.prefs.leave_apps_in_memory =
           to_num(val, lineno, "leave_in_memory") != 0.0;
+    } else if (key == "faults") {
+      // Preset base; individual fault_* keys may refine it afterwards.
+      if (val == "off") {
+        sc.faults = FaultPlan{};
+      } else if (val == "light") {
+        sc.faults = FaultPlan::light();
+      } else if (val == "heavy") {
+        sc.faults = FaultPlan::heavy();
+      } else {
+        throw ScenarioParseError(lineno, "faults: expects off, light or heavy");
+      }
+    } else if (key == "fault_job_error") {
+      sc.faults.job_error_rate = to_num(val, lineno, "fault_job_error");
+    } else if (key == "fault_job_abort") {
+      sc.faults.job_abort_rate = to_num(val, lineno, "fault_job_abort");
+    } else if (key == "fault_crash_mtbf") {
+      sc.faults.crash_mtbf = to_num(val, lineno, "fault_crash_mtbf");
+    } else if (key == "fault_crash_reboot") {
+      sc.faults.crash_reboot_delay = to_num(val, lineno, "fault_crash_reboot");
+    } else if (key == "fault_rpc_loss") {
+      sc.faults.rpc_loss_rate = to_num(val, lineno, "fault_rpc_loss");
+    } else if (key == "fault_rpc_timeout") {
+      sc.faults.rpc_timeout = to_num(val, lineno, "fault_rpc_timeout");
+    } else if (key == "fault_transfer_error") {
+      sc.faults.transfer_error_rate = to_num(val, lineno, "fault_transfer_error");
+    } else if (key == "fault_transfer_retry_min") {
+      sc.faults.transfer_retry_min =
+          to_num(val, lineno, "fault_transfer_retry_min");
+    } else if (key == "fault_transfer_retry_max") {
+      sc.faults.transfer_retry_max =
+          to_num(val, lineno, "fault_transfer_retry_max");
     } else if (key == "avail_host") {
       sc.availability.host_on = parse_onoff(toks, 0, lineno);
     } else if (key == "avail_gpu") {
@@ -321,6 +356,12 @@ Scenario parse_scenario(const std::string& text) {
         throw ScenarioParseError(lineno, "suspended: outside project");
       }
       cur->suspended = to_num(val, lineno, "suspended") != 0.0;
+    } else if (key == "resumable_transfers") {
+      if (cur == nullptr) {
+        throw ScenarioParseError(lineno, "resumable_transfers: outside project");
+      }
+      cur->transfers_resumable =
+          to_num(val, lineno, "resumable_transfers") != 0.0;
     } else if (key == "job") {
       if (cur == nullptr) throw ScenarioParseError(lineno, "job: outside project");
       cur->job_classes.push_back(parse_job(val, lineno));
@@ -370,6 +411,37 @@ std::string serialize_scenario(const Scenario& sc) {
   os << "avail_host: " << onoff_str(sc.availability.host_on) << '\n';
   os << "avail_gpu: " << onoff_str(sc.availability.gpu_allowed) << '\n';
   os << "avail_net: " << onoff_str(sc.availability.network) << '\n';
+  {
+    const FaultPlan def;
+    const FaultPlan& f = sc.faults;
+    if (f.job_error_rate != def.job_error_rate) {
+      os << "fault_job_error: " << f.job_error_rate << '\n';
+    }
+    if (f.job_abort_rate != def.job_abort_rate) {
+      os << "fault_job_abort: " << f.job_abort_rate << '\n';
+    }
+    if (f.crash_mtbf != def.crash_mtbf) {
+      os << "fault_crash_mtbf: " << f.crash_mtbf << '\n';
+    }
+    if (f.crash_reboot_delay != def.crash_reboot_delay) {
+      os << "fault_crash_reboot: " << f.crash_reboot_delay << '\n';
+    }
+    if (f.rpc_loss_rate != def.rpc_loss_rate) {
+      os << "fault_rpc_loss: " << f.rpc_loss_rate << '\n';
+    }
+    if (f.rpc_timeout != def.rpc_timeout) {
+      os << "fault_rpc_timeout: " << f.rpc_timeout << '\n';
+    }
+    if (f.transfer_error_rate != def.transfer_error_rate) {
+      os << "fault_transfer_error: " << f.transfer_error_rate << '\n';
+    }
+    if (f.transfer_retry_min != def.transfer_retry_min) {
+      os << "fault_transfer_retry_min: " << f.transfer_retry_min << '\n';
+    }
+    if (f.transfer_retry_max != def.transfer_retry_max) {
+      os << "fault_transfer_retry_max: " << f.transfer_retry_max << '\n';
+    }
+  }
 
   for (const auto& p : sc.projects) {
     os << '\n' << "project: " << p.name << '\n';
@@ -382,6 +454,7 @@ std::string serialize_scenario(const Scenario& sc) {
     }
     if (p.no_gpu) os << "no_gpu: 1\n";
     if (p.suspended) os << "suspended: 1\n";
+    if (!p.transfers_resumable) os << "resumable_transfers: 0\n";
     for (const auto& jc : p.job_classes) {
       os << "job:";
       if (jc.usage.uses_gpu()) {
@@ -406,6 +479,8 @@ std::string serialize_scenario(const Scenario& sc) {
       if (jc.avail.kind == OnOffSpec::Kind::kMarkov) {
         os << " avail=markov:" << jc.avail.mean_on << ':' << jc.avail.mean_off;
       }
+      if (jc.error_rate >= 0.0) os << " error=" << jc.error_rate;
+      if (jc.abort_rate >= 0.0) os << " abort=" << jc.abort_rate;
       os << '\n';
     }
   }

@@ -6,6 +6,7 @@
 /// follows BOINC: a "result" is one instance of a workunit dispatched to a
 /// host.
 
+#include <limits>
 #include <string>
 
 #include "host/availability.hpp"
@@ -64,6 +65,12 @@ struct JobClass {
   /// Sporadic availability of this job class at the server (§6.2 "sporadic
   /// availability of particular types of jobs").
   OnOffSpec avail = OnOffSpec::always_on();
+
+  /// Per-class fault-rate overrides: probability that a job of this class
+  /// errors out / is aborted mid-run. A negative value (the default)
+  /// inherits the scenario FaultPlan's job_error_rate / job_abort_rate.
+  double error_rate = -1.0;
+  double abort_rate = -1.0;
 
   /// Estimated runtime of one job of this class on \p host, if it ran
   /// alone at full speed.
@@ -126,6 +133,15 @@ struct Result {
   /// statistics derive from this.
   SimTime first_started = kNever;
 
+  // --- fault state (sim/fault.hpp) -------------------------------------
+  /// FLOPs-done mark at which the job dies (decided at dispatch by the
+  /// fault injector); kNever-like infinity when the job is healthy.
+  double fail_at_flops = std::numeric_limits<double>::infinity();
+  bool will_abort = false;  ///< failure mode: abort (vs compute error)
+  bool failed = false;      ///< job terminated abnormally
+  bool aborted = false;     ///< failure was an abort
+  SimTime failed_at = kNever;
+
   // --- round-robin-simulation scratch (§3.2) --------------------------
   bool deadline_endangered = false;
   SimTime rr_projected_finish = kNever;
@@ -134,13 +150,19 @@ struct Result {
   SimTime first_projected_finish = kNever;
 
   [[nodiscard]] bool is_complete() const {
-    return flops_done >= flops_total - kFpEpsilon;
+    return !failed && flops_done >= flops_total - kFpEpsilon;
   }
   [[nodiscard]] bool missed_deadline() const {
     return completed_at > deadline;
   }
+  /// Finished one way or the other: completed successfully or failed.
+  [[nodiscard]] bool terminal() const { return failed || is_complete(); }
+  /// When it finished (completion or failure); kNever while in flight.
+  [[nodiscard]] SimTime terminal_at() const {
+    return failed ? failed_at : completed_at;
+  }
   [[nodiscard]] bool runnable(SimTime now) const {
-    return !is_complete() && now + kFpEpsilon >= runnable_at;
+    return !terminal() && now + kFpEpsilon >= runnable_at;
   }
 
   /// Client-side duration-correction factor in force when the job was

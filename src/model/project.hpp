@@ -39,6 +39,11 @@ struct ProjectConfig {
   bool no_gpu = false;
   bool suspended = false;
 
+  /// Whether an errored download resumes from the bytes already fetched
+  /// (BOINC's default; servers supporting HTTP range requests) or restarts
+  /// from zero. Only matters under FaultPlan::transfer_error_rate.
+  bool transfers_resumable = true;
+
   /// True if some job class can use processor type \p t (ignoring sporadic
   /// class availability — this is the static capability the client learns
   /// from the project description).

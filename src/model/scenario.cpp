@@ -10,6 +10,21 @@ bool fail(std::string* err, const std::string& msg) {
   if (err != nullptr) *err = msg;
   return false;
 }
+
+bool finite(double x) { return std::isfinite(x); }
+
+/// NaN/Inf screen for an on/off process spec. Means and windows must be
+/// finite; a non-finite period length would wedge the event queue.
+const char* spec_problem(const OnOffSpec& s) {
+  if (!finite(s.mean_on) || s.mean_on < 0.0) return "mean_on";
+  if (!finite(s.mean_off) || s.mean_off < 0.0) return "mean_off";
+  if (!finite(s.shape) || s.shape <= 0.0) return "shape";
+  if (!finite(s.window_start) || !finite(s.window_end)) return "window";
+  for (const auto& seg : s.trace) {
+    if (!finite(seg.duration) || seg.duration < 0.0) return "trace segment";
+  }
+  return nullptr;
+}
 }  // namespace
 
 bool Scenario::validate(std::string* err) const {
@@ -18,18 +33,45 @@ bool Scenario::validate(std::string* err) const {
   }
   for (const auto t : kAllProcTypes) {
     if (host.count[t] < 0) return fail(err, "negative processor count");
-    if (host.count[t] > 0 && host.flops_per_instance[t] <= 0.0) {
+    if (host.count[t] > 0 && !(finite(host.flops_per_instance[t]) &&
+                               host.flops_per_instance[t] > 0.0)) {
       return fail(err, std::string("processor type ") + proc_name(t) +
-                           " present but has non-positive FLOPS");
+                           " present but has non-positive or non-finite FLOPS");
     }
   }
-  if (host.ram_bytes <= 0.0) return fail(err, "host RAM must be positive");
-  if (host.download_bandwidth_bps < 0.0) {
-    return fail(err, "download bandwidth must be non-negative");
+  if (!(finite(host.ram_bytes) && host.ram_bytes > 0.0)) {
+    return fail(err, "host RAM must be positive and finite");
   }
-  if (!prefs.valid()) return fail(err, "invalid preferences");
-  if (duration <= 0.0 || !std::isfinite(duration)) {
+  if (!(finite(host.download_bandwidth_bps) &&
+        host.download_bandwidth_bps >= 0.0)) {
+    return fail(err, "download bandwidth must be non-negative and finite");
+  }
+  // Preferences: valid() screens sign/order constraints but NaN slips
+  // through comparisons and max_report_delay is unchecked — screen every
+  // field for finiteness explicitly.
+  if (!prefs.valid() || !finite(prefs.min_queue) || !finite(prefs.max_queue) ||
+      !finite(prefs.ram_limit_fraction) || !finite(prefs.min_rpc_interval) ||
+      !finite(prefs.poll_period) || !finite(prefs.max_report_delay) ||
+      prefs.max_report_delay < 0.0) {
+    return fail(err, "invalid preferences");
+  }
+  if (duration <= 0.0 || !finite(duration)) {
     return fail(err, "duration must be positive and finite");
+  }
+  {
+    const char* ch = nullptr;
+    const char* which = nullptr;
+    if ((which = spec_problem(availability.host_on)) != nullptr) ch = "host_on";
+    else if ((which = spec_problem(availability.gpu_allowed)) != nullptr) ch = "gpu_allowed";
+    else if ((which = spec_problem(availability.network)) != nullptr) ch = "network";
+    if (ch != nullptr) {
+      return fail(err, std::string("availability channel ") + ch +
+                           ": non-finite or negative " + which);
+    }
+  }
+  {
+    const std::string problem = faults.validate();
+    if (!problem.empty()) return fail(err, "fault plan: " + problem);
   }
   if (projects.empty()) return fail(err, "scenario has no projects");
 
@@ -37,28 +79,32 @@ bool Scenario::validate(std::string* err) const {
     const auto& p = projects[i];
     std::ostringstream tag;
     tag << "project " << i << " (" << p.name << "): ";
-    if (p.resource_share <= 0.0) {
-      return fail(err, tag.str() + "resource share must be positive");
+    if (!(finite(p.resource_share) && p.resource_share > 0.0)) {
+      return fail(err, tag.str() + "resource share must be positive and finite");
+    }
+    if (spec_problem(p.up) != nullptr) {
+      return fail(err, tag.str() + "non-finite server up/down process");
     }
     if (p.job_classes.empty()) {
       return fail(err, tag.str() + "no job classes");
     }
     for (const auto& jc : p.job_classes) {
-      if (jc.flops_est <= 0.0) {
-        return fail(err, tag.str() + "job class with non-positive FLOPs");
+      if (!(finite(jc.flops_est) && jc.flops_est > 0.0)) {
+        return fail(err, tag.str() + "job class with non-positive or non-finite FLOPs");
       }
-      if (jc.latency_bound <= 0.0) {
-        return fail(err, tag.str() + "job class with non-positive latency bound");
+      if (!(finite(jc.latency_bound) && jc.latency_bound > 0.0)) {
+        return fail(err, tag.str() + "job class with non-positive or non-finite latency bound");
       }
-      if (jc.est_error <= 0.0) {
-        return fail(err, tag.str() + "job class with non-positive est_error");
+      if (!(finite(jc.est_error) && jc.est_error > 0.0)) {
+        return fail(err, tag.str() + "job class with non-positive or non-finite est_error");
       }
-      if (jc.flops_cv < 0.0) {
-        return fail(err, tag.str() + "job class with negative flops_cv");
+      if (!(finite(jc.flops_cv) && jc.flops_cv >= 0.0)) {
+        return fail(err, tag.str() + "job class with negative or non-finite flops_cv");
       }
       const auto& u = jc.usage;
-      if (u.avg_ncpus < 0.0 || u.coproc_usage < 0.0) {
-        return fail(err, tag.str() + "negative resource usage");
+      if (!finite(u.avg_ncpus) || !finite(u.coproc_usage) ||
+          u.avg_ncpus < 0.0 || u.coproc_usage < 0.0) {
+        return fail(err, tag.str() + "negative or non-finite resource usage");
       }
       if (u.avg_ncpus == 0.0 && !u.uses_gpu()) {
         return fail(err, tag.str() + "job class uses no processors");
@@ -74,20 +120,38 @@ bool Scenario::validate(std::string* err) const {
       if (u.uses_gpu() && u.coproc_usage > host.count[u.coproc]) {
         return fail(err, tag.str() + "job class needs more GPU instances than the host has");
       }
-      if (jc.ram_bytes < 0.0 || jc.ram_bytes > host.ram_bytes) {
+      if (!finite(jc.ram_bytes) || jc.ram_bytes < 0.0 ||
+          jc.ram_bytes > host.ram_bytes) {
         return fail(err, tag.str() + "job class RAM out of range");
       }
-      if (jc.checkpoint_period <= 0.0) {
+      // checkpoint_period = +inf means "never checkpoints" and is legal;
+      // NaN is not (it would defeat both the <= 0 check and arithmetic).
+      if (std::isnan(jc.checkpoint_period) || jc.checkpoint_period <= 0.0) {
         return fail(err, tag.str() + "checkpoint period must be positive (use +inf for 'never')");
       }
-      if (jc.transfer_delay < 0.0) {
-        return fail(err, tag.str() + "negative transfer delay");
+      if (!finite(jc.transfer_delay) || jc.transfer_delay < 0.0) {
+        return fail(err, tag.str() + "negative or non-finite transfer delay");
       }
-      if (jc.input_bytes < 0.0) {
-        return fail(err, tag.str() + "negative input size");
+      if (!finite(jc.input_bytes) || jc.input_bytes < 0.0) {
+        return fail(err, tag.str() + "negative or non-finite input size");
       }
-      if (jc.output_bytes < 0.0) {
-        return fail(err, tag.str() + "negative output size");
+      if (!finite(jc.output_bytes) || jc.output_bytes < 0.0) {
+        return fail(err, tag.str() + "negative or non-finite output size");
+      }
+      if (spec_problem(jc.avail) != nullptr) {
+        return fail(err, tag.str() + "non-finite job-class availability process");
+      }
+      // Fault-rate overrides: negative = inherit the FaultPlan default;
+      // otherwise a probability.
+      const bool err_ok = jc.error_rate < 0.0 ||
+                          (finite(jc.error_rate) && jc.error_rate <= 1.0);
+      const bool abort_ok = jc.abort_rate < 0.0 ||
+                            (finite(jc.abort_rate) && jc.abort_rate <= 1.0);
+      if (!err_ok || std::isnan(jc.error_rate)) {
+        return fail(err, tag.str() + "job class error_rate must be in [0,1] (or negative to inherit)");
+      }
+      if (!abort_ok || std::isnan(jc.abort_rate)) {
+        return fail(err, tag.str() + "job class abort_rate must be in [0,1] (or negative to inherit)");
       }
     }
     if (p.max_jobs_in_progress < 0) {

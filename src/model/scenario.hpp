@@ -14,6 +14,7 @@
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/project.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace bce {
@@ -25,6 +26,10 @@ struct Scenario {
   Preferences prefs;
   HostAvailabilitySpec availability;
   std::vector<ProjectConfig> projects;
+
+  /// Fault injection (all channels off by default — the paper's benign
+  /// world). See docs/faults.md.
+  FaultPlan faults;
 
   /// Emulation horizon; the paper uses 10 days unless stated otherwise.
   Duration duration = 10.0 * kSecondsPerDay;

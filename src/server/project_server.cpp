@@ -29,12 +29,24 @@ ProjectServer::ProjectServer(ProjectId id, const ProjectConfig& cfg,
 void ProjectServer::advance_to(SimTime now) {
   up_.advance_to(now);
   for (auto& ca : class_avail_) ca.advance_to(now);
+  while (!orphans_.empty() && orphans_.front().reclaim_at <= now + kFpEpsilon) {
+    const int n = orphans_.front().n;
+    in_progress_ = std::max(0, in_progress_ - n);
+    jobs_reclaimed_ += n;
+    orphans_.erase(orphans_.begin());
+  }
 }
 
 SimTime ProjectServer::next_transition() const {
   SimTime t = up_.next_transition();
   for (const auto& ca : class_avail_) t = std::min(t, ca.next_transition());
+  if (!orphans_.empty()) t = std::min(t, orphans_.front().reclaim_at);
   return t;
+}
+
+void ProjectServer::on_reply_lost(SimTime now, int n_jobs, Duration timeout) {
+  if (n_jobs <= 0) return;
+  orphans_.push_back(Orphan{now + timeout, n_jobs});
 }
 
 bool ProjectServer::deadline_feasible(double runtime, double latency,

@@ -60,6 +60,15 @@ class ProjectServer {
   /// Jobs dispatched to this host and not yet reported back.
   [[nodiscard]] int jobs_in_progress() const { return in_progress_; }
 
+  /// A reply carrying \p n_jobs was lost in flight (FaultPlan::rpc_loss).
+  /// The host never saw the jobs, but the server already counted them
+  /// in-progress; the slots stay occupied until \p timeout elapses, then
+  /// advance_to() reclaims them (BOINC's result-timeout / transitioner).
+  void on_reply_lost(SimTime now, int n_jobs, Duration timeout);
+
+  /// Orphaned in-progress slots reclaimed so far (stats/tests).
+  [[nodiscard]] std::int64_t jobs_reclaimed() const { return jobs_reclaimed_; }
+
   [[nodiscard]] ProjectId id() const { return id_; }
   [[nodiscard]] const ProjectConfig& config() const { return cfg_; }
 
@@ -87,6 +96,15 @@ class ProjectServer {
   std::vector<OnOffProcess> class_avail_;
   std::int64_t jobs_dispatched_ = 0;
   int in_progress_ = 0;
+  /// Slots held by replies the client never received, with the time the
+  /// server will give up on them. Sorted by insertion = by reclaim time
+  /// (timeout is constant per run).
+  struct Orphan {
+    SimTime reclaim_at;
+    int n;
+  };
+  std::vector<Orphan> orphans_;
+  std::int64_t jobs_reclaimed_ = 0;
   /// Rotates among matching classes so a project with several classes of
   /// the same type interleaves them.
   std::size_t next_class_hint_ = 0;

@@ -34,7 +34,9 @@ enum class EventKind : std::uint8_t {
   kHostTransition,    ///< host power / GPU-allowed / network availability flips
   kProjectTransition, ///< a project's server goes up or down
   kRpcDeferral,       ///< a deferred scheduler RPC becomes allowed
-  kTransfer,          ///< an input-file download finishes
+  kTransfer,          ///< an input-file download finishes (or errors/retries)
+  kHostCrash,         ///< injected host crash: tasks roll back to checkpoint
+  kHostRecover,       ///< client restarts after a crash reboot delay
   kUser,              ///< free-form event for tests and extensions
 };
 

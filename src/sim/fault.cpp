@@ -1,0 +1,96 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+
+namespace bce {
+namespace {
+
+bool is_rate(double x) { return std::isfinite(x) && x >= 0.0 && x <= 1.0; }
+bool is_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+bool is_pos(double x) { return std::isfinite(x) && x > 0.0; }
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  return job_error_rate > 0.0 || job_abort_rate > 0.0 || crash_mtbf > 0.0 ||
+         rpc_loss_rate > 0.0 || transfer_error_rate > 0.0;
+}
+
+std::string FaultPlan::validate() const {
+  if (!is_rate(job_error_rate)) return "fault_job_error must be in [0,1]";
+  if (!is_rate(job_abort_rate)) return "fault_job_abort must be in [0,1]";
+  if (!is_rate(job_error_rate + job_abort_rate))
+    return "fault_job_error + fault_job_abort must not exceed 1";
+  if (!is_nonneg(crash_mtbf)) return "fault_crash_mtbf must be >= 0";
+  if (!is_nonneg(crash_reboot_delay))
+    return "fault_crash_reboot must be >= 0";
+  if (!is_rate(rpc_loss_rate)) return "fault_rpc_loss must be in [0,1]";
+  if (!is_pos(rpc_timeout)) return "fault_rpc_timeout must be > 0";
+  if (!is_rate(transfer_error_rate))
+    return "fault_transfer_error must be in [0,1]";
+  if (!is_pos(transfer_retry_min))
+    return "fault_transfer_retry_min must be > 0";
+  if (!is_pos(transfer_retry_max) || transfer_retry_max < transfer_retry_min)
+    return "fault_transfer_retry_max must be >= fault_transfer_retry_min";
+  return {};
+}
+
+FaultPlan FaultPlan::light() {
+  FaultPlan p;
+  p.job_error_rate = 0.02;
+  p.job_abort_rate = 0.005;
+  p.crash_mtbf = 7 * kSecondsPerDay;
+  p.rpc_loss_rate = 0.02;
+  p.transfer_error_rate = 0.05;
+  return p;
+}
+
+FaultPlan FaultPlan::heavy() {
+  FaultPlan p;
+  p.job_error_rate = 0.10;
+  p.job_abort_rate = 0.02;
+  p.crash_mtbf = kSecondsPerDay;
+  p.rpc_loss_rate = 0.20;
+  p.rpc_timeout = 1800.0;
+  p.transfer_error_rate = 0.25;
+  return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, Xoshiro256& parent)
+    : plan_(plan),
+      job_rng_(parent.fork("fault.job")),
+      crash_rng_(parent.fork("fault.crash")),
+      rpc_rng_(parent.fork("fault.rpc")) {}
+
+FaultInjector::JobFate FaultInjector::job_fate(double error_rate,
+                                               double abort_rate) {
+  JobFate fate;
+  if (error_rate <= 0.0 && abort_rate <= 0.0) return fate;
+  const double u = job_rng_.uniform01();
+  if (u < error_rate) {
+    fate.fails = true;
+  } else if (u < error_rate + abort_rate) {
+    fate.fails = true;
+    fate.abort = true;
+  }
+  if (fate.fails) {
+    // Failure point uniform over the job's FLOPs; keep it strictly inside
+    // (0,1) so a doomed job always runs a little and never "fails" exactly
+    // at its natural completion.
+    fate.fail_fraction = clamp(job_rng_.uniform01(), 1e-6, 1.0 - 1e-6);
+  }
+  return fate;
+}
+
+SimTime FaultInjector::next_crash(SimTime from) {
+  if (plan_.crash_mtbf <= 0.0) return kNever;
+  const double u = crash_rng_.uniform01();
+  return from - plan_.crash_mtbf * std::log1p(-u);
+}
+
+bool FaultInjector::rpc_reply_lost() {
+  if (plan_.rpc_loss_rate <= 0.0) return false;
+  return rpc_rng_.uniform01() < plan_.rpc_loss_rate;
+}
+
+}  // namespace bce

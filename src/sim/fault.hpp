@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection. Real volunteer hosts crash, error out
+/// jobs, and drop connections (Anderson 2019 reports couple-percent error
+/// and timeout rates in production BOINC projects); the scheduling policies
+/// under study exist largely to cope with that. A FaultPlan describes fault
+/// rates for four independent channels; a FaultInjector turns the plan into
+/// concrete, reproducible decisions.
+///
+/// Determinism contract:
+///  * Each fault channel draws from its own RNG stream, forked from the
+///    emulation root with a fixed label ("fault.job", "fault.crash",
+///    "fault.rpc"; transfer faults draw from "fault.transfer", owned by
+///    TransferManager). Adding a consumer to one channel never perturbs
+///    another.
+///  * A channel whose rate is zero consumes NO draws and schedules NO
+///    events, so an all-zero FaultPlan is byte-identical to a build without
+///    fault injection — the golden figures of merit do not move.
+
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// Scenario-level fault description. All channels default to off.
+struct FaultPlan {
+  // --- Channel 1: job runtime failures -------------------------------
+  /// Probability that a dispatched job hits a compute error partway
+  /// through execution (FLOPs spent so far are wasted; the server's
+  /// in-progress slot is freed when the failure is reported).
+  double job_error_rate = 0.0;
+  /// Probability that a dispatched job is aborted mid-run (user or
+  /// server abort; accounted separately from compute errors).
+  double job_abort_rate = 0.0;
+
+  // --- Channel 2: host crashes ---------------------------------------
+  /// Mean time between host crashes (seconds) of a Poisson crash
+  /// process, distinct from the availability on/off channel. A crash
+  /// rolls every running task back to its last checkpoint and restarts
+  /// the client after crash_reboot_delay. 0 disables crashes.
+  double crash_mtbf = 0.0;
+  /// Downtime after each crash before the client restarts (seconds).
+  double crash_reboot_delay = 120.0;
+
+  // --- Channel 3: lost scheduler RPCs --------------------------------
+  /// Probability that a scheduler reply is dropped in flight. The server
+  /// has already assigned the jobs, which sit orphaned in its in-progress
+  /// count until rpc_timeout reclaims them; the client retries under an
+  /// exponential backoff separate from the "project down" backoff.
+  double rpc_loss_rate = 0.0;
+  /// Seconds after which the server reclaims in-progress slots assigned
+  /// by a reply the client never received.
+  double rpc_timeout = 3600.0;
+
+  // --- Channel 4: transfer failures ----------------------------------
+  /// Probability that a download attempt errors mid-flight. The failure
+  /// point is uniform in the file's remaining bytes; the transfer retries
+  /// after an exponential backoff, resuming or restarting from zero
+  /// depending on ProjectConfig::transfers_resumable.
+  double transfer_error_rate = 0.0;
+  /// Transfer retry backoff bounds (seconds): first retry after
+  /// transfer_retry_min, doubling up to transfer_retry_max.
+  double transfer_retry_min = 60.0;
+  double transfer_retry_max = 3600.0;
+
+  /// True if any fault channel is active.
+  [[nodiscard]] bool any() const;
+
+  /// Empty string when the plan is well-formed; otherwise a one-line
+  /// description of the first problem (rates outside [0,1], negative
+  /// times, NaN/Inf anywhere, retry_min > retry_max, ...).
+  [[nodiscard]] std::string validate() const;
+
+  /// Mild fault load (~2% job errors, weekly crashes, 2% RPC loss,
+  /// 5% transfer errors) — roughly production-BOINC conditions.
+  static FaultPlan light();
+  /// Hostile conditions (10% errors, daily crashes, 20% RPC loss,
+  /// 25% transfer errors) for stress and degradation studies.
+  static FaultPlan heavy();
+};
+
+/// Per-run fault decision source. Default-constructed injectors are inert
+/// (all channels off, no RNG state); the emulator constructs a live one
+/// from the scenario's FaultPlan and the root RNG.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Forks the per-channel streams "fault.job", "fault.crash" and
+  /// "fault.rpc" off \p parent (mutating it, like every fork). Call this
+  /// after all pre-existing forks so established streams keep their
+  /// derivation order.
+  FaultInjector(const FaultPlan& plan, Xoshiro256& parent);
+
+  /// Outcome decided for a job at dispatch time.
+  struct JobFate {
+    bool fails = false;        ///< job terminates abnormally
+    bool abort = false;        ///< abort (vs compute error) when fails
+    double fail_fraction = 1.0;///< fraction of total FLOPs at which it dies
+  };
+
+  /// Decide the fate of one dispatched job. \p error_rate / \p abort_rate
+  /// are the effective per-class rates (class override or plan default).
+  /// Consumes no draws when both rates are zero.
+  JobFate job_fate(double error_rate, double abort_rate);
+
+  /// Next host crash strictly after \p from (exponential inter-arrival
+  /// with mean crash_mtbf), or kNever when crashes are disabled.
+  SimTime next_crash(SimTime from);
+
+  /// Decide whether one scheduler reply is lost in flight. Consumes no
+  /// draw when rpc_loss_rate is zero.
+  bool rpc_reply_lost();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Xoshiro256 job_rng_{0};
+  Xoshiro256 crash_rng_{0};
+  Xoshiro256 rpc_rng_{0};
+};
+
+}  // namespace bce

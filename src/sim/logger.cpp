@@ -14,6 +14,7 @@ const char* log_category_name(LogCategory c) {
     case LogCategory::kRpc: return "rpc";
     case LogCategory::kAvail: return "avail";
     case LogCategory::kServer: return "server";
+    case LogCategory::kFault: return "fault";
     case LogCategory::kCount_: break;
   }
   return "?";

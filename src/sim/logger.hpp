@@ -25,6 +25,7 @@ enum class LogCategory : std::uint8_t {
   kRpc,       ///< scheduler RPCs and replies
   kAvail,     ///< availability transitions
   kServer,    ///< simulated server decisions
+  kFault,     ///< injected faults (job failures, crashes, lost RPCs)
   kCount_,
 };
 

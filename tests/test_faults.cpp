@@ -1,0 +1,352 @@
+// Tests for the deterministic fault-injection subsystem (sim/fault,
+// docs/faults.md): plan validation, RNG stream independence, each fault
+// channel's end-to-end effect on an emulation, and bit-reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bce.hpp"
+#include "core/scenario_io.hpp"
+
+namespace bce {
+namespace {
+
+Scenario base_scenario() {
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  return sc;
+}
+
+EmulationResult run(const Scenario& sc, const PolicyConfig& pol = {}) {
+  EmulationOptions opt;
+  opt.policy = pol;
+  return emulate(sc, opt);
+}
+
+// --- FaultPlan validation ---------------------------------------------
+
+TEST(FaultPlan, DefaultIsInertAndValid) {
+  const FaultPlan p;
+  EXPECT_FALSE(p.any());
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(FaultPlan, PresetsAreValidAndActive) {
+  for (const FaultPlan& p : {FaultPlan::light(), FaultPlan::heavy()}) {
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.validate().empty()) << p.validate();
+  }
+}
+
+TEST(FaultPlan, RejectsOutOfRangeAndNonFinite) {
+  FaultPlan p;
+  p.job_error_rate = 1.5;
+  EXPECT_FALSE(p.validate().empty());
+  p = FaultPlan{};
+  p.job_error_rate = 0.7;
+  p.job_abort_rate = 0.7;  // sum > 1
+  EXPECT_FALSE(p.validate().empty());
+  p = FaultPlan{};
+  p.rpc_loss_rate = std::nan("");
+  EXPECT_FALSE(p.validate().empty());
+  p = FaultPlan{};
+  p.crash_mtbf = -1.0;
+  EXPECT_FALSE(p.validate().empty());
+  p = FaultPlan{};
+  p.rpc_timeout = 0.0;
+  EXPECT_FALSE(p.validate().empty());
+  p = FaultPlan{};
+  p.transfer_retry_max = 10.0;  // < retry_min
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Scenario, ValidateFoldsInFaultPlan) {
+  Scenario sc = base_scenario();
+  sc.faults.rpc_loss_rate = 2.0;
+  std::string err;
+  EXPECT_FALSE(sc.validate(&err));
+  EXPECT_NE(err.find("rpc_loss"), std::string::npos) << err;
+}
+
+// --- FaultInjector primitives -----------------------------------------
+
+TEST(FaultInjector, ZeroRatesDrawNothing) {
+  Xoshiro256 parent(7);
+  FaultPlan plan;
+  plan.job_error_rate = 0.5;  // channel exists, but calls pass zero rates
+  FaultInjector fi(plan, parent);
+  Xoshiro256 probe(7);
+  // Zero-rate queries must not consume from any stream.
+  const auto fate = fi.job_fate(0.0, 0.0);
+  EXPECT_FALSE(fate.fails);
+  EXPECT_FALSE(fi.rpc_reply_lost());
+  EXPECT_EQ(fi.next_crash(0.0), kNever);
+  // A certain failure: exactly one outcome draw + one fraction draw.
+  const auto doomed = fi.job_fate(1.0, 0.0);
+  EXPECT_TRUE(doomed.fails);
+  EXPECT_FALSE(doomed.abort);
+  EXPECT_GT(doomed.fail_fraction, 0.0);
+  EXPECT_LT(doomed.fail_fraction, 1.0);
+}
+
+TEST(FaultInjector, CrashTimesFollowSeedDeterministically) {
+  FaultPlan plan;
+  plan.crash_mtbf = 3600.0;
+  Xoshiro256 a(11);
+  Xoshiro256 b(11);
+  FaultInjector fa(plan, a);
+  FaultInjector fb(plan, b);
+  for (int i = 0; i < 8; ++i) {
+    const SimTime ta = fa.next_crash(100.0 * i);
+    EXPECT_EQ(ta, fb.next_crash(100.0 * i));
+    EXPECT_GT(ta, 100.0 * i);
+    EXPECT_TRUE(std::isfinite(ta));
+  }
+}
+
+// --- Golden preservation and determinism ------------------------------
+
+TEST(Faults, AllZeroPlanLeavesRunUntouched) {
+  Scenario sc = base_scenario();
+  const EmulationResult clean = run(sc);
+  sc.faults = FaultPlan{};  // explicit all-zero plan
+  const EmulationResult again = run(sc);
+  const Metrics& a = clean.metrics;
+  const Metrics& b = again.metrics;
+  EXPECT_EQ(a.used_flops, b.used_flops);
+  EXPECT_EQ(a.n_jobs_completed, b.n_jobs_completed);
+  EXPECT_EQ(a.n_rpcs, b.n_rpcs);
+  EXPECT_FALSE(b.faults_fired());
+  EXPECT_EQ(b.n_job_failures, 0);
+  EXPECT_EQ(b.n_host_crashes, 0);
+  EXPECT_EQ(b.n_rpcs_lost, 0);
+  EXPECT_EQ(b.n_transfer_retries, 0);
+  EXPECT_EQ(b.failure_wasted_flops, 0.0);
+}
+
+TEST(Faults, FaultedRunIsBitReproducible) {
+  Scenario sc = base_scenario();
+  sc.faults = FaultPlan::heavy();
+  const EmulationResult a = run(sc);
+  const EmulationResult b = run(sc);
+  EXPECT_TRUE(a.metrics.faults_fired());
+  EXPECT_EQ(a.metrics.used_flops, b.metrics.used_flops);
+  EXPECT_EQ(a.metrics.failure_wasted_flops, b.metrics.failure_wasted_flops);
+  EXPECT_EQ(a.metrics.n_job_failures, b.metrics.n_job_failures);
+  EXPECT_EQ(a.metrics.n_host_crashes, b.metrics.n_host_crashes);
+  EXPECT_EQ(a.metrics.n_rpcs_lost, b.metrics.n_rpcs_lost);
+  EXPECT_EQ(a.metrics.recovery_time_sum, b.metrics.recovery_time_sum);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].flops_done, b.jobs[i].flops_done);
+    EXPECT_EQ(a.jobs[i].failed, b.jobs[i].failed);
+    EXPECT_EQ(a.jobs[i].failed_at, b.jobs[i].failed_at);
+  }
+}
+
+TEST(Faults, DifferentSeedsDifferentFaults) {
+  Scenario sc = base_scenario();
+  sc.faults = FaultPlan::heavy();
+  const EmulationResult a = run(sc);
+  sc.seed = 999;
+  const EmulationResult b = run(sc);
+  // Same rates, different draws: the realized fault pattern moves.
+  EXPECT_NE(a.metrics.failure_wasted_flops, b.metrics.failure_wasted_flops);
+}
+
+// --- Job runtime failures ---------------------------------------------
+
+TEST(Faults, JobErrorsWasteFlopsAndAreCounted) {
+  Scenario sc = base_scenario();
+  sc.faults.job_error_rate = 0.2;
+  const EmulationResult res = run(sc);
+  const Metrics& m = res.metrics;
+  EXPECT_GT(m.n_job_failures, 0);
+  EXPECT_GT(m.failure_wasted_flops, 0.0);
+  EXPECT_LE(m.failure_wasted_flops, m.wasted_flops);
+  std::int64_t failed_jobs = 0;
+  for (const Result& r : res.jobs) {
+    if (!r.failed) continue;
+    ++failed_jobs;
+    EXPECT_FALSE(r.is_complete());
+    EXPECT_LT(r.flops_done, r.flops_total);
+    EXPECT_LT(r.failed_at, kNever);
+    // Failed jobs are reported back (frees the server slot).
+    EXPECT_TRUE(r.uploaded);
+  }
+  EXPECT_EQ(failed_jobs, m.n_job_failures + m.n_job_aborts);
+  // Per-project stats separate failures from completions.
+  std::int64_t stats_failed = 0;
+  for (const auto& ps : res.project_stats) stats_failed += ps.jobs_failed;
+  EXPECT_EQ(stats_failed, failed_jobs);
+}
+
+TEST(Faults, AbortRateProducesAborts) {
+  Scenario sc = base_scenario();
+  sc.faults.job_abort_rate = 0.15;
+  const Metrics m = run(sc).metrics;
+  EXPECT_GT(m.n_job_aborts, 0);
+  EXPECT_EQ(m.n_job_failures, 0);
+}
+
+TEST(Faults, PerClassRateOverridesPlan) {
+  Scenario sc = base_scenario();
+  sc.faults.job_error_rate = 0.5;
+  // Every class pins its own rate to zero: the plan's rate must not apply.
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.error_rate = 0.0;
+  }
+  const Metrics m = run(sc).metrics;
+  EXPECT_EQ(m.n_job_failures, 0);
+}
+
+// --- Host crashes ------------------------------------------------------
+
+TEST(Faults, CrashesRollBackToCheckpointAndRecover) {
+  Scenario sc = base_scenario();
+  sc.faults.crash_mtbf = 6.0 * kSecondsPerHour;
+  sc.faults.crash_reboot_delay = 600.0;
+  const Metrics m = run(sc).metrics;
+  EXPECT_GT(m.n_host_crashes, 0);
+  EXPECT_GT(m.n_crash_recoveries, 0);
+  EXPECT_LE(m.n_crash_recoveries, m.n_host_crashes);
+  // Work cannot resume before the reboot finishes.
+  EXPECT_GE(m.mean_recovery_time(), sc.faults.crash_reboot_delay);
+}
+
+TEST(Faults, CrashWithoutCheckpointsLosesMoreWork) {
+  Scenario frequent = base_scenario();
+  frequent.faults.crash_mtbf = 2.0 * kSecondsPerHour;
+  Scenario rare = frequent;
+  for (auto& p : frequent.projects) {
+    for (auto& jc : p.job_classes) jc.checkpoint_period = kNever;
+  }
+  for (auto& p : rare.projects) {
+    for (auto& jc : p.job_classes) jc.checkpoint_period = 60.0;
+  }
+  const Metrics none = run(frequent).metrics;
+  const Metrics often = run(rare).metrics;
+  EXPECT_GT(none.n_host_crashes, 0);
+  // Same crash draws (same seed/stream); frequent checkpoints keep more of
+  // the computed FLOPs.
+  EXPECT_EQ(none.n_host_crashes, often.n_host_crashes);
+  EXPECT_GT(often.n_jobs_completed, 0);
+  EXPECT_GE(none.used_flops - often.used_flops, -1e-6);
+}
+
+// --- Lost scheduler RPCs ----------------------------------------------
+
+TEST(Faults, LostRepliesOrphanJobsAndServerReclaims) {
+  Scenario sc = base_scenario();
+  sc.faults.rpc_loss_rate = 0.3;
+  sc.faults.rpc_timeout = 1800.0;
+  const EmulationResult res = run(sc);
+  const Metrics& m = res.metrics;
+  EXPECT_GT(m.n_rpcs_lost, 0);
+  EXPECT_GT(m.n_jobs_orphaned, 0);
+  EXPECT_GT(m.retries_per_job(), 0.0);
+  // Orphaned jobs never reach the client's job list: every job the client
+  // holds arrived on a delivered reply.
+  EXPECT_EQ(static_cast<std::int64_t>(res.jobs.size()), m.n_jobs_fetched);
+  // The client keeps making progress despite the losses.
+  EXPECT_GT(m.n_jobs_completed, 0);
+}
+
+TEST(Faults, LostReplyRunIsReproducible) {
+  Scenario sc = base_scenario();
+  sc.faults.rpc_loss_rate = 0.3;
+  const Metrics a = run(sc).metrics;
+  const Metrics b = run(sc).metrics;
+  EXPECT_EQ(a.n_rpcs_lost, b.n_rpcs_lost);
+  EXPECT_EQ(a.n_rpcs, b.n_rpcs);
+  EXPECT_EQ(a.used_flops, b.used_flops);
+}
+
+// --- Transfer failures -------------------------------------------------
+
+Scenario transfer_scenario() {
+  Scenario sc = paper_scenario1(1800.0);
+  sc.duration = 1.0 * kSecondsPerDay;
+  sc.host.download_bandwidth_bps = 2e5;
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 1e7;
+  }
+  return sc;
+}
+
+TEST(Faults, TransferErrorsRetryWithBackoff) {
+  Scenario sc = transfer_scenario();
+  sc.faults.transfer_error_rate = 0.4;
+  sc.faults.transfer_retry_min = 10.0;
+  const Metrics m = run(sc).metrics;
+  EXPECT_GT(m.n_transfer_retries, 0);
+  EXPECT_GT(m.n_jobs_completed, 0);  // retries eventually succeed
+}
+
+TEST(Faults, NonResumableTransfersAreSlower) {
+  Scenario resumable = transfer_scenario();
+  resumable.faults.transfer_error_rate = 0.5;
+  resumable.faults.transfer_retry_min = 10.0;
+  Scenario restart = resumable;
+  for (auto& p : restart.projects) p.transfers_resumable = false;
+  const Metrics a = run(resumable).metrics;
+  const Metrics b = run(restart).metrics;
+  EXPECT_GT(a.n_transfer_retries, 0);
+  // Restart-from-zero re-downloads everything after each error; with the
+  // same failure draws it can never deliver more jobs.
+  EXPECT_GE(a.n_jobs_completed, b.n_jobs_completed);
+}
+
+// --- Scenario-file round trip ------------------------------------------
+
+TEST(Faults, PlanSurvivesSerializeParse) {
+  Scenario sc = base_scenario();
+  sc.faults.job_error_rate = 0.05;
+  sc.faults.job_abort_rate = 0.01;
+  sc.faults.crash_mtbf = 43200.0;
+  sc.faults.crash_reboot_delay = 300.0;
+  sc.faults.rpc_loss_rate = 0.2;
+  sc.faults.rpc_timeout = 1800.0;
+  sc.faults.transfer_error_rate = 0.15;
+  sc.faults.transfer_retry_min = 30.0;
+  sc.faults.transfer_retry_max = 600.0;
+  sc.projects[0].transfers_resumable = false;
+  sc.projects[0].job_classes[0].error_rate = 0.3;
+  const Scenario back = parse_scenario(serialize_scenario(sc));
+  EXPECT_DOUBLE_EQ(back.faults.job_error_rate, 0.05);
+  EXPECT_DOUBLE_EQ(back.faults.job_abort_rate, 0.01);
+  EXPECT_DOUBLE_EQ(back.faults.crash_mtbf, 43200.0);
+  EXPECT_DOUBLE_EQ(back.faults.crash_reboot_delay, 300.0);
+  EXPECT_DOUBLE_EQ(back.faults.rpc_loss_rate, 0.2);
+  EXPECT_DOUBLE_EQ(back.faults.rpc_timeout, 1800.0);
+  EXPECT_DOUBLE_EQ(back.faults.transfer_error_rate, 0.15);
+  EXPECT_DOUBLE_EQ(back.faults.transfer_retry_min, 30.0);
+  EXPECT_DOUBLE_EQ(back.faults.transfer_retry_max, 600.0);
+  EXPECT_FALSE(back.projects[0].transfers_resumable);
+  EXPECT_DOUBLE_EQ(back.projects[0].job_classes[0].error_rate, 0.3);
+}
+
+TEST(Faults, PresetKeysParse) {
+  const Scenario sc = parse_scenario(
+      "cpus: 1 @ 1e9\nfaults: heavy\nfault_rpc_loss: 0.05\n"
+      "project: p\njob: cpu flops=1e12 latency=1e5\n");
+  EXPECT_DOUBLE_EQ(sc.faults.job_error_rate, FaultPlan::heavy().job_error_rate);
+  // Later keys refine the preset.
+  EXPECT_DOUBLE_EQ(sc.faults.rpc_loss_rate, 0.05);
+}
+
+TEST(Faults, ShippedFaultyScenarioLoadsAndFires) {
+  const Scenario sc =
+      load_scenario_file(std::string(BCE_SOURCE_DIR) + "/scenarios/faulty.txt");
+  EXPECT_TRUE(sc.faults.any());
+  std::string err;
+  EXPECT_TRUE(sc.validate(&err)) << err;
+  Scenario shortened = sc;
+  shortened.duration = 0.5 * kSecondsPerDay;
+  const Metrics m = run(shortened).metrics;
+  EXPECT_TRUE(m.faults_fired());
+}
+
+}  // namespace
+}  // namespace bce

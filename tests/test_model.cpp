@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/job.hpp"
@@ -224,6 +227,96 @@ INSTANTIATE_TEST_SUITE_P(
         NamedCorruption{"negative_transfer",
                         [](Scenario& s) {
                           s.projects[0].job_classes[0].transfer_delay = -5.0;
+                        }},
+        // NaN/Inf regression sweep: every numeric field must reject
+        // non-finite values instead of silently poisoning the emulation
+        // (std::stod happily parses "nan" and "inf").
+        NamedCorruption{"nan_duration",
+                        [](Scenario& s) { s.duration = std::nan(""); }},
+        NamedCorruption{"inf_duration",
+                        [](Scenario& s) {
+                          s.duration = std::numeric_limits<double>::infinity();
+                        }},
+        NamedCorruption{"nan_cpu_flops",
+                        [](Scenario& s) {
+                          s.host.flops_per_instance[ProcType::kCpu] =
+                              std::nan("");
+                        }},
+        NamedCorruption{"inf_ram",
+                        [](Scenario& s) {
+                          s.host.ram_bytes =
+                              std::numeric_limits<double>::infinity();
+                        }},
+        NamedCorruption{"nan_bandwidth",
+                        [](Scenario& s) {
+                          s.host.download_bandwidth_bps = std::nan("");
+                        }},
+        NamedCorruption{"nan_min_queue",
+                        [](Scenario& s) { s.prefs.min_queue = std::nan(""); }},
+        NamedCorruption{"inf_poll_period",
+                        [](Scenario& s) {
+                          s.prefs.poll_period =
+                              std::numeric_limits<double>::infinity();
+                        }},
+        NamedCorruption{"negative_report_delay",
+                        [](Scenario& s) {
+                          s.prefs.max_report_delay = -1.0;
+                        }},
+        NamedCorruption{"nan_share",
+                        [](Scenario& s) {
+                          s.projects[0].resource_share = std::nan("");
+                        }},
+        NamedCorruption{"inf_share",
+                        [](Scenario& s) {
+                          s.projects[0].resource_share =
+                              std::numeric_limits<double>::infinity();
+                        }},
+        NamedCorruption{"nan_avail_mean",
+                        [](Scenario& s) {
+                          s.availability.host_on =
+                              OnOffSpec::markov(std::nan(""), 600.0);
+                        }},
+        NamedCorruption{"inf_flops_est",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].flops_est =
+                              std::numeric_limits<double>::infinity();
+                        }},
+        NamedCorruption{"nan_latency",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].latency_bound =
+                              std::nan("");
+                        }},
+        NamedCorruption{"nan_checkpoint",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].checkpoint_period =
+                              std::nan("");
+                        }},
+        NamedCorruption{"nan_cv",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].flops_cv = std::nan("");
+                        }},
+        NamedCorruption{"nan_input_bytes",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].input_bytes =
+                              std::nan("");
+                        }},
+        NamedCorruption{"job_error_rate_above_one",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].error_rate = 1.5;
+                        }},
+        NamedCorruption{"nan_job_abort_rate",
+                        [](Scenario& s) {
+                          s.projects[0].job_classes[0].abort_rate =
+                              std::nan("");
+                        }},
+        NamedCorruption{"nan_fault_rate",
+                        [](Scenario& s) {
+                          s.faults.job_error_rate = std::nan("");
+                        }},
+        NamedCorruption{"inf_crash_mtbf",
+                        [](Scenario& s) {
+                          s.faults.crash_mtbf =
+                              std::numeric_limits<double>::infinity();
                         }}),
     [](const ::testing::TestParamInfo<NamedCorruption>& info) {
       return info.param.name;

@@ -236,6 +236,20 @@ TEST(ScenarioIo, InvalidButWellFormedFailsValidation) {
   EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\n"), std::invalid_argument);
 }
 
+TEST(ScenarioIo, RejectsNonFiniteNumbers) {
+  // std::stod parses "nan" and "inf"; validation must catch them.
+  EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\nduration: nan\nproject: p\n"
+                              "job: cpu flops=1e12 latency=1e5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\nproject: p\n"
+                              "job: cpu flops=inf latency=1e5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\nfault_rpc_loss: nan\n"
+                              "project: p\n"
+                              "job: cpu flops=1e12 latency=1e5\n"),
+               std::invalid_argument);
+}
+
 TEST(ScenarioIo, MissingFileThrows) {
   EXPECT_THROW(load_scenario_file("/nonexistent/path.txt"),
                std::runtime_error);
@@ -245,7 +259,7 @@ TEST(ScenarioIo, MissingFileThrows) {
 TEST(ScenarioIo, ShippedScenarioFilesLoadAndValidate) {
   for (const char* name :
        {"scenario1.txt", "scenario2.txt", "scenario3.txt", "scenario4.txt",
-        "sampled_host.txt"}) {
+        "sampled_host.txt", "faulty.txt"}) {
     const std::string path =
         std::string(BCE_SOURCE_DIR) + "/scenarios/" + name;
     Scenario sc;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "client/transfer.hpp"
 
 namespace bce {
@@ -110,6 +112,81 @@ TEST(Transfer, ManyTransfersAllComplete) {
   tm.advance_to(t_all + 1e-6, true);
   EXPECT_EQ(tm.take_completed().size(), 10u);
   EXPECT_EQ(tm.pending(), 0u);
+}
+
+// --- Fault injection (FaultPlan::transfer_error_rate) ------------------
+
+TEST(TransferFaults, CertainFailureRetriesAfterBackoff) {
+  // error_rate 1: every attempt fails partway; the transfer only finishes
+  // because the fail point is drawn per *attempt* and resumable attempts
+  // keep their bytes.
+  TransferManager tm(1e6, TransferOrder::kFairShare, 1.0, 10.0, 40.0,
+                    Xoshiro256(3));
+  tm.add(1, 2e6, 1e9, 0.0, /*resumable=*/true);
+  SimTime t = 0.0;
+  int steps = 0;
+  while (tm.pending() > 0 && steps < 10000) {
+    const SimTime next = tm.next_completion(true);
+    ASSERT_LT(next, kNever);
+    t = std::max(t + 1e-3, next);
+    tm.advance_to(t, true);
+    ++steps;
+  }
+  EXPECT_EQ(tm.pending(), 0u);
+  EXPECT_EQ(tm.take_completed().size(), 1u);
+  EXPECT_GT(tm.retries(), 0);
+}
+
+TEST(TransferFaults, BackoffWaitsOutRetryWindow) {
+  TransferManager tm(1e6, TransferOrder::kFairShare, 1.0, 100.0, 3600.0,
+                    Xoshiro256(3));
+  tm.add(1, 2e6, 1e9, 0.0);
+  // First attempt fails somewhere inside the first 2 s of link time.
+  const SimTime fail_at = tm.next_completion(true);
+  ASSERT_LT(fail_at, 2.0 + 1e-9);
+  tm.advance_to(fail_at, true);
+  EXPECT_EQ(tm.retries(), 1);
+  // While backed off the transfer moves no bytes and the next event is the
+  // retry expiry, at least retry_min away.
+  const SimTime retry = tm.next_completion(true);
+  EXPECT_GE(retry, fail_at + 100.0 - 1e-9);
+  tm.advance_to(retry - 1.0, true);
+  EXPECT_EQ(tm.take_completed().size(), 0u);
+  EXPECT_EQ(tm.retries(), 1);
+}
+
+TEST(TransferFaults, NonResumableRestartsFromZero) {
+  // With a certain per-attempt failure, a resumable transfer converges
+  // (the remaining bytes shrink with every attempt) while a restart-from-
+  // zero transfer faces the same full 2 MB every attempt and never does.
+  TransferManager res(1e6, TransferOrder::kFairShare, 1.0, 10.0, 10.0,
+                      Xoshiro256(9));
+  TransferManager raw(1e6, TransferOrder::kFairShare, 1.0, 10.0, 10.0,
+                      Xoshiro256(9));
+  res.add(1, 2e6, 1e9, 0.0, /*resumable=*/true);
+  raw.add(1, 2e6, 1e9, 0.0, /*resumable=*/false);
+  for (SimTime t = 1.0; t < 2000.0; t += 1.0) {
+    res.advance_to(t, true);
+    raw.advance_to(t, true);
+  }
+  EXPECT_EQ(res.pending(), 0u);
+  EXPECT_EQ(res.take_completed().size(), 1u);
+  EXPECT_EQ(raw.pending(), 1u);
+  EXPECT_GT(raw.retries(), 0);
+}
+
+TEST(TransferFaults, ZeroRateMatchesFaultFreeManager) {
+  // A zero error rate must not consume RNG draws or perturb timing.
+  TransferManager plain(1e6, TransferOrder::kFairShare);
+  TransferManager faulted(1e6, TransferOrder::kFairShare, 0.0, 60.0, 3600.0,
+                          Xoshiro256(5));
+  plain.add(1, 4e6, 1e9, 0.0);
+  faulted.add(1, 4e6, 1e9, 0.0);
+  EXPECT_EQ(plain.next_completion(true), faulted.next_completion(true));
+  plain.advance_to(4.0, true);
+  faulted.advance_to(4.0, true);
+  EXPECT_EQ(plain.take_completed(), faulted.take_completed());
+  EXPECT_EQ(faulted.retries(), 0);
 }
 
 TEST(Transfer, CompletionOrderIsDeterministic) {

@@ -144,6 +144,86 @@ TEST(WorkFetch, SkipsBackedOffProject) {
   EXPECT_EQ(d.project, 1);
 }
 
+TEST(WorkFetch, OrigSkipsBackedOffProject) {
+  // The per-type backoff must gate JF_ORIG's candidate set exactly as it
+  // gates JF_HYSTERESIS's (SkipsBackedOffProject above).
+  Fixture f;
+  f.policy.fetch = FetchPolicy::kOrig;
+  f.add_project("a", 100.0);
+  f.add_project("b", 100.0);
+  f.rr.shortfall_min[ProcType::kCpu] = 200.0;
+  f.rr.shortfall[ProcType::kCpu] = 2000.0;
+  f.states[0].type_backoff_until[ProcType::kCpu] = 5000.0;
+  const auto acct = f.make_acct();
+  const auto d = f.choose(100.0, acct);
+  ASSERT_TRUE(d.fetch());
+  EXPECT_EQ(d.project, 1);
+  // Once the backoff expires the project is eligible again.
+  f.states[1].type_backoff_until[ProcType::kCpu] = 9000.0;
+  EXPECT_EQ(f.choose(6000.0, acct).project, 0);
+}
+
+TEST(WorkFetch, RetryBackoffDoublesFromMinAndCaps) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  const SimTime first = wf.on_reply_lost(0.0, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].rpc_retry_backoff_len,
+                   WorkFetch::kRetryBackoffMin);
+  EXPECT_DOUBLE_EQ(first, WorkFetch::kRetryBackoffMin);
+  EXPECT_DOUBLE_EQ(f.states[0].next_allowed_rpc, first);
+  wf.on_reply_lost(first, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].rpc_retry_backoff_len,
+                   2.0 * WorkFetch::kRetryBackoffMin);
+  for (int i = 0; i < 20; ++i) wf.on_reply_lost(1000.0 * i, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].rpc_retry_backoff_len, WorkFetch::kBackoffMax);
+}
+
+TEST(WorkFetch, RetryBackoffDistinctFromProjectDownBackoff) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  wf.on_reply_lost(0.0, f.states[0], f.log);
+  // A lost reply grows only the retry backoff, not the "project down" one.
+  EXPECT_GT(f.states[0].rpc_retry_backoff_len, 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, 0.0);
+  WorkRequest req;
+  RpcReply down;
+  down.project_down = true;
+  wf.on_reply(100.0, req, down, f.states[0], f.log);
+  // And a delivered reply (even "down") clears the retry backoff while the
+  // project-down backoff takes over.
+  EXPECT_DOUBLE_EQ(f.states[0].rpc_retry_backoff_len, 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, WorkFetch::kBackoffMin);
+}
+
+TEST(WorkFetch, SuccessfulReplyResetsAllBackoffs) {
+  Fixture f;
+  f.add_project("a", 100.0);
+  WorkFetch wf(f.host, f.prefs, f.policy);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 100.0;
+  RpcReply empty;
+  empty.no_jobs_for[ProcType::kCpu] = true;
+  wf.on_reply(0.0, req, empty, f.states[0], f.log);
+  wf.on_reply_lost(10.0, f.states[0], f.log);
+  RpcReply down;
+  down.project_down = true;
+  wf.on_reply(20.0, req, down, f.states[0], f.log);
+  ASSERT_GT(f.states[0].type_backoff_len[ProcType::kCpu], 0.0);
+  ASSERT_GT(f.states[0].project_backoff_len, 0.0);
+
+  RpcReply withjob;
+  Result r;
+  r.usage = ResourceUsage::cpu(1.0);
+  withjob.jobs.push_back(r);
+  wf.on_reply(2000.0, req, withjob, f.states[0], f.log);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_len[ProcType::kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].type_backoff_until[ProcType::kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].project_backoff_len, 0.0);
+  EXPECT_DOUBLE_EQ(f.states[0].rpc_retry_backoff_len, 0.0);
+}
+
 TEST(WorkFetch, RespectsMinRpcInterval) {
   Fixture f;
   f.policy.fetch = FetchPolicy::kHysteresis;

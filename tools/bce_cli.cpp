@@ -9,6 +9,7 @@
 //   bce sweep <scenario> --param min_queue --values 600,3600,14400
 //   bce sample [n] [days]              Monte-Carlo population comparison
 //   bce print <scenario>               parse, validate and echo a scenario
+//   bce determinism <scenario>         run twice, fail unless byte-identical
 //   bce list-policies                  registered policies (also --list-policies)
 //
 // Common options:
@@ -25,8 +26,17 @@
 //   --seed N                      override scenario seed
 //   --timeline                    print the ASCII processor timeline
 //   --log CAT[,CAT...]            message log (task,cpu_sched,rr_sim,
-//                                 work_fetch,rpc,avail,server or 'all')
+//                                 work_fetch,rpc,avail,server,fault or 'all')
 //   --threads N                   sweep parallelism
+//
+// Fault injection (docs/faults.md); each overrides the scenario file:
+//   --faults off|light|heavy      preset fault plan
+//   --job-error R --job-abort R   per-job failure probabilities in [0,1]
+//   --crash-mtbf S                mean seconds between host crashes (0 = off)
+//   --crash-reboot S              reboot delay after a crash
+//   --rpc-loss R                  scheduler-reply loss probability
+//   --rpc-timeout S               server-side orphaned-job reclaim timeout
+//   --transfer-error R            per-attempt download/upload failure rate
 
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +60,12 @@ struct CliOptions {
   unsigned threads = 0;
   std::string sweep_param;
   std::vector<double> sweep_values;
+
+  /// Fault-plan overrides: the preset (if any) is applied first, then the
+  /// individual knobs, mirroring the scenario-file key order.
+  bool have_faults_preset = false;
+  FaultPlan faults_preset;
+  std::vector<std::pair<double FaultPlan::*, double>> fault_knobs;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -63,11 +79,16 @@ struct CliOptions {
       "                 half_life --values v1,v2,...)\n"
       "  sample         [n] [days]: Monte-Carlo population policy comparison\n"
       "  print          parse, validate and echo a scenario file\n"
+      "  determinism    run a scenario twice, fail unless reports are\n"
+      "                 byte-identical\n"
       "  list-policies  list the registered policies and their aliases\n"
       "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
       "         see list-policies)  --policy wrr|local|global (legacy)\n"
       "         --half-life S  --server-deadline-check  --fetch-suppression\n"
-      "         --days N  --seed N  --timeline  --log CATS  --threads N\n";
+      "         --days N  --seed N  --timeline  --log CATS  --threads N\n"
+      "faults:  --faults off|light|heavy  --job-error R  --job-abort R\n"
+      "         --crash-mtbf S  --crash-reboot S  --rpc-loss R\n"
+      "         --rpc-timeout S  --transfer-error R  (see docs/faults.md)\n";
   std::exit(2);
 }
 
@@ -92,11 +113,26 @@ int cmd_list_policies() {
   return 0;
 }
 
+/// std::stod with a diagnostic naming the offending option instead of the
+/// bare "stod" message (and rejecting trailing junk like "1.5x").
+double parse_number(const std::string& s, const std::string& opt) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage(("bad number '" + s + "' for " + opt).c_str());
+  }
+}
+
 std::vector<double> parse_values(const std::string& csv) {
   std::vector<double> out;
   std::istringstream is(csv);
   std::string tok;
-  while (std::getline(is, tok, ',')) out.push_back(std::stod(tok));
+  while (std::getline(is, tok, ',')) {
+    out.push_back(parse_number(tok, "--values"));
+  }
   return out;
 }
 
@@ -137,15 +173,48 @@ CliOptions parse_options(int argc, char** argv, int first,
     } else if (a == "--list-policies") {
       std::exit(cmd_list_policies());
     } else if (a == "--half-life") {
-      o.policy.rec_half_life = std::stod(need_value());
+      o.policy.rec_half_life = parse_number(need_value(), a);
     } else if (a == "--server-deadline-check") {
       o.policy.server_deadline_check = true;
     } else if (a == "--fetch-suppression") {
       o.policy.fetch_deadline_suppression = true;
     } else if (a == "--days") {
-      o.days = std::stod(need_value());
+      o.days = parse_number(need_value(), a);
     } else if (a == "--seed") {
       o.seed = std::strtoull(need_value().c_str(), nullptr, 10);
+    } else if (a == "--faults") {
+      const std::string v = need_value();
+      o.have_faults_preset = true;
+      if (v == "off") {
+        o.faults_preset = FaultPlan{};
+      } else if (v == "light") {
+        o.faults_preset = FaultPlan::light();
+      } else if (v == "heavy") {
+        o.faults_preset = FaultPlan::heavy();
+      } else {
+        usage("--faults expects off, light or heavy");
+      }
+    } else if (a == "--job-error") {
+      o.fault_knobs.emplace_back(&FaultPlan::job_error_rate,
+                                 parse_number(need_value(), a));
+    } else if (a == "--job-abort") {
+      o.fault_knobs.emplace_back(&FaultPlan::job_abort_rate,
+                                 parse_number(need_value(), a));
+    } else if (a == "--crash-mtbf") {
+      o.fault_knobs.emplace_back(&FaultPlan::crash_mtbf,
+                                 parse_number(need_value(), a));
+    } else if (a == "--crash-reboot") {
+      o.fault_knobs.emplace_back(&FaultPlan::crash_reboot_delay,
+                                 parse_number(need_value(), a));
+    } else if (a == "--rpc-loss") {
+      o.fault_knobs.emplace_back(&FaultPlan::rpc_loss_rate,
+                                 parse_number(need_value(), a));
+    } else if (a == "--rpc-timeout") {
+      o.fault_knobs.emplace_back(&FaultPlan::rpc_timeout,
+                                 parse_number(need_value(), a));
+    } else if (a == "--transfer-error") {
+      o.fault_knobs.emplace_back(&FaultPlan::transfer_error_rate,
+                                 parse_number(need_value(), a));
     } else if (a == "--timeline") {
       o.timeline = true;
     } else if (a == "--log") {
@@ -173,6 +242,11 @@ Scenario load(const std::string& path, const CliOptions& o) {
   Scenario sc = load_scenario_file(path);
   if (o.days > 0.0) sc.duration = o.days * kSecondsPerDay;
   if (o.seed != 0) sc.seed = o.seed;
+  if (o.have_faults_preset) sc.faults = o.faults_preset;
+  for (const auto& [knob, v] : o.fault_knobs) sc.faults.*knob = v;
+  if (const std::string err = sc.faults.validate(); !err.empty()) {
+    usage(("bad fault options: " + err).c_str());
+  }
   return sc;
 }
 
@@ -194,6 +268,8 @@ void configure_log(Logger& log, const CliOptions& o) {
       log.enable(LogCategory::kAvail);
     } else if (cat == "server") {
       log.enable(LogCategory::kServer);
+    } else if (cat == "fault") {
+      log.enable(LogCategory::kFault);
     } else {
       usage(("unknown log category " + cat).c_str());
     }
@@ -334,6 +410,57 @@ int cmd_print(const std::string& path) {
   return 0;
 }
 
+/// Full-precision dump of everything an emulation produced: every metric
+/// (including fault counters), per-project stats, and the final state of
+/// every job. Two runs of the same scenario must match byte-for-byte.
+std::string precise_report(const Scenario& sc, const EmulationOptions& opt) {
+  const EmulationResult res = emulate(sc, opt);
+  std::ostringstream os;
+  os.precision(17);
+  const Metrics& m = res.metrics;
+  os << "metrics " << m.available_flops << ' ' << m.used_flops << ' '
+     << m.wasted_flops << ' ' << m.share_violation_rms << ' ' << m.monotony
+     << ' ' << m.mean_exclusive_streak << ' ' << m.n_rpcs << ' '
+     << m.n_work_request_rpcs << ' ' << m.n_jobs_fetched << ' '
+     << m.n_jobs_completed << ' ' << m.n_jobs_missed << ' '
+     << m.n_jobs_abandoned << ' ' << m.n_preemptions << '\n'
+     << "faults " << m.failure_wasted_flops << ' ' << m.recovery_time_sum
+     << ' ' << m.n_job_failures << ' ' << m.n_job_aborts << ' '
+     << m.n_host_crashes << ' ' << m.n_crash_recoveries << ' '
+     << m.n_rpcs_lost << ' ' << m.n_jobs_orphaned << ' '
+     << m.n_transfer_retries << '\n';
+  for (std::size_t p = 0; p < res.project_stats.size(); ++p) {
+    const ProjectStats& ps = res.project_stats[p];
+    os << "project " << p << ' ' << ps.jobs_fetched << ' '
+       << ps.jobs_completed << ' ' << ps.jobs_missed << ' ' << ps.jobs_failed
+       << ' ' << ps.flops_used << ' ' << m.usage_fraction[p] << ' '
+       << res.final_rec[p] << '\n';
+  }
+  for (const Result& r : res.jobs) {
+    os << "job " << r.id << ' ' << r.project << ' ' << r.flops_done << ' '
+       << r.flops_spent << ' ' << r.completed_at << ' ' << r.failed << ' '
+       << r.aborted << ' ' << r.failed_at << ' ' << r.reported << '\n';
+  }
+  return os.str();
+}
+
+int cmd_determinism(const std::string& path, const CliOptions& o) {
+  const Scenario sc = load(path, o);
+  EmulationOptions opt;
+  opt.policy = o.policy;
+  const std::string a = precise_report(sc, opt);
+  const std::string b = precise_report(sc, opt);
+  if (a != b) {
+    std::size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+    std::cerr << "determinism FAILED: reports diverge at byte " << i << "\n";
+    return 1;
+  }
+  std::cout << "determinism OK: two runs byte-identical (" << a.size()
+            << " bytes, seed " << sc.seed << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,6 +477,7 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare(path, o);
     if (cmd == "sweep") return cmd_sweep(path, o);
     if (cmd == "print") return cmd_print(path);
+    if (cmd == "determinism") return cmd_determinism(path, o);
     usage(("unknown command " + cmd).c_str());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
