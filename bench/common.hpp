@@ -1,0 +1,102 @@
+#pragma once
+
+// Shared harness for the figure drivers. Every driver used to hand-roll the
+// same three things: the (point x policy x seed) RunSpec expansion with
+// seed = s + 1, the idx-walking loop that averages metrics back over seeds,
+// and the results/ output boilerplate. They live here once; a driver builds
+// GridPoints, calls run_grid, and reads seed-means off the result.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "core/svg_plot.hpp"
+
+namespace bce::bench {
+
+/// Seed replicate count, from the drivers' shared argv[1] convention.
+inline int seeds_from_argv(int argc, char** argv, int fallback) {
+  return argc > 1 ? std::atoi(argv[1]) : fallback;
+}
+
+/// One grid point: a (scenario, options) pair emulated over N seeds.
+struct GridPoint {
+  std::string label;
+  Scenario scenario;
+  EmulationOptions options;
+};
+
+/// Per-seed metrics of one grid point, with seed-mean helpers.
+struct SeedMean {
+  std::string label;
+  std::vector<Metrics> runs;  ///< seed order (seed = 1..N)
+
+  /// Mean of an arbitrary metric projection over the seed replicates.
+  template <class F>
+  [[nodiscard]] double mean(F&& f) const {
+    double sum = 0.0;
+    for (const auto& m : runs) sum += f(m);
+    return runs.empty() ? 0.0 : sum / static_cast<double>(runs.size());
+  }
+};
+
+/// Expand each point over seeds 1..N (matching the original drivers'
+/// `seed = s + 1`), run the whole grid as one parallel batch, and collapse
+/// the results back into per-point seed groups, in input order.
+inline std::vector<SeedMean> run_grid(const std::vector<GridPoint>& points,
+                                      int seeds, unsigned n_threads = 0) {
+  std::vector<RunSpec> specs;
+  specs.reserve(points.size() * static_cast<std::size_t>(seeds));
+  for (const auto& pt : points) {
+    for (int s = 0; s < seeds; ++s) {
+      RunSpec spec;
+      spec.label = pt.label;
+      spec.scenario = pt.scenario;
+      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
+      spec.options = pt.options;
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = run_batch(specs, n_threads);
+  std::vector<SeedMean> out;
+  out.reserve(points.size());
+  std::size_t idx = 0;
+  for (const auto& pt : points) {
+    SeedMean g;
+    g.label = pt.label;
+    g.runs.reserve(static_cast<std::size_t>(seeds));
+    for (int s = 0; s < seeds; ++s) {
+      g.runs.push_back(results[idx++].result.metrics);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+/// Write \p table as results/<name>.csv (created on demand) and announce it.
+inline bool write_results_csv(const Table& table, const std::string& name) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name + ".csv";
+  std::ofstream os(path);
+  if (!os) return false;
+  table.write_csv(os);
+  if (!os) return false;
+  std::cout << "table written to " << path << "\n";
+  return true;
+}
+
+/// Save \p plot as results/<name>.svg (created on demand) and announce it.
+inline bool save_results_svg(const SvgPlot& plot, const std::string& name) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name + ".svg";
+  if (!plot.save(path)) return false;
+  std::cout << "plot written to " << path << "\n";
+  return true;
+}
+
+}  // namespace bce::bench

@@ -9,10 +9,12 @@
 
 #include <iostream>
 
-#include "core/bce.hpp"
+#include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bce;
+
+  const int seeds = bench::seeds_from_argv(argc, argv, 1);
 
   std::cout << "Figure 1: resource share applies to combined resources\n\n";
 
@@ -41,6 +43,7 @@ int main() {
   std::cout << "ideal allocation (paper: A=15 total w/ 25% GPU, B=15 w/ 75% "
                "GPU):\n";
   t1.print(std::cout);
+  bench::write_results_csv(t1, "fig1_share_split_ideal");
 
   // --- emulated allocation ----------------------------------------------
   // The same situation as a dynamic scenario: 1 "CPU" instance at 10 GFLOPS
@@ -76,19 +79,25 @@ int main() {
 
   sc.projects = {pa, pb};
 
-  EmulationOptions opt;
-  opt.policy.sched = JobSchedPolicy::kGlobal;
-  const EmulationResult res = emulate(sc, opt);
+  bench::GridPoint pt;
+  pt.label = "JS_GLOBAL";
+  pt.scenario = sc;
+  pt.options.policy.sched = JobSchedPolicy::kGlobal;
+  const auto grid = bench::run_grid({pt}, seeds);
+  const bench::SeedMean& g = grid[0];
 
   Table t2({"project", "share", "usage fraction (emulated)",
             "usage fraction (ideal)"});
   for (std::size_t p = 0; p < 2; ++p) {
     t2.add_row({names[p], fmt(sc.share_fraction(p), 3),
-                fmt(res.metrics.usage_fraction[p], 3),
+                fmt(g.mean([p](const Metrics& m) { return m.usage_fraction[p]; }),
+                    3),
                 fmt(split.total[p] / 30e9, 3)});
   }
-  std::cout << "\nemulated 10-day usage under JS_GLOBAL:\n";
+  std::cout << "\nemulated 10-day usage under JS_GLOBAL (" << seeds
+            << " seed(s)):\n";
   t2.print(std::cout);
-  std::cout << "\n" << res.metrics.summary() << "\n";
+  bench::write_results_csv(t2, "fig1_share_split_emulated");
+  std::cout << "\n" << g.runs.front().summary() << "\n";
   return 0;
 }

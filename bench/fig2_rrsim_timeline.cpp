@@ -9,7 +9,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/bce.hpp"
+#include "common.hpp"
 
 int main() {
   using namespace bce;
@@ -61,6 +61,7 @@ int main() {
   }
   std::cout << "Figure 2: round-robin simulation of the current workload\n\n";
   tj.print(std::cout);
+  bench::write_results_csv(tj, "fig2_rrsim_jobs");
 
   Table tt({"type", "SAT(T) s", "SHORTFALL(T) inst-sec", "idle now"});
   for (const auto t : kAllProcTypes) {
@@ -70,6 +71,7 @@ int main() {
   }
   std::cout << '\n';
   tt.print(std::cout);
+  bench::write_results_csv(tt, "fig2_rrsim_types");
 
   // Busy-profile bars: predicted busy instances over time, per type.
   std::cout << "\npredicted busy instances over time ('#' = 1 busy instance, "

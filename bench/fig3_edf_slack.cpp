@@ -8,16 +8,14 @@
 // ~half the processing (project 1's jobs cannot meet their deadlines); as
 // slack grows, the deadline-aware policy's waste falls much faster.
 
-#include <filesystem>
 #include <iostream>
 
-#include "core/bce.hpp"
-#include "core/svg_plot.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
   using namespace bce;
 
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int seeds = bench::seeds_from_argv(argc, argv, 3);
 
   std::vector<double> latencies;
   for (double l = 1000.0; l <= 2000.0 + 1e-9; l += 100.0) latencies.push_back(l);
@@ -30,31 +28,28 @@ int main(int argc, char** argv) {
                                         {"JS_LOCAL", JobSchedPolicy::kLocal},
                                         {"JS_GLOBAL", JobSchedPolicy::kGlobal}};
 
-  std::vector<RunSpec> specs;
+  std::vector<bench::GridPoint> points;
   for (const double lat : latencies) {
     for (const auto& pol : policies) {
-      for (int s = 0; s < seeds; ++s) {
-        RunSpec spec;
-        spec.scenario = paper_scenario1(lat);
-        spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
-        spec.options.policy.sched = pol.sched;
-        // JF_ORIG, the fetch policy of the paper's §5.1 era: small
-        // continuous top-ups, so the queue holds ~1 job per project and
-        // waste isolates the *scheduling* policy.
-        spec.options.policy.fetch = FetchPolicy::kOrig;
-        // Server deadline check off, as in the paper's §5.1 runs: with it
-        // on, the server simply refuses infeasible jobs and no policy
-        // wastes anything (see bench/ablations for that comparison).
-        spec.options.policy.server_deadline_check = false;
-        spec.label = pol.name;
-        specs.push_back(std::move(spec));
-      }
+      bench::GridPoint pt;
+      pt.label = pol.name;
+      pt.scenario = paper_scenario1(lat);
+      pt.options.policy.sched = pol.sched;
+      // JF_ORIG, the fetch policy of the paper's §5.1 era: small
+      // continuous top-ups, so the queue holds ~1 job per project and
+      // waste isolates the *scheduling* policy.
+      pt.options.policy.fetch = FetchPolicy::kOrig;
+      // Server deadline check off, as in the paper's §5.1 runs: with it
+      // on, the server simply refuses infeasible jobs and no policy
+      // wastes anything (see bench/ablations for that comparison).
+      pt.options.policy.server_deadline_check = false;
+      points.push_back(std::move(pt));
     }
   }
 
   std::cout << "Figure 3: wasted fraction vs slack, scenario 1 (" << seeds
             << " seed(s) per point)\n\n";
-  const auto results = run_batch(specs);
+  const auto grid = bench::run_grid(points, seeds);
 
   Table table({"slack(s)", "JS_WRR", "JS_LOCAL", "JS_GLOBAL"});
   std::vector<PlotSeries> series(policies.size());
@@ -65,25 +60,22 @@ int main(int argc, char** argv) {
   for (const double lat : latencies) {
     std::vector<std::string> row = {fmt(lat - 1000.0, 0)};
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      double sum = 0.0;
-      for (int s = 0; s < seeds; ++s) {
-        sum += results[idx++].result.metrics.wasted_fraction();
-      }
-      row.push_back(fmt(sum / seeds));
-      series[pi].points.emplace_back(lat - 1000.0, sum / seeds);
+      const double wasted =
+          grid[idx++].mean([](const Metrics& m) { return m.wasted_fraction(); });
+      row.push_back(fmt(wasted));
+      series[pi].points.emplace_back(lat - 1000.0, wasted);
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  std::cout << '\n';
+  bench::write_results_csv(table, "fig3_edf_slack");
 
   SvgPlot plot("Figure 3: deadline scheduling vs wasted processing",
                "slack (s)", "wasted fraction");
   for (auto& s : series) plot.add_series(std::move(s));
   plot.set_y_range(0.0, 0.6);
-  std::filesystem::create_directories("results");
-  if (plot.save("results/fig3_edf_slack.svg")) {
-    std::cout << "\nplot written to results/fig3_edf_slack.svg\n";
-  }
+  bench::save_results_svg(plot, "fig3_edf_slack");
   std::cout << "\npaper shape: ~0.5 for all policies at slack 0; the "
                "deadline-aware policies (JS_LOCAL/JS_GLOBAL) drop toward 0 "
                "with modest slack while JS_WRR needs slack ~ runtime.\n";

@@ -7,14 +7,15 @@
 // over its share; JS_GLOBAL (REC spanning types) gives the CPU to the
 // CPU-only project, the best any scheduler can do.
 
+#include <cmath>
 #include <iostream>
 
-#include "core/bce.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
   using namespace bce;
 
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int seeds = bench::seeds_from_argv(argc, argv, 3);
   const Scenario base = paper_scenario2();
 
   // The constrained optimum for reference: P1 can only use the 4 GFLOPS of
@@ -39,38 +40,27 @@ int main(int argc, char** argv) {
   const std::vector<Policy> policies = {{"JS_LOCAL", JobSchedPolicy::kLocal},
                                         {"JS_GLOBAL", JobSchedPolicy::kGlobal}};
 
-  std::vector<RunSpec> specs;
+  std::vector<bench::GridPoint> points;
   for (const auto& pol : policies) {
-    for (int s = 0; s < seeds; ++s) {
-      RunSpec spec;
-      spec.scenario = base;
-      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
-      spec.options.policy.sched = pol.sched;
-      spec.label = pol.name;
-      specs.push_back(std::move(spec));
-    }
+    bench::GridPoint pt;
+    pt.label = pol.name;
+    pt.scenario = base;
+    pt.options.policy.sched = pol.sched;
+    points.push_back(std::move(pt));
   }
-  const auto results = run_batch(specs);
+  const auto grid = bench::run_grid(points, seeds);
 
   std::cout << "Figure 4: resource-share violation, scenario 2 (" << seeds
             << " seed(s))\n\n";
   Table table({"policy", "share_violation", "P1(cpu-only) usage",
                "P2(cpu+gpu) usage", "idle"});
-  std::size_t idx = 0;
-  for (const auto& pol : policies) {
-    double viol = 0.0;
-    double u1 = 0.0;
-    double u2 = 0.0;
-    double idle = 0.0;
-    for (int s = 0; s < seeds; ++s) {
-      const Metrics& m = results[idx++].result.metrics;
-      viol += m.share_violation();
-      u1 += m.usage_fraction[0];
-      u2 += m.usage_fraction[1];
-      idle += m.idle_fraction();
-    }
-    table.add_row({pol.name, fmt(viol / seeds), fmt(u1 / seeds),
-                   fmt(u2 / seeds), fmt(idle / seeds)});
+  for (const auto& g : grid) {
+    table.add_row(
+        {g.label,
+         fmt(g.mean([](const Metrics& m) { return m.share_violation(); })),
+         fmt(g.mean([](const Metrics& m) { return m.usage_fraction[0]; })),
+         fmt(g.mean([](const Metrics& m) { return m.usage_fraction[1]; })),
+         fmt(g.mean([](const Metrics& m) { return m.idle_fraction(); }))});
   }
   table.add_row({"(ideal)",
                  fmt(std::sqrt(((ideal.total[0] / total_cap - 0.5) *
@@ -81,6 +71,8 @@ int main(int argc, char** argv) {
                  fmt(ideal.total[0] / total_cap), fmt(ideal.total[1] / total_cap),
                  "0.000"});
   table.print(std::cout);
+  std::cout << '\n';
+  bench::write_results_csv(table, "fig4_accounting");
   std::cout << "\npaper shape: JS_LOCAL splits the CPU evenly (higher "
                "violation); JS_GLOBAL approaches the constrained optimum.\n";
   return 0;

@@ -8,12 +8,12 @@
 
 #include <iostream>
 
-#include "core/bce.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
   using namespace bce;
 
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int seeds = bench::seeds_from_argv(argc, argv, 2);
   const Scenario base = paper_scenario4();
 
   struct Policy {
@@ -23,48 +23,39 @@ int main(int argc, char** argv) {
   const std::vector<Policy> policies = {{"JF_ORIG", FetchPolicy::kOrig},
                                         {"JF_HYSTERESIS", FetchPolicy::kHysteresis}};
 
-  std::vector<RunSpec> specs;
+  std::vector<bench::GridPoint> points;
   for (const auto& pol : policies) {
-    for (int s = 0; s < seeds; ++s) {
-      RunSpec spec;
-      spec.scenario = base;
-      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
-      spec.options.policy.sched = JobSchedPolicy::kGlobal;
-      spec.options.policy.fetch = pol.fetch;
-      spec.label = pol.name;
-      specs.push_back(std::move(spec));
-    }
+    bench::GridPoint pt;
+    pt.label = pol.name;
+    pt.scenario = base;
+    pt.options.policy.sched = JobSchedPolicy::kGlobal;
+    pt.options.policy.fetch = pol.fetch;
+    points.push_back(std::move(pt));
   }
-  const auto results = run_batch(specs);
+  const auto grid = bench::run_grid(points, seeds);
 
   std::cout << "Figure 5: job-fetch hysteresis, scenario 4 (" << seeds
             << " seed(s))\n\n";
   Table table({"policy", "rpcs/job", "rpcs/job[0,1]", "monotony", "idle",
                "wasted", "jobs", "rpcs"});
-  std::size_t idx = 0;
-  for (const auto& pol : policies) {
-    double rpj = 0.0;
-    double rpn = 0.0;
-    double mono = 0.0;
-    double idle = 0.0;
-    double wasted = 0.0;
-    double jobs = 0.0;
-    double rpcs = 0.0;
-    for (int s = 0; s < seeds; ++s) {
-      const Metrics& m = results[idx++].result.metrics;
-      rpj += m.rpcs_per_job();
-      rpn += m.rpcs_per_job_norm();
-      mono += m.monotony;
-      idle += m.idle_fraction();
-      wasted += m.wasted_fraction();
-      jobs += static_cast<double>(m.n_jobs_completed);
-      rpcs += static_cast<double>(m.n_rpcs);
-    }
-    table.add_row({pol.name, fmt(rpj / seeds, 2), fmt(rpn / seeds),
-                   fmt(mono / seeds), fmt(idle / seeds), fmt(wasted / seeds),
-                   fmt(jobs / seeds, 0), fmt(rpcs / seeds, 0)});
+  for (const auto& g : grid) {
+    table.add_row(
+        {g.label,
+         fmt(g.mean([](const Metrics& m) { return m.rpcs_per_job(); }), 2),
+         fmt(g.mean([](const Metrics& m) { return m.rpcs_per_job_norm(); })),
+         fmt(g.mean([](const Metrics& m) { return m.monotony; })),
+         fmt(g.mean([](const Metrics& m) { return m.idle_fraction(); })),
+         fmt(g.mean([](const Metrics& m) { return m.wasted_fraction(); })),
+         fmt(g.mean([](const Metrics& m) {
+           return static_cast<double>(m.n_jobs_completed);
+         }), 0),
+         fmt(g.mean(
+             [](const Metrics& m) { return static_cast<double>(m.n_rpcs); }),
+             0)});
   }
   table.print(std::cout);
+  std::cout << '\n';
+  bench::write_results_csv(table, "fig5_hysteresis");
   std::cout << "\npaper shape: JF_HYSTERESIS has far fewer RPCs per job; "
                "monotony increases because each RPC fetches many jobs from "
                "one project.\n";

@@ -10,66 +10,54 @@
 // times the job length brings usage back toward the shares.
 
 #include <cmath>
-#include <filesystem>
 #include <iostream>
 
-#include "core/bce.hpp"
-#include "core/svg_plot.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
   using namespace bce;
 
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int seeds = bench::seeds_from_argv(argc, argv, 1);
 
   // Job length is 1e6 s; sweep A from far below to several times that.
   const std::vector<double> half_lives = {1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7};
 
-  std::vector<RunSpec> specs;
+  std::vector<bench::GridPoint> points;
   for (const double a : half_lives) {
-    for (int s = 0; s < seeds; ++s) {
-      RunSpec spec;
-      spec.scenario = paper_scenario3();
-      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
-      spec.options.policy.sched = JobSchedPolicy::kGlobal;
-      spec.options.policy.rec_half_life = a;
-      spec.label = "A=" + std::to_string(a);
-      specs.push_back(std::move(spec));
-    }
+    bench::GridPoint pt;
+    pt.label = "A=" + std::to_string(a);
+    pt.scenario = paper_scenario3();
+    pt.options.policy.sched = JobSchedPolicy::kGlobal;
+    pt.options.policy.rec_half_life = a;
+    points.push_back(std::move(pt));
   }
   std::cout << "Figure 6: REC half-life vs share violation, scenario 3 "
                "(100 days, job length 1e6 s, " << seeds << " seed(s))\n\n";
-  const auto results = run_batch(specs);
+  const auto grid = bench::run_grid(points, seeds);
 
   Table table({"half-life A (s)", "A / job-length", "share_violation",
                "P1(long) usage", "P2 usage", "wasted"});
   PlotSeries viol_series{"share violation", {}};
-  std::size_t idx = 0;
-  for (const double a : half_lives) {
-    double viol = 0.0;
-    double u1 = 0.0;
-    double u2 = 0.0;
-    double wasted = 0.0;
-    for (int s = 0; s < seeds; ++s) {
-      const Metrics& m = results[idx++].result.metrics;
-      viol += m.share_violation();
-      u1 += m.usage_fraction[0];
-      u2 += m.usage_fraction[1];
-      wasted += m.wasted_fraction();
-    }
-    table.add_row({fmt(a, 0), fmt(a / 1e6, 2), fmt(viol / seeds),
-                   fmt(u1 / seeds), fmt(u2 / seeds), fmt(wasted / seeds)});
-    viol_series.points.emplace_back(std::log10(a), viol / seeds);
+  for (std::size_t i = 0; i < half_lives.size(); ++i) {
+    const double a = half_lives[i];
+    const double viol =
+        grid[i].mean([](const Metrics& m) { return m.share_violation(); });
+    table.add_row(
+        {fmt(a, 0), fmt(a / 1e6, 2), fmt(viol),
+         fmt(grid[i].mean([](const Metrics& m) { return m.usage_fraction[0]; })),
+         fmt(grid[i].mean([](const Metrics& m) { return m.usage_fraction[1]; })),
+         fmt(grid[i].mean([](const Metrics& m) { return m.wasted_fraction(); }))});
+    viol_series.points.emplace_back(std::log10(a), viol);
   }
   table.print(std::cout);
+  std::cout << '\n';
+  bench::write_results_csv(table, "fig6_halflife");
 
   SvgPlot plot("Figure 6: REC half-life vs share violation (job = 1e6 s)",
                "log10(half-life A, seconds)", "resource share violation");
   plot.add_series(std::move(viol_series));
   plot.set_y_range(0.0, 0.6);
-  std::filesystem::create_directories("results");
-  if (plot.save("results/fig6_halflife.svg")) {
-    std::cout << "\nplot written to results/fig6_halflife.svg\n";
-  }
+  bench::save_results_svg(plot, "fig6_halflife");
   std::cout << "\npaper shape: violation high for A << job length, falling "
                "once A reaches several times the job length.\n";
   return 0;

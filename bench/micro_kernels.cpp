@@ -1,8 +1,10 @@
 // Micro-benchmarks for the emulator's hot kernels: event queue, RR-sim,
-// a scheduler pass, and end-to-end emulation throughput (simulated seconds
-// per wall second).
+// a scheduler pass, trace emission, and end-to-end emulation throughput
+// (simulated seconds per wall second).
 
 #include <benchmark/benchmark.h>
+
+#include <sstream>
 
 #include "core/bce.hpp"
 
@@ -101,7 +103,7 @@ void BM_SchedulerPass(benchmark::State& state) {
   PolicyConfig policy;
   JobScheduler sched(host, prefs, policy);
   Accounting acct(host, std::vector<double>(n_proj, 0.25), kSecondsPerDay);
-  Logger log;
+  Trace log;
   auto jobs = make_jobs(n, n_proj);
   std::vector<Result*> ptrs;
   for (auto& j : jobs) ptrs.push_back(&j);
@@ -113,6 +115,52 @@ void BM_SchedulerPass(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_SchedulerPass)->Arg(16)->Arg(64)->Arg(256);
+
+// Disabled-path cost of a trace emit: no sinks, all categories off. This is
+// what every decision point in the emulator pays when tracing is off; the
+// contract (trace.hpp) is two branches and no allocation.
+void BM_TraceEmitDisabled(benchmark::State& state) {
+  Trace trace;
+  TraceEvent ev{.at = 0.0,
+                .kind = TraceKind::kJobStarted,
+                .project = 1,
+                .job = 42};
+  for (auto _ : state) {
+    ev.at += 1.0;
+    trace.emit(ev);
+    benchmark::DoNotOptimize(ev.at);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+// Enabled-path cost: full JSONL serialization into a buffered stream.
+void BM_TraceEmitJsonl(benchmark::State& state) {
+  std::ostringstream os;
+  Trace trace;
+  JsonlSink sink(os);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  TraceEvent ev{.at = 0.0,
+                .kind = TraceKind::kServerSent,
+                .project = 1,
+                .ptype = 0,
+                .v0 = 3.0,
+                .v1 = 86400.0,
+                .v2 = 90000.0,
+                .str = "einstein"};
+  std::size_t emitted = 0;
+  for (auto _ : state) {
+    ev.at += 1.0;
+    trace.emit(ev);
+    if (++emitted == 4096) {  // bound the buffer without per-emit churn
+      os.str(std::string());
+      emitted = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmitJsonl);
 
 void BM_EmulateOneDay(benchmark::State& state) {
   Scenario sc = paper_scenario2();
@@ -126,6 +174,27 @@ void BM_EmulateOneDay(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EmulateOneDay)->Unit(benchmark::kMillisecond);
+
+// Same emulation with full JSONL decision tracing attached — the difference
+// against BM_EmulateOneDay is the all-in cost of tracing a run.
+void BM_EmulateOneDayTraced(benchmark::State& state) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 1.0 * kSecondsPerDay;
+  for (auto _ : state) {
+    std::ostringstream os;
+    Trace trace;
+    JsonlSink sink(os);
+    trace.add_sink(&sink);
+    trace.enable_all();
+    EmulationOptions opt;
+    opt.trace = &trace;
+    benchmark::DoNotOptimize(emulate(sc, opt));
+    benchmark::DoNotOptimize(os);
+  }
+  state.counters["sim_days/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateOneDayTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

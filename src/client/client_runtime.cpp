@@ -22,10 +22,10 @@ PerProc<double> expected_avail(const Scenario& sc) {
 }  // namespace
 
 ClientRuntime::ClientRuntime(const Scenario& scenario,
-                             const PolicyConfig& policy, Logger* log)
+                             const PolicyConfig& policy, Trace* trace)
     : sc_(&scenario),
       policy_(policy),
-      log_(log != nullptr ? log : &null_log_),
+      trace_(trace != nullptr ? trace : &null_trace_),
       acct_(scenario.host, {}, policy.rec_half_life),
       rrsim_(scenario.host, scenario.prefs, {}),
       sched_(scenario.host, scenario.prefs, policy),
@@ -62,7 +62,7 @@ ClientRuntime::ClientRuntime(const Scenario& scenario,
 const RrSimOutput& ClientRuntime::rr_pass(SimTime now,
                                           const std::vector<Result*>& active) {
   const RrSimOutput& rr =
-      rrsim_.run_cached(state_version_, now, active, share_frac_, log_);
+      rrsim_.run_cached(state_version_, now, active, share_frac_, trace_);
   last_rr_ = &rr;
   for (Result* r : active) {
     if (r->first_projected_finish == kNever &&
@@ -78,7 +78,8 @@ ScheduleOutcome ClientRuntime::schedule_jobs(SimTime now,
                                              bool cpu_allowed,
                                              bool gpu_allowed) {
   rr_pass(now, active);
-  return sched_.schedule(now, active, acct_, cpu_allowed, gpu_allowed, *log_);
+  return sched_.schedule(now, active, acct_, cpu_allowed, gpu_allowed,
+                         *trace_);
 }
 
 WorkFetch::Decision ClientRuntime::choose_fetch(
@@ -94,7 +95,7 @@ WorkFetch::Decision ClientRuntime::choose_fetch(
   }
 
   WorkFetch::Decision d = fetch_.choose(now, rr, acct_, project_cfgs_,
-                                        fetch_states_, endangered_, *log_);
+                                        fetch_states_, endangered_, *trace_);
   if (d.fetch() && policy_.use_duration_correction) {
     d.request.duration_correction = dcf_[static_cast<std::size_t>(d.project)];
   }
@@ -139,12 +140,12 @@ void ClientRuntime::on_rpc_sent(SimTime now, ProjectId p, bool work_request) {
 void ClientRuntime::on_rpc_reply(SimTime now, const WorkRequest& req,
                                  const RpcReply& reply, ProjectId p) {
   fetch_.on_reply(now, req, reply, fetch_states_[static_cast<std::size_t>(p)],
-                  *log_);
+                  *trace_);
 }
 
 SimTime ClientRuntime::on_rpc_lost(SimTime now, ProjectId p) {
   return fetch_.on_reply_lost(now, fetch_states_[static_cast<std::size_t>(p)],
-                              *log_);
+                              *trace_);
 }
 
 SimTime ClientRuntime::next_allowed_rpc(ProjectId p) const {

@@ -40,16 +40,16 @@
 #include "client/work_fetch.hpp"
 #include "model/scenario.hpp"
 #include "server/request.hpp"
-#include "sim/logger.hpp"
+#include "sim/trace.hpp"
 
 namespace bce {
 
 class ClientRuntime {
  public:
-  /// \p log may be nullptr (silent). \p scenario must outlive the runtime
-  /// and already be validated.
+  /// \p trace may be nullptr (silent). \p scenario must outlive the
+  /// runtime and already be validated.
   ClientRuntime(const Scenario& scenario, const PolicyConfig& policy,
-                Logger* log);
+                Trace* trace);
 
   // ---- scheduling passes ----------------------------------------------
 
@@ -146,8 +146,8 @@ class ClientRuntime {
 
   const Scenario* sc_;
   PolicyConfig policy_;
-  Logger null_log_;
-  Logger* log_;
+  Trace null_trace_;
+  Trace* trace_;
 
   std::vector<double> share_frac_;
   std::vector<double> dcf_;

@@ -30,7 +30,7 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
                                        const std::vector<Result*>& jobs,
                                        const Accounting& acct,
                                        bool cpu_allowed, bool gpu_allowed,
-                                       Logger& log) const {
+                                       Trace& trace) const {
   ScheduleOutcome out;
 
   // Candidate set: incomplete, input files present, processor kind allowed.
@@ -183,12 +183,14 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
       if (r->usage.avg_ncpus > cpu_pool + 1.0 + 1e-9) continue;
     }
     if (r->ram_bytes > ram_pool + 1e-9) {
-      log.logf(now, LogCategory::kCpuSched, "job %d skipped: RAM limit", r->id);
+      trace.emit({.at = now, .kind = TraceKind::kJobSkippedRam, .job = r->id});
       continue;
     }
     if (gpu_job && !alloc_gpu(r->usage.coproc, r->usage.coproc_usage)) {
-      log.logf(now, LogCategory::kCpuSched, "job %d skipped: no free %s",
-               r->id, proc_name(r->usage.coproc));
+      trace.emit({.at = now,
+                  .kind = TraceKind::kJobSkippedCoproc,
+                  .job = r->id,
+                  .ptype = static_cast<std::int32_t>(proc_index(r->usage.coproc))});
       continue;
     }
     cpu_pool -= r->usage.avg_ncpus;
@@ -196,11 +198,11 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
     out.to_run.push_back(r);
   }
 
-  if (log.enabled(LogCategory::kCpuSched)) {
-    log.logf(now, LogCategory::kCpuSched,
-             "schedule: %zu candidates, %zu chosen (cpu left %.2f)",
-             cand.size(), out.to_run.size(), cpu_pool);
-  }
+  trace.emit({.at = now,
+              .kind = TraceKind::kSchedulePass,
+              .n = static_cast<std::int64_t>(cand.size()),
+              .m = static_cast<std::int64_t>(out.to_run.size()),
+              .v0 = cpu_pool});
   return out;
 }
 

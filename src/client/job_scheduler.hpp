@@ -37,7 +37,7 @@
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/job.hpp"
-#include "sim/logger.hpp"
+#include "sim/trace.hpp"
 
 namespace bce {
 
@@ -63,7 +63,7 @@ class JobScheduler {
   /// host availability; when false, jobs of that kind are not scheduled.
   ScheduleOutcome schedule(SimTime now, const std::vector<Result*>& jobs,
                            const Accounting& acct, bool cpu_allowed,
-                           bool gpu_allowed, Logger& log) const;
+                           bool gpu_allowed, Trace& trace) const;
 
   /// The active job-order strategy (shared with WorkFetch's selection).
   [[nodiscard]] const JobOrderPolicy& order_policy() const { return *order_; }

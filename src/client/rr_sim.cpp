@@ -26,7 +26,7 @@ RrSim::RrSim(const HostInfo& host, const Preferences& prefs,
 
 RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
                        const std::vector<double>& share_frac,
-                       Logger* log) const {
+                       Trace* trace) const {
   RrSimOutput out;
 
   // Pending jobs per (project, type), FIFO by arrival.
@@ -295,17 +295,20 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
   }
   out.span = t_cur - now;
 
-  if (log != nullptr) {
+  if (trace != nullptr && trace->wants(LogCategory::kRrSim)) {
     for (const auto t : kAllProcTypes) {
       if (host_.count[t] == 0) continue;
-      log->logf(now, LogCategory::kRrSim,
-                "%s: SAT=%.0fs SHORTFALL=%.0f inst-sec idle_now=%.1f",
-                proc_name(t), out.saturated[t], out.shortfall[t],
-                out.idle_instances_now[t]);
+      trace->emit({.at = now,
+                   .kind = TraceKind::kRrSimType,
+                   .ptype = static_cast<std::int32_t>(proc_index(t)),
+                   .v0 = out.saturated[t],
+                   .v1 = out.shortfall[t],
+                   .v2 = out.idle_instances_now[t]});
     }
     if (out.n_endangered > 0) {
-      log->logf(now, LogCategory::kRrSim, "%d job(s) deadline-endangered",
-                out.n_endangered);
+      trace->emit({.at = now,
+                   .kind = TraceKind::kRrSimEndangered,
+                   .n = out.n_endangered});
     }
   }
   return out;
@@ -314,13 +317,13 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
 const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
                                      const std::vector<Result*>& jobs,
                                      const std::vector<double>& share_frac,
-                                     Logger* log) {
+                                     Trace* trace) {
   if (cache_valid_ && cached_version_ == state_version && cached_now_ == now) {
     ++stats_.hits;
     return cached_out_;
   }
   ++stats_.misses;
-  cached_out_ = run(now, jobs, share_frac, log);
+  cached_out_ = run(now, jobs, share_frac, trace);
   cached_version_ = state_version;
   cached_now_ = now;
   cache_valid_ = true;

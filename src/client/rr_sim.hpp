@@ -31,7 +31,7 @@
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/job.hpp"
-#include "sim/logger.hpp"
+#include "sim/trace.hpp"
 
 namespace bce {
 
@@ -84,7 +84,7 @@ class RrSim {
   /// \p share_frac: per-project fractional resource shares.
   RrSimOutput run(SimTime now, const std::vector<Result*>& jobs,
                   const std::vector<double>& share_frac,
-                  Logger* log = nullptr) const;
+                  Trace* trace = nullptr) const;
 
   /// Cache hit/miss counters for run_cached (observability: the emulator's
   /// per-step "avoided recompute" count is hits).
@@ -102,7 +102,7 @@ class RrSim {
   const RrSimOutput& run_cached(std::uint64_t state_version, SimTime now,
                                 const std::vector<Result*>& jobs,
                                 const std::vector<double>& share_frac,
-                                Logger* log = nullptr);
+                                Trace* trace = nullptr);
 
   [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
 

@@ -19,7 +19,7 @@ WorkFetch::Decision WorkFetch::choose(
     SimTime now, const RrSimOutput& rr, const Accounting& acct,
     const std::vector<const ProjectConfig*>& projects,
     const std::vector<ProjectFetchState>& states,
-    const std::vector<PerProc<bool>>& endangered, Logger& log) const {
+    const std::vector<PerProc<bool>>& endangered, Trace& trace) const {
   Decision d;
 
   FetchContext ctx;
@@ -96,13 +96,14 @@ WorkFetch::Decision WorkFetch::choose(
       d.request.est_delay[u] = rr.saturated[u];
     }
     if (d.request.wants_work()) {
-      log.logf(now, LogCategory::kWorkFetch,
-               "fetch from project %d (%s): trigger %s, %.0f cpu-sec, "
-               "%.0f nvidia-sec, %.0f ati-sec",
-               best, fetch_->name(), proc_name(t),
-               d.request.req_seconds[ProcType::kCpu],
-               d.request.req_seconds[ProcType::kNvidia],
-               d.request.req_seconds[ProcType::kAti]);
+      trace.emit({.at = now,
+                  .kind = TraceKind::kFetchRequest,
+                  .project = best,
+                  .ptype = static_cast<std::int32_t>(proc_index(t)),
+                  .v0 = d.request.req_seconds[ProcType::kCpu],
+                  .v1 = d.request.req_seconds[ProcType::kNvidia],
+                  .v2 = d.request.req_seconds[ProcType::kAti],
+                  .str = fetch_->name()});
       return d;
     }
     d.project = kNoProject;
@@ -118,21 +119,22 @@ void WorkFetch::on_rpc_sent(SimTime now, ProjectFetchState& state,
 }
 
 SimTime WorkFetch::on_reply_lost(SimTime now, ProjectFetchState& state,
-                                 Logger& log) const {
+                                 Trace& trace) const {
   state.rpc_retry_backoff_len =
       state.rpc_retry_backoff_len <= 0.0
           ? kRetryBackoffMin
           : std::min(kBackoffMax, state.rpc_retry_backoff_len * 2.0);
   state.next_allowed_rpc =
       std::max(state.next_allowed_rpc, now + state.rpc_retry_backoff_len);
-  log.logf(now, LogCategory::kWorkFetch, "reply lost; retrying in %.0fs",
-           state.rpc_retry_backoff_len);
+  trace.emit({.at = now,
+              .kind = TraceKind::kFetchReplyLost,
+              .v0 = state.rpc_retry_backoff_len});
   return state.next_allowed_rpc;
 }
 
 void WorkFetch::on_reply(SimTime now, const WorkRequest& req,
                          const RpcReply& reply, ProjectFetchState& state,
-                         Logger& log) const {
+                         Trace& trace) const {
   // Any reply that arrives at all proves the network path works again.
   state.rpc_retry_backoff_len = 0.0;
   if (reply.project_down) {
@@ -142,8 +144,9 @@ void WorkFetch::on_reply(SimTime now, const WorkRequest& req,
             : std::min(kBackoffMax, state.project_backoff_len * 2.0);
     state.next_allowed_rpc =
         std::max(state.next_allowed_rpc, now + state.project_backoff_len);
-    log.logf(now, LogCategory::kWorkFetch,
-             "project down; backing off %.0fs", state.project_backoff_len);
+    trace.emit({.at = now,
+                .kind = TraceKind::kFetchProjectDown,
+                .v0 = state.project_backoff_len});
     return;
   }
   state.project_backoff_len = 0.0;
@@ -161,9 +164,10 @@ void WorkFetch::on_reply(SimTime now, const WorkRequest& req,
               ? kBackoffMin
               : std::min(kBackoffMax, state.type_backoff_len[t] * 2.0);
       state.type_backoff_until[t] = now + state.type_backoff_len[t];
-      log.logf(now, LogCategory::kWorkFetch,
-               "no %s jobs; backing off %.0fs", proc_name(t),
-               state.type_backoff_len[t]);
+      trace.emit({.at = now,
+                  .kind = TraceKind::kFetchBackoff,
+                  .ptype = static_cast<std::int32_t>(proc_index(t)),
+                  .v0 = state.type_backoff_len[t]});
     }
   }
 }

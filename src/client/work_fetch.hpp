@@ -32,7 +32,7 @@
 #include "host/preferences.hpp"
 #include "model/project.hpp"
 #include "server/request.hpp"
-#include "sim/logger.hpp"
+#include "sim/trace.hpp"
 
 namespace bce {
 
@@ -66,12 +66,12 @@ class WorkFetch {
                   const std::vector<const ProjectConfig*>& projects,
                   const std::vector<ProjectFetchState>& states,
                   const std::vector<PerProc<bool>>& endangered,
-                  Logger& log) const;
+                  Trace& trace) const;
 
   /// Update backoff state from an RPC reply. \p req is the request the
   /// reply answers.
   void on_reply(SimTime now, const WorkRequest& req, const RpcReply& reply,
-                ProjectFetchState& state, Logger& log) const;
+                ProjectFetchState& state, Trace& trace) const;
 
   /// Record that an RPC was sent, enforcing min spacing; work requests
   /// additionally stamp last_work_rpc (for JF_RR selection).
@@ -83,7 +83,7 @@ class WorkFetch {
   /// kBackoffMax) and defer the next RPC accordingly. Returns the earliest
   /// retry time so the caller can schedule a deferral event.
   SimTime on_reply_lost(SimTime now, ProjectFetchState& state,
-                        Logger& log) const;
+                        Trace& trace) const;
 
   /// The active fetch strategy (name() feeds logs and CLI output).
   [[nodiscard]] const WorkFetchPolicy& fetch_policy() const { return *fetch_; }

@@ -50,4 +50,5 @@
 #include "sim/logger.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"

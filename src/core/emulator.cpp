@@ -36,10 +36,29 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
       opt_(options),
       rng_(scenario.seed),
       avail_(scenario.availability, rng_, 0.0),
-      log_(options.logger != nullptr ? options.logger : &null_log_),
-      client_(sc_, options.policy, log_),
+      client_(sc_, options.policy, &trace_),
       metrics_(sc_.host, client_.share_fractions()),
       timeline_(sc_.host) {
+  // Sink wiring: the internal trace enables the union of the categories
+  // the external logger and external trace want; each external consumer
+  // re-filters with its own mask, so neither sees more than it asked for.
+  if (opt_.logger != nullptr) {
+    logger_sink_.emplace(*opt_.logger);
+    trace_.add_sink(&*logger_sink_);
+  }
+  if (opt_.trace != nullptr) {
+    forward_sink_.emplace(*opt_.trace);
+    trace_.add_sink(&*forward_sink_);
+  }
+  trace_.add_sink(&counters_);
+  for (std::size_t c = 0; c < kNumLogCategories; ++c) {
+    const auto cat = static_cast<LogCategory>(c);
+    const bool on =
+        (opt_.logger != nullptr && opt_.logger->enabled(cat)) ||
+        (opt_.trace != nullptr && opt_.trace->enabled(cat));
+    trace_.enable(cat, on);
+  }
+
   ServerPolicy sp;
   sp.deadline_check = opt_.policy.server_deadline_check;
   const double host_avail = sc_.availability.host_on.expected_on_fraction();
@@ -101,8 +120,10 @@ void Emulator::preempt(Result& r, bool count) {
   }
   r.episode_checkpointed = true;
   if (count) ++metrics_.counters().n_preemptions;
-  log_->logf(now_, LogCategory::kTask, "job %d preempted (project %d)", r.id,
-             r.project);
+  trace_.emit({.at = now_,
+               .kind = TraceKind::kJobPreempted,
+               .project = r.project,
+               .job = r.id});
 }
 
 void Emulator::advance_to(SimTime t) {
@@ -219,9 +240,12 @@ void Emulator::handle_completions() {
       } else {
         ++metrics_.counters().n_job_failures;
       }
-      log_->logf(now_, LogCategory::kFault, "job %d %s (project %d, %.0f%%)",
-                 r->id, r->aborted ? "aborted" : "compute error", r->project,
-                 100.0 * r->flops_done / r->flops_total);
+      trace_.emit({.at = now_,
+                   .kind = TraceKind::kJobFaulted,
+                   .project = r->project,
+                   .job = r->id,
+                   .flag = r->aborted,
+                   .v0 = 100.0 * r->flops_done / r->flops_total});
       continue;
     }
     if (r->flops_remaining() <= completion_slack(*r)) {
@@ -242,9 +266,11 @@ void Emulator::handle_completions() {
       } else {
         r->uploaded = true;
       }
-      log_->logf(now_, LogCategory::kTask,
-                 "job %d completed (project %d)%s", r->id, r->project,
-                 r->missed_deadline() ? " MISSED DEADLINE" : "");
+      trace_.emit({.at = now_,
+                   .kind = TraceKind::kJobCompleted,
+                   .project = r->project,
+                   .job = r->id,
+                   .flag = r->missed_deadline()});
     }
   }
   active_.erase(std::remove_if(active_.begin(), active_.end(),
@@ -298,12 +324,10 @@ void Emulator::handle_finished_transfers() {
     if (r.is_complete()) {
       // This was the result upload: the job is now reportable.
       r.uploaded = true;
-      log_->logf(now_, LogCategory::kTask, "job %d output files uploaded",
-                 id);
+      trace_.emit({.at = now_, .kind = TraceKind::kJobUploaded, .job = id});
     } else {
       r.runnable_at = std::min(r.runnable_at, now_);
-      log_->logf(now_, LogCategory::kTask, "job %d input files downloaded",
-                 id);
+      trace_.emit({.at = now_, .kind = TraceKind::kJobDownloaded, .job = id});
     }
   }
   client_.on_jobs_runnable();
@@ -345,10 +369,9 @@ void Emulator::schedule_crash_event(SimTime from) {
 
 void Emulator::handle_crash() {
   ++metrics_.counters().n_host_crashes;
-  log_->logf(now_, LogCategory::kFault,
-             "host crash: all running tasks roll back to last checkpoint, "
-             "rebooting for %.0fs",
-             sc_.faults.crash_reboot_delay);
+  trace_.emit({.at = now_,
+               .kind = TraceKind::kHostCrash,
+               .v0 = sc_.faults.crash_reboot_delay});
   // A crash loses everything since the last checkpoint regardless of
   // leave_apps_in_memory (memory contents are gone). Not a scheduling
   // preemption: no preemption count, and the runtime is told afterwards.
@@ -371,7 +394,7 @@ void Emulator::handle_crash() {
 }
 
 void Emulator::handle_crash_recover() {
-  log_->logf(now_, LogCategory::kFault, "host rebooted, client restarting");
+  trace_.emit({.at = now_, .kind = TraceKind::kHostReboot});
   client_.on_availability_change();
   schedule_crash_event(now_);  // arm the next crash
   schedule_transfer_event();   // link back up
@@ -399,8 +422,10 @@ void Emulator::reschedule() {
     r->episode_checkpointed = false;
     if (r->first_started == kNever) r->first_started = now_;
     assign_slot(*r);
-    log_->logf(now_, LogCategory::kTask, "job %d started (project %d)",
-               r->id, r->project);
+    trace_.emit({.at = now_,
+                 .kind = TraceKind::kJobStarted,
+                 .project = r->project,
+                 .job = r->id});
     // First job running again after a crash closes the recovery sample.
     if (pending_crash_ < kNever) {
       metrics_.counters().recovery_time_sum += now_ - pending_crash_;
@@ -432,7 +457,7 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
 
   const JobId id0 = next_job_id_;
   RpcReply reply = servers_[static_cast<std::size_t>(p)].handle_rpc(
-      now_, req, reported, next_job_id_, *log_);
+      now_, req, reported, next_job_id_, trace_);
   schedule_project_event(static_cast<std::size_t>(p));
 
   if (faults_.rpc_reply_lost()) {
@@ -452,10 +477,10 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
     if (retry < sc_.duration) {
       queue_.schedule(retry, EventKind::kRpcDeferral);
     }
-    log_->logf(now_, LogCategory::kFault,
-               "RPC reply from project %d lost in flight (%d job(s) "
-               "orphaned)",
-               p, n_lost);
+    trace_.emit({.at = now_,
+                 .kind = TraceKind::kRpcReplyLost,
+                 .project = p,
+                 .n = n_lost});
     return;
   }
   for (Result* r : to_report) r->reported = true;
@@ -464,10 +489,12 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
     client_.on_rpc_reply(now_, req, reply, p);
   }
 
-  log_->logf(now_, LogCategory::kRpc,
-             "RPC to project %d: reported %d, received %zu job(s)%s", p,
-             reported, reply.jobs.size(),
-             reply.project_down ? " (server down)" : "");
+  trace_.emit({.at = now_,
+               .kind = TraceKind::kRpcRoundTrip,
+               .project = p,
+               .flag = reply.project_down,
+               .n = reported,
+               .m = static_cast<std::int64_t>(reply.jobs.size())});
 
   if (!reply.jobs.empty()) {
     metrics_.counters().n_jobs_fetched +=
@@ -566,11 +593,11 @@ EmulationResult Emulator::run() {
           avail_event_ = kNoEvent;
           avail_.advance_to(now_);
           client_.on_availability_change();
-          log_->logf(now_, LogCategory::kAvail,
-                     "availability: cpu=%d gpu=%d net=%d",
-                     avail_.cpu_computing_allowed() ? 1 : 0,
-                     avail_.gpu_computing_allowed() ? 1 : 0,
-                     avail_.network_available() ? 1 : 0);
+          trace_.emit({.at = now_,
+                       .kind = TraceKind::kAvailability,
+                       .flag = avail_.network_available(),
+                       .n = avail_.cpu_computing_allowed() ? 1 : 0,
+                       .m = avail_.gpu_computing_allowed() ? 1 : 0});
           schedule_avail_event();
           schedule_transfer_event();  // link state changed
           need_sched = true;
@@ -628,6 +655,7 @@ EmulationResult Emulator::run() {
   }
 
   metrics_.counters().n_transfer_retries = client_.transfers().retries();
+  metrics_.counters().trace_events = counters_.counts();
 
   EmulationResult res;
   std::vector<const Result*> all;

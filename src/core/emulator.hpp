@@ -26,10 +26,13 @@
 #include "core/timeline.hpp"
 #include "model/scenario.hpp"
 #include "server/project_server.hpp"
+#include <optional>
+
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
 #include "sim/logger.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace bce {
 
@@ -40,8 +43,14 @@ struct EmulationOptions {
   bool record_timeline = false;
 
   /// External logger; pass one with categories enabled to see the message
-  /// log. nullptr = silent.
+  /// log. nullptr = silent. Kept for back-compat: internally every decision
+  /// is a TraceEvent and the logger is fed through a LoggerSink rendering
+  /// the exact pre-trace text.
   Logger* logger = nullptr;
+
+  /// External trace; events whose category is enabled on it are forwarded
+  /// to its sinks (e.g. a JsonlSink for `bce run --trace`). nullptr = none.
+  Trace* trace = nullptr;
 };
 
 /// Per-project breakdown of one emulation.
@@ -137,8 +146,14 @@ class Emulator {
   /// Constructed (in the ctor body, after all pre-existing forks) from
   /// sc_.faults; inert when every channel is off.
   FaultInjector faults_;
-  Logger null_log_;
-  Logger* log_;
+  /// Internal dispatcher every decision point emits into. Enabled
+  /// categories are the union of what opt_.logger and opt_.trace want;
+  /// attached sinks: LoggerSink (when opt_.logger), TraceForwarder (when
+  /// opt_.trace), and counters_ (always; it only sees enabled categories).
+  Trace trace_;
+  std::optional<LoggerSink> logger_sink_;
+  std::optional<TraceForwarder> forward_sink_;
+  CounterSink counters_;
   ClientRuntime client_;
   std::vector<ProjectServer> servers_;
   EventQueue queue_;

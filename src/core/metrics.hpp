@@ -19,12 +19,14 @@
 /// The metrics conflict; the overall evaluation is a subjectively-weighted
 /// combination (§4.2), exposed via MetricWeights.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "host/host_info.hpp"
 #include "model/job.hpp"
+#include "sim/logger.hpp"
 #include "sim/types.hpp"
 
 namespace bce {
@@ -69,6 +71,12 @@ struct Metrics {
 
   /// Per-project peak-FLOPS usage fractions (sums to 1 when any work ran).
   std::vector<double> usage_fraction;
+
+  /// Decision-trace events observed per log category (sim/trace.hpp),
+  /// indexed by LogCategory. Only events whose category was enabled on the
+  /// emulator's trace are counted, so a run with tracing fully disabled
+  /// reports zeros (and pays nothing to produce them).
+  std::array<std::int64_t, kNumLogCategories> trace_events{};
 
   // --- normalized figures of merit [0,1], 0 = good ----------------------
   [[nodiscard]] double idle_fraction() const {

@@ -83,14 +83,15 @@ Result ProjectServer::make_job(SimTime now, int class_idx, JobId id) {
 
 RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
                                    int n_reported, JobId& next_job_id,
-                                   Logger& log) {
+                                   Trace& trace) {
   advance_to(now);
   in_progress_ = std::max(0, in_progress_ - n_reported);
   RpcReply reply;
   if (!up_.on()) {
     reply.project_down = true;
-    log.logf(now, LogCategory::kServer, "%s: server down, RPC rejected",
-             cfg_.name.c_str());
+    trace.emit({.at = now,
+                .kind = TraceKind::kServerDown,
+                .str = cfg_.name.c_str()});
     return reply;
   }
 
@@ -153,10 +154,13 @@ RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
       // Deadline-infeasible or the in-progress cap is full: back off.
       reply.no_jobs_for[t] = true;
     }
-    log.logf(now, LogCategory::kServer,
-             "%s: sent %.0f %s jobs (%.0f inst-sec requested, %.0f sent)",
-             cfg_.name.c_str(), sent_jobs_of_type, proc_name(t),
-             req.req_seconds[t], sent_seconds);
+    trace.emit({.at = now,
+                .kind = TraceKind::kServerSent,
+                .ptype = static_cast<std::int32_t>(proc_index(t)),
+                .v0 = sent_jobs_of_type,
+                .v1 = req.req_seconds[t],
+                .v2 = sent_seconds,
+                .str = cfg_.name.c_str()});
   }
   in_progress_ += static_cast<int>(reply.jobs.size());
   return reply;

@@ -18,7 +18,7 @@
 #include "host/host_info.hpp"
 #include "model/project.hpp"
 #include "server/request.hpp"
-#include "sim/logger.hpp"
+#include "sim/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace bce {
@@ -55,7 +55,7 @@ class ProjectServer {
   /// slots when the project caps them). \p next_job_id is a shared
   /// allocator so job ids are unique across projects.
   RpcReply handle_rpc(SimTime now, const WorkRequest& req, int n_reported,
-                      JobId& next_job_id, Logger& log);
+                      JobId& next_job_id, Trace& trace);
 
   /// Jobs dispatched to this host and not yet reported back.
   [[nodiscard]] int jobs_in_progress() const { return in_progress_; }

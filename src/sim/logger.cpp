@@ -20,21 +20,45 @@ const char* log_category_name(LogCategory c) {
   return "?";
 }
 
+bool log_category_from_name(const std::string& name, LogCategory* out) {
+  for (std::size_t i = 0; i < kNumLogCategories; ++i) {
+    const auto c = static_cast<LogCategory>(i);
+    if (name == log_category_name(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Logger::logf(SimTime now, LogCategory c, const char* fmt, ...) {
   if (!enabled(c)) return;
   char buf[512];
   va_list ap;
   va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
   va_end(ap);
+  // vsnprintf reports the length the full message would have had; when it
+  // exceeds the stack buffer, retry into a heap buffer sized from it so
+  // long lines are never silently truncated.
+  std::string grown;
+  const char* text = buf;
+  if (n >= 0 && static_cast<std::size_t>(n) >= sizeof buf) {
+    grown.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(grown.data(), static_cast<std::size_t>(n) + 1, fmt, ap2);
+    text = grown.c_str();
+  }
+  va_end(ap2);
   if (stream_ != nullptr) {
     char head[64];
     std::snprintf(head, sizeof head, "[%10.1f] [%s] ", now,
                   log_category_name(c));
-    (*stream_) << head << buf << '\n';
+    (*stream_) << head << text << '\n';
   }
   if (retain_) {
-    entries_.push_back(Entry{now, c, std::string(buf)});
+    entries_.push_back(Entry{now, c, std::string(text)});
   }
 }
 

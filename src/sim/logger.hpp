@@ -35,6 +35,9 @@ inline constexpr std::size_t kNumLogCategories =
 /// Human-readable tag for a category ("task", "cpu_sched", ...).
 const char* log_category_name(LogCategory c);
 
+/// Inverse of log_category_name; returns false if \p name is unknown.
+bool log_category_from_name(const std::string& name, LogCategory* out);
+
 class Logger {
  public:
   Logger() { enabled_.fill(false); }

@@ -1,0 +1,416 @@
+#include "sim/trace.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "host/proc_type.hpp"
+
+namespace bce {
+
+namespace {
+
+/// printf into a std::string, growing past the stack buffer when needed.
+__attribute__((format(printf, 1, 2)))
+std::string format_string(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  char buf[256];
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n >= 0) {
+    if (static_cast<std::size_t>(n) < sizeof buf) {
+      out.assign(buf, static_cast<std::size_t>(n));
+    } else {
+      out.resize(static_cast<std::size_t>(n));
+      std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, ap2);
+    }
+  }
+  va_end(ap2);
+  return out;
+}
+
+const char* event_proc_name(std::int32_t ptype) {
+  if (ptype < 0 || ptype >= static_cast<std::int32_t>(kNumProcTypes)) {
+    return "?";
+  }
+  return proc_name(static_cast<ProcType>(ptype));
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kJobStarted: return "job_started";
+    case TraceKind::kJobPreempted: return "job_preempted";
+    case TraceKind::kJobCompleted: return "job_completed";
+    case TraceKind::kJobUploaded: return "job_uploaded";
+    case TraceKind::kJobDownloaded: return "job_downloaded";
+    case TraceKind::kJobSkippedRam: return "job_skipped_ram";
+    case TraceKind::kJobSkippedCoproc: return "job_skipped_coproc";
+    case TraceKind::kSchedulePass: return "schedule_pass";
+    case TraceKind::kRrSimType: return "rr_sim_type";
+    case TraceKind::kRrSimEndangered: return "rr_sim_endangered";
+    case TraceKind::kFetchRequest: return "fetch_request";
+    case TraceKind::kFetchReplyLost: return "fetch_reply_lost";
+    case TraceKind::kFetchProjectDown: return "fetch_project_down";
+    case TraceKind::kFetchBackoff: return "fetch_backoff";
+    case TraceKind::kRpcRoundTrip: return "rpc_round_trip";
+    case TraceKind::kAvailability: return "availability";
+    case TraceKind::kServerDown: return "server_down";
+    case TraceKind::kServerSent: return "server_sent";
+    case TraceKind::kJobFaulted: return "job_faulted";
+    case TraceKind::kHostCrash: return "host_crash";
+    case TraceKind::kHostReboot: return "host_reboot";
+    case TraceKind::kRpcReplyLost: return "rpc_reply_lost";
+    case TraceKind::kCount_: break;
+  }
+  return "?";
+}
+
+bool trace_kind_from_name(const std::string& name, TraceKind* out) {
+  for (std::size_t i = 0; i < kNumTraceKinds; ++i) {
+    const auto k = static_cast<TraceKind>(i);
+    if (name == trace_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+LogCategory trace_kind_category(TraceKind k) {
+  switch (k) {
+    case TraceKind::kJobStarted:
+    case TraceKind::kJobPreempted:
+    case TraceKind::kJobCompleted:
+    case TraceKind::kJobUploaded:
+    case TraceKind::kJobDownloaded:
+      return LogCategory::kTask;
+    case TraceKind::kJobSkippedRam:
+    case TraceKind::kJobSkippedCoproc:
+    case TraceKind::kSchedulePass:
+      return LogCategory::kCpuSched;
+    case TraceKind::kRrSimType:
+    case TraceKind::kRrSimEndangered:
+      return LogCategory::kRrSim;
+    case TraceKind::kFetchRequest:
+    case TraceKind::kFetchReplyLost:
+    case TraceKind::kFetchProjectDown:
+    case TraceKind::kFetchBackoff:
+      return LogCategory::kWorkFetch;
+    case TraceKind::kRpcRoundTrip:
+      return LogCategory::kRpc;
+    case TraceKind::kAvailability:
+      return LogCategory::kAvail;
+    case TraceKind::kServerDown:
+    case TraceKind::kServerSent:
+      return LogCategory::kServer;
+    case TraceKind::kJobFaulted:
+    case TraceKind::kHostCrash:
+    case TraceKind::kHostReboot:
+    case TraceKind::kRpcReplyLost:
+      return LogCategory::kFault;
+    case TraceKind::kCount_:
+      break;
+  }
+  return LogCategory::kTask;
+}
+
+std::string render_text(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceKind::kJobStarted:
+      return format_string("job %d started (project %d)", ev.job, ev.project);
+    case TraceKind::kJobPreempted:
+      return format_string("job %d preempted (project %d)", ev.job,
+                           ev.project);
+    case TraceKind::kJobCompleted:
+      return format_string("job %d completed (project %d)%s", ev.job,
+                           ev.project, ev.flag ? " MISSED DEADLINE" : "");
+    case TraceKind::kJobUploaded:
+      return format_string("job %d output files uploaded", ev.job);
+    case TraceKind::kJobDownloaded:
+      return format_string("job %d input files downloaded", ev.job);
+    case TraceKind::kJobSkippedRam:
+      return format_string("job %d skipped: RAM limit", ev.job);
+    case TraceKind::kJobSkippedCoproc:
+      return format_string("job %d skipped: no free %s", ev.job,
+                           event_proc_name(ev.ptype));
+    case TraceKind::kSchedulePass:
+      return format_string("schedule: %zu candidates, %zu chosen (cpu left %.2f)",
+                           static_cast<std::size_t>(ev.n),
+                           static_cast<std::size_t>(ev.m), ev.v0);
+    case TraceKind::kRrSimType:
+      return format_string("%s: SAT=%.0fs SHORTFALL=%.0f inst-sec idle_now=%.1f",
+                           event_proc_name(ev.ptype), ev.v0, ev.v1, ev.v2);
+    case TraceKind::kRrSimEndangered:
+      return format_string("%d job(s) deadline-endangered",
+                           static_cast<int>(ev.n));
+    case TraceKind::kFetchRequest:
+      return format_string(
+          "fetch from project %d (%s): trigger %s, %.0f cpu-sec, "
+          "%.0f nvidia-sec, %.0f ati-sec",
+          ev.project, ev.str != nullptr ? ev.str : "?",
+          event_proc_name(ev.ptype), ev.v0, ev.v1, ev.v2);
+    case TraceKind::kFetchReplyLost:
+      return format_string("reply lost; retrying in %.0fs", ev.v0);
+    case TraceKind::kFetchProjectDown:
+      return format_string("project down; backing off %.0fs", ev.v0);
+    case TraceKind::kFetchBackoff:
+      return format_string("no %s jobs; backing off %.0fs",
+                           event_proc_name(ev.ptype), ev.v0);
+    case TraceKind::kRpcRoundTrip:
+      return format_string("RPC to project %d: reported %d, received %zu job(s)%s",
+                           ev.project, static_cast<int>(ev.n),
+                           static_cast<std::size_t>(ev.m),
+                           ev.flag ? " (server down)" : "");
+    case TraceKind::kAvailability:
+      return format_string("availability: cpu=%d gpu=%d net=%d",
+                           static_cast<int>(ev.n), static_cast<int>(ev.m),
+                           ev.flag ? 1 : 0);
+    case TraceKind::kServerDown:
+      return format_string("%s: server down, RPC rejected",
+                           ev.str != nullptr ? ev.str : "?");
+    case TraceKind::kServerSent:
+      return format_string("%s: sent %.0f %s jobs (%.0f inst-sec requested, %.0f sent)",
+                           ev.str != nullptr ? ev.str : "?", ev.v0,
+                           event_proc_name(ev.ptype), ev.v1, ev.v2);
+    case TraceKind::kJobFaulted:
+      return format_string("job %d %s (project %d, %.0f%%)", ev.job,
+                           ev.flag ? "aborted" : "compute error", ev.project,
+                           ev.v0);
+    case TraceKind::kHostCrash:
+      return format_string(
+          "host crash: all running tasks roll back to last checkpoint, "
+          "rebooting for %.0fs",
+          ev.v0);
+    case TraceKind::kHostReboot:
+      return "host rebooted, client restarting";
+    case TraceKind::kRpcReplyLost:
+      return format_string(
+          "RPC reply from project %d lost in flight (%d job(s) orphaned)",
+          ev.project, static_cast<int>(ev.n));
+    case TraceKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+void append_json_escaped(std::string* out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += esc;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+bool parse_json_unescaped(const std::string& line, std::size_t* pos,
+                          std::string* out) {
+  // *pos is at the opening quote.
+  if (*pos >= line.size() || line[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < line.size()) {
+    const char c = line[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (*pos + 1 >= line.size()) return false;
+      const char e = line[*pos + 1];
+      switch (e) {
+        case '"': *out += '"'; *pos += 2; break;
+        case '\\': *out += '\\'; *pos += 2; break;
+        case 'n': *out += '\n'; *pos += 2; break;
+        case 't': *out += '\t'; *pos += 2; break;
+        case 'r': *out += '\r'; *pos += 2; break;
+        case 'u': {
+          if (*pos + 6 > line.size()) return false;
+          const std::string hex = line.substr(*pos + 2, 4);
+          char* end = nullptr;
+          const long v = std::strtol(hex.c_str(), &end, 16);
+          if (end == nullptr || *end != '\0' || v < 0 || v > 0xff) {
+            return false;
+          }
+          *out += static_cast<char>(v);
+          *pos += 6;
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      *out += c;
+      ++*pos;
+    }
+  }
+  return false;
+}
+
+/// Find `"key":` and return the index just past the colon.
+bool find_key(const std::string& line, const char* key, std::size_t* val_pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *val_pos = at + needle.size();
+  return true;
+}
+
+bool parse_double_field(const std::string& line, const char* key,
+                        double* out) {
+  std::size_t pos = 0;
+  if (!find_key(line, key, &pos)) return false;
+  char* end = nullptr;
+  *out = std::strtod(line.c_str() + pos, &end);
+  return end != line.c_str() + pos;
+}
+
+bool parse_int_field(const std::string& line, const char* key,
+                     std::int64_t* out) {
+  std::size_t pos = 0;
+  if (!find_key(line, key, &pos)) return false;
+  char* end = nullptr;
+  *out = std::strtoll(line.c_str() + pos, &end, 10);
+  return end != line.c_str() + pos;
+}
+
+bool parse_bool_field(const std::string& line, const char* key, bool* out) {
+  std::size_t pos = 0;
+  if (!find_key(line, key, &pos)) return false;
+  if (line.compare(pos, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string trace_event_to_json(const TraceEvent& ev) {
+  std::string out;
+  out.reserve(192);
+  char num[40];
+  const auto add_double = [&](const char* key, double v) {
+    std::snprintf(num, sizeof num, "%.17g", v);
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += num;
+  };
+  std::snprintf(num, sizeof num, "%.17g", ev.at);
+  out += "{\"at\":";
+  out += num;
+  out += ",\"kind\":\"";
+  out += trace_kind_name(ev.kind);
+  out += "\",\"cat\":\"";
+  out += log_category_name(trace_kind_category(ev.kind));
+  out += "\"";
+  std::snprintf(num, sizeof num, ",\"project\":%d,\"job\":%d,\"ptype\":%d",
+                ev.project, ev.job, ev.ptype);
+  out += num;
+  out += ev.flag ? ",\"flag\":true" : ",\"flag\":false";
+  std::snprintf(num, sizeof num, ",\"n\":%" PRId64 ",\"m\":%" PRId64, ev.n,
+                ev.m);
+  out += num;
+  add_double("v0", ev.v0);
+  add_double("v1", ev.v1);
+  add_double("v2", ev.v2);
+  out += ",\"str\":";
+  if (ev.str != nullptr) {
+    out += '"';
+    append_json_escaped(&out, ev.str);
+    out += '"';
+  } else {
+    out += "null";
+  }
+  out += '}';
+  return out;
+}
+
+bool trace_event_from_json(const std::string& line, ParsedTraceEvent* out) {
+  *out = ParsedTraceEvent{};
+  TraceEvent& ev = out->ev;
+
+  std::size_t pos = 0;
+  if (!find_key(line, "kind", &pos)) return false;
+  std::string kind_name;
+  if (!parse_json_unescaped(line, &pos, &kind_name)) return false;
+  if (!trace_kind_from_name(kind_name, &ev.kind)) return false;
+
+  if (!parse_double_field(line, "at", &ev.at)) return false;
+  std::int64_t i = 0;
+  if (!parse_int_field(line, "project", &i)) return false;
+  ev.project = static_cast<std::int32_t>(i);
+  if (!parse_int_field(line, "job", &i)) return false;
+  ev.job = static_cast<std::int32_t>(i);
+  if (!parse_int_field(line, "ptype", &i)) return false;
+  ev.ptype = static_cast<std::int32_t>(i);
+  if (!parse_bool_field(line, "flag", &ev.flag)) return false;
+  if (!parse_int_field(line, "n", &ev.n)) return false;
+  if (!parse_int_field(line, "m", &ev.m)) return false;
+  if (!parse_double_field(line, "v0", &ev.v0)) return false;
+  if (!parse_double_field(line, "v1", &ev.v1)) return false;
+  if (!parse_double_field(line, "v2", &ev.v2)) return false;
+
+  if (!find_key(line, "str", &pos)) return false;
+  if (line.compare(pos, 4, "null") == 0) {
+    out->has_str = false;
+    ev.str = nullptr;
+  } else {
+    if (!parse_json_unescaped(line, &pos, &out->str)) return false;
+    out->has_str = true;
+    ev.str = out->str.c_str();
+  }
+  return true;
+}
+
+void TextSink::on_event(const TraceEvent& ev) {
+  char head[64];
+  std::snprintf(head, sizeof head, "[%10.1f] [%s] ", ev.at,
+                log_category_name(trace_kind_category(ev.kind)));
+  (*os_) << head << render_text(ev) << '\n';
+}
+
+void LoggerSink::on_event(const TraceEvent& ev) {
+  const LogCategory c = trace_kind_category(ev.kind);
+  if (!log_->enabled(c)) return;  // skip the render when the Logger drops it
+  log_->logf(ev.at, c, "%s", render_text(ev).c_str());
+}
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  (*os_) << trace_event_to_json(ev) << '\n';
+}
+
+void CounterSink::on_event(const TraceEvent& ev) {
+  ++counts_[static_cast<std::size_t>(trace_kind_category(ev.kind))];
+}
+
+void TraceForwarder::on_event(const TraceEvent& ev) { target_->emit(ev); }
+
+}  // namespace bce

@@ -1,0 +1,228 @@
+#pragma once
+
+/// \file trace.hpp
+/// Typed decision tracing. The paper's BCE "generates ... a message log
+/// detailing the scheduling decisions" (§4.3); the seed implemented that as
+/// printf-formatted text through Logger. This refactor keeps the text output
+/// byte-identical but makes the *event* the primary artifact: every decision
+/// point emits a TraceEvent (a flat POD: sim time, kind, ids, numeric
+/// payload), and pluggable TraceSinks render it — as the classic log line,
+/// as JSONL for offline analysis, or as per-category counters for Metrics.
+///
+/// Fast-path contract: when a category is disabled (or no sink is attached)
+/// `Trace::emit` returns after two branches, and building a TraceEvent is a
+/// stack aggregate initialization — no allocation anywhere on the disabled
+/// path. bench/micro_kernels pins this (BM_TraceEmitDisabled and the
+/// emulate-one-day comparison).
+///
+/// Lifetime note: `TraceEvent::str` is a non-owned pointer (project name,
+/// policy name) valid only for the duration of the emit call. Sinks must
+/// render synchronously and never stash the pointer.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/logger.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+/// One kind per decision line the emulator can log. The vocabulary is
+/// exactly the seed Logger's line formats — render_text() reproduces each
+/// byte-for-byte (tests/test_trace_golden.cpp pins this against hashes of
+/// pre-refactor output).
+enum class TraceKind : std::uint8_t {
+  // task
+  kJobStarted,      ///< job started (job, project)
+  kJobPreempted,    ///< job preempted (job, project)
+  kJobCompleted,    ///< job completed (job, project, flag=missed deadline)
+  kJobUploaded,     ///< output files uploaded (job)
+  kJobDownloaded,   ///< input files downloaded (job)
+  // cpu_sched
+  kJobSkippedRam,     ///< candidate skipped: RAM limit (job)
+  kJobSkippedCoproc,  ///< candidate skipped: no free coproc (job, ptype)
+  kSchedulePass,      ///< schedule pass summary (n=cands, m=chosen, v0=cpu)
+  // rr_sim
+  kRrSimType,        ///< per-type outputs (ptype, v0=SAT, v1=shortfall,
+                     ///< v2=idle instances now)
+  kRrSimEndangered,  ///< n jobs deadline-endangered (n)
+  // work_fetch
+  kFetchRequest,      ///< fetch decision (project, str=policy, ptype=trigger,
+                      ///< v0/v1/v2=req cpu/nvidia/ati seconds)
+  kFetchReplyLost,    ///< reply lost; retry backoff armed (v0=backoff)
+  kFetchProjectDown,  ///< project down; backoff armed (v0=backoff)
+  kFetchBackoff,      ///< no jobs of type; backoff armed (ptype, v0=backoff)
+  // rpc
+  kRpcRoundTrip,  ///< RPC completed (project, n=reported, m=received,
+                  ///< flag=server down)
+  // avail
+  kAvailability,  ///< availability transition (n=cpu, m=gpu, flag=net)
+  // server
+  kServerDown,  ///< RPC rejected, server down (str=project name)
+  kServerSent,  ///< jobs sent (str=project name, v0=jobs, ptype,
+                ///< v1=req inst-sec, v2=sent inst-sec)
+  // fault
+  kJobFaulted,   ///< job aborted / compute error (job, project,
+                 ///< flag=aborted, v0=percent done)
+  kHostCrash,    ///< host crash, rollback to checkpoints (v0=reboot delay)
+  kHostReboot,   ///< host rebooted, client restarting
+  kRpcReplyLost, ///< scheduler reply lost in flight (project, n=orphaned)
+  kCount_,
+};
+
+inline constexpr std::size_t kNumTraceKinds =
+    static_cast<std::size_t>(TraceKind::kCount_);
+
+/// Stable machine-readable tag ("job_started", ...). Used as the JSONL
+/// "kind" field.
+const char* trace_kind_name(TraceKind k);
+
+/// Inverse of trace_kind_name; returns false if \p name is unknown.
+bool trace_kind_from_name(const std::string& name, TraceKind* out);
+
+/// The log category a kind belongs to (drives filtering and the [tag] in
+/// text output).
+LogCategory trace_kind_category(TraceKind k);
+
+/// Flat event record. Unused fields keep their defaults; which fields a
+/// kind uses is documented on the TraceKind enumerators.
+struct TraceEvent {
+  SimTime at = 0.0;
+  TraceKind kind = TraceKind::kCount_;
+  std::int32_t project = -1;   ///< project id, -1 = none
+  std::int32_t job = -1;       ///< job id, -1 = none
+  std::int32_t ptype = -1;     ///< proc_index(ProcType), -1 = none
+  bool flag = false;           ///< kind-specific boolean
+  std::int64_t n = 0;          ///< kind-specific count
+  std::int64_t m = 0;          ///< kind-specific count
+  double v0 = 0.0;             ///< kind-specific value
+  double v1 = 0.0;             ///< kind-specific value
+  double v2 = 0.0;             ///< kind-specific value
+  const char* str = nullptr;   ///< non-owned; valid during emit only
+};
+
+/// Render the message body exactly as the seed Logger call site formatted
+/// it (no "[time] [category]" prefix — that is the text sink's job).
+std::string render_text(const TraceEvent& ev);
+
+/// Serialize to one JSON object (no trailing newline). Key order and float
+/// formatting are deterministic, so two traces of identical runs compare
+/// byte-equal (`bce determinism`).
+std::string trace_event_to_json(const TraceEvent& ev);
+
+/// A parsed event plus owned backing storage for its string payload.
+struct ParsedTraceEvent {
+  TraceEvent ev;
+  std::string str;  ///< ev.str points here when non-null
+  bool has_str = false;
+};
+
+/// Parse a line produced by trace_event_to_json. Returns false on any
+/// malformed input.
+bool trace_event_from_json(const std::string& line, ParsedTraceEvent* out);
+
+class Trace;
+
+/// Sink interface: receives every event that passes the Trace's category
+/// filter. Implementations must not retain `ev.str` beyond the call.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// Renders the classic log line: "[%10.1f] [%s] <body>\n".
+class TextSink final : public TraceSink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(&os) {}
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Back-compat bridge: forwards each event into a Logger (which applies its
+/// own category filter, stream prefix, and retain mode). Byte-identical to
+/// the pre-refactor call sites by construction: the body it forwards is
+/// render_text(), the same printf output the call sites used to produce.
+class LoggerSink final : public TraceSink {
+ public:
+  explicit LoggerSink(Logger& log) : log_(&log) {}
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  Logger* log_;
+};
+
+/// One JSON object per line (`bce run --trace FILE`).
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Per-category event counts; the emulator folds these into
+/// Metrics::trace_events. Counts only events that pass the category filter
+/// (a fully disabled trace stays free — and reports zeros).
+class CounterSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& ev) override;
+  [[nodiscard]] const std::array<std::int64_t, kNumLogCategories>& counts()
+      const {
+    return counts_;
+  }
+  void reset() { counts_.fill(0); }
+
+ private:
+  std::array<std::int64_t, kNumLogCategories> counts_{};
+};
+
+/// Forwards into another Trace (which applies its own filter/sinks). Lets
+/// the emulator's internal dispatcher feed EmulationOptions::trace.
+class TraceForwarder final : public TraceSink {
+ public:
+  explicit TraceForwarder(Trace& target) : target_(&target) {}
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  Trace* target_;
+};
+
+/// Dispatcher: a category-enable mask plus a list of non-owned sinks.
+/// All categories start disabled, so an un-configured Trace is free.
+class Trace {
+ public:
+  void enable(LogCategory c, bool on = true) {
+    enabled_[static_cast<std::size_t>(c)] = on;
+  }
+  void enable_all(bool on = true) { enabled_.fill(on); }
+  [[nodiscard]] bool enabled(LogCategory c) const {
+    return enabled_[static_cast<std::size_t>(c)];
+  }
+
+  /// \p sink is not owned and must outlive the Trace's use.
+  void add_sink(TraceSink* sink) { sinks_.push_back(sink); }
+
+  /// True when an emit for category \p c would reach at least one sink.
+  /// Call sites use this to skip loops that exist only to build events.
+  [[nodiscard]] bool wants(LogCategory c) const {
+    return !sinks_.empty() && enabled(c);
+  }
+
+  void emit(const TraceEvent& ev) {
+    if (sinks_.empty() || !enabled(trace_kind_category(ev.kind))) return;
+    for (TraceSink* s : sinks_) s->on_event(ev);
+  }
+
+ private:
+  std::array<bool, kNumLogCategories> enabled_{};
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace bce

@@ -15,7 +15,7 @@ struct Fixture {
   HostInfo host = HostInfo::cpu_only(4, 1e9);
   Preferences prefs;
   PolicyConfig policy;
-  Logger log;
+  Trace log;
   std::vector<Result> jobs;
   JobId next_id = 0;
 

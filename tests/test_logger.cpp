@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "sim/logger.hpp"
 
@@ -68,6 +69,35 @@ TEST(Logger, CategoryNames) {
   EXPECT_STREQ(log_category_name(LogCategory::kRpc), "rpc");
   EXPECT_STREQ(log_category_name(LogCategory::kAvail), "avail");
   EXPECT_STREQ(log_category_name(LogCategory::kServer), "server");
+}
+
+TEST(Logger, CategoryNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumLogCategories; ++i) {
+    const auto c = static_cast<LogCategory>(i);
+    LogCategory back = LogCategory::kTask;
+    ASSERT_TRUE(log_category_from_name(log_category_name(c), &back));
+    EXPECT_EQ(back, c);
+  }
+  LogCategory out;
+  EXPECT_FALSE(log_category_from_name("nonsense", &out));
+  EXPECT_FALSE(log_category_from_name("", &out));
+}
+
+// Regression: messages longer than the 512-byte stack buffer used to be
+// silently truncated; logf now retries into a heap buffer.
+TEST(Logger, LongMessagesAreNotTruncated) {
+  Logger log;
+  log.set_retain(true);
+  log.enable_all();
+  const std::string payload(2000, 'x');
+  log.logf(0.0, LogCategory::kTask, "start %s end", payload.c_str());
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries()[0].text, "start " + payload + " end");
+
+  std::ostringstream os;
+  log.set_stream(&os);
+  log.logf(1.0, LogCategory::kTask, "%s", payload.c_str());
+  EXPECT_NE(os.str().find(payload), std::string::npos);
 }
 
 TEST(Logger, UnconfiguredLoggerIsCheap) {

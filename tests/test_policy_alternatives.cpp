@@ -21,7 +21,7 @@ TEST(JsEdf, OrdersEverythingByDeadline) {
   policy.sched = JobSchedPolicy::kEdfOnly;
   JobScheduler sched(host, prefs, policy);
   Accounting acct(host, {0.9, 0.1}, kSecondsPerDay);
-  Logger log;
+  Trace log;
 
   std::vector<Result> jobs(2);
   // High-share project's job has the LATER deadline; pure EDF must ignore
@@ -83,7 +83,7 @@ TEST(JfRr, SelectsLeastRecentlyAskedProject) {
   PolicyConfig policy;
   policy.fetch = FetchPolicy::kRoundRobin;
   WorkFetch wf(host, prefs, policy);
-  Logger log;
+  Trace log;
 
   std::vector<ProjectConfig> projects(3);
   std::vector<const ProjectConfig*> cfgs;

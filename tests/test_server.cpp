@@ -15,7 +15,7 @@ struct Fixture {
   HostInfo host = HostInfo::cpu_only(4, 1e9);
   ProjectConfig cfg;
   ServerPolicy policy;
-  Logger log;
+  Trace log;
   JobId next_id = 0;
 
   Fixture() {

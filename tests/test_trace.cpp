@@ -1,0 +1,270 @@
+// Unit and integration tests for the typed decision-trace pipeline
+// (sim/trace): kind/category mappings, sink behavior, JSONL round-trips,
+// and cross-thread byte-identity of emulator traces.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+
+namespace bce {
+namespace {
+
+TEST(Trace, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumTraceKinds; ++i) {
+    const auto k = static_cast<TraceKind>(i);
+    EXPECT_STRNE(trace_kind_name(k), "?") << i;
+    TraceKind back = TraceKind::kCount_;
+    ASSERT_TRUE(trace_kind_from_name(trace_kind_name(k), &back)) << i;
+    EXPECT_EQ(back, k);
+  }
+  TraceKind out;
+  EXPECT_FALSE(trace_kind_from_name("bogus", &out));
+  EXPECT_FALSE(trace_kind_from_name("", &out));
+}
+
+TEST(Trace, KindCategories) {
+  EXPECT_EQ(trace_kind_category(TraceKind::kJobStarted), LogCategory::kTask);
+  EXPECT_EQ(trace_kind_category(TraceKind::kSchedulePass),
+            LogCategory::kCpuSched);
+  EXPECT_EQ(trace_kind_category(TraceKind::kRrSimType), LogCategory::kRrSim);
+  EXPECT_EQ(trace_kind_category(TraceKind::kFetchRequest),
+            LogCategory::kWorkFetch);
+  EXPECT_EQ(trace_kind_category(TraceKind::kRpcRoundTrip), LogCategory::kRpc);
+  EXPECT_EQ(trace_kind_category(TraceKind::kAvailability), LogCategory::kAvail);
+  EXPECT_EQ(trace_kind_category(TraceKind::kServerSent), LogCategory::kServer);
+  EXPECT_EQ(trace_kind_category(TraceKind::kHostCrash), LogCategory::kFault);
+}
+
+TEST(Trace, WantsRequiresSinkAndEnabledCategory) {
+  Trace trace;
+  EXPECT_FALSE(trace.wants(LogCategory::kTask));  // no sinks, nothing enabled
+  trace.enable_all();
+  EXPECT_FALSE(trace.wants(LogCategory::kTask));  // enabled but sink-less
+  CounterSink counters;
+  trace.add_sink(&counters);
+  EXPECT_TRUE(trace.wants(LogCategory::kTask));
+  trace.enable(LogCategory::kTask, false);
+  EXPECT_FALSE(trace.wants(LogCategory::kTask));
+  EXPECT_TRUE(trace.wants(LogCategory::kRpc));
+}
+
+TEST(Trace, EmitFiltersByCategory) {
+  Trace trace;
+  CounterSink counters;
+  trace.add_sink(&counters);
+  trace.enable(LogCategory::kTask);
+
+  trace.emit({.at = 1.0, .kind = TraceKind::kJobStarted, .job = 1});
+  trace.emit({.at = 2.0, .kind = TraceKind::kJobCompleted, .job = 1});
+  trace.emit({.at = 3.0, .kind = TraceKind::kRpcRoundTrip, .project = 0});
+
+  EXPECT_EQ(counters.counts()[static_cast<std::size_t>(LogCategory::kTask)], 2);
+  EXPECT_EQ(counters.counts()[static_cast<std::size_t>(LogCategory::kRpc)], 0);
+  counters.reset();
+  EXPECT_EQ(counters.counts()[static_cast<std::size_t>(LogCategory::kTask)], 0);
+}
+
+TEST(Trace, TextSinkRendersClassicLogLine) {
+  std::ostringstream os;
+  Trace trace;
+  TextSink sink(os);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  trace.emit({.at = 120.0, .kind = TraceKind::kJobStarted, .project = 2,
+              .job = 7});
+  EXPECT_EQ(os.str(), "[     120.0] [task] job 7 started (project 2)\n");
+}
+
+TEST(Trace, LoggerSinkHonorsLoggerCategoryFilter) {
+  Logger log;
+  log.set_retain(true);
+  log.enable(LogCategory::kTask);  // logger narrower than the trace
+
+  Trace trace;
+  LoggerSink sink(log);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  trace.emit({.at = 1.0, .kind = TraceKind::kJobStarted, .project = 0,
+              .job = 3});
+  trace.emit({.at = 2.0, .kind = TraceKind::kRpcRoundTrip, .project = 0,
+              .n = 1, .m = 2});
+
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries()[0].text, "job 3 started (project 0)");
+  EXPECT_EQ(log.entries()[0].category, LogCategory::kTask);
+}
+
+TEST(Trace, ForwarderAppliesTargetFilter) {
+  Trace inner;
+  CounterSink counters;
+  inner.add_sink(&counters);
+  inner.enable(LogCategory::kRpc);  // inner narrower than outer
+
+  Trace outer;
+  TraceForwarder forward(inner);
+  outer.add_sink(&forward);
+  outer.enable_all();
+  outer.emit({.at = 1.0, .kind = TraceKind::kJobStarted, .job = 1});
+  outer.emit({.at = 2.0, .kind = TraceKind::kRpcRoundTrip, .project = 1});
+
+  EXPECT_EQ(counters.counts()[static_cast<std::size_t>(LogCategory::kTask)], 0);
+  EXPECT_EQ(counters.counts()[static_cast<std::size_t>(LogCategory::kRpc)], 1);
+}
+
+TEST(Trace, JsonRoundTripsEveryKind) {
+  for (std::size_t i = 0; i < kNumTraceKinds; ++i) {
+    TraceEvent ev{.at = 86400.5,
+                  .kind = static_cast<TraceKind>(i),
+                  .project = 3,
+                  .job = 41,
+                  .ptype = 1,
+                  .flag = (i % 2) == 0,
+                  .n = 12,
+                  .m = -7,
+                  .v0 = 0.1,
+                  .v1 = -1e9,
+                  .v2 = 1.0 / 3.0,
+                  .str = (i % 3) == 0 ? "project \"x\"\\y\n\tz" : nullptr};
+    const std::string line = trace_event_to_json(ev);
+    ParsedTraceEvent parsed;
+    ASSERT_TRUE(trace_event_from_json(line, &parsed)) << line;
+    EXPECT_EQ(parsed.ev.kind, ev.kind);
+    EXPECT_EQ(parsed.ev.at, ev.at);
+    EXPECT_EQ(parsed.ev.project, ev.project);
+    EXPECT_EQ(parsed.ev.job, ev.job);
+    EXPECT_EQ(parsed.ev.ptype, ev.ptype);
+    EXPECT_EQ(parsed.ev.flag, ev.flag);
+    EXPECT_EQ(parsed.ev.n, ev.n);
+    EXPECT_EQ(parsed.ev.m, ev.m);
+    EXPECT_EQ(parsed.ev.v0, ev.v0);
+    EXPECT_EQ(parsed.ev.v1, ev.v1);
+    EXPECT_EQ(parsed.ev.v2, ev.v2);
+    EXPECT_EQ(parsed.has_str, ev.str != nullptr);
+    if (ev.str != nullptr) {
+      EXPECT_EQ(parsed.str, std::string(ev.str));
+    }
+    // %.17g doubles and exact escaping: re-serialization is byte-identical.
+    EXPECT_EQ(trace_event_to_json(parsed.ev), line);
+  }
+}
+
+TEST(Trace, MalformedJsonRejected) {
+  ParsedTraceEvent parsed;
+  EXPECT_FALSE(trace_event_from_json("", &parsed));
+  EXPECT_FALSE(trace_event_from_json("{}", &parsed));
+  EXPECT_FALSE(trace_event_from_json("{\"kind\":\"nope\"}", &parsed));
+  EXPECT_FALSE(trace_event_from_json(
+      "{\"kind\":\"job_started\",\"at\":1.0}", &parsed));  // missing fields
+  EXPECT_FALSE(trace_event_from_json(
+      "{\"kind\":\"job_started\",\"at\":1.0,\"project\":0,\"job\":0,"
+      "\"ptype\":-1,\"flag\":maybe,\"n\":0,\"m\":0,\"v0\":0,\"v1\":0,"
+      "\"v2\":0,\"str\":null}",
+      &parsed));  // bad bool
+}
+
+// --- emulator integration ------------------------------------------------
+
+/// JSONL trace of one emulation run, plus its Metrics.
+struct TracedRun {
+  std::string jsonl;
+  Metrics metrics;
+};
+
+TracedRun traced_run(const Scenario& sc, PolicyConfig policy = {}) {
+  std::ostringstream os;
+  Trace trace;
+  JsonlSink sink(os);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  EmulationOptions opt;
+  opt.policy = policy;
+  opt.trace = &trace;
+  const EmulationResult res = emulate(sc, opt);
+  return {os.str(), res.metrics};
+}
+
+TEST(TraceEmulator, EveryTraceLineParsesAndRoundTrips) {
+  // A (shortened) scenario-3 trace: long low-slack jobs plus normal jobs
+  // exercise task, cpu_sched, rr_sim, work_fetch, rpc, and server events.
+  Scenario sc = paper_scenario3();
+  sc.duration = 3.0 * kSecondsPerDay;
+  const TracedRun run = traced_run(sc);
+
+  std::istringstream is(run.jsonl);
+  std::string line;
+  std::int64_t n_lines = 0;
+  while (std::getline(is, line)) {
+    ParsedTraceEvent parsed;
+    ASSERT_TRUE(trace_event_from_json(line, &parsed)) << line;
+    EXPECT_EQ(trace_event_to_json(parsed.ev), line);
+    ++n_lines;
+  }
+  EXPECT_GT(n_lines, 0);
+
+  // The per-category counters folded into Metrics account for exactly the
+  // events that reached the JSONL sink.
+  std::int64_t counted = 0;
+  for (const auto c : run.metrics.trace_events) counted += c;
+  EXPECT_EQ(counted, n_lines);
+}
+
+TEST(TraceEmulator, UntracedRunReportsZeroTraceEvents) {
+  Scenario sc = paper_scenario1(1500.0);
+  sc.duration = 1.0 * kSecondsPerDay;
+  const EmulationResult res = emulate(sc, EmulationOptions{});
+  for (const auto c : res.metrics.trace_events) EXPECT_EQ(c, 0);
+}
+
+TEST(TraceEmulator, TraceBytesIdenticalAcrossThreadCounts) {
+  // The same three runs traced under --threads 1 and --threads 8 must
+  // produce byte-identical JSONL (traces depend only on (scenario, policy,
+  // seed), never on batch scheduling).
+  const PolicyConfig policies[3] = {
+      {},
+      {.sched = JobSchedPolicy::kGlobal, .fetch = FetchPolicy::kHysteresis},
+      {.sched = JobSchedPolicy::kWrr, .fetch = FetchPolicy::kRoundRobin},
+  };
+
+  auto run_all = [&policies](unsigned n_threads) {
+    struct Capture {
+      std::ostringstream os;
+      Trace trace;
+      JsonlSink sink{os};
+    };
+    std::vector<std::unique_ptr<Capture>> caps;
+    std::vector<RunSpec> specs;
+    for (const auto& policy : policies) {
+      auto cap = std::make_unique<Capture>();
+      cap->trace.add_sink(&cap->sink);
+      cap->trace.enable_all();
+      RunSpec spec;
+      spec.scenario = paper_scenario1(1500.0);
+      spec.scenario.duration = 1.0 * kSecondsPerDay;
+      spec.options.policy = policy;
+      spec.options.trace = &cap->trace;
+      specs.push_back(std::move(spec));
+      caps.push_back(std::move(cap));
+    }
+    run_batch(specs, n_threads);
+    std::vector<std::string> out;
+    out.reserve(caps.size());
+    for (const auto& cap : caps) out.push_back(cap->os.str());
+    return out;
+  };
+
+  const std::vector<std::string> serial = run_all(1);
+  const std::vector<std::string> parallel = run_all(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty()) << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "trace diverged for run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bce

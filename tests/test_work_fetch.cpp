@@ -12,7 +12,7 @@ struct Fixture {
   HostInfo host = HostInfo::cpu_only(4, 1e9);
   Preferences prefs;
   PolicyConfig policy;
-  Logger log;
+  Trace log;
   std::vector<ProjectConfig> projects;
   std::vector<ProjectFetchState> states;
   std::vector<PerProc<bool>> endangered;

@@ -5,6 +5,7 @@
 // figures of merit, timeline, and message log out, or sweep policies.
 //
 //   bce run <scenario> [options]       emulate one scenario
+//                                      (--trace FILE: JSONL decision trace)
 //   bce compare <scenario> [options]   every registered policy pair, one table
 //   bce sweep <scenario> --param min_queue --values 600,3600,14400
 //   bce sample [n] [days]              Monte-Carlo population comparison
@@ -27,6 +28,8 @@
 //   --timeline                    print the ASCII processor timeline
 //   --log CAT[,CAT...]            message log (task,cpu_sched,rr_sim,
 //                                 work_fetch,rpc,avail,server,fault or 'all')
+//   --trace FILE                  write every decision as one JSON object
+//                                 per line (all categories; docs/observability.md)
 //   --threads N                   sweep parallelism
 //
 // Fault injection (docs/faults.md); each overrides the scenario file:
@@ -38,8 +41,11 @@
 //   --rpc-timeout S               server-side orphaned-job reclaim timeout
 //   --transfer-error R            per-attempt download/upload failure rate
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -57,6 +63,7 @@ struct CliOptions {
   std::uint64_t seed = 0;
   bool timeline = false;
   std::vector<std::string> log_cats;
+  std::string trace_path;
   unsigned threads = 0;
   std::string sweep_param;
   std::vector<double> sweep_values;
@@ -86,6 +93,7 @@ struct CliOptions {
       "         see list-policies)  --policy wrr|local|global (legacy)\n"
       "         --half-life S  --server-deadline-check  --fetch-suppression\n"
       "         --days N  --seed N  --timeline  --log CATS  --threads N\n"
+      "         --trace FILE (run: JSONL decision trace, all categories)\n"
       "faults:  --faults off|light|heavy  --job-error R  --job-abort R\n"
       "         --crash-mtbf S  --crash-reboot S  --rpc-loss R\n"
       "         --rpc-timeout S  --transfer-error R  (see docs/faults.md)\n";
@@ -221,6 +229,8 @@ CliOptions parse_options(int argc, char** argv, int first,
       std::istringstream is(need_value());
       std::string cat;
       while (std::getline(is, cat, ',')) o.log_cats.push_back(cat);
+    } else if (a == "--trace") {
+      o.trace_path = need_value();
     } else if (a == "--threads") {
       o.threads = static_cast<unsigned>(std::stoul(need_value()));
     } else if (a == "--param") {
@@ -252,24 +262,11 @@ Scenario load(const std::string& path, const CliOptions& o) {
 
 void configure_log(Logger& log, const CliOptions& o) {
   for (const auto& cat : o.log_cats) {
+    LogCategory c{};
     if (cat == "all") {
       log.enable_all();
-    } else if (cat == "task") {
-      log.enable(LogCategory::kTask);
-    } else if (cat == "cpu_sched") {
-      log.enable(LogCategory::kCpuSched);
-    } else if (cat == "rr_sim") {
-      log.enable(LogCategory::kRrSim);
-    } else if (cat == "work_fetch") {
-      log.enable(LogCategory::kWorkFetch);
-    } else if (cat == "rpc") {
-      log.enable(LogCategory::kRpc);
-    } else if (cat == "avail") {
-      log.enable(LogCategory::kAvail);
-    } else if (cat == "server") {
-      log.enable(LogCategory::kServer);
-    } else if (cat == "fault") {
-      log.enable(LogCategory::kFault);
+    } else if (log_category_from_name(cat, &c)) {
+      log.enable(c);
     } else {
       usage(("unknown log category " + cat).c_str());
     }
@@ -291,7 +288,27 @@ int cmd_run(const std::string& path, const CliOptions& o) {
   opt.policy = o.policy;
   opt.logger = &log;
   opt.record_timeline = o.timeline;
+
+  // --trace FILE: JSONL decision trace, every category. Scoped so the
+  // stream flushes before we print the summary.
+  std::ofstream trace_file;
+  Trace trace;
+  std::optional<JsonlSink> jsonl;
+  if (!o.trace_path.empty()) {
+    trace_file.open(o.trace_path);
+    if (!trace_file) {
+      usage(("cannot open trace file " + o.trace_path).c_str());
+    }
+    jsonl.emplace(trace_file);
+    trace.add_sink(&*jsonl);
+    trace.enable_all();
+    opt.trace = &trace;
+  }
   const EmulationResult res = emulate(sc, opt);
+  if (!o.trace_path.empty()) {
+    trace_file.close();
+    std::cout << "decision trace written to " << o.trace_path << "\n";
+  }
 
   std::cout << "scenario '" << sc.name << "', "
             << sc.duration / kSecondsPerDay << " days, "
@@ -413,8 +430,22 @@ int cmd_print(const std::string& path) {
 /// Full-precision dump of everything an emulation produced: every metric
 /// (including fault counters), per-project stats, and the final state of
 /// every job. Two runs of the same scenario must match byte-for-byte.
-std::string precise_report(const Scenario& sc, const EmulationOptions& opt) {
+/// \p trace_out, when non-null, additionally collects the full JSONL
+/// decision trace of the run (all categories), so the comparison covers
+/// every scheduling decision, not just the end-of-run figures of merit.
+std::string precise_report(const Scenario& sc, EmulationOptions opt,
+                           std::string* trace_out = nullptr) {
+  std::ostringstream trace_os;
+  Trace trace;
+  std::optional<JsonlSink> jsonl;
+  if (trace_out != nullptr) {
+    jsonl.emplace(trace_os);
+    trace.add_sink(&*jsonl);
+    trace.enable_all();
+    opt.trace = &trace;
+  }
   const EmulationResult res = emulate(sc, opt);
+  if (trace_out != nullptr) *trace_out = trace_os.str();
   std::ostringstream os;
   os.precision(17);
   const Metrics& m = res.metrics;
@@ -448,16 +479,36 @@ int cmd_determinism(const std::string& path, const CliOptions& o) {
   const Scenario sc = load(path, o);
   EmulationOptions opt;
   opt.policy = o.policy;
-  const std::string a = precise_report(sc, opt);
-  const std::string b = precise_report(sc, opt);
+  std::string trace_a;
+  std::string trace_b;
+  const std::string a = precise_report(sc, opt, &trace_a);
+  const std::string b = precise_report(sc, opt, &trace_b);
   if (a != b) {
     std::size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
     std::cerr << "determinism FAILED: reports diverge at byte " << i << "\n";
     return 1;
   }
-  std::cout << "determinism OK: two runs byte-identical (" << a.size()
-            << " bytes, seed " << sc.seed << ")\n";
+  if (trace_a != trace_b) {
+    // The figures of merit matched but a decision differed along the way:
+    // point at the first diverging trace line for a one-command repro.
+    std::size_t i = 0;
+    while (i < trace_a.size() && i < trace_b.size() &&
+           trace_a[i] == trace_b[i]) {
+      ++i;
+    }
+    const std::size_t line =
+        1 + static_cast<std::size_t>(
+                std::count(trace_a.begin(),
+                           trace_a.begin() + static_cast<std::ptrdiff_t>(i),
+                           '\n'));
+    std::cerr << "determinism FAILED: decision traces diverge at byte " << i
+              << " (trace line " << line << ")\n";
+    return 1;
+  }
+  std::cout << "determinism OK: two runs byte-identical (report " << a.size()
+            << " bytes, decision trace " << trace_a.size() << " bytes, seed "
+            << sc.seed << ")\n";
   return 0;
 }
 
