@@ -71,6 +71,17 @@ class Accounting {
     return shares_[static_cast<std::size_t>(p)];
   }
 
+  /// Whether project \p p has job classes of type \p t (the eligibility
+  /// rule for long-term debt; the invariant auditor re-derives debt sums
+  /// from it).
+  [[nodiscard]] bool capable(ProjectId p, ProcType t) const {
+    return capability_[static_cast<std::size_t>(p)][t];
+  }
+
+  /// Debt magnitude cap for type \p t (zero when the host has no
+  /// instances of it).
+  [[nodiscard]] double debt_cap(ProcType t) const { return debt_cap_[t]; }
+
  private:
   HostInfo host_;
   std::vector<double> shares_;  ///< fractional shares, sum to 1

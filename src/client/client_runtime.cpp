@@ -156,6 +156,10 @@ void ClientRuntime::charge(SimTime t, Duration dt,
                            const std::vector<PerProc<double>>& used_inst_secs,
                            const std::vector<PerProc<bool>>& runnable) {
   acct_.charge(t, dt, used_inst_secs, runnable);
+  if (auditor_ != nullptr) {
+    auditor_->check_debt_sums(acct_, runnable);
+    auditor_->check_rec_nonneg(acct_);
+  }
 }
 
 }  // namespace bce

@@ -40,6 +40,7 @@
 #include "client/work_fetch.hpp"
 #include "model/scenario.hpp"
 #include "server/request.hpp"
+#include "sim/audit.hpp"
 #include "sim/trace.hpp"
 
 namespace bce {
@@ -141,6 +142,16 @@ class ClientRuntime {
     return fetch_states_[static_cast<std::size_t>(p)];
   }
 
+  /// Install a debug auditor (non-owning, may be nullptr) and thread it
+  /// through the scheduling stack: RR-sim (state-version monotonicity and
+  /// output post-conditions), work fetch (request sanity), and accounting
+  /// (debt sums center on zero, REC >= 0 — checked after every charge).
+  void set_auditor(InvariantAuditor* auditor) {
+    auditor_ = auditor;
+    rrsim_.set_auditor(auditor);
+    fetch_.set_auditor(auditor);
+  }
+
  private:
   void bump() { ++state_version_; }
 
@@ -161,6 +172,7 @@ class ClientRuntime {
 
   std::uint64_t state_version_ = 0;
   const RrSimOutput* last_rr_ = nullptr;
+  InvariantAuditor* auditor_ = nullptr;
 
   // Scratch for choose_fetch (avoids per-pass allocation).
   std::vector<PerProc<bool>> endangered_;

@@ -318,6 +318,7 @@ const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
                                      const std::vector<Result*>& jobs,
                                      const std::vector<double>& share_frac,
                                      Trace* trace) {
+  if (auditor_ != nullptr) auditor_->check_state_version(state_version);
   if (cache_valid_ && cached_version_ == state_version && cached_now_ == now) {
     ++stats_.hits;
     return cached_out_;
@@ -327,6 +328,9 @@ const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
   cached_version_ = state_version;
   cached_now_ = now;
   cache_valid_ = true;
+  if (auditor_ != nullptr) {
+    auditor_->check_rr_output(cached_out_, host_, prefs_, now);
+  }
   return cached_out_;
 }
 

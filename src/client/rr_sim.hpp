@@ -31,6 +31,7 @@
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
 #include "model/job.hpp"
+#include "sim/audit.hpp"
 #include "sim/trace.hpp"
 
 namespace bce {
@@ -106,6 +107,12 @@ class RrSim {
 
   [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
 
+  /// Install a debug auditor (non-owning, may be nullptr): run_cached then
+  /// checks that \p state_version never regresses and that every fresh
+  /// simulation's outputs satisfy the RR-sim post-conditions (shortfalls
+  /// non-negative, SAT within span, capacity conservation).
+  void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
+
  private:
   HostInfo host_;
   Preferences prefs_;
@@ -119,6 +126,7 @@ class RrSim {
   SimTime cached_now_ = 0.0;
   RrSimOutput cached_out_;
   CacheStats stats_;
+  InvariantAuditor* auditor_ = nullptr;
 };
 
 }  // namespace bce

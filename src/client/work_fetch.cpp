@@ -104,6 +104,7 @@ WorkFetch::Decision WorkFetch::choose(
                   .v1 = d.request.req_seconds[ProcType::kNvidia],
                   .v2 = d.request.req_seconds[ProcType::kAti],
                   .str = fetch_->name()});
+      if (auditor_ != nullptr) auditor_->check_fetch_decision(d.request, host_);
       return d;
     }
     d.project = kNoProject;

@@ -32,6 +32,7 @@
 #include "host/preferences.hpp"
 #include "model/project.hpp"
 #include "server/request.hpp"
+#include "sim/audit.hpp"
 #include "sim/trace.hpp"
 
 namespace bce {
@@ -88,12 +89,18 @@ class WorkFetch {
   /// The active fetch strategy (name() feeds logs and CLI output).
   [[nodiscard]] const WorkFetchPolicy& fetch_policy() const { return *fetch_; }
 
+  /// Install a debug auditor (non-owning, may be nullptr): choose() then
+  /// re-checks every positive decision's request (non-negative amounts,
+  /// no requests for processor types the host lacks).
+  void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
+
  private:
   HostInfo host_;
   Preferences prefs_;
   PolicyConfig policy_;
   std::shared_ptr<const JobOrderPolicy> order_;
   std::shared_ptr<const WorkFetchPolicy> fetch_;
+  InvariantAuditor* auditor_ = nullptr;
 };
 
 }  // namespace bce

@@ -59,6 +59,26 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
     trace_.enable(cat, on);
   }
 
+  // Invariant auditing: caller-supplied, or always-on when the build
+  // defines BCE_AUDIT (the `audit` preset). Checks never mutate
+  // scheduling state, so audited runs stay byte-identical to unaudited
+  // ones — they just fail loudly at the decision point that corrupted
+  // state instead of finishing with poisoned results.
+  audit_ = opt_.auditor;
+#ifdef BCE_AUDIT
+  if (audit_ == nullptr) {
+    owned_auditor_.emplace();
+    audit_ = &*owned_auditor_;
+  }
+#endif
+  if (audit_ != nullptr) {
+    // Clear per-run ordering state (event clock, RR-sim version) so one
+    // auditor can vet successive emulations; checks_run() keeps counting.
+    audit_->reset();
+    client_.set_auditor(audit_);
+    queue_.set_auditor(audit_);
+  }
+
   ServerPolicy sp;
   sp.deadline_check = opt_.policy.server_deadline_check;
   const double host_avail = sc_.availability.host_on.expected_on_fraction();
@@ -662,6 +682,7 @@ EmulationResult Emulator::run() {
   all.reserve(jobs_.size());
   for (const auto& jp : jobs_) all.push_back(jp.get());
   res.metrics = metrics_.finalize(all, now_);
+  if (audit_ != nullptr) audit_->check_metrics(res.metrics);
   res.timeline = std::move(timeline_);
   res.jobs.reserve(jobs_.size());
   for (const auto& jp : jobs_) res.jobs.push_back(*jp);

@@ -17,7 +17,9 @@
 /// variants never appear here (they are strategy objects resolved through
 /// bce::policy_registry()).
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "client/client_runtime.hpp"
@@ -26,8 +28,6 @@
 #include "core/timeline.hpp"
 #include "model/scenario.hpp"
 #include "server/project_server.hpp"
-#include <optional>
-
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
 #include "sim/logger.hpp"
@@ -51,6 +51,14 @@ struct EmulationOptions {
   /// External trace; events whose category is enabled on it are forwarded
   /// to its sinks (e.g. a JsonlSink for `bce run --trace`). nullptr = none.
   Trace* trace = nullptr;
+
+  /// Debug auditor (sim/audit.hpp), threaded through the client stack and
+  /// the event queue; every decision point then re-checks the scheduling
+  /// invariants and throws AuditFailure on corruption. nullptr = no
+  /// auditing — unless the build defines BCE_AUDIT (the `audit` preset),
+  /// in which case the emulator installs its own per-run auditor. Must
+  /// not be shared across concurrent emulations.
+  InvariantAuditor* auditor = nullptr;
 };
 
 /// Per-project breakdown of one emulation.
@@ -154,6 +162,10 @@ class Emulator {
   std::optional<LoggerSink> logger_sink_;
   std::optional<TraceForwarder> forward_sink_;
   CounterSink counters_;
+  /// Active auditor: opt_.auditor, or owned_auditor_ when the build
+  /// defines BCE_AUDIT and the caller did not supply one. nullptr = off.
+  std::optional<InvariantAuditor> owned_auditor_;
+  InvariantAuditor* audit_ = nullptr;
   ClientRuntime client_;
   std::vector<ProjectServer> servers_;
   EventQueue queue_;

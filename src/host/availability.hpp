@@ -10,6 +10,8 @@
 /// preferences, §2.2).
 
 #include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/rng.hpp"

@@ -14,6 +14,7 @@
 ///    knob of §4.3).
 
 #include <cstdint>
+#include <vector>
 
 #include "host/host_info.hpp"
 #include "model/project.hpp"

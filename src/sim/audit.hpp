@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file audit.hpp
+/// Debug-mode simulation auditor. The golden/determinism tests catch
+/// divergence after the fact; the auditor catches broken scheduling
+/// invariants at the decision point that violated them, the way BOINC's
+/// own client guards its debt/REC accounting with runtime sanity checks.
+///
+/// An InvariantAuditor is threaded through the scheduling stack
+/// (ClientRuntime, RrSim, WorkFetch) and the event kernel (EventQueue):
+/// each subsystem holds a non-owning pointer and, when one is installed,
+/// re-checks its invariants after every decision point:
+///
+///  * local (short- and long-term) debts sum to ~0 across eligible
+///    projects, per processor type (Accounting centers them on zero);
+///  * REC(P) >= 0 for every project;
+///  * event timestamps popped from the EventQueue are monotonic;
+///  * the RR-sim cache's state_version never regresses;
+///  * SHORTFALL(T) >= 0, SAT(T) <= simulated span, and busy + idle
+///    instance-seconds conserve against total capacity over the
+///    max_queue window;
+///  * work requests never ask for negative amounts or for processor
+///    types the host does not have;
+///  * final metrics conserve: used <= available, wasted <= used.
+///
+/// A violation throws AuditFailure (the state is corrupt; continuing
+/// would launder the corruption into results). Hooks are plain null
+/// checks, so an un-audited run pays one predictable branch per decision
+/// point. The BCE_AUDIT CMake option (the `audit` preset) installs an
+/// auditor into every Emulator; tests and tools can also install one
+/// explicitly via EmulationOptions::auditor in any build.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "host/proc_type.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+class Accounting;
+struct HostInfo;
+struct Metrics;
+struct Preferences;
+struct RrSimOutput;
+struct WorkRequest;
+
+/// Thrown when a simulation invariant check fails. Carries a one-line
+/// description of the violated invariant and the offending values.
+class AuditFailure : public std::logic_error {
+ public:
+  explicit AuditFailure(const std::string& what)
+      : std::logic_error("audit: " + what) {}
+};
+
+/// Stateful invariant checker. Each check_* throws AuditFailure on
+/// violation and otherwise increments checks_run(). The monotonicity
+/// checks (event time, state version) keep the last observed value, so
+/// one auditor instance must not be shared across concurrent emulations
+/// (the fleet layer gives each run its own).
+class InvariantAuditor {
+ public:
+  /// Debts must sum to ~0 per processor type across the projects eligible
+  /// for that debt flavour: \p runnable[p][t] gates short-term debt, the
+  /// accounting's own capability matrix gates long-term debt. Projects
+  /// pinned at the debt cap are excluded (clamping trades exactness for
+  /// boundedness, as in BOINC).
+  void check_debt_sums(const Accounting& acct,
+                       const std::vector<PerProc<bool>>& runnable);
+
+  /// REC is an exponentially-decaying average of non-negative FLOPS; it
+  /// can never go negative.
+  void check_rec_nonneg(const Accounting& acct);
+
+  /// Event timestamps must leave the queue in non-decreasing order.
+  void check_event_monotonic(SimTime at);
+
+  /// The RR-sim cache key must never move backwards; a regressing version
+  /// would let a stale simulation satisfy a newer state.
+  void check_state_version(std::uint64_t version);
+
+  /// Post-conditions of one RR-sim run at \p now: SHORTFALL(T) >= 0,
+  /// 0 <= SAT(T) <= span, idle_instances_now within [0, count], and
+  /// busy + shortfall instance-seconds == count * max_queue (capacity
+  /// conservation over the work-buffer window).
+  void check_rr_output(const RrSimOutput& rr, const HostInfo& host,
+                       const Preferences& prefs, SimTime now);
+
+  /// A work request must be non-negative everywhere and empty for
+  /// processor types the host lacks.
+  void check_fetch_decision(const WorkRequest& req, const HostInfo& host);
+
+  /// Final conservation: 0 <= used <= available capacity, wasted <= used,
+  /// failure waste <= wasted (all in FLOPs).
+  void check_metrics(const Metrics& m);
+
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Forget monotonicity history (for reuse across independent runs).
+  void reset() {
+    last_event_at_ = -kNever;
+    last_state_version_ = 0;
+    has_version_ = false;
+  }
+
+ private:
+  [[noreturn]] static void fail(const std::string& msg);
+
+  std::uint64_t checks_run_ = 0;
+  SimTime last_event_at_ = -kNever;
+  std::uint64_t last_state_version_ = 0;
+  bool has_version_ = false;
+};
+
+}  // namespace bce

@@ -51,6 +51,7 @@ Event EventQueue::pop() {
   Event ev = heap_.top().ev;
   heap_.pop();
   --live_;
+  if (auditor_ != nullptr) auditor_->check_event_monotonic(ev.at);
   return ev;
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/types.hpp"
 
 namespace bce {
@@ -76,6 +77,10 @@ class EventQueue {
   /// Total events ever scheduled (for stats/benchmarks).
   [[nodiscard]] std::uint64_t scheduled_count() const { return next_handle_ - 1; }
 
+  /// Install a debug auditor (non-owning, may be nullptr): every pop()
+  /// then re-checks that event timestamps leave the queue monotonically.
+  void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
+
  private:
   struct Entry {
     Event ev;
@@ -93,6 +98,7 @@ class EventQueue {
   std::size_t live_ = 0;
   EventHandle next_handle_ = 1;
   std::uint64_t next_seq_ = 0;
+  InvariantAuditor* auditor_ = nullptr;
 };
 
 }  // namespace bce

@@ -1,0 +1,353 @@
+// Tests for the debug-mode simulation auditor (sim/audit.hpp).
+//
+// Two halves: (1) corruption tests hand each check a deliberately broken
+// piece of state and assert it throws AuditFailure with a useful message;
+// (2) end-to-end tests install an auditor via EmulationOptions::auditor
+// and assert that real emulations — clean, faulty, every policy pairing —
+// pass every invariant while actually exercising the checks
+// (checks_run() > 0), including concurrently from several threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/accounting.hpp"
+#include "client/rr_sim.hpp"
+#include "core/emulator.hpp"
+#include "core/scenario_io.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "server/request.hpp"
+#include "sim/audit.hpp"
+
+namespace bce {
+namespace {
+
+std::string failure_message(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const AuditFailure& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// ---- event ordering -------------------------------------------------------
+
+TEST(Audit, EventTimestampsMustBeMonotonic) {
+  InvariantAuditor a;
+  a.check_event_monotonic(10.0);
+  a.check_event_monotonic(10.0);  // equal timestamps are fine
+  a.check_event_monotonic(11.5);
+  EXPECT_THROW(a.check_event_monotonic(5.0), AuditFailure);
+  const std::string msg =
+      failure_message([&] { a.check_event_monotonic(5.0); });
+  EXPECT_NE(msg.find("monotonic"), std::string::npos) << msg;
+}
+
+TEST(Audit, ResetForgetsTheEventClock) {
+  InvariantAuditor a;
+  a.check_event_monotonic(100.0);
+  a.reset();
+  EXPECT_NO_THROW(a.check_event_monotonic(0.0));
+}
+
+// ---- RR-sim cache version -------------------------------------------------
+
+TEST(Audit, StateVersionMayNeverRegress) {
+  InvariantAuditor a;
+  a.check_state_version(3);
+  a.check_state_version(3);  // unchanged state re-checked: fine
+  a.check_state_version(7);
+  EXPECT_THROW(a.check_state_version(6), AuditFailure);
+}
+
+TEST(Audit, ResetForgetsTheStateVersion) {
+  InvariantAuditor a;
+  a.check_state_version(42);
+  a.reset();
+  EXPECT_NO_THROW(a.check_state_version(1));
+}
+
+// ---- debt sums ------------------------------------------------------------
+
+TEST(Audit, BalancedDebtsPass) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting acct(h, {0.5, 0.5}, kSecondsPerDay);
+  PerProc<double> p0_used{};
+  p0_used[ProcType::kCpu] = 100.0;
+  PerProc<bool> on{};
+  on[ProcType::kCpu] = true;
+  const std::vector<PerProc<bool>> runnable = {on, on};
+  acct.charge(100.0, 100.0, {p0_used, PerProc<double>{}}, runnable);
+
+  InvariantAuditor a;
+  EXPECT_NO_THROW(a.check_debt_sums(acct, runnable));
+  EXPECT_GT(a.checks_run(), 0U);
+}
+
+TEST(Audit, CorruptedDebtSumFires) {
+  // Same accounting state as above (debts are +d / -d, |d| ~ tens of
+  // seconds), but the caller hands the auditor a runnable mask claiming
+  // only project 0 is eligible — exactly what a bookkeeping bug between
+  // the scheduler's runnable set and the accounting charge looks like.
+  // The eligible "sum" is then a lone nonzero debt and must fire.
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  Accounting acct(h, {0.5, 0.5}, kSecondsPerDay);
+  PerProc<double> p0_used{};
+  p0_used[ProcType::kCpu] = 100.0;
+  PerProc<bool> on{};
+  on[ProcType::kCpu] = true;
+  acct.charge(100.0, 100.0, {p0_used, PerProc<double>{}}, {on, on});
+  ASSERT_LT(acct.debt(0, ProcType::kCpu), -1.0);  // far beyond tolerance
+
+  InvariantAuditor a;
+  const std::vector<PerProc<bool>> corrupt = {on, PerProc<bool>{}};
+  EXPECT_THROW(a.check_debt_sums(acct, corrupt), AuditFailure);
+  const std::string msg =
+      failure_message([&] { a.check_debt_sums(acct, corrupt); });
+  EXPECT_NE(msg.find("short-term"), std::string::npos) << msg;
+}
+
+TEST(Audit, RecIsNonNegativeAfterCharges) {
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  Accounting acct(h, {0.7, 0.3}, kSecondsPerDay);
+  PerProc<bool> on{};
+  on[ProcType::kCpu] = true;
+  PerProc<double> u{};
+  u[ProcType::kCpu] = 60.0;
+  for (int i = 0; i < 5; ++i) {
+    acct.charge(60.0 * (i + 1), 60.0, {u, u}, {on, on});
+  }
+  InvariantAuditor a;
+  EXPECT_NO_THROW(a.check_rec_nonneg(acct));
+}
+
+// ---- RR-sim output --------------------------------------------------------
+
+RrSimOutput consistent_output(const HostInfo& host, const Preferences& prefs) {
+  // An idle host: zero busy time, the whole window is shortfall.
+  RrSimOutput rr;
+  for (const auto t : kAllProcTypes) {
+    rr.shortfall[t] = host.count[t] * prefs.max_queue;
+    rr.shortfall_min[t] = host.count[t] * prefs.min_queue;
+    rr.idle_instances_now[t] = host.count[t];
+  }
+  return rr;
+}
+
+TEST(Audit, ConsistentRrOutputPasses) {
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  const Preferences prefs;
+  InvariantAuditor a;
+  EXPECT_NO_THROW(
+      a.check_rr_output(consistent_output(h, prefs), h, prefs, 0.0));
+}
+
+TEST(Audit, NegativeShortfallFires) {
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  const Preferences prefs;
+  RrSimOutput rr = consistent_output(h, prefs);
+  rr.shortfall[ProcType::kCpu] = -1.0;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_rr_output(rr, h, prefs, 0.0), AuditFailure);
+}
+
+TEST(Audit, BrokenInstanceSecondConservationFires) {
+  // busy + shortfall must equal the window capacity; leak one instance-
+  // hour of busy time and the conservation check catches it.
+  const HostInfo h = HostInfo::cpu_only(2, 1e9);
+  const Preferences prefs;
+  RrSimOutput rr = consistent_output(h, prefs);
+  rr.busy_inst_seconds[ProcType::kCpu] = 3600.0;
+  InvariantAuditor a;
+  const std::string msg = failure_message(
+      [&] { a.check_rr_output(rr, h, prefs, 0.0); });
+  EXPECT_NE(msg.find("conserve"), std::string::npos) << msg;
+}
+
+TEST(Audit, SaturationBeyondSimulatedSpanFires) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  const Preferences prefs;
+  RrSimOutput rr = consistent_output(h, prefs);
+  rr.span = 100.0;
+  rr.saturated[ProcType::kCpu] = 200.0;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_rr_output(rr, h, prefs, 0.0), AuditFailure);
+}
+
+// ---- work-fetch decisions -------------------------------------------------
+
+TEST(Audit, NegativeWorkRequestFires) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = -10.0;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_fetch_decision(req, h), AuditFailure);
+}
+
+TEST(Audit, RequestForAbsentProcessorTypeFires) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);  // no GPUs
+  WorkRequest req;
+  req.req_seconds[ProcType::kNvidia] = 3600.0;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_fetch_decision(req, h), AuditFailure);
+}
+
+TEST(Audit, NonPositiveDurationCorrectionFires) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 3600.0;
+  req.duration_correction = 0.0;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_fetch_decision(req, h), AuditFailure);
+}
+
+TEST(Audit, WellFormedWorkRequestPasses) {
+  const HostInfo h = HostInfo::cpu_only(1, 1e9);
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 3600.0;
+  req.req_instances[ProcType::kCpu] = 1.0;
+  InvariantAuditor a;
+  EXPECT_NO_THROW(a.check_fetch_decision(req, h));
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(Audit, WasteExceedingWorkFires) {
+  Metrics m;
+  m.available_flops = 1e15;
+  m.used_flops = 1e12;
+  m.wasted_flops = 1e13;  // more waste than work performed
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_metrics(m), AuditFailure);
+}
+
+TEST(Audit, NonFiniteUsedFlopsFires) {
+  Metrics m;
+  m.available_flops = 1e12;
+  m.used_flops = std::numeric_limits<double>::quiet_NaN();
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_metrics(m), AuditFailure);
+}
+
+TEST(Audit, FailureWasteIsSubsetOfWaste) {
+  Metrics m;
+  m.available_flops = 1e15;
+  m.used_flops = 1e14;
+  m.wasted_flops = 1e12;
+  m.failure_wasted_flops = 2e12;
+  InvariantAuditor a;
+  EXPECT_THROW(a.check_metrics(m), AuditFailure);
+}
+
+TEST(Audit, ConsistentMetricsPass) {
+  Metrics m;
+  m.available_flops = 1e15;
+  m.used_flops = 1e14;
+  m.wasted_flops = 1e12;
+  m.failure_wasted_flops = 1e11;
+  InvariantAuditor a;
+  EXPECT_NO_THROW(a.check_metrics(m));
+}
+
+// ---- end to end -----------------------------------------------------------
+
+Scenario shipped(const std::string& name, double days) {
+  Scenario sc =
+      load_scenario_file(std::string(BCE_SOURCE_DIR) + "/scenarios/" + name);
+  sc.duration = days * kSecondsPerDay;
+  return sc;
+}
+
+TEST(AuditEndToEnd, CleanRunSatisfiesEveryInvariant) {
+  InvariantAuditor auditor;
+  EmulationOptions opt;
+  opt.auditor = &auditor;
+  const EmulationResult res = emulate(shipped("scenario1.txt", 2.0), opt);
+  EXPECT_GT(res.metrics.n_jobs_completed, 0);
+  EXPECT_GT(auditor.checks_run(), 100U);
+}
+
+TEST(AuditEndToEnd, EveryPolicyPairingPassesAudit) {
+  for (const char* sched : {"JS_WRR", "JS_LOCAL", "JS_GLOBAL", "JS_EDF"}) {
+    for (const char* fetch : {"JF_ORIG", "JF_HYSTERESIS", "JF_RR"}) {
+      InvariantAuditor auditor;
+      EmulationOptions opt;
+      opt.auditor = &auditor;
+      opt.policy.sched_by_name = sched;
+      opt.policy.fetch_by_name = fetch;
+      EXPECT_NO_THROW(emulate(shipped("scenario2.txt", 1.0), opt))
+          << sched << "+" << fetch;
+      EXPECT_GT(auditor.checks_run(), 0U) << sched << "+" << fetch;
+    }
+  }
+}
+
+TEST(AuditEndToEnd, FaultyRunPassesAudit) {
+  // Fault injection perturbs every subsystem the auditor watches (lost
+  // RPCs, crashes rewinding jobs, failure-wasted FLOPs); the invariants
+  // must hold there too.
+  InvariantAuditor auditor;
+  EmulationOptions opt;
+  opt.auditor = &auditor;
+  const EmulationResult res = emulate(shipped("faulty.txt", 2.0), opt);
+  EXPECT_GE(res.metrics.failure_wasted_flops, 0.0);
+  EXPECT_GT(auditor.checks_run(), 0U);
+}
+
+TEST(AuditEndToEnd, AuditorIsReusableAcrossRuns) {
+  InvariantAuditor auditor;
+  EmulationOptions opt;
+  opt.auditor = &auditor;
+  emulate(shipped("scenario1.txt", 1.0), opt);
+  const std::uint64_t after_first = auditor.checks_run();
+  // Without the emulator's reset() this would trip the monotonic-event
+  // check: the second run's clock restarts at zero.
+  EXPECT_NO_THROW(emulate(shipped("scenario1.txt", 1.0), opt));
+  EXPECT_GT(auditor.checks_run(), after_first);
+}
+
+TEST(AuditEndToEnd, AuditedRunsMatchUnauditedResults) {
+  // The auditor only observes; figures of merit must be bit-identical
+  // with and without it.
+  const Scenario sc = shipped("scenario3.txt", 1.0);
+  const EmulationResult plain = emulate(sc);
+  InvariantAuditor auditor;
+  EmulationOptions opt;
+  opt.auditor = &auditor;
+  const EmulationResult audited = emulate(sc, opt);
+  EXPECT_EQ(plain.metrics.used_flops, audited.metrics.used_flops);
+  EXPECT_EQ(plain.metrics.wasted_flops, audited.metrics.wasted_flops);
+  EXPECT_EQ(plain.metrics.n_jobs_completed, audited.metrics.n_jobs_completed);
+  EXPECT_EQ(plain.metrics.n_preemptions, audited.metrics.n_preemptions);
+}
+
+TEST(AuditEndToEnd, ConcurrentAuditedEmulations) {
+  // One auditor per emulation is the documented contract; four threads
+  // exercise it (and give TSan something to chew on).
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> counts(4, 0);
+  threads.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    threads.emplace_back([i, &counts] {
+      InvariantAuditor auditor;
+      EmulationOptions opt;
+      opt.auditor = &auditor;
+      Scenario sc = shipped("scenario4.txt", 0.5);
+      sc.seed = i + 1;
+      emulate(sc, opt);
+      counts[i] = auditor.checks_run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto c : counts) EXPECT_GT(c, 0U);
+}
+
+}  // namespace
+}  // namespace bce

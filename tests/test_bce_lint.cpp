@@ -1,0 +1,109 @@
+// Tests for the bce_lint invariant linter (tools/bce_lint.cpp), run
+// against the fixtures under tests/lint_fixtures/. Each fixture breaks
+// exactly one contract and must produce that check's distinct exit code
+// plus a one-line diagnostic; the real tree must be clean.
+//
+// The binary path arrives via BCE_LINT_BIN (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+  int lines = 0;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(BCE_LINT_BIN) + " " + args + " 2>&1";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    r.output += buf;
+    ++r.lines;
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(BCE_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+TEST(BceLint, RealTreeIsClean) {
+  const LintRun r = run_lint("--root " + std::string(BCE_SOURCE_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.lines, 0) << r.output;
+}
+
+TEST(BceLint, UndocumentedTraceKindExits2) {
+  const LintRun r = run_lint("--root " + fixture("unnamed_trace_kind") +
+                             " --check trace-docs");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: trace-docs: trace kind "
+                          "\"rpc_reply_lost\" is missing"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, UndocumentedPolicyExits3) {
+  const LintRun r = run_lint("--root " + fixture("undocumented_policy") +
+                             " --check policy-docs");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find(
+                "bce_lint: policy-docs: registered policy \"JS_EDF\""),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, InvalidScenarioExits5) {
+  const LintRun r =
+      run_lint("--root " + fixture("bad_scenario") + " --check scenarios");
+  EXPECT_EQ(r.exit_code, 5) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: scenarios: inverted_queue.txt"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, SelectedCheckIgnoresOtherBreakage) {
+  // Breakage outside the selected check must not leak into the exit
+  // code: the trace-kind fixture also lacks docs/policies.md (3) and a
+  // scenarios/ dir (5), but a logf-only run sees neither.
+  const LintRun r = run_lint("--root " + fixture("unnamed_trace_kind") +
+                             " --check policy-docs");
+  EXPECT_EQ(r.exit_code, 3) << r.output;  // its policies.md is absent
+  const LintRun logf_only =
+      run_lint("--root " + fixture("unnamed_trace_kind") + " --check logf");
+  EXPECT_EQ(logf_only.exit_code, 0) << logf_only.output;  // no src/ at all
+}
+
+TEST(BceLint, FirstFailingCheckDeterminesExitCode) {
+  // The trace-kind fixture fails trace-docs (2), policy-docs (3, missing
+  // file) and scenarios (5, missing dir); the full run reports the first.
+  const LintRun r = run_lint("--root " + fixture("unnamed_trace_kind"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(BceLint, UnknownCheckIsAUsageError) {
+  const LintRun r = run_lint("--check no_such_check");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown check"), std::string::npos) << r.output;
+}
+
+TEST(BceLint, MissingRootIsAUsageError) {
+  const LintRun r = run_lint("--root /nonexistent_dir_for_bce_lint");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("not a directory"), std::string::npos) << r.output;
+}
+
+}  // namespace
