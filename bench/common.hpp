@@ -24,6 +24,14 @@ inline int seeds_from_argv(int argc, char** argv, int fallback) {
   return argc > 1 ? std::atoi(argv[1]) : fallback;
 }
 
+/// Batch thread count from argv[pos]; 0 (the default) defers to
+/// resolve_thread_count — BCE_THREADS, then hardware concurrency.
+inline unsigned threads_from_argv(int argc, char** argv, int pos) {
+  if (argc <= pos) return 0;
+  const int v = std::atoi(argv[pos]);
+  return v > 0 ? static_cast<unsigned>(v) : 0;
+}
+
 /// One grid point: a (scenario, options) pair emulated over N seeds.
 struct GridPoint {
   std::string label;

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "common.hpp"
 #include "core/bce.hpp"
 
 namespace {
@@ -40,7 +41,7 @@ void fault_row(Table& t, const std::string& label, const Metrics& m) {
              std::to_string(m.n_jobs_completed)});
 }
 
-void d1_policy_matrix() {
+void d1_policy_matrix(unsigned threads) {
   std::cout << "\nD1: fault presets across the policy registry (scenario 2, "
                "10 days)\n";
   struct Level {
@@ -56,7 +57,7 @@ void d1_policy_matrix() {
     // Registry-driven: every registered (scheduling, fetch) pair, so a
     // policy registered by user code is swept automatically.
     const std::vector<RunSpec> specs = policy_matrix_specs(sc, {});
-    const auto results = run_batch(specs);
+    const auto results = run_batch(specs, threads);
     std::cout << "faults=" << lv.name << ":\n";
     Table t({"policy", "score", "wasted", "fail_wasted", "retries/job",
              "recovery(s)", "completed"});
@@ -152,9 +153,10 @@ void d5_transfer_errors() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bce::bench::threads_from_argv(argc, argv, 1);
   std::cout << "=== Degradation study (fault injection) ===\n";
-  d1_policy_matrix();
+  d1_policy_matrix(threads);
   d2_job_errors();
   d3_crashes_vs_checkpoints();
   d4_rpc_loss();

@@ -9,12 +9,14 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "core/bce.hpp"
 #include "fleet/fleet.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bce;
 
+  const unsigned threads = bench::threads_from_argv(argc, argv, 1);
   FleetConfig fc;
   fc.duration = 5.0 * kSecondsPerDay;
 
@@ -77,7 +79,7 @@ int main() {
   int row = 0;
   for (const auto mode :
        {FleetEnforcement::kPerHost, FleetEnforcement::kCrossHost}) {
-    FleetResult r = run_fleet(fc, pol, mode);
+    FleetResult r = run_fleet(fc, pol, mode, threads);
     t.add_row({mode == FleetEnforcement::kPerHost ? "per-host" : "cross-host",
                fmt(r.share_violation), fmt(r.idle_fraction()),
                fmt(r.usage_fraction[0]), fmt(r.usage_fraction[1]),

@@ -26,6 +26,42 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
 
+// Cancellation-heavy churn: a fixed working set of timers cancelled and
+// re-armed on (nearly) every step — the emulator's dominant pattern, where
+// schedule_task_event/schedule_transfer_event kill and replace per-task
+// timers on each dispatch, so most events die by cancel(), not pop().
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n_timers = static_cast<std::size_t>(state.range(0));
+  EventQueue q;
+  std::vector<EventHandle> timers(n_timers);
+  double now = 0.0;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n_timers; ++i) {
+    timers[i] = q.schedule(now + static_cast<double>(i + 1), EventKind::kUser);
+  }
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::size_t i = static_cast<std::size_t>(x % n_timers);
+    q.cancel(timers[i]);
+    now += 0.25;
+    timers[i] =
+        q.schedule(now + 1.0 + static_cast<double>(x % 1000), EventKind::kUser);
+    while (!q.empty() && q.next_time() <= now) {
+      const Event ev = q.pop();
+      for (auto& h : timers) {
+        if (h == ev.handle) {
+          h = q.schedule(now + 1.0 + static_cast<double>(x % 97),
+                         EventKind::kUser);
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(64)->Arg(512);
+
 /// Build a queue of n jobs across n_proj projects for RR-sim benchmarking.
 std::vector<Result> make_jobs(int n, int n_proj) {
   std::vector<Result> jobs(static_cast<std::size_t>(n));
@@ -195,6 +231,28 @@ void BM_EmulateOneDayTraced(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EmulateOneDayTraced)->Unit(benchmark::kMillisecond);
+
+// Many small batches through the controller: 8 hundredth-day emulations
+// per run_batch call. With runs this short the per-batch fan-out overhead
+// (thread create/join before the persistent pool; wake/park handshakes
+// after) is a visible share of the wall time — the shape of sweep drivers
+// and the fleet controller.
+void BM_ControllerManyBatches(benchmark::State& state) {
+  const auto n_threads = static_cast<unsigned>(state.range(0));
+  std::vector<RunSpec> specs(8);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].label = "spec" + std::to_string(i);
+    specs[i].scenario = paper_scenario1();
+    specs[i].scenario.duration = 0.01 * kSecondsPerDay;
+    specs[i].scenario.seed = i + 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch(specs, n_threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_ControllerManyBatches)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

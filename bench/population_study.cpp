@@ -3,11 +3,12 @@
 // (JS_GLOBAL + JF_HYSTERESIS) against the baseline (JS_WRR + JF_ORIG)
 // across the whole population rather than on hand-picked scenarios.
 //
-// Usage: population_study [n_scenarios] [duration_days]
+// Usage: population_study [n_scenarios] [duration_days] [threads]
 
 #include <cstdlib>
 #include <iostream>
 
+#include "common.hpp"
 #include "core/bce.hpp"
 
 int main(int argc, char** argv) {
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
 
   const int n = argc > 1 ? std::atoi(argv[1]) : 30;
   const double days = argc > 2 ? std::atof(argv[2]) : 3.0;
+  const unsigned threads = bench::threads_from_argv(argc, argv, 3);
 
   Xoshiro256 rng(0xb01ccull);
   PopulationParams pp;
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
   std::cout << "Population study: " << n << " sampled scenarios, " << days
             << " days each, baseline (JS_WRR+JF_ORIG) vs modern "
                "(JS_GLOBAL+JF_HYSTERESIS)\n\n";
-  const auto results = run_batch(specs);
+  const auto results = run_batch(specs, threads);
 
   struct Agg {
     RunningStats idle, wasted, viol, mono, rpcs, score;

@@ -73,13 +73,13 @@ const RrSimOutput& ClientRuntime::rr_pass(SimTime now,
   return rr;
 }
 
-ScheduleOutcome ClientRuntime::schedule_jobs(SimTime now,
-                                             const std::vector<Result*>& active,
-                                             bool cpu_allowed,
-                                             bool gpu_allowed) {
+const ScheduleOutcome& ClientRuntime::schedule_jobs(
+    SimTime now, const std::vector<Result*>& active, bool cpu_allowed,
+    bool gpu_allowed) {
   rr_pass(now, active);
-  return sched_.schedule(now, active, acct_, cpu_allowed, gpu_allowed,
-                         *trace_);
+  sched_.schedule(now, active, acct_, cpu_allowed, gpu_allowed, *trace_,
+                  sched_out_);
+  return sched_out_;
 }
 
 WorkFetch::Decision ClientRuntime::choose_fetch(

@@ -61,10 +61,12 @@ class ClientRuntime {
 
   /// Full scheduling pass: RR-sim (cached) then the job-scheduler run
   /// list. The caller applies the outcome (preempt/start) and must NOT
-  /// bump the state version while doing so.
-  ScheduleOutcome schedule_jobs(SimTime now,
-                                const std::vector<Result*>& active,
-                                bool cpu_allowed, bool gpu_allowed);
+  /// bump the state version while doing so. The returned reference points
+  /// at a reusable member (no per-pass allocation in steady state) and is
+  /// valid until the next schedule_jobs call.
+  const ScheduleOutcome& schedule_jobs(SimTime now,
+                                       const std::vector<Result*>& active,
+                                       bool cpu_allowed, bool gpu_allowed);
 
   /// Work-fetch decision: reuses the latest RR-sim output (a cache hit
   /// when nothing changed since the reschedule at the same instant),
@@ -176,6 +178,9 @@ class ClientRuntime {
 
   // Scratch for choose_fetch (avoids per-pass allocation).
   std::vector<PerProc<bool>> endangered_;
+
+  // Reusable outcome for schedule_jobs (avoids per-pass allocation).
+  ScheduleOutcome sched_out_;
 };
 
 }  // namespace bce

@@ -32,32 +32,21 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
                                        bool cpu_allowed, bool gpu_allowed,
                                        Trace& trace) const {
   ScheduleOutcome out;
+  schedule(now, jobs, acct, cpu_allowed, gpu_allowed, trace, out);
+  return out;
+}
 
-  // Candidate set: incomplete, input files present, processor kind allowed.
-  std::vector<Result*> cand;
-  cand.reserve(jobs.size());
-  for (Result* r : jobs) {
-    if (!r->runnable(now)) continue;
-    const bool gpu_job = r->usage.uses_gpu();
-    if (gpu_job && !gpu_allowed) continue;
-    if (!cpu_allowed) continue;  // no computing at all while host is off
-    cand.push_back(r);
-  }
-  if (cand.empty()) return out;
-
-  // Pass-local priority adjustments accumulated while building the list
-  // (BOINC's "anticipated debt"): charging a project for each job selected
-  // makes a single pass interleave projects.
-  JobOrderContext ctx;
-  ctx.host = &host_;
-  ctx.acct = &acct;
-  ctx.global_adj.assign(acct.num_projects(), 0.0);
-  ctx.local_adj.assign(acct.num_projects(), {});
+void JobScheduler::schedule(SimTime now, const std::vector<Result*>& jobs,
+                            const Accounting& acct, bool cpu_allowed,
+                            bool gpu_allowed, Trace& trace,
+                            ScheduleOutcome& out) const {
+  out.to_run.clear();
+  out.ordered.clear();
 
   // Tier assignment. Lower tier = earlier in list.
   //   0: running & uncheckpointed this episode (would lose work)
   //   1: endangered GPU   2: other GPU   3: endangered CPU   4: other CPU
-  auto tier = [&](const Result& r) -> int {
+  auto tier_of = [&](const Result& r) -> int {
     // With apps left in memory, preemption loses nothing, so uncheckpointed
     // running jobs need no protection.
     if (!prefs_.leave_apps_in_memory && r.running && !r.episode_checkpointed &&
@@ -71,16 +60,37 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
     return dl ? 3 : 4;
   };
 
+  // Candidate set: incomplete, input files present, processor kind allowed.
+  // Bucketed by tier directly (no intermediate candidate vector); bucket
+  // order matches the jobs-list scan order, as before.
+  auto& buckets = buckets_;
+  for (auto& b : buckets) b.clear();
+  std::size_t n_cand = 0;
+  for (Result* r : jobs) {
+    if (!r->runnable(now)) continue;
+    const bool gpu_job = r->usage.uses_gpu();
+    if (gpu_job && !gpu_allowed) continue;
+    if (!cpu_allowed) continue;  // no computing at all while host is off
+    buckets[static_cast<std::size_t>(tier_of(*r))].push_back(r);
+    ++n_cand;
+  }
+  if (n_cand == 0) return;
+
+  // Pass-local priority adjustments accumulated while building the list
+  // (BOINC's "anticipated debt"): charging a project for each job selected
+  // makes a single pass interleave projects.
+  auto& ctx = ctx_;
+  ctx.host = &host_;
+  ctx.acct = &acct;
+  ctx.global_adj.assign(acct.num_projects(), 0.0);
+  ctx.local_adj.assign(acct.num_projects(), {});
+
   // Deadline-order key for endangered tiers.
   auto deadline_key = [&](const Result& r) {
     return policy_.endangered_order == EndangeredOrder::kLeastLaxity
                ? laxity(now, r, host_)
                : r.deadline;
   };
-
-  // Bucket candidates by tier.
-  std::array<std::vector<Result*>, 5> buckets;
-  for (Result* r : cand) buckets[static_cast<std::size_t>(tier(*r))].push_back(r);
 
   // Tiers 0/1/3: deadline order. Tiers 2/4: repeated best-priority pick with
   // priority charging.
@@ -104,7 +114,8 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
         order_->charge(ctx, *r);
       }
     } else {
-      std::vector<Result*> pool = b;
+      auto& pool = pick_pool_;
+      pool = b;
       while (!pool.empty()) {
         std::size_t best = 0;
         double best_prio = -1e300;
@@ -132,7 +143,7 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
   // ---- allocation scan ---------------------------------------------------
   double cpu_pool = host_.count[ProcType::kCpu];
   double ram_pool = host_.ram_bytes * prefs_.ram_limit_fraction;
-  PerProc<std::vector<double>> gpu_free;
+  auto& gpu_free = gpu_free_;
   for (const auto t : kAllProcTypes) {
     if (is_gpu(t)) {
       gpu_free[t].assign(static_cast<std::size_t>(host_.count[t]), 1.0);
@@ -145,7 +156,8 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
     double whole = std::floor(need + 1e-9);
     double frac = need - whole;
     if (frac < 1e-9) frac = 0.0;
-    std::vector<std::size_t> taken;
+    auto& taken = gpu_taken_;
+    taken.clear();
     for (std::size_t i = 0; i < free.size() && whole > 0.5; ++i) {
       if (free[i] >= 1.0 - 1e-9) {
         taken.push_back(i);
@@ -200,10 +212,9 @@ ScheduleOutcome JobScheduler::schedule(SimTime now,
 
   trace.emit({.at = now,
               .kind = TraceKind::kSchedulePass,
-              .n = static_cast<std::int64_t>(cand.size()),
+              .n = static_cast<std::int64_t>(n_cand),
               .m = static_cast<std::int64_t>(out.to_run.size()),
               .v0 = cpu_pool});
-  return out;
 }
 
 }  // namespace bce

@@ -28,6 +28,8 @@
 /// BOINC client: a GPU must never sit idle because its feeder thread can't
 /// get a CPU sliver.
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -65,6 +67,13 @@ class JobScheduler {
                            const Accounting& acct, bool cpu_allowed,
                            bool gpu_allowed, Trace& trace) const;
 
+  /// Allocation-free variant: clears \p out (keeping its vectors' capacity)
+  /// and fills it. The by-value overload is a thin wrapper. Callers on the
+  /// hot path (ClientRuntime) reuse one ScheduleOutcome across passes.
+  void schedule(SimTime now, const std::vector<Result*>& jobs,
+                const Accounting& acct, bool cpu_allowed, bool gpu_allowed,
+                Trace& trace, ScheduleOutcome& out) const;
+
   /// The active job-order strategy (shared with WorkFetch's selection).
   [[nodiscard]] const JobOrderPolicy& order_policy() const { return *order_; }
 
@@ -73,6 +82,16 @@ class JobScheduler {
   Preferences prefs_;
   PolicyConfig policy_;
   std::shared_ptr<const JobOrderPolicy> order_;
+
+  // Reusable scratch, hoisted out of schedule() so steady-state passes
+  // allocate nothing. Mutable because schedule() is logically const; a
+  // JobScheduler must not be shared across threads (each ClientRuntime
+  // owns its own).
+  mutable JobOrderContext ctx_;
+  mutable std::array<std::vector<Result*>, 5> buckets_;
+  mutable std::vector<Result*> pick_pool_;
+  mutable PerProc<std::vector<double>> gpu_free_;
+  mutable std::vector<std::size_t> gpu_taken_;
 };
 
 }  // namespace bce

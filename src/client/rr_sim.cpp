@@ -7,19 +7,6 @@
 
 namespace bce {
 
-namespace {
-
-/// Per-job simulation state.
-struct SimJob {
-  Result* job = nullptr;
-  double remaining = 0.0;  ///< estimated FLOPs remaining
-  double granted = 0.0;    ///< instance-units of the primary type granted
-  double needed = 0.0;     ///< instance-units of the primary type needed
-  double rate = 0.0;       ///< FLOPs/sec at current grant
-};
-
-}  // namespace
-
 RrSim::RrSim(const HostInfo& host, const Preferences& prefs,
              PerProc<double> avail_frac)
     : host_(host), prefs_(prefs), avail_frac_(avail_frac) {}
@@ -28,11 +15,32 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
                        const std::vector<double>& share_frac,
                        Trace* trace) const {
   RrSimOutput out;
+  run_into(out, now, jobs, share_frac, trace);
+  return out;
+}
+
+void RrSim::run_into(RrSimOutput& out, SimTime now,
+                     const std::vector<Result*>& jobs,
+                     const std::vector<double>& share_frac,
+                     Trace* trace) const {
+  // Reset the output while keeping the profile vector's capacity (the
+  // cached path hands us the same RrSimOutput every simulation).
+  {
+    auto profile = std::move(out.profile);
+    profile.clear();
+    out = RrSimOutput{};
+    out.profile = std::move(profile);
+  }
 
   // Pending jobs per (project, type), FIFO by arrival.
   const std::size_t n_proj = share_frac.size();
-  std::vector<SimJob> sj;
-  sj.reserve(jobs.size());
+  auto& sj = sim_jobs_;
+  sj.clear();
+  if (sj.capacity() < jobs.size()) sj.reserve(jobs.size());
+  // Simulated jobs are compacted out of sj as they complete, so the
+  // deadline-attribution pass at the end works off this full snapshot.
+  auto& all_jobs = attribution_jobs_;
+  all_jobs.clear();
   for (Result* r : jobs) {
     if (r->is_complete()) continue;
     SimJob s;
@@ -40,13 +48,21 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
     s.remaining = std::max(r->est_flops_remaining(), 1.0);
     s.needed = std::max(r->usage.usage_of(r->usage.primary_type()), 1e-6);
     sj.push_back(s);
+    all_jobs.push_back(r);
     r->deadline_endangered = false;
     r->rr_projected_finish = kNever;
   }
-  // FIFO order within project: stable sort by arrival time.
-  std::stable_sort(sj.begin(), sj.end(), [](const SimJob& a, const SimJob& b) {
+  // FIFO order within project: stable sort by arrival time. The emulator
+  // appends jobs as they arrive and erases in place, so the list is almost
+  // always already arrival-sorted — detect that in O(n) and skip the sort
+  // (a stable sort of an already-sorted range is the identity, so the
+  // result is bit-identical either way).
+  const auto by_arrival = [](const SimJob& a, const SimJob& b) {
     return a.job->received < b.job->received;
-  });
+  };
+  if (!std::is_sorted(sj.begin(), sj.end(), by_arrival)) {
+    std::stable_sort(sj.begin(), sj.end(), by_arrival);
+  }
 
   // Saturation bookkeeping.
   PerProc<bool> sat_open{};  // still saturated so far?
@@ -59,8 +75,9 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
   const SimTime t_window_end = now + prefs_.max_queue;
   const SimTime t_min_window_end = now + prefs_.min_queue;
 
-  // Scratch buffers reused across iterations.
-  std::vector<double> quota(n_proj, 0.0);
+  // Scratch buffers reused across iterations (and across runs).
+  auto& quota = quota_;
+  quota.assign(n_proj, 0.0);
 
   int iter_guard = 0;
   constexpr int kMaxIter = 200000;
@@ -221,17 +238,28 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
     }
 
     // Advance all active jobs; complete those that hit zero.
+    bool any_completed = false;
     for (auto& s : sj) {
       if (s.rate <= 0.0 || s.remaining <= 0.0) continue;
       s.remaining -= s.rate * dt_next;
       if (s.remaining <= 1e-6) {
         s.remaining = 0.0;
         s.job->rr_projected_finish = t_next;
+        any_completed = true;
         if (t_next > s.job->deadline) {
           s.job->deadline_endangered = true;
           ++out.n_endangered;
         }
       }
+    }
+    if (any_completed) {
+      // Drop completed jobs so later iterations scan only live ones (they
+      // contribute nothing to allocation or rates). std::remove_if is
+      // stable, so FIFO order among survivors is preserved — the
+      // allocations, and therefore every output, are unchanged.
+      sj.erase(std::remove_if(sj.begin(), sj.end(),
+                              [](const SimJob& s) { return s.remaining <= 0.0; }),
+               sj.end());
     }
     t_cur = t_next;
   }
@@ -249,26 +277,32 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
       ProcType t;
       bool operator==(const Key&) const = default;
     };
-    for (const auto& s0 : sj) {
-      const Key key{s0.job->project, s0.job->usage.primary_type()};
+    // Walk the entry-time snapshot (sj has dropped completed jobs). The
+    // flags this pass writes depend only on each group's membership — the
+    // sort key below is a total order (ids are unique) and the flagged
+    // count is a set count — so iterating the snapshot instead of sj is
+    // output-identical.
+    for (std::size_t i0 = 0; i0 < all_jobs.size(); ++i0) {
+      const Key key{all_jobs[i0]->project, all_jobs[i0]->usage.primary_type()};
       // Process each (project, type) group once: skip if an earlier element
       // has the same key.
       bool first = true;
-      for (const auto& s1 : sj) {
-        if (&s1 == &s0) break;
-        if (Key{s1.job->project, s1.job->usage.primary_type()} == key) {
+      for (std::size_t i1 = 0; i1 < i0; ++i1) {
+        if (Key{all_jobs[i1]->project, all_jobs[i1]->usage.primary_type()} ==
+            key) {
           first = false;
           break;
         }
       }
       if (!first) continue;
 
-      std::vector<Result*> group;
+      auto& group = attribution_group_;
+      group.clear();
       int flagged = 0;
-      for (const auto& s1 : sj) {
-        if (Key{s1.job->project, s1.job->usage.primary_type()} == key) {
-          group.push_back(s1.job);
-          if (s1.job->deadline_endangered) ++flagged;
+      for (Result* r : all_jobs) {
+        if (Key{r->project, r->usage.primary_type()} == key) {
+          group.push_back(r);
+          if (r->deadline_endangered) ++flagged;
         }
       }
       if (flagged == 0) continue;
@@ -311,7 +345,6 @@ RrSimOutput RrSim::run(SimTime now, const std::vector<Result*>& jobs,
                    .n = out.n_endangered});
     }
   }
-  return out;
 }
 
 const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
@@ -324,7 +357,7 @@ const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
     return cached_out_;
   }
   ++stats_.misses;
-  cached_out_ = run(now, jobs, share_frac, trace);
+  run_into(cached_out_, now, jobs, share_frac, trace);
   cached_version_ = state_version;
   cached_now_ = now;
   cache_valid_ = true;

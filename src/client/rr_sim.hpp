@@ -114,9 +114,34 @@ class RrSim {
   void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
 
  private:
+  /// Per-job simulation state (scratch; see sim_jobs_).
+  struct SimJob {
+    Result* job = nullptr;
+    double remaining = 0.0;  ///< estimated FLOPs remaining
+    double granted = 0.0;    ///< instance-units of the primary type granted
+    double needed = 0.0;     ///< instance-units of the primary type needed
+    double rate = 0.0;       ///< FLOPs/sec at current grant
+  };
+
+  /// The simulation proper: clears \p out (keeping vector capacity) and
+  /// fills it. run() and run_cached() are thin wrappers, so the cached
+  /// path reuses the memo entry's profile storage run over run.
+  void run_into(RrSimOutput& out, SimTime now,
+                const std::vector<Result*>& jobs,
+                const std::vector<double>& share_frac, Trace* trace) const;
+
   HostInfo host_;
   Preferences prefs_;
   PerProc<double> avail_frac_;
+
+  // Reusable scratch, hoisted out of run_into so steady-state simulations
+  // allocate nothing. Mutable because run() is logically const; an RrSim
+  // instance must not be shared across threads anyway (the memo cache
+  // already makes it stateful).
+  mutable std::vector<SimJob> sim_jobs_;
+  mutable std::vector<double> quota_;
+  mutable std::vector<Result*> attribution_jobs_;
+  mutable std::vector<Result*> attribution_group_;
 
   // run_cached memo: one entry, keyed on (state_version, now). One entry
   // suffices because the client alternates reschedule/fetch passes over the

@@ -1,55 +1,21 @@
 #include "core/controller.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
 #include "client/policy_registry.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace bce {
 
 std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
                                  unsigned n_threads) {
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  n_threads = std::min<unsigned>(n_threads,
-                                 static_cast<unsigned>(specs.size() ? specs.size() : 1));
-
   std::vector<RunResult> results(specs.size());
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size() || failed.load()) break;
-      try {
-        results[i].label = specs[i].label;
+  ThreadPool::shared().parallel_for(
+      specs.size(), resolve_thread_count(n_threads), [&](std::size_t i) {
+        // Fill the slot only once the emulation succeeded: if another run
+        // throws, untouched slots stay default-initialized rather than
+        // half-written (label set, result empty).
         results[i].result = emulate(specs[i].scenario, specs[i].options);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        failed.store(true);
-        break;
-      }
-    }
-  };
-
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+        results[i].label = specs[i].label;
+      });
   return results;
 }
 

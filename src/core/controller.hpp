@@ -26,8 +26,11 @@ struct RunResult {
   EmulationResult result;
 };
 
-/// Run all specs, fanning out over \p n_threads (0 = hardware concurrency).
-/// Exceptions from individual runs propagate after all threads join.
+/// Run all specs, fanning out over \p n_threads on the shared persistent
+/// ThreadPool (0 = the BCE_THREADS environment variable, else hardware
+/// concurrency; see resolve_thread_count). If a run throws, no further
+/// runs are started and the first exception propagates after in-flight
+/// runs drain; the partial results vector is discarded.
 std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
                                  unsigned n_threads = 0);
 

@@ -93,6 +93,11 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
   faults_ = FaultInjector(sc_.faults, rng_);
   project_events_.resize(sc_.projects.size(), kNoEvent);
 
+  // Typical steady state keeps a few dozen pending events (per-task
+  // completion/checkpoint timers, transfers, availability flips); pre-size
+  // so the hot loop's schedule/cancel churn never reallocates.
+  queue_.reserve(256);
+
   for (const auto t : kAllProcTypes) {
     slot_used_[t].assign(static_cast<std::size_t>(sc_.host.count[t]), false);
   }
@@ -424,7 +429,7 @@ void Emulator::reschedule() {
   ++metrics_.counters().n_sched_passes;
   const bool cpu_ok = avail_.cpu_computing_allowed() && !crash_down();
   const bool gpu_ok = avail_.gpu_computing_allowed() && !crash_down();
-  ScheduleOutcome outcome =
+  const ScheduleOutcome& outcome =
       client_.schedule_jobs(now_, active_, cpu_ok, gpu_ok);
 
   // Preempt running jobs not selected.

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bce {
@@ -11,45 +12,57 @@ EventHandle EventQueue::schedule(SimTime at, EventKind kind,
   ev.kind = kind;
   ev.payload = payload;
   ev.handle = next_handle_++;
-  heap_.push(Entry{ev, next_seq_++});
+
+  const std::uint64_t idx = ev.handle - 1;
+  if ((idx >> 6) >= live_bits_.size()) live_bits_.push_back(0);
+  live_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
   ++live_;
   return ev.handle;
 }
 
 bool EventQueue::cancel(EventHandle h) {
   if (h == kNoEvent || h >= next_handle_) return false;
-  const bool inserted = cancelled_.insert(h).second;
-  if (inserted && live_ > 0) {
-    --live_;
-    return true;
-  }
-  return false;
+  if (!is_live(h)) return false;
+  clear_live(h);
+  --live_;
+  // The heap entry stays behind as a tombstone; prune_dead() drops it once
+  // it surfaces. This keeps cancel O(1) with no allocation.
+  return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().ev.handle);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
+void EventQueue::remove_top() const {
+  std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+  heap_.pop_back();
+}
+
+void EventQueue::prune_dead() const {
+  while (!heap_.empty() && !is_live(heap_.front().handle)) remove_top();
+}
+
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  live_bits_.reserve((n + 63) / 64);
 }
 
 bool EventQueue::empty() const {
-  drop_cancelled();
+  prune_dead();
   return heap_.empty();
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  return heap_.empty() ? kNever : heap_.top().ev.at;
+  prune_dead();
+  return heap_.empty() ? kNever : heap_.front().at;
 }
 
 Event EventQueue::pop() {
-  drop_cancelled();
+  prune_dead();
   assert(!heap_.empty());
-  Event ev = heap_.top().ev;
-  heap_.pop();
+  const Event ev = heap_.front();
+  clear_live(ev.handle);
+  remove_top();
   --live_;
   if (auditor_ != nullptr) auditor_->check_event_monotonic(ev.at);
   return ev;

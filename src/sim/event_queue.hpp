@@ -6,15 +6,16 @@
 /// the next event, advances the clock, and dispatches.
 ///
 /// Design notes:
-///  * Events are identified by a monotonically increasing handle; cancelling
-///    marks a tombstone which is skipped on pop (lazy deletion keeps the
-///    queue a plain binary heap — O(log n) schedule/pop, O(1) cancel).
-///  * Ties in time break by schedule order, which makes runs deterministic.
+///  * The queue is an explicit binary-heap vector ordered by (time, handle);
+///    handles are issued monotonically, so the handle doubles as the FIFO
+///    tie-break among equal times, which makes runs deterministic.
+///  * Liveness is a flat bitmap indexed by handle: cancel() clears one bit —
+///    O(1), no hashing, no allocation — and dead entries are skipped lazily
+///    when they reach the heap top (schedule/pop stay O(log n)).
+///  * reserve() pre-sizes both the heap and the bitmap so steady-state
+///    operation performs no allocations at all.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/audit.hpp"
@@ -71,6 +72,10 @@ class EventQueue {
   /// Pop the next live event. Precondition: !empty().
   Event pop();
 
+  /// Pre-size the heap and liveness bitmap for \p n scheduled events, so
+  /// steady-state schedule/cancel/pop perform no allocations.
+  void reserve(std::size_t n);
+
   /// Number of live (non-cancelled) events.
   [[nodiscard]] std::size_t size() const { return live_; }
 
@@ -82,22 +87,43 @@ class EventQueue {
   void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
 
  private:
-  struct Entry {
-    Event ev;
-    std::uint64_t seq;  // tie-break: FIFO among equal times
-    bool operator>(const Entry& other) const {
-      if (ev.at != other.ev.at) return ev.at > other.ev.at;
-      return seq > other.seq;
-    }
-  };
+  /// Heap order: earliest time first; ties break FIFO by handle (handles
+  /// are issued monotonically, so handle order is schedule order).
+  static bool before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.handle < b.handle;
+  }
 
-  void drop_cancelled() const;
+  [[nodiscard]] bool is_live(EventHandle h) const {
+    const std::uint64_t idx = h - 1;
+    return (live_bits_[idx >> 6] >> (idx & 63)) & 1u;
+  }
+  void clear_live(EventHandle h) {
+    const std::uint64_t idx = h - 1;
+    live_bits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable std::unordered_set<EventHandle> cancelled_;
+  /// std::push_heap/pop_heap comparator: a max-heap of "later first" is a
+  /// min-heap on before().
+  static bool heap_cmp(const Event& a, const Event& b) { return before(b, a); }
+
+  /// Remove heap_[0] (restores the heap property; no liveness change).
+  void remove_top() const;
+  /// Drop cancelled entries off the heap top so heap_[0] is live.
+  void prune_dead() const;
+
+  // prune_dead/remove_top are const so the read-only queries (empty,
+  // next_time) can tidy lazily-deleted entries; they never change the set
+  // of live events, only drop tombstones.
+  mutable std::vector<Event> heap_;
+
+  /// One bit per handle ever issued (index handle-1), set while the event
+  /// is live; cancel() and pop() clear it. Grows by one word per 64
+  /// scheduled events.
+  std::vector<std::uint64_t> live_bits_;
+
   std::size_t live_ = 0;
   EventHandle next_handle_ = 1;
-  std::uint64_t next_seq_ = 0;
   InvariantAuditor* auditor_ = nullptr;
 };
 

@@ -1,0 +1,130 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bce {
+
+namespace {
+
+/// Set inside worker_loop: a pool helper that re-enters parallel_for (an
+/// item spawning nested batches) must not wait on the pool it is part of.
+thread_local bool tl_pool_worker = false;
+
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("BCE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& th : helpers_) th.join();
+}
+
+std::size_t ThreadPool::helper_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return helpers_.size();
+}
+
+void ThreadPool::run_items() {
+  // body_/n_items_ are written under mu_ before this thread is released
+  // into the batch, and cleared only after every participant drained, so
+  // lock-free reads here are safe.
+  const auto& body = *body_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= n_items_ || failed_.load()) break;
+    try {
+      body(i);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      failed_.store(true);
+      break;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return shutdown_ || (batch_seq_ != seen && helpers_wanted_ > 0);
+    });
+    if (shutdown_) return;
+    seen = batch_seq_;
+    --helpers_wanted_;
+    ++helpers_active_;
+    lock.unlock();
+    run_items();
+    lock.lock();
+    if (--helpers_active_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n_items, unsigned n_threads,
+                              const std::function<void(std::size_t)>& body) {
+  if (n_items == 0) return;
+
+  std::unique_lock<std::mutex> batch(batch_mu_, std::try_to_lock);
+  const bool inline_only =
+      n_threads <= 1 || n_items == 1 || tl_pool_worker || !batch.owns_lock();
+  if (inline_only) {
+    // The old single-thread path: run in order; the first exception
+    // propagates immediately and later items never start.
+    for (std::size_t i = 0; i < n_items; ++i) body(i);
+    return;
+  }
+
+  const unsigned participants = static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, n_items));
+  const unsigned want = participants - 1;  // the caller is a participant
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_items_ = n_items;
+    next_.store(0);
+    failed_.store(false);
+    first_error_ = nullptr;
+    ++batch_seq_;
+    helpers_wanted_ = want;
+    while (helpers_.size() < want) {
+      helpers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+  cv_work_.notify_all();
+
+  run_items();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    helpers_wanted_ = 0;  // slots never claimed stand down for this batch
+    cv_done_.wait(lock, [&] { return helpers_active_ == 0; });
+    body_ = nullptr;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace bce

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A persistent work-crew thread pool for independent-item fan-out
+/// (run_batch and friends). The old controller spawned and joined fresh
+/// std::threads per batch; drivers that emulate many small batches paid
+/// thread create/join churn per batch. ThreadPool parks its helper
+/// threads on a condition variable between batches, so steady-state
+/// batches cost two notify/wait handshakes instead of N thread spawns.
+///
+/// Semantics (mirroring the old per-batch workers exactly):
+///  * Items are claimed by atomic index, ascending; an item is either run
+///    to completion or never started.
+///  * Fail fast: after any item throws, no *new* items are claimed;
+///    in-flight items finish. The *first* exception (by store order) is
+///    rethrown to the caller after all participants drain.
+///  * parallel_for(n_items, 1, ...) runs inline on the caller thread, in
+///    order, and propagates the first exception immediately — byte-for-byte
+///    the old n_threads<=1 path.
+///  * Re-entrant calls (an item that itself calls parallel_for) and
+///    concurrent callers degrade to the inline path rather than deadlock.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bce {
+
+/// Effective worker count: \p requested if nonzero, else the BCE_THREADS
+/// environment variable (when set to a positive integer), else
+/// std::thread::hardware_concurrency() (at least 1).
+unsigned resolve_thread_count(unsigned requested);
+
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool shared by run_batch/run_sweep/run_replicates and
+  /// the fleet driver. Helpers are spawned lazily on first parallel use
+  /// and parked between batches.
+  static ThreadPool& shared();
+
+  /// Run body(0..n_items-1), fanning out over up to \p n_threads threads
+  /// (the calling thread participates; helpers are spawned lazily and kept
+  /// for later batches). Blocks until every claimed item finished, then
+  /// rethrows the first exception if any item threw. See the file comment
+  /// for the exact claiming/fail-fast semantics.
+  void parallel_for(std::size_t n_items, unsigned n_threads,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Helper threads currently alive (high-water mark; for tests/stats).
+  [[nodiscard]] std::size_t helper_count() const;
+
+ private:
+  void worker_loop();
+  /// The claim loop run by the caller and every participating helper.
+  void run_items();
+
+  /// Serializes batches: one parallel_for drives the pool at a time;
+  /// concurrent callers fall back to inline execution.
+  std::mutex batch_mu_;
+
+  mutable std::mutex mu_;  ///< guards batch state + helpers_ below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> helpers_;
+  bool shutdown_ = false;
+
+  // State of the in-flight batch (stable while helpers run).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_items_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+  std::uint64_t batch_seq_ = 0;    ///< bumped per batch, wakes parked helpers
+  unsigned helpers_wanted_ = 0;    ///< unclaimed helper slots this batch
+  unsigned helpers_active_ = 0;    ///< helpers currently inside run_items
+};
+
+}  // namespace bce

@@ -109,6 +109,76 @@ TEST(EventQueue, ScheduledCountIsTotalEverScheduled) {
   EXPECT_EQ(q.scheduled_count(), 5u);
 }
 
+TEST(EventQueue, ReserveDoesNotChangeBehavior) {
+  EventQueue q;
+  q.reserve(1024);
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(static_cast<double>((i * 37) % 50), EventKind::kUser, i);
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const Event ev = q.pop();
+    EXPECT_GE(ev.at, last);
+    last = ev.at;
+  }
+}
+
+// Randomized differential test against a naive reference model: a plain
+// vector searched linearly for the (time, handle) minimum. Any divergence
+// in pop order, size, or next_time between the heap+bitmap implementation
+// and the obviously-correct model is a bug.
+TEST(EventQueue, StressMatchesNaiveReference) {
+  EventQueue q;
+  std::vector<Event> model;  // live events only
+  Xoshiro256 rng(777);
+  std::uint64_t popped = 0;
+  for (int step = 0; step < 30000; ++step) {
+    const auto r = rng.below(10);
+    if (r < 5) {
+      const double at = rng.uniform(0.0, 1000.0);
+      const auto payload = static_cast<std::int64_t>(step);
+      const EventHandle h = q.schedule(at, EventKind::kUser, payload);
+      Event ev;
+      ev.at = at;
+      ev.kind = EventKind::kUser;
+      ev.payload = payload;
+      ev.handle = h;
+      model.push_back(ev);
+    } else if (r < 8 && !model.empty()) {
+      const auto idx = rng.below(model.size());
+      EXPECT_TRUE(q.cancel(model[idx].handle));
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (!model.empty()) {
+      const auto it = std::min_element(
+          model.begin(), model.end(), [](const Event& a, const Event& b) {
+            if (a.at != b.at) return a.at < b.at;
+            return a.handle < b.handle;
+          });
+      const Event expect = *it;
+      model.erase(it);
+      ASSERT_FALSE(q.empty());
+      const Event got = q.pop();
+      ASSERT_EQ(got.handle, expect.handle);
+      EXPECT_EQ(got.at, expect.at);
+      EXPECT_EQ(got.payload, expect.payload);
+      ++popped;
+    }
+    ASSERT_EQ(q.size(), model.size());
+    if (!model.empty()) {
+      const double model_next =
+          std::min_element(model.begin(), model.end(),
+                           [](const Event& a, const Event& b) {
+                             return a.at < b.at;
+                           })
+              ->at;
+      ASSERT_EQ(q.next_time(), model_next);
+    } else {
+      ASSERT_TRUE(q.empty());
+    }
+  }
+  EXPECT_GT(popped, 1000u);
+}
+
 TEST(EventQueue, StressRandomInterleaving) {
   EventQueue q;
   Xoshiro256 rng(321);

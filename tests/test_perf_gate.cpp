@@ -1,0 +1,135 @@
+// Tests for the bce_perf regression gate (tools/bce_perf.cpp compare
+// mode), driven through synthetic bce-perf-v1 reports so the gate's
+// pass/fail contract is pinned without running real benchmarks: exit 7
+// on regression, 0 when clean or --warn-only, 1 on usage/IO errors.
+//
+// The binary path arrives via BCE_PERF_BIN (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct GateRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+GateRun run_gate(const std::string& args) {
+  const std::string cmd = std::string(BCE_PERF_BIN) + " " + args + " 2>&1";
+  GateRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// Write a minimal bce-perf-v1 report with the given kernel throughputs.
+std::string write_report(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& kernels) {
+  const std::string path = ::testing::TempDir() + "bce_gate_" + name + ".json";
+  std::ofstream os(path);
+  os << "{\n  \"schema\": \"bce-perf-v1\",\n  \"quick\": true,\n"
+     << "  \"kernels\": {\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    os << "    \"" << kernels[i].first
+       << "\": {\"items_per_sec\": " << kernels[i].second
+       << ", \"items\": 100, \"wall_seconds\": 0.1}"
+       << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+  return path;
+}
+
+TEST(PerfGate, RegressionExitsSeven) {
+  const std::string base =
+      write_report("base_reg", {{"alpha", 1000.0}, {"beta", 2000.0}});
+  const std::string cur =
+      write_report("cur_reg", {{"alpha", 1000.0}, {"beta", 1500.0}});
+  const GateRun r = run_gate("compare " + base + " " + cur);
+  EXPECT_EQ(r.exit_code, 7) << r.output;
+  EXPECT_NE(r.output.find("beta"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 kernel(s) regressed"), std::string::npos)
+      << r.output;
+}
+
+TEST(PerfGate, WithinToleranceAndImprovementsExitZero) {
+  const std::string base =
+      write_report("base_ok", {{"alpha", 1000.0}, {"beta", 2000.0}});
+  // alpha -5% (inside the default 10% band), beta +50%.
+  const std::string cur =
+      write_report("cur_ok", {{"alpha", 950.0}, {"beta", 3000.0}});
+  const GateRun r = run_gate("compare " + base + " " + cur);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no regressions"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("REGRESSION"), std::string::npos) << r.output;
+}
+
+TEST(PerfGate, TighterToleranceCatchesSmallSlip) {
+  const std::string base = write_report("base_tol", {{"alpha", 1000.0}});
+  const std::string cur = write_report("cur_tol", {{"alpha", 950.0}});
+  const GateRun r = run_gate("compare " + base + " " + cur +
+                             " --tolerance 0.02");
+  EXPECT_EQ(r.exit_code, 7) << r.output;
+}
+
+TEST(PerfGate, WarnOnlyReportsButExitsZero) {
+  const std::string base = write_report("base_warn", {{"alpha", 1000.0}});
+  const std::string cur = write_report("cur_warn", {{"alpha", 500.0}});
+  const GateRun r = run_gate("compare " + base + " " + cur + " --warn-only");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The regression is still reported, just not fatal.
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+}
+
+TEST(PerfGate, KernelMissingFromCurrentIsSkippedNotFailed) {
+  const std::string base =
+      write_report("base_miss", {{"alpha", 1000.0}, {"gone", 9.0}});
+  const std::string cur = write_report("cur_miss", {{"alpha", 1100.0}});
+  const GateRun r = run_gate("compare " + base + " " + cur);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("gone: MISSING from current"), std::string::npos)
+      << r.output;
+}
+
+TEST(PerfGate, MissingFileIsAUsageError) {
+  const std::string base = write_report("base_io", {{"alpha", 1000.0}});
+  const GateRun r =
+      run_gate("compare " + base + " /nonexistent_bce_perf_report.json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST(PerfGate, NonReportFileIsAUsageError) {
+  const std::string junk = ::testing::TempDir() + "bce_gate_junk.json";
+  std::ofstream(junk) << "{\"not\": \"a report\"}\n";
+  const std::string base = write_report("base_junk", {{"alpha", 1000.0}});
+  const GateRun r = run_gate("compare " + base + " " + junk);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("no kernels found"), std::string::npos) << r.output;
+}
+
+TEST(PerfGate, MissingPathsAreAUsageError) {
+  const GateRun r = run_gate("compare");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("BASELINE and CURRENT"), std::string::npos)
+      << r.output;
+}
+
+TEST(PerfGate, UnknownSubcommandIsAUsageError) {
+  const GateRun r = run_gate("frobnicate");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the persistent ThreadPool and the controller batch
+// semantics built on it: completion, exception propagation (first error
+// wins, fail fast), 1-vs-N determinism, reuse across batches, and the
+// run_batch regression for partially-labelled results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace bce {
+namespace {
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+}
+
+TEST(ResolveThreadCount, ZeroFallsBackToEnvThenHardware) {
+  ASSERT_EQ(setenv("BCE_THREADS", "5", 1), 0);
+  EXPECT_EQ(resolve_thread_count(0), 5u);
+  ASSERT_EQ(setenv("BCE_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // ignored, hardware fallback
+  ASSERT_EQ(unsetenv("BCE_THREADS"), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool;
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(), 4,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  ThreadPool pool;
+  std::vector<int> order;
+  pool.parallel_for(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // no lock: must be the caller
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.helper_count(), 0u);  // inline path spawns nothing
+}
+
+TEST(ThreadPool, SingleThreadThrowStopsLaterItems) {
+  ThreadPool pool;
+  std::vector<int> ran;
+  EXPECT_THROW(pool.parallel_for(10, 1,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                   ran.push_back(static_cast<int>(i));
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndLaterItemsAreSkipped) {
+  ThreadPool pool;
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(1000, 4, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("item-0");
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Item 0 is claimed first; its error must be the one that surfaces.
+    EXPECT_STREQ(e.what(), "item-0");
+  }
+  // Fail fast: nowhere near all 999 other items may have started after
+  // the failure was flagged.
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(ThreadPool, ReusedAcrossBatchesWithoutRespawning) {
+  ThreadPool pool;
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(8, 4, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 400);
+  // Helpers are created once and parked, not respawned per batch.
+  EXPECT_LE(pool.helper_count(), 3u);
+  EXPECT_GE(pool.helper_count(), 1u);
+}
+
+TEST(ThreadPool, BatchAfterFailedBatchWorks) {
+  ThreadPool pool;
+  EXPECT_THROW(pool.parallel_for(
+                   4, 2, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, 2, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool;
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, 4, [&](std::size_t) {
+    // A worker re-entering the pool must not deadlock: nested calls run
+    // inline on the worker.
+    pool.parallel_for(3, 4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+// ---- run_batch on top of the pool -----------------------------------------
+
+RunSpec quick_spec(const std::string& label, std::uint64_t seed) {
+  RunSpec spec;
+  spec.label = label;
+  spec.scenario = paper_scenario1();
+  spec.scenario.duration = 0.01 * kSecondsPerDay;
+  spec.scenario.seed = seed;
+  return spec;
+}
+
+/// A spec that makes emulate() throw: scenario validation rejects a host
+/// with no CPUs.
+RunSpec invalid_spec(const std::string& label) {
+  RunSpec spec = quick_spec(label, 1);
+  spec.scenario.host.count[ProcType::kCpu] = 0;
+  return spec;
+}
+
+TEST(RunBatch, OneVsManyThreadsByteIdentical) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    specs.push_back(quick_spec("s" + std::to_string(i),
+                               static_cast<std::uint64_t>(i + 1)));
+  }
+  const auto seq = run_batch(specs, 1);
+  const auto par = run_batch(specs, 8);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].label, par[i].label);
+    // Full-precision figures of merit must match bit for bit.
+    EXPECT_EQ(seq[i].result.metrics.idle_fraction(),
+              par[i].result.metrics.idle_fraction());
+    EXPECT_EQ(seq[i].result.metrics.wasted_fraction(),
+              par[i].result.metrics.wasted_fraction());
+    EXPECT_EQ(seq[i].result.metrics.weighted_score(),
+              par[i].result.metrics.weighted_score());
+  }
+}
+
+TEST(RunBatch, MidBatchThrowRethrowsFirstException) {
+  // The invalid spec is claimed first (ascending order), so its error —
+  // not a later one — must surface, single- and multi-threaded.
+  for (const unsigned threads : {1u, 4u}) {
+    std::vector<RunSpec> specs;
+    specs.push_back(invalid_spec("bad0"));
+    for (int i = 1; i < 6; ++i) {
+      specs.push_back(quick_spec("ok" + std::to_string(i),
+                                 static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_THROW(run_batch(specs, threads), std::invalid_argument)
+        << "threads=" << threads;
+  }
+}
+
+TEST(RunBatch, LabelAssignedOnlyAfterSuccess) {
+  // Regression: run_batch used to write results[i].label before emulating,
+  // so a throw elsewhere left half-written rows. The label must now be the
+  // last thing written; a row is either complete or untouched. Observe the
+  // ordering through the same claim/fill pattern run_batch uses.
+  std::vector<RunSpec> specs;
+  specs.push_back(quick_spec("ok", 1));
+  specs.push_back(invalid_spec("bad"));
+  std::vector<RunResult> results(specs.size());
+  ThreadPool pool;
+  EXPECT_THROW(
+      pool.parallel_for(specs.size(), 1,
+                        [&](std::size_t i) {
+                          results[i].result =
+                              emulate(specs[i].scenario, specs[i].options);
+                          results[i].label = specs[i].label;
+                        }),
+      std::invalid_argument);
+  EXPECT_EQ(results[0].label, "ok");      // completed before the failure
+  EXPECT_EQ(results[1].label, "");        // failed row left untouched
+  EXPECT_EQ(results[1].result.metrics.available_flops, 0.0);
+}
+
+TEST(RunBatch, EmptySpecsYieldEmptyResults) {
+  EXPECT_TRUE(run_batch({}, 4).empty());
+}
+
+}  // namespace
+}  // namespace bce

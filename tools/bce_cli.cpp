@@ -30,7 +30,9 @@
 //                                 work_fetch,rpc,avail,server,fault or 'all')
 //   --trace FILE                  write every decision as one JSON object
 //                                 per line (all categories; docs/observability.md)
-//   --threads N                   sweep parallelism
+//   --threads N                   batch parallelism for compare/sweep/sample
+//                                 (default: BCE_THREADS env var, else the
+//                                 hardware concurrency)
 //
 // Fault injection (docs/faults.md); each overrides the scenario file:
 //   --faults off|light|heavy      preset fault plan
@@ -92,7 +94,9 @@ struct CliOptions {
       "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
       "         see list-policies)  --policy wrr|local|global (legacy)\n"
       "         --half-life S  --server-deadline-check  --fetch-suppression\n"
-      "         --days N  --seed N  --timeline  --log CATS  --threads N\n"
+      "         --days N  --seed N  --timeline  --log CATS\n"
+      "         --threads N (batch parallelism; default BCE_THREADS env,\n"
+      "         else hardware concurrency)\n"
       "         --trace FILE (run: JSONL decision trace, all categories)\n"
       "faults:  --faults off|light|heavy  --job-error R  --job-abort R\n"
       "         --crash-mtbf S  --crash-reboot S  --rpc-loss R\n"
@@ -383,8 +387,21 @@ int cmd_sweep(const std::string& path, const CliOptions& o) {
 }
 
 int cmd_sample(int argc, char** argv) {
-  const int n = argc > 2 ? std::atoi(argv[2]) : 20;
-  const double days = argc > 3 ? std::atof(argv[3]) : 2.0;
+  // Positional [n] [days], plus --threads N (sample is the one command
+  // that doesn't go through the scenario-file option parser).
+  std::vector<std::string> pos;
+  unsigned threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads") {
+      if (i + 1 >= argc) usage("missing value for --threads");
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      pos.push_back(a);
+    }
+  }
+  const int n = !pos.empty() ? std::atoi(pos[0].c_str()) : 20;
+  const double days = pos.size() > 1 ? std::atof(pos[1].c_str()) : 2.0;
   Xoshiro256 rng(1);
   PopulationParams pp;
   pp.duration = days * kSecondsPerDay;
@@ -403,7 +420,7 @@ int cmd_sample(int argc, char** argv) {
       specs.push_back(std::move(spec));
     }
   }
-  const auto results = run_batch(specs);
+  const auto results = run_batch(specs, threads);
   int wins = 0;
   RunningStats delta;
   for (int i = 0; i < n; ++i) {

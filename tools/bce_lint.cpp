@@ -246,6 +246,7 @@ int check_iwyu(const fs::path& root) {
       {"lock_guard", "mutex"},
       {"scoped_lock", "mutex"},
       {"unique_lock", "mutex"},
+      {"condition_variable", "condition_variable"},
       {"map", "map"},
       {"multimap", "map"},
       {"unordered_map", "unordered_map"},

@@ -1,0 +1,463 @@
+// bce_perf: the perf-regression gate (docs/performance.md).
+//
+//   bce_perf run [--out FILE] [--quick] [--kernel NAME]
+//       Time the emulator's hot kernels and print one JSON object with an
+//       items/sec entry per kernel (also written to FILE with --out).
+//       --quick shrinks the measurement window for CI smoke runs; numbers
+//       are noisier but the schema is identical.
+//
+//   bce_perf compare BASELINE CURRENT [--tolerance FRAC] [--warn-only]
+//       Compare two run outputs kernel by kernel. A kernel regresses when
+//       its items/sec falls more than FRAC (default 0.10) below the
+//       baseline. Exits 7 on any regression (0 with --warn-only), so CI
+//       can gate on it against the committed BENCH_5.json baseline.
+//
+// Every kernel uses only public library API, so the same source measures
+// any revision it is checked out against — that is how the before/after
+// numbers in BENCH_5.json were produced.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+
+namespace {
+
+using namespace bce;
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult {
+  double items_per_sec = 0.0;
+  double items = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Run \p body(reps) with growing rep counts until the wall time reaches
+/// \p min_seconds, then report the final measurement. \p body returns the
+/// number of items it processed.
+KernelResult measure(double min_seconds,
+                     const std::function<double(std::uint64_t)>& body) {
+  std::uint64_t reps = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    const double items = body(reps);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (wall >= min_seconds || reps >= (std::uint64_t{1} << 40)) {
+      KernelResult r;
+      r.items = items;
+      r.wall_seconds = wall;
+      r.items_per_sec = wall > 0.0 ? items / wall : 0.0;
+      return r;
+    }
+    // Aim past min_seconds with headroom; at least double.
+    const double scale =
+        wall > 0.0 ? std::max(2.0, 1.5 * min_seconds / wall) : 2.0;
+    reps = static_cast<std::uint64_t>(static_cast<double>(reps) * scale) + 1;
+  }
+}
+
+std::vector<Result> make_jobs(int n, int n_proj) {
+  std::vector<Result> jobs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& r = jobs[static_cast<std::size_t>(i)];
+    r.id = i;
+    r.project = i % n_proj;
+    r.flops_est = r.flops_total = 1e12 + 1e10 * i;
+    r.received = static_cast<double>(i);
+    r.deadline = 86400.0 * (1 + i % 5);
+    r.usage = ResourceUsage::cpu(1.0);
+  }
+  return jobs;
+}
+
+// ---- kernels --------------------------------------------------------------
+
+/// Schedule-then-drain churn: the baseline event-queue cost.
+double k_event_queue_churn(std::uint64_t reps) {
+  constexpr std::size_t kEvents = 4096;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    EventQueue q;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % 100000), EventKind::kUser);
+    }
+    while (!q.empty()) {
+      volatile auto at = q.pop().at;
+      (void)at;
+    }
+  }
+  return static_cast<double>(reps) * kEvents;
+}
+
+/// The emulator's dominant queue pattern: a working set of per-task timers
+/// that are cancelled and re-armed on nearly every dispatch
+/// (schedule_task_event / schedule_transfer_event), so most scheduled
+/// events die by cancel(), not pop(). Items = schedule+cancel pairs.
+double k_event_queue_cancel_heavy(std::uint64_t reps) {
+  constexpr std::size_t kTimers = 64;
+  EventQueue q;
+  EventHandle timers[kTimers] = {};
+  double now = 0.0;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;  // xorshift pattern
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    timers[i] = q.schedule(now + static_cast<double>(i + 1), EventKind::kUser);
+  }
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::size_t i = static_cast<std::size_t>(x % kTimers);
+    q.cancel(timers[i]);
+    now += 0.25;
+    timers[i] =
+        q.schedule(now + 1.0 + static_cast<double>(x % 1000), EventKind::kUser);
+    ++ops;
+    if ((rep & 7) == 0) {  // occasionally fire the front like the real loop
+      if (!q.empty() && q.next_time() <= now) {
+        const Event ev = q.pop();
+        for (std::size_t j = 0; j < kTimers; ++j) {
+          if (timers[j] == ev.handle) {
+            timers[j] =
+                q.schedule(now + 1.0 + static_cast<double>(j), EventKind::kUser);
+          }
+        }
+      }
+    }
+  }
+  return static_cast<double>(ops);
+}
+
+/// Full RR-sim at 100 jobs through the cached entry point with the version
+/// bumped every pass (all misses) — the reschedule-pass cost.
+double k_rr_sim_100(std::uint64_t reps) {
+  const int n = 100;
+  const int n_proj = 4;
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(host, prefs, avail);
+  std::vector<double> shares(n_proj, 1.0 / n_proj);
+  auto jobs = make_jobs(n, n_proj);
+  std::vector<Result*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+  std::uint64_t version = 0;
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const RrSimOutput& out = rr.run_cached(++version, 0.0, ptrs, shares);
+    sink += out.span;
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps) * n;
+}
+
+/// One job-scheduler pass over 100 runnable jobs.
+double k_scheduler_pass_100(std::uint64_t reps) {
+  const int n = 100;
+  const int n_proj = 4;
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  Preferences prefs;
+  PolicyConfig policy;
+  JobScheduler sched(host, prefs, policy);
+  Accounting acct(host, std::vector<double>(n_proj, 0.25), kSecondsPerDay);
+  Trace log;
+  auto jobs = make_jobs(n, n_proj);
+  std::vector<Result*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+  std::size_t sink = 0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    sink += sched.schedule(0.0, ptrs, acct, true, true, log).to_run.size();
+  }
+  volatile std::size_t keep = sink;
+  (void)keep;
+  return static_cast<double>(reps) * n;
+}
+
+/// Disabled-path trace emit (every decision point pays this with tracing
+/// off).
+double k_trace_emit_disabled(std::uint64_t reps) {
+  Trace trace;
+  TraceEvent ev{
+      .at = 0.0, .kind = TraceKind::kJobStarted, .project = 1, .job = 42};
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    ev.at += 1.0;
+    trace.emit(ev);
+  }
+  volatile double keep = ev.at;
+  (void)keep;
+  return static_cast<double>(reps);
+}
+
+/// Enabled-path trace emit: full JSONL serialization.
+double k_trace_emit_jsonl(std::uint64_t reps) {
+  std::ostringstream os;
+  Trace trace;
+  JsonlSink sink(os);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  TraceEvent ev{.at = 0.0,
+                .kind = TraceKind::kServerSent,
+                .project = 1,
+                .ptype = 0,
+                .v0 = 3.0,
+                .v1 = 86400.0,
+                .v2 = 90000.0,
+                .str = "einstein"};
+  std::size_t emitted = 0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    ev.at += 1.0;
+    trace.emit(ev);
+    if (++emitted == 4096) {
+      os.str(std::string());
+      emitted = 0;
+    }
+  }
+  return static_cast<double>(reps);
+}
+
+/// End-to-end emulation: items are simulated seconds, so items/sec is
+/// simulated-seconds-per-wall-second.
+double k_emulate_one_day(std::uint64_t reps) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 1.0 * kSecondsPerDay;
+  EmulationOptions opt;
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    sink += emulate(sc, opt).metrics.idle_fraction();
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps) * sc.duration;
+}
+
+/// Many small batches through run_batch: 8 specs of a hundredth-day run
+/// per batch. Items are emulations; with short runs the per-batch thread
+/// create/join overhead dominates — the pattern of sweep drivers and the
+/// fleet controller.
+double k_batch_small(std::uint64_t reps, unsigned n_threads) {
+  std::vector<RunSpec> specs(8);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].label = "spec" + std::to_string(i);
+    specs[i].scenario = paper_scenario1();
+    specs[i].scenario.duration = 0.01 * kSecondsPerDay;
+    specs[i].scenario.seed = i + 1;
+  }
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const auto results = run_batch(specs, n_threads);
+    sink += results.front().result.metrics.idle_fraction();
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps) * static_cast<double>(specs.size());
+}
+
+struct Kernel {
+  const char* name;
+  std::function<double(std::uint64_t)> body;
+};
+
+std::vector<Kernel> kernels() {
+  return {
+      {"event_queue_churn", k_event_queue_churn},
+      {"event_queue_cancel_heavy", k_event_queue_cancel_heavy},
+      {"rr_sim_100", k_rr_sim_100},
+      {"scheduler_pass_100", k_scheduler_pass_100},
+      {"trace_emit_disabled", k_trace_emit_disabled},
+      {"trace_emit_jsonl", k_trace_emit_jsonl},
+      {"emulate_one_day", k_emulate_one_day},
+      {"batch_small_1t", [](std::uint64_t r) { return k_batch_small(r, 1); }},
+      {"batch_small_8t", [](std::uint64_t r) { return k_batch_small(r, 8); }},
+  };
+}
+
+// ---- run ------------------------------------------------------------------
+
+void write_json(std::ostream& os,
+                const std::vector<std::pair<std::string, KernelResult>>& rows,
+                bool quick) {
+  os << "{\n";
+  os << "  \"schema\": \"bce-perf-v1\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"kernels\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [name, r] = rows[i];
+    os << "    \"" << name << "\": {\"items_per_sec\": " << r.items_per_sec
+       << ", \"items\": " << r.items << ", \"wall_seconds\": " << r.wall_seconds
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::string only;
+  bool quick = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--kernel" && i + 1 < args.size()) {
+      only = args[++i];
+    } else if (args[i] == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "error: unknown run option " << args[i] << "\n";
+      return 1;
+    }
+  }
+  const double min_seconds = quick ? 0.05 : 0.5;
+
+  std::vector<std::pair<std::string, KernelResult>> rows;
+  bool matched = false;
+  for (const auto& k : kernels()) {
+    if (!only.empty() && only != k.name) continue;
+    matched = true;
+    const KernelResult r = measure(min_seconds, k.body);
+    std::cerr << k.name << ": " << r.items_per_sec << " items/sec ("
+              << r.items << " items in " << r.wall_seconds << " s)\n";
+    rows.emplace_back(k.name, r);
+  }
+  if (!matched) {
+    std::cerr << "error: unknown kernel " << only << "\n";
+    return 1;
+  }
+
+  std::ostringstream json;
+  json.precision(10);
+  write_json(json, rows, quick);
+  std::cout << json.str();
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    os << json.str();
+    std::cerr << "results written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+// ---- compare --------------------------------------------------------------
+
+/// Extract kernel -> items_per_sec from a bce-perf-v1 report. The format
+/// is machine-written with one kernel per line, so a line scanner is
+/// enough — no JSON library in the toolchain.
+bool parse_report(const std::string& path,
+                  std::map<std::string, double>& out, std::string& err) {
+  std::ifstream is(path);
+  if (!is) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto ips = line.find("\"items_per_sec\":");
+    if (ips == std::string::npos) continue;
+    const auto q0 = line.find('"');
+    const auto q1 = line.find('"', q0 + 1);
+    if (q0 == std::string::npos || q1 == std::string::npos) continue;
+    const std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+    const std::string val = line.substr(ips + 16);
+    try {
+      out[name] = std::stod(val);
+    } catch (...) {
+      err = "bad items_per_sec for " + name + " in " + path;
+      return false;
+    }
+  }
+  if (out.empty()) {
+    err = "no kernels found in " + path + " (not a bce-perf report?)";
+    return false;
+  }
+  return true;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  double tolerance = 0.10;
+  bool warn_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      tolerance = std::stod(args[++i]);
+    } else if (args[i] == "--warn-only") {
+      warn_only = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "error: unknown compare option " << args[i] << "\n";
+      return 1;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "error: compare needs BASELINE and CURRENT paths\n";
+    return 1;
+  }
+
+  std::map<std::string, double> base;
+  std::map<std::string, double> cur;
+  std::string err;
+  if (!parse_report(paths[0], base, err) ||
+      !parse_report(paths[1], cur, err)) {
+    std::cerr << "error: " << err << "\n";
+    return 1;
+  }
+
+  int regressions = 0;
+  for (const auto& [name, base_ips] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      std::cout << name << ": MISSING from current (skipped)\n";
+      continue;
+    }
+    const double ratio = base_ips > 0.0 ? it->second / base_ips : 1.0;
+    const bool regressed = ratio < 1.0 - tolerance;
+    if (regressed) ++regressions;
+    std::cout << name << ": " << (ratio >= 1.0 ? "+" : "")
+              << (ratio - 1.0) * 100.0 << "% ("
+              << base_ips << " -> " << it->second << ")"
+              << (regressed ? "  REGRESSION" : "") << "\n";
+  }
+  if (regressions > 0) {
+    std::cout << regressions << " kernel(s) regressed more than "
+              << tolerance * 100.0 << "%\n";
+    return warn_only ? 0 : 7;
+  }
+  std::cout << "no regressions beyond " << tolerance * 100.0 << "%\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr
+      << "usage:\n"
+      << "  bce_perf run [--out FILE] [--quick] [--kernel NAME]\n"
+      << "  bce_perf compare BASELINE CURRENT [--tolerance FRAC]"
+         " [--warn-only]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage();
+    return 1;
+  }
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (args[0] == "run") return cmd_run(rest);
+  if (args[0] == "compare") return cmd_compare(rest);
+  usage();
+  return 1;
+}
