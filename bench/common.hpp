@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,34 +55,98 @@ struct SeedMean {
 };
 
 /// Expand each point over seeds 1..N (matching the original drivers'
-/// `seed = s + 1`), run the whole grid as one parallel batch, and collapse
-/// the results back into per-point seed groups, in input order.
+/// `seed = s + 1`), run the whole grid in parallel, and collapse the
+/// results back into per-point seed groups, in input order.
+///
+/// Points that differ *only in duration* (same scenario otherwise, same
+/// policy — detected via scenario_fingerprint, which zeroes the duration)
+/// are warm-started: per seed, the group runs as one run_chain_batch chain,
+/// so the shared scenario prefix is emulated once instead of once per
+/// duration. The savestate layer guarantees chained results are
+/// byte-identical to cold runs (docs/savestate.md), so drivers see the
+/// exact same numbers either way, just sooner. Points carrying a logger,
+/// trace, or auditor are never chained (those sinks observe the whole run,
+/// including the replayed prefix), and grids with no duration-varying
+/// groups take the flat run_batch path unchanged.
 inline std::vector<SeedMean> run_grid(const std::vector<GridPoint>& points,
                                       int seeds, unsigned n_threads = 0) {
-  std::vector<RunSpec> specs;
-  specs.reserve(points.size() * static_cast<std::size_t>(seeds));
-  for (const auto& pt : points) {
-    for (int s = 0; s < seeds; ++s) {
-      RunSpec spec;
-      spec.label = pt.label;
-      spec.scenario = pt.scenario;
-      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
-      spec.options = pt.options;
-      specs.push_back(std::move(spec));
+  const auto n_seeds = static_cast<std::size_t>(seeds > 0 ? seeds : 0);
+
+  // Group point indices by everything but the duration. The fingerprint is
+  // computed with the seed normalized to 0 because run_grid overwrites the
+  // seed per replicate anyway.
+  std::map<std::pair<std::uint64_t, bool>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    if (pt.options.logger != nullptr || pt.options.trace != nullptr ||
+        pt.options.auditor != nullptr) {
+      continue;  // never chained; handled by the flat path below
+    }
+    Scenario keyed = pt.scenario;
+    keyed.seed = 0;
+    groups[{scenario_fingerprint(keyed, pt.options.policy),
+            pt.options.record_timeline}]
+        .push_back(i);
+  }
+
+  // A group warm-starts only when it spans at least two distinct horizons.
+  std::vector<bool> chained(points.size(), false);
+  std::vector<ChainSpec> chains;
+  std::vector<std::vector<std::size_t>> chain_members;  // aligned with chains
+  for (const auto& [key, members] : groups) {
+    bool varied = false;
+    for (const std::size_t i : members) {
+      varied |=
+          points[i].scenario.duration != points[members[0]].scenario.duration;
+    }
+    if (!varied) continue;
+    for (const std::size_t i : members) chained[i] = true;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      ChainSpec chain;
+      chain.label = points[members[0]].label;
+      chain.scenario = points[members[0]].scenario;
+      chain.scenario.seed = static_cast<std::uint64_t>(s + 1);
+      chain.options = points[members[0]].options;
+      chain.durations.reserve(members.size());
+      for (const std::size_t i : members) {
+        chain.durations.push_back(points[i].scenario.duration);
+      }
+      chains.push_back(std::move(chain));
+      chain_members.push_back(members);
     }
   }
-  const auto results = run_batch(specs, n_threads);
-  std::vector<SeedMean> out;
-  out.reserve(points.size());
-  std::size_t idx = 0;
-  for (const auto& pt : points) {
-    SeedMean g;
-    g.label = pt.label;
-    g.runs.reserve(static_cast<std::size_t>(seeds));
-    for (int s = 0; s < seeds; ++s) {
-      g.runs.push_back(results[idx++].result.metrics);
+
+  std::vector<RunSpec> specs;
+  std::vector<std::size_t> spec_point;  // aligned with specs
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (chained[i]) continue;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      RunSpec spec;
+      spec.label = points[i].label;
+      spec.scenario = points[i].scenario;
+      spec.scenario.seed = static_cast<std::uint64_t>(s + 1);
+      spec.options = points[i].options;
+      specs.push_back(std::move(spec));
+      spec_point.push_back(i);
     }
-    out.push_back(std::move(g));
+  }
+
+  std::vector<SeedMean> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i].label = points[i].label;
+    out[i].runs.resize(n_seeds);
+  }
+  const auto chain_results = run_chain_batch(chains, n_threads);
+  for (std::size_t c = 0; c < chain_results.size(); ++c) {
+    const std::size_t s = c % n_seeds;  // chains were emitted seed-major
+    const auto& members = chain_members[c];
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      out[members[k]].runs[s] = chain_results[c].results[k].metrics;
+    }
+  }
+  const auto flat_results = run_batch(specs, n_threads);
+  for (std::size_t j = 0; j < flat_results.size(); ++j) {
+    out[spec_point[j]].runs[j % n_seeds] = flat_results[j].result.metrics;
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 Accounting::Accounting(const HostInfo& host, std::vector<double> share_fractions,
@@ -92,6 +94,33 @@ double Accounting::prio_fetch_local(ProjectId p) const {
     sum += long_term_debt(p, t) * host_.flops_per_instance[t];
   }
   return sum / total;
+}
+
+void Accounting::save_state(StateWriter& w) const {
+  w.put_count("acct.projects", shares_.size());
+  for (std::size_t p = 0; p < shares_.size(); ++p) {
+    for (const auto t : kAllProcTypes) {
+      w.put_f64("acct.st_debt", st_debts_[p][t]);
+      w.put_f64("acct.lt_debt", lt_debts_[p][t]);
+    }
+    w.put_f64("acct.rec.value", recs_[p].value());
+    w.put_f64("acct.rec.last_update", recs_[p].last_update());
+  }
+}
+
+void Accounting::restore_state(StateReader& r) {
+  const std::uint64_t n = r.get_count("acct.projects");
+  assert(n == shares_.size());
+  (void)n;
+  for (std::size_t p = 0; p < shares_.size(); ++p) {
+    for (const auto t : kAllProcTypes) {
+      st_debts_[p][t] = r.get_f64("acct.st_debt");
+      lt_debts_[p][t] = r.get_f64("acct.lt_debt");
+    }
+    const double value = r.get_f64("acct.rec.value");
+    const double last_update = r.get_f64("acct.rec.last_update");
+    recs_[p].restore(value, last_update);
+  }
 }
 
 double Accounting::prio_global(ProjectId p) const {

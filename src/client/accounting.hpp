@@ -29,6 +29,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 class Accounting {
  public:
   /// \p capability[p][t]: whether project p has job classes of type t
@@ -81,6 +84,12 @@ class Accounting {
   /// Debt magnitude cap for type \p t (zero when the host has no
   /// instances of it).
   [[nodiscard]] double debt_cap(ProcType t) const { return debt_cap_[t]; }
+
+  /// Savestate support (docs/savestate.md): host, shares, capability and
+  /// debt caps are reconstructed from the scenario; only the accrued
+  /// debts and REC accumulators are serialized.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   HostInfo host_;

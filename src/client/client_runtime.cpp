@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 namespace {
@@ -160,6 +162,48 @@ void ClientRuntime::charge(SimTime t, Duration dt,
     auditor_->check_debt_sums(acct_, runnable);
     auditor_->check_rec_nonneg(acct_);
   }
+}
+
+void ClientRuntime::save_state(StateWriter& w) const {
+  w.put_u64("client.state_version", state_version_);
+  w.put_count("client.projects", dcf_.size());
+  for (const double d : dcf_) w.put_f64("client.dcf", d);
+  acct_.save_state(w);
+  rrsim_.save_state(w);
+  for (const ProjectFetchState& fs : fetch_states_) {
+    w.put_f64("fetch.next_allowed_rpc", fs.next_allowed_rpc);
+    w.put_f64("fetch.project_backoff_len", fs.project_backoff_len);
+    w.put_f64("fetch.last_work_rpc", fs.last_work_rpc);
+    for (const auto t : kAllProcTypes) {
+      w.put_f64("fetch.type_backoff_until", fs.type_backoff_until[t]);
+      w.put_f64("fetch.type_backoff_len", fs.type_backoff_len[t]);
+    }
+    w.put_f64("fetch.rpc_retry_backoff_len", fs.rpc_retry_backoff_len);
+  }
+  transfers_.save_state(w);
+}
+
+void ClientRuntime::restore_state(StateReader& r) {
+  state_version_ = r.get_u64("client.state_version");
+  const std::uint64_t n = r.get_count("client.projects");
+  (void)n;
+  for (double& d : dcf_) d = r.get_f64("client.dcf");
+  acct_.restore_state(r);
+  rrsim_.restore_state(r);
+  for (ProjectFetchState& fs : fetch_states_) {
+    fs.next_allowed_rpc = r.get_f64("fetch.next_allowed_rpc");
+    fs.project_backoff_len = r.get_f64("fetch.project_backoff_len");
+    fs.last_work_rpc = r.get_f64("fetch.last_work_rpc");
+    for (const auto t : kAllProcTypes) {
+      fs.type_backoff_until[t] = r.get_f64("fetch.type_backoff_until");
+      fs.type_backoff_len[t] = r.get_f64("fetch.type_backoff_len");
+    }
+    fs.rpc_retry_backoff_len = r.get_f64("fetch.rpc_retry_backoff_len");
+  }
+  transfers_.restore_state(r);
+  // The cached pointer references the pre-restore memo; the next rr_pass
+  // re-primes both (RrSim::restore_state dropped the memo too).
+  last_rr_ = nullptr;
 }
 
 }  // namespace bce

@@ -154,6 +154,14 @@ class ClientRuntime {
     fetch_.set_auditor(auditor);
   }
 
+  /// Savestate support (docs/savestate.md). Serialized: the learned DCFs,
+  /// accounting accumulators, RR-sim counters, per-project fetch states,
+  /// in-flight transfers, and state_version. Policy objects and scratch
+  /// are reconstructed; restore also drops last_rr() and the RR-sim memo,
+  /// so the first pass after a restore re-simulates from restored state.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   void bump() { ++state_version_; }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 RrSim::RrSim(const HostInfo& host, const Preferences& prefs,
@@ -352,6 +354,17 @@ const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
                                      const std::vector<double>& share_frac,
                                      Trace* trace) {
   if (auditor_ != nullptr) auditor_->check_state_version(state_version);
+  if (cache_valid_ && cached_version_ > state_version) {
+    // A memo from a newer state than the caller can only mean a savestate
+    // restore rewound state_version without invalidating the cache. Audit
+    // builds fault at this decision point; all builds force a miss so the
+    // stale simulation is never served (tests/test_savestate.cpp pins both
+    // behaviours).
+    if (auditor_ != nullptr) {
+      auditor_->check_cache_not_stale(cached_version_, state_version);
+    }
+    cache_valid_ = false;
+  }
   if (cache_valid_ && cached_version_ == state_version && cached_now_ == now) {
     ++stats_.hits;
     return cached_out_;
@@ -365,6 +378,20 @@ const RrSimOutput& RrSim::run_cached(std::uint64_t state_version, SimTime now,
     auditor_->check_rr_output(cached_out_, host_, prefs_, now);
   }
   return cached_out_;
+}
+
+void RrSim::save_state(StateWriter& w) const {
+  w.put_u64("rrsim.cache_hits", stats_.hits);
+  w.put_u64("rrsim.cache_misses", stats_.misses);
+}
+
+void RrSim::restore_state(StateReader& r) {
+  stats_.hits = r.get_u64("rrsim.cache_hits");
+  stats_.misses = r.get_u64("rrsim.cache_misses");
+  // Never carry the memo across a restore: the cached output references
+  // pre-restore job state, and the restored state_version is unrelated to
+  // the memo key. The first run_cached after a restore re-primes it.
+  cache_valid_ = false;
 }
 
 }  // namespace bce

@@ -113,6 +113,13 @@ class RrSim {
   /// non-negative, SAT within span, capacity conservation).
   void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
 
+  /// Savestate support (docs/savestate.md): the memo is deliberately NOT
+  /// serialized — restore invalidates it, so the first run_cached after a
+  /// restore re-primes from restored job state rather than serving a
+  /// snapshot of pre-save scratch. Only the hit/miss counters carry over.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   /// Per-job simulation state (scratch; see sim_jobs_).
   struct SimJob {

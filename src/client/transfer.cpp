@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 bool TransferManager::add(JobId id, double bytes, SimTime deadline, SimTime now,
@@ -205,6 +207,56 @@ std::vector<JobId> TransferManager::take_completed() {
   std::vector<JobId> out;
   out.swap(completed_);
   return out;
+}
+
+void TransferManager::save_state(StateWriter& w) const {
+  rng_.save_state(w, "xfer.rng");
+  w.put_f64("xfer.last_update", last_update_);
+  w.put_u64("xfer.next_seq", next_seq_);
+  w.put_i64("xfer.retries", retries_);
+  w.put_count("xfer.pending", xfers_.size());
+  for (const Xfer& x : xfers_) {
+    w.put_i64("xfer.job", x.id);
+    w.put_f64("xfer.bytes_left", x.bytes_left);
+    w.put_f64("xfer.bytes_total", x.bytes_total);
+    w.put_f64("xfer.deadline", x.deadline);
+    w.put_u64("xfer.seq", x.seq);
+    w.put_f64("xfer.fail_after_bytes", x.fail_after_bytes);
+    w.put_f64("xfer.retry_at", x.retry_at);
+    w.put_f64("xfer.backoff_len", x.backoff_len);
+    w.put_bool("xfer.resumable", x.resumable);
+  }
+  w.put_count("xfer.completed", completed_.size());
+  for (const JobId id : completed_) w.put_i64("xfer.completed_job", id);
+}
+
+void TransferManager::restore_state(StateReader& r) {
+  rng_.restore_state(r, "xfer.rng");
+  last_update_ = r.get_f64("xfer.last_update");
+  next_seq_ = r.get_u64("xfer.next_seq");
+  retries_ = r.get_i64("xfer.retries");
+  const std::uint64_t n = r.get_count("xfer.pending");
+  xfers_.clear();
+  xfers_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Xfer x;
+    x.id = static_cast<JobId>(r.get_i64("xfer.job"));
+    x.bytes_left = r.get_f64("xfer.bytes_left");
+    x.bytes_total = r.get_f64("xfer.bytes_total");
+    x.deadline = r.get_f64("xfer.deadline");
+    x.seq = r.get_u64("xfer.seq");
+    x.fail_after_bytes = r.get_f64("xfer.fail_after_bytes");
+    x.retry_at = r.get_f64("xfer.retry_at");
+    x.backoff_len = r.get_f64("xfer.backoff_len");
+    x.resumable = r.get_bool("xfer.resumable");
+    xfers_.push_back(x);
+  }
+  const std::uint64_t nc = r.get_count("xfer.completed");
+  completed_.clear();
+  completed_.reserve(nc);
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    completed_.push_back(static_cast<JobId>(r.get_i64("xfer.completed_job")));
+  }
 }
 
 }  // namespace bce

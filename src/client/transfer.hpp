@@ -81,6 +81,13 @@ class TransferManager {
   /// Total errored download attempts so far (feeds retries-per-job).
   [[nodiscard]] std::int64_t retries() const { return retries_; }
 
+  /// Savestate support (docs/savestate.md): link parameters are
+  /// reconstructed from the scenario; serialized state is the in-flight
+  /// transfer set (including per-attempt fail points and retry backoffs),
+  /// the undrained completion list, the RNG stream, and the counters.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   struct Xfer {
     JobId id = kNoJob;

@@ -29,6 +29,7 @@
 #include "core/paper_scenarios.hpp"
 #include "core/population.hpp"
 #include "core/report.hpp"
+#include "core/savestate.hpp"
 #include "core/scenario_io.hpp"
 #include "core/share_split.hpp"
 #include "core/svg_plot.hpp"

@@ -1,6 +1,7 @@
 #include "core/controller.hpp"
 
 #include "client/policy_registry.hpp"
+#include "core/savestate.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace bce {
@@ -26,6 +27,18 @@ std::vector<RunResult> run_sweep(const std::vector<double>& params,
   specs.reserve(params.size());
   for (const double p : params) specs.push_back(make(p));
   return run_batch(specs, n_threads);
+}
+
+std::vector<ChainResult> run_chain_batch(const std::vector<ChainSpec>& specs,
+                                         unsigned n_threads) {
+  std::vector<ChainResult> results(specs.size());
+  ThreadPool::shared().parallel_for(
+      specs.size(), resolve_thread_count(n_threads), [&](std::size_t i) {
+        results[i].results = run_duration_chain(
+            specs[i].scenario, specs[i].options, specs[i].durations);
+        results[i].label = specs[i].label;
+      });
+  return results;
 }
 
 std::vector<RunSpec> policy_matrix_specs(const Scenario& scenario,

@@ -40,6 +40,31 @@ std::vector<RunResult> run_sweep(
     const std::vector<double>& params,
     const std::function<RunSpec(double)>& make, unsigned n_threads = 0);
 
+/// One warm-start chain: the same (scenario, policy) emulated at several
+/// horizons. The scenario's own duration is ignored; each entry of
+/// `durations` is one run, and results come back aligned with it.
+struct ChainSpec {
+  std::string label;
+  Scenario scenario;
+  EmulationOptions options;
+  std::vector<Duration> durations;
+};
+
+struct ChainResult {
+  std::string label;
+  std::vector<EmulationResult> results;  ///< aligned with ChainSpec::durations
+};
+
+/// Run every chain via run_duration_chain (core/savestate.hpp): durations
+/// ascending, each longer run forked from a savestate captured near the
+/// previous horizon, so the shared scenario prefix is emulated once per
+/// chain instead of once per duration. Chains fan out across the shared
+/// ThreadPool; each chain is sequential internally (a longer run needs the
+/// shorter run's snapshot). Results are byte-identical to cold runs of each
+/// duration — the savestate round-trip guarantee (docs/savestate.md).
+std::vector<ChainResult> run_chain_batch(const std::vector<ChainSpec>& specs,
+                                         unsigned n_threads = 0);
+
 /// One RunSpec per (job-order, fetch) pair registered in
 /// bce::policy_registry(), labeled "SCHED+FETCH" and selected by name, on
 /// top of \p base options. Policies registered by user code are swept

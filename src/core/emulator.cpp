@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 namespace {
@@ -333,7 +335,12 @@ void Emulator::schedule_transfer_event() {
   }
   const SimTime t = client_.transfers().next_completion(
       avail_.network_available() && !crash_down());
-  if (std::isfinite(t) && t <= sc_.duration) {
+  // Duration-independence: events are scheduled unconditionally, past the
+  // scenario end too (the main loop never pops them — it breaks at the
+  // duration first). Filtering on sc_.duration here would make the event
+  // stream — and hence RNG draw order and savestates — depend on how long
+  // the run is, breaking warm-started sweeps (docs/savestate.md).
+  if (std::isfinite(t)) {
     transfer_event_ = queue_.schedule(std::max(t, now_), EventKind::kTransfer);
   }
 }
@@ -364,7 +371,7 @@ void Emulator::schedule_avail_event() {
     avail_event_ = kNoEvent;
   }
   const SimTime t = avail_.next_transition();
-  if (std::isfinite(t) && t <= sc_.duration) {
+  if (std::isfinite(t)) {
     avail_event_ = queue_.schedule(t, EventKind::kHostTransition);
   }
 }
@@ -375,7 +382,7 @@ void Emulator::schedule_project_event(std::size_t p) {
     project_events_[p] = kNoEvent;
   }
   const SimTime t = servers_[p].next_transition();
-  if (std::isfinite(t) && t <= sc_.duration) {
+  if (std::isfinite(t)) {
     project_events_[p] = queue_.schedule(t, EventKind::kProjectTransition,
                                          static_cast<std::int64_t>(p));
   }
@@ -387,7 +394,7 @@ void Emulator::schedule_crash_event(SimTime from) {
     crash_event_ = kNoEvent;
   }
   const SimTime t = faults_.next_crash(from);
-  if (std::isfinite(t) && t <= sc_.duration) {
+  if (std::isfinite(t)) {
     crash_event_ = queue_.schedule(t, EventKind::kHostCrash);
   }
 }
@@ -411,9 +418,7 @@ void Emulator::handle_crash() {
   client_.on_availability_change();
   crash_down_until_ = now_ + sc_.faults.crash_reboot_delay;
   pending_crash_ = now_;
-  if (crash_down_until_ <= sc_.duration) {
-    queue_.schedule(crash_down_until_, EventKind::kHostRecover);
-  }
+  queue_.schedule(crash_down_until_, EventKind::kHostRecover);
   schedule_task_event();      // nothing is running now
   schedule_transfer_event();  // link down until reboot completes
 }
@@ -499,7 +504,7 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
     ++metrics_.counters().n_rpcs_lost;
     metrics_.counters().n_jobs_orphaned += n_lost;
     const SimTime retry = client_.on_rpc_lost(now_, p);
-    if (retry < sc_.duration) {
+    if (std::isfinite(retry)) {
       queue_.schedule(retry, EventKind::kRpcDeferral);
     }
     trace_.emit({.at = now_,
@@ -590,10 +595,15 @@ void Emulator::work_fetch_pass() {
 }
 
 EmulationResult Emulator::run() {
-  queue_.schedule(0.0, EventKind::kPoll);
-  schedule_avail_event();
-  for (std::size_t p = 0; p < servers_.size(); ++p) schedule_project_event(p);
-  schedule_crash_event(0.0);  // no-op when the crash channel is off
+  if (!primed_) {
+    queue_.schedule(0.0, EventKind::kPoll);
+    schedule_avail_event();
+    for (std::size_t p = 0; p < servers_.size(); ++p) {
+      schedule_project_event(p);
+    }
+    schedule_crash_event(0.0);  // no-op when the crash channel is off
+    primed_ = true;
+  }
 
   while (true) {
     const SimTime t = std::min(queue_.next_time(), sc_.duration);
@@ -670,6 +680,11 @@ EmulationResult Emulator::run() {
 
     if (need_sched) reschedule();
     if (need_fetch) work_fetch_pass();
+
+    // Inter-event boundary: the drain and the scheduling/fetch passes for
+    // this instant are done, no interval is split. Savestates captured
+    // here are byte-identical to the same boundary of any longer run.
+    if (checkpoint_fn_) checkpoint_fn_(*this);
   }
 
   // Finalize: stop running tasks (without counting preemptions) and build
@@ -719,6 +734,179 @@ EmulationResult Emulator::run() {
   }
   res.rr_cache = client_.rr_cache_stats();
   return res;
+}
+
+namespace {
+
+/// Every Result field is serialized, including the ones copied from the
+/// job class at dispatch: a savestate must not depend on re-deriving them.
+void save_result(StateWriter& w, const Result& r) {
+  w.put_i64("job.id", r.id);
+  w.put_i64("job.project", r.project);
+  w.put_i64("job.class", r.job_class);
+  w.put_f64("job.flops_total", r.flops_total);
+  w.put_f64("job.flops_est", r.flops_est);
+  w.put_f64("job.received", r.received);
+  w.put_f64("job.runnable_at", r.runnable_at);
+  w.put_f64("job.deadline", r.deadline);
+  w.put_f64("job.usage.avg_ncpus", r.usage.avg_ncpus);
+  w.put_u32("job.usage.coproc", static_cast<std::uint32_t>(r.usage.coproc));
+  w.put_f64("job.usage.coproc_usage", r.usage.coproc_usage);
+  w.put_f64("job.ram_bytes", r.ram_bytes);
+  w.put_f64("job.checkpoint_period", r.checkpoint_period);
+  w.put_f64("job.input_bytes", r.input_bytes);
+  w.put_f64("job.output_bytes", r.output_bytes);
+  w.put_bool("job.uploaded", r.uploaded);
+  w.put_f64("job.flops_done", r.flops_done);
+  w.put_f64("job.checkpointed_flops", r.checkpointed_flops);
+  w.put_f64("job.completed_at", r.completed_at);
+  w.put_bool("job.reported", r.reported);
+  w.put_bool("job.running", r.running);
+  w.put_f64("job.run_since_checkpoint", r.run_since_checkpoint);
+  w.put_bool("job.episode_checkpointed", r.episode_checkpointed);
+  w.put_i64("job.slot", r.slot);
+  w.put_f64("job.flops_spent", r.flops_spent);
+  w.put_f64("job.first_started", r.first_started);
+  w.put_f64("job.fail_at_flops", r.fail_at_flops);
+  w.put_bool("job.will_abort", r.will_abort);
+  w.put_bool("job.failed", r.failed);
+  w.put_bool("job.aborted", r.aborted);
+  w.put_f64("job.failed_at", r.failed_at);
+  w.put_bool("job.deadline_endangered", r.deadline_endangered);
+  w.put_f64("job.rr_projected_finish", r.rr_projected_finish);
+  w.put_f64("job.first_projected_finish", r.first_projected_finish);
+  w.put_f64("job.est_correction", r.est_correction);
+}
+
+Result restore_result(StateReader& r) {
+  Result j;
+  j.id = static_cast<JobId>(r.get_i64("job.id"));
+  j.project = static_cast<ProjectId>(r.get_i64("job.project"));
+  j.job_class = static_cast<int>(r.get_i64("job.class"));
+  j.flops_total = r.get_f64("job.flops_total");
+  j.flops_est = r.get_f64("job.flops_est");
+  j.received = r.get_f64("job.received");
+  j.runnable_at = r.get_f64("job.runnable_at");
+  j.deadline = r.get_f64("job.deadline");
+  j.usage.avg_ncpus = r.get_f64("job.usage.avg_ncpus");
+  j.usage.coproc = static_cast<ProcType>(r.get_u32("job.usage.coproc"));
+  j.usage.coproc_usage = r.get_f64("job.usage.coproc_usage");
+  j.ram_bytes = r.get_f64("job.ram_bytes");
+  j.checkpoint_period = r.get_f64("job.checkpoint_period");
+  j.input_bytes = r.get_f64("job.input_bytes");
+  j.output_bytes = r.get_f64("job.output_bytes");
+  j.uploaded = r.get_bool("job.uploaded");
+  j.flops_done = r.get_f64("job.flops_done");
+  j.checkpointed_flops = r.get_f64("job.checkpointed_flops");
+  j.completed_at = r.get_f64("job.completed_at");
+  j.reported = r.get_bool("job.reported");
+  j.running = r.get_bool("job.running");
+  j.run_since_checkpoint = r.get_f64("job.run_since_checkpoint");
+  j.episode_checkpointed = r.get_bool("job.episode_checkpointed");
+  j.slot = static_cast<int>(r.get_i64("job.slot"));
+  j.flops_spent = r.get_f64("job.flops_spent");
+  j.first_started = r.get_f64("job.first_started");
+  j.fail_at_flops = r.get_f64("job.fail_at_flops");
+  j.will_abort = r.get_bool("job.will_abort");
+  j.failed = r.get_bool("job.failed");
+  j.aborted = r.get_bool("job.aborted");
+  j.failed_at = r.get_f64("job.failed_at");
+  j.deadline_endangered = r.get_bool("job.deadline_endangered");
+  j.rr_projected_finish = r.get_f64("job.rr_projected_finish");
+  j.first_projected_finish = r.get_f64("job.first_projected_finish");
+  j.est_correction = r.get_f64("job.est_correction");
+  return j;
+}
+
+}  // namespace
+
+void Emulator::save_state(StateWriter& w) const {
+  w.put_f64("emu.now", now_);
+  w.put_i64("emu.next_job_id", next_job_id_);
+  rng_.save_state(w, "emu.rng");
+  avail_.save_state(w);
+  faults_.save_state(w);
+  counters_.save_state(w);
+  client_.save_state(w);
+  w.put_count("emu.servers", servers_.size());
+  for (const ProjectServer& s : servers_) s.save_state(w);
+  queue_.save_state(w);
+  w.put_count("emu.jobs", jobs_.size());
+  for (const auto& jp : jobs_) save_result(w, *jp);
+  w.put_count("emu.active", active_.size());
+  for (const Result* r : active_) w.put_i64("emu.active_job", r->id);
+  w.put_u64("emu.task_event", task_event_);
+  w.put_u64("emu.avail_event", avail_event_);
+  w.put_u64("emu.transfer_event", transfer_event_);
+  w.put_u64("emu.crash_event", crash_event_);
+  w.put_count("emu.project_events", project_events_.size());
+  for (const EventHandle h : project_events_) {
+    w.put_u64("emu.project_event", h);
+  }
+  w.put_f64("emu.crash_down_until", crash_down_until_);
+  w.put_f64("emu.pending_crash", pending_crash_);
+  metrics_.save_state(w);
+  timeline_.save_state(w);
+  for (const auto t : kAllProcTypes) {
+    w.put_count("emu.slots", slot_used_[t].size());
+    for (const bool used : slot_used_[t]) w.put_bool("emu.slot_used", used);
+  }
+}
+
+void Emulator::restore_state(StateReader& r) {
+  now_ = r.get_f64("emu.now");
+  next_job_id_ = static_cast<JobId>(r.get_i64("emu.next_job_id"));
+  rng_.restore_state(r, "emu.rng");
+  avail_.restore_state(r);
+  faults_.restore_state(r);
+  counters_.restore_state(r);
+  client_.restore_state(r);
+  const std::uint64_t ns = r.get_count("emu.servers");
+  assert(ns == servers_.size());
+  (void)ns;
+  for (ProjectServer& s : servers_) s.restore_state(r);
+  queue_.restore_state(r);
+  const std::uint64_t nj = r.get_count("emu.jobs");
+  jobs_.clear();
+  jobs_.reserve(nj);
+  for (std::uint64_t i = 0; i < nj; ++i) {
+    jobs_.push_back(std::make_unique<Result>(restore_result(r)));
+    // Job ids are allocated sequentially, so the id indexes jobs_.
+    assert(jobs_.back()->id == static_cast<JobId>(i));
+  }
+  const std::uint64_t na = r.get_count("emu.active");
+  active_.clear();
+  active_.reserve(na);
+  for (std::uint64_t i = 0; i < na; ++i) {
+    const auto id = static_cast<std::size_t>(r.get_i64("emu.active_job"));
+    active_.push_back(jobs_[id].get());
+  }
+  task_event_ = r.get_u64("emu.task_event");
+  avail_event_ = r.get_u64("emu.avail_event");
+  transfer_event_ = r.get_u64("emu.transfer_event");
+  crash_event_ = r.get_u64("emu.crash_event");
+  const std::uint64_t np = r.get_count("emu.project_events");
+  assert(np == project_events_.size());
+  (void)np;
+  for (EventHandle& h : project_events_) h = r.get_u64("emu.project_event");
+  crash_down_until_ = r.get_f64("emu.crash_down_until");
+  pending_crash_ = r.get_f64("emu.pending_crash");
+  metrics_.restore_state(r);
+  timeline_.restore_state(r);
+  for (const auto t : kAllProcTypes) {
+    const std::uint64_t nslots = r.get_count("emu.slots");
+    slot_used_[t].assign(nslots, false);
+    for (std::uint64_t i = 0; i < nslots; ++i) {
+      slot_used_[t][i] = r.get_bool("emu.slot_used");
+    }
+  }
+  // The restored queue already holds the live events; run() must resume
+  // the loop, not re-prime t=0 events.
+  primed_ = true;
+  // A restore legitimately rewinds the auditor's monotonic history.
+  if (audit_ != nullptr) {
+    audit_->on_state_restored(now_, client_.state_version());
+  }
 }
 
 }  // namespace bce

@@ -18,8 +18,10 @@
 /// bce::policy_registry()).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "client/client_runtime.hpp"
@@ -112,6 +114,29 @@ class Emulator {
   /// objects).
   [[nodiscard]] const ClientRuntime& client() const { return client_; }
 
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const Scenario& scenario() const { return sc_; }
+  [[nodiscard]] const EmulationOptions& options() const { return opt_; }
+
+  /// Install a checkpoint hook, fired at the end of every main-loop
+  /// iteration — after the event drain and the reschedule/work-fetch
+  /// passes, i.e. at an inter-event boundary where no interval is split.
+  /// State at such a boundary is identical across runs of any duration
+  /// beyond it (event scheduling is duration-independent), which is what
+  /// makes savestates byte-exact (docs/savestate.md). The hook decides
+  /// when to capture (one-shot save, periodic bisection checkpoints, ...).
+  void set_checkpoint_hook(std::function<void(Emulator&)> fn) {
+    checkpoint_fn_ = std::move(fn);
+  }
+
+  /// Savestate support (docs/savestate.md): serialize/overwrite every
+  /// piece of mutable emulation state. Construct the Emulator from the
+  /// same scenario (the file layer fingerprints it) — possibly with a
+  /// different duration — then restore_state and run(): the run resumes
+  /// the main loop at the restored clock instead of re-priming t=0 events.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   // Main-loop helpers --------------------------------------------------
   void advance_to(SimTime t);
@@ -189,6 +214,11 @@ class Emulator {
   MetricsCollector metrics_;
   Timeline timeline_;
   PerProc<std::vector<bool>> slot_used_;
+
+  /// True once the t=0 events exist — set by run()'s priming block and by
+  /// restore_state (a restored queue already holds the live events).
+  bool primed_ = false;
+  std::function<void(Emulator&)> checkpoint_fn_;
 
   // Scratch -------------------------------------------------------------
   std::vector<PerProc<double>> used_inst_secs_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 double Metrics::weighted_score(const MetricWeights& w) const {
@@ -125,6 +127,63 @@ Metrics MetricsCollector::finalize(const std::vector<const Result*>& all_jobs,
     m_.share_violation_rms = std::sqrt(sq / static_cast<double>(shares_.size()));
   }
   return m_;
+}
+
+void MetricsCollector::save_state(StateWriter& w) const {
+  w.put_f64("metrics.available_flops", m_.available_flops);
+  w.put_f64("metrics.used_flops", m_.used_flops);
+  w.put_f64("metrics.wasted_flops", m_.wasted_flops);
+  w.put_i64("metrics.n_rpcs", m_.n_rpcs);
+  w.put_i64("metrics.n_work_request_rpcs", m_.n_work_request_rpcs);
+  w.put_i64("metrics.n_jobs_fetched", m_.n_jobs_fetched);
+  w.put_i64("metrics.n_jobs_completed", m_.n_jobs_completed);
+  w.put_i64("metrics.n_jobs_missed", m_.n_jobs_missed);
+  w.put_i64("metrics.n_preemptions", m_.n_preemptions);
+  w.put_i64("metrics.n_sched_passes", m_.n_sched_passes);
+  w.put_f64("metrics.failure_wasted_flops", m_.failure_wasted_flops);
+  w.put_f64("metrics.recovery_time_sum", m_.recovery_time_sum);
+  w.put_i64("metrics.n_job_failures", m_.n_job_failures);
+  w.put_i64("metrics.n_job_aborts", m_.n_job_aborts);
+  w.put_i64("metrics.n_host_crashes", m_.n_host_crashes);
+  w.put_i64("metrics.n_crash_recoveries", m_.n_crash_recoveries);
+  w.put_i64("metrics.n_rpcs_lost", m_.n_rpcs_lost);
+  w.put_i64("metrics.n_jobs_orphaned", m_.n_jobs_orphaned);
+  w.put_i64("metrics.n_transfer_retries", m_.n_transfer_retries);
+  w.put_count("metrics.used_per_project", used_per_project_.size());
+  for (const double u : used_per_project_) w.put_f64("metrics.used", u);
+  w.put_i64("metrics.streak_project", streak_project_);
+  w.put_f64("metrics.streak_len", streak_len_);
+  w.put_f64("metrics.streak_len_sum", streak_len_sum_);
+  w.put_f64("metrics.streak_len_sq_sum", streak_len_sq_sum_);
+}
+
+void MetricsCollector::restore_state(StateReader& r) {
+  m_.available_flops = r.get_f64("metrics.available_flops");
+  m_.used_flops = r.get_f64("metrics.used_flops");
+  m_.wasted_flops = r.get_f64("metrics.wasted_flops");
+  m_.n_rpcs = r.get_i64("metrics.n_rpcs");
+  m_.n_work_request_rpcs = r.get_i64("metrics.n_work_request_rpcs");
+  m_.n_jobs_fetched = r.get_i64("metrics.n_jobs_fetched");
+  m_.n_jobs_completed = r.get_i64("metrics.n_jobs_completed");
+  m_.n_jobs_missed = r.get_i64("metrics.n_jobs_missed");
+  m_.n_preemptions = r.get_i64("metrics.n_preemptions");
+  m_.n_sched_passes = r.get_i64("metrics.n_sched_passes");
+  m_.failure_wasted_flops = r.get_f64("metrics.failure_wasted_flops");
+  m_.recovery_time_sum = r.get_f64("metrics.recovery_time_sum");
+  m_.n_job_failures = r.get_i64("metrics.n_job_failures");
+  m_.n_job_aborts = r.get_i64("metrics.n_job_aborts");
+  m_.n_host_crashes = r.get_i64("metrics.n_host_crashes");
+  m_.n_crash_recoveries = r.get_i64("metrics.n_crash_recoveries");
+  m_.n_rpcs_lost = r.get_i64("metrics.n_rpcs_lost");
+  m_.n_jobs_orphaned = r.get_i64("metrics.n_jobs_orphaned");
+  m_.n_transfer_retries = r.get_i64("metrics.n_transfer_retries");
+  const std::uint64_t n = r.get_count("metrics.used_per_project");
+  (void)n;
+  for (double& u : used_per_project_) u = r.get_f64("metrics.used");
+  streak_project_ = static_cast<ProjectId>(r.get_i64("metrics.streak_project"));
+  streak_len_ = r.get_f64("metrics.streak_len");
+  streak_len_sum_ = r.get_f64("metrics.streak_len_sum");
+  streak_len_sq_sum_ = r.get_f64("metrics.streak_len_sq_sum");
 }
 
 }  // namespace bce

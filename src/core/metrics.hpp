@@ -31,6 +31,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 struct MetricWeights {
   double idle = 1.0;
   double wasted = 1.0;
@@ -155,6 +158,13 @@ class MetricsCollector {
   /// monotony. \p now is the end of the emulation (deadline comparisons
   /// for unfinished jobs).
   Metrics finalize(const std::vector<const Result*>& all_jobs, SimTime now);
+
+  /// Savestate support (docs/savestate.md): serializes the raw metric
+  /// accumulators, the per-project usage totals, and the open exclusive
+  /// streak, so a restored run finalizes to bitwise-identical figures of
+  /// merit. Host and shares are reconstructed from the scenario.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   void close_streak();

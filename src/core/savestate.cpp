@@ -1,0 +1,204 @@
+#include "core/savestate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "core/scenario_io.hpp"
+
+namespace bce {
+
+namespace {
+
+/// Header layout: magic[8] + u32 version + u64 fingerprint + u64 payload
+/// length; a u64 FNV-1a of the payload trails the payload.
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const Scenario& scenario,
+                                   const PolicyConfig& policy) {
+  // The text serialization is the canonical scenario identity (it
+  // round-trips); zero the duration so savestates transfer across sweep
+  // points that differ only in horizon.
+  Scenario sc = scenario;
+  sc.duration = 0.0;
+  const std::string text = serialize_scenario(sc);
+  std::uint64_t h = fnv1a64_bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  // Fold in every policy knob that steers scheduling decisions.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "|%s|%s|%d|%d|%.17g|%d|%d|%d",
+                policy.selected_sched_name().c_str(),
+                policy.selected_fetch_name().c_str(),
+                static_cast<int>(policy.endangered_order),
+                static_cast<int>(policy.transfer_order), policy.rec_half_life,
+                policy.server_deadline_check ? 1 : 0,
+                policy.fetch_deadline_suppression ? 1 : 0,
+                policy.use_duration_correction ? 1 : 0);
+  return fnv1a64_bytes(reinterpret_cast<const std::uint8_t*>(buf),
+                       std::strlen(buf), h);
+}
+
+std::vector<std::uint8_t> capture_savestate(const Emulator& em) {
+  StateWriter w;
+  em.save_state(w);
+  const std::vector<std::uint8_t>& payload = w.payload();
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size() + 8);
+  frame.insert(frame.end(), kSavestateMagic, kSavestateMagic + 8);
+  append_u32(frame, kSavestateVersion);
+  append_u64(frame, scenario_fingerprint(em.scenario(), em.options().policy));
+  append_u64(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  append_u64(frame, fnv1a64_bytes(payload.data(), payload.size()));
+  return frame;
+}
+
+void restore_savestate(Emulator& em, const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kHeaderSize) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "file shorter than the savestate header");
+  }
+  if (std::memcmp(frame.data(), kSavestateMagic, 8) != 0) {
+    throw SavestateError(SavestateErrc::kBadMagic,
+                         "not a savestate file (bad magic)");
+  }
+  const std::uint32_t version = read_u32(frame.data() + 8);
+  if (version != kSavestateVersion) {
+    throw SavestateError(
+        SavestateErrc::kBadVersion,
+        "format version " + std::to_string(version) + ", this build reads " +
+            std::to_string(kSavestateVersion));
+  }
+  const std::uint64_t fp = read_u64(frame.data() + 12);
+  const std::uint64_t want =
+      scenario_fingerprint(em.scenario(), em.options().policy);
+  if (fp != want) {
+    throw SavestateError(SavestateErrc::kScenarioMismatch,
+                         "saved under a different scenario/policy");
+  }
+  const std::uint64_t payload_len = read_u64(frame.data() + 20);
+  if (frame.size() < kHeaderSize + payload_len + 8) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "file shorter than its header claims");
+  }
+  const std::uint8_t* payload = frame.data() + kHeaderSize;
+  const std::uint64_t sum =
+      read_u64(payload + payload_len);
+  if (fnv1a64_bytes(payload, payload_len) != sum) {
+    throw SavestateError(SavestateErrc::kCorrupt,
+                         "payload checksum mismatch");
+  }
+  StateReader r(std::vector<std::uint8_t>(payload, payload + payload_len));
+  em.restore_state(r);
+  if (!r.at_end()) {
+    throw SavestateError(SavestateErrc::kFieldMismatch,
+                         "trailing payload bytes after the last field");
+  }
+}
+
+void write_savestate_file(const std::string& path,
+                          const std::vector<std::uint8_t>& frame) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw SavestateError(SavestateErrc::kIo, "cannot open " + path);
+  }
+  const std::size_t n = std::fwrite(frame.data(), 1, frame.size(), f);
+  const bool ok = n == frame.size() && std::fclose(f) == 0;
+  if (!ok) {
+    throw SavestateError(SavestateErrc::kIo, "short write to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_savestate_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SavestateError(SavestateErrc::kIo, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> frame;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    frame.insert(frame.end(), buf, buf + n);
+  }
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) {
+    throw SavestateError(SavestateErrc::kIo, "read error on " + path);
+  }
+  return frame;
+}
+
+std::vector<StateWriter::Entry> savestate_entries(const Emulator& em) {
+  StateWriter w;
+  w.record_entries(true);
+  em.save_state(w);
+  return w.entries();
+}
+
+std::vector<EmulationResult> run_duration_chain(
+    const Scenario& scenario, const EmulationOptions& options,
+    const std::vector<Duration>& durations) {
+  std::vector<std::size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return durations[a] < durations[b];
+  });
+
+  std::vector<EmulationResult> results(durations.size());
+  std::vector<std::uint8_t> prev;  // savestate from the previous duration
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Scenario sc = scenario;
+    sc.duration = durations[order[k]];
+    Emulator em(sc, options);
+    if (!prev.empty()) restore_savestate(em, prev);
+
+    // Arm a one-shot capture near this run's end for the next (longer)
+    // run. Poll events recur every poll_period, so a boundary always lands
+    // within the window [duration - 2 * poll, duration).
+    std::vector<std::uint8_t> next;
+    if (k + 1 < order.size()) {
+      const SimTime save_at =
+          std::max(em.now(), sc.duration - 2.0 * sc.prefs.poll_period);
+      bool captured = false;
+      em.set_checkpoint_hook([&next, &captured, save_at](Emulator& e) {
+        if (!captured && e.now() + kFpEpsilon >= save_at) {
+          next = capture_savestate(e);
+          captured = true;
+        }
+      });
+    }
+    results[order[k]] = em.run();
+    if (!next.empty()) prev = std::move(next);
+  }
+  return results;
+}
+
+}  // namespace bce

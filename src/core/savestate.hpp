@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file savestate.hpp
+/// Emulator savestates: snapshot the *entire* mutable emulation state at an
+/// inter-event boundary and restore it into a freshly constructed Emulator,
+/// byte-identically (docs/savestate.md).
+///
+/// The correctness bar is strict: save -> restore -> continue must produce
+/// traces, metrics, and job states bitwise equal to the uninterrupted run.
+/// Two properties make that possible:
+///  * snapshots are only captured via Emulator::set_checkpoint_hook, which
+///    fires between events — never inside an interval, where splitting the
+///    `rate * dt` accumulation would change floating-point results;
+///  * event scheduling is duration-independent (the emulator schedules
+///    events past the scenario end instead of filtering them), so the state
+///    at a boundary does not depend on how long the run will be — which is
+///    what lets a short run's savestate warm-start a longer one.
+///
+/// File format: an 8-byte magic, the format version, a fingerprint of
+/// (scenario minus duration, policy), the payload length, the StateWriter
+/// payload, and a trailing FNV-1a checksum of the payload. Every rejection
+/// path throws SavestateError with a distinct SavestateErrc, which `bce run
+/// --load-state` maps to distinct exit codes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/policy.hpp"
+#include "core/emulator.hpp"
+#include "model/scenario.hpp"
+#include "sim/state_io.hpp"
+
+namespace bce {
+
+/// File magic, first 8 bytes of every savestate file.
+inline constexpr char kSavestateMagic[8] = {'B', 'C', 'E', 'S',
+                                            'T', 'A', 'T', 'E'};
+
+/// Fingerprint of everything a savestate implicitly depends on but does not
+/// serialize: the scenario (with the duration zeroed out — savestates
+/// transfer across durations by design) and the policy selection. Two runs
+/// may exchange savestates iff their fingerprints match.
+std::uint64_t scenario_fingerprint(const Scenario& scenario,
+                                   const PolicyConfig& policy);
+
+/// Snapshot \p em into a framed byte buffer (magic + version + fingerprint
+/// + payload + checksum). Capture only from a checkpoint hook (or before
+/// run()); capturing mid-interval is not representable.
+std::vector<std::uint8_t> capture_savestate(const Emulator& em);
+
+/// Validate \p frame and overwrite \p em's state with it. \p em must be
+/// freshly constructed from a scenario whose fingerprint matches the
+/// frame's (duration may differ). Throws SavestateError: kBadMagic /
+/// kBadVersion / kTruncated / kCorrupt / kScenarioMismatch on framing
+/// problems, kFieldMismatch when the payload's field sequence disagrees
+/// with this build.
+void restore_savestate(Emulator& em, const std::vector<std::uint8_t>& frame);
+
+/// Write/read a framed savestate to/from disk. Throw SavestateError(kIo)
+/// on filesystem failure; read performs no validation beyond I/O (pass the
+/// result to restore_savestate).
+void write_savestate_file(const std::string& path,
+                          const std::vector<std::uint8_t>& frame);
+std::vector<std::uint8_t> read_savestate_file(const std::string& path);
+
+/// Snapshot \p em recording one printable (name, value) entry per field —
+/// the diffable form `bce determinism --bisect` dumps for the two divergent
+/// states, and the inventory the `savestate-docs` lint check audits against
+/// docs/savestate.md.
+std::vector<StateWriter::Entry> savestate_entries(const Emulator& em);
+
+/// Run the same (scenario, options) at each duration, warm-starting each
+/// run from a savestate captured near the previous (shorter) duration's
+/// end: durations are processed in ascending order, each run arms a
+/// one-shot checkpoint hook at the first boundary at or after
+/// `duration - 2 * poll_period`, and the next run restores that snapshot
+/// instead of replaying from t = 0. Results are returned in the *input*
+/// order and are byte-identical to cold runs (tests/test_savestate.cpp);
+/// bench::run_grid uses this to collapse shared scenario prefixes.
+std::vector<EmulationResult> run_duration_chain(
+    const Scenario& scenario, const EmulationOptions& options,
+    const std::vector<Duration>& durations);
+
+}  // namespace bce

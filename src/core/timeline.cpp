@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 void Timeline::record(ProcType type, int slot, SimTime t0, SimTime t1,
@@ -58,6 +60,34 @@ void Timeline::write_csv(std::ostream& os) const {
   for (const auto& s : spans_) {
     os << proc_name(s.type) << ',' << s.slot << ',' << s.t0 << ',' << s.t1
        << ',' << s.project << ',' << s.job << '\n';
+  }
+}
+
+void Timeline::save_state(StateWriter& w) const {
+  w.put_count("timeline.spans", spans_.size());
+  for (const TimelineSpan& s : spans_) {
+    w.put_u32("timeline.type", static_cast<std::uint32_t>(s.type));
+    w.put_i64("timeline.slot", s.slot);
+    w.put_f64("timeline.t0", s.t0);
+    w.put_f64("timeline.t1", s.t1);
+    w.put_i64("timeline.project", s.project);
+    w.put_i64("timeline.job", s.job);
+  }
+}
+
+void Timeline::restore_state(StateReader& r) {
+  const std::uint64_t n = r.get_count("timeline.spans");
+  spans_.clear();
+  spans_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TimelineSpan s;
+    s.type = static_cast<ProcType>(r.get_u32("timeline.type"));
+    s.slot = static_cast<int>(r.get_i64("timeline.slot"));
+    s.t0 = r.get_f64("timeline.t0");
+    s.t1 = r.get_f64("timeline.t1");
+    s.project = static_cast<ProjectId>(r.get_i64("timeline.project"));
+    s.job = static_cast<JobId>(r.get_i64("timeline.job"));
+    spans_.push_back(s);
   }
 }
 

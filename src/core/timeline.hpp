@@ -16,6 +16,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 struct TimelineSpan {
   ProcType type = ProcType::kCpu;
   int slot = 0;  ///< instance index within the type
@@ -45,6 +48,12 @@ class Timeline {
   void write_csv(std::ostream& os) const;
 
   void clear() { spans_.clear(); }
+
+  /// Savestate support (docs/savestate.md): the recorded spans are
+  /// serialized verbatim so a restored run's chart/CSV matches an
+  /// uninterrupted one.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   HostInfo host_;

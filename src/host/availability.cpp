@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "sim/distribution.hpp"
+#include "sim/state_io.hpp"
 
 namespace bce {
 
@@ -197,6 +198,34 @@ void HostAvailability::advance_to(SimTime now) {
   host_on_.advance_to(now);
   gpu_allowed_.advance_to(now);
   network_.advance_to(now);
+}
+
+void OnOffProcess::save_state(StateWriter& w, const std::string& name) const {
+  rng_.save_state(w, (name + ".rng").c_str());
+  w.put_bool((name + ".on").c_str(), on_);
+  w.put_f64((name + ".next_flip").c_str(), next_flip_);
+  w.put_u64((name + ".trace_pos").c_str(),
+            static_cast<std::uint64_t>(trace_pos_));
+}
+
+void OnOffProcess::restore_state(StateReader& r, const std::string& name) {
+  rng_.restore_state(r, (name + ".rng").c_str());
+  on_ = r.get_bool((name + ".on").c_str());
+  next_flip_ = r.get_f64((name + ".next_flip").c_str());
+  trace_pos_ =
+      static_cast<std::size_t>(r.get_u64((name + ".trace_pos").c_str()));
+}
+
+void HostAvailability::save_state(StateWriter& w) const {
+  host_on_.save_state(w, "avail.host_on");
+  gpu_allowed_.save_state(w, "avail.gpu");
+  network_.save_state(w, "avail.net");
+}
+
+void HostAvailability::restore_state(StateReader& r) {
+  host_on_.restore_state(r, "avail.host_on");
+  gpu_allowed_.restore_state(r, "avail.gpu");
+  network_.restore_state(r, "avail.net");
 }
 
 const OnOffProcess& HostAvailability::channel(AvailChannel c) const {

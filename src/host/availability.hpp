@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -116,6 +117,12 @@ class OnOffProcess {
 
   [[nodiscard]] const OnOffSpec& spec() const { return spec_; }
 
+  /// Savestate support (docs/savestate.md): the spec is reconstructed from
+  /// the scenario; only the realization (stream position, phase) is
+  /// serialized. \p name prefixes the field names.
+  void save_state(StateWriter& w, const std::string& name) const;
+  void restore_state(StateReader& r, const std::string& name);
+
  private:
   void schedule_next(SimTime from);
   [[nodiscard]] double sample_period(double mean);
@@ -161,6 +168,10 @@ class HostAvailability {
   void advance_to(SimTime now);
 
   [[nodiscard]] const OnOffProcess& channel(AvailChannel c) const;
+
+  /// Savestate support: delegates to the three channel processes.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   OnOffProcess host_on_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/distribution.hpp"
+#include "sim/state_io.hpp"
 
 namespace bce {
 
@@ -164,6 +165,47 @@ RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
   }
   in_progress_ += static_cast<int>(reply.jobs.size());
   return reply;
+}
+
+void ProjectServer::save_state(StateWriter& w) const {
+  rng_.save_state(w, "server.rng");
+  up_.save_state(w, "server.up");
+  w.put_count("server.classes", class_avail_.size());
+  for (const OnOffProcess& p : class_avail_) {
+    p.save_state(w, "server.class_avail");
+  }
+  w.put_i64("server.jobs_dispatched", jobs_dispatched_);
+  w.put_i64("server.in_progress", in_progress_);
+  w.put_i64("server.jobs_reclaimed", jobs_reclaimed_);
+  w.put_u64("server.next_class_hint", next_class_hint_);
+  w.put_count("server.orphans", orphans_.size());
+  for (const Orphan& o : orphans_) {
+    w.put_f64("server.orphan.reclaim_at", o.reclaim_at);
+    w.put_i64("server.orphan.n", o.n);
+  }
+}
+
+void ProjectServer::restore_state(StateReader& r) {
+  rng_.restore_state(r, "server.rng");
+  up_.restore_state(r, "server.up");
+  const std::uint64_t nc = r.get_count("server.classes");
+  (void)nc;
+  for (OnOffProcess& p : class_avail_) {
+    p.restore_state(r, "server.class_avail");
+  }
+  jobs_dispatched_ = r.get_i64("server.jobs_dispatched");
+  in_progress_ = static_cast<int>(r.get_i64("server.in_progress"));
+  jobs_reclaimed_ = r.get_i64("server.jobs_reclaimed");
+  next_class_hint_ = static_cast<std::size_t>(r.get_u64("server.next_class_hint"));
+  const std::uint64_t no = r.get_count("server.orphans");
+  orphans_.clear();
+  orphans_.reserve(no);
+  for (std::uint64_t i = 0; i < no; ++i) {
+    Orphan o{};
+    o.reclaim_at = r.get_f64("server.orphan.reclaim_at");
+    o.n = static_cast<int>(r.get_i64("server.orphan.n"));
+    orphans_.push_back(o);
+  }
 }
 
 }  // namespace bce

@@ -76,6 +76,13 @@ class ProjectServer {
   /// Total jobs ever dispatched (stats).
   [[nodiscard]] std::int64_t jobs_dispatched() const { return jobs_dispatched_; }
 
+  /// Savestate support (docs/savestate.md): config and policy are
+  /// reconstructed from the scenario; serialized state is the RNG stream,
+  /// the up/down and per-class availability realizations, the in-progress
+  /// and orphaned-slot bookkeeping, and the dispatch counters.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   /// Make one job instance from class \p class_idx at time \p now.
   Result make_job(SimTime now, int class_idx, JobId id);

@@ -111,6 +111,19 @@ void InvariantAuditor::check_state_version(std::uint64_t version) {
   ++checks_run_;
 }
 
+void InvariantAuditor::check_cache_not_stale(std::uint64_t cached_version,
+                                             std::uint64_t state_version) {
+  if (cached_version > state_version) {
+    fail(describe("RR-sim memo is from a newer state than the caller: "
+                  "cached version %llu > state_version %llu; a savestate "
+                  "restore rewound the version without invalidating the "
+                  "memo",
+                  static_cast<unsigned long long>(cached_version),
+                  static_cast<unsigned long long>(state_version)));
+  }
+  ++checks_run_;
+}
+
 void InvariantAuditor::check_rr_output(const RrSimOutput& rr,
                                        const HostInfo& host,
                                        const Preferences& prefs, SimTime now) {

@@ -81,6 +81,14 @@ class InvariantAuditor {
   /// would let a stale simulation satisfy a newer state.
   void check_state_version(std::uint64_t version);
 
+  /// A memoized RR-sim result must never come from a *newer* state than
+  /// the one asking for it. This can only happen when a savestate restore
+  /// rewinds state_version but fails to invalidate the memo
+  /// (docs/savestate.md); RrSim::run_cached calls this before serving a
+  /// hit so the stale-cache bug faults at the decision point.
+  void check_cache_not_stale(std::uint64_t cached_version,
+                             std::uint64_t state_version);
+
   /// Post-conditions of one RR-sim run at \p now: SHORTFALL(T) >= 0,
   /// 0 <= SAT(T) <= span, idle_instances_now within [0, count], and
   /// busy + shortfall instance-seconds == count * max_queue (capacity
@@ -103,6 +111,16 @@ class InvariantAuditor {
     last_event_at_ = -kNever;
     last_state_version_ = 0;
     has_version_ = false;
+  }
+
+  /// Rebase monotonicity history after a savestate restore: the restored
+  /// run legitimately resumes at (\p now, \p state_version), which must
+  /// not be flagged as a regression against whatever this auditor saw
+  /// before the restore.
+  void on_state_restored(SimTime now, std::uint64_t state_version) {
+    last_event_at_ = now;
+    last_state_version_ = state_version;
+    has_version_ = true;
   }
 
  private:

@@ -59,6 +59,14 @@ class DecayingAverage {
     last_update_ = now;
   }
 
+  /// Savestate support (docs/savestate.md): owners serialize the raw
+  /// accumulator pair; the half-life is reconstructed from configuration.
+  [[nodiscard]] SimTime last_update() const { return last_update_; }
+  void restore(double value, SimTime last_update) {
+    value_ = value;
+    last_update_ = last_update;
+  }
+
  private:
   double half_life_;
   double value_ = 0.0;

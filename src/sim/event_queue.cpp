@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 EventHandle EventQueue::schedule(SimTime at, EventKind kind,
@@ -66,6 +68,47 @@ Event EventQueue::pop() {
   --live_;
   if (auditor_ != nullptr) auditor_->check_event_monotonic(ev.at);
   return ev;
+}
+
+void EventQueue::save_state(StateWriter& w) const {
+  // Compact on save: drop tombstones and write the live set in the total
+  // (time, handle) order. The on-disk form is canonical — two queues with
+  // the same live set serialize identically regardless of heap layout or
+  // cancellation history.
+  std::vector<Event> live_events;
+  live_events.reserve(live_);
+  for (const Event& ev : heap_) {
+    if (is_live(ev.handle)) live_events.push_back(ev);
+  }
+  std::sort(live_events.begin(), live_events.end(), before);
+  w.put_u64("queue.next_handle", next_handle_);
+  w.put_count("queue.events", live_events.size());
+  for (const Event& ev : live_events) {
+    w.put_f64("queue.event.at", ev.at);
+    w.put_u32("queue.event.kind", static_cast<std::uint32_t>(ev.kind));
+    w.put_i64("queue.event.payload", ev.payload);
+    w.put_u64("queue.event.handle", ev.handle);
+  }
+}
+
+void EventQueue::restore_state(StateReader& r) {
+  next_handle_ = r.get_u64("queue.next_handle");
+  const std::uint64_t n = r.get_count("queue.events");
+  heap_.clear();
+  heap_.reserve(n);
+  live_bits_.assign((next_handle_ + 62) / 64, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event ev;
+    ev.at = r.get_f64("queue.event.at");
+    ev.kind = static_cast<EventKind>(r.get_u32("queue.event.kind"));
+    ev.payload = r.get_i64("queue.event.payload");
+    ev.handle = r.get_u64("queue.event.handle");
+    heap_.push_back(ev);
+    const std::uint64_t idx = ev.handle - 1;
+    live_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_cmp);
+  live_ = heap_.size();
 }
 
 }  // namespace bce

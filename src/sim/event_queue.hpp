@@ -23,6 +23,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 /// Opaque handle to a scheduled event; used to cancel it.
 using EventHandle = std::uint64_t;
 
@@ -85,6 +88,13 @@ class EventQueue {
   /// Install a debug auditor (non-owning, may be nullptr): every pop()
   /// then re-checks that event timestamps leave the queue monotonically.
   void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
+
+  /// Savestate support (docs/savestate.md): live events are written
+  /// compacted — tombstones dropped, (time, handle)-sorted — plus the
+  /// handle allocator, so a restored queue reproduces pop order and future
+  /// handle numbering exactly. Handles of already-dead events stay dead.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   /// Heap order: earliest time first; ties break FIFO by handle (handles

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/state_io.hpp"
+
 namespace bce {
 namespace {
 
@@ -91,6 +93,18 @@ SimTime FaultInjector::next_crash(SimTime from) {
 bool FaultInjector::rpc_reply_lost() {
   if (plan_.rpc_loss_rate <= 0.0) return false;
   return rpc_rng_.uniform01() < plan_.rpc_loss_rate;
+}
+
+void FaultInjector::save_state(StateWriter& w) const {
+  job_rng_.save_state(w, "fault.job_rng");
+  crash_rng_.save_state(w, "fault.crash_rng");
+  rpc_rng_.save_state(w, "fault.rpc_rng");
+}
+
+void FaultInjector::restore_state(StateReader& r) {
+  job_rng_.restore_state(r, "fault.job_rng");
+  crash_rng_.restore_state(r, "fault.crash_rng");
+  rpc_rng_.restore_state(r, "fault.rpc_rng");
 }
 
 }  // namespace bce

@@ -117,6 +117,11 @@ class FaultInjector {
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+  /// Savestate support (docs/savestate.md): the plan is reconstructed from
+  /// the scenario; only the three channel stream positions are serialized.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   FaultPlan plan_;
   Xoshiro256 job_rng_{0};

@@ -1,5 +1,9 @@
 #include "sim/rng.hpp"
 
+#include <string>
+
+#include "sim/state_io.hpp"
+
 namespace bce {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -63,6 +67,29 @@ std::uint64_t Xoshiro256::below(std::uint64_t n) {
 Xoshiro256 Xoshiro256::fork(std::string_view label) {
   std::uint64_t mix = (*this)() ^ hash_label(label);
   return Xoshiro256(splitmix64(mix));
+}
+
+void Xoshiro256::save_state(StateWriter& w, const char* name) const {
+  // One field per state word: "<name>.s0" .. "<name>.s3". The composed
+  // name is hashed for the wire tag, so sibling streams cannot be swapped
+  // undetected on restore.
+  std::string field(name);
+  field += ".s0";
+  const std::size_t digit = field.size() - 1;
+  for (int i = 0; i < 4; ++i) {
+    field[digit] = static_cast<char>('0' + i);
+    w.put_u64(field.c_str(), s_[i]);
+  }
+}
+
+void Xoshiro256::restore_state(StateReader& r, const char* name) {
+  std::string field(name);
+  field += ".s0";
+  const std::size_t digit = field.size() - 1;
+  for (int i = 0; i < 4; ++i) {
+    field[digit] = static_cast<char>('0' + i);
+    s_[i] = r.get_u64(field.c_str());
+  }
 }
 
 }  // namespace bce

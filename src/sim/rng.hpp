@@ -14,6 +14,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 /// implementation re-expressed in C++). Fast, 256-bit state, passes BigCrush.
 /// Satisfies the C++ UniformRandomBitGenerator concept so it can drive
@@ -45,6 +48,12 @@ class Xoshiro256 {
   /// derivation so distinct subsystems get distinct streams even when forked
   /// in different orders.
   Xoshiro256 fork(std::string_view label);
+
+  /// Serialize / restore the four state words (savestate support,
+  /// docs/savestate.md). \p name prefixes the field names so sibling
+  /// streams stay distinguishable in the field inventory.
+  void save_state(StateWriter& w, const char* name) const;
+  void restore_state(StateReader& r, const char* name);
 
  private:
   std::uint64_t s_[4];

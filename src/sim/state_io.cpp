@@ -1,0 +1,215 @@
+#include "sim/state_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bce {
+
+namespace {
+
+// Type codes on the wire. Never reorder — bump kSavestateVersion instead.
+constexpr std::uint8_t kTyBool = 1;
+constexpr std::uint8_t kTyU32 = 2;
+constexpr std::uint8_t kTyU64 = 3;
+constexpr std::uint8_t kTyI64 = 4;
+constexpr std::uint8_t kTyF64 = 5;
+constexpr std::uint8_t kTyCount = 6;
+
+const char* type_name(std::uint8_t t) {
+  switch (t) {
+    case kTyBool: return "bool";
+    case kTyU32: return "u32";
+    case kTyU64: return "u64";
+    case kTyI64: return "i64";
+    case kTyF64: return "f64";
+    case kTyCount: return "count";
+    default: return "?";
+  }
+}
+
+std::string f64_repr(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* savestate_errc_name(SavestateErrc c) {
+  switch (c) {
+    case SavestateErrc::kIo: return "io";
+    case SavestateErrc::kBadMagic: return "bad_magic";
+    case SavestateErrc::kBadVersion: return "bad_version";
+    case SavestateErrc::kTruncated: return "truncated";
+    case SavestateErrc::kCorrupt: return "corrupt";
+    case SavestateErrc::kFieldMismatch: return "field_mismatch";
+    case SavestateErrc::kScenarioMismatch: return "scenario_mismatch";
+  }
+  return "?";
+}
+
+std::uint32_t fnv1a32(std::string_view s) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_bytes(const std::uint8_t* data, std::size_t n,
+                            std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---- StateWriter ----------------------------------------------------------
+
+void StateWriter::raw32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateWriter::raw64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateWriter::tag(const char* name, std::uint8_t type) {
+  raw32(fnv1a32(name));
+  buf_.push_back(type);
+}
+
+void StateWriter::note(const char* name, std::string value) {
+  if (record_) entries_.push_back({name, std::move(value)});
+}
+
+void StateWriter::put_bool(const char* name, bool v) {
+  tag(name, kTyBool);
+  buf_.push_back(v ? 1 : 0);
+  note(name, v ? "true" : "false");
+}
+
+void StateWriter::put_u32(const char* name, std::uint32_t v) {
+  tag(name, kTyU32);
+  raw32(v);
+  note(name, std::to_string(v));
+}
+
+void StateWriter::put_u64(const char* name, std::uint64_t v) {
+  tag(name, kTyU64);
+  raw64(v);
+  note(name, std::to_string(v));
+}
+
+void StateWriter::put_i64(const char* name, std::int64_t v) {
+  tag(name, kTyI64);
+  raw64(static_cast<std::uint64_t>(v));
+  note(name, std::to_string(v));
+}
+
+void StateWriter::put_f64(const char* name, double v) {
+  tag(name, kTyF64);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  raw64(bits);
+  note(name, f64_repr(v));
+}
+
+void StateWriter::put_count(const char* name, std::uint64_t n) {
+  tag(name, kTyCount);
+  raw64(n);
+  note(name, std::to_string(n));
+}
+
+// ---- StateReader ----------------------------------------------------------
+
+std::uint32_t StateReader::raw32() {
+  if (pos_ + 4 > buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t StateReader::raw64() {
+  if (pos_ + 8 > buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+void StateReader::expect(const char* name, std::uint8_t type) {
+  const std::uint32_t want_tag = fnv1a32(name);
+  const std::uint32_t got_tag = raw32();
+  if (pos_ >= buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  const std::uint8_t got_type = buf_[pos_++];
+  if (got_tag != want_tag || got_type != type) {
+    throw SavestateError(
+        SavestateErrc::kFieldMismatch,
+        std::string("expected field \"") + name + "\" (" + type_name(type) +
+            "), found tag 0x" + std::to_string(got_tag) + " (" +
+            type_name(got_type) + ")");
+  }
+}
+
+bool StateReader::get_bool(const char* name) {
+  expect(name, kTyBool);
+  if (pos_ >= buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  return buf_[pos_++] != 0;
+}
+
+std::uint32_t StateReader::get_u32(const char* name) {
+  expect(name, kTyU32);
+  return raw32();
+}
+
+std::uint64_t StateReader::get_u64(const char* name) {
+  expect(name, kTyU64);
+  return raw64();
+}
+
+std::int64_t StateReader::get_i64(const char* name) {
+  expect(name, kTyI64);
+  return static_cast<std::int64_t>(raw64());
+}
+
+double StateReader::get_f64(const char* name) {
+  expect(name, kTyF64);
+  const std::uint64_t bits = raw64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t StateReader::get_count(const char* name) {
+  expect(name, kTyCount);
+  return raw64();
+}
+
+}  // namespace bce

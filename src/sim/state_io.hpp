@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file state_io.hpp
+/// Versioned, self-checking serialization primitives for emulator
+/// savestates (docs/savestate.md). Every stateful layer implements
+/// `save_state(StateWriter&)` / `restore_state(StateReader&)` in terms of
+/// the typed field accessors below.
+///
+/// Design:
+///  * Each field is written as a 32-bit FNV-1a hash of its name, a one-byte
+///    type code, and a fixed-width little-endian value (doubles as raw
+///    IEEE-754 bits, so a save/restore round trip is bitwise lossless).
+///    Readers verify name and type of every field in order, so a writer and
+///    a reader that disagree about the field sequence fail loudly at the
+///    first mismatched field (SavestateErrc::kFieldMismatch) instead of
+///    silently mis-assigning bytes.
+///  * Variable-length data (vectors) is written as a `count` field followed
+///    by the element fields; element field names repeat, which keeps the
+///    format streamable and the documented field inventory finite.
+///  * Only the *payload* lives here. Framing — magic, format version,
+///    scenario fingerprint, payload checksum — is the file layer's job
+///    (core/savestate.hpp), so unit layers can round-trip through a bare
+///    writer/reader pair.
+///  * A StateWriter can record a (name, printable value) entry per field.
+///    `bce determinism --bisect` uses the recording to dump two divergent
+///    states as diffable JSONL, and the `savestate-docs` lint check uses it
+///    to require every serialized field name to appear in docs/savestate.md.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bce {
+
+/// Distinct savestate failure classes. The CLI maps these to distinct exit
+/// codes (`bce run --load-state`, docs/savestate.md).
+enum class SavestateErrc : std::uint8_t {
+  kIo = 1,            ///< file unreadable/unwritable
+  kBadMagic,          ///< not a savestate file
+  kBadVersion,        ///< produced by an incompatible format version
+  kTruncated,         ///< shorter than its header claims
+  kCorrupt,           ///< payload checksum mismatch
+  kFieldMismatch,     ///< field name/type sequence disagrees with the reader
+  kScenarioMismatch,  ///< saved under a different scenario/policy
+};
+
+/// Stable machine-readable tag ("io", "bad_magic", ...).
+const char* savestate_errc_name(SavestateErrc c);
+
+/// Thrown by every savestate read/write failure path. Carries the failure
+/// class so callers (the CLI, tests) can branch without string matching.
+class SavestateError : public std::runtime_error {
+ public:
+  SavestateError(SavestateErrc code, const std::string& what)
+      : std::runtime_error("savestate: " + what), code_(code) {}
+  [[nodiscard]] SavestateErrc code() const { return code_; }
+
+ private:
+  SavestateErrc code_;
+};
+
+/// Bump whenever the serialized field sequence changes. There is no
+/// migration machinery: a savestate is a within-version artifact (warm
+/// sweeps, bisection, crash-resume between runs of the same build), so an
+/// older-version file is rejected with kBadVersion rather than re-read
+/// (forward-compat policy in docs/savestate.md).
+inline constexpr std::uint32_t kSavestateVersion = 1;
+
+/// Stable 32-bit FNV-1a of a field name (the wire tag).
+std::uint32_t fnv1a32(std::string_view s);
+
+/// Stable 64-bit FNV-1a over raw bytes (the payload checksum).
+std::uint64_t fnv1a64_bytes(const std::uint8_t* data, std::size_t n,
+                            std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Sequential typed field writer. Append-only; the byte buffer is the
+/// savestate payload.
+class StateWriter {
+ public:
+  void put_bool(const char* name, bool v);
+  void put_u32(const char* name, std::uint32_t v);
+  void put_u64(const char* name, std::uint64_t v);
+  void put_i64(const char* name, std::int64_t v);
+  void put_f64(const char* name, double v);
+  /// Element count preceding a repeated group of fields.
+  void put_count(const char* name, std::uint64_t n);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
+    return buf_;
+  }
+
+  /// One recorded field, in write order, when recording is on.
+  struct Entry {
+    std::string name;
+    std::string value;  ///< printable; f64 rendered with 17 digits
+  };
+  /// Enable per-field (name, value) recording (off by default: the hot
+  /// save path pays nothing for the dump/lint facility).
+  void record_entries(bool on) { record_ = on; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  void tag(const char* name, std::uint8_t type);
+  void raw32(std::uint32_t v);
+  void raw64(std::uint64_t v);
+  void note(const char* name, std::string value);
+
+  std::vector<std::uint8_t> buf_;
+  bool record_ = false;
+  std::vector<Entry> entries_;
+};
+
+/// Sequential typed field reader over a payload produced by StateWriter.
+/// Every accessor verifies the field's name tag and type code and throws
+/// SavestateError(kFieldMismatch) on disagreement, or kTruncated when the
+/// payload ends mid-field.
+class StateReader {
+ public:
+  explicit StateReader(std::vector<std::uint8_t> payload)
+      : buf_(std::move(payload)) {}
+
+  bool get_bool(const char* name);
+  std::uint32_t get_u32(const char* name);
+  std::uint64_t get_u64(const char* name);
+  std::int64_t get_i64(const char* name);
+  double get_f64(const char* name);
+  std::uint64_t get_count(const char* name);
+
+  /// True when every payload byte has been consumed (restore completeness
+  /// check: leftover bytes mean writer and reader disagree).
+  [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
+
+ private:
+  void expect(const char* name, std::uint8_t type);
+  std::uint32_t raw32();
+  std::uint64_t raw64();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bce

@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "host/proc_type.hpp"
+#include "sim/state_io.hpp"
 
 namespace bce {
 
@@ -409,6 +410,19 @@ void JsonlSink::on_event(const TraceEvent& ev) {
 
 void CounterSink::on_event(const TraceEvent& ev) {
   ++counts_[static_cast<std::size_t>(trace_kind_category(ev.kind))];
+}
+
+void CounterSink::save_state(StateWriter& w) const {
+  w.put_count("trace.counters", counts_.size());
+  for (const std::int64_t c : counts_) w.put_i64("trace.counter", c);
+}
+
+void CounterSink::restore_state(StateReader& r) {
+  const std::uint64_t n = r.get_count("trace.counters");
+  counts_.fill(0);
+  for (std::uint64_t i = 0; i < n && i < counts_.size(); ++i) {
+    counts_[i] = r.get_i64("trace.counter");
+  }
 }
 
 void TraceForwarder::on_event(const TraceEvent& ev) { target_->emit(ev); }

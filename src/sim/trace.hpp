@@ -30,6 +30,9 @@
 
 namespace bce {
 
+class StateReader;
+class StateWriter;
+
 /// One kind per decision line the emulator can log. The vocabulary is
 /// exactly the seed Logger's line formats — render_text() reproduces each
 /// byte-for-byte (tests/test_trace_golden.cpp pins this against hashes of
@@ -178,6 +181,12 @@ class CounterSink final : public TraceSink {
     return counts_;
   }
   void reset() { counts_.fill(0); }
+
+  /// Savestate support (docs/savestate.md): the per-category counts feed
+  /// Metrics::trace_events, so a restored run must continue them rather
+  /// than recount from zero.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   std::array<std::int64_t, kNumLogCategories> counts_{};

@@ -75,6 +75,18 @@ TEST(BceLint, InvalidScenarioExits5) {
       << r.output;
 }
 
+TEST(BceLint, UndocumentedSavestateFieldExits7) {
+  const LintRun r =
+      run_lint("--root " + fixture("undocumented_savestate_field") +
+               " --check savestate-docs");
+  EXPECT_EQ(r.exit_code, 7) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: savestate-docs: serialized field "
+                          "\"rrsim.cache_hits\" is missing"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(BceLint, SelectedCheckIgnoresOtherBreakage) {
   // Breakage outside the selected check must not leak into the exit
   // code: the trace-kind fixture also lacks docs/policies.md (3) and a

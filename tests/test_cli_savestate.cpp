@@ -1,0 +1,201 @@
+// End-to-end exit-code contract of the CLI's savestate surface
+// (tools/bce_cli.cpp, docs/savestate.md):
+//
+//   bce run --load-state:  3 io, 4 bad magic, 5 bad version, 6 truncated,
+//                          7 corrupt, 9 scenario/policy mismatch
+//   bce determinism:       0 identical, 3 reports diverge (--seed2),
+//                          plus --bisect divergence dumps
+//
+// The binary path arrives via BCE_BIN (tests/CMakeLists.txt). Each test
+// drives the real binary on the shipped scenario files, so this is the
+// scripting contract as a user sees it, not a library-level check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliRun run_cli(const std::string& args) {
+  const std::string cmd = std::string(BCE_BIN) + " " + args + " 2>&1";
+  CliRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string scenario(const std::string& name) {
+  return std::string(BCE_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class CliSavestate : public ::testing::Test {
+ protected:
+  // One shared save fixture for the whole suite (saving re-runs a day of
+  // emulation; the rejection tests only need the bytes).
+  static void SetUpTestSuite() {
+    path_ = new std::string(temp_path("cli_savestate.bcss"));
+    const CliRun r =
+        run_cli("run " + scenario("scenario1.txt") + " --days 1 --save-at 0.5 "
+                "--save-state " + *path_);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    ASSERT_NE(r.output.find("savestate written to"), std::string::npos)
+        << r.output;
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    path_ = nullptr;
+  }
+
+  static std::string* path_;
+};
+
+std::string* CliSavestate::path_ = nullptr;
+
+TEST_F(CliSavestate, ResumeMatchesColdRun) {
+  const CliRun cold =
+      run_cli("run " + scenario("scenario1.txt") + " --days 1");
+  const CliRun warm = run_cli("run " + scenario("scenario1.txt") +
+                              " --days 1 --load-state " + *path_);
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  ASSERT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("resumed from"), std::string::npos)
+      << warm.output;
+  // Identical summaries: the resumed half reproduces the cold run exactly.
+  const std::string tail =
+      warm.output.substr(warm.output.find("scenario 'scenario1'"));
+  EXPECT_EQ(cold.output, tail);
+}
+
+TEST_F(CliSavestate, MissingFileExits3) {
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --load-state " + temp_path("no.bcss"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("[io]"), std::string::npos) << r.output;
+}
+
+TEST_F(CliSavestate, BadMagicExits4) {
+  const std::string bad = temp_path("cli_bad_magic.bcss");
+  spit(bad, std::vector<char>(64, 'x'));
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --load-state " + bad);
+  std::remove(bad.c_str());
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("[bad_magic]"), std::string::npos) << r.output;
+}
+
+TEST_F(CliSavestate, BadVersionExits5) {
+  std::vector<char> bytes = slurp(*path_);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = static_cast<char>(bytes[8] ^ 0x7f);
+  const std::string bad = temp_path("cli_bad_version.bcss");
+  spit(bad, bytes);
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --load-state " + bad);
+  std::remove(bad.c_str());
+  EXPECT_EQ(r.exit_code, 5) << r.output;
+  EXPECT_NE(r.output.find("[bad_version]"), std::string::npos) << r.output;
+}
+
+TEST_F(CliSavestate, TruncatedExits6) {
+  std::vector<char> bytes = slurp(*path_);
+  bytes.resize(bytes.size() / 2);
+  const std::string bad = temp_path("cli_truncated.bcss");
+  spit(bad, bytes);
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --load-state " + bad);
+  std::remove(bad.c_str());
+  EXPECT_EQ(r.exit_code, 6) << r.output;
+  EXPECT_NE(r.output.find("[truncated]"), std::string::npos) << r.output;
+}
+
+TEST_F(CliSavestate, CorruptExits7) {
+  std::vector<char> bytes = slurp(*path_);
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  const std::string bad = temp_path("cli_corrupt.bcss");
+  spit(bad, bytes);
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --load-state " + bad);
+  std::remove(bad.c_str());
+  EXPECT_EQ(r.exit_code, 7) << r.output;
+  EXPECT_NE(r.output.find("[corrupt]"), std::string::npos) << r.output;
+}
+
+TEST_F(CliSavestate, ScenarioMismatchExits9) {
+  // Same file, different seed: the fingerprint must reject the load.
+  const CliRun r = run_cli("run " + scenario("scenario1.txt") +
+                           " --days 1 --seed 99 --load-state " + *path_);
+  EXPECT_EQ(r.exit_code, 9) << r.output;
+  EXPECT_NE(r.output.find("[scenario_mismatch]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliSavestate, PolicyMismatchExits9) {
+  const CliRun r =
+      run_cli("run " + scenario("scenario1.txt") +
+              " --days 1 --policy wrr --load-state " + *path_);
+  EXPECT_EQ(r.exit_code, 9) << r.output;
+}
+
+TEST(CliDeterminism, IdenticalRunsExit0) {
+  const CliRun r =
+      run_cli("determinism " + scenario("scenario1.txt") + " --days 0.5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("determinism OK"), std::string::npos) << r.output;
+}
+
+TEST(CliDeterminism, SeededDivergenceExits3) {
+  const CliRun r = run_cli("determinism " + scenario("scenario1.txt") +
+                           " --days 0.5 --seed2 7");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("reports diverge"), std::string::npos) << r.output;
+}
+
+TEST(CliDeterminism, BisectDumpsDivergentStates) {
+  // The divergence dumps land in the test's working directory.
+  const CliRun r = run_cli("determinism " + scenario("scenario1.txt") +
+                           " --days 0.5 --seed2 7 --bisect");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("first divergent checkpoint"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bce_divergence_a.jsonl"), std::string::npos)
+      << r.output;
+  // The dumps are JSONL with one field object per line, led by the clock.
+  const std::vector<char> a = slurp("bce_divergence_a.jsonl");
+  const std::string head(a.begin(),
+                         a.begin() + std::min<std::size_t>(a.size(), 20));
+  EXPECT_EQ(head.rfind("{\"name\":\"emu.now\"", 0), 0u) << head;
+  std::remove("bce_divergence_a.jsonl");
+  std::remove("bce_divergence_b.jsonl");
+}
+
+}  // namespace

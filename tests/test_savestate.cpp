@@ -1,0 +1,561 @@
+// Savestate correctness (core/savestate, sim/state_io, docs/savestate.md).
+// The bar is byte-identity: save -> restore -> continue must reproduce the
+// uninterrupted run bit-for-bit — decision traces, metrics, job states —
+// across every sched x fetch policy pair and under active fault injection.
+// Also pinned: the framing rejection paths (each SavestateErrc), the
+// EventQueue round trip, warm-started duration chains, and the RR-sim
+// stale-memo guard (the one savestate bug class the auditor exists to
+// catch).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "core/savestate.hpp"
+#include "sim/state_io.hpp"
+
+namespace bce {
+namespace {
+
+// --- state_io primitives ----------------------------------------------
+
+TEST(StateIo, RoundTripsEveryFieldType) {
+  StateWriter w;
+  w.put_bool("b", true);
+  w.put_u32("u32", 0xdeadbeefu);
+  w.put_u64("u64", 0x0123456789abcdefull);
+  w.put_i64("i64", -42);
+  w.put_f64("f64", -0.1);
+  w.put_count("n", 3);
+
+  StateReader r(w.payload());
+  EXPECT_TRUE(r.get_bool("b"));
+  EXPECT_EQ(r.get_u32("u32"), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64("u64"), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i64("i64"), -42);
+  EXPECT_EQ(r.get_f64("f64"), -0.1);
+  EXPECT_EQ(r.get_count("n"), 3u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(StateIo, PreservesNonFiniteAndSignedZeroBits) {
+  StateWriter w;
+  w.put_f64("inf", std::numeric_limits<double>::infinity());
+  w.put_f64("never", kNever);
+  w.put_f64("nzero", -0.0);
+  StateReader r(w.payload());
+  EXPECT_EQ(r.get_f64("inf"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.get_f64("never"), kNever);
+  const double nz = r.get_f64("nzero");
+  EXPECT_EQ(nz, 0.0);
+  EXPECT_TRUE(std::signbit(nz));
+}
+
+TEST(StateIo, MismatchedFieldNameThrows) {
+  StateWriter w;
+  w.put_u64("written", 1);
+  StateReader r(w.payload());
+  try {
+    (void)r.get_u64("expected");
+    FAIL() << "field mismatch not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kFieldMismatch);
+    EXPECT_NE(std::string(e.what()).find("expected"), std::string::npos);
+  }
+}
+
+TEST(StateIo, MismatchedTypeThrows) {
+  StateWriter w;
+  w.put_u64("x", 1);
+  StateReader r(w.payload());
+  try {
+    (void)r.get_f64("x");  // same name, wrong type code
+    FAIL() << "type mismatch not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kFieldMismatch);
+  }
+}
+
+TEST(StateIo, TruncatedPayloadThrows) {
+  StateWriter w;
+  w.put_f64("x", 1.5);
+  std::vector<std::uint8_t> cut = w.payload();
+  cut.resize(cut.size() - 3);
+  StateReader r(std::move(cut));
+  try {
+    (void)r.get_f64("x");
+    FAIL() << "truncation not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kTruncated);
+  }
+}
+
+TEST(StateIo, RecordsEntriesOnlyWhenAsked) {
+  StateWriter w;
+  w.put_u64("a", 7);
+  EXPECT_TRUE(w.entries().empty());
+  w.record_entries(true);
+  w.put_f64("b", 0.5);
+  ASSERT_EQ(w.entries().size(), 1u);
+  EXPECT_EQ(w.entries()[0].name, "b");
+  EXPECT_EQ(w.entries()[0].value, "0.5");
+}
+
+// --- EventQueue round trip --------------------------------------------
+
+TEST(EventQueueSavestate, RoundTripPreservesPopOrderAndHandleAllocation) {
+  EventQueue q;
+  q.schedule(5.0, EventKind::kPoll, 1);
+  const EventHandle b = q.schedule(3.0, EventKind::kTransfer, 2);
+  q.schedule(5.0, EventKind::kUser, 3);
+  q.schedule(4.0, EventKind::kHostCrash, 4);
+  q.cancel(b);  // leave a tombstone behind
+
+  StateWriter w;
+  q.save_state(w);
+
+  EventQueue q2;
+  StateReader r(w.payload());
+  q2.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(q2.size(), 3u);
+
+  // The restored handle allocator continues where the original left off.
+  EXPECT_EQ(q2.schedule(10.0, EventKind::kUser, 5),
+            q.schedule(10.0, EventKind::kUser, 5));
+
+  // Pop order matches (time, handle) across both queues; the tombstone is
+  // gone for good.
+  while (!q.empty()) {
+    ASSERT_FALSE(q2.empty());
+    const Event e1 = q.pop();
+    const Event e2 = q2.pop();
+    EXPECT_EQ(e1.at, e2.at);
+    EXPECT_EQ(e1.handle, e2.handle);
+    EXPECT_EQ(static_cast<int>(e1.kind), static_cast<int>(e2.kind));
+    EXPECT_EQ(e1.payload, e2.payload);
+    EXPECT_NE(e1.handle, b);
+  }
+  EXPECT_TRUE(q2.empty());
+}
+
+// --- full-run byte identity -------------------------------------------
+
+/// Exact comparison of every Metrics field (no tolerances anywhere: the
+/// restored run must be bit-for-bit the uninterrupted one).
+void expect_metrics_identical(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.available_flops, b.available_flops);
+  EXPECT_EQ(a.used_flops, b.used_flops);
+  EXPECT_EQ(a.wasted_flops, b.wasted_flops);
+  EXPECT_EQ(a.share_violation_rms, b.share_violation_rms);
+  EXPECT_EQ(a.monotony, b.monotony);
+  EXPECT_EQ(a.mean_exclusive_streak, b.mean_exclusive_streak);
+  EXPECT_EQ(a.n_rpcs, b.n_rpcs);
+  EXPECT_EQ(a.n_work_request_rpcs, b.n_work_request_rpcs);
+  EXPECT_EQ(a.n_jobs_fetched, b.n_jobs_fetched);
+  EXPECT_EQ(a.n_jobs_completed, b.n_jobs_completed);
+  EXPECT_EQ(a.n_jobs_missed, b.n_jobs_missed);
+  EXPECT_EQ(a.n_jobs_abandoned, b.n_jobs_abandoned);
+  EXPECT_EQ(a.n_preemptions, b.n_preemptions);
+  EXPECT_EQ(a.n_sched_passes, b.n_sched_passes);
+  EXPECT_EQ(a.failure_wasted_flops, b.failure_wasted_flops);
+  EXPECT_EQ(a.recovery_time_sum, b.recovery_time_sum);
+  EXPECT_EQ(a.n_job_failures, b.n_job_failures);
+  EXPECT_EQ(a.n_job_aborts, b.n_job_aborts);
+  EXPECT_EQ(a.n_host_crashes, b.n_host_crashes);
+  EXPECT_EQ(a.n_crash_recoveries, b.n_crash_recoveries);
+  EXPECT_EQ(a.n_rpcs_lost, b.n_rpcs_lost);
+  EXPECT_EQ(a.n_jobs_orphaned, b.n_jobs_orphaned);
+  EXPECT_EQ(a.n_transfer_retries, b.n_transfer_retries);
+  EXPECT_EQ(a.usage_fraction, b.usage_fraction);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+struct TracedRun {
+  std::string jsonl;
+  EmulationResult result;
+};
+
+/// One cold (uninterrupted) traced run.
+TracedRun run_cold(const Scenario& sc, const PolicyConfig& pol) {
+  std::ostringstream os;
+  Trace trace;
+  JsonlSink sink(os);
+  trace.add_sink(&sink);
+  trace.enable_all();
+  EmulationOptions opt;
+  opt.policy = pol;
+  opt.trace = &trace;
+  opt.record_timeline = true;
+  Emulator em(sc, opt);
+  TracedRun out;
+  out.result = em.run();
+  out.jsonl = os.str();
+  return out;
+}
+
+/// The same run split in two: capture a savestate at the first checkpoint
+/// boundary at or after \p save_frac of the duration (recording how many
+/// trace bytes had been emitted by then), restore the frame into a fresh
+/// Emulator, and finish. Returns part1 + part2 of the trace.
+TracedRun run_split(const Scenario& sc, const PolicyConfig& pol,
+                    double save_frac) {
+  const SimTime save_at = save_frac * sc.duration;
+  std::vector<std::uint8_t> frame;
+  std::size_t part1_len = 0;
+
+  std::ostringstream os1;
+  Trace trace1;
+  JsonlSink sink1(os1);
+  trace1.add_sink(&sink1);
+  trace1.enable_all();
+  EmulationOptions opt1;
+  opt1.policy = pol;
+  opt1.trace = &trace1;
+  opt1.record_timeline = true;
+  Emulator em1(sc, opt1);
+  em1.set_checkpoint_hook([&](Emulator& e) {
+    if (frame.empty() && e.now() + kFpEpsilon >= save_at) {
+      frame = capture_savestate(e);
+      part1_len = os1.str().size();
+    }
+  });
+  (void)em1.run();
+  EXPECT_FALSE(frame.empty()) << "no checkpoint boundary reached save_at";
+
+  std::ostringstream os2;
+  Trace trace2;
+  JsonlSink sink2(os2);
+  trace2.add_sink(&sink2);
+  trace2.enable_all();
+  EmulationOptions opt2;
+  opt2.policy = pol;
+  opt2.trace = &trace2;
+  opt2.record_timeline = true;
+  Emulator em2(sc, opt2);
+  restore_savestate(em2, frame);
+
+  TracedRun out;
+  out.result = em2.run();
+  out.jsonl = os1.str().substr(0, part1_len) + os2.str();
+  return out;
+}
+
+void expect_split_matches_cold(const Scenario& sc, const PolicyConfig& pol,
+                               double save_frac) {
+  const TracedRun cold = run_cold(sc, pol);
+  const TracedRun split = run_split(sc, pol, save_frac);
+  ASSERT_FALSE(cold.jsonl.empty());
+  EXPECT_EQ(split.jsonl, cold.jsonl);
+  expect_metrics_identical(split.result.metrics, cold.result.metrics);
+  ASSERT_EQ(split.result.jobs.size(), cold.result.jobs.size());
+  for (std::size_t i = 0; i < cold.result.jobs.size(); ++i) {
+    EXPECT_EQ(split.result.jobs[i].flops_done, cold.result.jobs[i].flops_done);
+    EXPECT_EQ(split.result.jobs[i].flops_spent,
+              cold.result.jobs[i].flops_spent);
+    EXPECT_EQ(split.result.jobs[i].completed_at,
+              cold.result.jobs[i].completed_at);
+    EXPECT_EQ(split.result.jobs[i].failed, cold.result.jobs[i].failed);
+  }
+  EXPECT_EQ(split.result.timeline.spans().size(),
+            cold.result.timeline.spans().size());
+  EXPECT_EQ(split.result.final_rec, cold.result.final_rec);
+}
+
+Scenario small_scenario() {
+  Scenario sc = paper_scenario2();
+  sc.duration = 1.5 * kSecondsPerDay;
+  return sc;
+}
+
+TEST(Savestate, RoundTripIdentityAcrossAllPolicyPairs) {
+  const Scenario sc = small_scenario();
+  const JobSchedPolicy scheds[] = {JobSchedPolicy::kWrr, JobSchedPolicy::kLocal,
+                                   JobSchedPolicy::kGlobal,
+                                   JobSchedPolicy::kEdfOnly};
+  const FetchPolicy fetches[] = {FetchPolicy::kOrig, FetchPolicy::kHysteresis,
+                                 FetchPolicy::kRoundRobin};
+  // Deterministically varied save points: each pair splits the run at a
+  // different mid-run fraction, so the boundary position itself is
+  // exercised rather than one lucky instant.
+  Xoshiro256 frac_rng(2026);
+  for (const auto s : scheds) {
+    for (const auto f : fetches) {
+      PolicyConfig pol;
+      pol.sched = s;
+      pol.fetch = f;
+      const double frac = 0.2 + 0.6 * frac_rng.uniform01();
+      SCOPED_TRACE(std::string(pol.sched_name()) + "/" + pol.fetch_name() +
+                   " @ " + std::to_string(frac));
+      expect_split_matches_cold(sc, pol, frac);
+    }
+  }
+}
+
+TEST(Savestate, RoundTripIdentityUnderFaultsAndTransfers) {
+  Scenario sc = small_scenario();
+  sc.faults = FaultPlan::light();
+  sc.host.download_bandwidth_bps = 1e6;
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 5e7;
+  }
+  std::string err;
+  ASSERT_TRUE(sc.validate(&err)) << err;
+  PolicyConfig pol;  // defaults: JS_GLOBAL / JF_HYSTERESIS
+  expect_split_matches_cold(sc, pol, 0.37);
+  expect_split_matches_cold(sc, pol, 0.71);
+}
+
+TEST(Savestate, RoundTripIdentityUnderAudit) {
+  const Scenario sc = small_scenario();
+  PolicyConfig pol;
+  const TracedRun cold = run_cold(sc, pol);
+
+  // Audited split run: the auditor must accept the restored state (its
+  // monotonic history is rebased by restore) and the run must stay
+  // byte-identical to the cold one.
+  const SimTime save_at = 0.4 * sc.duration;
+  std::vector<std::uint8_t> frame;
+  std::size_t part1_len = 0;
+  std::ostringstream os1;
+  Trace trace1;
+  JsonlSink sink1(os1);
+  trace1.add_sink(&sink1);
+  trace1.enable_all();
+  InvariantAuditor audit1;
+  EmulationOptions opt1;
+  opt1.policy = pol;
+  opt1.trace = &trace1;
+  opt1.auditor = &audit1;
+  Emulator em1(sc, opt1);
+  em1.set_checkpoint_hook([&](Emulator& e) {
+    if (frame.empty() && e.now() + kFpEpsilon >= save_at) {
+      frame = capture_savestate(e);
+      part1_len = os1.str().size();
+    }
+  });
+  (void)em1.run();
+  ASSERT_FALSE(frame.empty());
+
+  std::ostringstream os2;
+  Trace trace2;
+  JsonlSink sink2(os2);
+  trace2.add_sink(&sink2);
+  trace2.enable_all();
+  InvariantAuditor audit2;
+  EmulationOptions opt2;
+  opt2.policy = pol;
+  opt2.trace = &trace2;
+  opt2.auditor = &audit2;
+  Emulator em2(sc, opt2);
+  restore_savestate(em2, frame);
+  const EmulationResult res = em2.run();
+  EXPECT_GT(audit2.checks_run(), 0u);
+  EXPECT_EQ(os1.str().substr(0, part1_len) + os2.str(), cold.jsonl);
+  expect_metrics_identical(res.metrics, cold.result.metrics);
+}
+
+// --- warm-started duration chains -------------------------------------
+
+TEST(Savestate, DurationChainMatchesColdRunsInInputOrder) {
+  Scenario sc = small_scenario();
+  EmulationOptions opt;
+  // Deliberately unsorted input; results must come back in input order.
+  const std::vector<Duration> durations = {
+      1.0 * kSecondsPerDay, 0.5 * kSecondsPerDay, 1.5 * kSecondsPerDay};
+  const std::vector<EmulationResult> chained =
+      run_duration_chain(sc, opt, durations);
+  ASSERT_EQ(chained.size(), durations.size());
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    sc.duration = durations[i];
+    const EmulationResult cold = emulate(sc, opt);
+    SCOPED_TRACE("duration " + std::to_string(durations[i]));
+    expect_metrics_identical(chained[i].metrics, cold.metrics);
+    EXPECT_EQ(chained[i].jobs.size(), cold.jobs.size());
+    EXPECT_EQ(chained[i].final_rec, cold.final_rec);
+  }
+}
+
+// --- framing rejection paths ------------------------------------------
+
+class SavestateFraming : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sc_ = small_scenario();
+    Emulator em(sc_, opt_);
+    em.set_checkpoint_hook([this](Emulator& e) {
+      if (frame_.empty() && e.now() > 0.25 * sc_.duration) {
+        frame_ = capture_savestate(e);
+      }
+    });
+    (void)em.run();
+    ASSERT_FALSE(frame_.empty());
+  }
+
+  /// Errc a restore of \p frame fails with; errc 0 means it succeeded.
+  SavestateErrc restore_errc(const std::vector<std::uint8_t>& frame) {
+    Emulator em(sc_, opt_);
+    try {
+      restore_savestate(em, frame);
+    } catch (const SavestateError& e) {
+      return e.code();
+    }
+    return static_cast<SavestateErrc>(0);
+  }
+
+  Scenario sc_;
+  EmulationOptions opt_;
+  std::vector<std::uint8_t> frame_;
+};
+
+TEST_F(SavestateFraming, AcceptsItsOwnFrame) {
+  EXPECT_EQ(restore_errc(frame_), static_cast<SavestateErrc>(0));
+}
+
+TEST_F(SavestateFraming, RejectsBadMagic) {
+  auto f = frame_;
+  f[0] ^= 0xffu;
+  EXPECT_EQ(restore_errc(f), SavestateErrc::kBadMagic);
+}
+
+TEST_F(SavestateFraming, RejectsWrongVersion) {
+  auto f = frame_;
+  f[8] ^= 0xffu;  // little-endian version field at offset 8
+  EXPECT_EQ(restore_errc(f), SavestateErrc::kBadVersion);
+}
+
+TEST_F(SavestateFraming, RejectsTruncation) {
+  auto f = frame_;
+  f.resize(f.size() / 2);
+  EXPECT_EQ(restore_errc(f), SavestateErrc::kTruncated);
+  f.resize(10);  // shorter than the header
+  EXPECT_EQ(restore_errc(f), SavestateErrc::kTruncated);
+}
+
+TEST_F(SavestateFraming, RejectsCorruptPayload) {
+  auto f = frame_;
+  f[f.size() / 2] ^= 0x01u;  // flip one payload bit
+  EXPECT_EQ(restore_errc(f), SavestateErrc::kCorrupt);
+}
+
+TEST_F(SavestateFraming, RejectsScenarioMismatch) {
+  Scenario other = sc_;
+  other.seed += 1;  // different seed -> different fingerprint
+  Emulator em(other, opt_);
+  try {
+    restore_savestate(em, frame_);
+    FAIL() << "scenario mismatch not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kScenarioMismatch);
+  }
+}
+
+TEST_F(SavestateFraming, RejectsPolicyMismatch) {
+  EmulationOptions opt;
+  opt.policy.sched = JobSchedPolicy::kWrr;  // frame was saved under kGlobal
+  Emulator em(sc_, opt);
+  try {
+    restore_savestate(em, frame_);
+    FAIL() << "policy mismatch not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kScenarioMismatch);
+  }
+}
+
+TEST_F(SavestateFraming, DurationDifferenceIsNotAMismatch) {
+  Scenario longer = sc_;
+  longer.duration = 2.0 * sc_.duration;
+  Emulator em(longer, opt_);
+  EXPECT_NO_THROW(restore_savestate(em, frame_));
+}
+
+TEST_F(SavestateFraming, FileRoundTripAndIoError) {
+  const std::string path = ::testing::TempDir() + "bce_savestate_test.bcss";
+  write_savestate_file(path, frame_);
+  EXPECT_EQ(read_savestate_file(path), frame_);
+  std::remove(path.c_str());
+  try {
+    (void)read_savestate_file(path + ".does_not_exist");
+    FAIL() << "missing file not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kIo);
+  }
+}
+
+TEST_F(SavestateFraming, RecaptureOfRestoredStateIsByteIdentical) {
+  Emulator em(sc_, opt_);
+  restore_savestate(em, frame_);
+  // Save/restore is lossless, not merely equivalent: a second capture of
+  // the restored state reproduces the frame byte for byte.
+  EXPECT_EQ(capture_savestate(em), frame_);
+  // And the recorded field inventory (the bisection dump / docs lint
+  // input) is non-empty for a live state.
+  EXPECT_FALSE(savestate_entries(em).empty());
+}
+
+// --- RR-sim stale-memo guard (the savestate bug class) -----------------
+
+TEST(SavestateRrSim, RestoreInvalidatesTheMemo) {
+  const Scenario sc = small_scenario();
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(sc.host, sc.prefs, avail);
+  const std::vector<Result*> no_jobs;
+  const std::vector<double> shares = {1.0};
+  (void)rr.run_cached(5, 0.0, no_jobs, shares);
+  EXPECT_EQ(rr.cache_stats().misses, 1u);
+
+  StateWriter w;
+  rr.save_state(w);
+  StateReader r(w.payload());
+  rr.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  // Same (version, now) after restore: must MISS, not serve the memo.
+  (void)rr.run_cached(5, 0.0, no_jobs, shares);
+  EXPECT_EQ(rr.cache_stats().misses, 2u);
+  EXPECT_EQ(rr.cache_stats().hits, 0u);
+}
+
+TEST(SavestateRrSim, StaleMemoForcesMissWithoutAuditor) {
+  const Scenario sc = small_scenario();
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(sc.host, sc.prefs, avail);
+  const std::vector<Result*> no_jobs;
+  const std::vector<double> shares = {1.0};
+  (void)rr.run_cached(5, 0.0, no_jobs, shares);
+  // A buggy restore path that rewinds the version without invalidating the
+  // memo: run_cached must detect cached_version > state_version and
+  // re-simulate instead of serving future state.
+  (void)rr.run_cached(3, 0.0, no_jobs, shares);
+  EXPECT_EQ(rr.cache_stats().misses, 2u);
+  EXPECT_EQ(rr.cache_stats().hits, 0u);
+}
+
+TEST(SavestateRrSim, StaleMemoFaultsUnderAudit) {
+  const Scenario sc = small_scenario();
+  PerProc<double> avail;
+  avail.fill(1.0);
+  RrSim rr(sc.host, sc.prefs, avail);
+  InvariantAuditor audit;
+  rr.set_auditor(&audit);
+  const std::vector<Result*> no_jobs;
+  const std::vector<double> shares = {1.0};
+  (void)rr.run_cached(5, 0.0, no_jobs, shares);
+  // A restore legitimately rebased the auditor to version 3 — but the memo
+  // still claims version 5: the audit must fault at the decision point.
+  audit.on_state_restored(0.0, 3);
+  EXPECT_THROW((void)rr.run_cached(3, 0.0, no_jobs, shares), AuditFailure);
+}
+
+}  // namespace
+}  // namespace bce

@@ -70,6 +70,19 @@ struct CliOptions {
   std::string sweep_param;
   std::vector<double> sweep_values;
 
+  /// Savestates (docs/savestate.md): `run --save-state FILE [--save-at T]`
+  /// snapshots the run at the first checkpoint boundary at or after T days
+  /// (default: just before the end); `run --load-state FILE` resumes from a
+  /// snapshot instead of t = 0.
+  std::string save_state_path;
+  double save_at_days = -1.0;
+  std::string load_state_path;
+
+  /// determinism: compare against a second seed instead of an identical
+  /// re-run (0 = same seed), and bisect to the first divergent checkpoint.
+  std::uint64_t seed2 = 0;
+  bool bisect = false;
+
   /// Fault-plan overrides: the preset (if any) is applied first, then the
   /// individual knobs, mirroring the scenario-file key order.
   bool have_faults_preset = false;
@@ -89,7 +102,11 @@ struct CliOptions {
       "  sample         [n] [days]: Monte-Carlo population policy comparison\n"
       "  print          parse, validate and echo a scenario file\n"
       "  determinism    run a scenario twice, fail unless reports are\n"
-      "                 byte-identical\n"
+      "                 byte-identical; exit 0 identical, 3 reports diverge,\n"
+      "                 4 decision traces diverge, 5 bisect anomaly\n"
+      "                 (--seed2 N: compare against a second seed;\n"
+      "                 --bisect: locate the first divergent checkpoint and\n"
+      "                 dump both states as JSONL)\n"
       "  list-policies  list the registered policies and their aliases\n"
       "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
       "         see list-policies)  --policy wrr|local|global (legacy)\n"
@@ -98,6 +115,13 @@ struct CliOptions {
       "         --threads N (batch parallelism; default BCE_THREADS env,\n"
       "         else hardware concurrency)\n"
       "         --trace FILE (run: JSONL decision trace, all categories)\n"
+      "savestates (docs/savestate.md):\n"
+      "         --save-state FILE  (run: snapshot the full emulation state)\n"
+      "         --save-at T        (snapshot at the first checkpoint\n"
+      "         boundary at or after day T; default: just before the end)\n"
+      "         --load-state FILE  (run: resume from a snapshot; rejection\n"
+      "         exit codes: 3 io, 4 bad magic, 5 bad version, 6 truncated,\n"
+      "         7 corrupt, 8 field mismatch, 9 scenario/policy mismatch)\n"
       "faults:  --faults off|light|heavy  --job-error R  --job-abort R\n"
       "         --crash-mtbf S  --crash-reboot S  --rpc-loss R\n"
       "         --rpc-timeout S  --transfer-error R  (see docs/faults.md)\n";
@@ -235,6 +259,16 @@ CliOptions parse_options(int argc, char** argv, int first,
       while (std::getline(is, cat, ',')) o.log_cats.push_back(cat);
     } else if (a == "--trace") {
       o.trace_path = need_value();
+    } else if (a == "--save-state") {
+      o.save_state_path = need_value();
+    } else if (a == "--save-at") {
+      o.save_at_days = parse_number(need_value(), a);
+    } else if (a == "--load-state") {
+      o.load_state_path = need_value();
+    } else if (a == "--seed2") {
+      o.seed2 = std::strtoull(need_value().c_str(), nullptr, 10);
+    } else if (a == "--bisect") {
+      o.bisect = true;
     } else if (a == "--threads") {
       o.threads = static_cast<unsigned>(std::stoul(need_value()));
     } else if (a == "--param") {
@@ -284,6 +318,15 @@ void print_metrics_row(Table& t, const std::string& label, const Metrics& m) {
              fmt(m.rpcs_per_job(), 2), fmt(m.weighted_score())});
 }
 
+/// Exit code of a savestate failure: 2 + the SavestateErrc, i.e. 3 (io)
+/// through 9 (scenario mismatch) — distinct from 1 (runtime error) and
+/// 2 (usage) so scripts can branch on the rejection class.
+int savestate_exit_code(const SavestateError& e) {
+  std::cerr << "error: " << e.what() << " [" << savestate_errc_name(e.code())
+            << "]\n";
+  return 2 + static_cast<int>(e.code());
+}
+
 int cmd_run(const std::string& path, const CliOptions& o) {
   const Scenario sc = load(path, o);
   Logger log;
@@ -308,7 +351,46 @@ int cmd_run(const std::string& path, const CliOptions& o) {
     trace.enable_all();
     opt.trace = &trace;
   }
-  const EmulationResult res = emulate(sc, opt);
+
+  Emulator em(sc, opt);
+  if (!o.load_state_path.empty()) {
+    try {
+      restore_savestate(em, read_savestate_file(o.load_state_path));
+    } catch (const SavestateError& e) {
+      return savestate_exit_code(e);
+    }
+    std::cout << "resumed from " << o.load_state_path << " at day "
+              << fmt(em.now() / kSecondsPerDay, 3) << "\n";
+  }
+  std::vector<std::uint8_t> frame;
+  if (!o.save_state_path.empty()) {
+    // Snapshot the first checkpoint boundary at or after --save-at (in
+    // days); with no --save-at, near the end of the run (the same window
+    // run_duration_chain uses — a poll boundary always lands in it).
+    const SimTime save_at =
+        o.save_at_days >= 0.0 ? o.save_at_days * kSecondsPerDay
+                              : sc.duration - 2.0 * sc.prefs.poll_period;
+    em.set_checkpoint_hook([&frame, save_at](Emulator& e) {
+      if (frame.empty() && e.now() + kFpEpsilon >= save_at) {
+        frame = capture_savestate(e);
+      }
+    });
+  }
+  const EmulationResult res = em.run();
+  if (!o.save_state_path.empty()) {
+    if (frame.empty()) {
+      std::cerr << "error: no checkpoint boundary at or after --save-at "
+                << o.save_at_days << " days\n";
+      return 1;
+    }
+    try {
+      write_savestate_file(o.save_state_path, frame);
+    } catch (const SavestateError& e) {
+      return savestate_exit_code(e);
+    }
+    std::cout << "savestate written to " << o.save_state_path << " ("
+              << frame.size() << " bytes)\n";
+  }
   if (!o.trace_path.empty()) {
     trace_file.close();
     std::cout << "decision trace written to " << o.trace_path << "\n";
@@ -492,21 +574,127 @@ std::string precise_report(const Scenario& sc, EmulationOptions opt,
   return os.str();
 }
 
+/// Checkpoint snapshots of one run: a savestate frame captured at the
+/// first boundary at or after each multiple of duration/kBisectSteps,
+/// with its capture time. Both bisected runs produce index-aligned lists
+/// (checkpoint k covers the same wall of simulated time in each).
+struct CheckpointTrail {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<SimTime> times;
+};
+
+constexpr std::size_t kBisectSteps = 32;
+
+CheckpointTrail capture_trail(const Scenario& sc,
+                              const EmulationOptions& opt) {
+  CheckpointTrail trail;
+  Emulator em(sc, opt);
+  const SimTime step = sc.duration / static_cast<double>(kBisectSteps);
+  em.set_checkpoint_hook([&trail, step](Emulator& e) {
+    // One boundary can cross several step marks at once (sparse event
+    // stretches): the same frame then stands in for each crossed mark,
+    // keeping both runs' trails index-aligned.
+    while (trail.frames.size() + 1 < kBisectSteps &&
+           e.now() + kFpEpsilon >=
+               static_cast<double>(trail.frames.size() + 1) * step) {
+      trail.frames.push_back(capture_savestate(e));
+      trail.times.push_back(e.now());
+    }
+  });
+  (void)em.run();
+  return trail;
+}
+
+/// Dump one captured frame's field inventory as JSONL (one {"name","value"}
+/// object per serialized field) for diffing the two divergent states.
+bool dump_state_jsonl(const Scenario& sc, const EmulationOptions& opt,
+                      const std::vector<std::uint8_t>& frame,
+                      const std::string& path) {
+  Emulator em(sc, opt);
+  restore_savestate(em, frame);
+  std::ofstream os(path);
+  if (!os) return false;
+  for (const auto& e : savestate_entries(em)) {
+    os << "{\"name\":\"" << e.name << "\",\"value\":\"" << e.value << "\"}\n";
+  }
+  return static_cast<bool>(os);
+}
+
+/// Locate the first divergent checkpoint between two runs by binary search
+/// over their captured savestate trails (divergence is monotone: once the
+/// full states differ they never re-converge), and dump both states as
+/// diffable JSONL. Returns \p rc on success, 5 on a bisect anomaly (the
+/// end-of-run outputs diverged but every checkpoint state is identical —
+/// the divergence then lies after the last checkpoint window).
+int bisect_divergence(const Scenario& sc_a, const Scenario& sc_b,
+                      const EmulationOptions& opt, int rc) {
+  const CheckpointTrail a = capture_trail(sc_a, opt);
+  const CheckpointTrail b = capture_trail(sc_b, opt);
+  const std::size_t n = std::min(a.frames.size(), b.frames.size());
+
+  // First index with differing frames, by binary search on the monotone
+  // "diverged by checkpoint i" predicate; n when all common frames match.
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (a.frames[mid] != b.frames[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == n) {
+    if (a.frames.size() == b.frames.size()) {
+      std::cerr << "bisect ANOMALY: outputs diverge but all " << n
+                << " checkpoint states are identical (divergence is after "
+                << "the last checkpoint)\n";
+      return 5;
+    }
+    std::cerr << "bisect ANOMALY: runs produced " << a.frames.size()
+              << " vs " << b.frames.size() << " checkpoints\n";
+    return 5;
+  }
+  std::cerr << "first divergent checkpoint: " << (lo + 1) << "/"
+            << kBisectSteps << " at day "
+            << fmt(a.times[lo] / kSecondsPerDay, 3);
+  if (lo > 0) {
+    std::cerr << " (states still identical at day "
+              << fmt(a.times[lo - 1] / kSecondsPerDay, 3) << ")";
+  }
+  std::cerr << "\n";
+  const bool ok =
+      dump_state_jsonl(sc_a, opt, a.frames[lo], "bce_divergence_a.jsonl") &&
+      dump_state_jsonl(sc_b, opt, b.frames[lo], "bce_divergence_b.jsonl");
+  if (!ok) {
+    std::cerr << "error: cannot write divergence dumps\n";
+    return 1;
+  }
+  std::cerr << "divergent states dumped to bce_divergence_a.jsonl / "
+            << "bce_divergence_b.jsonl (diff them field by field)\n";
+  return rc;
+}
+
 int cmd_determinism(const std::string& path, const CliOptions& o) {
+  // Exit-code contract (pinned by tools tests): 0 byte-identical, 1
+  // runtime error, 2 usage, 3 end-of-run reports diverge, 4 decision
+  // traces diverge, 5 bisect anomaly.
   const Scenario sc = load(path, o);
+  Scenario sc_b = sc;
+  if (o.seed2 != 0) sc_b.seed = o.seed2;
   EmulationOptions opt;
   opt.policy = o.policy;
   std::string trace_a;
   std::string trace_b;
   const std::string a = precise_report(sc, opt, &trace_a);
-  const std::string b = precise_report(sc, opt, &trace_b);
+  const std::string b = precise_report(sc_b, opt, &trace_b);
+  int rc = 0;
   if (a != b) {
     std::size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
     std::cerr << "determinism FAILED: reports diverge at byte " << i << "\n";
-    return 1;
-  }
-  if (trace_a != trace_b) {
+    rc = 3;
+  } else if (trace_a != trace_b) {
     // The figures of merit matched but a decision differed along the way:
     // point at the first diverging trace line for a one-command repro.
     std::size_t i = 0;
@@ -521,12 +709,16 @@ int cmd_determinism(const std::string& path, const CliOptions& o) {
                            '\n'));
     std::cerr << "determinism FAILED: decision traces diverge at byte " << i
               << " (trace line " << line << ")\n";
-    return 1;
+    rc = 4;
   }
-  std::cout << "determinism OK: two runs byte-identical (report " << a.size()
-            << " bytes, decision trace " << trace_a.size() << " bytes, seed "
-            << sc.seed << ")\n";
-  return 0;
+  if (rc == 0) {
+    std::cout << "determinism OK: two runs byte-identical (report "
+              << a.size() << " bytes, decision trace " << trace_a.size()
+              << " bytes, seed " << sc.seed << ")\n";
+    return 0;
+  }
+  if (o.bisect) return bisect_divergence(sc, sc_b, opt, rc);
+  return rc;
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 ///   iwyu         headers under src/ directly include the standard
 ///                headers they use (include-what-you-use for a curated
 ///                std symbol set)                                (exit 6)
+///   savestate-docs
+///                every field the savestate layer serializes appears in
+///                docs/savestate.md (inventory collected live from a
+///                faulted run with modeled transfers)            (exit 7)
 ///
 /// Each finding prints one diagnostic line; the exit code is that of the
 /// first failing check in the order above (0 = clean, 1 = usage/IO error).
@@ -29,12 +33,16 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "client/policy_registry.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/savestate.hpp"
 #include "core/scenario_io.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace fs = std::filesystem;
@@ -321,6 +329,48 @@ int check_iwyu(const fs::path& root) {
   return g_failures - before;
 }
 
+// ---- savestate-docs -------------------------------------------------------
+
+int check_savestate_docs(const fs::path& root) {
+  const int before = g_failures;
+  const fs::path doc_path = root / "docs" / "savestate.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    diagnose("savestate-docs", "cannot read " + doc_path.string());
+    return g_failures - before;
+  }
+  // The field inventory is collected live, not by source scanning: a
+  // faulted half-day run with modeled transfers is checkpointed at every
+  // inter-event boundary and the savestate_entries names are unioned, so
+  // fields only present mid-flight (pending transfers, retry backoffs,
+  // orphaned jobs) make it into the inventory too.
+  bce::Scenario sc = bce::paper_scenario2();
+  sc.duration = 0.5 * bce::kSecondsPerDay;
+  sc.faults = bce::FaultPlan::light();
+  sc.host.download_bandwidth_bps = 1e6;
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 5e7;
+  }
+  bce::EmulationOptions opt;
+  opt.record_timeline = true;  // covers the timeline.* span fields
+  bce::Emulator em(sc, opt);
+  std::set<std::string> names;
+  em.set_checkpoint_hook([&](bce::Emulator& e) {
+    for (const auto& entry : bce::savestate_entries(e)) {
+      names.insert(entry.name);
+    }
+  });
+  (void)em.run();
+  for (const auto& name : names) {
+    if (doc->find("`" + name + "`") == std::string::npos) {
+      diagnose("savestate-docs", "serialized field \"" + name +
+                                     "\" is missing from " +
+                                     doc_path.string());
+    }
+  }
+  return g_failures - before;
+}
+
 // ---- driver ---------------------------------------------------------------
 
 struct Check {
@@ -337,6 +387,7 @@ const Check kChecks[] = {
     {"logf", 4, check_logf},
     {"scenarios", 5, check_scenarios},
     {"iwyu", 6, check_iwyu},
+    {"savestate-docs", 7, check_savestate_docs},
 };
 
 int usage() {

@@ -10,11 +10,11 @@
 //       Compare two run outputs kernel by kernel. A kernel regresses when
 //       its items/sec falls more than FRAC (default 0.10) below the
 //       baseline. Exits 7 on any regression (0 with --warn-only), so CI
-//       can gate on it against the committed BENCH_5.json baseline.
+//       can gate on it against the committed BENCH_6.json baseline.
 //
 // Every kernel uses only public library API, so the same source measures
 // any revision it is checked out against — that is how the before/after
-// numbers in BENCH_5.json were produced.
+// numbers in BENCH_6.json were produced.
 
 #include <algorithm>
 #include <chrono>
@@ -263,6 +263,78 @@ double k_batch_small(std::uint64_t reps, unsigned n_threads) {
   return static_cast<double>(reps) * static_cast<double>(specs.size());
 }
 
+/// Savestate capture + restore of a mid-run snapshot (docs/savestate.md).
+/// Items are round trips; this bounds what `--save-state` adds to a run
+/// and what each `determinism --bisect` probe pays per checkpoint.
+double k_savestate_roundtrip(std::uint64_t reps) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 0.25 * kSecondsPerDay;
+  EmulationOptions opt;
+  Emulator em(sc, opt);
+  std::vector<std::uint8_t> frame;
+  em.set_checkpoint_hook([&](Emulator& e) {
+    if (frame.empty() && e.now() >= 0.5 * sc.duration) {
+      frame = capture_savestate(e);
+    }
+  });
+  (void)em.run();
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    Emulator fresh(sc, opt);
+    restore_savestate(fresh, frame);
+    sink += static_cast<double>(capture_savestate(fresh).size());
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps);
+}
+
+const std::vector<Duration>& sweep_durations() {
+  static const std::vector<Duration> durations = {
+      0.25 * kSecondsPerDay, 0.5 * kSecondsPerDay, 0.75 * kSecondsPerDay,
+      1.0 * kSecondsPerDay};
+  return durations;
+}
+
+/// A duration sweep run cold: every horizon replays from t = 0. Items are
+/// simulated seconds, directly comparable to sweep_warmstart below.
+double k_sweep_coldstart(std::uint64_t reps) {
+  Scenario sc = paper_scenario2();
+  EmulationOptions opt;
+  double sink = 0.0;
+  double sim_seconds = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    for (const Duration d : sweep_durations()) {
+      sc.duration = d;
+      sink += emulate(sc, opt).metrics.idle_fraction();
+      sim_seconds += d;
+    }
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return sim_seconds;
+}
+
+/// The same sweep forked from shared savestates: run_duration_chain
+/// emulates the common prefix once and warm-starts each longer horizon
+/// from the previous one's snapshot. Items are the same simulated seconds
+/// as sweep_coldstart, so the items/sec gap between the two kernels is the
+/// wall-clock win bench::run_grid banks for duration-varying grids.
+double k_sweep_warmstart(std::uint64_t reps) {
+  Scenario sc = paper_scenario2();
+  EmulationOptions opt;
+  double sink = 0.0;
+  double sim_seconds = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const auto results = run_duration_chain(sc, opt, sweep_durations());
+    sink += results.front().metrics.idle_fraction();
+    for (const Duration d : sweep_durations()) sim_seconds += d;
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return sim_seconds;
+}
+
 struct Kernel {
   const char* name;
   std::function<double(std::uint64_t)> body;
@@ -279,6 +351,9 @@ std::vector<Kernel> kernels() {
       {"emulate_one_day", k_emulate_one_day},
       {"batch_small_1t", [](std::uint64_t r) { return k_batch_small(r, 1); }},
       {"batch_small_8t", [](std::uint64_t r) { return k_batch_small(r, 8); }},
+      {"savestate_roundtrip", k_savestate_roundtrip},
+      {"sweep_coldstart", k_sweep_coldstart},
+      {"sweep_warmstart", k_sweep_warmstart},
   };
 }
 
