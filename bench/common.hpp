@@ -6,6 +6,7 @@
 // and the results/ output boilerplate. They live here once; a driver builds
 // GridPoints, calls run_grid, and reads seed-means off the result.
 
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -151,6 +152,22 @@ inline std::vector<SeedMean> run_grid(const std::vector<GridPoint>& points,
   return out;
 }
 
+// ---- SIGINT cooperation ---------------------------------------------------
+//
+// Long studies install a cooperative SIGINT handler so Ctrl-C flushes the
+// rows computed so far (plus, for sharded studies, the coverage table)
+// instead of discarding hours of work. The flag doubles as the sharded
+// supervisor's stop_flag (fleet/supervisor.hpp), which drains workers and
+// returns a partial ShardedResult.
+
+inline volatile std::sig_atomic_t g_interrupted = 0;
+
+inline void install_sigint_handler() {
+  std::signal(SIGINT, [](int) { g_interrupted = 1; });
+}
+
+inline bool interrupted() { return g_interrupted != 0; }
+
 /// Write \p table as results/<name>.csv (created on demand) and announce it.
 inline bool write_results_csv(const Table& table, const std::string& name) {
   std::filesystem::create_directories("results");
@@ -161,6 +178,17 @@ inline bool write_results_csv(const Table& table, const std::string& name) {
   if (!os) return false;
   std::cout << "table written to " << path << "\n";
   return true;
+}
+
+/// Flush the rows accumulated before an interrupt — print them, persist
+/// them as results/<name>.csv — and return the conventional SIGINT exit
+/// status (128 + SIGINT = 130) for the driver's main to propagate.
+inline int interrupt_flush(const Table& table, const std::string& name) {
+  std::cout << "\ninterrupted: flushing " << table.rows()
+            << " partial row(s)\n";
+  table.print(std::cout);
+  write_results_csv(table, name);
+  return 130;
 }
 
 /// Save \p plot as results/<name>.svg (created on demand) and announce it.

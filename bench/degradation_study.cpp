@@ -9,6 +9,10 @@
 //
 // All runs share a seed, so every row of a table sees the same availability
 // and job-size draws; only the fault channels differ.
+//
+// SIGINT is cooperative: each sweep checks the flag between rows and an
+// interrupt flushes the rows computed so far (printed and persisted under
+// results/) instead of discarding them.
 
 #include <cmath>
 #include <iostream>
@@ -41,7 +45,7 @@ void fault_row(Table& t, const std::string& label, const Metrics& m) {
              std::to_string(m.n_jobs_completed)});
 }
 
-void d1_policy_matrix(unsigned threads) {
+int d1_policy_matrix(unsigned threads) {
   std::cout << "\nD1: fault presets across the policy registry (scenario 2, "
                "10 days)\n";
   struct Level {
@@ -52,6 +56,7 @@ void d1_policy_matrix(unsigned threads) {
                           {"light", FaultPlan::light()},
                           {"heavy", FaultPlan::heavy()}};
   for (const Level& lv : levels) {
+    if (bench::interrupted()) return 130;
     Scenario sc = paper_scenario2();
     sc.faults = lv.plan;
     // Registry-driven: every registered (scheduling, fetch) pair, so a
@@ -66,22 +71,25 @@ void d1_policy_matrix(unsigned threads) {
     }
     t.print(std::cout);
   }
+  return 0;
 }
 
-void d2_job_errors() {
+int d2_job_errors() {
   std::cout << "\nD2: job compute-error rate (scenario 2; errors waste the "
                "FLOPs spent and free the server slot on report)\n";
   Table t({"error rate", "score", "wasted", "fail_wasted", "retries/job",
            "recovery(s)", "completed"});
   for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    if (bench::interrupted()) return bench::interrupt_flush(t, "degradation_d2");
     Scenario sc = paper_scenario2();
     sc.faults.job_error_rate = rate;
     fault_row(t, fmt(rate, 2), run(sc, base_policy()));
   }
   t.print(std::cout);
+  return 0;
 }
 
-void d3_crashes_vs_checkpoints() {
+int d3_crashes_vs_checkpoints() {
   std::cout << "\nD3: host crash MTBF x checkpoint period (scenario 1, slack "
                "1500 s; crashes roll running work back to the last "
                "checkpoint)\n";
@@ -89,6 +97,9 @@ void d3_crashes_vs_checkpoints() {
            "completed"});
   for (const double mtbf : {kSecondsPerDay, kSecondsPerDay / 4.0}) {
     for (const double cp : {60.0, 600.0, kNever}) {
+      if (bench::interrupted()) {
+        return bench::interrupt_flush(t, "degradation_d3");
+      }
       Scenario sc = paper_scenario1(1500.0);
       sc.faults.crash_mtbf = mtbf;
       sc.faults.crash_reboot_delay = 300.0;
@@ -104,14 +115,16 @@ void d3_crashes_vs_checkpoints() {
     }
   }
   t.print(std::cout);
+  return 0;
 }
 
-void d4_rpc_loss() {
+int d4_rpc_loss() {
   std::cout << "\nD4: scheduler-RPC loss (scenario 4; lost replies orphan "
                "assigned jobs until the server reclaims them)\n";
   Table t({"loss rate", "rpcs", "lost", "orphaned", "retries/job", "idle",
            "completed"});
   for (const double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    if (bench::interrupted()) return bench::interrupt_flush(t, "degradation_d4");
     Scenario sc = paper_scenario4();
     sc.faults.rpc_loss_rate = rate;
     sc.faults.rpc_timeout = 3600.0;
@@ -123,9 +136,10 @@ void d4_rpc_loss() {
                std::to_string(m.n_jobs_completed)});
   }
   t.print(std::cout);
+  return 0;
 }
 
-void d5_transfer_errors() {
+int d5_transfer_errors() {
   std::cout << "\nD5: download error rate, resumable vs restart-from-zero "
                "(scenario 1, slack 1800 s, 0.2 MB/s link, 0.1 GB inputs)\n";
   Table t({"error rate", "resumable", "xfer retries", "wasted", "idle",
@@ -133,6 +147,9 @@ void d5_transfer_errors() {
   for (const double rate : {0.0, 0.1, 0.25}) {
     for (const bool resumable : {true, false}) {
       if (rate == 0.0 && !resumable) continue;  // identical to resumable row
+      if (bench::interrupted()) {
+        return bench::interrupt_flush(t, "degradation_d5");
+      }
       Scenario sc = paper_scenario1(1800.0);
       sc.host.download_bandwidth_bps = 2e5;
       for (auto& p : sc.projects) {
@@ -149,17 +166,19 @@ void d5_transfer_errors() {
     }
   }
   t.print(std::cout);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const unsigned threads = bce::bench::threads_from_argv(argc, argv, 1);
+  bce::bench::install_sigint_handler();
   std::cout << "=== Degradation study (fault injection) ===\n";
-  d1_policy_matrix(threads);
-  d2_job_errors();
-  d3_crashes_vs_checkpoints();
-  d4_rpc_loss();
-  d5_transfer_errors();
+  if (const int rc = d1_policy_matrix(threads)) return rc;
+  if (const int rc = d2_job_errors()) return rc;
+  if (const int rc = d3_crashes_vs_checkpoints()) return rc;
+  if (const int rc = d4_rpc_loss()) return rc;
+  if (const int rc = d5_transfer_errors()) return rc;
   return 0;
 }

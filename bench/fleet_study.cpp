@@ -6,17 +6,32 @@
 // A heterogeneous 4-host fleet attached to 3 projects; per-host enforcement
 // (BOINC's behaviour) is compared with cross-host enforcement (per-host
 // shares derived from a fleet-wide max-min allocation).
+//
+// The fleet runs through the sharded supervisor (docs/fleet.md): hosts are
+// partitioned into shards executed by supervised worker subprocesses, so a
+// crashed worker is retried from checkpoint instead of sinking the study,
+// and SIGINT flushes whatever completed plus the coverage table.
+//
+// Usage: fleet_study [workers]   (0 = in-process reference path)
 
+#include <cstdlib>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/bce.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/shard_worker.hpp"
+#include "fleet/supervisor.hpp"
 
 int main(int argc, char** argv) {
+  // The supervisor re-execs this binary as its worker processes.
+  if (const auto rc = bce::maybe_run_shard_worker(argc, argv)) return *rc;
   using namespace bce;
 
-  const unsigned threads = bench::threads_from_argv(argc, argv, 1);
+  bench::install_sigint_handler();
+  const unsigned workers =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2;
+
   FleetConfig fc;
   fc.duration = 5.0 * kSecondsPerDay;
 
@@ -70,20 +85,37 @@ int main(int argc, char** argv) {
   PolicyConfig pol;
   pol.sched = JobSchedPolicy::kGlobal;
 
+  SupervisorConfig sup;
+  sup.n_workers = workers;
+  sup.partial_ok = true;  // a lost shard degrades the study, not kills it
+  sup.stop_flag = &bench::g_interrupted;
+
   std::cout << "Fleet study: 4 heterogeneous hosts, 3 projects, equal global "
-               "shares, 5 days\n\n";
+               "shares, 5 days ("
+            << workers << " worker(s))\n\n";
 
   Table t({"enforcement", "share_violation", "idle", "cpu_proj", "nvidia_proj",
            "mixed_proj"});
-  FleetResult results[2];
+  ShardedFleetResult results[2];
   int row = 0;
   for (const auto mode :
        {FleetEnforcement::kPerHost, FleetEnforcement::kCrossHost}) {
-    FleetResult r = run_fleet(fc, pol, mode, threads);
+    ShardedFleetResult r = run_sharded_fleet(fc, pol, mode, sup);
+    if (bench::interrupted()) {
+      std::cout << "coverage at interrupt:\n";
+      r.sharded.coverage_table().print(std::cout);
+      return bench::interrupt_flush(t, "fleet_study");
+    }
     t.add_row({mode == FleetEnforcement::kPerHost ? "per-host" : "cross-host",
                fmt(r.share_violation), fmt(r.idle_fraction()),
                fmt(r.usage_fraction[0]), fmt(r.usage_fraction[1]),
                fmt(r.usage_fraction[2])});
+    if (!r.sharded.complete()) {
+      std::cout << "warning: " << r.sharded.hosts_lost
+                << " host(s) lost; figures cover " << r.sharded.hosts_done
+                << "/" << r.sharded.hosts_total << " hosts\n";
+      r.sharded.coverage_table().print(std::cout);
+    }
     results[row++] = std::move(r);
   }
   t.print(std::cout);

@@ -3,87 +3,132 @@
 // (JS_GLOBAL + JF_HYSTERESIS) against the baseline (JS_WRR + JF_ORIG)
 // across the whole population rather than on hand-picked scenarios.
 //
-// Usage: population_study [n_scenarios] [duration_days] [threads]
+// Hosts are sampled and emulated through the sharded supervisor
+// (docs/fleet.md) with per-host figures enabled: host i is seeded as
+// seed + stride * (i + 1), so both policy sweeps see the *same* sampled
+// scenario for host i and the comparison stays paired even though the
+// shards run in worker subprocesses. SIGINT flushes the partial table and
+// the coverage accounting of the run in flight.
+//
+// Usage: population_study [n_hosts] [duration_days] [workers]
 
 #include <cstdlib>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/bce.hpp"
+#include "fleet/shard_worker.hpp"
+#include "fleet/supervisor.hpp"
 
 int main(int argc, char** argv) {
+  // The supervisor re-execs this binary as its worker processes.
+  if (const auto rc = bce::maybe_run_shard_worker(argc, argv)) return *rc;
   using namespace bce;
 
+  bench::install_sigint_handler();
   const int n = argc > 1 ? std::atoi(argv[1]) : 30;
   const double days = argc > 2 ? std::atof(argv[2]) : 3.0;
-  const unsigned threads = bench::threads_from_argv(argc, argv, 3);
+  const unsigned workers =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
 
-  Xoshiro256 rng(0xb01ccull);
   PopulationParams pp;
   pp.duration = days * kSecondsPerDay;
+  const std::uint64_t seed = 0xb01ccull;
 
-  std::vector<RunSpec> specs;
-  std::vector<Scenario> scenarios;
-  for (int i = 0; i < n; ++i) {
-    scenarios.push_back(sample_scenario(rng, pp));
-    for (const bool modern : {false, true}) {
-      RunSpec spec;
-      spec.scenario = scenarios.back();
-      spec.options.policy.sched =
-          modern ? JobSchedPolicy::kGlobal : JobSchedPolicy::kWrr;
-      spec.options.policy.fetch =
-          modern ? FetchPolicy::kHysteresis : FetchPolicy::kOrig;
-      // The modern stack also suppresses fetch from overcommitted projects
-      // (hysteresis alone batch-fetches doomed low-slack work).
-      spec.options.policy.fetch_deadline_suppression = modern;
-      spec.label = std::to_string(i);
-      specs.push_back(std::move(spec));
-    }
-  }
+  PolicyConfig baseline_pol;
+  baseline_pol.sched = JobSchedPolicy::kWrr;
+  baseline_pol.fetch = FetchPolicy::kOrig;
+  PolicyConfig modern_pol;
+  modern_pol.sched = JobSchedPolicy::kGlobal;
+  modern_pol.fetch = FetchPolicy::kHysteresis;
+  // The modern stack also suppresses fetch from overcommitted projects
+  // (hysteresis alone batch-fetches doomed low-slack work).
+  modern_pol.fetch_deadline_suppression = true;
+
+  SupervisorConfig sup;
+  sup.n_workers = workers;
+  sup.partial_ok = true;
+  sup.stop_flag = &bench::g_interrupted;
 
   std::cout << "Population study: " << n << " sampled scenarios, " << days
             << " days each, baseline (JS_WRR+JF_ORIG) vs modern "
-               "(JS_GLOBAL+JF_HYSTERESIS)\n\n";
-  const auto results = run_batch(specs, threads);
-
-  struct Agg {
-    RunningStats idle, wasted, viol, mono, rpcs, score;
-    void add(const Metrics& m) {
-      idle.add(m.idle_fraction());
-      wasted.add(m.wasted_fraction());
-      viol.add(m.share_violation());
-      mono.add(m.monotony);
-      rpcs.add(m.rpcs_per_job());
-      score.add(m.weighted_score());
-    }
-  } base, modern;
-
-  Histogram delta(-0.5, 0.5, 20);
-  int wins = 0;
-  for (int i = 0; i < n; ++i) {
-    const auto& b = results[static_cast<std::size_t>(2 * i)].result.metrics;
-    const auto& m = results[static_cast<std::size_t>(2 * i + 1)].result.metrics;
-    base.add(b);
-    modern.add(m);
-    delta.add(m.weighted_score() - b.weighted_score());
-    if (m.weighted_score() < b.weighted_score()) ++wins;
-  }
+               "(JS_GLOBAL+JF_HYSTERESIS), "
+            << workers << " worker(s)\n\n";
 
   Table t({"metric", "baseline mean", "modern mean", "baseline max",
            "modern max"});
-  auto row = [&](const char* name, const RunningStats& a,
-                 const RunningStats& b) {
+
+  ShardedResult runs[2];
+  int row = 0;
+  for (const PolicyConfig* pol : {&baseline_pol, &modern_pol}) {
+    ShardedResult r = run_sharded(
+        make_population_shard_tasks(pp, static_cast<std::uint64_t>(n), seed,
+                                    *pol, 4, /*include_host_figures=*/true),
+        sup);
+    if (bench::interrupted()) {
+      std::cout << "coverage at interrupt ("
+                << (row == 0 ? "baseline" : "modern") << " sweep):\n";
+      r.coverage_table().print(std::cout);
+      return bench::interrupt_flush(t, "population_study");
+    }
+    if (!r.complete()) {
+      std::cout << "warning: " << (row == 0 ? "baseline" : "modern")
+                << " sweep lost " << r.hosts_lost << "/" << r.hosts_total
+                << " host(s)\n";
+      r.coverage_table().print(std::cout);
+    }
+    runs[row++] = std::move(r);
+  }
+
+  struct Agg {
+    RunningStats idle, wasted, viol, mono, rpcs, score;
+    void add(const HostFigures& f) {
+      idle.add(f.idle);
+      wasted.add(f.wasted);
+      viol.add(f.share_violation);
+      mono.add(f.monotony);
+      rpcs.add(f.rpcs_per_job);
+      score.add(f.score);
+    }
+  } base, modern;
+
+  // Paired per-host comparison over hosts both sweeps completed: shard i
+  // covers the same host range in both runs, so "done in both" is exactly
+  // the intersection of done shards.
+  Histogram delta(-0.5, 0.5, 20);
+  int wins = 0;
+  int paired = 0;
+  const auto& bs = runs[0];
+  const auto& ms = runs[1];
+  std::uint64_t host0 = 0;
+  for (std::size_t s = 0; s < bs.shards.size(); ++s) {
+    const bool both_done = bs.shards[s].state == ShardState::kDone &&
+                           ms.shards[s].state == ShardState::kDone;
+    for (std::uint64_t h = 0; both_done && h < bs.shards[s].n_hosts; ++h) {
+      const HostFigures& b = bs.host_figures[host0 + h];
+      const HostFigures& m = ms.host_figures[host0 + h];
+      base.add(b);
+      modern.add(m);
+      delta.add(m.score - b.score);
+      if (m.score < b.score) ++wins;
+      ++paired;
+    }
+    host0 += bs.shards[s].n_hosts;
+  }
+
+  auto trow = [&](const char* name, const RunningStats& a,
+                  const RunningStats& b) {
     t.add_row({name, fmt(a.mean()), fmt(b.mean()), fmt(a.max()), fmt(b.max())});
   };
-  row("idle", base.idle, modern.idle);
-  row("wasted", base.wasted, modern.wasted);
-  row("share_violation", base.viol, modern.viol);
-  row("monotony", base.mono, modern.mono);
-  row("rpcs/job", base.rpcs, modern.rpcs);
-  row("weighted score", base.score, modern.score);
+  trow("idle", base.idle, modern.idle);
+  trow("wasted", base.wasted, modern.wasted);
+  trow("share_violation", base.viol, modern.viol);
+  trow("monotony", base.mono, modern.mono);
+  trow("rpcs/job", base.rpcs, modern.rpcs);
+  trow("weighted score", base.score, modern.score);
   t.print(std::cout);
 
-  std::cout << "\nmodern wins on " << wins << "/" << n
+  std::cout << "\nmodern wins on " << wins << "/" << paired
             << " scenarios; distribution of score delta (modern - baseline, "
                "negative = modern better):\n"
             << delta.to_ascii(40);

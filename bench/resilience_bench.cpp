@@ -1,0 +1,112 @@
+// Micro-benchmarks for the resilience layer (docs/fleet.md): what shard
+// checkpointing costs on the write path, what resume costs on the read
+// path, and the end-to-end overhead checkpointing adds to a shard. The
+// perf gate (tools/bce_perf) tracks two of these shapes as the
+// fleet_sharded and shard_checkpoint_resume kernels; this driver gives
+// the finer breakdown.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/bce.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/shard_worker.hpp"
+
+namespace {
+
+using namespace bce;
+
+std::string tmp_path(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+/// A small replicated-scenario shard: 2 hosts of paper scenario 2.
+ShardTask make_task(double days) {
+  ShardTask task;
+  task.label = "bench";
+  Scenario sc = paper_scenario2();
+  sc.duration = days * kSecondsPerDay;
+  for (std::uint64_t h = 0; h < 2; ++h) {
+    Scenario host = sc;
+    host.seed = sc.seed + h;
+    task.scenario_texts.push_back(serialize_scenario(host));
+  }
+  return task;
+}
+
+/// A checkpoint carrying a mid-run emulator frame — the expensive shape
+/// (host-boundary checkpoints have an empty frame).
+ShardCheckpoint make_checkpoint(const ShardTask& task) {
+  Scenario sc = parse_scenario(task.scenario_texts[0]);
+  sc.duration = 0.25 * kSecondsPerDay;
+  EmulationOptions opt;
+  Emulator em(sc, opt);
+  ShardCheckpoint cp;
+  cp.hosts_done = 0;
+  cp.seq = 1;
+  em.set_checkpoint_hook([&](Emulator& e) {
+    if (cp.frame.empty() && e.now() >= 0.5 * sc.duration) {
+      cp.frame = capture_savestate(e);
+    }
+  });
+  (void)em.run();
+  return cp;
+}
+
+void BM_ShardCheckpointWrite(benchmark::State& state) {
+  const ShardTask task = make_task(0.5);
+  const ShardCheckpoint cp = make_checkpoint(task);
+  const std::string path = tmp_path("resilience_bench_write.bcsp");
+  for (auto _ : state) {
+    write_shard_checkpoint(path, task, cp);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardCheckpointWrite);
+
+void BM_ShardCheckpointReadResume(benchmark::State& state) {
+  const ShardTask task = make_task(0.5);
+  const ShardCheckpoint cp = make_checkpoint(task);
+  const std::string path = tmp_path("resilience_bench_read.bcsp");
+  write_shard_checkpoint(path, task, cp);
+  const Scenario sc = parse_scenario(task.scenario_texts[0]);
+  const EmulationOptions opt;
+  for (auto _ : state) {
+    const ShardCheckpoint in = read_shard_checkpoint(path, task);
+    Emulator em(sc, opt);
+    restore_savestate(em, in.frame);
+    benchmark::DoNotOptimize(em.now());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardCheckpointReadResume);
+
+/// End-to-end shard cost without/with checkpointing — the difference is
+/// the resilience tax a worker pays per shard.
+void BM_ShardInline(benchmark::State& state) {
+  const bool checkpointed = state.range(0) != 0;
+  ShardTask task = make_task(0.1);
+  const std::string path = tmp_path("resilience_bench_inline.bcsp");
+  if (checkpointed) {
+    task.checkpoint_path = path;
+    task.checkpoint_every_hosts = 1;
+    task.checkpoint_sim_period = 0.02 * kSecondsPerDay;
+  }
+  for (auto _ : state) {
+    const ShardOutput out = run_shard(task);
+    benchmark::DoNotOptimize(out.hosts_done);
+  }
+  if (checkpointed) std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+  state.SetLabel(checkpointed ? "checkpointed" : "bare");
+}
+BENCHMARK(BM_ShardInline)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,8 @@
 #include "core/controller.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "client/policy_registry.hpp"
 #include "core/savestate.hpp"
 #include "sim/thread_pool.hpp"
@@ -11,11 +14,18 @@ std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
   std::vector<RunResult> results(specs.size());
   ThreadPool::shared().parallel_for(
       specs.size(), resolve_thread_count(n_threads), [&](std::size_t i) {
-        // Fill the slot only once the emulation succeeded: if another run
-        // throws, untouched slots stay default-initialized rather than
-        // half-written (label set, result empty).
-        results[i].result = emulate(specs[i].scenario, specs[i].options);
-        results[i].label = specs[i].label;
+        try {
+          // Fill the slot only once the emulation succeeded: if another
+          // run throws, untouched slots stay default-initialized rather
+          // than half-written (label set, result empty).
+          results[i].result = emulate(specs[i].scenario, specs[i].options);
+          results[i].label = specs[i].label;
+        } catch (const std::exception& e) {
+          // Name the culprit: the pool's fail-fast surfaces only the first
+          // exception, and "item 31572 of 100000" beats a bare what().
+          throw std::runtime_error("run_batch item " + std::to_string(i) +
+                                   " (" + specs[i].label + "): " + e.what());
+        }
       });
   return results;
 }
@@ -34,9 +44,15 @@ std::vector<ChainResult> run_chain_batch(const std::vector<ChainSpec>& specs,
   std::vector<ChainResult> results(specs.size());
   ThreadPool::shared().parallel_for(
       specs.size(), resolve_thread_count(n_threads), [&](std::size_t i) {
-        results[i].results = run_duration_chain(
-            specs[i].scenario, specs[i].options, specs[i].durations);
-        results[i].label = specs[i].label;
+        try {
+          results[i].results = run_duration_chain(
+              specs[i].scenario, specs[i].options, specs[i].durations);
+          results[i].label = specs[i].label;
+        } catch (const std::exception& e) {
+          throw std::runtime_error("run_chain_batch item " +
+                                   std::to_string(i) + " (" + specs[i].label +
+                                   "): " + e.what());
+        }
       });
   return results;
 }

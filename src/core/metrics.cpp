@@ -1,5 +1,6 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +45,132 @@ std::string Metrics::summary() const {
     out += buf;
   }
   return out;
+}
+
+namespace {
+
+/// Weighted mean with exact identity edges: a zero-weight side is dropped
+/// entirely (copy, not 0-weighted arithmetic), so folding into an empty
+/// accumulator reproduces the other side bitwise.
+double weighted_mean(double a, double wa, double b, double wb) {
+  if (wb <= 0.0) return a;
+  if (wa <= 0.0) return b;
+  return (a * wa + b * wb) / (wa + wb);
+}
+
+}  // namespace
+
+void Metrics::merge(const Metrics& other) {
+  // Weighted figures first: they need both sides' pre-merge totals.
+  const double wu = used_flops;
+  const double ou = other.used_flops;
+  const double wa = available_flops;
+  const double oa = other.available_flops;
+
+  const std::size_t np =
+      std::max(usage_fraction.size(), other.usage_fraction.size());
+  usage_fraction.resize(np, 0.0);
+  for (std::size_t p = 0; p < np; ++p) {
+    const double theirs =
+        p < other.usage_fraction.size() ? other.usage_fraction[p] : 0.0;
+    usage_fraction[p] = weighted_mean(usage_fraction[p], wu, theirs, ou);
+  }
+  share_violation_rms =
+      weighted_mean(share_violation_rms, wu, other.share_violation_rms, ou);
+  monotony = weighted_mean(monotony, wa, other.monotony, oa);
+  mean_exclusive_streak =
+      weighted_mean(mean_exclusive_streak, wa, other.mean_exclusive_streak, oa);
+
+  available_flops += other.available_flops;
+  used_flops += other.used_flops;
+  wasted_flops += other.wasted_flops;
+  failure_wasted_flops += other.failure_wasted_flops;
+  recovery_time_sum += other.recovery_time_sum;
+  n_rpcs += other.n_rpcs;
+  n_work_request_rpcs += other.n_work_request_rpcs;
+  n_jobs_fetched += other.n_jobs_fetched;
+  n_jobs_completed += other.n_jobs_completed;
+  n_jobs_missed += other.n_jobs_missed;
+  n_jobs_abandoned += other.n_jobs_abandoned;
+  n_preemptions += other.n_preemptions;
+  n_sched_passes += other.n_sched_passes;
+  n_job_failures += other.n_job_failures;
+  n_job_aborts += other.n_job_aborts;
+  n_host_crashes += other.n_host_crashes;
+  n_crash_recoveries += other.n_crash_recoveries;
+  n_rpcs_lost += other.n_rpcs_lost;
+  n_jobs_orphaned += other.n_jobs_orphaned;
+  n_transfer_retries += other.n_transfer_retries;
+  for (std::size_t c = 0; c < trace_events.size(); ++c) {
+    trace_events[c] += other.trace_events[c];
+  }
+}
+
+void save_metrics(StateWriter& w, const Metrics& m) {
+  w.put_f64("wire.available_flops", m.available_flops);
+  w.put_f64("wire.used_flops", m.used_flops);
+  w.put_f64("wire.wasted_flops", m.wasted_flops);
+  w.put_f64("wire.share_violation_rms", m.share_violation_rms);
+  w.put_f64("wire.monotony", m.monotony);
+  w.put_f64("wire.mean_exclusive_streak", m.mean_exclusive_streak);
+  w.put_i64("wire.n_rpcs", m.n_rpcs);
+  w.put_i64("wire.n_work_request_rpcs", m.n_work_request_rpcs);
+  w.put_i64("wire.n_jobs_fetched", m.n_jobs_fetched);
+  w.put_i64("wire.n_jobs_completed", m.n_jobs_completed);
+  w.put_i64("wire.n_jobs_missed", m.n_jobs_missed);
+  w.put_i64("wire.n_jobs_abandoned", m.n_jobs_abandoned);
+  w.put_i64("wire.n_preemptions", m.n_preemptions);
+  w.put_i64("wire.n_sched_passes", m.n_sched_passes);
+  w.put_f64("wire.failure_wasted_flops", m.failure_wasted_flops);
+  w.put_f64("wire.recovery_time_sum", m.recovery_time_sum);
+  w.put_i64("wire.n_job_failures", m.n_job_failures);
+  w.put_i64("wire.n_job_aborts", m.n_job_aborts);
+  w.put_i64("wire.n_host_crashes", m.n_host_crashes);
+  w.put_i64("wire.n_crash_recoveries", m.n_crash_recoveries);
+  w.put_i64("wire.n_rpcs_lost", m.n_rpcs_lost);
+  w.put_i64("wire.n_jobs_orphaned", m.n_jobs_orphaned);
+  w.put_i64("wire.n_transfer_retries", m.n_transfer_retries);
+  w.put_count("wire.usage_fraction", m.usage_fraction.size());
+  for (const double u : m.usage_fraction) w.put_f64("wire.usage", u);
+  w.put_count("wire.trace_events", m.trace_events.size());
+  for (const std::int64_t t : m.trace_events) w.put_i64("wire.trace", t);
+}
+
+Metrics load_metrics(StateReader& r) {
+  Metrics m;
+  m.available_flops = r.get_f64("wire.available_flops");
+  m.used_flops = r.get_f64("wire.used_flops");
+  m.wasted_flops = r.get_f64("wire.wasted_flops");
+  m.share_violation_rms = r.get_f64("wire.share_violation_rms");
+  m.monotony = r.get_f64("wire.monotony");
+  m.mean_exclusive_streak = r.get_f64("wire.mean_exclusive_streak");
+  m.n_rpcs = r.get_i64("wire.n_rpcs");
+  m.n_work_request_rpcs = r.get_i64("wire.n_work_request_rpcs");
+  m.n_jobs_fetched = r.get_i64("wire.n_jobs_fetched");
+  m.n_jobs_completed = r.get_i64("wire.n_jobs_completed");
+  m.n_jobs_missed = r.get_i64("wire.n_jobs_missed");
+  m.n_jobs_abandoned = r.get_i64("wire.n_jobs_abandoned");
+  m.n_preemptions = r.get_i64("wire.n_preemptions");
+  m.n_sched_passes = r.get_i64("wire.n_sched_passes");
+  m.failure_wasted_flops = r.get_f64("wire.failure_wasted_flops");
+  m.recovery_time_sum = r.get_f64("wire.recovery_time_sum");
+  m.n_job_failures = r.get_i64("wire.n_job_failures");
+  m.n_job_aborts = r.get_i64("wire.n_job_aborts");
+  m.n_host_crashes = r.get_i64("wire.n_host_crashes");
+  m.n_crash_recoveries = r.get_i64("wire.n_crash_recoveries");
+  m.n_rpcs_lost = r.get_i64("wire.n_rpcs_lost");
+  m.n_jobs_orphaned = r.get_i64("wire.n_jobs_orphaned");
+  m.n_transfer_retries = r.get_i64("wire.n_transfer_retries");
+  const std::uint64_t np = r.get_count("wire.usage_fraction");
+  m.usage_fraction.resize(np);
+  for (double& u : m.usage_fraction) u = r.get_f64("wire.usage");
+  const std::uint64_t nt = r.get_count("wire.trace_events");
+  if (nt != m.trace_events.size()) {
+    throw SavestateError(SavestateErrc::kFieldMismatch,
+                         "trace_events count mismatch");
+  }
+  for (std::int64_t& t : m.trace_events) t = r.get_i64("wire.trace");
+  return m;
 }
 
 MetricsCollector::MetricsCollector(const HostInfo& host,

@@ -135,7 +135,31 @@ struct Metrics {
 
   /// Compact one-line summary for logs and quick comparisons.
   [[nodiscard]] std::string summary() const;
+
+  /// Fold \p other into this, so a fleet/population run can stream one
+  /// accumulator per shard instead of keeping per-host result rows
+  /// (docs/fleet.md). Semantics:
+  ///  * raw FLOP integrals and every event/fault counter sum;
+  ///  * `usage_fraction` becomes the used-FLOPS-weighted mean, padded to
+  ///    the longer vector (merging across hosts with different project
+  ///    counts is allowed; missing projects contribute 0);
+  ///  * `share_violation_rms` is used-FLOPS-weighted, `monotony` and
+  ///    `mean_exclusive_streak` are available-FLOPS-weighted means — each
+  ///    host's figure weighted by how much of the merged total it covers.
+  /// Merging into (or from) a default-constructed Metrics copies the other
+  /// side exactly, so a sequential left-fold is bitwise deterministic:
+  /// folding the same sequence in the same order always yields the same
+  /// bits, which is what the sharded supervisor's byte-identity invariant
+  /// rests on. Merging is exactly commutative; associativity holds only up
+  /// to floating-point rounding (tests/test_metrics_merge.cpp).
+  void merge(const Metrics& other);
 };
+
+/// Bit-exact wire serialization of a Metrics (doubles as raw IEEE-754
+/// bits): how shard workers ship their merged accumulator back to the
+/// supervisor, and how shard checkpoints persist partial folds.
+void save_metrics(StateWriter& w, const Metrics& m);
+Metrics load_metrics(StateReader& r);
 
 /// Streaming collector fed by the emulator main loop.
 class MetricsCollector {

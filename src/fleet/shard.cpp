@@ -1,0 +1,485 @@
+#include "fleet/shard.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace bce {
+
+namespace {
+
+// A frame longer than this is a corrupt stream, not a real payload (the
+// largest legitimate frame is a shard result with per-host figures).
+constexpr std::uint32_t kMaxFrameLen = 1u << 30;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void save_policy(StateWriter& w, const PolicyConfig& p) {
+  w.put_u32("task.sched", static_cast<std::uint32_t>(p.sched));
+  w.put_u32("task.fetch", static_cast<std::uint32_t>(p.fetch));
+  w.put_str("task.sched_by_name", p.sched_by_name);
+  w.put_str("task.fetch_by_name", p.fetch_by_name);
+  w.put_u32("task.endangered_order",
+            static_cast<std::uint32_t>(p.endangered_order));
+  w.put_u32("task.transfer_order",
+            static_cast<std::uint32_t>(p.transfer_order));
+  w.put_f64("task.rec_half_life", p.rec_half_life);
+  w.put_bool("task.server_deadline_check", p.server_deadline_check);
+  w.put_bool("task.fetch_deadline_suppression", p.fetch_deadline_suppression);
+  w.put_bool("task.use_duration_correction", p.use_duration_correction);
+}
+
+PolicyConfig load_policy(StateReader& r) {
+  PolicyConfig p;
+  p.sched = static_cast<JobSchedPolicy>(r.get_u32("task.sched"));
+  p.fetch = static_cast<FetchPolicy>(r.get_u32("task.fetch"));
+  p.sched_by_name = r.get_str("task.sched_by_name");
+  p.fetch_by_name = r.get_str("task.fetch_by_name");
+  p.endangered_order =
+      static_cast<EndangeredOrder>(r.get_u32("task.endangered_order"));
+  p.transfer_order =
+      static_cast<TransferOrder>(r.get_u32("task.transfer_order"));
+  p.rec_half_life = r.get_f64("task.rec_half_life");
+  p.server_deadline_check = r.get_bool("task.server_deadline_check");
+  p.fetch_deadline_suppression = r.get_bool("task.fetch_deadline_suppression");
+  p.use_duration_correction = r.get_bool("task.use_duration_correction");
+  return p;
+}
+
+void save_population(StateWriter& w, const PopulationParams& p) {
+  w.put_i64("task.pop.min_cpus", p.min_cpus);
+  w.put_i64("task.pop.max_cpus", p.max_cpus);
+  w.put_f64("task.pop.cpu_flops_lo", p.cpu_flops_lo);
+  w.put_f64("task.pop.cpu_flops_hi", p.cpu_flops_hi);
+  w.put_f64("task.pop.gpu_probability", p.gpu_probability);
+  w.put_i64("task.pop.max_gpus", p.max_gpus);
+  w.put_f64("task.pop.gpu_speedup_lo", p.gpu_speedup_lo);
+  w.put_f64("task.pop.gpu_speedup_hi", p.gpu_speedup_hi);
+  w.put_i64("task.pop.min_projects", p.min_projects);
+  w.put_i64("task.pop.max_projects", p.max_projects);
+  w.put_f64("task.pop.job_seconds_lo", p.job_seconds_lo);
+  w.put_f64("task.pop.job_seconds_hi", p.job_seconds_hi);
+  w.put_f64("task.pop.latency_factor_lo", p.latency_factor_lo);
+  w.put_f64("task.pop.latency_factor_hi", p.latency_factor_hi);
+  w.put_f64("task.pop.intermittent_probability", p.intermittent_probability);
+  w.put_f64("task.pop.mean_on_lo", p.mean_on_lo);
+  w.put_f64("task.pop.mean_on_hi", p.mean_on_hi);
+  w.put_f64("task.pop.duration", p.duration);
+}
+
+PopulationParams load_population(StateReader& r) {
+  PopulationParams p;
+  p.min_cpus = static_cast<int>(r.get_i64("task.pop.min_cpus"));
+  p.max_cpus = static_cast<int>(r.get_i64("task.pop.max_cpus"));
+  p.cpu_flops_lo = r.get_f64("task.pop.cpu_flops_lo");
+  p.cpu_flops_hi = r.get_f64("task.pop.cpu_flops_hi");
+  p.gpu_probability = r.get_f64("task.pop.gpu_probability");
+  p.max_gpus = static_cast<int>(r.get_i64("task.pop.max_gpus"));
+  p.gpu_speedup_lo = r.get_f64("task.pop.gpu_speedup_lo");
+  p.gpu_speedup_hi = r.get_f64("task.pop.gpu_speedup_hi");
+  p.min_projects = static_cast<int>(r.get_i64("task.pop.min_projects"));
+  p.max_projects = static_cast<int>(r.get_i64("task.pop.max_projects"));
+  p.job_seconds_lo = r.get_f64("task.pop.job_seconds_lo");
+  p.job_seconds_hi = r.get_f64("task.pop.job_seconds_hi");
+  p.latency_factor_lo = r.get_f64("task.pop.latency_factor_lo");
+  p.latency_factor_hi = r.get_f64("task.pop.latency_factor_hi");
+  p.intermittent_probability = r.get_f64("task.pop.intermittent_probability");
+  p.mean_on_lo = r.get_f64("task.pop.mean_on_lo");
+  p.mean_on_hi = r.get_f64("task.pop.mean_on_hi");
+  p.duration = r.get_f64("task.pop.duration");
+  return p;
+}
+
+void save_host_figures(StateWriter& w, const std::vector<HostFigures>& v) {
+  w.put_count("out.host_figures", v.size());
+  for (const HostFigures& f : v) {
+    w.put_f64("out.hf.score", f.score);
+    w.put_f64("out.hf.idle", f.idle);
+    w.put_f64("out.hf.wasted", f.wasted);
+    w.put_f64("out.hf.share_violation", f.share_violation);
+    w.put_f64("out.hf.monotony", f.monotony);
+    w.put_f64("out.hf.rpcs_per_job", f.rpcs_per_job);
+  }
+}
+
+std::vector<HostFigures> load_host_figures(StateReader& r) {
+  const std::uint64_t n = r.get_count("out.host_figures");
+  std::vector<HostFigures> v(n);
+  for (HostFigures& f : v) {
+    f.score = r.get_f64("out.hf.score");
+    f.idle = r.get_f64("out.hf.idle");
+    f.wasted = r.get_f64("out.hf.wasted");
+    f.share_violation = r.get_f64("out.hf.share_violation");
+    f.monotony = r.get_f64("out.hf.monotony");
+    f.rpcs_per_job = r.get_f64("out.hf.rpcs_per_job");
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- harness fault injection ---------------------------------------------
+
+HarnessFaultPlan parse_harness_faults(const std::string& spec) {
+  HarnessFaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    const std::size_t at = entry.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon) {
+      throw std::invalid_argument("harness fault \"" + entry +
+                                  "\": expected kind:shard@checkpoint");
+    }
+    const std::string kind = entry.substr(0, colon);
+    HarnessFault f;
+    if (kind == "kill") {
+      f.kind = HarnessFaultKind::kKill;
+    } else if (kind == "stall") {
+      f.kind = HarnessFaultKind::kStall;
+    } else {
+      throw std::invalid_argument("harness fault kind \"" + kind +
+                                  "\": expected kill or stall");
+    }
+    try {
+      f.shard = static_cast<std::uint32_t>(
+          std::stoul(entry.substr(colon + 1, at - colon - 1)));
+      f.at_checkpoint = std::stoull(entry.substr(at + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("harness fault \"" + entry +
+                                  "\": bad shard or checkpoint number");
+    }
+    if (f.at_checkpoint == 0) {
+      throw std::invalid_argument("harness fault \"" + entry +
+                                  "\": checkpoints are numbered from 1");
+    }
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+HarnessFault fault_for(const HarnessFaultPlan& plan, std::uint32_t shard) {
+  for (const HarnessFault& f : plan.faults) {
+    if (f.shard == shard) return f;
+  }
+  return {};
+}
+
+// ---- pipe protocol --------------------------------------------------------
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Read exactly n bytes. 1 = ok, 0 = clean EOF before the first byte,
+/// -1 = error or mid-read EOF.
+int read_all(int fd, std::uint8_t* data, std::size_t n) {
+  bool any = false;
+  while (n > 0) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return any ? -1 : 0;
+    any = true;
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, ShardMsg type,
+                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> header;
+  header.reserve(5);
+  append_u32(header, static_cast<std::uint32_t>(payload.size()));
+  header.push_back(static_cast<std::uint8_t>(type));
+  return write_all(fd, header.data(), header.size()) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<ShardFrame> read_frame(int fd) {
+  std::uint8_t header[5];
+  const int rc = read_all(fd, header, sizeof header);
+  if (rc == 0) return std::nullopt;
+  if (rc < 0) throw std::runtime_error("shard pipe: truncated frame header");
+  const std::uint32_t len = read_u32(header);
+  if (len > kMaxFrameLen) {
+    throw std::runtime_error("shard pipe: oversized frame (corrupt stream)");
+  }
+  ShardFrame f;
+  f.type = static_cast<ShardMsg>(header[4]);
+  f.payload.resize(len);
+  if (len > 0 && read_all(fd, f.payload.data(), len) != 1) {
+    throw std::runtime_error("shard pipe: truncated frame payload");
+  }
+  return f;
+}
+
+void FrameBuffer::append(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameBuffer::next(ShardFrame& out) {
+  if (buf_.size() - pos_ < 5) return false;
+  const std::uint32_t len = read_u32(buf_.data() + pos_);
+  if (len > kMaxFrameLen) {
+    throw std::runtime_error("shard pipe: oversized frame (corrupt stream)");
+  }
+  if (buf_.size() - pos_ < 5 + static_cast<std::size_t>(len)) return false;
+  out.type = static_cast<ShardMsg>(buf_[pos_ + 4]);
+  out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
+                     buf_.begin() +
+                         static_cast<std::ptrdiff_t>(pos_ + 5 + len));
+  pos_ += 5 + len;
+  // Reclaim consumed bytes once they dominate the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return true;
+}
+
+// ---- shard task -----------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_shard_task(const ShardTask& task) {
+  StateWriter w;
+  w.put_u32("task.shard_index", task.shard_index);
+  w.put_str("task.label", task.label);
+  save_policy(w, task.policy);
+  w.put_count("task.scenarios", task.scenario_texts.size());
+  for (const std::string& text : task.scenario_texts) {
+    w.put_str("task.scenario", text);
+  }
+  w.put_count("task.project_maps", task.project_map.size());
+  for (const std::vector<std::uint32_t>& map : task.project_map) {
+    w.put_count("task.project_map", map.size());
+    for (const std::uint32_t p : map) w.put_u32("task.pm", p);
+  }
+  w.put_u32("task.n_merge_projects", task.n_merge_projects);
+  save_population(w, task.population);
+  w.put_u64("task.population_seed", task.population_seed);
+  w.put_u64("task.first_host", task.first_host);
+  w.put_u64("task.n_population_hosts", task.n_population_hosts);
+  w.put_bool("task.include_host_figures", task.include_host_figures);
+  w.put_str("task.checkpoint_path", task.checkpoint_path);
+  w.put_u64("task.checkpoint_every_hosts", task.checkpoint_every_hosts);
+  w.put_f64("task.checkpoint_sim_period", task.checkpoint_sim_period);
+  w.put_bool("task.resume", task.resume);
+  w.put_u32("task.fault", static_cast<std::uint32_t>(task.fault));
+  w.put_u64("task.fault_checkpoint", task.fault_checkpoint);
+  return w.payload();
+}
+
+ShardTask deserialize_shard_task(const std::vector<std::uint8_t>& bytes) {
+  StateReader r(bytes);
+  ShardTask task;
+  task.shard_index = r.get_u32("task.shard_index");
+  task.label = r.get_str("task.label");
+  task.policy = load_policy(r);
+  task.scenario_texts.resize(r.get_count("task.scenarios"));
+  for (std::string& text : task.scenario_texts) {
+    text = r.get_str("task.scenario");
+  }
+  task.project_map.resize(r.get_count("task.project_maps"));
+  for (std::vector<std::uint32_t>& map : task.project_map) {
+    map.resize(r.get_count("task.project_map"));
+    for (std::uint32_t& p : map) p = r.get_u32("task.pm");
+  }
+  task.n_merge_projects = r.get_u32("task.n_merge_projects");
+  task.population = load_population(r);
+  task.population_seed = r.get_u64("task.population_seed");
+  task.first_host = r.get_u64("task.first_host");
+  task.n_population_hosts = r.get_u64("task.n_population_hosts");
+  task.include_host_figures = r.get_bool("task.include_host_figures");
+  task.checkpoint_path = r.get_str("task.checkpoint_path");
+  task.checkpoint_every_hosts = r.get_u64("task.checkpoint_every_hosts");
+  task.checkpoint_sim_period = r.get_f64("task.checkpoint_sim_period");
+  task.resume = r.get_bool("task.resume");
+  task.fault = static_cast<HarnessFaultKind>(r.get_u32("task.fault"));
+  task.fault_checkpoint = r.get_u64("task.fault_checkpoint");
+  if (!r.at_end()) {
+    throw SavestateError(SavestateErrc::kFieldMismatch,
+                         "trailing bytes after the shard task");
+  }
+  return task;
+}
+
+std::uint64_t shard_task_fingerprint(const ShardTask& task) {
+  // Normalize out the knobs a retry legitimately changes: the same work
+  // keeps the same fingerprint across resume attempts and fault plans.
+  ShardTask norm = task;
+  norm.resume = false;
+  norm.fault = HarnessFaultKind::kNone;
+  norm.fault_checkpoint = 0;
+  norm.checkpoint_path.clear();
+  const std::vector<std::uint8_t> bytes = serialize_shard_task(norm);
+  return fnv1a64_bytes(bytes.data(), bytes.size());
+}
+
+// ---- shard output ---------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_shard_output(const ShardOutput& out) {
+  StateWriter w;
+  save_metrics(w, out.merged);
+  w.put_u64("out.hosts_done", out.hosts_done);
+  w.put_u64("out.checkpoints_written", out.checkpoints_written);
+  save_host_figures(w, out.host_figures);
+  return w.payload();
+}
+
+ShardOutput deserialize_shard_output(const std::vector<std::uint8_t>& bytes) {
+  StateReader r(bytes);
+  ShardOutput out;
+  out.merged = load_metrics(r);
+  out.hosts_done = r.get_u64("out.hosts_done");
+  out.checkpoints_written = r.get_u64("out.checkpoints_written");
+  out.host_figures = load_host_figures(r);
+  if (!r.at_end()) {
+    throw SavestateError(SavestateErrc::kFieldMismatch,
+                         "trailing bytes after the shard output");
+  }
+  return out;
+}
+
+// ---- shard checkpoints ----------------------------------------------------
+
+void write_shard_checkpoint(const std::string& path, const ShardTask& task,
+                            const ShardCheckpoint& cp) {
+  StateWriter w;
+  w.put_u64("cp.hosts_done", cp.hosts_done);
+  w.put_u64("cp.seq", cp.seq);
+  save_metrics(w, cp.merged);
+  save_host_figures(w, cp.host_figures);
+  w.put_bytes("cp.frame", cp.frame);
+  const std::vector<std::uint8_t>& payload = w.payload();
+
+  std::vector<std::uint8_t> file;
+  file.reserve(28 + payload.size() + 8);
+  file.insert(file.end(), kShardCheckpointMagic, kShardCheckpointMagic + 8);
+  append_u32(file, kShardCheckpointVersion);
+  append_u64(file, shard_task_fingerprint(task));
+  append_u64(file, payload.size());
+  file.insert(file.end(), payload.begin(), payload.end());
+  append_u64(file, fnv1a64_bytes(payload.data(), payload.size()));
+
+  // Write-to-tmp + rename so a worker killed mid-write leaves the previous
+  // checkpoint intact instead of a torn file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw SavestateError(SavestateErrc::kIo, "cannot open " + tmp);
+  }
+  const std::size_t n = std::fwrite(file.data(), 1, file.size(), f);
+  const bool ok = n == file.size() && std::fclose(f) == 0;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SavestateError(SavestateErrc::kIo, "cannot write " + path);
+  }
+}
+
+ShardCheckpoint read_shard_checkpoint(const std::string& path,
+                                      const ShardTask& task) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SavestateError(SavestateErrc::kIo, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> file;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    file.insert(file.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+  if (file.size() < kHeaderSize) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "file shorter than the checkpoint header");
+  }
+  if (std::memcmp(file.data(), kShardCheckpointMagic, 8) != 0) {
+    throw SavestateError(SavestateErrc::kBadMagic,
+                         "not a shard checkpoint (bad magic)");
+  }
+  const std::uint32_t version = read_u32(file.data() + 8);
+  if (version != kShardCheckpointVersion) {
+    throw SavestateError(
+        SavestateErrc::kBadVersion,
+        "checkpoint version " + std::to_string(version) +
+            ", this build reads " + std::to_string(kShardCheckpointVersion));
+  }
+  const std::uint64_t fp = read_u64(file.data() + 12);
+  if (fp != shard_task_fingerprint(task)) {
+    throw SavestateError(SavestateErrc::kScenarioMismatch,
+                         "checkpoint written for a different shard task");
+  }
+  const std::uint64_t payload_len = read_u64(file.data() + 20);
+  if (file.size() < kHeaderSize + payload_len + 8) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "file shorter than its header claims");
+  }
+  const std::uint8_t* payload = file.data() + kHeaderSize;
+  if (fnv1a64_bytes(payload, payload_len) != read_u64(payload + payload_len)) {
+    throw SavestateError(SavestateErrc::kCorrupt,
+                         "payload checksum mismatch");
+  }
+
+  StateReader r(std::vector<std::uint8_t>(payload, payload + payload_len));
+  ShardCheckpoint cp;
+  cp.hosts_done = r.get_u64("cp.hosts_done");
+  cp.seq = r.get_u64("cp.seq");
+  cp.merged = load_metrics(r);
+  cp.host_figures = load_host_figures(r);
+  cp.frame = r.get_bytes("cp.frame");
+  if (!r.at_end()) {
+    throw SavestateError(SavestateErrc::kFieldMismatch,
+                         "trailing bytes after the checkpoint payload");
+  }
+  return cp;
+}
+
+}  // namespace bce

@@ -1,0 +1,225 @@
+#pragma once
+
+/// \file shard.hpp
+/// Wire types for sharded fleet execution (docs/fleet.md).
+///
+/// A fleet/population run is partitioned into *shards* of hosts. Each
+/// shard is described by a self-contained ShardTask — everything a worker
+/// needs to emulate its hosts with zero shared memory: the policy, either
+/// explicit serialized scenarios or a population slice (params + seed +
+/// host range), checkpoint settings, and an optional harness fault to
+/// inject. Tasks and results cross the supervisor/worker pipe as
+/// length-prefixed frames ([u32 len][u8 ShardMsg][payload]); payloads are
+/// StateWriter byte streams, so every double travels as raw IEEE-754 bits
+/// and the byte-identity invariant (supervisor merged figures == monolithic
+/// run) survives the process boundary.
+///
+/// Shard checkpoints (`.bcsp` files) persist a worker's partial fold —
+/// merged metrics, hosts done, per-host figures so far, and optionally a
+/// mid-host `.bcss` emulator frame — so a killed worker's replacement
+/// re-does only the tail of the shard. The checkpoint embeds a fingerprint
+/// of its task (with resume/fault/path knobs normalized out) and a payload
+/// checksum; mismatches are rejected with SavestateError, never silently
+/// resumed.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/policy.hpp"
+#include "core/metrics.hpp"
+#include "core/population.hpp"
+#include "sim/state_io.hpp"
+
+namespace bce {
+
+// ---- harness fault injection ---------------------------------------------
+
+/// What the harness fault plan does to a worker (docs/fleet.md). Faults
+/// are applied by the *worker itself* at a checkpoint boundary — that is
+/// what makes kill-and-resume runs deterministic enough to pin
+/// byte-identity in tests.
+enum class HarnessFaultKind : std::uint8_t {
+  kNone = 0,
+  kKill,   ///< worker _exit()s right after writing the checkpoint
+  kStall,  ///< worker stops heartbeating forever (supervisor must time out)
+};
+
+struct HarnessFault {
+  std::uint32_t shard = 0;
+  HarnessFaultKind kind = HarnessFaultKind::kNone;
+  /// 1-based checkpoint sequence number at which the fault fires.
+  std::uint64_t at_checkpoint = 1;
+};
+
+struct HarnessFaultPlan {
+  std::vector<HarnessFault> faults;
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+};
+
+/// Parse a `--harness-faults` spec: comma-separated `kind:shard@checkpoint`
+/// entries, e.g. "kill:1@2,stall:0@1". Throws std::invalid_argument on
+/// malformed input.
+HarnessFaultPlan parse_harness_faults(const std::string& spec);
+
+/// The fault planned for \p shard, or kind == kNone.
+HarnessFault fault_for(const HarnessFaultPlan& plan, std::uint32_t shard);
+
+// ---- pipe protocol --------------------------------------------------------
+
+/// Frame types on the supervisor <-> worker pipe.
+enum class ShardMsg : std::uint8_t {
+  kTask = 1,       ///< supervisor -> worker: serialized ShardTask
+  kHeartbeat = 2,  ///< worker -> supervisor: liveness (hosts done so far)
+  kCheckpoint = 3, ///< worker -> supervisor: checkpoint seq written
+  kResult = 4,     ///< worker -> supervisor: serialized ShardOutput
+  kError = 5,      ///< worker -> supervisor: error text
+};
+
+struct ShardFrame {
+  ShardMsg type = ShardMsg::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Blocking frame write ([u32 len][u8 type][payload], little-endian),
+/// retrying on EINTR. Returns false when the peer is gone (EPIPE etc.).
+bool write_frame(int fd, ShardMsg type, const std::vector<std::uint8_t>& payload);
+
+/// Blocking frame read, retrying on EINTR. Returns nullopt on clean EOF;
+/// throws std::runtime_error on a malformed or mid-frame-truncated stream.
+std::optional<ShardFrame> read_frame(int fd);
+
+/// Reassembles frames from a nonblocking read side: the supervisor appends
+/// whatever bytes poll() delivered and extracts complete frames.
+class FrameBuffer {
+ public:
+  void append(const std::uint8_t* data, std::size_t n);
+  /// Extract the next complete frame, if any. Throws std::runtime_error on
+  /// an oversized length prefix (corrupt stream).
+  bool next(ShardFrame& out);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+// ---- shard task -----------------------------------------------------------
+
+/// One shard of work, fully self-describing. Exactly one of the two host
+/// sources is active: explicit `scenario_texts` (fleet mode, replicated
+/// scenario mode) or a population slice (`n_population_hosts` > 0).
+struct ShardTask {
+  std::uint32_t shard_index = 0;
+  std::string label;
+  PolicyConfig policy;
+
+  /// Explicit mode: one serialized scenario per host (serialize_scenario
+  /// round-trips doubles exactly, so shipping text loses nothing).
+  std::vector<std::string> scenario_texts;
+  /// Optional per-host remap of local project index -> merged project
+  /// index (fleet runs, where hosts attach different project subsets).
+  /// Empty = identity.
+  std::vector<std::vector<std::uint32_t>> project_map;
+  /// Size of the merged usage_fraction vector when project_map is used.
+  std::uint32_t n_merge_projects = 0;
+
+  /// Population mode: hosts [first_host, first_host + n_population_hosts)
+  /// of the population drawn from `population` with `population_seed`.
+  /// Each host h seeds its own Xoshiro256 stream from
+  /// population_seed + GOLDEN * (first_host + h + 1), so a shard can be
+  /// sampled without replaying the hosts before it.
+  PopulationParams population;
+  std::uint64_t population_seed = 1;
+  std::uint64_t first_host = 0;
+  std::uint64_t n_population_hosts = 0;
+
+  /// Keep per-host figure rows (population studies). Off = only the merged
+  /// accumulator flows back, memory stays flat in the host count.
+  bool include_host_figures = false;
+
+  /// Checkpointing: empty path = no checkpoints. A checkpoint is written
+  /// every `checkpoint_every_hosts` completed hosts, and additionally every
+  /// `checkpoint_sim_period` simulated seconds inside a host when > 0
+  /// (mid-host checkpoints embed a `.bcss` emulator frame).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_hosts = 1;
+  double checkpoint_sim_period = 0.0;
+
+  /// Resume from `checkpoint_path` if it holds a valid checkpoint for this
+  /// task. Set by the supervisor on retry attempts.
+  bool resume = false;
+
+  /// Harness fault injected by this worker (attempt 0 only; the supervisor
+  /// strips it on retries).
+  HarnessFaultKind fault = HarnessFaultKind::kNone;
+  std::uint64_t fault_checkpoint = 0;
+
+  [[nodiscard]] std::uint64_t n_hosts() const {
+    return scenario_texts.empty() ? n_population_hosts
+                                  : scenario_texts.size();
+  }
+};
+
+std::vector<std::uint8_t> serialize_shard_task(const ShardTask& task);
+ShardTask deserialize_shard_task(const std::vector<std::uint8_t>& bytes);
+
+/// Fingerprint of the work a task describes, invariant under the knobs a
+/// retry changes (resume flag, fault plan, checkpoint path). A checkpoint
+/// written under one fingerprint is only resumable by a task with the
+/// same fingerprint.
+std::uint64_t shard_task_fingerprint(const ShardTask& task);
+
+// ---- shard output ---------------------------------------------------------
+
+/// Per-host figures of merit kept when include_host_figures is set.
+struct HostFigures {
+  double score = 0.0;
+  double idle = 0.0;
+  double wasted = 0.0;
+  double share_violation = 0.0;
+  double monotony = 0.0;
+  double rpcs_per_job = 0.0;
+};
+
+struct ShardOutput {
+  Metrics merged;
+  std::uint64_t hosts_done = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::vector<HostFigures> host_figures;
+};
+
+std::vector<std::uint8_t> serialize_shard_output(const ShardOutput& out);
+ShardOutput deserialize_shard_output(const std::vector<std::uint8_t>& bytes);
+
+// ---- shard checkpoints ----------------------------------------------------
+
+/// File magic of a shard checkpoint (`.bcsp`), distinct from the emulator
+/// savestate magic so the two cannot be confused.
+inline constexpr char kShardCheckpointMagic[8] = {'B', 'C', 'E', 'S',
+                                                  'H', 'A', 'R', 'D'};
+inline constexpr std::uint32_t kShardCheckpointVersion = 1;
+
+/// A worker's partial fold at a checkpoint boundary. `frame` is empty at a
+/// host boundary (the next host starts from t = 0) and holds a framed
+/// `.bcss` emulator savestate for a mid-host checkpoint.
+struct ShardCheckpoint {
+  std::uint64_t hosts_done = 0;
+  std::uint64_t seq = 0;  ///< checkpoint sequence number, 1-based
+  Metrics merged;
+  std::vector<HostFigures> host_figures;
+  std::vector<std::uint8_t> frame;
+};
+
+/// Atomically (write-to-tmp + rename) persist \p cp for \p task. Throws
+/// SavestateError(kIo) on filesystem failure.
+void write_shard_checkpoint(const std::string& path, const ShardTask& task,
+                            const ShardCheckpoint& cp);
+
+/// Read and validate a checkpoint. Throws SavestateError: kIo (unreadable),
+/// kBadMagic, kBadVersion, kTruncated, kCorrupt (checksum), or
+/// kScenarioMismatch (written for a different task fingerprint).
+ShardCheckpoint read_shard_checkpoint(const std::string& path,
+                                      const ShardTask& task);
+
+}  // namespace bce

@@ -1,0 +1,216 @@
+#include "fleet/shard_worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/emulator.hpp"
+#include "core/population.hpp"
+#include "core/savestate.hpp"
+#include "core/scenario_io.hpp"
+#include "fleet/shard.hpp"
+#include "sim/rng.hpp"
+
+namespace bce {
+
+namespace {
+
+/// Per-host RNG stream offset (SplitMix64's golden-gamma): distinct seeds
+/// per global host index, so any shard can sample its slice of the
+/// population without replaying the hosts before it.
+constexpr std::uint64_t kHostSeedStride = 0x9e3779b97f4a7c15ull;
+
+Scenario shard_host_scenario(const ShardTask& task, std::uint64_t h) {
+  if (!task.scenario_texts.empty()) {
+    return parse_scenario(task.scenario_texts[h]);
+  }
+  Xoshiro256 rng(task.population_seed +
+                 kHostSeedStride * (task.first_host + h + 1));
+  return sample_scenario(rng, task.population);
+}
+
+void append_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+ShardOutput run_shard(const ShardTask& task, const ShardHooks& hooks) {
+  ShardOutput out;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> inflight;  // mid-host .bcss frame to resume from
+  const std::uint64_t n = task.n_hosts();
+
+  if (task.resume && !task.checkpoint_path.empty()) {
+    try {
+      ShardCheckpoint cp = read_shard_checkpoint(task.checkpoint_path, task);
+      out.merged = cp.merged;
+      out.host_figures = cp.host_figures;
+      out.hosts_done = cp.hosts_done;
+      seq = cp.seq;
+      inflight = std::move(cp.frame);
+    } catch (const SavestateError&) {
+      // No checkpoint yet (the worker died before writing one) or an
+      // unusable file: cold-start the shard. Same result, just slower.
+      out = {};
+      seq = 0;
+      inflight.clear();
+    }
+  }
+
+  const auto maybe_fault = [&]() {
+    if (task.fault == HarnessFaultKind::kNone ||
+        seq != task.fault_checkpoint) {
+      return;
+    }
+    if (task.fault == HarnessFaultKind::kKill && hooks.on_fault_kill) {
+      hooks.on_fault_kill();
+    }
+    if (task.fault == HarnessFaultKind::kStall && hooks.on_fault_stall) {
+      hooks.on_fault_stall();
+    }
+  };
+
+  const auto write_cp = [&](std::vector<std::uint8_t> frame) {
+    ShardCheckpoint cp;
+    cp.hosts_done = out.hosts_done;
+    cp.seq = ++seq;
+    cp.merged = out.merged;
+    cp.host_figures = out.host_figures;
+    cp.frame = std::move(frame);
+    write_shard_checkpoint(task.checkpoint_path, task, cp);
+    ++out.checkpoints_written;
+    if (hooks.on_checkpoint) hooks.on_checkpoint(seq, out.hosts_done);
+    maybe_fault();
+  };
+
+  for (std::uint64_t h = out.hosts_done; h < n; ++h) {
+    try {
+      const Scenario sc = shard_host_scenario(task, h);
+      EmulationOptions opt;
+      opt.policy = task.policy;
+      Emulator em(sc, opt);
+
+      bool resumed_mid_host = false;
+      if (!inflight.empty()) {
+        restore_savestate(em, inflight);
+        inflight.clear();
+        resumed_mid_host = true;
+      }
+
+      double next_mark = 0.0;
+      if (task.checkpoint_sim_period > 0.0 && !task.checkpoint_path.empty()) {
+        const double period = task.checkpoint_sim_period;
+        // First boundary strictly past the current clock: a restored run
+        // must not re-write the checkpoint it restored from.
+        next_mark = resumed_mid_host
+                        ? (std::floor((em.now() + kFpEpsilon) / period) + 1.0) *
+                              period
+                        : period;
+        em.set_checkpoint_hook([&, period](Emulator& e) {
+          while (e.now() + kFpEpsilon >= next_mark) {
+            next_mark += period;
+            write_cp(capture_savestate(e));
+          }
+        });
+      }
+
+      EmulationResult res = em.run();
+      Metrics m = std::move(res.metrics);
+      if (!task.project_map.empty()) {
+        // Fleet mode: lift local project usage into the merged indexing so
+        // hosts attached to different project subsets fold coherently.
+        const std::vector<std::uint32_t>& map = task.project_map[h];
+        std::vector<double> lifted(task.n_merge_projects, 0.0);
+        for (std::size_t p = 0; p < m.usage_fraction.size() && p < map.size();
+             ++p) {
+          lifted[map[p]] += m.usage_fraction[p];
+        }
+        m.usage_fraction = std::move(lifted);
+      }
+
+      out.merged.merge(m);
+      if (task.include_host_figures) {
+        out.host_figures.push_back(
+            {m.weighted_score(), m.idle_fraction(), m.wasted_fraction(),
+             m.share_violation(), m.monotony, m.rpcs_per_job()});
+      }
+      ++out.hosts_done;
+      if (hooks.on_host_done) hooks.on_host_done(out.hosts_done);
+
+      if (!task.checkpoint_path.empty() && task.checkpoint_every_hosts > 0 &&
+          (out.hosts_done % task.checkpoint_every_hosts == 0 ||
+           out.hosts_done == n)) {
+        write_cp({});
+      }
+    } catch (const std::exception& e) {
+      throw std::runtime_error("shard " + std::to_string(task.shard_index) +
+                               " host " + std::to_string(h) + " (" +
+                               task.label + "): " + e.what());
+    }
+  }
+  return out;
+}
+
+int run_shard_worker(int in_fd, int out_fd) {
+  // A dying supervisor must surface as a failed write, not SIGPIPE death.
+  ::signal(SIGPIPE, SIG_IGN);
+  try {
+    const std::optional<ShardFrame> frame = read_frame(in_fd);
+    if (!frame || frame->type != ShardMsg::kTask) {
+      return kWorkerExitProtocolError;
+    }
+    const ShardTask task = deserialize_shard_task(frame->payload);
+
+    const auto send_progress = [out_fd](ShardMsg type, std::uint64_t a,
+                                        std::uint64_t b) {
+      std::vector<std::uint8_t> payload;
+      append_u64_le(payload, a);
+      append_u64_le(payload, b);
+      write_frame(out_fd, type, payload);
+    };
+
+    ShardHooks hooks;
+    hooks.on_host_done = [&](std::uint64_t done) {
+      send_progress(ShardMsg::kHeartbeat, done, 0);
+    };
+    hooks.on_checkpoint = [&](std::uint64_t seq, std::uint64_t done) {
+      send_progress(ShardMsg::kCheckpoint, seq, done);
+    };
+    hooks.on_fault_kill = [] { ::_exit(kWorkerExitHarnessKill); };
+    hooks.on_fault_stall = [] {
+      for (;;) ::pause();
+    };
+
+    // Initial heartbeat: tells the supervisor the worker is alive and
+    // parsed its task before the first (possibly long) host completes.
+    send_progress(ShardMsg::kHeartbeat, 0, 0);
+
+    const ShardOutput out = run_shard(task, hooks);
+    if (!write_frame(out_fd, ShardMsg::kResult, serialize_shard_output(out))) {
+      return kWorkerExitProtocolError;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    std::vector<std::uint8_t> payload(what.begin(), what.end());
+    write_frame(out_fd, ShardMsg::kError, payload);
+    return kWorkerExitProtocolError;
+  }
+}
+
+std::optional<int> maybe_run_shard_worker(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--bce-shard-worker") == 0 ||
+                    std::strcmp(argv[1], "shard-worker") == 0)) {
+    return run_shard_worker(STDIN_FILENO, STDOUT_FILENO);
+  }
+  return std::nullopt;
+}
+
+}  // namespace bce

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file shard_worker.hpp
+/// Shard execution: the loop that actually emulates a shard's hosts and
+/// folds their metrics — shared between the supervisor's in-process mode
+/// (n_workers == 0, no subprocesses: tests and single-threaded use) and the
+/// `--bce-shard-worker` subprocess entry point (docs/fleet.md).
+///
+/// The loop is written so that a kill-and-resume run is bitwise identical
+/// to an undisturbed one: hosts fold in fixed order, the checkpoint stores
+/// the exact partial fold (doubles as raw bits), and a mid-host checkpoint
+/// embeds a `.bcss` emulator frame whose restore is byte-exact (PR 6).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "fleet/shard.hpp"
+
+namespace bce {
+
+/// Worker process exit codes (docs/fleet.md). Distinct from the emulator
+/// CLI's savestate exit codes so a supervisor log is unambiguous.
+inline constexpr int kWorkerExitProtocolError = 40;
+inline constexpr int kWorkerExitHarnessKill = 41;
+
+/// Observation points in the shard loop. All optional; the in-process mode
+/// typically passes none (harness faults are then inert, since a fault
+/// without a kill hook has nothing to do).
+struct ShardHooks {
+  /// A host finished and was folded into the running accumulator.
+  std::function<void(std::uint64_t hosts_done)> on_host_done;
+  /// Checkpoint \p seq was written covering \p hosts_done complete hosts.
+  std::function<void(std::uint64_t seq, std::uint64_t hosts_done)>
+      on_checkpoint;
+  /// The task's harness fault fired (kill / stall) at its checkpoint.
+  std::function<void()> on_fault_kill;
+  std::function<void()> on_fault_stall;
+};
+
+/// Execute one shard: emulate its hosts in order, fold each host's Metrics
+/// into the running accumulator, write checkpoints per the task's settings,
+/// and resume from the task's checkpoint file when `task.resume` is set
+/// (a missing or unusable checkpoint silently falls back to a cold start —
+/// the result is the same, just slower). Exceptions from the emulator
+/// propagate with the shard/host index prepended.
+ShardOutput run_shard(const ShardTask& task, const ShardHooks& hooks = {});
+
+/// Subprocess entry: read one kTask frame from \p in_fd, run the shard
+/// reporting heartbeat/checkpoint frames on \p out_fd, then write a kResult
+/// frame. Returns the process exit code (0, or kWorkerExit*). Kill faults
+/// _exit(kWorkerExitHarnessKill) directly; stall faults never return.
+int run_shard_worker(int in_fd, int out_fd);
+
+/// Intercept for main(): when argv[1] selects the hidden worker mode
+/// (`--bce-shard-worker`, or the spelled-out `shard-worker`), run the
+/// worker over stdin/stdout and return its exit code; otherwise nullopt.
+/// Every binary that calls run_sharded with subprocess workers must call
+/// this first thing in main() — the supervisor re-execs the current
+/// executable (docs/fleet.md).
+std::optional<int> maybe_run_shard_worker(int argc, char** argv);
+
+}  // namespace bce

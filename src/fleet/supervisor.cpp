@@ -1,0 +1,571 @@
+#include "fleet/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+
+#include "core/scenario_io.hpp"
+#include "fleet/shard_worker.hpp"
+
+namespace bce {
+
+const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kRunning: return "running";
+    case ShardState::kDone: return "done";
+    case ShardState::kLost: return "lost";
+    case ShardState::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+Table ShardedResult::coverage_table() const {
+  Table t({"shard", "label", "state", "attempts", "hosts", "done",
+           "checkpoints"});
+  for (const ShardReport& s : shards) {
+    t.add_row({std::to_string(s.index), s.label, shard_state_name(s.state),
+               std::to_string(s.attempts), std::to_string(s.n_hosts),
+               std::to_string(s.hosts_done), std::to_string(s.checkpoints)});
+  }
+  return t;
+}
+
+namespace {
+
+double mono_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::uint64_t le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) {
+    throw std::runtime_error("supervisor: cannot resolve /proc/self/exe");
+  }
+  return {buf, static_cast<std::size_t>(n)};
+}
+
+/// Supervisor-side view of one shard across its attempts.
+struct Slot {
+  ShardTask task;
+  ShardState state = ShardState::kPending;
+  int attempts = 0;
+  double eligible_at = 0.0;  ///< mono_now() before which a retry waits
+  std::string error;
+
+  // Live-attempt state (subprocess path).
+  pid_t pid = -1;
+  int fd = -1;  ///< nonblocking read side of the worker's stdout
+  FrameBuffer fb;
+  double started_at = 0.0;
+  double last_beat = 0.0;
+  std::uint64_t hosts_seen = 0;
+  std::uint64_t checkpoints_seen = 0;
+  bool got_result = false;
+  ShardOutput output;
+};
+
+ShardReport make_report(const Slot& s) {
+  ShardReport r;
+  r.index = s.task.shard_index;
+  r.label = s.task.label;
+  r.state = s.state;
+  r.attempts = s.attempts;
+  r.n_hosts = s.task.n_hosts();
+  r.hosts_done =
+      s.state == ShardState::kDone ? s.output.hosts_done : s.hosts_seen;
+  r.checkpoints = s.state == ShardState::kDone ? s.output.checkpoints_written
+                                               : s.checkpoints_seen;
+  r.error = s.error;
+  return r;
+}
+
+/// Close the pipe and reap the worker process, killing it first if asked.
+void reap(Slot& s, bool kill_it) {
+  if (s.fd >= 0) {
+    ::close(s.fd);
+    s.fd = -1;
+  }
+  if (s.pid > 0) {
+    if (kill_it) ::kill(s.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    s.pid = -1;
+  }
+}
+
+void launch(Slot& s, const std::string& exe, const std::string& arg) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    throw std::runtime_error("supervisor: pipe() failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("supervisor: fork() failed");
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(exe.c_str(), exe.c_str(), arg.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  // Ship the task and close the pipe: the worker needs nothing further
+  // from us. A write failure (worker died instantly, e.g. exec failed)
+  // surfaces below as EOF-before-result and goes down the retry path.
+  write_frame(to_child[1], ShardMsg::kTask, serialize_shard_task(s.task));
+  ::close(to_child[1]);
+
+  ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+  s.pid = pid;
+  s.fd = from_child[0];
+  s.fb = FrameBuffer{};
+  s.got_result = false;
+  s.started_at = s.last_beat = mono_now();
+}
+
+void mark_interrupted(std::vector<Slot>& slots) {
+  for (Slot& s : slots) {
+    if (s.state == ShardState::kRunning) {
+      reap(s, true);
+      s.state = ShardState::kInterrupted;
+      s.error = "interrupted";
+    } else if (s.state == ShardState::kPending) {
+      s.state = ShardState::kInterrupted;
+      s.error = "interrupted";
+    }
+  }
+}
+
+void run_inline(std::vector<Slot>& slots, const SupervisorConfig& cfg) {
+  for (Slot& s : slots) {
+    if (cfg.stop_flag != nullptr && *cfg.stop_flag != 0) {
+      mark_interrupted(slots);
+      return;
+    }
+    ++s.attempts;
+    try {
+      // No hooks: harness faults are inert in-process, which makes this
+      // the undisturbed reference the subprocess path is tested against.
+      s.output = run_shard(s.task);
+      s.got_result = true;
+      s.state = ShardState::kDone;
+      s.hosts_seen = s.output.hosts_done;
+      s.checkpoints_seen = s.output.checkpoints_written;
+    } catch (const std::exception& e) {
+      s.error = e.what();
+      s.state = ShardState::kLost;
+      if (!cfg.partial_ok) {
+        throw ShardFailedError(
+            make_report(s), "shard " + std::to_string(s.task.shard_index) +
+                                " failed: " + s.error);
+      }
+    }
+  }
+}
+
+void run_subprocess(std::vector<Slot>& slots, const SupervisorConfig& cfg) {
+  const std::string exe = cfg.worker_exe.empty() ? self_exe() : cfg.worker_exe;
+  // A worker dying mid-write must surface as an error return, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto fail_attempt = [&](Slot& s, const std::string& why) {
+    reap(s, true);
+    s.error = why;
+    if (s.attempts > cfg.max_retries) {
+      s.state = ShardState::kLost;
+      if (!cfg.partial_ok) {
+        for (Slot& o : slots) {
+          if (o.state == ShardState::kRunning) reap(o, true);
+        }
+        throw ShardFailedError(
+            make_report(s),
+            "shard " + std::to_string(s.task.shard_index) + " failed after " +
+                std::to_string(s.attempts) + " attempt(s): " + why);
+      }
+      return;
+    }
+    s.state = ShardState::kPending;
+    const double backoff =
+        std::min(cfg.backoff_initial * std::ldexp(1.0, s.attempts - 1),
+                 cfg.backoff_max);
+    s.eligible_at = mono_now() + backoff;
+    // Retries resume from the last checkpoint; harness faults fire on the
+    // first attempt only, otherwise a killed worker would re-kill forever.
+    s.task.resume = true;
+    s.task.fault = HarnessFaultKind::kNone;
+    s.task.fault_checkpoint = 0;
+  };
+
+  for (;;) {
+    if (cfg.stop_flag != nullptr && *cfg.stop_flag != 0) {
+      mark_interrupted(slots);
+      return;
+    }
+
+    unsigned running = 0;
+    bool pending = false;
+    for (const Slot& s : slots) {
+      if (s.state == ShardState::kRunning) ++running;
+      if (s.state == ShardState::kPending) pending = true;
+    }
+    if (running == 0 && !pending) return;
+
+    const double now = mono_now();
+    for (Slot& s : slots) {
+      if (running >= cfg.n_workers) break;
+      if (s.state != ShardState::kPending || s.eligible_at > now) continue;
+      launch(s, exe, cfg.worker_arg);
+      ++s.attempts;
+      s.state = ShardState::kRunning;
+      ++running;
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> who;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].state != ShardState::kRunning) continue;
+      pfds.push_back(pollfd{slots[i].fd, POLLIN, 0});
+      who.push_back(i);
+    }
+    if (pfds.empty()) {
+      // Everything alive is waiting out a retry backoff.
+      ::usleep(20 * 1000);
+      continue;
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+
+    const double tick = mono_now();
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      Slot& s = slots[who[k]];
+      if (s.state != ShardState::kRunning) continue;
+
+      bool eof = false;
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        std::uint8_t buf[4096];
+        for (;;) {
+          const ssize_t r = ::read(s.fd, buf, sizeof buf);
+          if (r > 0) {
+            s.fb.append(buf, static_cast<std::size_t>(r));
+            continue;
+          }
+          if (r == 0) {
+            eof = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          eof = true;
+          break;
+        }
+      }
+
+      try {
+        ShardFrame f;
+        while (s.fb.next(f)) {
+          s.last_beat = tick;
+          switch (f.type) {
+            case ShardMsg::kHeartbeat:
+              if (f.payload.size() >= 8) {
+                s.hosts_seen = std::max(s.hosts_seen, le64(f.payload.data()));
+              }
+              break;
+            case ShardMsg::kCheckpoint:
+              if (f.payload.size() >= 16) {
+                s.checkpoints_seen =
+                    std::max(s.checkpoints_seen, le64(f.payload.data()));
+                s.hosts_seen =
+                    std::max(s.hosts_seen, le64(f.payload.data() + 8));
+              }
+              break;
+            case ShardMsg::kResult:
+              s.output = deserialize_shard_output(f.payload);
+              s.got_result = true;
+              break;
+            case ShardMsg::kError:
+              s.error.assign(f.payload.begin(), f.payload.end());
+              break;
+            default:
+              throw std::runtime_error("unexpected frame type");
+          }
+        }
+      } catch (const ShardFailedError&) {
+        throw;
+      } catch (const std::exception& e) {
+        fail_attempt(s, std::string("protocol error: ") + e.what());
+        continue;
+      }
+
+      if (s.got_result) {
+        reap(s, false);
+        s.state = ShardState::kDone;
+        s.hosts_seen = s.output.hosts_done;
+        s.checkpoints_seen = s.output.checkpoints_written;
+        continue;
+      }
+      if (eof) {
+        fail_attempt(s, s.error.empty()
+                            ? "worker exited before sending a result"
+                            : s.error);
+        continue;
+      }
+      if (cfg.heartbeat_timeout > 0.0 &&
+          tick - s.last_beat > cfg.heartbeat_timeout) {
+        fail_attempt(s, "no heartbeat for " +
+                            std::to_string(tick - s.last_beat) +
+                            "s (worker hung)");
+        continue;
+      }
+      if (cfg.shard_deadline > 0.0 &&
+          tick - s.started_at > cfg.shard_deadline) {
+        fail_attempt(s, "shard deadline exceeded");
+      }
+    }
+  }
+}
+
+/// Fold completed shards in shard-index order — completion order must not
+/// leak into the merged figures (byte-identity across reorderings of the
+/// same completions).
+ShardedResult finalize(std::vector<Slot>& slots) {
+  ShardedResult out;
+  bool any_figures = false;
+  for (const Slot& s : slots) {
+    out.hosts_total += s.task.n_hosts();
+    if (s.task.include_host_figures) any_figures = true;
+  }
+  if (any_figures) out.host_figures.resize(out.hosts_total);
+
+  std::uint64_t offset = 0;
+  for (Slot& s : slots) {
+    const std::uint64_t nh = s.task.n_hosts();
+    if (s.state == ShardState::kDone) {
+      out.merged.merge(s.output.merged);
+      out.hosts_done += nh;
+      if (any_figures) {
+        for (std::size_t i = 0; i < s.output.host_figures.size() && i < nh;
+             ++i) {
+          out.host_figures[offset + i] = s.output.host_figures[i];
+        }
+      }
+    } else if (s.state == ShardState::kLost) {
+      out.hosts_lost += nh;
+    }
+    out.shards.push_back(make_report(s));
+    offset += nh;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedResult run_sharded(std::vector<ShardTask> tasks,
+                          const SupervisorConfig& config) {
+  std::vector<Slot> slots;
+  slots.reserve(tasks.size());
+  for (ShardTask& t : tasks) {
+    if (!config.checkpoint_dir.empty() && t.checkpoint_path.empty()) {
+      t.checkpoint_path = config.checkpoint_dir + "/shard-" +
+                          std::to_string(t.shard_index) + ".bcsp";
+    }
+    const HarnessFault f = fault_for(config.harness_faults, t.shard_index);
+    if (f.kind != HarnessFaultKind::kNone) {
+      t.fault = f.kind;
+      t.fault_checkpoint = f.at_checkpoint;
+    }
+    Slot s;
+    s.task = std::move(t);
+    slots.push_back(std::move(s));
+  }
+
+  if (config.n_workers == 0) {
+    run_inline(slots, config);
+  } else {
+    run_subprocess(slots, config);
+  }
+  return finalize(slots);
+}
+
+// ---- task builders --------------------------------------------------------
+
+namespace {
+
+std::string range_label(const std::string& stem, std::uint64_t lo,
+                        std::uint64_t hi) {
+  return stem + "[" + std::to_string(lo) + ".." + std::to_string(hi) + ")";
+}
+
+}  // namespace
+
+std::vector<ShardTask> make_population_shard_tasks(
+    const PopulationParams& params, std::uint64_t n_hosts, std::uint64_t seed,
+    const PolicyConfig& policy, std::uint64_t hosts_per_shard,
+    bool include_host_figures) {
+  if (hosts_per_shard == 0) hosts_per_shard = 1;
+  std::vector<ShardTask> tasks;
+  for (std::uint64_t first = 0; first < n_hosts; first += hosts_per_shard) {
+    ShardTask t;
+    t.shard_index = static_cast<std::uint32_t>(tasks.size());
+    t.policy = policy;
+    t.population = params;
+    t.population_seed = seed;
+    t.first_host = first;
+    t.n_population_hosts = std::min(hosts_per_shard, n_hosts - first);
+    t.include_host_figures = include_host_figures;
+    t.label = range_label("pop", first, first + t.n_population_hosts);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<ShardTask> make_replicated_shard_tasks(
+    const Scenario& scenario, const PolicyConfig& policy,
+    std::uint64_t n_hosts, std::uint64_t hosts_per_shard) {
+  if (hosts_per_shard == 0) hosts_per_shard = 1;
+  std::vector<ShardTask> tasks;
+  for (std::uint64_t first = 0; first < n_hosts; first += hosts_per_shard) {
+    const std::uint64_t count = std::min(hosts_per_shard, n_hosts - first);
+    ShardTask t;
+    t.shard_index = static_cast<std::uint32_t>(tasks.size());
+    t.policy = policy;
+    t.label = range_label(scenario.name, first, first + count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Scenario sc = scenario;
+      sc.seed = scenario.seed + first + i;
+      t.scenario_texts.push_back(serialize_scenario(sc));
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<ShardTask> make_fleet_shard_tasks(const FleetConfig& config,
+                                              const PolicyConfig& policy,
+                                              FleetEnforcement mode,
+                                              std::uint64_t hosts_per_shard) {
+  if (hosts_per_shard == 0) hosts_per_shard = 1;
+  const std::size_t nh = config.hosts.size();
+  const std::size_t np = config.projects.size();
+
+  std::vector<std::vector<double>> shares;
+  if (mode == FleetEnforcement::kCrossHost) {
+    shares = cross_host_shares(config);
+  } else {
+    std::vector<double> global(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      global[p] = config.projects[p].resource_share;
+    }
+    shares.assign(nh, global);
+  }
+
+  std::vector<ShardTask> tasks;
+  for (std::size_t first = 0; first < nh; first += hosts_per_shard) {
+    const std::size_t count = std::min<std::size_t>(hosts_per_shard,
+                                                    nh - first);
+    ShardTask t;
+    t.shard_index = static_cast<std::uint32_t>(tasks.size());
+    t.policy = policy;
+    t.label = range_label("fleet", first, first + count);
+    t.n_merge_projects = static_cast<std::uint32_t>(np);
+    for (std::size_t h = first; h < first + count; ++h) {
+      const Scenario sc = fleet_host_scenario(config, h, shares[h]);
+      // Fleet index of each attached project, in scenario project order.
+      std::vector<std::uint32_t> map;
+      for (const auto& pc : sc.projects) {
+        for (std::size_t p = 0; p < np; ++p) {
+          if (config.projects[p].name == pc.name) {
+            map.push_back(static_cast<std::uint32_t>(p));
+            break;
+          }
+        }
+      }
+      t.scenario_texts.push_back(serialize_scenario(sc));
+      t.project_map.push_back(std::move(map));
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+ShardedFleetResult run_sharded_fleet(const FleetConfig& config,
+                                     const PolicyConfig& policy,
+                                     FleetEnforcement mode,
+                                     const SupervisorConfig& sup,
+                                     std::uint64_t hosts_per_shard) {
+  ShardedFleetResult out;
+  if (mode == FleetEnforcement::kCrossHost) {
+    out.assigned_shares = cross_host_shares(config);
+  } else {
+    const std::size_t np = config.projects.size();
+    std::vector<double> global(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      global[p] = config.projects[p].resource_share;
+    }
+    out.assigned_shares.assign(config.hosts.size(), global);
+  }
+
+  out.sharded = run_sharded(
+      make_fleet_shard_tasks(config, policy, mode, hosts_per_shard), sup);
+
+  // The merged usage_fraction is already the fleet-indexed used-FLOPS
+  // weighted mean over completed hosts; recompute the violation against
+  // the *global* shares (run_fleet's definition).
+  const std::size_t np = config.projects.size();
+  out.usage_fraction = out.sharded.merged.usage_fraction;
+  out.usage_fraction.resize(np, 0.0);
+  double global_total = 0.0;
+  for (const auto& p : config.projects) global_total += p.resource_share;
+  if (out.sharded.merged.used_flops > 0.0 && global_total > 0.0 && np > 0) {
+    double sq = 0.0;
+    for (std::size_t p = 0; p < np; ++p) {
+      const double d = out.usage_fraction[p] -
+                       config.projects[p].resource_share / global_total;
+      sq += d * d;
+    }
+    out.share_violation = std::sqrt(sq / static_cast<double>(np));
+  }
+  return out;
+}
+
+std::vector<std::string> fleet_doc_tokens() {
+  return {
+      // `bce fleet` CLI flags (tools/bce_cli.cpp) and the hidden worker
+      // mode; the fleet-docs lint check requires each in docs/fleet.md.
+      "--hosts", "--shard-hosts", "--workers", "--days", "--seed", "--sched",
+      "--fetch", "--retries", "--heartbeat-timeout", "--shard-deadline",
+      "--backoff", "--checkpoint-dir", "--checkpoint-hosts",
+      "--checkpoint-sim-days", "--partial-ok", "--harness-faults",
+      "--host-figures", "--bce-shard-worker",
+      // Supervisor / worker exit codes.
+      "exit code 10", "exit code 11", "exit code 40", "exit code 41",
+  };
+}
+
+}  // namespace bce

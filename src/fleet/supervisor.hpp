@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// The sharded fleet supervisor (docs/fleet.md): owns the lifecycle of the
+/// worker subprocesses that execute ShardTasks — launch, liveness
+/// heartbeats, per-shard deadlines, crash/hang detection, retry with
+/// exponential backoff, checkpoint-resume, and graceful degradation.
+///
+/// Supervision state machine per shard:
+///
+///   pending --launch--> running --result--> done
+///      ^                   |
+///      |   crash / hang / deadline, retries left (backoff, resume=true)
+///      +-------------------+
+///                          |  retries exhausted
+///                          +--> lost (partial_ok)  or  ShardFailedError
+///                          |  stop flag raised
+///                          +--> interrupted
+///
+/// Determinism: workers fold their hosts sequentially in fixed order; the
+/// supervisor folds completed shard outputs in shard-index order at the
+/// end, regardless of completion order. Combined with checkpoints that
+/// store the exact partial fold, a killed-and-resumed run produces merged
+/// figures of merit byte-identical to an undisturbed run (pinned by
+/// tests/test_supervisor.cpp).
+
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/shard.hpp"
+
+namespace bce {
+
+/// Process exit codes for drivers built on the supervisor (docs/fleet.md).
+/// Partial is distinct from outright failure so scripts can accept
+/// degraded-but-usable results explicitly.
+inline constexpr int kFleetExitPartial = 10;      ///< --partial-ok, hosts lost
+inline constexpr int kFleetExitShardFailed = 11;  ///< retries exhausted
+
+enum class ShardState : std::uint8_t {
+  kPending,      ///< not yet launched (or waiting out a retry backoff)
+  kRunning,      ///< worker alive, heartbeats current
+  kDone,         ///< result received and folded
+  kLost,         ///< retries exhausted under --partial-ok
+  kInterrupted,  ///< stop flag raised before the shard finished
+};
+
+const char* shard_state_name(ShardState s);
+
+/// Final status of one shard, as reported in the coverage table.
+struct ShardReport {
+  std::uint32_t index = 0;
+  std::string label;
+  ShardState state = ShardState::kPending;
+  int attempts = 0;
+  std::uint64_t n_hosts = 0;
+  /// Hosts observed complete (final for done shards; last checkpoint /
+  /// heartbeat progress for lost ones — informational, NOT merged).
+  std::uint64_t hosts_done = 0;
+  std::uint64_t checkpoints = 0;
+  std::string error;  ///< last failure reason, empty for done shards
+};
+
+/// Merged outcome of a sharded run with explicit coverage accounting:
+/// lost shards contribute *zero* to the merged figures, and every one of
+/// their hosts counts in hosts_lost — the caller always knows exactly
+/// which hosts the numbers cover.
+struct ShardedResult {
+  Metrics merged;
+  /// Global host order when tasks set include_host_figures; hosts of
+  /// lost/interrupted shards keep default-initialized rows.
+  std::vector<HostFigures> host_figures;
+  std::vector<ShardReport> shards;
+  std::uint64_t hosts_total = 0;
+  std::uint64_t hosts_done = 0;
+  std::uint64_t hosts_lost = 0;
+
+  [[nodiscard]] bool complete() const { return hosts_done == hosts_total; }
+  /// Per-shard status table (the coverage report, docs/fleet.md).
+  [[nodiscard]] Table coverage_table() const;
+};
+
+/// Thrown when a shard exhausts its retries and partial results were not
+/// requested. Carries the failing shard's report.
+class ShardFailedError : public std::runtime_error {
+ public:
+  ShardFailedError(ShardReport report, const std::string& what)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  [[nodiscard]] const ShardReport& report() const { return report_; }
+
+ private:
+  ShardReport report_;
+};
+
+struct SupervisorConfig {
+  /// Worker subprocesses running concurrently. 0 = in-process: shards run
+  /// sequentially in this process via run_shard (no supervision, single
+  /// attempt each) — the reference path the subprocess path must match
+  /// byte-for-byte.
+  unsigned n_workers = 0;
+
+  /// Worker executable; empty = this executable (/proc/self/exe). The
+  /// binary must call maybe_run_shard_worker first thing in main().
+  std::string worker_exe;
+  std::string worker_arg = "--bce-shard-worker";
+
+  /// Seconds without a heartbeat/checkpoint/result frame before a worker
+  /// counts as hung and is killed (`--heartbeat-timeout`).
+  double heartbeat_timeout = 30.0;
+  /// Wall-clock cap per shard attempt, seconds; 0 = none
+  /// (`--shard-deadline`).
+  double shard_deadline = 0.0;
+
+  /// Retries after the first attempt (`--retries`); retry n waits
+  /// min(backoff_initial * 2^n, backoff_max) seconds and resumes from the
+  /// shard's last checkpoint.
+  int max_retries = 2;
+  double backoff_initial = 0.25;
+  double backoff_max = 8.0;
+
+  /// Degrade instead of aborting when a shard exhausts retries
+  /// (`--partial-ok`): mark it lost, keep going, report coverage.
+  bool partial_ok = false;
+
+  /// Directory for per-shard checkpoint files (shard-<index>.bcsp); empty
+  /// disables checkpointing (a retried shard then redoes all its work).
+  std::string checkpoint_dir;
+
+  /// Deterministic harness faults (`--harness-faults`), applied on each
+  /// shard's first attempt only.
+  HarnessFaultPlan harness_faults;
+
+  /// When non-null and set (e.g. by a SIGINT handler), the supervisor
+  /// kills running workers, marks unfinished shards interrupted, and
+  /// returns the partial result.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+/// Execute \p tasks under supervision and fold the results in shard-index
+/// order. Throws ShardFailedError when a shard is lost without partial_ok;
+/// std::runtime_error on launch-environment failures.
+ShardedResult run_sharded(std::vector<ShardTask> tasks,
+                          const SupervisorConfig& config = {});
+
+// ---- task builders --------------------------------------------------------
+
+/// Shard a Monte-Carlo population run: hosts [0, n_hosts) drawn from
+/// \p params, split into shards of \p hosts_per_shard.
+std::vector<ShardTask> make_population_shard_tasks(
+    const PopulationParams& params, std::uint64_t n_hosts, std::uint64_t seed,
+    const PolicyConfig& policy, std::uint64_t hosts_per_shard,
+    bool include_host_figures = false);
+
+/// Shard \p n_hosts copies of one scenario, host i reseeded to
+/// scenario.seed + i (replicate studies, `bce fleet <scenario>`).
+std::vector<ShardTask> make_replicated_shard_tasks(
+    const Scenario& scenario, const PolicyConfig& policy,
+    std::uint64_t n_hosts, std::uint64_t hosts_per_shard);
+
+/// Shard a fleet run (fleet.hpp) under the given enforcement mode. Each
+/// host's task carries the project remap into fleet indexing, so the
+/// merged usage_fraction is fleet-indexed.
+std::vector<ShardTask> make_fleet_shard_tasks(const FleetConfig& config,
+                                              const PolicyConfig& policy,
+                                              FleetEnforcement mode,
+                                              std::uint64_t hosts_per_shard);
+
+/// Sharded counterpart of run_fleet: same fleet-level figures, but
+/// streamed through Metrics::merge instead of per-host result rows.
+struct ShardedFleetResult {
+  ShardedResult sharded;
+  /// Shares each host ran with (fleet project indexing).
+  std::vector<std::vector<double>> assigned_shares;
+  /// Fleet-wide per-project usage fractions over *completed* hosts.
+  std::vector<double> usage_fraction;
+  /// RMS violation vs the global shares, recomputed from merged usage.
+  double share_violation = 0.0;
+
+  [[nodiscard]] double idle_fraction() const {
+    return sharded.merged.idle_fraction();
+  }
+};
+
+ShardedFleetResult run_sharded_fleet(const FleetConfig& config,
+                                     const PolicyConfig& policy,
+                                     FleetEnforcement mode,
+                                     const SupervisorConfig& sup = {},
+                                     std::uint64_t hosts_per_shard = 2);
+
+/// Every fleet CLI flag and supervisor/worker exit code that docs/fleet.md
+/// must document — the `fleet-docs` lint check's inventory (tools/bce_lint).
+std::vector<std::string> fleet_doc_tokens();
+
+}  // namespace bce

@@ -14,6 +14,8 @@ constexpr std::uint8_t kTyU64 = 3;
 constexpr std::uint8_t kTyI64 = 4;
 constexpr std::uint8_t kTyF64 = 5;
 constexpr std::uint8_t kTyCount = 6;
+constexpr std::uint8_t kTyBytes = 7;
+constexpr std::uint8_t kTyStr = 8;
 
 const char* type_name(std::uint8_t t) {
   switch (t) {
@@ -23,6 +25,8 @@ const char* type_name(std::uint8_t t) {
     case kTyI64: return "i64";
     case kTyF64: return "f64";
     case kTyCount: return "count";
+    case kTyBytes: return "bytes";
+    case kTyStr: return "str";
     default: return "?";
   }
 }
@@ -128,6 +132,21 @@ void StateWriter::put_count(const char* name, std::uint64_t n) {
   note(name, std::to_string(n));
 }
 
+void StateWriter::put_bytes(const char* name,
+                            const std::vector<std::uint8_t>& v) {
+  tag(name, kTyBytes);
+  raw64(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  note(name, "<" + std::to_string(v.size()) + " bytes>");
+}
+
+void StateWriter::put_str(const char* name, const std::string& v) {
+  tag(name, kTyStr);
+  raw64(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  note(name, v);
+}
+
 // ---- StateReader ----------------------------------------------------------
 
 std::uint32_t StateReader::raw32() {
@@ -210,6 +229,32 @@ double StateReader::get_f64(const char* name) {
 std::uint64_t StateReader::get_count(const char* name) {
   expect(name, kTyCount);
   return raw64();
+}
+
+std::vector<std::uint8_t> StateReader::get_bytes(const char* name) {
+  expect(name, kTyBytes);
+  const std::uint64_t n = raw64();
+  if (pos_ + n > buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string StateReader::get_str(const char* name) {
+  expect(name, kTyStr);
+  const std::uint64_t n = raw64();
+  if (pos_ + n > buf_.size()) {
+    throw SavestateError(SavestateErrc::kTruncated,
+                         "payload ends mid-field");
+  }
+  std::string out(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
+  pos_ += n;
+  return out;
 }
 
 }  // namespace bce

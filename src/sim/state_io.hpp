@@ -87,6 +87,11 @@ class StateWriter {
   void put_f64(const char* name, double v);
   /// Element count preceding a repeated group of fields.
   void put_count(const char* name, std::uint64_t n);
+  /// Length-prefixed opaque bytes / UTF-8 text. Used by the fleet shard
+  /// protocol (fleet/shard.hpp) to carry serialized scenarios and nested
+  /// payloads; emulator savestates stick to the fixed-width types above.
+  void put_bytes(const char* name, const std::vector<std::uint8_t>& v);
+  void put_str(const char* name, const std::string& v);
 
   [[nodiscard]] const std::vector<std::uint8_t>& payload() const {
     return buf_;
@@ -128,6 +133,8 @@ class StateReader {
   std::int64_t get_i64(const char* name);
   double get_f64(const char* name);
   std::uint64_t get_count(const char* name);
+  std::vector<std::uint8_t> get_bytes(const char* name);
+  std::string get_str(const char* name);
 
   /// True when every payload byte has been consumed (restore completeness
   /// check: leftover bytes mean writer and reader disagree).

@@ -87,6 +87,17 @@ TEST(BceLint, UndocumentedSavestateFieldExits7) {
       << r.output;
 }
 
+TEST(BceLint, UndocumentedFleetFlagExits8) {
+  const LintRun r = run_lint("--root " + fixture("undocumented_fleet_flag") +
+                             " --check fleet-docs");
+  EXPECT_EQ(r.exit_code, 8) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: fleet-docs: fleet token "
+                          "\"--partial-ok\" is missing"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(BceLint, SelectedCheckIgnoresOtherBreakage) {
   // Breakage outside the selected check must not leak into the exit
   // code: the trace-kind fixture also lacks docs/policies.md (3) and a

@@ -1,0 +1,134 @@
+// End-to-end contract of `bce fleet` (tools/bce_cli.cpp, docs/fleet.md):
+// exit codes (0 complete / 10 partial / 11 shard failed), coverage
+// accounting, and the headline resilience invariant as a user sees it —
+// the full-precision "merged raw" line of a run whose workers are killed
+// and resumed from checkpoint is byte-identical to an undisturbed
+// in-process run.
+//
+// The binary path arrives via BCE_BIN (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliRun run_cli(const std::string& args) {
+  const std::string cmd = std::string(BCE_BIN) + " " + args + " 2>&1";
+  CliRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string scenario(const std::string& name) {
+  return std::string(BCE_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+std::string checkpoint_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The full-precision merged-figures line ("merged raw ..."), the byte-
+/// identity witness.
+std::string merged_raw_line(const std::string& output) {
+  const auto pos = output.find("merged raw ");
+  if (pos == std::string::npos) return {};
+  return output.substr(pos, output.find('\n', pos) - pos);
+}
+
+TEST(CliFleet, CompleteRunExitsZeroWithFullCoverage) {
+  const CliRun r = run_cli("fleet " + scenario("scenario1.txt") +
+                           " --hosts 4 --shard-hosts 2 --workers 2"
+                           " --days 0.2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("coverage: 4/4 hosts done, 0 lost"),
+            std::string::npos)
+      << r.output;
+  EXPECT_FALSE(merged_raw_line(r.output).empty()) << r.output;
+}
+
+TEST(CliFleet, KilledWorkersResumeByteIdentical) {
+  const std::string args = "fleet " + scenario("scenario2.txt") +
+                           " --hosts 4 --shard-hosts 2 --days 0.2";
+  const CliRun undisturbed = run_cli(args + " --workers 0");
+  ASSERT_EQ(undisturbed.exit_code, 0) << undisturbed.output;
+
+  const std::string dir = checkpoint_dir("cli_fleet_kill_cp");
+  const CliRun faulted =
+      run_cli(args + " --workers 2 --checkpoint-dir " + dir +
+              " --checkpoint-sim-days 0.05 --harness-faults kill:1@2"
+              " --backoff 0.05");
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.output;
+  EXPECT_EQ(merged_raw_line(faulted.output),
+            merged_raw_line(undisturbed.output));
+  EXPECT_FALSE(merged_raw_line(faulted.output).empty());
+}
+
+TEST(CliFleet, StalledWorkerTimesOutByteIdentical) {
+  const std::string args = "fleet " + scenario("scenario2.txt") +
+                           " --hosts 4 --shard-hosts 2 --days 0.2";
+  const CliRun undisturbed = run_cli(args + " --workers 0");
+  ASSERT_EQ(undisturbed.exit_code, 0) << undisturbed.output;
+
+  const std::string dir = checkpoint_dir("cli_fleet_stall_cp");
+  const CliRun faulted =
+      run_cli(args + " --workers 2 --checkpoint-dir " + dir +
+              " --harness-faults stall:0@1 --heartbeat-timeout 0.5"
+              " --backoff 0.05");
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.output;
+  EXPECT_EQ(merged_raw_line(faulted.output),
+            merged_raw_line(undisturbed.output));
+}
+
+TEST(CliFleet, PartialOkExits10WithExactAccounting) {
+  const std::string dir = checkpoint_dir("cli_fleet_partial_cp");
+  const CliRun r = run_cli("fleet " + scenario("scenario2.txt") +
+                           " --hosts 4 --shard-hosts 2 --workers 2"
+                           " --days 0.1 --checkpoint-dir " + dir +
+                           " --harness-faults kill:1@1 --retries 0"
+                           " --partial-ok");
+  EXPECT_EQ(r.exit_code, 10) << r.output;
+  EXPECT_NE(r.output.find("hosts done, 2 lost"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("lost"), std::string::npos) << r.output;
+}
+
+TEST(CliFleet, ShardFailureWithoutPartialOkExits11) {
+  const std::string dir = checkpoint_dir("cli_fleet_fail_cp");
+  const CliRun r = run_cli("fleet " + scenario("scenario2.txt") +
+                           " --hosts 4 --shard-hosts 2 --workers 2"
+                           " --days 0.1 --checkpoint-dir " + dir +
+                           " --harness-faults kill:0@1 --retries 0");
+  EXPECT_EQ(r.exit_code, 11) << r.output;
+  EXPECT_NE(r.output.find("error: shard"), std::string::npos) << r.output;
+}
+
+TEST(CliFleet, PopulationModeRunsWithoutScenario) {
+  const CliRun r = run_cli(
+      "fleet --hosts 4 --shard-hosts 2 --workers 2 --days 0.1 --seed 3");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("coverage: 4/4 hosts done, 0 lost"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliFleet, BadHarnessFaultSpecIsUsageError) {
+  const CliRun r = run_cli("fleet --hosts 2 --harness-faults explode:1@1");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 // scripting contract as a user sees it, not a library-level check.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -59,9 +60,12 @@ void spit(const std::string& path, const std::vector<char>& bytes) {
 class CliSavestate : public ::testing::Test {
  protected:
   // One shared save fixture for the whole suite (saving re-runs a day of
-  // emulation; the rejection tests only need the bytes).
+  // emulation; the rejection tests only need the bytes). The path is
+  // per-process: ctest discovery runs every test in its own process, and
+  // concurrent suite set-ups/tear-downs must not clobber each other.
   static void SetUpTestSuite() {
-    path_ = new std::string(temp_path("cli_savestate.bcss"));
+    path_ = new std::string(temp_path(
+        "cli_savestate." + std::to_string(::getpid()) + ".bcss"));
     const CliRun r =
         run_cli("run " + scenario("scenario1.txt") + " --days 1 --save-at 0.5 "
                 "--save-state " + *path_);

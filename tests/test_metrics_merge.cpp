@@ -1,0 +1,162 @@
+// Metrics::merge algebra (docs/metrics.md, docs/fleet.md). The sharded
+// supervisor's byte-identity invariant rests on merge being an exactly
+// commutative, identity-respecting weighted fold — these tests pin that
+// algebra directly on real emulation metrics, for every registered
+// (scheduling x fetch) policy pair on all four paper scenarios.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "fleet/supervisor.hpp"
+
+namespace {
+
+using namespace bce;
+
+/// Bitwise equality via the wire encoding: save_metrics serializes every
+/// field (doubles as raw IEEE-754 bits), so equal payloads mean equal
+/// metrics down to the last ulp and counter.
+std::vector<std::uint8_t> wire_bytes(const Metrics& m) {
+  StateWriter w;
+  save_metrics(w, m);
+  return w.payload();
+}
+
+Metrics run_host(const Scenario& base, std::uint64_t seed,
+                 const PolicyConfig& pol) {
+  Scenario sc = base;
+  sc.seed = seed;
+  EmulationOptions opt;
+  opt.policy = pol;
+  return emulate(sc, opt).metrics;
+}
+
+std::vector<Scenario> paper_scenarios() {
+  return {paper_scenario1(), paper_scenario2(), paper_scenario3(),
+          paper_scenario4()};
+}
+
+TEST(MetricsMerge, EmptyIsIdentityBitwise) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 0.5 * kSecondsPerDay;
+  const Metrics m = run_host(sc, 1, {});
+
+  Metrics left = m;
+  left.merge(Metrics{});
+  EXPECT_EQ(wire_bytes(left), wire_bytes(m));
+
+  Metrics right;
+  right.merge(m);
+  EXPECT_EQ(wire_bytes(right), wire_bytes(m));
+}
+
+TEST(MetricsMerge, CountersAndFlopsSumExactly) {
+  Scenario sc = paper_scenario3();
+  sc.duration = 0.5 * kSecondsPerDay;
+  const Metrics a = run_host(sc, 1, {});
+  const Metrics b = run_host(sc, 2, {});
+
+  Metrics merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.n_rpcs, a.n_rpcs + b.n_rpcs);
+  EXPECT_EQ(merged.n_jobs_fetched, a.n_jobs_fetched + b.n_jobs_fetched);
+  EXPECT_EQ(merged.n_jobs_completed, a.n_jobs_completed + b.n_jobs_completed);
+  EXPECT_EQ(merged.n_sched_passes, a.n_sched_passes + b.n_sched_passes);
+  EXPECT_EQ(merged.available_flops, a.available_flops + b.available_flops);
+  EXPECT_EQ(merged.used_flops, a.used_flops + b.used_flops);
+  EXPECT_EQ(merged.wasted_flops, a.wasted_flops + b.wasted_flops);
+  for (std::size_t k = 0; k < kNumLogCategories; ++k) {
+    EXPECT_EQ(merged.trace_events[k], a.trace_events[k] + b.trace_events[k]);
+  }
+}
+
+TEST(MetricsMerge, CommutativeBitwise) {
+  // The weighted means are symmetric expressions (a*wa + b*wb is FP-
+  // commutative), so merge order must not change a single bit.
+  Scenario sc = paper_scenario1();
+  sc.duration = 0.5 * kSecondsPerDay;
+  const Metrics a = run_host(sc, 1, {});
+  const Metrics b = run_host(sc, 7, {});
+
+  Metrics ab = a;
+  ab.merge(b);
+  Metrics ba = b;
+  ba.merge(a);
+  EXPECT_EQ(wire_bytes(ab), wire_bytes(ba));
+}
+
+TEST(MetricsMerge, AssociativeUpToRounding) {
+  Scenario sc = paper_scenario4();
+  sc.duration = 0.5 * kSecondsPerDay;
+  std::vector<Metrics> hosts;
+  for (std::uint64_t s = 1; s <= 6; ++s) hosts.push_back(run_host(sc, s, {}));
+
+  // Fold the same six hosts at every split point: ((0..i) . (i..6)) must
+  // agree with the flat left-fold within FP rounding for every i.
+  Metrics flat = hosts[0];
+  for (std::size_t i = 1; i < hosts.size(); ++i) flat.merge(hosts[i]);
+
+  for (std::size_t split = 1; split < hosts.size(); ++split) {
+    Metrics left = hosts[0];
+    for (std::size_t i = 1; i < split; ++i) left.merge(hosts[i]);
+    Metrics right = hosts[split];
+    for (std::size_t i = split + 1; i < hosts.size(); ++i) {
+      right.merge(hosts[i]);
+    }
+    left.merge(right);
+
+    EXPECT_EQ(left.n_jobs_completed, flat.n_jobs_completed) << split;
+    // Sums associate differently across split points, so flops match only
+    // up to rounding; counters are integers and must match exactly.
+    EXPECT_NEAR(left.available_flops, flat.available_flops,
+                1e-12 * flat.available_flops)
+        << split;
+    EXPECT_NEAR(left.share_violation_rms, flat.share_violation_rms,
+                1e-12 * (1.0 + std::abs(flat.share_violation_rms)))
+        << split;
+    EXPECT_NEAR(left.monotony, flat.monotony,
+                1e-12 * (1.0 + std::abs(flat.monotony)))
+        << split;
+    ASSERT_EQ(left.usage_fraction.size(), flat.usage_fraction.size());
+    for (std::size_t p = 0; p < flat.usage_fraction.size(); ++p) {
+      EXPECT_NEAR(left.usage_fraction[p], flat.usage_fraction[p],
+                  1e-12 * (1.0 + std::abs(flat.usage_fraction[p])))
+          << split << " project " << p;
+    }
+  }
+}
+
+TEST(MetricsMerge, ShardedFoldMatchesMonolithicAllPolicies) {
+  // The supervisor's exact fold: hosts fold left within a shard, shards
+  // fold left in index order. run_sharded (in-process, 2 hosts/shard) must
+  // be bitwise identical to that manual fold for every registered policy
+  // pair on all four paper scenarios — this is the library-level half of
+  // the resilience byte-identity invariant.
+  for (const Scenario& base : paper_scenarios()) {
+    Scenario sc = base;
+    sc.duration = 0.5 * kSecondsPerDay;
+    for (const auto& spec : policy_matrix_specs(sc, {})) {
+      constexpr std::uint64_t kHosts = 4;
+      Metrics host_metrics[kHosts];
+      for (std::uint64_t h = 0; h < kHosts; ++h) {
+        host_metrics[h] = run_host(sc, sc.seed + h, spec.options.policy);
+      }
+      Metrics shard0 = host_metrics[0];
+      shard0.merge(host_metrics[1]);
+      Metrics shard1 = host_metrics[2];
+      shard1.merge(host_metrics[3]);
+      shard0.merge(shard1);
+
+      const ShardedResult r = run_sharded(
+          make_replicated_shard_tasks(sc, spec.options.policy, kHosts, 2));
+      ASSERT_TRUE(r.complete()) << spec.label;
+      EXPECT_EQ(wire_bytes(r.merged), wire_bytes(shard0)) << spec.label;
+    }
+  }
+}
+
+}  // namespace

@@ -195,7 +195,16 @@ TEST(Controller, ParallelMatchesSerial) {
 TEST(Controller, ExceptionPropagates) {
   std::vector<RunSpec> specs(1);
   specs[0].scenario = Scenario{};  // invalid: no projects
-  EXPECT_THROW(run_batch(specs), std::invalid_argument);
+  // run_batch wraps worker exceptions with the failing item's index and
+  // label so a fleet-sized batch names its bad element.
+  try {
+    (void)run_batch(specs);
+    FAIL() << "invalid scenario did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("run_batch item 0"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Controller, SweepMapsParameters) {

@@ -1,0 +1,295 @@
+// Wire-level contracts of the shard layer (fleet/shard.{hpp,cpp}):
+// task/output round trips, checkpoint file validation (fingerprint,
+// checksum, truncation), harness fault-plan parsing, frame reassembly
+// from a nonblocking pipe, and in-process checkpoint-resume
+// byte-identity via run_shard.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/shard_worker.hpp"
+
+namespace {
+
+using namespace bce;
+
+ShardTask make_task(double days = 0.2, std::uint64_t n_hosts = 2) {
+  ShardTask task;
+  task.shard_index = 3;
+  task.label = "hosts 0-1";
+  task.policy.sched_by_name = "JS_GLOBAL";
+  task.policy.fetch_by_name = "JF_HYSTERESIS";
+  Scenario sc = paper_scenario2();
+  sc.duration = days * kSecondsPerDay;
+  for (std::uint64_t h = 0; h < n_hosts; ++h) {
+    Scenario host = sc;
+    host.seed = sc.seed + h;
+    task.scenario_texts.push_back(serialize_scenario(host));
+  }
+  return task;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(ShardWire, TaskRoundTrip) {
+  ShardTask task = make_task();
+  task.project_map = {{2, 0}, {1}};
+  task.n_merge_projects = 3;
+  task.include_host_figures = true;
+  task.checkpoint_path = "/tmp/x.bcsp";
+  task.checkpoint_every_hosts = 5;
+  task.checkpoint_sim_period = 123.5;
+  task.resume = true;
+  task.fault = HarnessFaultKind::kStall;
+  task.fault_checkpoint = 7;
+
+  const ShardTask back = deserialize_shard_task(serialize_shard_task(task));
+  EXPECT_EQ(back.shard_index, task.shard_index);
+  EXPECT_EQ(back.label, task.label);
+  EXPECT_EQ(back.policy.sched_by_name, task.policy.sched_by_name);
+  EXPECT_EQ(back.scenario_texts, task.scenario_texts);
+  EXPECT_EQ(back.project_map, task.project_map);
+  EXPECT_EQ(back.n_merge_projects, task.n_merge_projects);
+  EXPECT_EQ(back.include_host_figures, task.include_host_figures);
+  EXPECT_EQ(back.checkpoint_path, task.checkpoint_path);
+  EXPECT_EQ(back.checkpoint_every_hosts, task.checkpoint_every_hosts);
+  EXPECT_EQ(back.checkpoint_sim_period, task.checkpoint_sim_period);
+  EXPECT_EQ(back.resume, task.resume);
+  EXPECT_EQ(back.fault, task.fault);
+  EXPECT_EQ(back.fault_checkpoint, task.fault_checkpoint);
+  EXPECT_EQ(back.n_hosts(), 2u);
+}
+
+TEST(ShardWire, PopulationTaskRoundTrip) {
+  ShardTask task;
+  task.population.duration = 2.5 * kSecondsPerDay;
+  task.population_seed = 42;
+  task.first_host = 100;
+  task.n_population_hosts = 25;
+  const ShardTask back = deserialize_shard_task(serialize_shard_task(task));
+  EXPECT_EQ(back.population.duration, task.population.duration);
+  EXPECT_EQ(back.population_seed, 42u);
+  EXPECT_EQ(back.first_host, 100u);
+  EXPECT_EQ(back.n_hosts(), 25u);
+}
+
+TEST(ShardWire, FingerprintIgnoresRetryKnobs) {
+  const ShardTask task = make_task();
+  ShardTask retry = task;
+  retry.resume = true;
+  retry.checkpoint_path = "/somewhere/else.bcsp";
+  retry.fault = HarnessFaultKind::kKill;
+  retry.fault_checkpoint = 2;
+  EXPECT_EQ(shard_task_fingerprint(task), shard_task_fingerprint(retry));
+
+  ShardTask other = task;
+  other.scenario_texts.pop_back();
+  EXPECT_NE(shard_task_fingerprint(task), shard_task_fingerprint(other));
+}
+
+TEST(ShardWire, OutputRoundTrip) {
+  ShardOutput out;
+  out.hosts_done = 2;
+  out.checkpoints_written = 5;
+  out.merged.used_flops = 1.25e15;
+  out.merged.n_jobs_completed = 321;
+  out.host_figures.push_back({0.5, 0.1, 0.01, 0.2, 0.3, 1.5});
+  const ShardOutput back =
+      deserialize_shard_output(serialize_shard_output(out));
+  EXPECT_EQ(back.hosts_done, 2u);
+  EXPECT_EQ(back.checkpoints_written, 5u);
+  EXPECT_EQ(back.merged.used_flops, out.merged.used_flops);
+  EXPECT_EQ(back.merged.n_jobs_completed, 321);
+  ASSERT_EQ(back.host_figures.size(), 1u);
+  EXPECT_EQ(back.host_figures[0].score, 0.5);
+  EXPECT_EQ(back.host_figures[0].rpcs_per_job, 1.5);
+}
+
+TEST(ShardCheckpointFile, RoundTripAndValidation) {
+  const ShardTask task = make_task();
+  const std::string path = temp_path("shard_cp.bcsp");
+  ShardCheckpoint cp;
+  cp.hosts_done = 1;
+  cp.seq = 2;
+  cp.merged.n_jobs_completed = 17;
+  write_shard_checkpoint(path, task, cp);
+
+  const ShardCheckpoint back = read_shard_checkpoint(path, task);
+  EXPECT_EQ(back.hosts_done, 1u);
+  EXPECT_EQ(back.seq, 2u);
+  EXPECT_EQ(back.merged.n_jobs_completed, 17);
+  EXPECT_TRUE(back.frame.empty());
+
+  // A resumed retry (same work, different knobs) must accept the file...
+  ShardTask retry = task;
+  retry.resume = true;
+  EXPECT_NO_THROW(read_shard_checkpoint(path, retry));
+  // ...but a different task must be rejected as a fingerprint mismatch.
+  ShardTask other = make_task(0.3);
+  try {
+    read_shard_checkpoint(path, other);
+    FAIL() << "fingerprint mismatch not detected";
+  } catch (const SavestateError& e) {
+    EXPECT_EQ(e.code(), SavestateErrc::kScenarioMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardCheckpointFile, CorruptionAndTruncationRejected) {
+  const ShardTask task = make_task();
+  const std::string path = temp_path("shard_cp_corrupt.bcsp");
+  ShardCheckpoint cp;
+  cp.hosts_done = 1;
+  cp.seq = 1;
+  write_shard_checkpoint(path, task, cp);
+
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes{std::istreambuf_iterator<char>(is),
+                          std::istreambuf_iterator<char>()};
+  is.close();
+
+  {  // flip one payload byte -> checksum failure
+    std::vector<char> bad = bytes;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+    std::ofstream os(path, std::ios::binary);
+    os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    os.close();
+    try {
+      read_shard_checkpoint(path, task);
+      FAIL() << "corruption not detected";
+    } catch (const SavestateError& e) {
+      EXPECT_EQ(e.code(), SavestateErrc::kCorrupt);
+    }
+  }
+  {  // drop the tail -> truncation
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 9));
+    os.close();
+    try {
+      read_shard_checkpoint(path, task);
+      FAIL() << "truncation not detected";
+    } catch (const SavestateError& e) {
+      EXPECT_EQ(e.code(), SavestateErrc::kTruncated);
+    }
+  }
+  {  // wrong magic
+    std::vector<char> bad = bytes;
+    bad[0] = 'X';
+    std::ofstream os(path, std::ios::binary);
+    os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    os.close();
+    try {
+      read_shard_checkpoint(path, task);
+      FAIL() << "bad magic not detected";
+    } catch (const SavestateError& e) {
+      EXPECT_EQ(e.code(), SavestateErrc::kBadMagic);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HarnessFaults, ParseAndLookup) {
+  const HarnessFaultPlan plan = parse_harness_faults("kill:1@2,stall:0@3");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(fault_for(plan, 1).kind, HarnessFaultKind::kKill);
+  EXPECT_EQ(fault_for(plan, 1).at_checkpoint, 2u);
+  EXPECT_EQ(fault_for(plan, 0).kind, HarnessFaultKind::kStall);
+  EXPECT_EQ(fault_for(plan, 7).kind, HarnessFaultKind::kNone);
+
+  EXPECT_TRUE(parse_harness_faults("").empty());
+  EXPECT_THROW(parse_harness_faults("explode:1@2"), std::invalid_argument);
+  EXPECT_THROW(parse_harness_faults("kill:1"), std::invalid_argument);
+  EXPECT_THROW(parse_harness_faults("kill:1@0"), std::invalid_argument);
+}
+
+TEST(FrameBufferTest, ReassemblesSplitFrames) {
+  // Serialize two frames into one byte stream, then feed it to the buffer
+  // a single byte at a time — exactly what a nonblocking pipe can do.
+  const std::vector<std::uint8_t> p1 = {1, 2, 3};
+  const std::vector<std::uint8_t> p2 = {};
+  std::vector<std::uint8_t> stream;
+  auto append_frame = [&](ShardMsg type, const std::vector<std::uint8_t>& p) {
+    // The length prefix counts the payload only, not the type byte.
+    const auto len = static_cast<std::uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    }
+    stream.push_back(static_cast<std::uint8_t>(type));
+    stream.insert(stream.end(), p.begin(), p.end());
+  };
+  append_frame(ShardMsg::kHeartbeat, p1);
+  append_frame(ShardMsg::kResult, p2);
+
+  FrameBuffer fb;
+  std::vector<ShardFrame> got;
+  ShardFrame f;
+  for (const std::uint8_t byte : stream) {
+    fb.append(&byte, 1);
+    while (fb.next(f)) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, ShardMsg::kHeartbeat);
+  EXPECT_EQ(got[0].payload, p1);
+  EXPECT_EQ(got[1].type, ShardMsg::kResult);
+  EXPECT_TRUE(got[1].payload.empty());
+}
+
+TEST(RunShard, CheckpointResumeIsByteIdentical) {
+  // Simulate a worker killed after checkpoint 1: run the task with hooks
+  // that abandon the shard there, then run a resume task from the file.
+  // Its output must match an undisturbed run bit for bit.
+  ShardTask task = make_task(0.2, 3);
+  const ShardOutput undisturbed = run_shard(task);
+
+  task.checkpoint_path = temp_path("run_shard_resume.bcsp");
+  task.checkpoint_every_hosts = 1;
+  struct Abandon {};
+  ShardHooks hooks;
+  hooks.on_checkpoint = [](std::uint64_t seq, std::uint64_t) {
+    if (seq == 1) throw Abandon{};
+  };
+  try {
+    (void)run_shard(task, hooks);
+    FAIL() << "hook did not fire";
+  } catch (const Abandon&) {
+  }
+
+  ShardTask resumed_task = task;
+  resumed_task.resume = true;
+  const ShardOutput resumed = run_shard(resumed_task);
+  EXPECT_LT(resumed.checkpoints_written, 3u);  // only the tail was redone
+
+  StateWriter a;
+  save_metrics(a, undisturbed.merged);
+  StateWriter b;
+  save_metrics(b, resumed.merged);
+  EXPECT_EQ(a.payload(), b.payload());
+  EXPECT_EQ(resumed.hosts_done, undisturbed.hosts_done);
+  std::remove(task.checkpoint_path.c_str());
+}
+
+TEST(RunShard, ExceptionNamesShardAndHost) {
+  ShardTask task = make_task();
+  task.policy.sched_by_name = "JS_NOPE";
+  try {
+    (void)run_shard(task);
+    FAIL() << "bad policy not diagnosed";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("host 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("hosts 0-1"), std::string::npos) << what;
+  }
+}
+
+}  // namespace

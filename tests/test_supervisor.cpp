@@ -1,0 +1,214 @@
+// The sharded supervisor's resilience invariants (fleet/supervisor.hpp,
+// docs/fleet.md), pinned end to end with real worker subprocesses — this
+// test binary doubles as its own worker via maybe_run_shard_worker in
+// main(), exactly like the bce CLI and the study drivers.
+//
+//   - subprocess execution is byte-identical to the in-process reference
+//   - a worker killed mid-shard resumes from checkpoint: byte-identical
+//   - a stalled worker is detected by heartbeat timeout and the retry
+//     is byte-identical
+//   - retries exhausted + partial_ok degrades with exact coverage
+//   - retries exhausted without partial_ok throws ShardFailedError
+//   - an unlaunchable worker binary surfaces as a failure, not a hang
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bce.hpp"
+#include "fleet/shard_worker.hpp"
+#include "fleet/supervisor.hpp"
+
+namespace {
+
+using namespace bce;
+
+std::vector<std::uint8_t> wire_bytes(const Metrics& m) {
+  StateWriter w;
+  save_metrics(w, m);
+  return w.payload();
+}
+
+std::vector<ShardTask> make_tasks(double days = 0.1) {
+  Scenario sc = paper_scenario2();
+  sc.duration = days * kSecondsPerDay;
+  return make_replicated_shard_tasks(sc, {}, /*n_hosts=*/4,
+                                     /*hosts_per_shard=*/2);
+}
+
+/// Baseline both halves of every identity below: the sequential
+/// in-process fold with no supervision and no faults.
+ShardedResult inline_reference(double days = 0.1) {
+  return run_sharded(make_tasks(days), {});
+}
+
+void remove_checkpoints(const std::string& dir, int n_shards) {
+  for (int i = 0; i < n_shards; ++i) {
+    std::remove((dir + "/shard-" + std::to_string(i) + ".bcsp").c_str());
+  }
+}
+
+TEST(Supervisor, SubprocessMatchesInProcessBitwise) {
+  const ShardedResult inline_r = inline_reference();
+  SupervisorConfig sup;
+  sup.n_workers = 2;
+  const ShardedResult sub_r = run_sharded(make_tasks(), sup);
+  ASSERT_TRUE(sub_r.complete());
+  EXPECT_EQ(wire_bytes(sub_r.merged), wire_bytes(inline_r.merged));
+  EXPECT_EQ(sub_r.hosts_done, 4u);
+  for (const auto& s : sub_r.shards) {
+    EXPECT_EQ(s.state, ShardState::kDone);
+    EXPECT_EQ(s.attempts, 1);
+  }
+}
+
+TEST(Supervisor, KilledWorkerResumesByteIdentical) {
+  const ShardedResult inline_r = inline_reference();
+  const std::string dir = ::testing::TempDir() + "sup_kill_cp";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+
+  SupervisorConfig sup;
+  sup.n_workers = 2;
+  sup.checkpoint_dir = dir;
+  sup.backoff_initial = 0.05;
+  sup.harness_faults = parse_harness_faults("kill:1@1");
+  const ShardedResult r = run_sharded(make_tasks(), sup);
+
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(wire_bytes(r.merged), wire_bytes(inline_r.merged));
+  EXPECT_EQ(r.shards[1].attempts, 2) << "kill must cost exactly one retry";
+  EXPECT_EQ(r.shards[0].attempts, 1);
+  remove_checkpoints(dir, 2);
+}
+
+TEST(Supervisor, StalledWorkerTimesOutAndResumesByteIdentical) {
+  const ShardedResult inline_r = inline_reference();
+  const std::string dir = ::testing::TempDir() + "sup_stall_cp";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+
+  SupervisorConfig sup;
+  sup.n_workers = 2;
+  sup.checkpoint_dir = dir;
+  sup.backoff_initial = 0.05;
+  sup.heartbeat_timeout = 0.5;
+  sup.harness_faults = parse_harness_faults("stall:0@1");
+  const ShardedResult r = run_sharded(make_tasks(), sup);
+
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(wire_bytes(r.merged), wire_bytes(inline_r.merged));
+  EXPECT_EQ(r.shards[0].attempts, 2) << "stall must cost exactly one retry";
+  remove_checkpoints(dir, 2);
+}
+
+TEST(Supervisor, RetriesExhaustedPartialOkKeepsExactCoverage) {
+  // Shard 1 is killed before writing any checkpoint and gets no retries,
+  // so its hosts are lost; shard 0's figures must still come through and
+  // the accounting must name exactly what was lost.
+  SupervisorConfig sup;
+  sup.n_workers = 2;
+  sup.max_retries = 0;
+  sup.partial_ok = true;
+  sup.harness_faults = parse_harness_faults("kill:1@1");
+
+  std::vector<ShardTask> tasks = make_tasks();
+  // Host-boundary checkpoints without a path are impossible, so the kill
+  // at "checkpoint 1" needs a checkpoint dir for the fault to fire.
+  const std::string dir = ::testing::TempDir() + "sup_partial_cp";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  sup.checkpoint_dir = dir;
+
+  const ShardedResult r = run_sharded(tasks, sup);
+  EXPECT_FALSE(r.complete());
+  EXPECT_EQ(r.hosts_total, 4u);
+  EXPECT_EQ(r.hosts_done, 2u);
+  EXPECT_EQ(r.hosts_lost, 2u);
+  EXPECT_EQ(r.shards[0].state, ShardState::kDone);
+  EXPECT_EQ(r.shards[1].state, ShardState::kLost);
+  EXPECT_FALSE(r.shards[1].error.empty());
+
+  // Merged figures cover exactly shard 0: compare against running just
+  // that shard inline.
+  std::vector<ShardTask> first_only = {make_tasks()[0]};
+  const ShardedResult only0 = run_sharded(first_only, {});
+  EXPECT_EQ(wire_bytes(r.merged), wire_bytes(only0.merged));
+
+  // The coverage table names every shard.
+  const Table t = r.coverage_table();
+  EXPECT_EQ(t.rows(), 2u);
+  remove_checkpoints(dir, 2);
+}
+
+TEST(Supervisor, RetriesExhaustedWithoutPartialOkThrows) {
+  SupervisorConfig sup;
+  sup.n_workers = 2;
+  sup.max_retries = 0;
+  const std::string dir = ::testing::TempDir() + "sup_fail_cp";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  sup.checkpoint_dir = dir;
+  sup.harness_faults = parse_harness_faults("kill:0@1");
+  try {
+    (void)run_sharded(make_tasks(), sup);
+    FAIL() << "lost shard did not throw";
+  } catch (const ShardFailedError& e) {
+    EXPECT_EQ(e.report().index, 0u);
+    EXPECT_EQ(e.report().state, ShardState::kLost);
+    EXPECT_NE(std::string(e.what()).find("shard 0"), std::string::npos)
+        << e.what();
+  }
+  remove_checkpoints(dir, 2);
+}
+
+TEST(Supervisor, UnlaunchableWorkerFailsFast) {
+  SupervisorConfig sup;
+  sup.n_workers = 1;
+  sup.max_retries = 0;
+  sup.partial_ok = true;
+  sup.backoff_initial = 0.01;
+  sup.worker_exe = "/nonexistent/bce_worker_binary";
+  const ShardedResult r = run_sharded(make_tasks(), sup);
+  EXPECT_EQ(r.hosts_done, 0u);
+  EXPECT_EQ(r.hosts_lost, 4u);
+  for (const auto& s : r.shards) EXPECT_EQ(s.state, ShardState::kLost);
+}
+
+TEST(Supervisor, PopulationTasksCoverAllHostsOnce) {
+  PopulationParams pp;
+  pp.duration = 0.05 * kSecondsPerDay;
+  const auto tasks = make_population_shard_tasks(pp, 10, 1, {}, 4);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].first_host, 0u);
+  EXPECT_EQ(tasks[0].n_hosts(), 4u);
+  EXPECT_EQ(tasks[1].first_host, 4u);
+  EXPECT_EQ(tasks[2].first_host, 8u);
+  EXPECT_EQ(tasks[2].n_hosts(), 2u);
+
+  // Shard boundaries must not change the sampled hosts: 10 hosts in one
+  // shard merge to the same bytes as 4+4+2.
+  const ShardedResult split = run_sharded(tasks, {});
+  const ShardedResult mono =
+      run_sharded(make_population_shard_tasks(pp, 10, 1, {}, 10), {});
+  ASSERT_TRUE(split.complete());
+  ASSERT_TRUE(mono.complete());
+  // Note: identical bytes require the same fold shape; 4+4+2 vs 10 hosts
+  // associate sums differently, so compare figures within FP tolerance.
+  EXPECT_EQ(split.merged.n_jobs_completed, mono.merged.n_jobs_completed);
+  EXPECT_NEAR(split.merged.available_flops, mono.merged.available_flops,
+              1e-12 * mono.merged.available_flops);
+  EXPECT_NEAR(split.merged.monotony, mono.merged.monotony,
+              1e-12 * (1.0 + std::abs(mono.merged.monotony)));
+}
+
+}  // namespace
+
+// The supervisor re-execs this binary with --bce-shard-worker as its
+// worker processes; that mode must win before gtest sees the argv.
+int main(int argc, char** argv) {
+  if (const auto rc = bce::maybe_run_shard_worker(argc, argv)) return *rc;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

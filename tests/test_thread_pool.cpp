@@ -155,7 +155,9 @@ TEST(RunBatch, OneVsManyThreadsByteIdentical) {
 
 TEST(RunBatch, MidBatchThrowRethrowsFirstException) {
   // The invalid spec is claimed first (ascending order), so its error —
-  // not a later one — must surface, single- and multi-threaded.
+  // not a later one — must surface, single- and multi-threaded, wrapped
+  // with the failing item's index and label ("item 31572 of 100000"
+  // beats a bare what()).
   for (const unsigned threads : {1u, 4u}) {
     std::vector<RunSpec> specs;
     specs.push_back(invalid_spec("bad0"));
@@ -163,8 +165,29 @@ TEST(RunBatch, MidBatchThrowRethrowsFirstException) {
       specs.push_back(quick_spec("ok" + std::to_string(i),
                                  static_cast<std::uint64_t>(i)));
     }
-    EXPECT_THROW(run_batch(specs, threads), std::invalid_argument)
-        << "threads=" << threads;
+    try {
+      (void)run_batch(specs, threads);
+      FAIL() << "threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("run_batch item 0 (bad0)"), std::string::npos)
+          << "threads=" << threads << ": " << what;
+    }
+  }
+}
+
+TEST(RunBatch, ChainBatchErrorsCarryItemContext) {
+  std::vector<ChainSpec> specs(1);
+  specs[0].label = "bad_chain";
+  specs[0].scenario = invalid_spec("x").scenario;
+  specs[0].durations = {0.01 * kSecondsPerDay};
+  try {
+    (void)run_chain_batch(specs, 1);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("run_chain_batch item 0 (bad_chain)"),
+              std::string::npos)
+        << e.what();
   }
 }
 

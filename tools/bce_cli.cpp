@@ -11,6 +11,8 @@
 //   bce sample [n] [days]              Monte-Carlo population comparison
 //   bce print <scenario>               parse, validate and echo a scenario
 //   bce determinism <scenario>         run twice, fail unless byte-identical
+//   bce fleet [scenario] [options]     sharded, supervised multi-host run
+//                                      (docs/fleet.md)
 //   bce list-policies                  registered policies (also --list-policies)
 //
 // Common options:
@@ -54,6 +56,8 @@
 #include <vector>
 
 #include "core/bce.hpp"
+#include "fleet/shard_worker.hpp"
+#include "fleet/supervisor.hpp"
 
 namespace {
 
@@ -93,7 +97,7 @@ struct CliOptions {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
-      "usage: bce <run|compare|sweep|sample|print|list-policies>\n"
+      "usage: bce <run|compare|sweep|sample|print|fleet|list-policies>\n"
       "           [scenario-file] [options]\n"
       "  run            emulate one scenario and report the figures of merit\n"
       "  compare        run every registered scheduling x fetch policy pair\n"
@@ -107,6 +111,15 @@ struct CliOptions {
       "                 (--seed2 N: compare against a second seed;\n"
       "                 --bisect: locate the first divergent checkpoint and\n"
       "                 dump both states as JSONL)\n"
+      "  fleet          sharded, supervised multi-host run (docs/fleet.md):\n"
+      "                 [scenario] replicates one scenario across hosts,\n"
+      "                 no scenario samples a Monte-Carlo population;\n"
+      "                 --hosts N --shard-hosts K --workers W (0 = in-process)\n"
+      "                 --retries N --heartbeat-timeout S --shard-deadline S\n"
+      "                 --backoff S --checkpoint-dir DIR --checkpoint-hosts K\n"
+      "                 --checkpoint-sim-days D --partial-ok --host-figures\n"
+      "                 --harness-faults kill:SHARD@CP,stall:SHARD@CP\n"
+      "                 exits: 0 complete, 10 partial, 11 shard failed\n"
       "  list-policies  list the registered policies and their aliases\n"
       "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
       "         see list-policies)  --policy wrr|local|global (legacy)\n"
@@ -721,13 +734,135 @@ int cmd_determinism(const std::string& path, const CliOptions& o) {
   return rc;
 }
 
+/// Full-precision dump of the merged figures: two sharded runs that are
+/// supposed to be byte-identical (kill-and-resume vs undisturbed) must
+/// produce this line byte-for-byte (tests/test_cli_fleet.cpp).
+std::string merged_raw_line(const Metrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "merged raw " << m.available_flops << ' ' << m.used_flops << ' '
+     << m.wasted_flops << ' ' << m.share_violation_rms << ' ' << m.monotony
+     << ' ' << m.mean_exclusive_streak << ' ' << m.n_rpcs << ' '
+     << m.n_work_request_rpcs << ' ' << m.n_jobs_fetched << ' '
+     << m.n_jobs_completed << ' ' << m.n_jobs_missed << ' '
+     << m.n_jobs_abandoned << ' ' << m.n_preemptions << ' '
+     << m.n_sched_passes << ' ' << m.failure_wasted_flops << ' '
+     << m.recovery_time_sum << ' ' << m.n_job_failures << ' '
+     << m.n_job_aborts << ' ' << m.n_host_crashes << ' '
+     << m.n_crash_recoveries << ' ' << m.n_rpcs_lost << ' '
+     << m.n_jobs_orphaned << ' ' << m.n_transfer_retries;
+  for (const double u : m.usage_fraction) os << ' ' << u;
+  return os.str();
+}
+
+int cmd_fleet(int argc, char** argv) {
+  std::string scenario_path;
+  std::uint64_t hosts = 8;
+  std::uint64_t shard_hosts = 2;
+  unsigned workers = 2;
+  double days = 0.0;  // 0 = keep the scenario/population default
+  std::uint64_t seed = 1;
+  std::uint64_t checkpoint_hosts = 1;
+  double checkpoint_sim_days = 0.0;
+  bool host_figures = false;
+  PolicyConfig policy;
+  SupervisorConfig sup;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--hosts") {
+      hosts = static_cast<std::uint64_t>(parse_number(next(), a));
+    } else if (a == "--shard-hosts") {
+      shard_hosts = static_cast<std::uint64_t>(parse_number(next(), a));
+    } else if (a == "--workers") {
+      workers = static_cast<unsigned>(parse_number(next(), a));
+    } else if (a == "--days") {
+      days = parse_number(next(), a);
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(parse_number(next(), a));
+    } else if (a == "--sched") {
+      policy.sched_by_name = next();
+    } else if (a == "--fetch") {
+      policy.fetch_by_name = next();
+    } else if (a == "--retries") {
+      sup.max_retries = static_cast<int>(parse_number(next(), a));
+    } else if (a == "--heartbeat-timeout") {
+      sup.heartbeat_timeout = parse_number(next(), a);
+    } else if (a == "--shard-deadline") {
+      sup.shard_deadline = parse_number(next(), a);
+    } else if (a == "--backoff") {
+      sup.backoff_initial = parse_number(next(), a);
+    } else if (a == "--checkpoint-dir") {
+      sup.checkpoint_dir = next();
+    } else if (a == "--checkpoint-hosts") {
+      checkpoint_hosts = static_cast<std::uint64_t>(parse_number(next(), a));
+    } else if (a == "--checkpoint-sim-days") {
+      checkpoint_sim_days = parse_number(next(), a);
+    } else if (a == "--partial-ok") {
+      sup.partial_ok = true;
+    } else if (a == "--harness-faults") {
+      try {
+        sup.harness_faults = parse_harness_faults(next());
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
+    } else if (a == "--host-figures") {
+      host_figures = true;
+    } else if (!a.empty() && a[0] != '-' && scenario_path.empty()) {
+      scenario_path = a;
+    } else {
+      usage(("unknown option " + a).c_str());
+    }
+  }
+  sup.n_workers = workers;
+
+  std::vector<ShardTask> tasks;
+  if (!scenario_path.empty()) {
+    Scenario sc = load_scenario_file(scenario_path);
+    if (days > 0.0) sc.duration = days * kSecondsPerDay;
+    if (seed != 1) sc.seed = seed;
+    tasks = make_replicated_shard_tasks(sc, policy, hosts, shard_hosts);
+  } else {
+    PopulationParams pp;
+    if (days > 0.0) pp.duration = days * kSecondsPerDay;
+    tasks = make_population_shard_tasks(pp, hosts, seed, policy, shard_hosts,
+                                        host_figures);
+  }
+  for (ShardTask& t : tasks) {
+    t.checkpoint_every_hosts = checkpoint_hosts;
+    t.checkpoint_sim_period = checkpoint_sim_days * kSecondsPerDay;
+    t.include_host_figures = host_figures;
+  }
+
+  try {
+    const ShardedResult res = run_sharded(std::move(tasks), sup);
+    std::cout << "merged: " << res.merged.summary() << "\n"
+              << merged_raw_line(res.merged) << "\n"
+              << "coverage: " << res.hosts_done << "/" << res.hosts_total
+              << " hosts done, " << res.hosts_lost << " lost\n\n";
+    res.coverage_table().print(std::cout);
+    return res.complete() ? 0 : kFleetExitPartial;
+  } catch (const ShardFailedError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kFleetExitShardFailed;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: the fleet supervisor re-execs this binary with
+  // --bce-shard-worker and speaks the shard protocol over stdin/stdout.
+  if (const auto rc = bce::maybe_run_shard_worker(argc, argv)) return *rc;
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
     if (cmd == "sample") return cmd_sample(argc, argv);
+    if (cmd == "fleet") return cmd_fleet(argc, argv);
     if (cmd == "list-policies") return cmd_list_policies();
 
     std::string path;

@@ -19,6 +19,9 @@
 ///                every field the savestate layer serializes appears in
 ///                docs/savestate.md (inventory collected live from a
 ///                faulted run with modeled transfers)            (exit 7)
+///   fleet-docs   every supervisor exit code and fleet CLI flag
+///                (bce::fleet_doc_tokens()) appears in
+///                docs/fleet.md                                  (exit 8)
 ///
 /// Each finding prints one diagnostic line; the exit code is that of the
 /// first failing check in the order above (0 = clean, 1 = usage/IO error).
@@ -42,6 +45,7 @@
 #include "core/paper_scenarios.hpp"
 #include "core/savestate.hpp"
 #include "core/scenario_io.hpp"
+#include "fleet/supervisor.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
@@ -371,6 +375,28 @@ int check_savestate_docs(const fs::path& root) {
   return g_failures - before;
 }
 
+// ---- fleet-docs -----------------------------------------------------------
+
+int check_fleet_docs(const fs::path& root) {
+  const int before = g_failures;
+  const fs::path doc_path = root / "docs" / "fleet.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    diagnose("fleet-docs", "cannot read " + doc_path.string());
+    return g_failures - before;
+  }
+  // The inventory comes from the supervisor itself, not a hand-kept
+  // list: adding a CLI flag or exit code to the fleet layer without
+  // mentioning it in docs/fleet.md fails this check.
+  for (const auto& token : bce::fleet_doc_tokens()) {
+    if (doc->find(token) == std::string::npos) {
+      diagnose("fleet-docs", "fleet token \"" + token +
+                                 "\" is missing from " + doc_path.string());
+    }
+  }
+  return g_failures - before;
+}
+
 // ---- driver ---------------------------------------------------------------
 
 struct Check {
@@ -388,6 +414,7 @@ const Check kChecks[] = {
     {"scenarios", 5, check_scenarios},
     {"iwyu", 6, check_iwyu},
     {"savestate-docs", 7, check_savestate_docs},
+    {"fleet-docs", 8, check_fleet_docs},
 };
 
 int usage() {

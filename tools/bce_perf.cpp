@@ -7,10 +7,15 @@
 //       are noisier but the schema is identical.
 //
 //   bce_perf compare BASELINE CURRENT [--tolerance FRAC] [--warn-only]
+//               [--force]
 //       Compare two run outputs kernel by kernel. A kernel regresses when
 //       its items/sec falls more than FRAC (default 0.10) below the
 //       baseline. Exits 7 on any regression (0 with --warn-only), so CI
 //       can gate on it against the committed BENCH_6.json baseline.
+//       Reports record the host's core count; comparing reports taken on
+//       different core counts is refused (exit 8) unless --force, since
+//       threading kernels measured on different hardware are not
+//       comparable (the ROADMAP's batch_small_8t caveat).
 //
 // Every kernel uses only public library API, so the same source measures
 // any revision it is checked out against — that is how the before/after
@@ -26,9 +31,14 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/bce.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/shard_worker.hpp"
+#include "fleet/supervisor.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -335,6 +345,63 @@ double k_sweep_warmstart(std::uint64_t reps) {
   return sim_seconds;
 }
 
+/// A sharded population run through the supervisor's in-process path:
+/// 8 hosts in 4 shards of 2, folded via Metrics::merge. Items are hosts;
+/// the gap to batch_small_* is the sharding layer's bookkeeping cost.
+double k_fleet_sharded(std::uint64_t reps) {
+  PopulationParams pp;
+  pp.duration = 0.01 * kSecondsPerDay;
+  PolicyConfig policy;
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const ShardedResult res =
+        run_sharded(make_population_shard_tasks(pp, 8, 1, policy, 2));
+    sink += res.merged.idle_fraction();
+  }
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps) * 8.0;
+}
+
+/// One shard checkpoint round trip: persist a partial fold carrying a
+/// mid-run `.bcss` emulator frame, read it back, and restore the frame
+/// into a fresh emulator — what every worker retry pays to resume
+/// (docs/fleet.md). Items are round trips.
+double k_shard_checkpoint_resume(std::uint64_t reps) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 0.25 * kSecondsPerDay;
+  EmulationOptions opt;
+  Emulator em(sc, opt);
+  std::vector<std::uint8_t> frame;
+  em.set_checkpoint_hook([&](Emulator& e) {
+    if (frame.empty() && e.now() >= 0.5 * sc.duration) {
+      frame = capture_savestate(e);
+    }
+  });
+  (void)em.run();
+
+  ShardTask task;
+  task.scenario_texts.push_back(serialize_scenario(sc));
+  ShardCheckpoint cp;
+  cp.hosts_done = 0;
+  cp.seq = 1;
+  cp.frame = frame;
+  const std::string path = "bce_perf_shard_cp.bcsp";
+
+  double sink = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    write_shard_checkpoint(path, task, cp);
+    const ShardCheckpoint got = read_shard_checkpoint(path, task);
+    Emulator fresh(sc, opt);
+    restore_savestate(fresh, got.frame);
+    sink += fresh.now();
+  }
+  std::remove(path.c_str());
+  volatile double keep = sink;
+  (void)keep;
+  return static_cast<double>(reps);
+}
+
 struct Kernel {
   const char* name;
   std::function<double(std::uint64_t)> body;
@@ -354,6 +421,8 @@ std::vector<Kernel> kernels() {
       {"savestate_roundtrip", k_savestate_roundtrip},
       {"sweep_coldstart", k_sweep_coldstart},
       {"sweep_warmstart", k_sweep_warmstart},
+      {"fleet_sharded", k_fleet_sharded},
+      {"shard_checkpoint_resume", k_shard_checkpoint_resume},
   };
 }
 
@@ -365,6 +434,12 @@ void write_json(std::ostream& os,
   os << "{\n";
   os << "  \"schema\": \"bce-perf-v1\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  // Where the numbers were taken: threading kernels (batch_small_8t) are
+  // only comparable between reports from the same core count, and compare
+  // refuses mixed-host comparisons without --force.
+  os << "  \"host\": {\"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
+     << ", \"resolved_threads\": " << resolve_thread_count(0) << "},\n";
   os << "  \"kernels\": {\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& [name, r] = rows[i];
@@ -427,18 +502,30 @@ int cmd_run(const std::vector<std::string>& args) {
 
 // ---- compare --------------------------------------------------------------
 
-/// Extract kernel -> items_per_sec from a bce-perf-v1 report. The format
-/// is machine-written with one kernel per line, so a line scanner is
-/// enough — no JSON library in the toolchain.
+/// Extract kernel -> items_per_sec from a bce-perf-v1 report, plus the
+/// recorded host core count when present (-1 = report predates the host
+/// stanza). The format is machine-written with one kernel per line, so a
+/// line scanner is enough — no JSON library in the toolchain.
 bool parse_report(const std::string& path,
-                  std::map<std::string, double>& out, std::string& err) {
+                  std::map<std::string, double>& out, int& cores,
+                  std::string& err) {
   std::ifstream is(path);
   if (!is) {
     err = "cannot open " + path;
     return false;
   }
+  cores = -1;
   std::string line;
   while (std::getline(is, line)) {
+    const auto hc = line.find("\"hardware_concurrency\":");
+    if (hc != std::string::npos) {
+      try {
+        cores = std::stoi(line.substr(hc + 24));
+      } catch (...) {
+        cores = -1;
+      }
+      continue;
+    }
     const auto ips = line.find("\"items_per_sec\":");
     if (ips == std::string::npos) continue;
     const auto q0 = line.find('"');
@@ -464,11 +551,14 @@ int cmd_compare(const std::vector<std::string>& args) {
   std::vector<std::string> paths;
   double tolerance = 0.10;
   bool warn_only = false;
+  bool force = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--tolerance" && i + 1 < args.size()) {
       tolerance = std::stod(args[++i]);
     } else if (args[i] == "--warn-only") {
       warn_only = true;
+    } else if (args[i] == "--force") {
+      force = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       std::cerr << "error: unknown compare option " << args[i] << "\n";
       return 1;
@@ -483,11 +573,31 @@ int cmd_compare(const std::vector<std::string>& args) {
 
   std::map<std::string, double> base;
   std::map<std::string, double> cur;
+  int base_cores = -1;
+  int cur_cores = -1;
   std::string err;
-  if (!parse_report(paths[0], base, err) ||
-      !parse_report(paths[1], cur, err)) {
+  if (!parse_report(paths[0], base, base_cores, err) ||
+      !parse_report(paths[1], cur, cur_cores, err)) {
     std::cerr << "error: " << err << "\n";
     return 1;
+  }
+
+  if (base_cores > 0 && cur_cores > 0 && base_cores != cur_cores) {
+    if (!force) {
+      std::cerr << "error: baseline was taken on " << base_cores
+                << " core(s), current on " << cur_cores
+                << " — threading kernels are not comparable across core "
+                   "counts (--force to compare anyway)\n";
+      return 8;
+    }
+    std::cout << "warning: comparing reports from different core counts ("
+              << base_cores << " vs " << cur_cores
+              << "); treat threading kernels with suspicion\n";
+  } else if (base_cores <= 0 || cur_cores <= 0) {
+    std::cout << "note: host core count missing from "
+              << (base_cores <= 0 ? paths[0] : paths[1])
+              << " (report predates the host stanza); core-count guard "
+                 "skipped\n";
   }
 
   int regressions = 0;
@@ -519,7 +629,7 @@ void usage() {
       << "usage:\n"
       << "  bce_perf run [--out FILE] [--quick] [--kernel NAME]\n"
       << "  bce_perf compare BASELINE CURRENT [--tolerance FRAC]"
-         " [--warn-only]\n";
+         " [--warn-only] [--force]\n";
 }
 
 }  // namespace
