@@ -6,6 +6,8 @@
 //   D3  host crash MTBF x checkpoint period (recovery interplay)
 //   D4  scheduler-RPC loss sweep            (retry traffic, orphaned jobs)
 //   D5  transfer error rate, resumable vs restart-from-zero downloads
+//   D6  server-dispatch frontier: every registered dispatch policy on a
+//       replicated, battery-powered host as job errors grow
 //
 // All runs share a seed, so every row of a table sees the same availability
 // and job-size draws; only the fault channels differ.
@@ -19,6 +21,7 @@
 
 #include "common.hpp"
 #include "core/bce.hpp"
+#include "server/dispatch_policy.hpp"
 
 namespace {
 
@@ -169,6 +172,40 @@ int d5_transfer_errors() {
   return 0;
 }
 
+int d6_dispatch_frontier() {
+  std::cout << "\nD6: server-dispatch frontier (scenario 2 with replicas=3 "
+               "quorum=2, laptop device: AC ~6h on/2h off, battery 30%/h "
+               "discharge; registry-driven over every dispatch policy)\n";
+  Table t({"dispatch", "error rate", "score", "quorum", "repl_wasted",
+           "workunits", "completed"});
+  for (const auto& e : server_policy_registry().dispatch_entries()) {
+    for (const double rate : {0.0, 0.1, 0.3}) {
+      if (bench::interrupted()) {
+        return bench::interrupt_flush(t, "degradation_d6");
+      }
+      Scenario sc = paper_scenario2();
+      for (auto& p : sc.projects) {
+        p.target_replicas = 3;
+        p.quorum = 2;
+      }
+      sc.host.device.on_ac = OnOffSpec::markov(6.0 * 3600.0, 2.0 * 3600.0);
+      sc.host.device.battery_charge = 0.8;
+      sc.host.device.battery_discharge = 0.3;
+      sc.host.device.battery_recharge = 0.6;
+      sc.faults.job_error_rate = rate;
+      PolicyConfig pol = base_policy();
+      pol.dispatch_by_name = e.name;
+      const Metrics m = run(sc, pol);
+      t.add_row({e.name, fmt(rate, 2), fmt(m.weighted_score()),
+                 fmt(m.quorum_rate()), fmt(m.replica_wasted_fraction()),
+                 std::to_string(m.n_workunits),
+                 std::to_string(m.n_jobs_completed)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,5 +217,6 @@ int main(int argc, char** argv) {
   if (const int rc = d3_crashes_vs_checkpoints()) return rc;
   if (const int rc = d4_rpc_loss()) return rc;
   if (const int rc = d5_transfer_errors()) return rc;
+  if (const int rc = d6_dispatch_frontier()) return rc;
   return 0;
 }

@@ -53,6 +53,11 @@ struct PolicyConfig {
   /// selected without engine changes.
   std::string sched_by_name;
   std::string fetch_by_name;
+
+  /// Server-side dispatch policy by name (bce::server_policy_registry()
+  /// canonical name or alias). Empty selects SD_PAPER, the paper's
+  /// behavior; CLI --dispatch sets it.
+  std::string dispatch_by_name;
   EndangeredOrder endangered_order = EndangeredOrder::kEdf;
   TransferOrder transfer_order = TransferOrder::kFairShare;
 
@@ -99,6 +104,9 @@ struct PolicyConfig {
   }
   [[nodiscard]] std::string selected_fetch_name() const {
     return fetch_by_name.empty() ? fetch_name() : fetch_by_name;
+  }
+  [[nodiscard]] std::string selected_dispatch_name() const {
+    return dispatch_by_name.empty() ? "SD_PAPER" : dispatch_by_name;
   }
 };
 

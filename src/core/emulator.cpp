@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "server/dispatch_policy.hpp"
 #include "sim/state_io.hpp"
 
 namespace bce {
@@ -83,6 +84,7 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
 
   ServerPolicy sp;
   sp.deadline_check = opt_.policy.server_deadline_check;
+  sp.dispatch = make_dispatch_policy(opt_.policy);
   const double host_avail = sc_.availability.host_on.expected_on_fraction();
   servers_.reserve(sc_.projects.size());
   for (std::size_t p = 0; p < sc_.projects.size(); ++p) {
@@ -93,6 +95,9 @@ Emulator::Emulator(const Scenario& scenario, const EmulationOptions& options)
   // Forked last so pre-existing streams keep their derivation order (an
   // all-zero FaultPlan then changes nothing: the injector never draws).
   faults_ = FaultInjector(sc_.faults, rng_);
+  // After faults_ for the same reason; a default (desktop) DeviceSpec
+  // builds two always-on processes that never draw.
+  device_ = DeviceModel(sc_.host.device, rng_.fork("device"), 0.0);
   project_events_.resize(sc_.projects.size(), kNoEvent);
 
   // Typical steady state keeps a few dozen pending events (per-task
@@ -484,10 +489,21 @@ void Emulator::do_rpc(ProjectId p, const WorkRequest& req,
     }
   }
   const int reported = static_cast<int>(to_report.size());
+  int n_failed = 0;
+  for (const Result* r : to_report) {
+    if (r->failed) ++n_failed;
+  }
+
+  // The request carries the host's current device status (battery/AC/
+  // wifi), which device-aware dispatch policies read; the copy keeps the
+  // client-side reply handling below on the caller's original request.
+  device_.advance_to(now_);
+  WorkRequest stamped = req;
+  stamped.device = device_.status();
 
   const JobId id0 = next_job_id_;
   RpcReply reply = servers_[static_cast<std::size_t>(p)].handle_rpc(
-      now_, req, reported, next_job_id_, trace_);
+      now_, stamped, reported, next_job_id_, trace_, n_failed);
   schedule_project_event(static_cast<std::size_t>(p));
 
   if (faults_.rpc_reply_lost()) {
@@ -697,6 +713,52 @@ EmulationResult Emulator::run() {
   metrics_.counters().n_transfer_retries = client_.transfers().retries();
   metrics_.counters().trace_events = counters_.counts();
 
+  // Replication/quorum accounting. Replicas of a workunit are dispatched
+  // in one reply and appended to jobs_ in order, so each workunit is a
+  // contiguous run (keyed by the primary's id; kNoJob-keyed jobs — not
+  // made by a ProjectServer — group by their own id). Recomputed here from
+  // job states rather than streamed, so savestate restores need no extra
+  // collector fields.
+  {
+    Metrics& c = metrics_.counters();
+    std::size_t i = 0;
+    while (i < jobs_.size()) {
+      const Result& first = *jobs_[i];
+      const JobId key = first.workunit == kNoJob ? first.id : first.workunit;
+      std::size_t j = i;
+      while (j < jobs_.size() &&
+             (jobs_[j]->workunit == kNoJob ? jobs_[j]->id
+                                           : jobs_[j]->workunit) == key) {
+        ++j;
+      }
+      ++c.n_workunits;
+      const int q = std::max(
+          1, sc_.projects[static_cast<std::size_t>(first.project)].quorum);
+      int successes = 0;
+      bool all_terminal = true;
+      for (std::size_t k = i; k < j; ++k) {
+        const Result& r = *jobs_[k];
+        if (r.is_complete()) {
+          ++successes;
+          // Successful replicas past the quorum are pure redundancy; the
+          // waste of failed replicas is already failure_wasted_flops.
+          if (successes > q && j - i > 1) {
+            c.replica_wasted_flops += r.flops_spent;
+          }
+        } else if (!r.terminal()) {
+          all_terminal = false;
+        }
+      }
+      if (successes >= q) {
+        ++c.n_quorum_met;
+        c.granted_credit_flops += first.flops_est;
+      } else if (all_terminal) {
+        ++c.n_quorum_failed;
+      }
+      i = j;
+    }
+  }
+
   EmulationResult res;
   std::vector<const Result*> all;
   all.reserve(jobs_.size());
@@ -744,6 +806,8 @@ void save_result(StateWriter& w, const Result& r) {
   w.put_i64("job.id", r.id);
   w.put_i64("job.project", r.project);
   w.put_i64("job.class", r.job_class);
+  w.put_i64("job.workunit", r.workunit);
+  w.put_i64("job.replica", r.replica);
   w.put_f64("job.flops_total", r.flops_total);
   w.put_f64("job.flops_est", r.flops_est);
   w.put_f64("job.received", r.received);
@@ -783,6 +847,8 @@ Result restore_result(StateReader& r) {
   j.id = static_cast<JobId>(r.get_i64("job.id"));
   j.project = static_cast<ProjectId>(r.get_i64("job.project"));
   j.job_class = static_cast<int>(r.get_i64("job.class"));
+  j.workunit = static_cast<JobId>(r.get_i64("job.workunit"));
+  j.replica = static_cast<int>(r.get_i64("job.replica"));
   j.flops_total = r.get_f64("job.flops_total");
   j.flops_est = r.get_f64("job.flops_est");
   j.received = r.get_f64("job.received");
@@ -826,6 +892,7 @@ void Emulator::save_state(StateWriter& w) const {
   rng_.save_state(w, "emu.rng");
   avail_.save_state(w);
   faults_.save_state(w);
+  device_.save_state(w);
   counters_.save_state(w);
   client_.save_state(w);
   w.put_count("emu.servers", servers_.size());
@@ -859,6 +926,7 @@ void Emulator::restore_state(StateReader& r) {
   rng_.restore_state(r, "emu.rng");
   avail_.restore_state(r);
   faults_.restore_state(r);
+  device_.restore_state(r);
   counters_.restore_state(r);
   client_.restore_state(r);
   const std::uint64_t ns = r.get_count("emu.servers");

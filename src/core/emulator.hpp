@@ -28,6 +28,7 @@
 #include "client/policy.hpp"
 #include "core/metrics.hpp"
 #include "core/timeline.hpp"
+#include "host/device_status.hpp"
 #include "model/scenario.hpp"
 #include "server/project_server.hpp"
 #include "sim/event_queue.hpp"
@@ -118,6 +119,10 @@ class Emulator {
   [[nodiscard]] const Scenario& scenario() const { return sc_; }
   [[nodiscard]] const EmulationOptions& options() const { return opt_; }
 
+  /// The host's device model (battery/AC/wifi realization; tests inspect
+  /// the charge trajectory).
+  [[nodiscard]] const DeviceModel& device() const { return device_; }
+
   /// Install a checkpoint hook, fired at the end of every main-loop
   /// iteration — after the event drain and the reschedule/work-fetch
   /// passes, i.e. at an inter-event boundary where no interval is split.
@@ -179,6 +184,10 @@ class Emulator {
   /// Constructed (in the ctor body, after all pre-existing forks) from
   /// sc_.faults; inert when every channel is off.
   FaultInjector faults_;
+  /// Constructed (in the ctor body, after faults_ — fork order is part of
+  /// the determinism contract) from sc_.host.device; a default desktop
+  /// spec draws nothing and changes nothing.
+  DeviceModel device_;
   /// Internal dispatcher every decision point emits into. Enabled
   /// categories are the union of what opt_.logger and opt_.trace want;
   /// attached sinks: LoggerSink (when opt_.logger), TraceForwarder (when

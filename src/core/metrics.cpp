@@ -44,6 +44,17 @@ std::string Metrics::summary() const {
                   static_cast<long long>(n_transfer_retries));
     out += buf;
   }
+  if (replication_used()) {
+    std::snprintf(buf, sizeof buf,
+                  " replication: replica_wasted=%.3f quorum=%.2f "
+                  "credit=%.3g (workunits=%lld met=%lld failed=%lld)",
+                  replica_wasted_fraction(), quorum_rate(),
+                  granted_credit_flops,
+                  static_cast<long long>(n_workunits),
+                  static_cast<long long>(n_quorum_met),
+                  static_cast<long long>(n_quorum_failed));
+    out += buf;
+  }
   return out;
 }
 
@@ -101,6 +112,11 @@ void Metrics::merge(const Metrics& other) {
   n_rpcs_lost += other.n_rpcs_lost;
   n_jobs_orphaned += other.n_jobs_orphaned;
   n_transfer_retries += other.n_transfer_retries;
+  replica_wasted_flops += other.replica_wasted_flops;
+  granted_credit_flops += other.granted_credit_flops;
+  n_workunits += other.n_workunits;
+  n_quorum_met += other.n_quorum_met;
+  n_quorum_failed += other.n_quorum_failed;
   for (std::size_t c = 0; c < trace_events.size(); ++c) {
     trace_events[c] += other.trace_events[c];
   }
@@ -130,6 +146,11 @@ void save_metrics(StateWriter& w, const Metrics& m) {
   w.put_i64("wire.n_rpcs_lost", m.n_rpcs_lost);
   w.put_i64("wire.n_jobs_orphaned", m.n_jobs_orphaned);
   w.put_i64("wire.n_transfer_retries", m.n_transfer_retries);
+  w.put_f64("wire.replica_wasted_flops", m.replica_wasted_flops);
+  w.put_f64("wire.granted_credit_flops", m.granted_credit_flops);
+  w.put_i64("wire.n_workunits", m.n_workunits);
+  w.put_i64("wire.n_quorum_met", m.n_quorum_met);
+  w.put_i64("wire.n_quorum_failed", m.n_quorum_failed);
   w.put_count("wire.usage_fraction", m.usage_fraction.size());
   for (const double u : m.usage_fraction) w.put_f64("wire.usage", u);
   w.put_count("wire.trace_events", m.trace_events.size());
@@ -161,6 +182,11 @@ Metrics load_metrics(StateReader& r) {
   m.n_rpcs_lost = r.get_i64("wire.n_rpcs_lost");
   m.n_jobs_orphaned = r.get_i64("wire.n_jobs_orphaned");
   m.n_transfer_retries = r.get_i64("wire.n_transfer_retries");
+  m.replica_wasted_flops = r.get_f64("wire.replica_wasted_flops");
+  m.granted_credit_flops = r.get_f64("wire.granted_credit_flops");
+  m.n_workunits = r.get_i64("wire.n_workunits");
+  m.n_quorum_met = r.get_i64("wire.n_quorum_met");
+  m.n_quorum_failed = r.get_i64("wire.n_quorum_failed");
   const std::uint64_t np = r.get_count("wire.usage_fraction");
   m.usage_fraction.resize(np);
   for (double& u : m.usage_fraction) u = r.get_f64("wire.usage");

@@ -72,6 +72,16 @@ struct Metrics {
   std::int64_t n_jobs_orphaned = 0;     ///< jobs stranded by lost replies
   std::int64_t n_transfer_retries = 0;  ///< errored download attempts
 
+  // --- replication / quorum accounting (server dispatch; all trivial in
+  // an unreplicated run: every completed workunit grants its estimate) ---
+  double replica_wasted_flops = 0.0;  ///< FLOPs spent beyond the quorum on
+                                      ///< multi-replica workunits
+  double granted_credit_flops = 0.0;  ///< flops_est granted once per
+                                      ///< quorum-met workunit
+  std::int64_t n_workunits = 0;       ///< distinct workunits dispatched
+  std::int64_t n_quorum_met = 0;      ///< workunits validated (quorum met)
+  std::int64_t n_quorum_failed = 0;   ///< all replicas terminal, no quorum
+
   /// Per-project peak-FLOPS usage fractions (sums to 1 when any work ran).
   std::vector<double> usage_fraction;
 
@@ -128,6 +138,24 @@ struct Metrics {
   [[nodiscard]] bool faults_fired() const {
     return n_job_failures > 0 || n_job_aborts > 0 || n_host_crashes > 0 ||
            n_rpcs_lost > 0 || n_transfer_retries > 0;
+  }
+
+  // --- replication figures (0 when no workunit was replicated) ----------
+  /// Fraction of available capacity burned on redundant replicas.
+  [[nodiscard]] double replica_wasted_fraction() const {
+    if (available_flops <= 0.0) return 0.0;
+    return clamp(replica_wasted_flops / available_flops, 0.0, 1.0);
+  }
+  /// Fraction of dispatched workunits that validated (met quorum).
+  [[nodiscard]] double quorum_rate() const {
+    return n_workunits > 0 ? static_cast<double>(n_quorum_met) /
+                                 static_cast<double>(n_workunits)
+                           : 0.0;
+  }
+  /// Any multi-replica dispatch in this run?
+  [[nodiscard]] bool replication_used() const {
+    return replica_wasted_flops > 0.0 ||
+           n_workunits != n_jobs_fetched;
   }
 
   /// Subjectively-weighted overall score, [0,1], 0 = good.

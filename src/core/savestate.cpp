@@ -53,9 +53,10 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario,
       reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
   // Fold in every policy knob that steers scheduling decisions.
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "|%s|%s|%d|%d|%.17g|%d|%d|%d",
+  std::snprintf(buf, sizeof(buf), "|%s|%s|%s|%d|%d|%.17g|%d|%d|%d",
                 policy.selected_sched_name().c_str(),
                 policy.selected_fetch_name().c_str(),
+                policy.selected_dispatch_name().c_str(),
                 static_cast<int>(policy.endangered_order),
                 static_cast<int>(policy.transfer_order), policy.rec_half_life,
                 policy.server_deadline_check ? 1 : 0,

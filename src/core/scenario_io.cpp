@@ -283,6 +283,18 @@ Scenario parse_scenario(const std::string& text) {
       sc.host.ram_bytes = to_num(val, lineno, "ram");
     } else if (key == "bandwidth") {
       sc.host.download_bandwidth_bps = to_num(val, lineno, "bandwidth");
+    } else if (key == "device_ac") {
+      sc.host.device.on_ac = parse_onoff(toks, 0, lineno);
+    } else if (key == "device_wifi") {
+      sc.host.device.on_wifi = parse_onoff(toks, 0, lineno);
+    } else if (key == "battery_charge") {
+      sc.host.device.battery_charge = to_num(val, lineno, "battery_charge");
+    } else if (key == "battery_discharge") {
+      sc.host.device.battery_discharge =
+          to_num(val, lineno, "battery_discharge");
+    } else if (key == "battery_recharge") {
+      sc.host.device.battery_recharge =
+          to_num(val, lineno, "battery_recharge");
     } else if (key == "min_queue") {
       sc.prefs.min_queue = to_num(val, lineno, "min_queue");
     } else if (key == "max_queue") {
@@ -348,6 +360,16 @@ Scenario parse_scenario(const std::string& text) {
       }
       cur->max_jobs_in_progress =
           static_cast<int>(to_num(val, lineno, "max_in_progress"));
+    } else if (key == "replicas") {
+      if (cur == nullptr) {
+        throw ScenarioParseError(lineno, "replicas: outside project");
+      }
+      cur->target_replicas = static_cast<int>(to_num(val, lineno, "replicas"));
+    } else if (key == "quorum") {
+      if (cur == nullptr) {
+        throw ScenarioParseError(lineno, "quorum: outside project");
+      }
+      cur->quorum = static_cast<int>(to_num(val, lineno, "quorum"));
     } else if (key == "no_gpu") {
       if (cur == nullptr) throw ScenarioParseError(lineno, "no_gpu: outside project");
       cur->no_gpu = to_num(val, lineno, "no_gpu") != 0.0;
@@ -403,6 +425,23 @@ std::string serialize_scenario(const Scenario& sc) {
   if (sc.host.download_bandwidth_bps > 0.0) {
     os << "bandwidth: " << sc.host.download_bandwidth_bps << '\n';
   }
+  // Device keys only when non-default, so pre-device serializations (and
+  // the savestate fingerprints derived from them) are unchanged.
+  if (sc.host.device.on_ac.kind != OnOffSpec::Kind::kAlwaysOn) {
+    os << "device_ac: " << onoff_str(sc.host.device.on_ac) << '\n';
+  }
+  if (sc.host.device.on_wifi.kind != OnOffSpec::Kind::kAlwaysOn) {
+    os << "device_wifi: " << onoff_str(sc.host.device.on_wifi) << '\n';
+  }
+  if (sc.host.device.battery_charge != 1.0) {
+    os << "battery_charge: " << sc.host.device.battery_charge << '\n';
+  }
+  if (sc.host.device.battery_discharge != 0.0) {
+    os << "battery_discharge: " << sc.host.device.battery_discharge << '\n';
+  }
+  if (sc.host.device.battery_recharge != 0.0) {
+    os << "battery_recharge: " << sc.host.device.battery_recharge << '\n';
+  }
   os << "min_queue: " << sc.prefs.min_queue << '\n';
   os << "max_queue: " << sc.prefs.max_queue << '\n';
   os << "ram_limit: " << sc.prefs.ram_limit_fraction << '\n';
@@ -452,6 +491,8 @@ std::string serialize_scenario(const Scenario& sc) {
     if (p.max_jobs_in_progress > 0) {
       os << "max_in_progress: " << p.max_jobs_in_progress << '\n';
     }
+    if (p.target_replicas != 1) os << "replicas: " << p.target_replicas << '\n';
+    if (p.quorum != 1) os << "quorum: " << p.quorum << '\n';
     if (p.no_gpu) os << "no_gpu: 1\n";
     if (p.suspended) os << "suspended: 1\n";
     if (!p.transfers_resumable) os << "resumable_transfers: 0\n";

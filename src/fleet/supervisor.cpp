@@ -559,7 +559,8 @@ std::vector<std::string> fleet_doc_tokens() {
       // `bce fleet` CLI flags (tools/bce_cli.cpp) and the hidden worker
       // mode; the fleet-docs lint check requires each in docs/fleet.md.
       "--hosts", "--shard-hosts", "--workers", "--days", "--seed", "--sched",
-      "--fetch", "--retries", "--heartbeat-timeout", "--shard-deadline",
+      "--fetch", "--dispatch", "--retries", "--heartbeat-timeout",
+      "--shard-deadline",
       "--backoff", "--checkpoint-dir", "--checkpoint-hosts",
       "--checkpoint-sim-days", "--partial-ok", "--harness-faults",
       "--host-figures", "--bce-shard-worker",

@@ -1,0 +1,59 @@
+#include "host/device_status.hpp"
+
+#include "sim/state_io.hpp"
+
+namespace bce {
+
+DeviceModel::DeviceModel(const DeviceSpec& spec, Xoshiro256 rng, SimTime now)
+    : spec_(spec),
+      ac_(spec.on_ac, rng.fork("device.ac"), now),
+      wifi_(spec.on_wifi, rng.fork("device.wifi"), now),
+      charge_(clamp(spec.battery_charge, 0.0, 1.0)),
+      last_(now) {}
+
+void DeviceModel::integrate_to(SimTime to) {
+  const double dt = to - last_;
+  if (dt > 0.0) {
+    const double rate = ac_.on() ? spec_.battery_recharge
+                                 : -spec_.battery_discharge;
+    charge_ = clamp(charge_ + rate * dt / kSecondsPerHour, 0.0, 1.0);
+  }
+  last_ = to;
+}
+
+void DeviceModel::advance_to(SimTime now) {
+  if (now <= last_) return;
+  // Integrate piecewise so the charge rate changes exactly at AC flips.
+  while (ac_.next_transition() <= now) {
+    const SimTime flip = ac_.next_transition();
+    integrate_to(flip);
+    ac_.advance_to(flip);
+  }
+  integrate_to(now);
+  wifi_.advance_to(now);
+}
+
+DeviceStatus DeviceModel::status() const {
+  DeviceStatus s;
+  s.on_ac = ac_.on();
+  s.on_wifi = wifi_.on();
+  s.battery_charge = charge_;
+  s.battery_discharge = spec_.battery_discharge;
+  return s;
+}
+
+void DeviceModel::save_state(StateWriter& w) const {
+  ac_.save_state(w, "device.ac");
+  wifi_.save_state(w, "device.wifi");
+  w.put_f64("device.charge", charge_);
+  w.put_f64("device.last", last_);
+}
+
+void DeviceModel::restore_state(StateReader& r) {
+  ac_.restore_state(r, "device.ac");
+  wifi_.restore_state(r, "device.wifi");
+  charge_ = r.get_f64("device.charge");
+  last_ = r.get_f64("device.last");
+}
+
+}  // namespace bce

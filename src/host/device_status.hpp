@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file device_status.hpp
+/// Device-diversity host model, after BOINC's lib/device_status: a host may
+/// be a mobile/battery device that is sometimes off AC power (draining its
+/// battery) and sometimes off wifi. The scenario describes the device with
+/// a DeviceSpec; the emulator realizes it as a DeviceModel and stamps a
+/// DeviceStatus snapshot onto every WorkRequest so server-side dispatch
+/// policies (e.g. SD_MOBILE, docs/policies.md) can refuse work to hosts
+/// that are about to run out of power or have no cheap network path.
+///
+/// The default spec — always on AC, always on wifi, full battery — models
+/// the paper's desktop hosts and draws nothing from the RNG, so scenarios
+/// that don't mention a device are byte-identical to builds predating it.
+
+#include "host/availability.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+class StateReader;
+class StateWriter;
+
+/// Declarative device description; lives in the scenario's host section
+/// (docs/scenario_format.md: device_ac, device_wifi, battery_*).
+struct DeviceSpec {
+  /// On/off process for AC power (ON = plugged in). Battery charges while
+  /// ON and drains while OFF.
+  OnOffSpec on_ac = OnOffSpec::always_on();
+
+  /// On/off process for wifi connectivity (ON = unmetered network).
+  OnOffSpec on_wifi = OnOffSpec::always_on();
+
+  /// Initial battery charge, fraction of capacity in [0, 1].
+  double battery_charge = 1.0;
+
+  /// Battery drain while off AC, fraction of capacity per hour.
+  double battery_discharge = 0.0;
+
+  /// Battery recharge while on AC, fraction of capacity per hour.
+  double battery_recharge = 0.0;
+
+  /// True when the spec is the desktop default (always on AC and wifi,
+  /// full battery): nothing to model, nothing to serialize.
+  [[nodiscard]] bool is_default() const {
+    return on_ac.kind == OnOffSpec::Kind::kAlwaysOn &&
+           on_wifi.kind == OnOffSpec::Kind::kAlwaysOn &&
+           battery_charge == 1.0 && battery_discharge == 0.0 &&
+           battery_recharge == 0.0;
+  }
+};
+
+/// Point-in-time device snapshot, carried on every WorkRequest (BOINC
+/// clients report DEVICE_STATUS with each scheduler RPC).
+struct DeviceStatus {
+  bool on_ac = true;
+  bool on_wifi = true;
+  double battery_charge = 1.0;     ///< fraction of capacity in [0, 1]
+  double battery_discharge = 0.0;  ///< fraction of capacity per hour (off-AC)
+};
+
+/// Stateful realization of a DeviceSpec: two on/off processes plus a
+/// piecewise-linear battery integration across AC flips. Deterministic
+/// given the RNG stream passed at construction.
+class DeviceModel {
+ public:
+  DeviceModel() : DeviceModel(DeviceSpec{}, Xoshiro256(0), 0.0) {}
+
+  /// \p rng is consumed by value: the model owns an independent stream.
+  DeviceModel(const DeviceSpec& spec, Xoshiro256 rng, SimTime now);
+
+  /// Integrate the battery and process AC/wifi flips up to \p now.
+  void advance_to(SimTime now);
+
+  /// Snapshot at the model's current time (call advance_to first).
+  [[nodiscard]] DeviceStatus status() const;
+
+  /// Savestate support (docs/savestate.md): the spec is reconstructed from
+  /// the scenario; serialized state is the two channel realizations plus
+  /// the battery charge and integration frontier.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  /// Accumulate battery charge/drain over [last_, to] under the current
+  /// AC state, then move the frontier.
+  void integrate_to(SimTime to);
+
+  DeviceSpec spec_;
+  OnOffProcess ac_;
+  OnOffProcess wifi_;
+  double charge_ = 1.0;
+  SimTime last_ = 0.0;
+};
+
+}  // namespace bce

@@ -5,6 +5,7 @@
 /// counts and per-instance peak FLOPS per type, RAM. The BOINC client
 /// probes these on a real host; scenarios specify them directly.
 
+#include "host/device_status.hpp"
 #include "host/proc_type.hpp"
 
 namespace bce {
@@ -26,6 +27,11 @@ struct HostInfo {
   /// assumption). When positive, jobs with input_bytes > 0 must finish
   /// downloading before they can run (§6.2 extension).
   double download_bandwidth_bps = 0.0;
+
+  /// Device diversity (BOINC lib/device_status): AC power and wifi
+  /// processes plus battery parameters. The default models a desktop —
+  /// always on AC and wifi — and changes nothing.
+  DeviceSpec device;
 
   /// Aggregate peak FLOPS of one type.
   [[nodiscard]] double peak_flops(ProcType t) const {

@@ -92,6 +92,15 @@ struct Result {
   ProjectId project = kNoProject;
   int job_class = 0;  ///< index into the project's job_classes
 
+  /// Replication (docs/policies.md, server dispatch): the workunit this
+  /// result is an instance of — the id of its first replica, = `id` for
+  /// unreplicated jobs — and this result's replica index within it.
+  /// Replicas of one workunit share flops_total (same computation) but
+  /// draw independent fault fates. kNoJob when the result was not made by
+  /// a ProjectServer (test fixtures).
+  JobId workunit = kNoJob;
+  int replica = 0;
+
   double flops_total = 0.0;  ///< actual FLOPs (drawn at dispatch)
   double flops_est = 0.0;    ///< estimate known to client & server
 

@@ -33,6 +33,15 @@ struct ProjectConfig {
   /// 1-2). 0 = unlimited.
   int max_jobs_in_progress = 0;
 
+  /// Replication: instances dispatched per workunit (BOINC's
+  /// target_nresults) and how many successful instances count as
+  /// validation (min_quorum). Quorum-met workunits grant credit once;
+  /// the extra replicas' FLOPs are accounted as replication waste
+  /// (Metrics::replica_wasted_flops). The adaptive-replication dispatch
+  /// policy treats target_replicas as a ceiling and quorum as the floor.
+  int target_replicas = 1;
+  int quorum = 1;
+
   /// Volunteer-set per-project controls (§2.2 preferences): don't give
   /// this project the GPU / don't run it at all. A suspended project is
   /// never fetched from and accrues no debt.

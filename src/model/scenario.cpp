@@ -70,6 +70,28 @@ bool Scenario::validate(std::string* err) const {
     }
   }
   {
+    const char* ch = nullptr;
+    const char* which = nullptr;
+    if ((which = spec_problem(host.device.on_ac)) != nullptr) ch = "device_ac";
+    else if ((which = spec_problem(host.device.on_wifi)) != nullptr) ch = "device_wifi";
+    if (ch != nullptr) {
+      return fail(err, std::string("device channel ") + ch +
+                           ": non-finite or negative " + which);
+    }
+    if (!finite(host.device.battery_charge) ||
+        host.device.battery_charge < 0.0 || host.device.battery_charge > 1.0) {
+      return fail(err, "battery_charge must be in [0,1] and finite");
+    }
+    if (!finite(host.device.battery_discharge) ||
+        host.device.battery_discharge < 0.0) {
+      return fail(err, "battery_discharge must be non-negative and finite");
+    }
+    if (!finite(host.device.battery_recharge) ||
+        host.device.battery_recharge < 0.0) {
+      return fail(err, "battery_recharge must be non-negative and finite");
+    }
+  }
+  {
     const std::string problem = faults.validate();
     if (!problem.empty()) return fail(err, "fault plan: " + problem);
   }
@@ -156,6 +178,15 @@ bool Scenario::validate(std::string* err) const {
     }
     if (p.max_jobs_in_progress < 0) {
       return fail(err, tag.str() + "negative max_jobs_in_progress");
+    }
+    if (p.target_replicas < 1) {
+      return fail(err, tag.str() + "replicas must be at least 1");
+    }
+    if (p.quorum < 1) {
+      return fail(err, tag.str() + "quorum must be at least 1");
+    }
+    if (p.quorum > p.target_replicas) {
+      return fail(err, tag.str() + "quorum exceeds replicas (unreachable)");
     }
   }
   return true;

@@ -1,0 +1,352 @@
+#include "server/dispatch_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "server/project_server.hpp"
+#include "sim/trace.hpp"
+
+namespace bce {
+
+bool PaperDispatch::admit_host(const DispatchContext& /*ctx*/,
+                               const WorkRequest& /*req*/) const {
+  return true;
+}
+
+bool PaperDispatch::job_feasible(const DispatchContext& ctx,
+                                 const WorkRequest& /*req*/, ProcType /*t*/,
+                                 const JobClass& jc, double corrected_runtime,
+                                 double effective_delay,
+                                 double /*sent_seconds*/) const {
+  return ctx.server.deadline_feasible(corrected_runtime, jc.latency_bound,
+                                      effective_delay);
+}
+
+int PaperDispatch::replicas_for(const DispatchContext& ctx,
+                                const WorkRequest& /*req*/) const {
+  return ctx.server.config().target_replicas;
+}
+
+void PaperDispatch::select_jobs(DispatchContext& ctx, const WorkRequest& req,
+                                RpcReply& reply) const {
+  ProjectServer& srv = ctx.server;
+  const ProjectConfig& cfg = srv.config();
+  if (!admit_host(ctx, req)) {
+    for (const auto t : kAllProcTypes) {
+      if (req.wants_type(t) && cfg.has_jobs_for(t)) reply.no_jobs_for[t] = true;
+    }
+    return;
+  }
+
+  const int max_rpc = srv.policy().max_jobs_per_rpc;
+  for (const auto t : kAllProcTypes) {
+    if (!req.wants_type(t)) continue;
+
+    // Job classes of this type that are currently available.
+    std::vector<int> classes;
+    for (std::size_t i = 0; i < cfg.job_classes.size(); ++i) {
+      const auto& jc = cfg.job_classes[i];
+      if (jc.usage.primary_type() != t) continue;
+      if (!srv.class_on(i)) continue;
+      classes.push_back(static_cast<int>(i));
+    }
+    if (classes.empty()) {
+      if (cfg.has_jobs_for(t)) {
+        // The project *could* supply this type but can't right now.
+        reply.no_jobs_for[t] = true;
+      }
+      continue;
+    }
+
+    double sent_seconds = 0.0;
+    double sent_jobs_of_type = 0.0;
+    const double n_inst =
+        std::max(1.0, static_cast<double>(srv.host().count[t]));
+    std::size_t rotor = srv.class_rotor() % classes.size();
+    std::size_t consecutive_rejects = 0;
+    while ((sent_seconds < req.req_seconds[t] ||
+            sent_jobs_of_type < req.req_instances[t]) &&
+           static_cast<int>(reply.jobs.size()) < max_rpc &&
+           (cfg.max_jobs_in_progress == 0 ||
+            srv.jobs_in_progress() + static_cast<int>(reply.jobs.size()) <
+                cfg.max_jobs_in_progress) &&
+           consecutive_rejects < classes.size()) {
+      const int ci = classes[rotor];
+      rotor = (rotor + 1) % classes.size();
+      const JobClass& jc = cfg.job_classes[static_cast<std::size_t>(ci)];
+      // The host's duration-correction factor scales this job's expected
+      // runtime on that host (BOINC sends DCF with the request).
+      const double corrected_runtime =
+          jc.est_runtime(srv.host()) * std::max(req.duration_correction, 0.01);
+      // Deadline check: the client waits out its current queue plus the
+      // jobs already in this reply before this one could start.
+      const double effective_delay = req.est_delay[t] + sent_seconds / n_inst;
+      if (!job_feasible(ctx, req, t, jc, corrected_runtime, effective_delay,
+                        sent_seconds)) {
+        ++consecutive_rejects;
+        continue;
+      }
+      consecutive_rejects = 0;
+      // One workunit covers corrected_runtime seconds on usage_of(t)
+      // instances — per replica, since replicas each occupy the host.
+      const double instance_seconds =
+          corrected_runtime * std::max(jc.usage.usage_of(t), 1e-6);
+      Result job = srv.make_job(ctx.now, ci, ctx.next_job_id++);
+      sent_seconds += instance_seconds;
+      sent_jobs_of_type += 1.0;
+      const int replicas = std::max(1, replicas_for(ctx, req));
+      const std::size_t primary_index = reply.jobs.size();
+      reply.jobs.push_back(std::move(job));
+      for (int k = 1; k < replicas; ++k) {
+        if (static_cast<int>(reply.jobs.size()) >= max_rpc) break;
+        if (cfg.max_jobs_in_progress != 0 &&
+            srv.jobs_in_progress() + static_cast<int>(reply.jobs.size()) >=
+                cfg.max_jobs_in_progress) {
+          break;
+        }
+        // Same computation as the primary (same flops_total, no new RNG
+        // draw); independent fault fate is drawn client-side on arrival.
+        Result rep = reply.jobs[primary_index];
+        rep.id = ctx.next_job_id++;
+        rep.replica = k;
+        sent_seconds += instance_seconds;
+        sent_jobs_of_type += 1.0;
+        reply.jobs.push_back(std::move(rep));
+      }
+    }
+    srv.set_class_rotor(rotor);
+    if (sent_jobs_of_type == 0.0 && req.wants_type(t)) {
+      // Deadline-infeasible or the in-progress cap is full: back off.
+      reply.no_jobs_for[t] = true;
+    }
+    ctx.trace.emit({.at = ctx.now,
+                    .kind = TraceKind::kServerSent,
+                    .ptype = static_cast<std::int32_t>(proc_index(t)),
+                    .v0 = sent_jobs_of_type,
+                    .v1 = req.req_seconds[t],
+                    .v2 = sent_seconds,
+                    .str = cfg.name.c_str()});
+  }
+}
+
+namespace {
+
+/// SD_MOBILE: BOINC-style device gating. No work for hosts off wifi (no
+/// unmetered path for input files) or off AC below a charge floor; off-AC
+/// hosts only get jobs the remaining battery can finish.
+class MobileDispatch final : public PaperDispatch {
+ public:
+  /// Charge floor below which an off-AC host gets no work at all.
+  static constexpr double kMinCharge = 0.25;
+
+  [[nodiscard]] const char* name() const override { return "SD_MOBILE"; }
+
+ protected:
+  [[nodiscard]] bool admit_host(const DispatchContext& ctx,
+                                const WorkRequest& req) const override {
+    const DeviceStatus& d = req.device;
+    if (d.on_wifi && (d.on_ac || d.battery_charge >= kMinCharge)) return true;
+    ctx.trace.emit({.at = ctx.now,
+                    .kind = TraceKind::kServerRefused,
+                    .flag = d.on_ac,
+                    .n = d.on_wifi ? 1 : 0,
+                    .v0 = d.battery_charge,
+                    .str = ctx.server.config().name.c_str()});
+    return false;
+  }
+
+  [[nodiscard]] bool job_feasible(const DispatchContext& ctx,
+                                  const WorkRequest& req, ProcType t,
+                                  const JobClass& jc, double corrected_runtime,
+                                  double effective_delay,
+                                  double sent_seconds) const override {
+    if (!PaperDispatch::job_feasible(ctx, req, t, jc, corrected_runtime,
+                                     effective_delay, sent_seconds)) {
+      return false;
+    }
+    const DeviceStatus& d = req.device;
+    if (!d.on_ac && d.battery_discharge > 0.0) {
+      // The job must finish before the battery does.
+      const double battery_seconds =
+          d.battery_charge / d.battery_discharge * kSecondsPerHour;
+      if (effective_delay + corrected_runtime > battery_seconds) return false;
+    }
+    return true;
+  }
+};
+
+/// SD_ADAPT_REPL: adaptive replication. Each server keeps a report history
+/// for this host (jobs_ok / jobs_failed); the replica count per workunit
+/// ramps from the project's quorum (reliable host) to its target_replicas
+/// (unreliable host) with the Laplace-smoothed failure rate.
+class AdaptiveReplicationDispatch final : public PaperDispatch {
+ public:
+  /// Failure rates at/below the low mark get quorum replicas; at/above the
+  /// high mark, target_replicas; linear in between.
+  static constexpr double kLowFailRate = 0.1;
+  static constexpr double kHighFailRate = 0.5;
+
+  [[nodiscard]] const char* name() const override { return "SD_ADAPT_REPL"; }
+
+ protected:
+  [[nodiscard]] int replicas_for(const DispatchContext& ctx,
+                                 const WorkRequest& /*req*/) const override {
+    const ProjectConfig& cfg = ctx.server.config();
+    const int floor_n = std::max(1, cfg.quorum);
+    const int ceil_n = std::max(floor_n, cfg.target_replicas);
+    if (ceil_n == floor_n) return floor_n;
+    const double ok = static_cast<double>(ctx.server.jobs_ok());
+    const double fail = static_cast<double>(ctx.server.jobs_failed());
+    const double p_fail = (fail + 1.0) / (ok + fail + 2.0);
+    const double x =
+        clamp((p_fail - kLowFailRate) / (kHighFailRate - kLowFailRate), 0.0,
+              1.0);
+    return floor_n +
+           static_cast<int>(std::lround(x * static_cast<double>(ceil_n - floor_n)));
+  }
+};
+
+/// SD_DEADLINE_BUDGET: Buyya-style deadline-and-budget constrained
+/// dispatch. The deadline check is always on (regardless of the
+/// server_deadline_check knob), and the requested seconds are treated as a
+/// hard budget: a job that would overshoot the remaining budget is
+/// rejected, so the rotor falls through to smaller classes that fit —
+/// cost-time optimisation over the class mix instead of the paper's
+/// fill-past-the-target behavior.
+class DeadlineBudgetDispatch final : public PaperDispatch {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "SD_DEADLINE_BUDGET";
+  }
+
+ protected:
+  [[nodiscard]] bool job_feasible(const DispatchContext& ctx,
+                                  const WorkRequest& req, ProcType t,
+                                  const JobClass& jc, double corrected_runtime,
+                                  double effective_delay,
+                                  double sent_seconds) const override {
+    if (effective_delay +
+            corrected_runtime / ctx.server.host_avail_fraction() >
+        jc.latency_bound) {
+      return false;
+    }
+    if (req.req_seconds[t] > 0.0) {
+      const double instance_seconds =
+          corrected_runtime * std::max(jc.usage.usage_of(t), 1e-6);
+      // Always grant the first job (an idle host beats a strict budget),
+      // then never overshoot the requested seconds.
+      if (sent_seconds > 0.0 &&
+          sent_seconds + instance_seconds > req.req_seconds[t]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+[[noreturn]] void throw_unknown(const std::string& name,
+                                const std::vector<std::string>& known) {
+  std::string msg =
+      std::string("unknown server-dispatch policy '") + name +
+      "'; known policies:";
+  for (const auto& k : known) msg += " " + k;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+void ServerPolicyRegistry::register_dispatch(std::string name,
+                                             std::string description,
+                                             DispatchFactory factory,
+                                             std::vector<std::string> aliases) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rec : dispatches_) {
+    if (rec.info.name == name) {
+      rec.info.description = std::move(description);
+      rec.info.aliases = std::move(aliases);
+      rec.factory = std::move(factory);
+      return;
+    }
+  }
+  dispatches_.push_back({{std::move(name), std::move(description),
+                          std::move(aliases)},
+                         std::move(factory)});
+}
+
+const ServerPolicyRegistry::DispatchRecord* ServerPolicyRegistry::find_dispatch(
+    const std::string& name) const {
+  for (const auto& rec : dispatches_) {
+    if (rec.info.name == name) return &rec;
+    for (const auto& a : rec.info.aliases) {
+      if (a == name) return &rec;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const DispatchPolicy> ServerPolicyRegistry::make_dispatch(
+    const std::string& name, const PolicyConfig& cfg) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* rec = find_dispatch(name)) return rec->factory(cfg);
+  std::vector<std::string> known;
+  for (const auto& rec : dispatches_) known.push_back(rec.info.name);
+  throw_unknown(name, known);
+}
+
+bool ServerPolicyRegistry::has_dispatch(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return find_dispatch(name) != nullptr;
+}
+
+std::vector<PolicyRegistryEntry> ServerPolicyRegistry::dispatch_entries()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PolicyRegistryEntry> out;
+  out.reserve(dispatches_.size());
+  for (const auto& rec : dispatches_) out.push_back(rec.info);
+  return out;
+}
+
+ServerPolicyRegistry& server_policy_registry() {
+  static ServerPolicyRegistry* reg = [] {
+    auto* r = new ServerPolicyRegistry;
+    // Strategies are stateless: construct each once and share.
+    r->register_dispatch(
+        "SD_PAPER", "the paper's fill loop; replication per scenario",
+        [p = std::make_shared<const PaperDispatch>()](const PolicyConfig&) {
+          return p;
+        },
+        {"paper"});
+    r->register_dispatch(
+        "SD_MOBILE", "no work off-wifi or on a low battery off AC",
+        [p = std::make_shared<const MobileDispatch>()](const PolicyConfig&) {
+          return p;
+        },
+        {"mobile"});
+    r->register_dispatch(
+        "SD_ADAPT_REPL", "replicas scale with observed host failure rate",
+        [p = std::make_shared<const AdaptiveReplicationDispatch>()](
+            const PolicyConfig&) { return p; },
+        {"repl", "adaptive"});
+    r->register_dispatch(
+        "SD_DEADLINE_BUDGET",
+        "strict deadline check, requested seconds as a hard budget",
+        [p = std::make_shared<const DeadlineBudgetDispatch>()](
+            const PolicyConfig&) { return p; },
+        {"budget", "db"});
+    return r;
+  }();
+  return *reg;
+}
+
+std::shared_ptr<const DispatchPolicy> make_dispatch_policy(
+    const PolicyConfig& cfg) {
+  const std::string name = cfg.dispatch_by_name.empty()
+                               ? kDefaultDispatchName
+                               : cfg.dispatch_by_name;
+  return server_policy_registry().make_dispatch(name, cfg);
+}
+
+}  // namespace bce

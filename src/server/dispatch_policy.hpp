@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file dispatch_policy.hpp
+/// Strategy seam for server-side job dispatch, mirroring the client's
+/// policy_registry. ProjectServer owns the availability/queue substrate
+/// (up/down and per-class processes, in-progress and orphan bookkeeping,
+/// the job-size RNG); a DispatchPolicy decides which jobs fill one RPC.
+/// Policies register by name in server_policy_registry() and become
+/// selectable end-to-end (CLI --dispatch, bench drivers,
+/// PolicyConfig::dispatch_by_name) without engine edits.
+///
+/// Built-ins (docs/policies.md has the authoring guide):
+///  * SD_PAPER ("paper") — the paper's §4.3c fill loop, the default;
+///    byte-identical to the pre-registry server.
+///  * SD_MOBILE ("mobile") — refuses work to off-wifi or low-battery
+///    off-AC hosts and only sends jobs the battery can finish (after
+///    BOINC's device_status handling).
+///  * SD_ADAPT_REPL ("repl") — scales each workunit's replica count with
+///    the host's observed failure rate, between the project's quorum and
+///    target_replicas.
+///  * SD_DEADLINE_BUDGET ("budget") — Buyya-style deadline-and-budget
+///    constrained dispatch: strict deadline check plus a hard cap at the
+///    requested seconds, preferring classes that fit the remaining budget.
+///
+/// Example — adding a policy without engine edits:
+/// \code
+///   class SdGreedy : public bce::PaperDispatch {
+///     const char* name() const override { return "SD_GREEDY"; }
+///     int replicas_for(const bce::DispatchContext&,
+///                      const bce::WorkRequest&) const override { return 2; }
+///   };
+///   bce::server_policy_registry().register_dispatch(
+///       "SD_GREEDY", "always send two replicas",
+///       [p = std::make_shared<const SdGreedy>()](const bce::PolicyConfig&) {
+///         return p;
+///       },
+///       {"greedy"});
+///   bce::PolicyConfig pc;
+///   pc.dispatch_by_name = "greedy";      // resolved at emulate() time
+/// \endcode
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/policy.hpp"
+#include "client/policy_registry.hpp"
+#include "host/proc_type.hpp"
+#include "model/job.hpp"
+#include "server/request.hpp"
+#include "sim/types.hpp"
+
+namespace bce {
+
+class ProjectServer;
+class Trace;
+
+/// Everything a dispatch policy may touch while filling one RPC. The
+/// server reference is the queue/availability view (class_on, rotor,
+/// in-progress counts, report history) plus the host view (host(),
+/// host_avail_fraction()) and the job factory (make_job draws the job
+/// size from the server's RNG stream).
+struct DispatchContext {
+  SimTime now;
+  ProjectServer& server;
+  JobId& next_job_id;
+  Trace& trace;
+};
+
+/// One server-side dispatch strategy. Stateless and shared across servers
+/// and runs; all per-host state lives in the ProjectServer substrate.
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Fill \p reply with jobs for \p req. The server has already advanced
+  /// its availability processes, reclaimed reported/orphaned slots, and
+  /// handled the down case; the policy only selects jobs. It must respect
+  /// ServerPolicy::max_jobs_per_rpc and the project's in-progress cap, and
+  /// set reply.no_jobs_for[t] for requested types it sends nothing of
+  /// (the client's backoff signal).
+  virtual void select_jobs(DispatchContext& ctx, const WorkRequest& req,
+                           RpcReply& reply) const = 0;
+};
+
+/// SD_PAPER: the paper's fill loop (§4.3c) — for each requested type,
+/// rotate among available classes, size batches by the DCF-corrected
+/// estimate, optionally apply the server deadline check. The protected
+/// hooks are the authoring surface: subclasses add host-level gates,
+/// per-job feasibility rules, or replication without re-implementing the
+/// loop (and inherit its cap handling and trace events).
+class PaperDispatch : public DispatchPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "SD_PAPER"; }
+
+  void select_jobs(DispatchContext& ctx, const WorkRequest& req,
+                   RpcReply& reply) const override;
+
+ protected:
+  /// Host-level admission gate, checked once per RPC before any filling.
+  /// Returning false refuses all work: every requested type the project
+  /// could supply gets a no_jobs_for backoff. Implementations should emit
+  /// a kServerRefused trace event explaining why.
+  [[nodiscard]] virtual bool admit_host(const DispatchContext& ctx,
+                                        const WorkRequest& req) const;
+
+  /// Per-candidate feasibility gate. The default is the substrate's
+  /// deadline check (a no-op unless ServerPolicy::deadline_check).
+  /// \p corrected_runtime is the DCF-corrected full-speed runtime,
+  /// \p effective_delay the client's queue delay plus the delay added by
+  /// jobs already placed in this reply, \p sent_seconds the
+  /// instance-seconds of type \p t already placed.
+  [[nodiscard]] virtual bool job_feasible(const DispatchContext& ctx,
+                                          const WorkRequest& req, ProcType t,
+                                          const JobClass& jc,
+                                          double corrected_runtime,
+                                          double effective_delay,
+                                          double sent_seconds) const;
+
+  /// Replicas to dispatch per workunit (>= 1). The default is the
+  /// project's target_replicas (1 unless the scenario says otherwise).
+  [[nodiscard]] virtual int replicas_for(const DispatchContext& ctx,
+                                         const WorkRequest& req) const;
+};
+
+/// Thread-safe name -> factory registry for dispatch policies, the server
+/// counterpart of PolicyRegistry. Lookup is case-sensitive on canonical
+/// names and aliases; re-registering a name replaces it (latest wins).
+class ServerPolicyRegistry {
+ public:
+  using DispatchFactory =
+      std::function<std::shared_ptr<const DispatchPolicy>(const PolicyConfig&)>;
+
+  void register_dispatch(std::string name, std::string description,
+                         DispatchFactory factory,
+                         std::vector<std::string> aliases = {});
+
+  /// Construct a policy by canonical name or alias. Throws
+  /// std::invalid_argument listing the known names when \p name is unknown.
+  [[nodiscard]] std::shared_ptr<const DispatchPolicy> make_dispatch(
+      const std::string& name, const PolicyConfig& cfg) const;
+
+  [[nodiscard]] bool has_dispatch(const std::string& name) const;
+
+  /// Registered entries in registration order (stable listing for CLI
+  /// output and registry-driven sweeps).
+  [[nodiscard]] std::vector<PolicyRegistryEntry> dispatch_entries() const;
+
+ private:
+  struct DispatchRecord {
+    PolicyRegistryEntry info;
+    DispatchFactory factory;
+  };
+
+  [[nodiscard]] const DispatchRecord* find_dispatch(
+      const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::vector<DispatchRecord> dispatches_;
+};
+
+/// The process-wide registry, pre-loaded with the built-in policies.
+ServerPolicyRegistry& server_policy_registry();
+
+/// Canonical name of the default dispatch policy.
+inline constexpr const char* kDefaultDispatchName = "SD_PAPER";
+
+/// Resolve \p cfg's dispatch selection to a strategy object:
+/// PolicyConfig::dispatch_by_name when set, SD_PAPER otherwise.
+std::shared_ptr<const DispatchPolicy> make_dispatch_policy(
+    const PolicyConfig& cfg);
+
+}  // namespace bce

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "server/dispatch_policy.hpp"
 #include "sim/distribution.hpp"
 #include "sim/state_io.hpp"
 
@@ -25,6 +26,10 @@ ProjectServer::ProjectServer(ProjectId id, const ProjectConfig& cfg,
                               rng.fork("server.class" + std::to_string(i)),
                               now);
   }
+  dispatch_ = policy_.dispatch
+                  ? policy_.dispatch
+                  : server_policy_registry().make_dispatch(
+                        kDefaultDispatchName, PolicyConfig{});
 }
 
 void ProjectServer::advance_to(SimTime now) {
@@ -67,6 +72,7 @@ Result ProjectServer::make_job(SimTime now, int class_idx, JobId id) {
   r.id = id;
   r.project = id_;
   r.job_class = class_idx;
+  r.workunit = id;  // replicas overwrite this with the primary's id
   r.flops_est = jc.flops_est;
   r.flops_total =
       sample_truncated_normal(rng_, jc.flops_est * jc.est_error, jc.flops_cv,
@@ -84,9 +90,12 @@ Result ProjectServer::make_job(SimTime now, int class_idx, JobId id) {
 
 RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
                                    int n_reported, JobId& next_job_id,
-                                   Trace& trace) {
+                                   Trace& trace, int n_failed) {
   advance_to(now);
   in_progress_ = std::max(0, in_progress_ - n_reported);
+  n_failed = std::max(0, std::min(n_failed, n_reported));
+  jobs_failed_ += n_failed;
+  jobs_ok_ += n_reported - n_failed;
   RpcReply reply;
   if (!up_.on()) {
     reply.project_down = true;
@@ -96,73 +105,9 @@ RpcReply ProjectServer::handle_rpc(SimTime now, const WorkRequest& req,
     return reply;
   }
 
-  for (const auto t : kAllProcTypes) {
-    if (!req.wants_type(t)) continue;
-
-    // Job classes of this type that are currently available.
-    std::vector<int> classes;
-    for (std::size_t i = 0; i < cfg_.job_classes.size(); ++i) {
-      const auto& jc = cfg_.job_classes[i];
-      if (jc.usage.primary_type() != t) continue;
-      if (!class_avail_[i].on()) continue;
-      classes.push_back(static_cast<int>(i));
-    }
-    if (classes.empty()) {
-      if (cfg_.has_jobs_for(t)) {
-        // The project *could* supply this type but can't right now.
-        reply.no_jobs_for[t] = true;
-      }
-      continue;
-    }
-
-    double sent_seconds = 0.0;
-    double sent_jobs_of_type = 0.0;
-    const double n_inst = std::max(1.0, static_cast<double>(host_.count[t]));
-    std::size_t rotor = next_class_hint_ % classes.size();
-    std::size_t consecutive_rejects = 0;
-    while ((sent_seconds < req.req_seconds[t] ||
-            sent_jobs_of_type < req.req_instances[t]) &&
-           static_cast<int>(reply.jobs.size()) < policy_.max_jobs_per_rpc &&
-           (cfg_.max_jobs_in_progress == 0 ||
-            in_progress_ + static_cast<int>(reply.jobs.size()) <
-                cfg_.max_jobs_in_progress) &&
-           consecutive_rejects < classes.size()) {
-      const int ci = classes[rotor];
-      rotor = (rotor + 1) % classes.size();
-      const JobClass& jc = cfg_.job_classes[static_cast<std::size_t>(ci)];
-      // The host's duration-correction factor scales this job's expected
-      // runtime on that host (BOINC sends DCF with the request).
-      const double corrected_runtime =
-          jc.est_runtime(host_) * std::max(req.duration_correction, 0.01);
-      // Deadline check: the client waits out its current queue plus the
-      // jobs already in this reply before this one could start.
-      const double effective_delay = req.est_delay[t] + sent_seconds / n_inst;
-      if (!deadline_feasible(corrected_runtime, jc.latency_bound,
-                             effective_delay)) {
-        ++consecutive_rejects;
-        continue;
-      }
-      consecutive_rejects = 0;
-      Result job = make_job(now, ci, next_job_id++);
-      // A job covers corrected_runtime seconds on usage_of(t) instances.
-      sent_seconds += corrected_runtime * std::max(jc.usage.usage_of(t), 1e-6);
-      sent_jobs_of_type += 1.0;
-      reply.jobs.push_back(std::move(job));
-      ++jobs_dispatched_;
-    }
-    next_class_hint_ = rotor;
-    if (sent_jobs_of_type == 0.0 && req.wants_type(t)) {
-      // Deadline-infeasible or the in-progress cap is full: back off.
-      reply.no_jobs_for[t] = true;
-    }
-    trace.emit({.at = now,
-                .kind = TraceKind::kServerSent,
-                .ptype = static_cast<std::int32_t>(proc_index(t)),
-                .v0 = sent_jobs_of_type,
-                .v1 = req.req_seconds[t],
-                .v2 = sent_seconds,
-                .str = cfg_.name.c_str()});
-  }
+  DispatchContext ctx{now, *this, next_job_id, trace};
+  dispatch_->select_jobs(ctx, req, reply);
+  jobs_dispatched_ += static_cast<std::int64_t>(reply.jobs.size());
   in_progress_ += static_cast<int>(reply.jobs.size());
   return reply;
 }
@@ -178,6 +123,8 @@ void ProjectServer::save_state(StateWriter& w) const {
   w.put_i64("server.in_progress", in_progress_);
   w.put_i64("server.jobs_reclaimed", jobs_reclaimed_);
   w.put_u64("server.next_class_hint", next_class_hint_);
+  w.put_i64("server.jobs_ok", jobs_ok_);
+  w.put_i64("server.jobs_failed", jobs_failed_);
   w.put_count("server.orphans", orphans_.size());
   for (const Orphan& o : orphans_) {
     w.put_f64("server.orphan.reclaim_at", o.reclaim_at);
@@ -197,6 +144,8 @@ void ProjectServer::restore_state(StateReader& r) {
   in_progress_ = static_cast<int>(r.get_i64("server.in_progress"));
   jobs_reclaimed_ = r.get_i64("server.jobs_reclaimed");
   next_class_hint_ = static_cast<std::size_t>(r.get_u64("server.next_class_hint"));
+  jobs_ok_ = r.get_i64("server.jobs_ok");
+  jobs_failed_ = r.get_i64("server.jobs_failed");
   const std::uint64_t no = r.get_count("server.orphans");
   orphans_.clear();
   orphans_.reserve(no);

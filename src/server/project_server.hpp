@@ -2,18 +2,25 @@
 
 /// \file project_server.hpp
 /// Simplified per-project scheduler simulation (§4.3c: "BOINC schedulers
-/// are simulated with a simplified model"). The server:
+/// are simulated with a simplified model"), split into a substrate and a
+/// strategy. The substrate (this class):
 ///  * may be down (Markov up/down process, §4.1);
 ///  * may sporadically lack jobs of particular classes (§6.2 extension);
-///  * fills each requested processor type with jobs until the requested
-///    instance-seconds are covered, drawing actual job sizes from a
-///    truncated normal around the (possibly biased) estimate;
-///  * optionally applies a deadline check: don't send a job whose
+///  * tracks in-progress slots, orphaned replies, and this host's report
+///    history (jobs_ok / jobs_failed);
+///  * draws actual job sizes from a truncated normal around the (possibly
+///    biased) estimate (make_job);
+///  * optionally offers a deadline check: don't send a job whose
 ///    full-speed runtime, de-rated by the host's expected availability,
 ///    exceeds its latency bound (the "server deadline-check policies"
 ///    knob of §4.3).
+/// *Which* jobs fill an RPC is delegated to a DispatchPolicy
+/// (server/dispatch_policy.hpp), selected by name from
+/// server_policy_registry(); the default SD_PAPER reproduces the paper's
+/// fill loop byte-identically.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "host/host_info.hpp"
@@ -24,6 +31,8 @@
 
 namespace bce {
 
+class DispatchPolicy;
+
 struct ServerPolicy {
   /// Refuse jobs that cannot meet their deadline on this host even at full
   /// speed times the host's expected availability.
@@ -32,6 +41,10 @@ struct ServerPolicy {
   /// Hard cap on jobs per RPC (guards against degenerate scenarios with
   /// second-long jobs and day-long buffers).
   int max_jobs_per_rpc = 500;
+
+  /// Dispatch strategy filling each RPC. Null selects the registered
+  /// default (SD_PAPER), which reproduces the paper's behavior.
+  std::shared_ptr<const DispatchPolicy> dispatch;
 };
 
 class ProjectServer {
@@ -53,10 +66,12 @@ class ProjectServer {
 
   /// Handle one scheduler RPC at time \p now. \p n_reported is the number
   /// of completed jobs the client reports in this RPC (frees in-progress
-  /// slots when the project caps them). \p next_job_id is a shared
-  /// allocator so job ids are unique across projects.
+  /// slots when the project caps them); \p n_failed of those failed or
+  /// were aborted (feeds the host reliability estimate adaptive
+  /// replication uses). \p next_job_id is a shared allocator so job ids
+  /// are unique across projects.
   RpcReply handle_rpc(SimTime now, const WorkRequest& req, int n_reported,
-                      JobId& next_job_id, Trace& trace);
+                      JobId& next_job_id, Trace& trace, int n_failed = 0);
 
   /// Jobs dispatched to this host and not yet reported back.
   [[nodiscard]] int jobs_in_progress() const { return in_progress_; }
@@ -76,24 +91,51 @@ class ProjectServer {
   /// Total jobs ever dispatched (stats).
   [[nodiscard]] std::int64_t jobs_dispatched() const { return jobs_dispatched_; }
 
-  /// Savestate support (docs/savestate.md): config and policy are
-  /// reconstructed from the scenario; serialized state is the RNG stream,
-  /// the up/down and per-class availability realizations, the in-progress
-  /// and orphaned-slot bookkeeping, and the dispatch counters.
-  void save_state(StateWriter& w) const;
-  void restore_state(StateReader& r);
+  // --- substrate view for DispatchPolicy implementations ----------------
 
- private:
-  /// Make one job instance from class \p class_idx at time \p now.
+  [[nodiscard]] const HostInfo& host() const { return host_; }
+  [[nodiscard]] const ServerPolicy& policy() const { return policy_; }
+  [[nodiscard]] double host_avail_fraction() const {
+    return host_avail_fraction_;
+  }
+
+  /// Whether job class \p i is currently available (sporadic class
+  /// availability, §6.2).
+  [[nodiscard]] bool class_on(std::size_t i) const {
+    return class_avail_[i].on();
+  }
+
+  /// Rotation cursor among same-type classes; persists across RPCs so a
+  /// project with several classes interleaves them. Policies read it at
+  /// the start of a fill and write the advanced cursor back.
+  [[nodiscard]] std::size_t class_rotor() const { return next_class_hint_; }
+  void set_class_rotor(std::size_t rotor) { next_class_hint_ = rotor; }
+
+  /// This host's report history as seen by this server: successful and
+  /// failed/aborted results reported so far.
+  [[nodiscard]] std::int64_t jobs_ok() const { return jobs_ok_; }
+  [[nodiscard]] std::int64_t jobs_failed() const { return jobs_failed_; }
+
+  /// Make one job instance from class \p class_idx at time \p now (draws
+  /// the actual size from the server's RNG stream).
   Result make_job(SimTime now, int class_idx, JobId id);
 
   /// Deadline-check feasibility of a job with DCF-corrected \p runtime and
   /// \p latency bound, given the client's current queue delay for its
   /// processor type plus the delay added by jobs already placed in this
-  /// reply.
+  /// reply. Always true unless ServerPolicy::deadline_check.
   [[nodiscard]] bool deadline_feasible(double runtime, double latency,
                                        double effective_delay) const;
 
+  /// Savestate support (docs/savestate.md): config and policy are
+  /// reconstructed from the scenario; serialized state is the RNG stream,
+  /// the up/down and per-class availability realizations, the in-progress
+  /// and orphaned-slot bookkeeping, the dispatch counters, and the report
+  /// history.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
   ProjectId id_;
   ProjectConfig cfg_;
   const HostInfo host_;
@@ -102,6 +144,8 @@ class ProjectServer {
   Xoshiro256 rng_;
   OnOffProcess up_;
   std::vector<OnOffProcess> class_avail_;
+  /// Resolved dispatch strategy (policy_.dispatch or the SD_PAPER default).
+  std::shared_ptr<const DispatchPolicy> dispatch_;
   std::int64_t jobs_dispatched_ = 0;
   int in_progress_ = 0;
   /// Slots held by replies the client never received, with the time the
@@ -116,6 +160,9 @@ class ProjectServer {
   /// Rotates among matching classes so a project with several classes of
   /// the same type interleaves them.
   std::size_t next_class_hint_ = 0;
+  /// Report history (successes / failures) for this host.
+  std::int64_t jobs_ok_ = 0;
+  std::int64_t jobs_failed_ = 0;
 };
 
 }  // namespace bce

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "host/device_status.hpp"
 #include "host/proc_type.hpp"
 #include "model/job.hpp"
 #include "sim/types.hpp"
@@ -33,6 +34,12 @@ struct WorkRequest {
   /// without it, a 4x underestimate makes every fill-to-max request bring
   /// 4x the intended work.
   double duration_correction = 1.0;
+
+  /// Device snapshot at RPC time (BOINC clients report DEVICE_STATUS with
+  /// every scheduler RPC). Desktop defaults unless the scenario models a
+  /// battery/wifi device; device-aware dispatch policies (SD_MOBILE) read
+  /// it, the paper's policy ignores it.
+  DeviceStatus device;
 
   [[nodiscard]] bool wants_work() const {
     for (const auto t : kAllProcTypes) {

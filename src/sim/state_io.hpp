@@ -67,7 +67,10 @@ class SavestateError : public std::runtime_error {
 /// sweeps, bisection, crash-resume between runs of the same build), so an
 /// older-version file is rejected with kBadVersion rather than re-read
 /// (forward-compat policy in docs/savestate.md).
-inline constexpr std::uint32_t kSavestateVersion = 1;
+inline constexpr std::uint32_t kSavestateVersion = 2;  // v2: device model,
+                                                       // workunit/replica
+                                                       // fields, server
+                                                       // report tallies
 
 /// Stable 32-bit FNV-1a of a field name (the wire tag).
 std::uint32_t fnv1a32(std::string_view s);

@@ -66,6 +66,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::kAvailability: return "availability";
     case TraceKind::kServerDown: return "server_down";
     case TraceKind::kServerSent: return "server_sent";
+    case TraceKind::kServerRefused: return "server_refused";
     case TraceKind::kJobFaulted: return "job_faulted";
     case TraceKind::kHostCrash: return "host_crash";
     case TraceKind::kHostReboot: return "host_reboot";
@@ -112,6 +113,7 @@ LogCategory trace_kind_category(TraceKind k) {
       return LogCategory::kAvail;
     case TraceKind::kServerDown:
     case TraceKind::kServerSent:
+    case TraceKind::kServerRefused:
       return LogCategory::kServer;
     case TraceKind::kJobFaulted:
     case TraceKind::kHostCrash:
@@ -182,6 +184,11 @@ std::string render_text(const TraceEvent& ev) {
       return format_string("%s: sent %.0f %s jobs (%.0f inst-sec requested, %.0f sent)",
                            ev.str != nullptr ? ev.str : "?", ev.v0,
                            event_proc_name(ev.ptype), ev.v1, ev.v2);
+    case TraceKind::kServerRefused:
+      return format_string(
+          "%s: refused work (on_ac=%d on_wifi=%d battery=%.0f%%)",
+          ev.str != nullptr ? ev.str : "?", ev.flag ? 1 : 0,
+          static_cast<int>(ev.n), ev.v0 * 100.0);
     case TraceKind::kJobFaulted:
       return format_string("job %d %s (project %d, %.0f%%)", ev.job,
                            ev.flag ? "aborted" : "compute error", ev.project,

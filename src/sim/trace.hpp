@@ -73,6 +73,9 @@ enum class TraceKind : std::uint8_t {
   kHostCrash,    ///< host crash, rollback to checkpoints (v0=reboot delay)
   kHostReboot,   ///< host rebooted, client restarting
   kRpcReplyLost, ///< scheduler reply lost in flight (project, n=orphaned)
+  // server (appended late so earlier kinds keep their wire values)
+  kServerRefused,  ///< dispatch policy refused the host (str=project name,
+                   ///< flag=on_ac, n=on_wifi, v0=battery charge)
   kCount_,
 };
 

@@ -1,0 +1,431 @@
+// Unit tests for the server-side dispatch seam (server/dispatch_policy):
+// the registry (names, aliases, unknown-name diagnostics, user
+// registration), each built-in policy's decision logic against a bare
+// ProjectServer, workunit/replica stamping, the device model, and the
+// end-to-end replication/quorum accounting — including the contract that
+// an unreplicated default run is indistinguishable from the pre-seam
+// engine (replication_used() false, explicit SD_PAPER == default).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/emulator.hpp"
+#include "core/paper_scenarios.hpp"
+#include "host/device_status.hpp"
+#include "server/dispatch_policy.hpp"
+#include "server/project_server.hpp"
+
+namespace bce {
+namespace {
+
+// Same substrate fixture as test_server.cpp: 4x1e9 CPU host, one CPU
+// class of ~1000-second jobs, fresh server per test.
+struct Fixture {
+  HostInfo host = HostInfo::cpu_only(4, 1e9);
+  ProjectConfig cfg;
+  ServerPolicy policy;
+  Trace log;
+  JobId next_id = 0;
+
+  Fixture() {
+    cfg.name = "p";
+    JobClass jc;
+    jc.name = "cpu";
+    jc.flops_est = 1000e9;  // 1000 s
+    jc.latency_bound = 86400.0;
+    jc.usage = ResourceUsage::cpu(1.0);
+    cfg.job_classes.push_back(jc);
+  }
+
+  void use_dispatch(const std::string& name) {
+    policy.dispatch =
+        server_policy_registry().make_dispatch(name, PolicyConfig{});
+  }
+
+  ProjectServer make(std::uint64_t seed = 1, double avail = 1.0) {
+    return ProjectServer(0, cfg, host, policy, avail, Xoshiro256(seed), 0.0);
+  }
+
+  static WorkRequest cpu_request(double secs, double instances = 0.0,
+                                 double delay = 0.0) {
+    WorkRequest req;
+    req.req_seconds[ProcType::kCpu] = secs;
+    req.req_instances[ProcType::kCpu] = instances;
+    req.est_delay[ProcType::kCpu] = delay;
+    return req;
+  }
+};
+
+// --- registry ----------------------------------------------------------
+
+TEST(DispatchRegistry, BuiltInsRegisteredInOrder) {
+  const auto entries = server_policy_registry().dispatch_entries();
+  ASSERT_GE(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "SD_PAPER");
+  bool mobile = false, repl = false, budget = false;
+  for (const auto& e : entries) {
+    if (e.name == "SD_MOBILE") mobile = true;
+    if (e.name == "SD_ADAPT_REPL") repl = true;
+    if (e.name == "SD_DEADLINE_BUDGET") budget = true;
+    EXPECT_FALSE(e.description.empty()) << e.name;
+  }
+  EXPECT_TRUE(mobile);
+  EXPECT_TRUE(repl);
+  EXPECT_TRUE(budget);
+}
+
+TEST(DispatchRegistry, AliasesResolve) {
+  auto& reg = server_policy_registry();
+  for (const char* name : {"SD_PAPER", "paper", "SD_MOBILE", "mobile",
+                           "SD_ADAPT_REPL", "repl", "adaptive",
+                           "SD_DEADLINE_BUDGET", "budget", "db"}) {
+    EXPECT_TRUE(reg.has_dispatch(name)) << name;
+  }
+  EXPECT_EQ(reg.make_dispatch("repl", PolicyConfig{})->name(),
+            std::string("SD_ADAPT_REPL"));
+  EXPECT_EQ(reg.make_dispatch("db", PolicyConfig{})->name(),
+            std::string("SD_DEADLINE_BUDGET"));
+}
+
+TEST(DispatchRegistry, UnknownNameThrowsWithKnownList) {
+  EXPECT_FALSE(server_policy_registry().has_dispatch("SD_NOPE"));
+  try {
+    (void)server_policy_registry().make_dispatch("SD_NOPE", PolicyConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SD_NOPE"), std::string::npos);
+    EXPECT_NE(msg.find("SD_PAPER"), std::string::npos);
+  }
+}
+
+TEST(DispatchRegistry, DefaultSelectionIsPaper) {
+  PolicyConfig pc;
+  EXPECT_EQ(make_dispatch_policy(pc)->name(), std::string("SD_PAPER"));
+  pc.dispatch_by_name = "mobile";
+  EXPECT_EQ(make_dispatch_policy(pc)->name(), std::string("SD_MOBILE"));
+}
+
+// A user policy registered through the public surface (the docs/policies.md
+// authoring path) is constructible by name and drives the fill loop.
+class FixedTwoReplicaDispatch final : public PaperDispatch {
+ public:
+  [[nodiscard]] const char* name() const override { return "SD_TEST_TWO"; }
+
+ protected:
+  [[nodiscard]] int replicas_for(const DispatchContext&,
+                                 const WorkRequest&) const override {
+    return 2;
+  }
+};
+
+TEST(DispatchRegistry, UserRegisteredPolicyWorksEndToEnd) {
+  server_policy_registry().register_dispatch(
+      "SD_TEST_TWO", "test-only: always two replicas",
+      [p = std::make_shared<const FixedTwoReplicaDispatch>()](
+          const PolicyConfig&) { return p; },
+      {"testtwo"});
+  Fixture f;
+  f.use_dispatch("testtwo");
+  ProjectServer srv = f.make();
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(0.0, 1.0), 0, f.next_id, f.log);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.jobs[1].workunit, r.jobs[0].id);
+  EXPECT_EQ(r.jobs[1].replica, 1);
+  EXPECT_EQ(r.jobs[1].flops_total, r.jobs[0].flops_total);
+}
+
+// --- workunit / replica stamping ---------------------------------------
+
+TEST(DispatchReplication, UnreplicatedJobsAreTheirOwnWorkunit) {
+  Fixture f;
+  ProjectServer srv = f.make();
+  const RpcReply r = srv.handle_rpc(0.0, Fixture::cpu_request(3500.0), 0,
+                                    f.next_id, f.log);
+  ASSERT_FALSE(r.jobs.empty());
+  for (const Result& j : r.jobs) {
+    EXPECT_EQ(j.workunit, j.id);
+    EXPECT_EQ(j.replica, 0);
+  }
+}
+
+TEST(DispatchReplication, PaperDispatchHonorsTargetReplicas) {
+  Fixture f;
+  f.cfg.target_replicas = 2;
+  f.cfg.quorum = 2;
+  ProjectServer srv = f.make();
+  const RpcReply r = srv.handle_rpc(0.0, Fixture::cpu_request(3500.0), 0,
+                                    f.next_id, f.log);
+  // Every workunit ships as a pair; the fill target counts both copies.
+  ASSERT_FALSE(r.jobs.empty());
+  ASSERT_EQ(r.jobs.size() % 2, 0u);
+  for (std::size_t i = 0; i < r.jobs.size(); i += 2) {
+    EXPECT_EQ(r.jobs[i].workunit, r.jobs[i].id);
+    EXPECT_EQ(r.jobs[i].replica, 0);
+    EXPECT_EQ(r.jobs[i + 1].workunit, r.jobs[i].id);
+    EXPECT_EQ(r.jobs[i + 1].replica, 1);
+    EXPECT_EQ(r.jobs[i + 1].flops_total, r.jobs[i].flops_total);
+  }
+}
+
+// --- SD_MOBILE ---------------------------------------------------------
+
+TEST(MobileDispatch, RefusesOffWifiHost) {
+  Fixture f;
+  f.use_dispatch("SD_MOBILE");
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(3500.0);
+  req.device.on_wifi = false;
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+}
+
+TEST(MobileDispatch, RefusesLowBatteryOffAcHost) {
+  Fixture f;
+  f.use_dispatch("SD_MOBILE");
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(3500.0);
+  req.device.on_ac = false;
+  req.device.battery_charge = 0.1;  // below the 25% floor
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.no_jobs_for[ProcType::kCpu]);
+}
+
+TEST(MobileDispatch, AdmitsPluggedInHost) {
+  Fixture f;
+  f.use_dispatch("SD_MOBILE");
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(3500.0);
+  req.device.on_ac = true;
+  req.device.on_wifi = true;
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 4u);  // same fill as SD_PAPER on a desktop
+}
+
+TEST(MobileDispatch, OnlySendsJobsTheBatteryCanFinish) {
+  Fixture f;
+  f.use_dispatch("SD_MOBILE");
+  ProjectServer srv = f.make();
+  WorkRequest req = Fixture::cpu_request(3500.0);
+  req.device.on_ac = false;
+  req.device.on_wifi = true;
+  req.device.battery_charge = 0.5;      // above the admission floor...
+  req.device.battery_discharge = 1.25;  // ...but only 1440 s of runtime left
+  const RpcReply r = srv.handle_rpc(0.0, req, 0, f.next_id, f.log);
+  // ~1000 s jobs: the first fits in 1440 s, a second (delayed behind the
+  // first on one instance-rotation) would not; with 4 instances each job's
+  // effective delay grows by sent/4, so exactly one job stays feasible
+  // once the accumulated delay pushes past the battery horizon.
+  ASSERT_FALSE(r.jobs.empty());
+  EXPECT_LT(r.jobs.size(), 4u);
+}
+
+// --- SD_ADAPT_REPL -----------------------------------------------------
+
+TEST(AdaptiveReplication, UnknownHostGetsFullReplication) {
+  Fixture f;
+  f.cfg.target_replicas = 3;
+  f.cfg.quorum = 2;
+  f.use_dispatch("SD_ADAPT_REPL");
+  ProjectServer srv = f.make();
+  // No report history: Laplace p_fail = 1/2 >= high mark -> target (3).
+  const RpcReply r =
+      srv.handle_rpc(0.0, Fixture::cpu_request(0.0, 1.0), 0, f.next_id, f.log);
+  ASSERT_EQ(r.jobs.size(), 3u);
+  EXPECT_EQ(r.jobs[0].replica, 0);
+  EXPECT_EQ(r.jobs[1].replica, 1);
+  EXPECT_EQ(r.jobs[2].replica, 2);
+  for (const Result& j : r.jobs) EXPECT_EQ(j.workunit, r.jobs[0].id);
+}
+
+TEST(AdaptiveReplication, ReliableHostDropsToQuorum) {
+  Fixture f;
+  f.cfg.target_replicas = 3;
+  f.cfg.quorum = 2;
+  f.use_dispatch("SD_ADAPT_REPL");
+  ProjectServer srv = f.make();
+  // 20 clean reports: p_fail = 1/22 < low mark -> quorum replicas.
+  (void)srv.handle_rpc(0.0, WorkRequest{}, 20, f.next_id, f.log, 0);
+  EXPECT_EQ(srv.jobs_ok(), 20);
+  EXPECT_EQ(srv.jobs_failed(), 0);
+  const RpcReply r = srv.handle_rpc(60.0, Fixture::cpu_request(0.0, 1.0), 0,
+                                    f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 2u);
+}
+
+TEST(AdaptiveReplication, FailuresRampReplicationBackUp) {
+  Fixture f;
+  f.cfg.target_replicas = 3;
+  f.cfg.quorum = 2;
+  f.use_dispatch("SD_ADAPT_REPL");
+  ProjectServer srv = f.make();
+  // 10 reports, 8 failed: p_fail = 9/12 -> full replication again.
+  (void)srv.handle_rpc(0.0, WorkRequest{}, 10, f.next_id, f.log, 8);
+  EXPECT_EQ(srv.jobs_ok(), 2);
+  EXPECT_EQ(srv.jobs_failed(), 8);
+  const RpcReply r = srv.handle_rpc(60.0, Fixture::cpu_request(0.0, 1.0), 0,
+                                    f.next_id, f.log);
+  EXPECT_EQ(r.jobs.size(), 3u);
+}
+
+// --- SD_DEADLINE_BUDGET ------------------------------------------------
+
+TEST(DeadlineBudget, NeverOvershootsTheRequestedSeconds) {
+  Fixture f;
+  ProjectServer paper = f.make();
+  const RpcReply rp = paper.handle_rpc(0.0, Fixture::cpu_request(2500.0), 0,
+                                       f.next_id, f.log);
+  EXPECT_EQ(rp.jobs.size(), 3u);  // SD_PAPER fills past the target
+
+  f.use_dispatch("SD_DEADLINE_BUDGET");
+  ProjectServer budget = f.make();
+  const RpcReply rb = budget.handle_rpc(0.0, Fixture::cpu_request(2500.0), 0,
+                                        f.next_id, f.log);
+  // ~1000 s jobs against a 2500 s budget: two fit, a third would overshoot.
+  EXPECT_EQ(rb.jobs.size(), 2u);
+}
+
+TEST(DeadlineBudget, DeadlineCheckIsAlwaysOn) {
+  Fixture f;
+  f.cfg.job_classes[0].latency_bound = 500.0;  // < the ~1000 s runtime
+  ASSERT_FALSE(f.policy.deadline_check);
+  ProjectServer paper = f.make();
+  const RpcReply rp = paper.handle_rpc(0.0, Fixture::cpu_request(1000.0), 0,
+                                       f.next_id, f.log);
+  EXPECT_FALSE(rp.jobs.empty());  // SD_PAPER without the knob doesn't check
+
+  f.use_dispatch("SD_DEADLINE_BUDGET");
+  ProjectServer budget = f.make();
+  const RpcReply rb = budget.handle_rpc(0.0, Fixture::cpu_request(1000.0), 0,
+                                        f.next_id, f.log);
+  EXPECT_TRUE(rb.jobs.empty());
+  EXPECT_TRUE(rb.no_jobs_for[ProcType::kCpu]);
+}
+
+// --- device model ------------------------------------------------------
+
+TEST(DeviceModel, DesktopDefaultIsInert) {
+  EXPECT_TRUE(DeviceSpec{}.is_default());
+  DeviceModel m;
+  m.advance_to(kSecondsPerDay);
+  const DeviceStatus s = m.status();
+  EXPECT_TRUE(s.on_ac);
+  EXPECT_TRUE(s.on_wifi);
+  EXPECT_EQ(s.battery_charge, 1.0);
+  EXPECT_EQ(s.battery_discharge, 0.0);
+}
+
+TEST(DeviceModel, BatteryDischargesOffAcAndRechargesOnAc) {
+  DeviceSpec spec;
+  // AC for the first 2 h of each day, off for the rest (deterministic).
+  spec.on_ac = OnOffSpec::daily_window(0.0, 2.0 * kSecondsPerHour);
+  spec.battery_charge = 0.5;
+  spec.battery_discharge = 0.1;  // per hour, off AC
+  spec.battery_recharge = 0.2;   // per hour, on AC
+  DeviceModel m(spec, Xoshiro256(7), 0.0);
+
+  m.advance_to(1.0 * kSecondsPerHour);  // 1 h on AC
+  EXPECT_NEAR(m.status().battery_charge, 0.7, 1e-12);
+  EXPECT_TRUE(m.status().on_ac);
+
+  m.advance_to(5.0 * kSecondsPerHour);  // +1 h on AC, then 3 h draining
+  EXPECT_NEAR(m.status().battery_charge, 0.9 - 0.3, 1e-12);
+  EXPECT_FALSE(m.status().on_ac);
+
+  // Clamped at zero long before the window reopens, then recharges and
+  // clamps at full after enough plugged-in days.
+  m.advance_to(23.0 * kSecondsPerHour);
+  EXPECT_EQ(m.status().battery_charge, 0.0);
+  m.advance_to(10.0 * kSecondsPerDay);
+  EXPECT_LE(m.status().battery_charge, 1.0);
+}
+
+TEST(DeviceModel, EmulatorThreadsDeviceIntoWorkRequests) {
+  // A host that is never on wifi + SD_MOBILE: every RPC is refused, so
+  // nothing is ever fetched. The same scenario under SD_PAPER fetches
+  // normally — the request must therefore carry the device snapshot.
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  sc.host.device.on_wifi = OnOffSpec::markov(1e-6, 1e12, false);  // off ~always
+  EmulationOptions opt;
+  opt.policy.dispatch_by_name = "SD_MOBILE";
+  const Metrics refused = emulate(sc, opt).metrics;
+  EXPECT_EQ(refused.n_jobs_fetched, 0);
+
+  opt.policy.dispatch_by_name = "SD_PAPER";
+  const Metrics served = emulate(sc, opt).metrics;
+  EXPECT_GT(served.n_jobs_fetched, 0);
+}
+
+// --- end-to-end replication accounting ---------------------------------
+
+TEST(ReplicationAccounting, DefaultRunHasNoReplicationFootprint) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  const Metrics m = emulate(sc, EmulationOptions{}).metrics;
+  EXPECT_FALSE(m.replication_used());
+  EXPECT_EQ(m.n_workunits, m.n_jobs_fetched);
+  EXPECT_EQ(m.replica_wasted_flops, 0.0);
+  // Unreplicated quorum is 1: every completed job validates its workunit.
+  EXPECT_EQ(m.n_quorum_met, m.n_jobs_completed);
+  EXPECT_GT(m.granted_credit_flops, 0.0);
+}
+
+TEST(ReplicationAccounting, ReplicatedRunGroupsAndGrantsCredit) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  for (auto& p : sc.projects) {
+    p.target_replicas = 2;
+    p.quorum = 2;
+  }
+  const Metrics m = emulate(sc, EmulationOptions{}).metrics;
+  EXPECT_TRUE(m.replication_used());
+  EXPECT_GT(m.n_workunits, 0);
+  EXPECT_LT(m.n_workunits, m.n_jobs_fetched);
+  EXPECT_LE(m.n_quorum_met + m.n_quorum_failed, m.n_workunits);
+  EXPECT_GT(m.n_quorum_met, 0);
+  EXPECT_GT(m.granted_credit_flops, 0.0);
+  EXPECT_GE(m.quorum_rate(), 0.0);
+  EXPECT_LE(m.quorum_rate(), 1.0);
+}
+
+TEST(ReplicationAccounting, ExcessSuccessesCountAsReplicaWaste) {
+  // quorum 1 with 2 replicas: the second successful copy of any pair is
+  // pure redundancy and must show up as replica waste.
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  for (auto& p : sc.projects) {
+    p.target_replicas = 2;
+    p.quorum = 1;
+  }
+  const Metrics m = emulate(sc, EmulationOptions{}).metrics;
+  EXPECT_TRUE(m.replication_used());
+  EXPECT_GT(m.replica_wasted_flops, 0.0);
+  EXPECT_GT(m.replica_wasted_fraction(), 0.0);
+}
+
+// --- default byte-identity through the seam ----------------------------
+
+TEST(DispatchSeam, ExplicitPaperSelectionMatchesDefaultExactly) {
+  Scenario sc = paper_scenario2();
+  sc.duration = 2.0 * kSecondsPerDay;
+  const Metrics def = emulate(sc, EmulationOptions{}).metrics;
+  EmulationOptions opt;
+  opt.policy.dispatch_by_name = "SD_PAPER";
+  const Metrics named = emulate(sc, opt).metrics;
+  EXPECT_EQ(named.summary(), def.summary());
+  EXPECT_EQ(named.used_flops, def.used_flops);
+  EXPECT_EQ(named.wasted_flops, def.wasted_flops);
+  EXPECT_EQ(named.n_jobs_fetched, def.n_jobs_fetched);
+  EXPECT_EQ(named.n_jobs_completed, def.n_jobs_completed);
+  EXPECT_EQ(named.n_rpcs, def.n_rpcs);
+}
+
+}  // namespace
+}  // namespace bce

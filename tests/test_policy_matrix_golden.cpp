@@ -119,6 +119,30 @@ TEST_P(PolicyMatrixGolden, ExactFiguresOfMerit) {
   EXPECT_EQ(m.n_jobs_missed, g.jobs_missed);
 }
 
+// The kMatrix goldens were captured before the server-dispatch seam
+// existed, so the suite above already pins the default dispatch path
+// byte-for-byte. This pins the seam itself: explicitly selecting
+// SD_PAPER by name must route through the registry and still reproduce
+// the identical run — same figures on every scenario, not just "close".
+TEST(PolicyMatrixGolden, NamedDefaultDispatchIsByteIdentical) {
+  for (const char* name : {"s1", "s2", "s3", "s4"}) {
+    SCOPED_TRACE(name);
+    const Scenario sc = make_scenario(name);
+    const Metrics def = emulate(sc, EmulationOptions{}).metrics;
+    EmulationOptions named;
+    named.policy.dispatch_by_name = "SD_PAPER";
+    const Metrics m = emulate(sc, named).metrics;
+    EXPECT_EQ(m.summary(), def.summary());
+    EXPECT_EQ(m.used_flops, def.used_flops);
+    EXPECT_EQ(m.wasted_flops, def.wasted_flops);
+    EXPECT_EQ(m.monotony, def.monotony);
+    EXPECT_EQ(m.n_jobs_fetched, def.n_jobs_fetched);
+    EXPECT_EQ(m.n_jobs_completed, def.n_jobs_completed);
+    EXPECT_EQ(m.n_jobs_missed, def.n_jobs_missed);
+    EXPECT_EQ(m.n_rpcs, def.n_rpcs);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     FullMatrix, PolicyMatrixGolden, ::testing::ValuesIn(kMatrix),
     [](const ::testing::TestParamInfo<MatrixGolden>& info) {

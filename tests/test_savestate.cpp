@@ -314,6 +314,34 @@ TEST(Savestate, RoundTripIdentityUnderFaultsAndTransfers) {
   expect_split_matches_cold(sc, pol, 0.71);
 }
 
+TEST(Savestate, RoundTripIdentityUnderDeviceAndReplication) {
+  // Exercises the v2 savestate fields end to end: the device model's two
+  // on/off channels and battery frontier, the per-job workunit/replica
+  // ids, and the server's jobs_ok/jobs_failed tallies (which adaptive
+  // replication reads, so a restore that dropped them would diverge).
+  Scenario sc = small_scenario();
+  for (auto& p : sc.projects) {
+    p.target_replicas = 3;
+    p.quorum = 2;
+  }
+  sc.host.device.on_ac = OnOffSpec::markov(6.0 * kSecondsPerHour,
+                                           2.0 * kSecondsPerHour);
+  sc.host.device.on_wifi = OnOffSpec::markov(10.0 * kSecondsPerHour,
+                                             1.0 * kSecondsPerHour);
+  sc.host.device.battery_charge = 0.8;
+  sc.host.device.battery_discharge = 0.3;
+  sc.host.device.battery_recharge = 0.6;
+  sc.faults.job_error_rate = 0.1;
+  std::string err;
+  ASSERT_TRUE(sc.validate(&err)) << err;
+  for (const char* dispatch : {"SD_MOBILE", "SD_ADAPT_REPL"}) {
+    PolicyConfig pol;
+    pol.dispatch_by_name = dispatch;
+    SCOPED_TRACE(dispatch);
+    expect_split_matches_cold(sc, pol, 0.43);
+  }
+}
+
 TEST(Savestate, RoundTripIdentityUnderAudit) {
   const Scenario sc = small_scenario();
   PolicyConfig pol;

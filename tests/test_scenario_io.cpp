@@ -231,6 +231,99 @@ TEST(ScenarioIo, ExtensionFieldsRoundTrip) {
   EXPECT_DOUBLE_EQ(b.projects[0].job_classes[0].transfer_delay, 60.0);
 }
 
+TEST(ScenarioIo, ParsesDeviceAndReplicationFields) {
+  const Scenario sc = parse_scenario(
+      "cpus: 2 @ 1e9\n"
+      "device_ac: markov 21600 7200\n"
+      "device_wifi: window 0 43200\n"
+      "battery_charge: 0.8\n"
+      "battery_discharge: 0.3\n"
+      "battery_recharge: 0.6\n"
+      "project: p\n"
+      "replicas: 3\n"
+      "quorum: 2\n"
+      "job: cpu flops=1e12 latency=1e5\n");
+  EXPECT_EQ(sc.host.device.on_ac.kind, OnOffSpec::Kind::kMarkov);
+  EXPECT_DOUBLE_EQ(sc.host.device.on_ac.mean_on, 21600.0);
+  EXPECT_EQ(sc.host.device.on_wifi.kind, OnOffSpec::Kind::kDailyWindow);
+  EXPECT_DOUBLE_EQ(sc.host.device.battery_charge, 0.8);
+  EXPECT_DOUBLE_EQ(sc.host.device.battery_discharge, 0.3);
+  EXPECT_DOUBLE_EQ(sc.host.device.battery_recharge, 0.6);
+  EXPECT_EQ(sc.projects[0].target_replicas, 3);
+  EXPECT_EQ(sc.projects[0].quorum, 2);
+}
+
+TEST(ScenarioIo, DeviceAndReplicationDefaultsWhenOmitted) {
+  const Scenario sc = parse_scenario(
+      "cpus: 1 @ 1e9\nproject: p\njob: cpu flops=1e12 latency=1e5\n");
+  EXPECT_TRUE(sc.host.device.is_default());
+  EXPECT_EQ(sc.projects[0].target_replicas, 1);
+  EXPECT_EQ(sc.projects[0].quorum, 1);
+  // Defaults stay unserialized, keeping pre-device scenario texts (and
+  // their savestate fingerprints) byte-identical.
+  const std::string text = serialize_scenario(sc);
+  EXPECT_EQ(text.find("device_"), std::string::npos);
+  EXPECT_EQ(text.find("battery_"), std::string::npos);
+  EXPECT_EQ(text.find("replicas:"), std::string::npos);
+  EXPECT_EQ(text.find("quorum:"), std::string::npos);
+}
+
+TEST(ScenarioIo, DeviceAndReplicationFieldsRoundTrip) {
+  const Scenario a = parse_scenario(
+      "cpus: 2 @ 1e9\n"
+      "device_ac: markov 21600 7200\n"
+      "device_wifi: window 3600 43200\n"
+      "battery_charge: 0.75\n"
+      "battery_discharge: 0.25\n"
+      "battery_recharge: 0.5\n"
+      "project: p\n"
+      "replicas: 3\n"
+      "quorum: 2\n"
+      "job: cpu flops=1e12 latency=1e5\n");
+  const Scenario b = parse_scenario(serialize_scenario(a));
+  EXPECT_EQ(b.host.device.on_ac.kind, a.host.device.on_ac.kind);
+  EXPECT_DOUBLE_EQ(b.host.device.on_ac.mean_off, a.host.device.on_ac.mean_off);
+  EXPECT_EQ(b.host.device.on_wifi.kind, a.host.device.on_wifi.kind);
+  EXPECT_DOUBLE_EQ(b.host.device.on_wifi.window_end,
+                   a.host.device.on_wifi.window_end);
+  EXPECT_DOUBLE_EQ(b.host.device.battery_charge, a.host.device.battery_charge);
+  EXPECT_DOUBLE_EQ(b.host.device.battery_discharge,
+                   a.host.device.battery_discharge);
+  EXPECT_DOUBLE_EQ(b.host.device.battery_recharge,
+                   a.host.device.battery_recharge);
+  EXPECT_EQ(b.projects[0].target_replicas, a.projects[0].target_replicas);
+  EXPECT_EQ(b.projects[0].quorum, a.projects[0].quorum);
+}
+
+TEST(ScenarioIo, RejectsInvalidDeviceAndReplicationValues) {
+  const char* header = "cpus: 1 @ 1e9\n";
+  const char* footer = "project: p\njob: cpu flops=1e12 latency=1e5\n";
+  for (const char* bad :
+       {"battery_charge: 1.5\n", "battery_charge: -0.1\n",
+        "battery_charge: nan\n", "battery_discharge: -1\n",
+        "battery_discharge: inf\n", "battery_recharge: -0.5\n"}) {
+    EXPECT_THROW(parse_scenario(std::string(header) + bad + footer),
+                 std::invalid_argument)
+        << bad;
+  }
+  // replicas/quorum are per-project keys...
+  for (const char* bad : {"replicas: 0\n", "quorum: 0\n",
+                          "replicas: 2\nquorum: 3\n"}) {
+    EXPECT_THROW(
+        parse_scenario(std::string(header) + "project: p\n" + bad +
+                       "job: cpu flops=1e12 latency=1e5\n"),
+        std::invalid_argument)
+        << bad;
+  }
+  // ...and are rejected with a line number outside a project block.
+  try {
+    parse_scenario("cpus: 1 @ 1e9\nreplicas: 2\n");
+    FAIL() << "expected ScenarioParseError";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
 TEST(ScenarioIo, InvalidButWellFormedFailsValidation) {
   // Well-formed text describing an invalid scenario (no projects).
   EXPECT_THROW(parse_scenario("cpus: 1 @ 1e9\n"), std::invalid_argument);

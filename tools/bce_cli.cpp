@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/bce.hpp"
+#include "server/dispatch_policy.hpp"
 #include "fleet/shard_worker.hpp"
 #include "fleet/supervisor.hpp"
 
@@ -121,8 +122,9 @@ struct CliOptions {
       "                 --harness-faults kill:SHARD@CP,stall:SHARD@CP\n"
       "                 exits: 0 complete, 10 partial, 11 shard failed\n"
       "  list-policies  list the registered policies and their aliases\n"
-      "options: --sched NAME  --fetch NAME  (registry names or aliases;\n"
-      "         see list-policies)  --policy wrr|local|global (legacy)\n"
+      "options: --sched NAME  --fetch NAME  --dispatch NAME  (registry names\n"
+      "         or aliases; see list-policies)  --policy wrr|local|global\n"
+      "         (legacy)\n"
       "         --half-life S  --server-deadline-check  --fetch-suppression\n"
       "         --days N  --seed N  --timeline  --log CATS\n"
       "         --threads N (batch parallelism; default BCE_THREADS env,\n"
@@ -159,6 +161,7 @@ int cmd_list_policies() {
   };
   print("job scheduling policies", policy_registry().job_order_entries());
   print("job fetch policies", policy_registry().fetch_entries());
+  print("server dispatch policies", server_policy_registry().dispatch_entries());
   return 0;
 }
 
@@ -219,6 +222,13 @@ CliOptions parse_options(int argc, char** argv, int first,
         usage(("unknown --fetch '" + v + "' (see bce list-policies)").c_str());
       }
       o.policy.fetch_by_name = v;
+    } else if (a == "--dispatch") {
+      const std::string v = need_value();
+      if (!server_policy_registry().has_dispatch(v)) {
+        usage(
+            ("unknown --dispatch '" + v + "' (see bce list-policies)").c_str());
+      }
+      o.policy.dispatch_by_name = v;
     } else if (a == "--list-policies") {
       std::exit(cmd_list_policies());
     } else if (a == "--half-life") {
@@ -412,7 +422,13 @@ int cmd_run(const std::string& path, const CliOptions& o) {
   std::cout << "scenario '" << sc.name << "', "
             << sc.duration / kSecondsPerDay << " days, "
             << opt.policy.selected_sched_name() << " + "
-            << opt.policy.selected_fetch_name() << "\n"
+            << opt.policy.selected_fetch_name();
+  // Named only when overridden: the default header (and the reports byte-
+  // compared by `bce determinism`) predates server dispatch selection.
+  if (!opt.policy.dispatch_by_name.empty()) {
+    std::cout << " + " << opt.policy.selected_dispatch_name();
+  }
+  std::cout << "\n"
             << res.metrics.summary() << "\n\nusage vs share:\n";
   for (std::size_t p = 0; p < sc.projects.size(); ++p) {
     std::cout << "  " << sc.projects[p].name << ": share "
@@ -788,6 +804,8 @@ int cmd_fleet(int argc, char** argv) {
       policy.sched_by_name = next();
     } else if (a == "--fetch") {
       policy.fetch_by_name = next();
+    } else if (a == "--dispatch") {
+      policy.dispatch_by_name = next();
     } else if (a == "--retries") {
       sup.max_retries = static_cast<int>(parse_number(next(), a));
     } else if (a == "--heartbeat-timeout") {

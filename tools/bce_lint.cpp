@@ -6,8 +6,9 @@
 ///   trace-docs   every TraceKind has a registered machine-readable name,
 ///                round-trips through trace_kind_from_name, and appears in
 ///                docs/observability.md                          (exit 2)
-///   policy-docs  every policy registered in bce::policy_registry()
-///                appears in docs/policies.md                    (exit 3)
+///   policy-docs  every policy registered in bce::policy_registry() or
+///                bce::server_policy_registry() appears in
+///                docs/policies.md                               (exit 3)
 ///   logf         no raw Logger::logf call sites outside the trace
 ///                dispatcher (decisions must emit TraceEvents)   (exit 4)
 ///   scenarios    every file under scenarios/ parses and passes
@@ -43,6 +44,7 @@
 
 #include "client/policy_registry.hpp"
 #include "core/paper_scenarios.hpp"
+#include "server/dispatch_policy.hpp"
 #include "core/savestate.hpp"
 #include "core/scenario_io.hpp"
 #include "fleet/supervisor.hpp"
@@ -134,6 +136,9 @@ int check_policy_docs(const fs::path& root) {
   };
   for (const auto& e : bce::policy_registry().job_order_entries()) require(e);
   for (const auto& e : bce::policy_registry().fetch_entries()) require(e);
+  for (const auto& e : bce::server_policy_registry().dispatch_entries()) {
+    require(e);
+  }
   return g_failures - before;
 }
 

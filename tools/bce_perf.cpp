@@ -299,6 +299,36 @@ double k_savestate_roundtrip(std::uint64_t reps) {
   return static_cast<double>(reps);
 }
 
+/// The server-side dispatch fill loop in isolation: one scheduler RPC per
+/// iteration against the default SD_PAPER policy, reporting the previous
+/// reply's jobs so the in-progress count stays in steady state. Items are
+/// jobs dispatched — what every work-request RPC pays inside
+/// ProjectServer::handle_rpc.
+double k_server_dispatch(std::uint64_t reps) {
+  const Scenario sc = paper_scenario2();
+  ServerPolicy sp;
+  ProjectServer server(0, sc.projects[0], sc.host, sp,
+                       /*host_avail_fraction=*/1.0, Xoshiro256(42), 0.0);
+  Trace trace;
+  WorkRequest req;
+  req.req_seconds[ProcType::kCpu] = 4.0 * 3600.0;
+  req.req_instances[ProcType::kCpu] = 2.0;
+  JobId next_id = 0;
+  int to_report = 0;
+  double now = 0.0;
+  double dispatched = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    now += 60.0;
+    const RpcReply reply =
+        server.handle_rpc(now, req, to_report, next_id, trace);
+    to_report = static_cast<int>(reply.jobs.size());
+    dispatched += static_cast<double>(reply.jobs.size());
+  }
+  volatile double keep = dispatched;
+  (void)keep;
+  return dispatched;
+}
+
 const std::vector<Duration>& sweep_durations() {
   static const std::vector<Duration> durations = {
       0.25 * kSecondsPerDay, 0.5 * kSecondsPerDay, 0.75 * kSecondsPerDay,
@@ -423,6 +453,7 @@ std::vector<Kernel> kernels() {
       {"sweep_warmstart", k_sweep_warmstart},
       {"fleet_sharded", k_fleet_sharded},
       {"shard_checkpoint_resume", k_shard_checkpoint_resume},
+      {"server_dispatch", k_server_dispatch},
   };
 }
 
