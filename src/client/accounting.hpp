@@ -20,10 +20,11 @@
 ///    `PRIO(P) = share_frac(P) − REC(P)/ΣREC` (see DESIGN.md §2 for why
 ///    this stands in for the paper's garbled formula).
 
+#include <cstddef>
 #include <vector>
 
 #include "host/host_info.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "sim/decaying_average.hpp"
 #include "sim/types.hpp"
 

@@ -1,0 +1,145 @@
+// InvariantAuditor checks whose subjects live in the client layer
+// (Accounting debts/REC, RR-sim outputs, work-fetch requests). The
+// auditor's interface sits at the bottom of the layer DAG (sim/audit.hpp,
+// forward declarations only) so the event kernel can hold a pointer to
+// it; each check's definition lives beside the types it inspects, which
+// keeps the include graph pointing strictly downwards.
+
+#include <cmath>
+
+#include "client/accounting.hpp"
+#include "client/rr_sim.hpp"
+#include "host/host_info.hpp"
+#include "host/preferences.hpp"
+#include "server/request.hpp"
+#include "sim/audit.hpp"
+
+namespace bce {
+
+using detail::audit_format;
+
+void InvariantAuditor::check_debt_sums(
+    const Accounting& acct, const std::vector<PerProc<bool>>& runnable) {
+  const std::size_t n = acct.num_projects();
+
+  // One flavour at a time: short-term gated by "runnable now", long-term
+  // by capability. Immediately after Accounting::charge each flavour's
+  // debts are mean-centered over its eligible set, so the eligible sum is
+  // zero up to FP noise — unless a debt sits at the cap, where clamping
+  // deliberately breaks exactness (skip the type then, as BOINC accepts).
+  const auto check_flavour = [&](const char* label, auto&& debt_of,
+                                 auto&& eligible) {
+    for (const auto t : kAllProcTypes) {
+      const double cap = acct.debt_cap(t);
+      if (cap <= 0.0) continue;  // host has no instances of this type
+      double sum = 0.0;
+      std::size_t n_eligible = 0;
+      bool clamped = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        const auto pid = static_cast<ProjectId>(p);
+        if (!eligible(p, t)) continue;
+        const double d = debt_of(pid, t);
+        if (std::fabs(d) >= cap * (1.0 - 1e-9)) clamped = true;
+        sum += d;
+        ++n_eligible;
+      }
+      if (n_eligible == 0 || clamped) continue;
+      const double tol = 1e-6 * cap + 1e-9;
+      if (std::fabs(sum) > tol) {
+        fail(audit_format("%s debts for %s sum to %g across %zu eligible "
+                          "projects (|sum| > %g; debts must center on zero)",
+                          label, proc_name(t), sum, n_eligible, tol));
+      }
+    }
+  };
+
+  check_flavour(
+      "short-term",
+      [&](ProjectId p, ProcType t) { return acct.debt(p, t); },
+      [&](std::size_t p, ProcType t) { return runnable[p][t]; });
+  check_flavour(
+      "long-term",
+      [&](ProjectId p, ProcType t) { return acct.long_term_debt(p, t); },
+      [&](std::size_t p, ProcType t) {
+        return acct.capable(static_cast<ProjectId>(p), t);
+      });
+  ++checks_run_;
+}
+
+void InvariantAuditor::check_rec_nonneg(const Accounting& acct) {
+  for (std::size_t p = 0; p < acct.num_projects(); ++p) {
+    const double rec = acct.rec(static_cast<ProjectId>(p));
+    if (!(rec >= 0.0)) {  // also catches NaN
+      fail(audit_format("REC(%zu) = %g; recent-estimated-credit is a decaying "
+                        "average of non-negative FLOPs and cannot go negative",
+                        p, rec));
+    }
+  }
+  ++checks_run_;
+}
+
+void InvariantAuditor::check_rr_output(const RrSimOutput& rr,
+                                       const HostInfo& host,
+                                       const Preferences& prefs, SimTime now) {
+  if (rr.span < 0.0) fail(audit_format("RR-sim span = %g < 0", rr.span));
+  for (const auto t : kAllProcTypes) {
+    const double cap = host.count[t];
+    if (cap <= 0.0) continue;
+    const char* tn = proc_name(t);
+    if (rr.shortfall[t] < -kFpEpsilon) {
+      fail(audit_format("SHORTFALL(%s) = %g < 0", tn, rr.shortfall[t]));
+    }
+    if (rr.shortfall_min[t] < -kFpEpsilon) {
+      fail(audit_format("SHORTFALL_min(%s) = %g < 0", tn, rr.shortfall_min[t]));
+    }
+    if (rr.saturated[t] < -kFpEpsilon ||
+        rr.saturated[t] > rr.span + kFpEpsilon) {
+      fail(audit_format("SAT(%s) = %g outside [0, span=%g]", tn,
+                        rr.saturated[t], rr.span));
+    }
+    if (rr.idle_instances_now[t] < -kFpEpsilon ||
+        rr.idle_instances_now[t] > cap + kFpEpsilon) {
+      fail(audit_format("idle instances now (%s) = %g outside [0, %g]", tn,
+                        rr.idle_instances_now[t], cap));
+    }
+    // Capacity conservation over the work-buffer window [now, now +
+    // max_queue]: every instance-second is either busy or counted in the
+    // shortfall, so the two integrals sum to the window's capacity.
+    const double window_cap = cap * prefs.max_queue;
+    const double got = rr.busy_inst_seconds[t] + rr.shortfall[t];
+    const double tol = 1e-6 * window_cap + 1e-6;
+    if (std::fabs(got - window_cap) > tol) {
+      fail(audit_format("busy+idle of %s = %g over [%g, %g+max_queue] but "
+                        "window capacity is %g; instance-seconds must conserve",
+                        tn, got, now, now, window_cap));
+    }
+  }
+  ++checks_run_;
+}
+
+void InvariantAuditor::check_fetch_decision(const WorkRequest& req,
+                                            const HostInfo& host) {
+  for (const auto t : kAllProcTypes) {
+    const char* tn = proc_name(t);
+    if (req.req_seconds[t] < 0.0 || req.req_instances[t] < 0.0 ||
+        req.est_delay[t] < 0.0) {
+      fail(audit_format("work request for %s is negative (seconds=%g, "
+                        "instances=%g, est_delay=%g)",
+                        tn, req.req_seconds[t], req.req_instances[t],
+                        req.est_delay[t]));
+    }
+    if (host.count[t] == 0 &&
+        (req.req_seconds[t] > 0.0 || req.req_instances[t] > 0.0)) {
+      fail(audit_format("work request asks for %s but the host has no %s "
+                        "instances",
+                        tn, tn));
+    }
+  }
+  if (!(req.duration_correction > 0.0)) {  // also catches NaN
+    fail(audit_format("duration correction factor = %g; must be positive",
+                      req.duration_correction));
+  }
+  ++checks_run_;
+}
+
+}  // namespace bce

@@ -27,6 +27,7 @@
 /// would make fetch re-simulate against rolled-back progress and change
 /// fetch decisions (see docs/policies.md).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

@@ -25,6 +25,7 @@
 /// manager's own RNG stream ("fault.transfer"); a zero error rate draws
 /// nothing, preserving fault-free runs bit-for-bit.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,41 @@
+// InvariantAuditor checks whose subjects live in the core layer (final
+// Metrics conservation). See src/client/audit_checks.cpp for why the
+// auditor's method definitions live beside the types they inspect.
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "sim/audit.hpp"
+
+namespace bce {
+
+using detail::audit_format;
+
+void InvariantAuditor::check_metrics(const Metrics& m) {
+  const double rel = 1e-9;
+  if (!std::isfinite(m.available_flops) || m.available_flops < 0.0) {
+    fail(audit_format("available FLOPs = %g < 0", m.available_flops));
+  }
+  // No upper bound against available_flops: the scheduler may briefly
+  // over-commit instances (assign_slot's slot = -1 path) and every
+  // running job progresses at full rate, so busy work can legitimately
+  // exceed nominal capacity by the over-committed fraction.
+  if (!std::isfinite(m.used_flops) || m.used_flops < 0.0) {
+    fail(audit_format("used FLOPs = %g; must be finite and non-negative",
+                      m.used_flops));
+  }
+  if (m.wasted_flops < 0.0 ||
+      m.wasted_flops > m.used_flops * (1.0 + rel) + 1.0) {
+    fail(audit_format("wasted FLOPs = %g outside [0, used=%g]; waste is a "
+                      "subset of work performed",
+                      m.wasted_flops, m.used_flops));
+  }
+  if (m.failure_wasted_flops < 0.0 ||
+      m.failure_wasted_flops > m.wasted_flops * (1.0 + rel) + 1.0) {
+    fail(audit_format("failure-wasted FLOPs = %g outside [0, wasted=%g]",
+                      m.failure_wasted_flops, m.wasted_flops));
+  }
+  ++checks_run_;
+}
+
+}  // namespace bce

@@ -38,7 +38,7 @@
 #include "host/availability_presets.hpp"
 #include "host/host_info.hpp"
 #include "host/preferences.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "model/job.hpp"
 #include "model/project.hpp"
 #include "model/resource_usage.hpp"

@@ -17,6 +17,7 @@
 /// variants never appear here (they are strategy objects resolved through
 /// bce::policy_registry()).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

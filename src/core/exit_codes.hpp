@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file exit_codes.hpp
+/// The repo-wide exit-code contract, in one place. Every non-zero exit
+/// code a BCE tool can return is registered here with the tool (or
+/// subcommand) it belongs to, a stable machine-readable name, and its
+/// meaning; call sites reference the named constants below, which are
+/// looked up from the table at compile time so a renumbering cannot
+/// silently detach a constant from its registry row.
+///
+/// `bce_lint --check exit-codes` (exit 11) parses this table *textually*
+/// from the tree under --root and enforces two contracts on it:
+///   * per tool, every code and every name is registered exactly once;
+///   * every row appears in docs/static_analysis.md's exit-code table as
+///     `| \`tool\` | code | \`name\` | ...`.
+/// Keep each entry on a single line in the form
+/// `{"tool", code, "name", "meaning"},` — the linter's parser and the
+/// docs table both key off that shape.
+
+namespace bce {
+
+struct ExitCodeInfo {
+  const char* tool;     ///< tool or subcommand ("bce fleet", "bce_lint", ...)
+  int code;             ///< the process exit code (non-zero)
+  const char* name;     ///< stable machine-readable tag, unique per tool
+  const char* meaning;  ///< one-line human description
+};
+
+// clang-format off
+inline constexpr ExitCodeInfo kExitCodeRegistry[] = {
+    // bce CLI, all subcommands. 0 = success everywhere.
+    {"bce", 1, "runtime-error", "unreadable scenario, I/O failure, or uncaught emulation error"},
+    {"bce", 2, "usage", "bad command line"},
+
+    // bce run --save-state/--load-state: savestate rejection paths, one
+    // code per SavestateErrc (exit = 2 + errc; sim/state_io.hpp).
+    {"bce run", 3, "savestate-io", "savestate file unreadable or unwritable"},
+    {"bce run", 4, "savestate-bad-magic", "not a savestate file"},
+    {"bce run", 5, "savestate-bad-version", "savestate from an incompatible format version"},
+    {"bce run", 6, "savestate-truncated", "savestate shorter than its header claims"},
+    {"bce run", 7, "savestate-corrupt", "savestate payload checksum mismatch"},
+    {"bce run", 8, "savestate-field-mismatch", "savestate field sequence disagrees with this build"},
+    {"bce run", 9, "savestate-scenario-mismatch", "savestate saved under a different scenario or policy"},
+
+    // bce determinism (docs/savestate.md).
+    {"bce determinism", 3, "reports-diverge", "end-of-run reports differ between the two runs"},
+    {"bce determinism", 4, "traces-diverge", "reports match but the decision traces differ"},
+    {"bce determinism", 5, "bisect-anomaly", "divergence not attributable to a checkpoint interval"},
+
+    // bce fleet and the hidden --bce-shard-worker mode (docs/fleet.md).
+    {"bce fleet", 10, "fleet-partial", "--partial-ok accepted a degraded run; some hosts lost"},
+    {"bce fleet", 11, "fleet-shard-failed", "a shard exhausted its retries"},
+    {"bce fleet", 40, "worker-protocol-error", "shard worker saw a malformed supervisor frame"},
+    {"bce fleet", 41, "worker-harness-kill", "shard worker killed by deterministic fault injection"},
+
+    // bce_lint (docs/static_analysis.md): one code per check, in check
+    // order; the exit code is the first failing check's.
+    {"bce_lint", 1, "lint-usage", "bad command line or unreadable --root"},
+    {"bce_lint", 2, "lint-trace-docs", "undocumented or non-round-tripping TraceKind"},
+    {"bce_lint", 3, "lint-policy-docs", "registered policy missing from docs/policies.md"},
+    {"bce_lint", 4, "lint-logf", "raw Logger::logf call site outside the trace dispatcher"},
+    {"bce_lint", 5, "lint-scenarios", "shipped scenario fails to parse or validate"},
+    {"bce_lint", 6, "lint-iwyu", "header uses a std symbol without including its header"},
+    {"bce_lint", 7, "lint-savestate-docs", "serialized savestate field missing from docs/savestate.md"},
+    {"bce_lint", 8, "lint-fleet-docs", "fleet exit code or CLI flag missing from docs/fleet.md"},
+    {"bce_lint", 9, "lint-determinism", "nondeterminism source in src/ without an allow comment"},
+    {"bce_lint", 10, "lint-layering", "include cycle or upward include across the layer DAG"},
+    {"bce_lint", 11, "lint-exit-codes", "exit-code registry collision or undocumented exit code"},
+
+    // bce_perf (docs/performance.md).
+    {"bce_perf", 1, "perf-usage", "bad command line or unreadable report"},
+    {"bce_perf", 7, "perf-regression", "a kernel fell more than --tolerance below the baseline"},
+    {"bce_perf", 8, "perf-core-count-mismatch", "reports from different core counts (override with --force)"},
+};
+// clang-format on
+
+namespace detail {
+
+constexpr bool exit_str_eq(const char* a, const char* b) {
+  for (; *a != '\0' && *a == *b; ++a, ++b) {
+  }
+  return *a == *b;
+}
+
+/// Compile-time lookup; a (tool, name) absent from the registry fails the
+/// build (constexpr evaluation reaches the throw).
+constexpr int exit_code_of(const char* tool, const char* name) {
+  for (const auto& e : kExitCodeRegistry) {
+    if (exit_str_eq(e.tool, tool) && exit_str_eq(e.name, name)) return e.code;
+  }
+  throw "exit code not registered in kExitCodeRegistry";
+}
+
+}  // namespace detail
+
+// bce CLI.
+inline constexpr int kExitRuntimeError =
+    detail::exit_code_of("bce", "runtime-error");
+inline constexpr int kExitUsage = detail::exit_code_of("bce", "usage");
+
+/// Savestate rejections exit at kExitSavestateBase +
+/// static_cast<int>(SavestateErrc); the registry spells each one out.
+inline constexpr int kExitSavestateBase =
+    detail::exit_code_of("bce run", "savestate-io") - 1;
+
+// bce determinism.
+inline constexpr int kExitDeterminismReportsDiverge =
+    detail::exit_code_of("bce determinism", "reports-diverge");
+inline constexpr int kExitDeterminismTracesDiverge =
+    detail::exit_code_of("bce determinism", "traces-diverge");
+inline constexpr int kExitDeterminismBisectAnomaly =
+    detail::exit_code_of("bce determinism", "bisect-anomaly");
+
+// bce fleet (the kFleetExit*/kWorkerExit* names predate this registry and
+// are kept: supervisor.hpp and shard_worker.hpp re-export them).
+inline constexpr int kFleetExitPartial =
+    detail::exit_code_of("bce fleet", "fleet-partial");
+inline constexpr int kFleetExitShardFailed =
+    detail::exit_code_of("bce fleet", "fleet-shard-failed");
+inline constexpr int kWorkerExitProtocolError =
+    detail::exit_code_of("bce fleet", "worker-protocol-error");
+inline constexpr int kWorkerExitHarnessKill =
+    detail::exit_code_of("bce fleet", "worker-harness-kill");
+
+// bce_lint.
+inline constexpr int kLintExitUsage =
+    detail::exit_code_of("bce_lint", "lint-usage");
+inline constexpr int kLintExitTraceDocs =
+    detail::exit_code_of("bce_lint", "lint-trace-docs");
+inline constexpr int kLintExitPolicyDocs =
+    detail::exit_code_of("bce_lint", "lint-policy-docs");
+inline constexpr int kLintExitLogf = detail::exit_code_of("bce_lint",
+                                                          "lint-logf");
+inline constexpr int kLintExitScenarios =
+    detail::exit_code_of("bce_lint", "lint-scenarios");
+inline constexpr int kLintExitIwyu = detail::exit_code_of("bce_lint",
+                                                          "lint-iwyu");
+inline constexpr int kLintExitSavestateDocs =
+    detail::exit_code_of("bce_lint", "lint-savestate-docs");
+inline constexpr int kLintExitFleetDocs =
+    detail::exit_code_of("bce_lint", "lint-fleet-docs");
+inline constexpr int kLintExitDeterminism =
+    detail::exit_code_of("bce_lint", "lint-determinism");
+inline constexpr int kLintExitLayering =
+    detail::exit_code_of("bce_lint", "lint-layering");
+inline constexpr int kLintExitExitCodes =
+    detail::exit_code_of("bce_lint", "lint-exit-codes");
+
+// bce_perf.
+inline constexpr int kPerfExitUsage =
+    detail::exit_code_of("bce_perf", "perf-usage");
+inline constexpr int kPerfExitRegression =
+    detail::exit_code_of("bce_perf", "perf-regression");
+inline constexpr int kPerfExitCoreCountMismatch =
+    detail::exit_code_of("bce_perf", "perf-core-count-mismatch");
+
+}  // namespace bce

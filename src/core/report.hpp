@@ -4,6 +4,7 @@
 /// Result-table helpers: the experiment harnesses in bench/ print the same
 /// rows/series the paper's figures report, in aligned text and CSV.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -21,7 +21,7 @@
 
 #include <vector>
 
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 
 namespace bce {
 

@@ -20,6 +20,7 @@
 /// Each host's emulation is independent, so the fleet runs on the
 /// controller's thread pool.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

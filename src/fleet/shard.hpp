@@ -22,6 +22,7 @@
 /// checksum; mismatches are rejected with SavestateError, never silently
 /// resumed.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

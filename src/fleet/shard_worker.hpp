@@ -15,14 +15,15 @@
 #include <functional>
 #include <optional>
 
+#include "core/exit_codes.hpp"
 #include "fleet/shard.hpp"
 
 namespace bce {
 
-/// Worker process exit codes (docs/fleet.md). Distinct from the emulator
-/// CLI's savestate exit codes so a supervisor log is unambiguous.
-inline constexpr int kWorkerExitProtocolError = 40;
-inline constexpr int kWorkerExitHarnessKill = 41;
+// Worker process exit codes (docs/fleet.md): kWorkerExitProtocolError and
+// kWorkerExitHarnessKill come from the repo-wide registry in
+// core/exit_codes.hpp, distinct from the emulator CLI's savestate exit
+// codes so a supervisor log is unambiguous.
 
 /// Observation points in the shard loop. All optional; the in-process mode
 /// typically passes none (harness faults are then inert, since a fault

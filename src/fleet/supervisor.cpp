@@ -43,6 +43,7 @@ namespace {
 
 double mono_now() {
   timespec ts{};
+  // bce-lint: allow(determinism): retry pacing only, never in results
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;

@@ -32,16 +32,17 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/exit_codes.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/shard.hpp"
 
 namespace bce {
 
-/// Process exit codes for drivers built on the supervisor (docs/fleet.md).
-/// Partial is distinct from outright failure so scripts can accept
-/// degraded-but-usable results explicitly.
-inline constexpr int kFleetExitPartial = 10;      ///< --partial-ok, hosts lost
-inline constexpr int kFleetExitShardFailed = 11;  ///< retries exhausted
+// Process exit codes for drivers built on the supervisor (docs/fleet.md):
+// kFleetExitPartial (--partial-ok, hosts lost) and kFleetExitShardFailed
+// (retries exhausted) come from the repo-wide registry in
+// core/exit_codes.hpp. Partial is distinct from outright failure so
+// scripts can accept degraded-but-usable results explicitly.
 
 enum class ShardState : std::uint8_t {
   kPending,      ///< not yet launched (or waiting out a retry backoff)

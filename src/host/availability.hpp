@@ -10,6 +10,7 @@
 /// preferences, §2.2).
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>

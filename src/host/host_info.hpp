@@ -6,7 +6,7 @@
 /// probes these on a real host; scenarios specify them directly.
 
 #include "host/device_status.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 
 namespace bce {
 

@@ -1,0 +1,187 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/exit_codes.hpp"
+#include "lint/checks.hpp"
+
+namespace bce::lint {
+
+namespace {
+
+constexpr CheckInfo kChecks[] = {
+    {"trace-docs", kLintExitTraceDocs,
+     "every TraceKind has a registered name, round-trips, and appears in "
+     "docs/observability.md",
+     check_trace_docs},
+    {"policy-docs", kLintExitPolicyDocs,
+     "every registered policy appears in docs/policies.md",
+     check_policy_docs},
+    {"logf", kLintExitLogf,
+     "no raw Logger::logf call sites outside the trace dispatcher",
+     check_logf},
+    {"scenarios", kLintExitScenarios,
+     "every file under scenarios/ parses and passes Scenario::validate",
+     check_scenarios},
+    {"iwyu", kLintExitIwyu,
+     "headers under src/ directly include the std headers they use",
+     check_iwyu},
+    {"savestate-docs", kLintExitSavestateDocs,
+     "every serialized savestate field appears in docs/savestate.md",
+     check_savestate_docs},
+    {"fleet-docs", kLintExitFleetDocs,
+     "every fleet exit code and CLI flag appears in docs/fleet.md",
+     check_fleet_docs},
+    {"determinism", kLintExitDeterminism,
+     "no nondeterminism sources in src/ without an allow(determinism) "
+     "reason",
+     check_determinism},
+    {"layering", kLintExitLayering,
+     "the include graph respects the layer DAG: no cycles, no upward "
+     "includes",
+     check_layering},
+    {"exit-codes", kLintExitExitCodes,
+     "the exit-code registry is collision-free and documented",
+     check_exit_codes},
+};
+
+}  // namespace
+
+std::span<const CheckInfo> lint_checks() { return kChecks; }
+
+const CheckInfo* find_check(std::string_view name) {
+  for (const auto& c : kChecks) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+LintResult run_lint(const std::filesystem::path& root,
+                    const std::vector<std::string>& selected) {
+  AnalysisContext ctx(root);
+  LintResult result;
+  for (const auto& c : kChecks) {
+    if (!selected.empty() &&
+        std::find(selected.begin(), selected.end(), c.name) ==
+            selected.end()) {
+      continue;
+    }
+    const std::size_t before = ctx.count();
+    c.run(ctx);
+    if (ctx.count() > before && result.exit_code == 0) {
+      result.exit_code = c.exit_code;
+    }
+  }
+  result.diagnostics = ctx.diagnostics();
+  return result;
+}
+
+std::string format_text(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    out += "bce_lint: " + d.check + ": " + d.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON string escaping per RFC 8259 (control chars as \u00XX).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_sarif(const LintResult& result,
+                         const std::filesystem::path& root) {
+  const auto checks = lint_checks();
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"bce_lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/bce/docs/static_analysis.md\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const auto& c = checks[i];
+    out += "            {\"id\": \"" + json_escape(c.name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(c.description) + "\"}}";
+    out += i + 1 < checks.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"originalUriBaseIds\": {\n"
+      "        \"ROOTDIR\": {\"uri\": \"file://" +
+      json_escape(std::filesystem::absolute(root).generic_string()) +
+      "/\"}\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const auto& d = result.diagnostics[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < checks.size(); ++r) {
+      if (d.check == checks[r].name) rule_index = r;
+    }
+    out += "        {\"ruleId\": \"" + json_escape(d.check) +
+           "\", \"ruleIndex\": " + std::to_string(rule_index) +
+           ", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(d.message) + "\"}";
+    if (!d.file.empty()) {
+      out +=
+          ", \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": \"" +
+          json_escape(d.file) + "\", \"uriBaseId\": \"ROOTDIR\"}";
+      if (d.line > 0) {
+        out += ", \"region\": {\"startLine\": " + std::to_string(d.line);
+        if (d.col > 0) {
+          out += ", \"startColumn\": " + std::to_string(d.col);
+        }
+        out += "}";
+      }
+      out += "}}]";
+    }
+    out += "}";
+    out += i + 1 < result.diagnostics.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace bce::lint

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file analyzer.hpp
+/// The static-analysis engine behind `tools/bce_lint`
+/// (docs/static_analysis.md). The checks are a registry of named
+/// CheckInfo entries, each with the distinct exit code the repo's
+/// exit-code contract assigns it (core/exit_codes.hpp); running them
+/// in-process produces positioned Diagnostics that render either as the
+/// classic one-line-per-finding text (byte-identical to the pre-library
+/// linter) or as SARIF 2.1.0 for code-scanning upload.
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bce::lint {
+
+struct Diagnostic {
+  std::string check;    ///< rule id ("determinism", "iwyu", ...)
+  std::string message;  ///< everything after "bce_lint: <check>: "
+  std::string file;     ///< repo-relative path, empty when not file-bound
+  int line = 0;         ///< 1-based; 0 = whole file
+  int col = 0;          ///< 1-based; 0 = whole line
+};
+
+/// Shared state of one analysis run: the tree root and the findings
+/// accumulated so far. Checks append; they never print.
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(std::filesystem::path root)
+      : root_(std::move(root)) {}
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  void diagnose(const char* check, const std::string& msg) {
+    diags_.push_back({check, msg, {}, 0, 0});
+  }
+  void diagnose_at(const char* check, const std::string& msg,
+                   std::string file, int line = 0, int col = 0) {
+    diags_.push_back({check, msg, std::move(file), line, col});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t count() const { return diags_.size(); }
+
+ private:
+  std::filesystem::path root_;
+  std::vector<Diagnostic> diags_;
+};
+
+struct CheckInfo {
+  const char* name;         ///< rule id, also the --check selector
+  int exit_code;            ///< distinct per check (core/exit_codes.hpp)
+  const char* description;  ///< one line, shown by --list-checks
+  void (*run)(AnalysisContext&);
+};
+
+/// All checks in contract order (the exit code of a full run is the
+/// first failing check's).
+std::span<const CheckInfo> lint_checks();
+
+/// Lookup by name; nullptr when unknown.
+const CheckInfo* find_check(std::string_view name);
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< in check, then discovery order
+  int exit_code = 0;  ///< first failing selected check's code; 0 = clean
+};
+
+/// Run \p selected checks (all when empty) over the tree at \p root.
+LintResult run_lint(const std::filesystem::path& root,
+                    const std::vector<std::string>& selected);
+
+/// Classic text rendering: "bce_lint: <check>: <message>\n" per finding,
+/// byte-identical to the pre-library linter for the ported checks.
+std::string format_text(const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0 rendering (one run, one result per finding, physical
+/// locations where the finding is file-bound).
+std::string format_sarif(const LintResult& result,
+                         const std::filesystem::path& root);
+
+}  // namespace bce::lint

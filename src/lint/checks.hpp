@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file checks.hpp
+/// Internal declarations of the individual lint checks, one function per
+/// rule, grouped by implementation file. The public surface is the
+/// registry in analyzer.hpp; this header only wires the registry to the
+/// definitions.
+
+#include "lint/analyzer.hpp"
+
+namespace bce::lint {
+
+// checks_docs.cpp — documentation-drift checks against live inventories.
+void check_trace_docs(AnalysisContext& ctx);
+void check_policy_docs(AnalysisContext& ctx);
+void check_savestate_docs(AnalysisContext& ctx);
+void check_fleet_docs(AnalysisContext& ctx);
+
+// checks_source.cpp — source scans over src/.
+void check_logf(AnalysisContext& ctx);
+void check_iwyu(AnalysisContext& ctx);
+void check_determinism(AnalysisContext& ctx);
+
+// checks_structure.cpp — whole-tree structure checks.
+void check_scenarios(AnalysisContext& ctx);
+void check_layering(AnalysisContext& ctx);
+void check_exit_codes(AnalysisContext& ctx);
+
+}  // namespace bce::lint

@@ -1,0 +1,135 @@
+// Documentation-drift checks: each compares a live, compiled-in
+// inventory (trace kinds, policy registries, savestate fields, fleet
+// tokens) against the doc that is supposed to list it, so docs cannot
+// silently fall behind the code. Diagnostics are byte-identical to the
+// pre-library bce_lint.
+
+#include <set>
+#include <string>
+
+#include "client/policy_registry.hpp"
+#include "core/paper_scenarios.hpp"
+#include "core/savestate.hpp"
+#include "fleet/supervisor.hpp"
+#include "lint/checks.hpp"
+#include "lint/source.hpp"
+#include "server/dispatch_policy.hpp"
+#include "sim/fault.hpp"
+#include "sim/trace.hpp"
+
+namespace bce::lint {
+
+namespace fs = std::filesystem;
+
+void check_trace_docs(AnalysisContext& ctx) {
+  const fs::path doc_path = ctx.root() / "docs" / "observability.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    ctx.diagnose("trace-docs", "cannot read " + doc_path.string());
+    return;
+  }
+  for (std::size_t i = 0; i < bce::kNumTraceKinds; ++i) {
+    const auto k = static_cast<bce::TraceKind>(i);
+    const std::string name = bce::trace_kind_name(k);
+    if (name == "?") {
+      ctx.diagnose("trace-docs", "trace kind #" + std::to_string(i) +
+                                     " has no registered name");
+      continue;
+    }
+    bce::TraceKind back{};
+    if (!bce::trace_kind_from_name(name, &back) || back != k) {
+      ctx.diagnose("trace-docs", "trace kind name \"" + name +
+                                     "\" does not round-trip (duplicate "
+                                     "name?)");
+    }
+    if (doc->find(name) == std::string::npos) {
+      ctx.diagnose_at("trace-docs",
+                      "trace kind \"" + name + "\" is missing from " +
+                          doc_path.string(),
+                      "docs/observability.md");
+    }
+  }
+}
+
+void check_policy_docs(AnalysisContext& ctx) {
+  const fs::path doc_path = ctx.root() / "docs" / "policies.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    ctx.diagnose("policy-docs", "cannot read " + doc_path.string());
+    return;
+  }
+  const auto require = [&](const bce::PolicyRegistryEntry& e) {
+    if (doc->find(e.name) == std::string::npos) {
+      ctx.diagnose_at("policy-docs",
+                      "registered policy \"" + e.name +
+                          "\" is missing from " + doc_path.string(),
+                      "docs/policies.md");
+    }
+  };
+  for (const auto& e : bce::policy_registry().job_order_entries()) require(e);
+  for (const auto& e : bce::policy_registry().fetch_entries()) require(e);
+  for (const auto& e : bce::server_policy_registry().dispatch_entries()) {
+    require(e);
+  }
+}
+
+void check_savestate_docs(AnalysisContext& ctx) {
+  const fs::path doc_path = ctx.root() / "docs" / "savestate.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    ctx.diagnose("savestate-docs", "cannot read " + doc_path.string());
+    return;
+  }
+  // The field inventory is collected live, not by source scanning: a
+  // faulted half-day run with modeled transfers is checkpointed at every
+  // inter-event boundary and the savestate_entries names are unioned, so
+  // fields only present mid-flight (pending transfers, retry backoffs,
+  // orphaned jobs) make it into the inventory too.
+  bce::Scenario sc = bce::paper_scenario2();
+  sc.duration = 0.5 * bce::kSecondsPerDay;
+  sc.faults = bce::FaultPlan::light();
+  sc.host.download_bandwidth_bps = 1e6;
+  for (auto& p : sc.projects) {
+    for (auto& jc : p.job_classes) jc.input_bytes = 5e7;
+  }
+  bce::EmulationOptions opt;
+  opt.record_timeline = true;  // covers the timeline.* span fields
+  bce::Emulator em(sc, opt);
+  std::set<std::string> names;
+  em.set_checkpoint_hook([&](bce::Emulator& e) {
+    for (const auto& entry : bce::savestate_entries(e)) {
+      names.insert(entry.name);
+    }
+  });
+  (void)em.run();
+  for (const auto& name : names) {
+    if (doc->find("`" + name + "`") == std::string::npos) {
+      ctx.diagnose_at("savestate-docs",
+                      "serialized field \"" + name + "\" is missing from " +
+                          doc_path.string(),
+                      "docs/savestate.md");
+    }
+  }
+}
+
+void check_fleet_docs(AnalysisContext& ctx) {
+  const fs::path doc_path = ctx.root() / "docs" / "fleet.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    ctx.diagnose("fleet-docs", "cannot read " + doc_path.string());
+    return;
+  }
+  // The inventory comes from the supervisor itself, not a hand-kept
+  // list: adding a CLI flag or exit code to the fleet layer without
+  // mentioning it in docs/fleet.md fails this check.
+  for (const auto& token : bce::fleet_doc_tokens()) {
+    if (doc->find(token) == std::string::npos) {
+      ctx.diagnose_at("fleet-docs",
+                      "fleet token \"" + token + "\" is missing from " +
+                          doc_path.string(),
+                      "docs/fleet.md");
+    }
+  }
+}
+
+}  // namespace bce::lint

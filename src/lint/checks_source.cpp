@@ -1,0 +1,345 @@
+// Source scans over src/: the logf ban, include-what-you-use for a
+// curated std symbol set, and the determinism check that keeps wall-clock
+// and entropy out of the emulation core. The ported checks (logf, iwyu)
+// keep their pre-library diagnostics byte-for-byte.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/checks.hpp"
+#include "lint/source.hpp"
+
+namespace bce::lint {
+
+namespace fs = std::filesystem;
+
+void check_logf(AnalysisContext& ctx) {
+  // The only legitimate logf call site is the trace dispatcher's
+  // LoggerSink (sim/trace.cpp) plus the Logger's own declaration and
+  // definition. Everywhere else, decisions must emit typed TraceEvents.
+  // The linter's own implementation must spell the banned pattern and is
+  // exempt.
+  const std::vector<std::string> allowed = {"sim/logger.hpp", "sim/logger.cpp",
+                                            "sim/trace.cpp",
+                                            "lint/checks_source.cpp"};
+  for (const auto& p : files_under(ctx.root() / "src", {".hpp", ".cpp"})) {
+    const std::string rel =
+        fs::relative(p, ctx.root() / "src").generic_string();
+    if (std::find(allowed.begin(), allowed.end(), rel) != allowed.end()) {
+      continue;
+    }
+    const auto text = read_file(p);
+    if (!text) continue;
+    std::istringstream lines(*text);
+    std::string line;
+    for (int ln = 1; std::getline(lines, line); ++ln) {
+      const auto pos = line.find("logf(");
+      // Match only call syntax (".logf(" / "->logf(" / bare "logf("),
+      // not identifiers that merely end in "logf".
+      if (pos != std::string::npos &&
+          (pos == 0 ||
+           !(std::isalnum(static_cast<unsigned char>(line[pos - 1])) != 0 ||
+             line[pos - 1] == '_' || line[pos - 1] == ':'))) {
+        ctx.diagnose_at("logf",
+                        "raw Logger::logf call at src/" + rel + ":" +
+                            std::to_string(ln) +
+                            " (emit a TraceEvent instead)",
+                        "src/" + rel, ln, static_cast<int>(pos) + 1);
+      }
+    }
+  }
+}
+
+void check_iwyu(AnalysisContext& ctx) {
+  // Curated symbol -> standard header map. Deliberately conservative:
+  // only symbols whose home header is unambiguous.
+  static const std::map<std::string, std::string> kHeaderOf = {
+      {"vector", "vector"},
+      {"string", "string"},
+      {"to_string", "string"},
+      {"array", "array"},
+      {"function", "functional"},
+      {"unique_ptr", "memory"},
+      {"shared_ptr", "memory"},
+      {"weak_ptr", "memory"},
+      {"make_unique", "memory"},
+      {"make_shared", "memory"},
+      {"optional", "optional"},
+      {"nullopt", "optional"},
+      {"mutex", "mutex"},
+      {"lock_guard", "mutex"},
+      {"scoped_lock", "mutex"},
+      {"unique_lock", "mutex"},
+      {"condition_variable", "condition_variable"},
+      {"map", "map"},
+      {"multimap", "map"},
+      {"unordered_map", "unordered_map"},
+      {"unordered_set", "unordered_set"},
+      {"priority_queue", "queue"},
+      {"queue", "queue"},
+      {"deque", "deque"},
+      {"thread", "thread"},
+      {"atomic", "atomic"},
+      {"runtime_error", "stdexcept"},
+      {"logic_error", "stdexcept"},
+      {"invalid_argument", "stdexcept"},
+      {"out_of_range", "stdexcept"},
+      {"domain_error", "stdexcept"},
+      {"ostringstream", "sstream"},
+      {"istringstream", "sstream"},
+      {"stringstream", "sstream"},
+      {"ofstream", "fstream"},
+      {"ifstream", "fstream"},
+      {"numeric_limits", "limits"},
+      {"sort", "algorithm"},
+      {"stable_sort", "algorithm"},
+      {"fill", "algorithm"},
+      {"find_if", "algorithm"},
+      {"lower_bound", "algorithm"},
+      {"upper_bound", "algorithm"},
+      {"min_element", "algorithm"},
+      {"max_element", "algorithm"},
+      {"accumulate", "numeric"},
+      {"move", "utility"},
+      {"forward", "utility"},
+      {"swap", "utility"},
+      {"exchange", "utility"},
+      {"pair", "utility"},
+      {"int8_t", "cstdint"},
+      {"int16_t", "cstdint"},
+      {"int32_t", "cstdint"},
+      {"int64_t", "cstdint"},
+      {"uint8_t", "cstdint"},
+      {"uint16_t", "cstdint"},
+      {"uint32_t", "cstdint"},
+      {"uint64_t", "cstdint"},
+      {"set", "set"},
+      {"span", "span"},
+      {"string_view", "string_view"},
+      {"filesystem", "filesystem"},
+      {"size_t", "cstddef"},
+      {"abs", "cmath"},
+      {"fabs", "cmath"},
+  };
+
+  for (const auto& p : files_under(ctx.root() / "src", {".hpp"})) {
+    const auto raw = read_file(p);
+    if (!raw) continue;
+    const std::string code = strip_noncode(*raw);
+    const std::string rel = fs::relative(p, ctx.root()).generic_string();
+    std::vector<std::pair<std::string, int>> missing;  // note, first line
+    for (std::size_t pos = code.find("std::"); pos != std::string::npos;
+         pos = code.find("std::", pos + 5)) {
+      std::size_t end = pos + 5;
+      while (end < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[end])) != 0 ||
+              code[end] == '_')) {
+        ++end;
+      }
+      const std::string sym = code.substr(pos + 5, end - pos - 5);
+      const auto it = kHeaderOf.find(sym);
+      if (it == kHeaderOf.end()) continue;
+      const std::string inc = "#include <" + it->second + ">";
+      if (raw->find(inc) != std::string::npos) continue;
+      const std::string note = "uses std::" + sym + " but does not include <" +
+                               it->second + ">";
+      const auto seen =
+          std::find_if(missing.begin(), missing.end(),
+                       [&](const auto& m) { return m.first == note; });
+      if (seen == missing.end()) {
+        const int ln = 1 + static_cast<int>(std::count(
+                               code.begin(),
+                               code.begin() + static_cast<std::ptrdiff_t>(pos),
+                               '\n'));
+        missing.emplace_back(note, ln);
+      }
+    }
+    for (const auto& [note, ln] : missing) {
+      ctx.diagnose_at("iwyu", rel + " " + note, rel, ln);
+    }
+  }
+}
+
+// ---- determinism ----------------------------------------------------------
+
+namespace {
+
+/// One banned nondeterminism source, matched as a token sequence over the
+/// stripped text (so comments and literals never trigger).
+struct BannedSeq {
+  std::vector<const char*> seq;  ///< tokens that must appear consecutively
+  const char* label;             ///< what the diagnostic names
+};
+
+bool tokens_match(const std::vector<Token>& toks, std::size_t i,
+                  const std::vector<const char*>& seq) {
+  if (i + seq.size() > toks.size()) return false;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    if (toks[i + k].text != seq[k]) return false;
+  }
+  return true;
+}
+
+/// Skip a balanced template argument list starting at `<` (index i);
+/// returns the index just past the matching `>`, or i when toks[i] is not
+/// `<`. `>>` never appears: the tokenizer emits single-char puncts.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return i;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">" && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+}  // namespace
+
+void check_determinism(AnalysisContext& ctx) {
+  // The emulation must be a pure function of the scenario: no entropy, no
+  // wall-clock, no thread identity, no host topology probes. The thread
+  // pool is the one component allowed to size itself off the machine.
+  static const std::vector<BannedSeq> kBanned = {
+      {{"random_device"}, "std::random_device"},
+      {{"rand", "("}, "rand()"},
+      {{"srand"}, "srand"},
+      {{"time", "(", "nullptr", ")"}, "time(nullptr)"},
+      {{"time", "(", "NULL", ")"}, "time(NULL)"},
+      {{"time", "(", "0", ")"}, "time(0)"},
+      {{"system_clock"}, "std::chrono::system_clock"},
+      {{"steady_clock", "::", "now"}, "std::chrono::steady_clock::now"},
+      {{"this_thread", "::", "get_id"}, "std::this_thread::get_id"},
+      {{"hardware_concurrency"}, "hardware_concurrency"},
+      {{"clock_gettime"}, "clock_gettime"},
+      {{"gettimeofday"}, "gettimeofday"},
+  };
+  // hardware_concurrency is how the thread pool sizes itself; that one
+  // file may probe the machine because worker count never changes results
+  // (sharding is by stable scenario index).
+  static const std::set<std::string> kHwConcurrencyAllowed = {
+      "src/sim/thread_pool.cpp"};
+  // Iterating an unordered container is only a determinism hazard where
+  // the iteration order can leak into observable output; these are the
+  // headers that grant a TU that power.
+  static const std::vector<std::string> kOutputHeaders = {
+      "sim/trace.hpp", "core/metrics.hpp", "sim/state_io.hpp"};
+
+  for (const auto& p : files_under(ctx.root() / "src", {".hpp", ".cpp"})) {
+    const std::string rel = fs::relative(p, ctx.root()).generic_string();
+    auto sf = SourceFile::load(p, rel);
+    if (!sf) continue;
+    const auto& toks = sf->tokens();
+
+    // The escape hatch may sit on the flagged line or the one above it
+    // (long call sites put the comment on its own line).
+    const auto marker_line = [&](const Token& t) {
+      if (sf->line_has_allow_marker(t.line, "determinism")) return t.line;
+      if (t.line > 1 && sf->line_has_allow_marker(t.line - 1, "determinism")) {
+        return t.line - 1;
+      }
+      return 0;
+    };
+    const auto report = [&](const Token& t, const std::string& what) {
+      if (const int ml = marker_line(t); ml != 0) {
+        if (sf->allow_reason(ml, "determinism").empty()) {
+          ctx.diagnose_at(
+              "determinism",
+              rel + ":" + std::to_string(t.line) +
+                  ": allow(determinism) marker without a reason (write "
+                  "\"// bce-lint: allow(determinism): <why>\")",
+              rel, t.line, t.col);
+        }
+        return;
+      }
+      ctx.diagnose_at("determinism",
+                      rel + ":" + std::to_string(t.line) +
+                          ": nondeterminism source " + what +
+                          " in emulation code (results must be a pure "
+                          "function of the scenario)",
+                      rel, t.line, t.col);
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      for (const auto& b : kBanned) {
+        if (toks[i].kind != Token::Kind::kIdentifier) continue;
+        if (!tokens_match(toks, i, b.seq)) continue;
+        if (std::string_view(b.label) == "hardware_concurrency" &&
+            kHwConcurrencyAllowed.count(rel) != 0) {
+          continue;
+        }
+        report(toks[i], b.label);
+        break;
+      }
+    }
+
+    // Unordered-iteration heuristic: names declared as
+    // unordered_{map,set}<...> name, then range-for loops whose range is
+    // exactly one of those names.
+    bool emits_output = false;
+    for (const auto& h : kOutputHeaders) {
+      if (sf->raw().find("#include \"" + h + "\"") != std::string::npos) {
+        emits_output = true;
+        break;
+      }
+    }
+    if (!emits_output) continue;
+    std::set<std::string> unordered_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set") {
+        continue;
+      }
+      const std::size_t after = skip_template_args(toks, i + 1);
+      if (after < toks.size() &&
+          toks[after].kind == Token::Kind::kIdentifier) {
+        unordered_names.insert(toks[after].text);
+      }
+    }
+    if (unordered_names.empty()) continue;
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+      if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+      // Find the range expression: the token after the top-level ':'.
+      int depth = 0;
+      for (std::size_t k = i + 1; k < toks.size(); ++k) {
+        if (toks[k].text == "(") ++depth;
+        if (toks[k].text == ")" && --depth == 0) break;
+        if (depth == 1 && toks[k].text == ":" && k + 2 < toks.size() &&
+            toks[k + 1].kind == Token::Kind::kIdentifier &&
+            toks[k + 2].text == ")" &&
+            unordered_names.count(toks[k + 1].text) != 0) {
+          const Token& t = toks[k + 1];
+          if (const int ml = marker_line(t); ml != 0) {
+            if (sf->allow_reason(ml, "determinism").empty()) {
+              ctx.diagnose_at(
+                  "determinism",
+                  rel + ":" + std::to_string(t.line) +
+                      ": allow(determinism) marker without a reason (write "
+                      "\"// bce-lint: allow(determinism): <why>\")",
+                  rel, t.line, t.col);
+            }
+            break;
+          }
+          ctx.diagnose_at(
+              "determinism",
+              rel + ":" + std::to_string(t.line) +
+                  ": iteration over unordered container \"" +
+                  t.text +
+                  "\" in a TU that emits traces/metrics/savestate "
+                  "(order leaks into observable output)",
+              rel, t.line, t.col);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bce::lint

@@ -1,0 +1,265 @@
+// Whole-tree structure checks: scenario files parse and validate
+// (ported byte-identically), the include graph respects the layer DAG,
+// and the exit-code registry is collision-free and documented.
+//
+// The exit-codes check parses src/core/exit_codes.hpp *textually* rather
+// than reading the compiled-in registry: the check must lint the fixture
+// tree under --root, not the tree bce_lint was built from.
+
+#include <algorithm>
+#include <cctype>
+#include <exception>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/exit_codes.hpp"
+#include "core/scenario_io.hpp"
+#include "lint/checks.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/source.hpp"
+
+namespace bce::lint {
+
+namespace fs = std::filesystem;
+
+void check_scenarios(AnalysisContext& ctx) {
+  const fs::path dir = ctx.root() / "scenarios";
+  if (!fs::is_directory(dir)) {
+    ctx.diagnose("scenarios",
+                 "no scenarios/ directory under " + ctx.root().string());
+    return;
+  }
+  for (const auto& p : files_under(dir, {".txt"})) {
+    try {
+      const bce::Scenario sc = bce::load_scenario_file(p.string());
+      std::string err;
+      if (!sc.validate(&err)) {
+        ctx.diagnose_at("scenarios", p.filename().string() + ": " + err,
+                        "scenarios/" + p.filename().string());
+      }
+    } catch (const std::exception& e) {
+      ctx.diagnose_at("scenarios", p.filename().string() + ": " + e.what(),
+                      "scenarios/" + p.filename().string());
+    }
+  }
+}
+
+// ---- layering -------------------------------------------------------------
+
+void check_layering(AnalysisContext& ctx) {
+  const IncludeGraph g = build_include_graph(ctx.root());
+
+  for (const auto& [node, edges] : g.edges) {
+    const int from = layer_rank(node);
+    if (from < 0) {
+      ctx.diagnose_at(
+          "layering",
+          node +
+              " is in no known layer (add its directory to the layer map "
+              "in src/lint/include_graph.cpp and docs/static_analysis.md)",
+          node);
+      continue;
+    }
+    for (const auto& e : edges) {
+      const int to = layer_rank(e.target);
+      if (to < 0) continue;  // the unknown-layer finding covers e.target
+      if (to > from) {
+        ctx.diagnose_at(
+            "layering",
+            node + ":" + std::to_string(e.line) + ": upward include of " +
+                e.target + " (" + layer_name(node) + " layer " +
+                std::to_string(from) + " -> " + layer_name(e.target) +
+                " layer " + std::to_string(to) + ")",
+            node, e.line);
+      }
+    }
+  }
+
+  const std::vector<std::string> cycle = find_include_cycle(g);
+  if (!cycle.empty()) {
+    std::string chain;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i != 0) chain += " -> ";
+      chain += cycle[i];
+    }
+    ctx.diagnose_at("layering", "include cycle: " + chain, cycle.front());
+  }
+}
+
+// ---- exit-codes -----------------------------------------------------------
+
+namespace {
+
+struct RegistryRow {
+  std::string tool;
+  int code = 0;
+  std::string name;
+  int line = 0;  ///< 1-based line of the row in exit_codes.hpp
+};
+
+/// Parse the brace-initializer rows of kExitCodeRegistry out of the
+/// (comment-stripped) header text. Returns false when the registry
+/// marker cannot be found at all.
+bool parse_registry(const std::string& text, std::vector<RegistryRow>* rows) {
+  const std::size_t marker = text.find("kExitCodeRegistry[]");
+  if (marker == std::string::npos) return false;
+  const std::size_t open = text.find('{', marker);
+  if (open == std::string::npos) return false;
+
+  int depth = 0;
+  bool in_str = false;
+  std::size_t row_start = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') { in_str = true; continue; }
+    if (c == '{') {
+      ++depth;
+      if (depth == 2) row_start = i;
+    } else if (c == '}') {
+      if (depth == 2) {
+        const std::string row = text.substr(row_start, i - row_start + 1);
+        // Fields in declaration order: tool (string), code (int),
+        // name (string), meaning (string).
+        std::vector<std::string> strings;
+        std::string number;
+        bool s = false;
+        std::string cur;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+          const char rc = row[k];
+          if (s) {
+            if (rc == '\\' && k + 1 < row.size()) { cur += row[++k]; }
+            else if (rc == '"') { strings.push_back(cur); cur.clear(); s = false; }
+            else cur += rc;
+          } else if (rc == '"') {
+            s = true;
+          } else if (strings.size() == 1 && number.empty() &&
+                     (std::isdigit(static_cast<unsigned char>(rc)) != 0 ||
+                      rc == '-')) {
+            std::size_t e = k;
+            while (e < row.size() &&
+                   (std::isdigit(static_cast<unsigned char>(row[e])) != 0 ||
+                    row[e] == '-')) {
+              ++e;
+            }
+            number = row.substr(k, e - k);
+            k = e - 1;
+          }
+        }
+        if (strings.size() >= 2 && !number.empty()) {
+          RegistryRow r;
+          r.tool = strings[0];
+          r.code = std::stoi(number);
+          r.name = strings[1];
+          r.line = 1 + static_cast<int>(std::count(
+                           text.begin(),
+                           text.begin() +
+                               static_cast<std::ptrdiff_t>(row_start),
+                           '\n'));
+          rows->push_back(std::move(r));
+        }
+      }
+      --depth;
+      if (depth == 0) break;  // end of the registry initializer
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void check_exit_codes(AnalysisContext& ctx) {
+  const std::string reg_rel = "src/core/exit_codes.hpp";
+  const fs::path reg_path = ctx.root() / "src" / "core" / "exit_codes.hpp";
+  const auto reg_raw = read_file(reg_path);
+  if (!reg_raw) {
+    ctx.diagnose("exit-codes", "cannot read " + reg_path.string());
+    return;
+  }
+  std::vector<RegistryRow> rows;
+  if (!parse_registry(strip_comments(*reg_raw), &rows)) {
+    ctx.diagnose_at("exit-codes",
+                    reg_rel + " has no kExitCodeRegistry[] initializer",
+                    reg_rel);
+    return;
+  }
+
+  // Uniqueness per tool, for both codes and names.
+  std::map<std::pair<std::string, int>, const RegistryRow*> by_code;
+  std::map<std::pair<std::string, std::string>, const RegistryRow*> by_name;
+  for (const auto& r : rows) {
+    const auto [cit, cnew] = by_code.try_emplace({r.tool, r.code}, &r);
+    if (!cnew) {
+      ctx.diagnose_at("exit-codes",
+                      reg_rel + ":" + std::to_string(r.line) + ": tool \"" +
+                          r.tool + "\" reuses exit code " +
+                          std::to_string(r.code) + " for \"" + r.name +
+                          "\" (already assigned to \"" + cit->second->name +
+                          "\")",
+                      reg_rel, r.line);
+    }
+    const auto [nit, nnew] = by_name.try_emplace({r.tool, r.name}, &r);
+    if (!nnew) {
+      ctx.diagnose_at("exit-codes",
+                      reg_rel + ":" + std::to_string(r.line) + ": tool \"" +
+                          r.tool + "\" reuses exit name \"" + r.name +
+                          "\" (already code " +
+                          std::to_string(nit->second->code) + ")",
+                      reg_rel, r.line);
+    }
+  }
+
+  // Every row must be documented: docs/static_analysis.md carries the
+  // registry as a table with rows "| `tool` | code | `name` | ...".
+  const fs::path doc_path = ctx.root() / "docs" / "static_analysis.md";
+  const auto doc = read_file(doc_path);
+  if (!doc) {
+    ctx.diagnose("exit-codes", "cannot read " + doc_path.string());
+  } else {
+    for (const auto& r : rows) {
+      const std::string want = "| `" + r.tool + "` | " +
+                               std::to_string(r.code) + " | `" + r.name +
+                               "` |";
+      if (doc->find(want) == std::string::npos) {
+        ctx.diagnose_at("exit-codes",
+                        "exit code " + r.tool + "/" + r.name + " (" +
+                            std::to_string(r.code) +
+                            ") has no row \"" + want +
+                            " ...\" in docs/static_analysis.md",
+                        "docs/static_analysis.md");
+      }
+    }
+  }
+
+  // The linter's own roster must be registered: every check in
+  // lint_checks() needs a bce_lint row with the matching code.
+  for (const auto& c : lint_checks()) {
+    const auto it = std::find_if(rows.begin(), rows.end(), [&](auto& r) {
+      return r.tool == "bce_lint" && r.name == "lint-" + std::string(c.name);
+    });
+    if (it == rows.end()) {
+      ctx.diagnose_at("exit-codes",
+                      "lint check \"" + std::string(c.name) + "\" (exit " +
+                          std::to_string(c.exit_code) +
+                          ") has no \"lint-" + c.name +
+                          "\" row in the kExitCodeRegistry",
+                      reg_rel);
+    } else if (it->code != c.exit_code) {
+      ctx.diagnose_at("exit-codes",
+                      reg_rel + ":" + std::to_string(it->line) +
+                          ": lint check \"" + c.name + "\" registered as " +
+                          std::to_string(it->code) + " but exits " +
+                          std::to_string(c.exit_code),
+                      reg_rel, it->line);
+    }
+  }
+}
+
+}  // namespace bce::lint

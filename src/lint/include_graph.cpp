@@ -1,0 +1,161 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "lint/source.hpp"
+
+namespace bce::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The frozen layer DAG. Key = path prefix (directory), value = rank;
+/// an include from rank R may only target ranks <= R.
+struct LayerEntry {
+  const char* prefix;
+  int rank;
+  const char* name;
+};
+
+constexpr LayerEntry kLayers[] = {
+    {"src/sim/", 0, "sim"},
+    {"src/host/", 1, "host"},
+    {"src/model/", 1, "model"},
+    {"src/client/", 2, "client"},
+    {"src/server/", 2, "server"},
+    {"src/core/", 3, "core"},
+    {"src/fleet/", 4, "fleet"},
+    {"src/lint/", 5, "lint"},
+    {"src/", 5, "src"},  // loose files directly under src/ (none today)
+    {"bench/", 6, "bench"},
+    {"tools/", 6, "tools"},
+    {"tests/", 6, "tests"},
+    {"examples/", 6, "examples"},
+};
+
+const LayerEntry* layer_of(const std::string& rel) {
+  for (const auto& l : kLayers) {
+    if (rel.rfind(l.prefix, 0) == 0) return &l;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int layer_rank(const std::string& rel_path) {
+  const LayerEntry* l = layer_of(rel_path);
+  return l != nullptr ? l->rank : -1;
+}
+
+std::string layer_name(const std::string& rel_path) {
+  const LayerEntry* l = layer_of(rel_path);
+  return l != nullptr ? l->name : "?";
+}
+
+IncludeGraph build_include_graph(const fs::path& root) {
+  IncludeGraph g;
+  std::set<std::string> known;
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+    for (auto& p : files_under(root / dir, {".hpp", ".cpp"})) {
+      files.push_back(std::move(p));
+    }
+  }
+  for (const auto& p : files) {
+    known.insert(fs::relative(p, root).generic_string());
+  }
+  for (const auto& p : files) {
+    const std::string rel = fs::relative(p, root).generic_string();
+    auto& out = g.edges[rel];  // every scanned file is a node
+    const auto text = read_file(p);
+    if (!text) continue;
+    std::istringstream lines(*text);
+    std::string line;
+    for (int ln = 1; std::getline(lines, line); ++ln) {
+      std::size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos || line[i] != '#') continue;
+      i = line.find_first_not_of(" \t", i + 1);
+      if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
+        continue;
+      }
+      const std::size_t open = line.find('"', i + 7);
+      if (open == std::string::npos) continue;
+      const std::size_t close = line.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string inc = line.substr(open + 1, close - open - 1);
+      // Resolution order mirrors the compiler's: the includer's own
+      // directory first, then the -I roots (src/, then the repo root).
+      const fs::path own =
+          fs::path(rel).parent_path() / fs::path(inc);
+      std::string resolved;
+      for (const std::string& cand :
+           {own.lexically_normal().generic_string(),
+            (fs::path("src") / inc).lexically_normal().generic_string(),
+            fs::path(inc).lexically_normal().generic_string()}) {
+        if (known.count(cand) != 0) {
+          resolved = cand;
+          break;
+        }
+      }
+      if (resolved.empty() || resolved == rel) continue;
+      out.push_back({resolved, ln});
+    }
+  }
+  return g;
+}
+
+namespace {
+
+enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+
+bool dfs_cycle(const IncludeGraph& g, const std::string& node,
+               std::map<std::string, Mark>& marks,
+               std::vector<std::string>& stack,
+               std::vector<std::string>& cycle) {
+  marks[node] = Mark::kGray;
+  stack.push_back(node);
+  const auto it = g.edges.find(node);
+  if (it != g.edges.end()) {
+    for (const auto& e : it->second) {
+      const Mark m = marks.count(e.target) != 0 ? marks.at(e.target)
+                                                : Mark::kWhite;
+      if (m == Mark::kGray) {
+        // Found: slice the stack from the first occurrence of the target.
+        const auto first =
+            std::find(stack.begin(), stack.end(), e.target);
+        cycle.assign(first, stack.end());
+        cycle.push_back(e.target);
+        return true;
+      }
+      if (m == Mark::kWhite &&
+          dfs_cycle(g, e.target, marks, stack, cycle)) {
+        return true;
+      }
+    }
+  }
+  stack.pop_back();
+  marks[node] = Mark::kBlack;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> find_include_cycle(const IncludeGraph& g) {
+  std::map<std::string, Mark> marks;
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+  for (const auto& [node, edges] : g.edges) {
+    (void)edges;
+    const Mark m = marks.count(node) != 0 ? marks.at(node) : Mark::kWhite;
+    if (m == Mark::kWhite && dfs_cycle(g, node, marks, stack, cycle)) {
+      return cycle;
+    }
+  }
+  return {};
+}
+
+}  // namespace bce::lint

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file include_graph.hpp
+/// The project include graph and the layer DAG it must respect
+/// (docs/static_analysis.md, `bce_lint --check layering`).
+///
+/// Nodes are repo-relative paths ("src/core/emulator.hpp"); edges are
+/// resolved `#include "..."` directives (system includes and unresolved
+/// paths are ignored). The layer map freezes the architecture:
+///
+///   sim → {host, model} → {client, server} → core → fleet → lint
+///
+/// with bench/, tools/, tests/ and examples/ on top. An include may point
+/// sideways (same layer) or down, never up, and the file-level graph must
+/// be acyclic.
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bce::lint {
+
+struct IncludeEdge {
+  std::string target;  ///< repo-relative includee
+  int line = 0;        ///< 1-based line of the #include directive
+};
+
+struct IncludeGraph {
+  /// includer (repo-relative) -> resolved project includes, in file order.
+  std::map<std::string, std::vector<IncludeEdge>> edges;
+};
+
+/// Scan \p root's source directories (src/, tools/, tests/, bench/,
+/// examples/) and resolve every quoted include against (1) the includer's
+/// own directory, (2) root/src, (3) root. Unresolvable includes are
+/// dropped: only edges between files that exist in the tree matter.
+IncludeGraph build_include_graph(const std::filesystem::path& root);
+
+/// Layer rank of a repo-relative path per the frozen DAG; higher ranks
+/// may include lower ones. Returns -1 for a directory the layer map does
+/// not know (the layering check turns that into a finding, so new
+/// top-level code must be placed in the DAG explicitly).
+int layer_rank(const std::string& rel_path);
+
+/// Human label for a path's layer ("sim", "core", "tools", ...).
+std::string layer_name(const std::string& rel_path);
+
+/// First include cycle found (as the chain of repo-relative paths, first
+/// node repeated at the end), or empty when the graph is acyclic.
+std::vector<std::string> find_include_cycle(const IncludeGraph& g);
+
+}  // namespace bce::lint

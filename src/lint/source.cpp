@@ -1,0 +1,281 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace bce::lint {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<fs::path> files_under(const fs::path& dir,
+                                  const std::vector<std::string>& exts) {
+  std::vector<fs::path> out;
+  if (!fs::is_directory(dir)) return out;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (std::find(exts.begin(), exts.end(), ext) != exts.end()) {
+      out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the `"` at \p i opens a raw string literal: it is preceded
+/// by `R` with an optional encoding prefix (u8R, uR, UR, LR) that is not
+/// itself the tail of a longer identifier (`FooR"..."` lexes as an
+/// identifier followed by an ordinary string).
+bool opens_raw_string(const std::string& in, std::size_t i) {
+  if (i == 0 || in[i - 1] != 'R') return false;
+  std::size_t j = i - 1;  // index of the 'R'
+  if (j >= 2 && in[j - 2] == 'u' && in[j - 1] == '8') {
+    j -= 2;
+  } else if (j >= 1 &&
+             (in[j - 1] == 'u' || in[j - 1] == 'U' || in[j - 1] == 'L')) {
+    j -= 1;
+  }
+  return j == 0 || !is_ident_char(in[j - 1]);
+}
+
+/// Blank the raw string whose opening `"` is at \p i (newlines kept);
+/// returns the index of the closing `"` (or the last index when
+/// unterminated, blanking to end of input).
+std::size_t blank_raw_string(std::string& out, std::size_t i) {
+  // Opening sequence: "delim( — the delimiter is at most 16 chars and
+  // cannot contain parens, backslash, or whitespace.
+  std::size_t d = i + 1;
+  while (d < out.size() && out[d] != '(' && out[d] != '\n' &&
+         d - i <= 17) {
+    ++d;
+  }
+  const std::string closer =
+      ")" + out.substr(i + 1, d - i - 1) + "\"";
+  const std::size_t close = out.find(closer, d);
+  const std::size_t end =
+      close == std::string::npos ? out.size() : close + closer.size();
+  for (std::size_t k = i; k < end; ++k) {
+    if (out[k] != '\n') out[k] = ' ';
+  }
+  return end == 0 ? 0 : end - 1;
+}
+
+std::string strip_impl(const std::string& in, bool keep_literals) {
+  std::string out = in;
+  enum class St : std::uint8_t { kCode, kLine, kBlock, kStr, kChar };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+        } else if (c == '"' && opens_raw_string(out, i)) {
+          if (keep_literals) {
+            // Skip to the closing quote without touching the contents.
+            std::size_t d = i + 1;
+            while (d < out.size() && out[d] != '(' && out[d] != '\n' &&
+                   d - i <= 17) {
+              ++d;
+            }
+            const std::string closer =
+                ")" + out.substr(i + 1, d - i - 1) + "\"";
+            const std::size_t close = out.find(closer, d);
+            i = close == std::string::npos ? out.size() - 1
+                                           : close + closer.size() - 1;
+          } else {
+            i = blank_raw_string(out, i);
+          }
+        } else if (c == '"') {
+          st = St::kStr;
+          if (!keep_literals) out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          if (!keep_literals) out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') st = St::kCode;
+        else out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out[i + 1] = ' ';
+        }
+        if (c != '\n') out[i] = ' ';
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          if (!keep_literals) {
+            out[i] = ' ';
+            if (next != '\n' && i + 1 < out.size()) out[i + 1] = ' ';
+          }
+          if (i + 1 < out.size()) ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          if (!keep_literals) out[i] = ' ';
+        } else if (c != '\n' && !keep_literals) {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          if (!keep_literals) {
+            out[i] = ' ';
+            if (next != '\n' && i + 1 < out.size()) out[i + 1] = ' ';
+          }
+          if (i + 1 < out.size()) ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          if (!keep_literals) out[i] = ' ';
+        } else if (c != '\n' && !keep_literals) {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string strip_noncode(const std::string& in) {
+  return strip_impl(in, /*keep_literals=*/false);
+}
+
+std::string strip_comments(const std::string& in) {
+  return strip_impl(in, /*keep_literals=*/true);
+}
+
+SourceFile::SourceFile(std::string name, std::string text)
+    : name_(std::move(name)), raw_(std::move(text)) {}
+
+std::optional<SourceFile> SourceFile::load(const fs::path& path,
+                                           std::string name) {
+  auto text = read_file(path);
+  if (!text) return std::nullopt;
+  return SourceFile(std::move(name), *std::move(text));
+}
+
+const std::string& SourceFile::stripped() const {
+  if (!stripped_) stripped_ = strip_noncode(raw_);
+  return *stripped_;
+}
+
+const std::vector<Token>& SourceFile::tokens() const {
+  if (tokens_) return *tokens_;
+  const std::string& code = stripped();
+  std::vector<Token> toks;
+  int line = 1;
+  int col = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++col;
+      ++i;
+      continue;
+    }
+    Token t;
+    t.line = line;
+    t.col = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t end = i;
+      while (end < code.size() && is_ident_char(code[end])) ++end;
+      t.kind = Token::Kind::kIdentifier;
+      t.text = code.substr(i, end - i);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = i;
+      while (end < code.size() &&
+             (is_ident_char(code[end]) || code[end] == '.')) {
+        ++end;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = code.substr(i, end - i);
+    } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      t.kind = Token::Kind::kPunct;
+      t.text = "::";
+    } else {
+      t.kind = Token::Kind::kPunct;
+      t.text = std::string(1, c);
+    }
+    col += static_cast<int>(t.text.size());
+    i += t.text.size();
+    toks.push_back(std::move(t));
+  }
+  tokens_ = std::move(toks);
+  return *tokens_;
+}
+
+void SourceFile::build_line_index() const {
+  if (!line_starts_.empty()) return;
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    if (raw_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+std::string_view SourceFile::line_text(int line) const {
+  build_line_index();
+  if (line < 1 || static_cast<std::size_t>(line) > line_starts_.size()) {
+    return {};
+  }
+  const std::size_t begin = line_starts_[static_cast<std::size_t>(line - 1)];
+  std::size_t end = static_cast<std::size_t>(line) < line_starts_.size()
+                        ? line_starts_[static_cast<std::size_t>(line)] - 1
+                        : raw_.size();
+  if (end > begin && raw_[end - 1] == '\r') --end;
+  return std::string_view(raw_).substr(begin, end - begin);
+}
+
+bool SourceFile::line_has_allow_marker(int line,
+                                       std::string_view check) const {
+  const std::string marker =
+      "bce-lint: allow(" + std::string(check) + ")";
+  return line_text(line).find(marker) != std::string_view::npos;
+}
+
+std::string SourceFile::allow_reason(int line, std::string_view check) const {
+  const std::string marker =
+      "bce-lint: allow(" + std::string(check) + "):";
+  const std::string_view text = line_text(line);
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) return {};
+  std::string_view reason = text.substr(pos + marker.size());
+  while (!reason.empty() &&
+         std::isspace(static_cast<unsigned char>(reason.front())) != 0) {
+    reason.remove_prefix(1);
+  }
+  while (!reason.empty() &&
+         std::isspace(static_cast<unsigned char>(reason.back())) != 0) {
+    reason.remove_suffix(1);
+  }
+  return std::string(reason);
+}
+
+}  // namespace bce::lint

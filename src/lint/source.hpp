@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file source.hpp
+/// Lexical layer of the static-analysis library (docs/static_analysis.md).
+/// A SourceFile owns one file's text and lazily derives the two views the
+/// checks consume:
+///
+///  * stripped() — comments, string literals (including raw strings,
+///    which the pre-library stripper silently corrupted) and character
+///    literals replaced by spaces, newlines preserved, so symbol scans
+///    only ever see code;
+///  * tokens() — a flat token stream over the stripped text with exact
+///    1-based line:col positions, so checks can match token *sequences*
+///    (`steady_clock :: now`, `for ( ... : name )`) instead of
+///    substrings, and diagnostics can point at the offending token.
+///
+/// The raw text stays available per line for the one thing that must see
+/// comments: the `// bce-lint: allow(<check>): <reason>` escape hatch.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bce::lint {
+
+/// Whole-file read; nullopt when unreadable.
+std::optional<std::string> read_file(const std::filesystem::path& p);
+
+/// All regular files under \p dir with one of \p exts, sorted for
+/// deterministic diagnostics. Empty when the directory does not exist.
+std::vector<std::filesystem::path> files_under(
+    const std::filesystem::path& dir, const std::vector<std::string>& exts);
+
+/// Replace comments, string and char literals with spaces so symbol
+/// matching only sees code. Newlines survive (positions stay exact), and
+/// raw string literals R"delim(...)delim" are blanked as a unit — the
+/// `//` or `"` they may contain never corrupts the scan state.
+std::string strip_noncode(const std::string& in);
+
+/// Replace only comments with spaces, preserving string and character
+/// literals (for parsers that must read literal values, e.g. the
+/// exit-code registry parser). Raw-string aware like strip_noncode.
+std::string strip_comments(const std::string& in);
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+    kNumber,      ///< leading digit, consumes alnum/_/. (good enough to lex)
+    kPunct,       ///< "::" as one token; any other single non-space char
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 1;  ///< 1-based
+  int col = 1;   ///< 1-based, in bytes
+};
+
+class SourceFile {
+ public:
+  /// \p name is the diagnostic label (conventionally the repo-relative
+  /// path with forward slashes).
+  SourceFile(std::string name, std::string text);
+
+  /// Load from disk; nullopt when unreadable.
+  static std::optional<SourceFile> load(const std::filesystem::path& path,
+                                        std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& raw() const { return raw_; }
+
+  /// Lazily built; cached after the first call.
+  [[nodiscard]] const std::string& stripped() const;
+  [[nodiscard]] const std::vector<Token>& tokens() const;
+
+  /// Raw text of 1-based line \p line (no trailing newline); empty view
+  /// when out of range.
+  [[nodiscard]] std::string_view line_text(int line) const;
+
+  /// True when \p line carries the inline escape hatch
+  /// `bce-lint: allow(<check>)` for \p check (in a comment by
+  /// convention; the marker is searched in the raw line).
+  [[nodiscard]] bool line_has_allow_marker(int line,
+                                           std::string_view check) const;
+
+  /// The reason text after `allow(<check>):` on \p line, trimmed; empty
+  /// when there is no marker or no reason was given. Every allow must
+  /// carry one — the determinism check rejects bare markers.
+  [[nodiscard]] std::string allow_reason(int line,
+                                         std::string_view check) const;
+
+ private:
+  void build_line_index() const;
+
+  std::string name_;
+  std::string raw_;
+  mutable std::optional<std::string> stripped_;
+  mutable std::optional<std::vector<Token>> tokens_;
+  mutable std::vector<std::size_t> line_starts_;  ///< byte offset per line
+};
+
+}  // namespace bce::lint

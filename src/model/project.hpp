@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "host/availability.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "model/job.hpp"
 
 namespace bce {

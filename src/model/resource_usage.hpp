@@ -7,7 +7,7 @@
 /// restriction.
 
 #include "host/host_info.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 
 namespace bce {
 

@@ -6,6 +6,7 @@
 /// an emulation horizon, and a root seed. The paper's four evaluation
 /// scenarios (§5) are provided as factories in core/paper_scenarios.hpp.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

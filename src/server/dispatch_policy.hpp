@@ -47,7 +47,7 @@
 
 #include "client/policy.hpp"
 #include "client/policy_registry.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "model/job.hpp"
 #include "server/request.hpp"
 #include "sim/types.hpp"

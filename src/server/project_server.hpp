@@ -19,6 +19,7 @@
 /// server_policy_registry(); the default SD_PAPER reproduces the paper's
 /// fill loop byte-identically.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

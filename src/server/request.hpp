@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "host/device_status.hpp"
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "model/job.hpp"
 #include "sim/types.hpp"
 

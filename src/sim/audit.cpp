@@ -1,22 +1,13 @@
 #include "sim/audit.hpp"
 
-#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 
-#include "client/accounting.hpp"
-#include "client/rr_sim.hpp"
-#include "core/metrics.hpp"
-#include "host/host_info.hpp"
-#include "host/preferences.hpp"
-#include "server/request.hpp"
-
 namespace bce {
 
-namespace {
+namespace detail {
 
-__attribute__((format(printf, 1, 2)))
-std::string describe(const char* fmt, ...) {
+std::string audit_format(const char* fmt, ...) {
   char buf[256];
   va_list ap;
   va_start(ap, fmt);
@@ -25,75 +16,16 @@ std::string describe(const char* fmt, ...) {
   return buf;
 }
 
-}  // namespace
+}  // namespace detail
 
 void InvariantAuditor::fail(const std::string& msg) { throw AuditFailure(msg); }
 
-void InvariantAuditor::check_debt_sums(
-    const Accounting& acct, const std::vector<PerProc<bool>>& runnable) {
-  const std::size_t n = acct.num_projects();
-
-  // One flavour at a time: short-term gated by "runnable now", long-term
-  // by capability. Immediately after Accounting::charge each flavour's
-  // debts are mean-centered over its eligible set, so the eligible sum is
-  // zero up to FP noise — unless a debt sits at the cap, where clamping
-  // deliberately breaks exactness (skip the type then, as BOINC accepts).
-  const auto check_flavour = [&](const char* label, auto&& debt_of,
-                                 auto&& eligible) {
-    for (const auto t : kAllProcTypes) {
-      const double cap = acct.debt_cap(t);
-      if (cap <= 0.0) continue;  // host has no instances of this type
-      double sum = 0.0;
-      std::size_t n_eligible = 0;
-      bool clamped = false;
-      for (std::size_t p = 0; p < n; ++p) {
-        const auto pid = static_cast<ProjectId>(p);
-        if (!eligible(p, t)) continue;
-        const double d = debt_of(pid, t);
-        if (std::fabs(d) >= cap * (1.0 - 1e-9)) clamped = true;
-        sum += d;
-        ++n_eligible;
-      }
-      if (n_eligible == 0 || clamped) continue;
-      const double tol = 1e-6 * cap + 1e-9;
-      if (std::fabs(sum) > tol) {
-        fail(describe("%s debts for %s sum to %g across %zu eligible "
-                      "projects (|sum| > %g; debts must center on zero)",
-                      label, proc_name(t), sum, n_eligible, tol));
-      }
-    }
-  };
-
-  check_flavour(
-      "short-term",
-      [&](ProjectId p, ProcType t) { return acct.debt(p, t); },
-      [&](std::size_t p, ProcType t) { return runnable[p][t]; });
-  check_flavour(
-      "long-term",
-      [&](ProjectId p, ProcType t) { return acct.long_term_debt(p, t); },
-      [&](std::size_t p, ProcType t) {
-        return acct.capable(static_cast<ProjectId>(p), t);
-      });
-  ++checks_run_;
-}
-
-void InvariantAuditor::check_rec_nonneg(const Accounting& acct) {
-  for (std::size_t p = 0; p < acct.num_projects(); ++p) {
-    const double rec = acct.rec(static_cast<ProjectId>(p));
-    if (!(rec >= 0.0)) {  // also catches NaN
-      fail(describe("REC(%zu) = %g; recent-estimated-credit is a decaying "
-                    "average of non-negative FLOPs and cannot go negative",
-                    p, rec));
-    }
-  }
-  ++checks_run_;
-}
-
 void InvariantAuditor::check_event_monotonic(SimTime at) {
   if (at + kFpEpsilon < last_event_at_) {
-    fail(describe("event queue popped t=%.6f after t=%.6f; event "
-                  "timestamps must be monotonic",
-                  at, last_event_at_));
+    fail(detail::audit_format(
+        "event queue popped t=%.6f after t=%.6f; event "
+        "timestamps must be monotonic",
+        at, last_event_at_));
   }
   if (at > last_event_at_) last_event_at_ = at;
   ++checks_run_;
@@ -101,10 +33,11 @@ void InvariantAuditor::check_event_monotonic(SimTime at) {
 
 void InvariantAuditor::check_state_version(std::uint64_t version) {
   if (has_version_ && version < last_state_version_) {
-    fail(describe("RR-sim state_version regressed: %llu after %llu; a "
-                  "stale simulation could satisfy a newer state",
-                  static_cast<unsigned long long>(version),
-                  static_cast<unsigned long long>(last_state_version_)));
+    fail(detail::audit_format(
+        "RR-sim state_version regressed: %llu after %llu; a "
+        "stale simulation could satisfy a newer state",
+        static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(last_state_version_)));
   }
   last_state_version_ = version;
   has_version_ = true;
@@ -114,103 +47,13 @@ void InvariantAuditor::check_state_version(std::uint64_t version) {
 void InvariantAuditor::check_cache_not_stale(std::uint64_t cached_version,
                                              std::uint64_t state_version) {
   if (cached_version > state_version) {
-    fail(describe("RR-sim memo is from a newer state than the caller: "
-                  "cached version %llu > state_version %llu; a savestate "
-                  "restore rewound the version without invalidating the "
-                  "memo",
-                  static_cast<unsigned long long>(cached_version),
-                  static_cast<unsigned long long>(state_version)));
-  }
-  ++checks_run_;
-}
-
-void InvariantAuditor::check_rr_output(const RrSimOutput& rr,
-                                       const HostInfo& host,
-                                       const Preferences& prefs, SimTime now) {
-  if (rr.span < 0.0) fail(describe("RR-sim span = %g < 0", rr.span));
-  for (const auto t : kAllProcTypes) {
-    const double cap = host.count[t];
-    if (cap <= 0.0) continue;
-    const char* tn = proc_name(t);
-    if (rr.shortfall[t] < -kFpEpsilon) {
-      fail(describe("SHORTFALL(%s) = %g < 0", tn, rr.shortfall[t]));
-    }
-    if (rr.shortfall_min[t] < -kFpEpsilon) {
-      fail(describe("SHORTFALL_min(%s) = %g < 0", tn, rr.shortfall_min[t]));
-    }
-    if (rr.saturated[t] < -kFpEpsilon ||
-        rr.saturated[t] > rr.span + kFpEpsilon) {
-      fail(describe("SAT(%s) = %g outside [0, span=%g]", tn, rr.saturated[t],
-                    rr.span));
-    }
-    if (rr.idle_instances_now[t] < -kFpEpsilon ||
-        rr.idle_instances_now[t] > cap + kFpEpsilon) {
-      fail(describe("idle instances now (%s) = %g outside [0, %g]", tn,
-                    rr.idle_instances_now[t], cap));
-    }
-    // Capacity conservation over the work-buffer window [now, now +
-    // max_queue]: every instance-second is either busy or counted in the
-    // shortfall, so the two integrals sum to the window's capacity.
-    const double window_cap = cap * prefs.max_queue;
-    const double got = rr.busy_inst_seconds[t] + rr.shortfall[t];
-    const double tol = 1e-6 * window_cap + 1e-6;
-    if (std::fabs(got - window_cap) > tol) {
-      fail(describe("busy+idle of %s = %g over [%g, %g+max_queue] but "
-                    "window capacity is %g; instance-seconds must conserve",
-                    tn, got, now, now, window_cap));
-    }
-  }
-  ++checks_run_;
-}
-
-void InvariantAuditor::check_fetch_decision(const WorkRequest& req,
-                                            const HostInfo& host) {
-  for (const auto t : kAllProcTypes) {
-    const char* tn = proc_name(t);
-    if (req.req_seconds[t] < 0.0 || req.req_instances[t] < 0.0 ||
-        req.est_delay[t] < 0.0) {
-      fail(describe("work request for %s is negative (seconds=%g, "
-                    "instances=%g, est_delay=%g)",
-                    tn, req.req_seconds[t], req.req_instances[t],
-                    req.est_delay[t]));
-    }
-    if (host.count[t] == 0 &&
-        (req.req_seconds[t] > 0.0 || req.req_instances[t] > 0.0)) {
-      fail(describe("work request asks for %s but the host has no %s "
-                    "instances",
-                    tn, tn));
-    }
-  }
-  if (!(req.duration_correction > 0.0)) {  // also catches NaN
-    fail(describe("duration correction factor = %g; must be positive",
-                  req.duration_correction));
-  }
-  ++checks_run_;
-}
-
-void InvariantAuditor::check_metrics(const Metrics& m) {
-  const double rel = 1e-9;
-  if (!std::isfinite(m.available_flops) || m.available_flops < 0.0) {
-    fail(describe("available FLOPs = %g < 0", m.available_flops));
-  }
-  // No upper bound against available_flops: the scheduler may briefly
-  // over-commit instances (assign_slot's slot = -1 path) and every
-  // running job progresses at full rate, so busy work can legitimately
-  // exceed nominal capacity by the over-committed fraction.
-  if (!std::isfinite(m.used_flops) || m.used_flops < 0.0) {
-    fail(describe("used FLOPs = %g; must be finite and non-negative",
-                  m.used_flops));
-  }
-  if (m.wasted_flops < 0.0 ||
-      m.wasted_flops > m.used_flops * (1.0 + rel) + 1.0) {
-    fail(describe("wasted FLOPs = %g outside [0, used=%g]; waste is a "
-                  "subset of work performed",
-                  m.wasted_flops, m.used_flops));
-  }
-  if (m.failure_wasted_flops < 0.0 ||
-      m.failure_wasted_flops > m.wasted_flops * (1.0 + rel) + 1.0) {
-    fail(describe("failure-wasted FLOPs = %g outside [0, wasted=%g]",
-                  m.failure_wasted_flops, m.wasted_flops));
+    fail(detail::audit_format(
+        "RR-sim memo is from a newer state than the caller: "
+        "cached version %llu > state_version %llu; a savestate "
+        "restore rewound the version without invalidating the "
+        "memo",
+        static_cast<unsigned long long>(cached_version),
+        static_cast<unsigned long long>(state_version)));
   }
   ++checks_run_;
 }

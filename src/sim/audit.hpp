@@ -35,17 +35,31 @@
 #include <string>
 #include <vector>
 
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "sim/types.hpp"
 
 namespace bce {
 
+// The auditor's interface lives at the bottom of the layer DAG so the
+// event kernel (sim/event_queue.hpp) can hold a pointer to it; only
+// forward declarations of the audited types appear here. Each check's
+// definition lives beside the types it inspects — the primitive checks
+// in sim/audit.cpp, the client-layer ones in client/audit_checks.cpp,
+// the Metrics one in core/audit_checks.cpp — so the include graph points
+// strictly downwards (`bce_lint --check layering`).
 class Accounting;
 struct HostInfo;
 struct Metrics;
 struct Preferences;
 struct RrSimOutput;
 struct WorkRequest;
+
+namespace detail {
+/// printf-style formatter for audit diagnostics (defined in sim/audit.cpp,
+/// shared by the per-layer check definitions).
+__attribute__((format(printf, 1, 2))) std::string audit_format(const char* fmt,
+                                                               ...);
+}  // namespace detail
 
 /// Thrown when a simulation invariant check fails. Carries a one-line
 /// description of the violated invariant and the offending values.

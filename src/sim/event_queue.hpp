@@ -15,6 +15,7 @@
 ///  * reserve() pre-sizes both the heap and the bitmap so steady-state
 ///    operation performs no allocations at all.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdarg>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

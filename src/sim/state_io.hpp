@@ -26,6 +26,7 @@
 ///    states as diffable JSONL, and the `savestate-docs` lint check uses it
 ///    to require every serialized field name to appear in docs/savestate.md.
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>

@@ -7,7 +7,7 @@
 #include <cstring>
 #include <ostream>
 
-#include "host/proc_type.hpp"
+#include "sim/proc_type.hpp"
 #include "sim/state_io.hpp"
 
 namespace bce {

@@ -20,6 +20,7 @@
 /// render synchronously and never stash the pointer.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

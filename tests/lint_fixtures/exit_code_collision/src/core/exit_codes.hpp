@@ -1,0 +1,36 @@
+#pragma once
+
+// Fixture: a registry whose "demo" tool assigns exit code 3 twice. Every
+// row (including both colliding ones) is documented in this fixture's
+// docs/static_analysis.md and the bce_lint roster is fully registered,
+// so the duplicate code is the only exit-codes finding.
+
+namespace bce {
+
+struct ExitCodeInfo {
+  const char* tool;
+  int code;
+  const char* name;
+  const char* meaning;
+};
+
+// clang-format off
+inline constexpr ExitCodeInfo kExitCodeRegistry[] = {
+    {"demo", 3, "first-error", "the original owner of code 3"},
+    {"demo", 3, "second-error", "collides with first-error"},
+
+    {"bce_lint", 1, "lint-usage", "bad command line or unreadable --root"},
+    {"bce_lint", 2, "lint-trace-docs", "undocumented or non-round-tripping TraceKind"},
+    {"bce_lint", 3, "lint-policy-docs", "registered policy missing from docs/policies.md"},
+    {"bce_lint", 4, "lint-logf", "raw Logger::logf call site outside the trace dispatcher"},
+    {"bce_lint", 5, "lint-scenarios", "shipped scenario fails to parse or validate"},
+    {"bce_lint", 6, "lint-iwyu", "header uses a std symbol without including its header"},
+    {"bce_lint", 7, "lint-savestate-docs", "serialized savestate field missing from docs/savestate.md"},
+    {"bce_lint", 8, "lint-fleet-docs", "fleet exit code or CLI flag missing from docs/fleet.md"},
+    {"bce_lint", 9, "lint-determinism", "nondeterminism source in src/ without an allow comment"},
+    {"bce_lint", 10, "lint-layering", "include cycle or upward include across the layer DAG"},
+    {"bce_lint", 11, "lint-exit-codes", "exit-code registry collision or undocumented exit code"},
+};
+// clang-format on
+
+}  // namespace bce

@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: one half of a deliberate include cycle (tick_a -> tick_b ->
+// tick_a). Both files sit in the same layer, so the only layering
+// finding is the cycle itself.
+
+#include "sim/tick_b.hpp"
+
+namespace bce_fixture {
+inline int tick_a() { return tick_b() + 1; }
+}  // namespace bce_fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+// Fixture: the other half of the cycle; see tick_a.hpp.
+
+#include "sim/tick_a.hpp"
+
+namespace bce_fixture {
+inline int tick_b();
+}  // namespace bce_fixture

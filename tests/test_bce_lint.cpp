@@ -117,6 +117,75 @@ TEST(BceLint, FirstFailingCheckDeterminesExitCode) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
+TEST(BceLint, NondeterminismSourceExits9) {
+  const LintRun r = run_lint("--root " + fixture("nondeterministic_source") +
+                             " --check determinism");
+  EXPECT_EQ(r.exit_code, 9) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: determinism: src/model/seed.hpp:15: "
+                          "nondeterminism source std::random_device"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, IncludeCycleExits10) {
+  const LintRun r = run_lint("--root " + fixture("layering_cycle") +
+                             " --check layering");
+  EXPECT_EQ(r.exit_code, 10) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: layering: include cycle: "
+                          "src/sim/tick_a.hpp -> src/sim/tick_b.hpp -> "
+                          "src/sim/tick_a.hpp"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, ExitCodeCollisionExits11) {
+  const LintRun r = run_lint("--root " + fixture("exit_code_collision") +
+                             " --check exit-codes");
+  EXPECT_EQ(r.exit_code, 11) << r.output;
+  EXPECT_EQ(r.lines, 1) << r.output;
+  EXPECT_NE(r.output.find("bce_lint: exit-codes: "
+                          "src/core/exit_codes.hpp:20: tool \"demo\" "
+                          "reuses exit code 3"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(BceLint, ListChecksShowsNameExitAndDescription) {
+  const LintRun r = run_lint("--list-checks");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.lines, 10) << r.output;
+  EXPECT_NE(r.output.find("trace-docs"), std::string::npos);
+  EXPECT_NE(r.output.find("exit 11"), std::string::npos);
+  EXPECT_NE(r.output.find("determinism"), std::string::npos);
+}
+
+TEST(BceLint, SarifRendersFindingsWithLocations) {
+  const LintRun r = run_lint("--root " + fixture("nondeterministic_source") +
+                             " --check determinism --format sarif");
+  EXPECT_EQ(r.exit_code, 9) << r.output;  // format never changes the code
+  EXPECT_NE(r.output.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"ruleId\": \"determinism\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"uri\": \"src/model/seed.hpp\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"startLine\": 15"), std::string::npos);
+}
+
+TEST(BceLint, SarifOnCleanTreeHasEmptyResults) {
+  const LintRun r = run_lint("--root " + std::string(BCE_SOURCE_DIR) +
+                             " --check layering --format sarif");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(r.output.find("\"ruleIndex\""), std::string::npos) << r.output;
+}
+
+TEST(BceLint, UnknownFormatIsAUsageError) {
+  const LintRun r = run_lint("--format yaml");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown format"), std::string::npos) << r.output;
+}
+
 TEST(BceLint, UnknownCheckIsAUsageError) {
   const LintRun r = run_lint("--check no_such_check");
   EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -1,0 +1,187 @@
+// In-process tests of the static-analysis engine (src/lint/): the
+// include graph and layer map, the new determinism / layering /
+// exit-codes checks against the fixtures under tests/lint_fixtures/,
+// and the SARIF renderer's structure. The CLI surface (exit codes,
+// byte-exact diagnostics) is pinned separately by test_bce_lint.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/exit_codes.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/include_graph.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace bce::lint;
+
+fs::path repo_root() { return fs::path(BCE_SOURCE_DIR); }
+
+fs::path fixture(const std::string& name) {
+  return repo_root() / "tests" / "lint_fixtures" / name;
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(LintRegistry, ChecksMatchExitCodeContract) {
+  const auto checks = lint_checks();
+  ASSERT_EQ(checks.size(), 10u);
+  // Contract order: exit codes 2..11, in sequence.
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    EXPECT_EQ(checks[i].exit_code, static_cast<int>(i) + 2)
+        << checks[i].name;
+  }
+  EXPECT_STREQ(checks.front().name, "trace-docs");
+  EXPECT_STREQ(checks.back().name, "exit-codes");
+  EXPECT_EQ(find_check("determinism")->exit_code, bce::kLintExitDeterminism);
+  EXPECT_EQ(find_check("no-such-check"), nullptr);
+}
+
+// ---- include graph --------------------------------------------------------
+
+TEST(IncludeGraph, LayerRanksFollowTheFrozenDag) {
+  EXPECT_EQ(layer_rank("src/sim/event_queue.hpp"), 0);
+  EXPECT_EQ(layer_rank("src/host/host_info.hpp"),
+            layer_rank("src/model/project.hpp"));
+  EXPECT_LT(layer_rank("src/client/accounting.hpp"),
+            layer_rank("src/core/emulator.hpp"));
+  EXPECT_LT(layer_rank("src/core/emulator.hpp"),
+            layer_rank("src/fleet/supervisor.hpp"));
+  EXPECT_LT(layer_rank("src/fleet/supervisor.hpp"),
+            layer_rank("tools/bce_cli.cpp"));
+  EXPECT_EQ(layer_rank("somewhere/else.hpp"), -1);
+  EXPECT_EQ(layer_name("src/sim/rng.hpp"), "sim");
+  EXPECT_EQ(layer_name("somewhere/else.hpp"), "?");
+}
+
+TEST(IncludeGraph, RealTreeEdgesResolveAndPointDownOrSideways) {
+  const IncludeGraph g = build_include_graph(repo_root());
+  // The graph must actually see the tree.
+  EXPECT_GT(g.edges.size(), 50u);
+  const auto it = g.edges.find("src/core/emulator.cpp");
+  ASSERT_NE(it, g.edges.end());
+  EXPECT_FALSE(it->second.empty());
+  for (const auto& [node, edges] : g.edges) {
+    const int from = layer_rank(node);
+    EXPECT_GE(from, 0) << node << " is in no known layer";
+    for (const auto& e : edges) {
+      EXPECT_LE(layer_rank(e.target), from)
+          << node << " -> " << e.target << " points upward";
+      EXPECT_GT(e.line, 0);
+    }
+  }
+}
+
+TEST(IncludeGraph, RealTreeIsAcyclic) {
+  const IncludeGraph g = build_include_graph(repo_root());
+  const auto cycle = find_include_cycle(g);
+  std::string chain;
+  for (const auto& n : cycle) chain += n + " -> ";
+  EXPECT_TRUE(cycle.empty()) << chain;
+}
+
+TEST(IncludeGraph, DetectsTheFixtureCycle) {
+  const IncludeGraph g = build_include_graph(fixture("layering_cycle"));
+  const auto cycle = find_include_cycle(g);
+  ASSERT_GE(cycle.size(), 3u);
+  // The chain closes on itself.
+  EXPECT_EQ(cycle.front(), cycle.back());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), "src/sim/tick_a.hpp"),
+            cycle.end());
+}
+
+// ---- new checks, in process ----------------------------------------------
+
+TEST(DeterminismCheck, FlagsTheFixtureEntropySource) {
+  const LintResult r =
+      run_lint(fixture("nondeterministic_source"), {"determinism"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.exit_code, bce::kLintExitDeterminism);
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.check, "determinism");
+  EXPECT_EQ(d.file, "src/model/seed.hpp");
+  EXPECT_EQ(d.line, 15);
+  EXPECT_NE(d.message.find("std::random_device"), std::string::npos);
+}
+
+TEST(DeterminismCheck, RealTreeIsClean) {
+  const LintResult r = run_lint(repo_root(), {"determinism"});
+  std::string all;
+  for (const auto& d : r.diagnostics) all += d.message + "\n";
+  EXPECT_EQ(r.exit_code, 0) << all;
+}
+
+TEST(LayeringCheck, ReportsTheFixtureCycleChain) {
+  const LintResult r = run_lint(fixture("layering_cycle"), {"layering"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.exit_code, bce::kLintExitLayering);
+  EXPECT_NE(r.diagnostics[0].message.find(
+                "include cycle: src/sim/tick_a.hpp -> src/sim/tick_b.hpp "
+                "-> src/sim/tick_a.hpp"),
+            std::string::npos)
+      << r.diagnostics[0].message;
+}
+
+TEST(ExitCodesCheck, FlagsThePerToolCollision) {
+  const LintResult r =
+      run_lint(fixture("exit_code_collision"), {"exit-codes"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.exit_code, bce::kLintExitExitCodes);
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.file, "src/core/exit_codes.hpp");
+  EXPECT_GT(d.line, 0);
+  EXPECT_NE(d.message.find("reuses exit code 3"), std::string::npos);
+}
+
+TEST(ExitCodesCheck, RealRegistryIsCleanAndDocumented) {
+  const LintResult r = run_lint(repo_root(), {"exit-codes"});
+  std::string all;
+  for (const auto& d : r.diagnostics) all += d.message + "\n";
+  EXPECT_EQ(r.exit_code, 0) << all;
+}
+
+// ---- renderers ------------------------------------------------------------
+
+TEST(Renderers, TextFormatIsOneLinePerFinding) {
+  const LintResult r =
+      run_lint(fixture("nondeterministic_source"), {"determinism"});
+  const std::string text = format_text(r.diagnostics);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.rfind("bce_lint: determinism: ", 0), 0u);
+}
+
+TEST(Renderers, SarifCarriesRulesAndPhysicalLocations) {
+  const LintResult r =
+      run_lint(fixture("nondeterministic_source"), {"determinism"});
+  const std::string sarif =
+      format_sarif(r, fixture("nondeterministic_source"));
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"bce_lint\""), std::string::npos);
+  // One rule per check, present even when that check reported nothing.
+  for (const auto& c : lint_checks()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + std::string(c.name) + "\""),
+              std::string::npos)
+        << c.name;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"determinism\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/model/seed.hpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 15"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uriBaseId\": \"ROOTDIR\""), std::string::npos);
+}
+
+TEST(Renderers, SarifEscapesQuotesInMessages) {
+  LintResult r;
+  r.diagnostics.push_back(
+      {"layering", "path with \"quotes\" and \\backslash", "", 0, 0});
+  const std::string sarif = format_sarif(r, repo_root());
+  EXPECT_NE(sarif.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\\\\backslash"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the lexical layer of the static-analysis library
+// (src/lint/source.{hpp,cpp}): the raw-string-aware stripper — whose
+// predecessor silently corrupted its scan state on raw strings — the
+// tokenizer's exact positions, and the allow-marker escape hatch.
+
+#include "lint/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using bce::lint::SourceFile;
+using bce::lint::strip_comments;
+using bce::lint::strip_noncode;
+using bce::lint::Token;
+
+TEST(StripNoncode, BlanksCommentsAndLiterals) {
+  const std::string in =
+      "int x = 1; // trailing\n"
+      "/* block */ int y = 2;\n"
+      "const char* s = \"std::vector\"; char c = ':';\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_EQ(out.find("trailing"), std::string::npos);
+  EXPECT_EQ(out.find("block"), std::string::npos);
+  EXPECT_EQ(out.find("std::vector"), std::string::npos);
+  EXPECT_NE(out.find("int x = 1;"), std::string::npos);
+  EXPECT_NE(out.find("int y = 2;"), std::string::npos);
+  // Newlines survive so line numbers stay exact.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(in.begin(), in.end(), '\n'));
+}
+
+TEST(StripNoncode, RawStringWithQuoteAndSlashes) {
+  // Regression: the old stripper treated the " inside a raw string as the
+  // closing quote, flipped back to code state mid-literal, and then saw
+  // the // as a comment — corrupting everything after it on the line.
+  const std::string in =
+      "auto re = R\"(quote \" then // not a comment)\"; std::sort(v);\n"
+      "std::vector<int> w;\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_EQ(out.find("not a comment"), std::string::npos);
+  EXPECT_NE(out.find("std::sort"), std::string::npos)
+      << "code after the raw string must survive";
+  EXPECT_NE(out.find("std::vector"), std::string::npos);
+}
+
+TEST(StripNoncode, RawStringWithDelimiter) {
+  const std::string in =
+      "auto re = R\"xy(inner )\" not the end)xy\"; int z = 3;\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_EQ(out.find("inner"), std::string::npos);
+  EXPECT_EQ(out.find("not the end"), std::string::npos);
+  EXPECT_NE(out.find("int z = 3;"), std::string::npos);
+}
+
+TEST(StripNoncode, MultilineRawStringKeepsNewlines) {
+  const std::string in = "auto s = R\"(line1\nline2\n)\"; int a;\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+}
+
+TEST(StripNoncode, IdentifierEndingInRIsNotARawString) {
+  // FooR"..." lexes as identifier FooR then an ordinary string.
+  const std::string in = "auto x = FooR\"(y)\";\nint later = 1;\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_NE(out.find("FooR"), std::string::npos);
+  EXPECT_NE(out.find("int later = 1;"), std::string::npos);
+}
+
+TEST(StripNoncode, UnterminatedRawStringBlanksToEnd) {
+  const std::string in = "auto s = R\"(never closes\nint x;\n";
+  const std::string out = strip_noncode(in);
+  EXPECT_EQ(out.find("int x;"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(StripComments, KeepsLiteralsDropsComments) {
+  const std::string in =
+      "{\"tool\", 3, \"name\"}, // registry row\n";
+  const std::string out = strip_comments(in);
+  EXPECT_NE(out.find("\"tool\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\""), std::string::npos);
+  EXPECT_EQ(out.find("registry row"), std::string::npos);
+}
+
+TEST(Tokenizer, PositionsAreExact) {
+  SourceFile sf("test.cpp", "int a;\n  foo::bar(1);\n");
+  const auto& toks = sf.tokens();
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[1].col, 5);
+  // Line 2: "  foo::bar(1);"
+  EXPECT_EQ(toks[3].text, "foo");
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_EQ(toks[3].col, 3);
+  EXPECT_EQ(toks[4].text, "::");
+  EXPECT_EQ(toks[4].kind, Token::Kind::kPunct);
+  EXPECT_EQ(toks[4].col, 6);
+  EXPECT_EQ(toks[5].text, "bar");
+  EXPECT_EQ(toks[5].col, 8);
+  EXPECT_EQ(toks[7].text, "1");
+  EXPECT_EQ(toks[7].kind, Token::Kind::kNumber);
+}
+
+TEST(Tokenizer, CommentsAndStringsProduceNoTokens) {
+  SourceFile sf("t.cpp", "// steady_clock\nauto s = \"rand(\";\n");
+  for (const auto& t : sf.tokens()) {
+    EXPECT_NE(t.text, "steady_clock");
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(AllowMarker, DetectedWithReason) {
+  SourceFile sf("t.cpp",
+                "int a;\n"
+                "// bce-lint: allow(determinism): pacing only\n"
+                "clock_gettime(CLOCK_MONOTONIC, &ts);\n");
+  EXPECT_TRUE(sf.line_has_allow_marker(2, "determinism"));
+  EXPECT_FALSE(sf.line_has_allow_marker(3, "determinism"));
+  EXPECT_FALSE(sf.line_has_allow_marker(2, "layering"));
+  EXPECT_EQ(sf.allow_reason(2, "determinism"), "pacing only");
+}
+
+TEST(AllowMarker, BareMarkerHasEmptyReason) {
+  SourceFile sf("t.cpp", "x(); // bce-lint: allow(determinism)\n");
+  EXPECT_TRUE(sf.line_has_allow_marker(1, "determinism"));
+  EXPECT_EQ(sf.allow_reason(1, "determinism"), "");
+}
+
+TEST(LineText, OutOfRangeIsEmpty) {
+  SourceFile sf("t.cpp", "one\ntwo\n");
+  EXPECT_EQ(sf.line_text(1), "one");
+  EXPECT_EQ(sf.line_text(2), "two");
+  EXPECT_EQ(sf.line_text(0), "");
+  EXPECT_EQ(sf.line_text(99), "");
+}
+
+}  // namespace

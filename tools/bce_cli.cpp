@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/bce.hpp"
+#include "core/exit_codes.hpp"
 #include "server/dispatch_policy.hpp"
 #include "fleet/shard_worker.hpp"
 #include "fleet/supervisor.hpp"
@@ -140,7 +141,7 @@ struct CliOptions {
       "faults:  --faults off|light|heavy  --job-error R  --job-abort R\n"
       "         --crash-mtbf S  --crash-reboot S  --rpc-loss R\n"
       "         --rpc-timeout S  --transfer-error R  (see docs/faults.md)\n";
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 int cmd_list_policies() {
@@ -347,7 +348,7 @@ void print_metrics_row(Table& t, const std::string& label, const Metrics& m) {
 int savestate_exit_code(const SavestateError& e) {
   std::cerr << "error: " << e.what() << " [" << savestate_errc_name(e.code())
             << "]\n";
-  return 2 + static_cast<int>(e.code());
+  return kExitSavestateBase + static_cast<int>(e.code());
 }
 
 int cmd_run(const std::string& path, const CliOptions& o) {
@@ -678,11 +679,11 @@ int bisect_divergence(const Scenario& sc_a, const Scenario& sc_b,
       std::cerr << "bisect ANOMALY: outputs diverge but all " << n
                 << " checkpoint states are identical (divergence is after "
                 << "the last checkpoint)\n";
-      return 5;
+      return kExitDeterminismBisectAnomaly;
     }
     std::cerr << "bisect ANOMALY: runs produced " << a.frames.size()
               << " vs " << b.frames.size() << " checkpoints\n";
-    return 5;
+    return kExitDeterminismBisectAnomaly;
   }
   std::cerr << "first divergent checkpoint: " << (lo + 1) << "/"
             << kBisectSteps << " at day "
@@ -722,7 +723,7 @@ int cmd_determinism(const std::string& path, const CliOptions& o) {
     std::size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
     std::cerr << "determinism FAILED: reports diverge at byte " << i << "\n";
-    rc = 3;
+    rc = kExitDeterminismReportsDiverge;
   } else if (trace_a != trace_b) {
     // The figures of merit matched but a decision differed along the way:
     // point at the first diverging trace line for a one-command repro.
@@ -738,7 +739,7 @@ int cmd_determinism(const std::string& path, const CliOptions& o) {
                            '\n'));
     std::cerr << "determinism FAILED: decision traces diverge at byte " << i
               << " (trace line " << line << ")\n";
-    rc = 4;
+    rc = kExitDeterminismTracesDiverge;
   }
   if (rc == 0) {
     std::cout << "determinism OK: two runs byte-identical (report "

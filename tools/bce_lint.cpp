@@ -1,434 +1,46 @@
 /// \file bce_lint.cpp
-/// Project-specific invariant linter. Generic static analysis (clang-tidy,
-/// the warning set) cannot know BCE's own contracts; bce_lint enforces the
-/// ones that have silently drifted before:
-///
-///   trace-docs   every TraceKind has a registered machine-readable name,
-///                round-trips through trace_kind_from_name, and appears in
-///                docs/observability.md                          (exit 2)
-///   policy-docs  every policy registered in bce::policy_registry() or
-///                bce::server_policy_registry() appears in
-///                docs/policies.md                               (exit 3)
-///   logf         no raw Logger::logf call sites outside the trace
-///                dispatcher (decisions must emit TraceEvents)   (exit 4)
-///   scenarios    every file under scenarios/ parses and passes
-///                Scenario::validate                             (exit 5)
-///   iwyu         headers under src/ directly include the standard
-///                headers they use (include-what-you-use for a curated
-///                std symbol set)                                (exit 6)
-///   savestate-docs
-///                every field the savestate layer serializes appears in
-///                docs/savestate.md (inventory collected live from a
-///                faulted run with modeled transfers)            (exit 7)
-///   fleet-docs   every supervisor exit code and fleet CLI flag
-///                (bce::fleet_doc_tokens()) appears in
-///                docs/fleet.md                                  (exit 8)
+/// CLI driver for the project-specific static-analysis engine in
+/// src/lint/ (docs/static_analysis.md). Generic static analysis
+/// (clang-tidy, the warning set) cannot know BCE's own contracts; the
+/// lint library enforces the ones that have silently drifted before —
+/// doc inventories, raw logf call sites, scenario validity, header
+/// hygiene, determinism bans, the layer DAG, and the exit-code registry.
 ///
 /// Each finding prints one diagnostic line; the exit code is that of the
-/// first failing check in the order above (0 = clean, 1 = usage/IO error).
-/// Run as `bce_lint --root <repo>`; `--check NAME` restricts to one check
-/// (used by the test fixtures under tests/lint_fixtures/).
+/// first failing check in registry order (0 = clean, 1 = usage/IO
+/// error; see src/core/exit_codes.hpp for the full contract).
+///
+///   bce_lint --root <repo>                 run every check
+///   bce_lint --root <repo> --check NAME    restrict to one check
+///   bce_lint --list-checks                 name / exit code / description
+///   bce_lint --format sarif --out F        SARIF 2.1.0 for code scanning
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <exception>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <optional>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "client/policy_registry.hpp"
-#include "core/paper_scenarios.hpp"
-#include "server/dispatch_policy.hpp"
-#include "core/savestate.hpp"
-#include "core/scenario_io.hpp"
-#include "fleet/supervisor.hpp"
-#include "sim/fault.hpp"
-#include "sim/trace.hpp"
+#include "core/exit_codes.hpp"
+#include "lint/analyzer.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-int g_failures = 0;
-
-void diagnose(const char* check, const std::string& msg) {
-  std::printf("bce_lint: %s: %s\n", check, msg.c_str());
-  ++g_failures;
-}
-
-std::optional<std::string> read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// All regular files under \p dir with one of \p exts, sorted for
-/// deterministic diagnostics. Empty when the directory does not exist.
-std::vector<fs::path> files_under(const fs::path& dir,
-                                  const std::vector<std::string>& exts) {
-  std::vector<fs::path> out;
-  if (!fs::is_directory(dir)) return out;
-  for (const auto& e : fs::recursive_directory_iterator(dir)) {
-    if (!e.is_regular_file()) continue;
-    const std::string ext = e.path().extension().string();
-    if (std::find(exts.begin(), exts.end(), ext) != exts.end()) {
-      out.push_back(e.path());
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-// ---- trace-docs -----------------------------------------------------------
-
-int check_trace_docs(const fs::path& root) {
-  const int before = g_failures;
-  const fs::path doc_path = root / "docs" / "observability.md";
-  const auto doc = read_file(doc_path);
-  if (!doc) {
-    diagnose("trace-docs", "cannot read " + doc_path.string());
-    return g_failures - before;
-  }
-  for (std::size_t i = 0; i < bce::kNumTraceKinds; ++i) {
-    const auto k = static_cast<bce::TraceKind>(i);
-    const std::string name = bce::trace_kind_name(k);
-    if (name == "?") {
-      diagnose("trace-docs", "trace kind #" + std::to_string(i) +
-                                 " has no registered name");
-      continue;
-    }
-    bce::TraceKind back{};
-    if (!bce::trace_kind_from_name(name, &back) || back != k) {
-      diagnose("trace-docs", "trace kind name \"" + name +
-                                 "\" does not round-trip (duplicate name?)");
-    }
-    if (doc->find(name) == std::string::npos) {
-      diagnose("trace-docs", "trace kind \"" + name + "\" is missing from " +
-                                 doc_path.string());
-    }
-  }
-  return g_failures - before;
-}
-
-// ---- policy-docs ----------------------------------------------------------
-
-int check_policy_docs(const fs::path& root) {
-  const int before = g_failures;
-  const fs::path doc_path = root / "docs" / "policies.md";
-  const auto doc = read_file(doc_path);
-  if (!doc) {
-    diagnose("policy-docs", "cannot read " + doc_path.string());
-    return g_failures - before;
-  }
-  const auto require = [&](const bce::PolicyRegistryEntry& e) {
-    if (doc->find(e.name) == std::string::npos) {
-      diagnose("policy-docs", "registered policy \"" + e.name +
-                                  "\" is missing from " + doc_path.string());
-    }
-  };
-  for (const auto& e : bce::policy_registry().job_order_entries()) require(e);
-  for (const auto& e : bce::policy_registry().fetch_entries()) require(e);
-  for (const auto& e : bce::server_policy_registry().dispatch_entries()) {
-    require(e);
-  }
-  return g_failures - before;
-}
-
-// ---- logf -----------------------------------------------------------------
-
-int check_logf(const fs::path& root) {
-  const int before = g_failures;
-  // The only legitimate logf call site is the trace dispatcher's
-  // LoggerSink (sim/trace.cpp) plus the Logger's own declaration and
-  // definition. Everywhere else, decisions must emit typed TraceEvents.
-  const std::vector<std::string> allowed = {"sim/logger.hpp", "sim/logger.cpp",
-                                            "sim/trace.cpp"};
-  for (const auto& p : files_under(root / "src", {".hpp", ".cpp"})) {
-    const std::string rel =
-        fs::relative(p, root / "src").generic_string();
-    if (std::find(allowed.begin(), allowed.end(), rel) != allowed.end()) {
-      continue;
-    }
-    const auto text = read_file(p);
-    if (!text) continue;
-    std::istringstream lines(*text);
-    std::string line;
-    for (int ln = 1; std::getline(lines, line); ++ln) {
-      const auto pos = line.find("logf(");
-      // Match only call syntax (".logf(" / "->logf(" / bare "logf("),
-      // not identifiers that merely end in "logf".
-      if (pos != std::string::npos &&
-          (pos == 0 ||
-           !(std::isalnum(static_cast<unsigned char>(line[pos - 1])) != 0 ||
-             line[pos - 1] == '_' || line[pos - 1] == ':'))) {
-        diagnose("logf", "raw Logger::logf call at src/" + rel + ":" +
-                             std::to_string(ln) +
-                             " (emit a TraceEvent instead)");
-      }
-    }
-  }
-  return g_failures - before;
-}
-
-// ---- scenarios ------------------------------------------------------------
-
-int check_scenarios(const fs::path& root) {
-  const int before = g_failures;
-  const fs::path dir = root / "scenarios";
-  if (!fs::is_directory(dir)) {
-    diagnose("scenarios", "no scenarios/ directory under " + root.string());
-    return g_failures - before;
-  }
-  for (const auto& p : files_under(dir, {".txt"})) {
-    try {
-      const bce::Scenario sc = bce::load_scenario_file(p.string());
-      std::string err;
-      if (!sc.validate(&err)) {
-        diagnose("scenarios", p.filename().string() + ": " + err);
-      }
-    } catch (const std::exception& e) {
-      diagnose("scenarios", p.filename().string() + ": " + e.what());
-    }
-  }
-  return g_failures - before;
-}
-
-// ---- iwyu -----------------------------------------------------------------
-
-/// Replace comments, string and char literals with spaces so symbol
-/// matching only sees code.
-std::string strip_noncode(const std::string& in) {
-  std::string out = in;
-  enum class St { kCode, kLine, kBlock, kStr, kChar };
-  St st = St::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') st = St::kLine;
-        else if (c == '/' && next == '*') st = St::kBlock;
-        else if (c == '"') { st = St::kStr; out[i] = ' '; }
-        else if (c == '\'') { st = St::kChar; out[i] = ' '; }
-        break;
-      case St::kLine:
-        if (c == '\n') st = St::kCode;
-        else out[i] = ' ';
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') { st = St::kCode; out[i + 1] = ' '; }
-        if (c != '\n') out[i] = ' ';
-        break;
-      case St::kStr:
-        if (c == '\\') { out[i] = ' '; if (next != '\n') out[++i] = ' '; }
-        else if (c == '"') { st = St::kCode; out[i] = ' '; }
-        else if (c != '\n') out[i] = ' ';
-        break;
-      case St::kChar:
-        if (c == '\\') { out[i] = ' '; if (next != '\n') out[++i] = ' '; }
-        else if (c == '\'') { st = St::kCode; out[i] = ' '; }
-        else if (c != '\n') out[i] = ' ';
-        break;
-    }
-  }
-  return out;
-}
-
-int check_iwyu(const fs::path& root) {
-  const int before = g_failures;
-  // Curated symbol -> standard header map. Deliberately conservative:
-  // only symbols whose home header is unambiguous.
-  static const std::map<std::string, std::string> kHeaderOf = {
-      {"vector", "vector"},
-      {"string", "string"},
-      {"to_string", "string"},
-      {"array", "array"},
-      {"function", "functional"},
-      {"unique_ptr", "memory"},
-      {"shared_ptr", "memory"},
-      {"weak_ptr", "memory"},
-      {"make_unique", "memory"},
-      {"make_shared", "memory"},
-      {"optional", "optional"},
-      {"nullopt", "optional"},
-      {"mutex", "mutex"},
-      {"lock_guard", "mutex"},
-      {"scoped_lock", "mutex"},
-      {"unique_lock", "mutex"},
-      {"condition_variable", "condition_variable"},
-      {"map", "map"},
-      {"multimap", "map"},
-      {"unordered_map", "unordered_map"},
-      {"unordered_set", "unordered_set"},
-      {"priority_queue", "queue"},
-      {"queue", "queue"},
-      {"deque", "deque"},
-      {"thread", "thread"},
-      {"atomic", "atomic"},
-      {"runtime_error", "stdexcept"},
-      {"logic_error", "stdexcept"},
-      {"invalid_argument", "stdexcept"},
-      {"out_of_range", "stdexcept"},
-      {"domain_error", "stdexcept"},
-      {"ostringstream", "sstream"},
-      {"istringstream", "sstream"},
-      {"stringstream", "sstream"},
-      {"ofstream", "fstream"},
-      {"ifstream", "fstream"},
-      {"numeric_limits", "limits"},
-      {"sort", "algorithm"},
-      {"stable_sort", "algorithm"},
-      {"fill", "algorithm"},
-      {"find_if", "algorithm"},
-      {"lower_bound", "algorithm"},
-      {"upper_bound", "algorithm"},
-      {"min_element", "algorithm"},
-      {"max_element", "algorithm"},
-      {"accumulate", "numeric"},
-      {"move", "utility"},
-      {"forward", "utility"},
-      {"swap", "utility"},
-      {"exchange", "utility"},
-      {"pair", "utility"},
-      {"int8_t", "cstdint"},
-      {"int16_t", "cstdint"},
-      {"int32_t", "cstdint"},
-      {"int64_t", "cstdint"},
-      {"uint8_t", "cstdint"},
-      {"uint16_t", "cstdint"},
-      {"uint32_t", "cstdint"},
-      {"uint64_t", "cstdint"},
-  };
-
-  for (const auto& p : files_under(root / "src", {".hpp"})) {
-    const auto raw = read_file(p);
-    if (!raw) continue;
-    const std::string code = strip_noncode(*raw);
-    const std::string rel = fs::relative(p, root).generic_string();
-    std::vector<std::string> missing;
-    for (std::size_t pos = code.find("std::"); pos != std::string::npos;
-         pos = code.find("std::", pos + 5)) {
-      std::size_t end = pos + 5;
-      while (end < code.size() &&
-             (std::isalnum(static_cast<unsigned char>(code[end])) != 0 ||
-              code[end] == '_')) {
-        ++end;
-      }
-      const std::string sym = code.substr(pos + 5, end - pos - 5);
-      const auto it = kHeaderOf.find(sym);
-      if (it == kHeaderOf.end()) continue;
-      const std::string inc = "#include <" + it->second + ">";
-      if (raw->find(inc) != std::string::npos) continue;
-      const std::string note = "uses std::" + sym + " but does not include <" +
-                               it->second + ">";
-      if (std::find(missing.begin(), missing.end(), note) == missing.end()) {
-        missing.push_back(note);
-      }
-    }
-    for (const auto& note : missing) diagnose("iwyu", rel + " " + note);
-  }
-  return g_failures - before;
-}
-
-// ---- savestate-docs -------------------------------------------------------
-
-int check_savestate_docs(const fs::path& root) {
-  const int before = g_failures;
-  const fs::path doc_path = root / "docs" / "savestate.md";
-  const auto doc = read_file(doc_path);
-  if (!doc) {
-    diagnose("savestate-docs", "cannot read " + doc_path.string());
-    return g_failures - before;
-  }
-  // The field inventory is collected live, not by source scanning: a
-  // faulted half-day run with modeled transfers is checkpointed at every
-  // inter-event boundary and the savestate_entries names are unioned, so
-  // fields only present mid-flight (pending transfers, retry backoffs,
-  // orphaned jobs) make it into the inventory too.
-  bce::Scenario sc = bce::paper_scenario2();
-  sc.duration = 0.5 * bce::kSecondsPerDay;
-  sc.faults = bce::FaultPlan::light();
-  sc.host.download_bandwidth_bps = 1e6;
-  for (auto& p : sc.projects) {
-    for (auto& jc : p.job_classes) jc.input_bytes = 5e7;
-  }
-  bce::EmulationOptions opt;
-  opt.record_timeline = true;  // covers the timeline.* span fields
-  bce::Emulator em(sc, opt);
-  std::set<std::string> names;
-  em.set_checkpoint_hook([&](bce::Emulator& e) {
-    for (const auto& entry : bce::savestate_entries(e)) {
-      names.insert(entry.name);
-    }
-  });
-  (void)em.run();
-  for (const auto& name : names) {
-    if (doc->find("`" + name + "`") == std::string::npos) {
-      diagnose("savestate-docs", "serialized field \"" + name +
-                                     "\" is missing from " +
-                                     doc_path.string());
-    }
-  }
-  return g_failures - before;
-}
-
-// ---- fleet-docs -----------------------------------------------------------
-
-int check_fleet_docs(const fs::path& root) {
-  const int before = g_failures;
-  const fs::path doc_path = root / "docs" / "fleet.md";
-  const auto doc = read_file(doc_path);
-  if (!doc) {
-    diagnose("fleet-docs", "cannot read " + doc_path.string());
-    return g_failures - before;
-  }
-  // The inventory comes from the supervisor itself, not a hand-kept
-  // list: adding a CLI flag or exit code to the fleet layer without
-  // mentioning it in docs/fleet.md fails this check.
-  for (const auto& token : bce::fleet_doc_tokens()) {
-    if (doc->find(token) == std::string::npos) {
-      diagnose("fleet-docs", "fleet token \"" + token +
-                                 "\" is missing from " + doc_path.string());
-    }
-  }
-  return g_failures - before;
-}
-
-// ---- driver ---------------------------------------------------------------
-
-struct Check {
-  const char* name;
-  int exit_code;
-  int (*run)(const fs::path&);
-};
-
-constexpr int kUsageError = 1;
-
-const Check kChecks[] = {
-    {"trace-docs", 2, check_trace_docs},
-    {"policy-docs", 3, check_policy_docs},
-    {"logf", 4, check_logf},
-    {"scenarios", 5, check_scenarios},
-    {"iwyu", 6, check_iwyu},
-    {"savestate-docs", 7, check_savestate_docs},
-    {"fleet-docs", 8, check_fleet_docs},
-};
-
 int usage() {
   std::fprintf(stderr,
                "usage: bce_lint [--root DIR] [--check NAME]...\n"
                "checks:");
-  for (const auto& c : kChecks) std::fprintf(stderr, " %s", c.name);
+  for (const auto& c : bce::lint::lint_checks()) {
+    std::fprintf(stderr, " %s", c.name);
+  }
   std::fprintf(stderr, "\n");
-  return kUsageError;
+  std::fprintf(stderr,
+               "other options: --format text|sarif, --out FILE, "
+               "--list-checks\n");
+  return bce::kLintExitUsage;
 }
 
 }  // namespace
@@ -436,19 +48,39 @@ int usage() {
 int main(int argc, char** argv) {
   fs::path root = ".";
   std::vector<std::string> selected;
+  std::string format = "text";
+  std::string out_path;
+  bool list_checks = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--check" && i + 1 < argc) {
       selected.emplace_back(argv[++i]);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "bce_lint: unknown format \"%s\"\n",
+                     format.c_str());
+        return usage();
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--list-checks") {
+      list_checks = true;
     } else {
       return usage();
     }
   }
+  if (list_checks) {
+    for (const auto& c : bce::lint::lint_checks()) {
+      std::printf("%-16s exit %-2d  %s\n", c.name, c.exit_code,
+                  c.description);
+    }
+    return 0;
+  }
   for (const auto& s : selected) {
-    if (std::none_of(std::begin(kChecks), std::end(kChecks),
-                     [&](const Check& c) { return s == c.name; })) {
+    if (bce::lint::find_check(s) == nullptr) {
       std::fprintf(stderr, "bce_lint: unknown check \"%s\"\n", s.c_str());
       return usage();
     }
@@ -456,17 +88,23 @@ int main(int argc, char** argv) {
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "bce_lint: not a directory: %s\n",
                  root.string().c_str());
-    return kUsageError;
+    return bce::kLintExitUsage;
   }
 
-  int exit_code = 0;
-  for (const auto& c : kChecks) {
-    if (!selected.empty() &&
-        std::find(selected.begin(), selected.end(), c.name) ==
-            selected.end()) {
-      continue;
+  const bce::lint::LintResult result = bce::lint::run_lint(root, selected);
+  const std::string rendered =
+      format == "sarif"
+          ? bce::lint::format_sarif(result, root)
+          : bce::lint::format_text(result.diagnostics);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bce_lint: cannot write %s\n", out_path.c_str());
+      return bce::kLintExitUsage;
     }
-    if (c.run(root) > 0 && exit_code == 0) exit_code = c.exit_code;
+    out << rendered;
   }
-  return exit_code;
+  return result.exit_code;
 }

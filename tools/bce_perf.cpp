@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -35,9 +36,11 @@
 #include <vector>
 
 #include "core/bce.hpp"
+#include "core/exit_codes.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/shard_worker.hpp"
 #include "fleet/supervisor.hpp"
+#include "lint/analyzer.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace {
@@ -432,6 +435,32 @@ double k_shard_checkpoint_resume(std::uint64_t reps) {
   return static_cast<double>(reps);
 }
 
+/// One full static-analysis pass over the repo (every bce_lint check
+/// in-process, src/lint/analyzer.hpp). Items are lint passes. The repo
+/// root is found by walking up from the working directory to the first
+/// ancestor that has both src/ and docs/static_analysis.md, so the
+/// kernel works from the build dir as well as the checkout root.
+double k_lint_full_repo(std::uint64_t reps) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::current_path();
+  while (!(fs::is_directory(root / "src") &&
+           fs::exists(root / "docs" / "static_analysis.md"))) {
+    if (!root.has_parent_path() || root.parent_path() == root) {
+      root = fs::current_path();  // not in a checkout; lint cwd anyway
+      break;
+    }
+    root = root.parent_path();
+  }
+  std::size_t sink = 0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const bce::lint::LintResult r = bce::lint::run_lint(root, {});
+    sink += r.diagnostics.size();
+  }
+  volatile std::size_t keep = sink;
+  (void)keep;
+  return static_cast<double>(reps);
+}
+
 struct Kernel {
   const char* name;
   std::function<double(std::uint64_t)> body;
@@ -454,6 +483,7 @@ std::vector<Kernel> kernels() {
       {"fleet_sharded", k_fleet_sharded},
       {"shard_checkpoint_resume", k_shard_checkpoint_resume},
       {"server_dispatch", k_server_dispatch},
+      {"lint_full_repo", k_lint_full_repo},
   };
 }
 
@@ -619,7 +649,7 @@ int cmd_compare(const std::vector<std::string>& args) {
                 << " core(s), current on " << cur_cores
                 << " — threading kernels are not comparable across core "
                    "counts (--force to compare anyway)\n";
-      return 8;
+      return kPerfExitCoreCountMismatch;
     }
     std::cout << "warning: comparing reports from different core counts ("
               << base_cores << " vs " << cur_cores
@@ -649,7 +679,7 @@ int cmd_compare(const std::vector<std::string>& args) {
   if (regressions > 0) {
     std::cout << regressions << " kernel(s) regressed more than "
               << tolerance * 100.0 << "%\n";
-    return warn_only ? 0 : 7;
+    return warn_only ? 0 : kPerfExitRegression;
   }
   std::cout << "no regressions beyond " << tolerance * 100.0 << "%\n";
   return 0;
